@@ -1,0 +1,177 @@
+//! Collab-E: the exhaustive equivalence-aware variant used as the
+//! comparison point of the paper's scalability study (§V-B5, Fig. 10).
+//!
+//! "COLLAB-E … generates a DAG for each combination of alternatives, and
+//! executes the Collab reuse algorithm for each of them. COLLAB-E, in
+//! contrast to COLLAB, finds the optimal plan under equivalences."
+//!
+//! For every artifact with `m` alternative producers, pick one; each pick
+//! combination induces a DAG whose (unique) backward closure from the
+//! targets is that combination's plan. The minimum over all combinations
+//! is optimal — at `O(m^n)` cost, which is exactly the curve Fig. 10
+//! reproduces.
+
+use hyppo_hypergraph::{EdgeId, HyperGraph, NodeId};
+
+/// Exhaustively find the optimal plan under alternatives by enumerating
+/// per-artifact producer choices. Returns `(edges, cost)`; `None` when the
+/// targets are underivable (or when a safety cap on combinations is hit).
+pub fn collab_e_plan<N, E>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    source: NodeId,
+    targets: &[NodeId],
+    max_combinations: u64,
+) -> Option<(Vec<EdgeId>, f64)> {
+    // Artifacts with at least one producer; their backward stars are the
+    // choice dimensions.
+    let nodes: Vec<NodeId> = graph
+        .node_ids()
+        .filter(|&v| v != source && !graph.bstar(v).is_empty())
+        .collect();
+    let dims: Vec<&[EdgeId]> = nodes.iter().map(|&v| graph.bstar(v)).collect();
+
+    // Combination count with overflow care.
+    let mut combos: u64 = 1;
+    for d in &dims {
+        combos = combos.saturating_mul(d.len() as u64);
+        if combos > max_combinations {
+            return None;
+        }
+    }
+
+    let node_pos: Vec<Option<usize>> = {
+        let mut pos = vec![None; graph.node_bound()];
+        for (i, &v) in nodes.iter().enumerate() {
+            pos[v.index()] = Some(i);
+        }
+        pos
+    };
+
+    let mut best: Option<(Vec<EdgeId>, f64)> = None;
+    let mut choice = vec![0usize; dims.len()];
+    loop {
+        // Walk the induced DAG backward from the targets.
+        let mut edges: Vec<EdgeId> = Vec::new();
+        let mut cost = 0.0;
+        let mut ok = true;
+        let mut seen = vec![false; graph.node_bound()];
+        let mut stack: Vec<NodeId> = targets.to_vec();
+        while let Some(v) = stack.pop() {
+            if v == source || seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            let Some(pos) = node_pos[v.index()] else {
+                ok = false; // no producer at all
+                break;
+            };
+            let e = dims[pos][choice[pos]];
+            if !edges.contains(&e) {
+                edges.push(e);
+                cost += costs[e.index()];
+                for &u in graph.tail(e) {
+                    stack.push(u);
+                }
+            }
+        }
+        if ok && best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            best = Some((edges, cost));
+        }
+
+        // Odometer.
+        let mut pos = 0;
+        loop {
+            if pos == choice.len() {
+                return best;
+            }
+            choice[pos] += 1;
+            if choice[pos] < dims[pos].len() {
+                break;
+            }
+            choice[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_core::optimizer::{optimize, SearchOptions};
+    use hyppo_tensor::SeededRng;
+
+    type G = HyperGraph<u32, ()>;
+
+    #[test]
+    fn matches_exact_search_on_alternative_graphs() {
+        for seed in 0..20 {
+            let mut rng = SeededRng::new(seed);
+            let mut g = G::new();
+            let s = g.add_node(0);
+            let mut nodes = vec![s];
+            let mut costs = Vec::new();
+            for i in 0..4 {
+                let v = g.add_node(i + 1);
+                for _ in 0..2 {
+                    let tail = vec![nodes[rng.index(nodes.len())]];
+                    let e = g.add_edge(tail, vec![v], ());
+                    costs.resize(e.index() + 1, 0.0);
+                    costs[e.index()] = (1 + rng.index(10)) as f64;
+                }
+                nodes.push(v);
+            }
+            let target = *nodes.last().unwrap();
+            let (edges, cost) =
+                collab_e_plan(&g, &costs, s, &[target], 1_000_000).unwrap();
+            let exact =
+                optimize(&g, &costs, s, &[target], &[], SearchOptions::default()).unwrap();
+            assert!(
+                (cost - exact.cost).abs() < 1e-9,
+                "seed {seed}: collab-e {cost} vs exact {}",
+                exact.cost
+            );
+            assert!(!edges.is_empty());
+        }
+    }
+
+    #[test]
+    fn combination_cap_aborts_cleanly() {
+        let mut g = G::new();
+        let s = g.add_node(0);
+        let mut prev = s;
+        let mut costs = Vec::new();
+        for i in 0..30 {
+            let v = g.add_node(i + 1);
+            for _ in 0..2 {
+                let e = g.add_edge(vec![prev], vec![v], ());
+                costs.resize(e.index() + 1, 1.0);
+            }
+            prev = v;
+        }
+        assert!(collab_e_plan(&g, &costs, s, &[prev], 1000).is_none());
+    }
+
+    #[test]
+    fn underivable_target_returns_none() {
+        let mut g = G::new();
+        let s = g.add_node(0);
+        let orphan = g.add_node(1);
+        assert!(collab_e_plan(&g, &[], s, &[orphan], 1000).is_none());
+    }
+
+    #[test]
+    fn single_combination_is_the_closure() {
+        let mut g = G::new();
+        let s = g.add_node(0);
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let e0 = g.add_edge(vec![s], vec![a], ());
+        let e1 = g.add_edge(vec![a], vec![b], ());
+        let costs = vec![2.0, 3.0];
+        let (edges, cost) = collab_e_plan(&g, &costs, s, &[b], 100).unwrap();
+        assert_eq!(cost, 5.0);
+        assert_eq!(edges.len(), 2);
+        let _ = (e0, e1);
+    }
+}

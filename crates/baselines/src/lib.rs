@@ -1,0 +1,38 @@
+//! Reimplementations of the systems HYPPO is evaluated against (paper
+//! §V-A-c):
+//!
+//! - [`no_opt`] — **NoOptimization**: execute every pipeline verbatim;
+//! - [`sharing`] — **Sharing**: common-subexpression elimination only;
+//! - [`helix`] — **Helix** (Xin et al., VLDB'18): optimal load-vs-compute
+//!   reuse via a project-selection min-cut (our from-scratch [`maxflow`]
+//!   Dinic), with materialization restricted to the immediately preceding
+//!   pipeline;
+//! - [`collab`] — **Collab** (Derakhshan et al., SIGMOD'20): linear-time
+//!   reuse heuristic plus utility-based materialization over the full
+//!   experiment graph;
+//! - [`collab_e`] — **Collab-E**: the exhaustive variant used in the
+//!   paper's scalability study (Fig. 10), enumerating every combination of
+//!   alternatives.
+//!
+//! All reuse baselines see pipelines through **physical artifact naming**
+//! ([`hyppo_pipeline::NamingMode::Physical`]): artifacts produced by
+//! different implementations of the same logical operator never collide,
+//! so cross-implementation equivalences are invisible to them — exactly
+//! the limitation HYPPO lifts.
+
+pub mod collab;
+pub mod collab_e;
+pub mod helix;
+pub mod maxflow;
+pub mod method;
+pub mod no_opt;
+pub mod sharing;
+
+pub use collab::{collab_plan, Collab};
+pub use collab_e::collab_e_plan;
+pub use helix::Helix;
+pub use maxflow::Dinic;
+pub use helix::helix_plan;
+pub use method::{ArtifactRequest, BaselineState, HyppoMethod, Method, MethodReport};
+pub use no_opt::NoOptimization;
+pub use sharing::Sharing;

@@ -1,0 +1,230 @@
+//! Dinic's maximum-flow / minimum-cut algorithm over `f64` capacities.
+//!
+//! The substrate for Helix's project-selection reuse planner (the paper
+//! notes Helix "tackles the optimal reuse plan as a solvable project
+//! selection problem using polynomial-time algorithms"; project selection
+//! reduces to min-cut).
+
+/// A directed flow network with `f64` capacities.
+#[derive(Clone, Debug)]
+pub struct Dinic {
+    /// Adjacency: per node, indices into `edges`.
+    adj: Vec<Vec<usize>>,
+    /// Edge storage; edge `i ^ 1` is the residual twin of edge `i`.
+    edges: Vec<FlowEdge>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FlowEdge {
+    to: usize,
+    cap: f64,
+}
+
+const EPS: f64 = 1e-12;
+
+impl Dinic {
+    /// A network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Dinic { adj: vec![Vec::new(); n], edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Add a directed edge `from → to` with the given capacity.
+    /// `f64::INFINITY` capacities are supported (hard constraints).
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: f64) {
+        assert!(cap >= 0.0, "capacities must be non-negative");
+        let id = self.edges.len();
+        self.edges.push(FlowEdge { to, cap });
+        self.edges.push(FlowEdge { to: from, cap: 0.0 });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+    }
+
+    /// Compute the maximum flow (= minimum cut value) from `s` to `t`.
+    /// Returns `f64::INFINITY` if `t` is reachable through
+    /// infinite-capacity paths only.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert_ne!(s, t);
+        let mut flow = 0.0;
+        loop {
+            let Some(level) = self.bfs_levels(s, t) else { break };
+            let mut iter = vec![0usize; self.adj.len()];
+            loop {
+                let pushed = self.dfs(s, t, f64::INFINITY, &level, &mut iter);
+                if pushed <= EPS {
+                    break;
+                }
+                flow += pushed;
+                if flow.is_infinite() {
+                    return f64::INFINITY;
+                }
+            }
+        }
+        flow
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<u32>> {
+        let mut level = vec![u32::MAX; self.adj.len()];
+        level[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            for &eid in &self.adj[v] {
+                let e = self.edges[eid];
+                if e.cap > EPS && level[e.to] == u32::MAX {
+                    level[e.to] = level[v] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        (level[t] != u32::MAX).then_some(level)
+    }
+
+    fn dfs(
+        &mut self,
+        v: usize,
+        t: usize,
+        pushed: f64,
+        level: &[u32],
+        iter: &mut [usize],
+    ) -> f64 {
+        if v == t {
+            return pushed;
+        }
+        while iter[v] < self.adj[v].len() {
+            let eid = self.adj[v][iter[v]];
+            let e = self.edges[eid];
+            if e.cap > EPS && level[e.to] == level[v] + 1 {
+                let d = self.dfs(e.to, t, pushed.min(e.cap), level, iter);
+                if d > EPS {
+                    self.edges[eid].cap -= d;
+                    self.edges[eid ^ 1].cap += d;
+                    return d;
+                }
+            }
+            iter[v] += 1;
+        }
+        0.0
+    }
+
+    /// After [`Dinic::max_flow`], the set of nodes on the source side of a
+    /// minimum cut (reachable in the residual network).
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut side = vec![false; self.adj.len()];
+        side[s] = true;
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for &eid in &self.adj[v] {
+                let e = self.edges[eid];
+                if e.cap > EPS && !side[e.to] {
+                    side[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_bottleneck() {
+        // s -(3)-> a -(2)-> t : flow = 2.
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 3.0);
+        d.add_edge(1, 2, 2.0);
+        assert!((d.max_flow(0, 2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 3.0);
+        d.add_edge(1, 3, 3.0);
+        d.add_edge(0, 2, 4.0);
+        d.add_edge(2, 3, 2.0);
+        assert!((d.max_flow(0, 3) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_textbook_instance() {
+        // CLRS figure: max flow 23.
+        let mut d = Dinic::new(6);
+        d.add_edge(0, 1, 16.0);
+        d.add_edge(0, 2, 13.0);
+        d.add_edge(1, 2, 10.0);
+        d.add_edge(2, 1, 4.0);
+        d.add_edge(1, 3, 12.0);
+        d.add_edge(3, 2, 9.0);
+        d.add_edge(2, 4, 14.0);
+        d.add_edge(4, 3, 7.0);
+        d.add_edge(3, 5, 20.0);
+        d.add_edge(4, 5, 4.0);
+        assert!((d.max_flow(0, 5) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_partition_is_consistent() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 1.0);
+        d.add_edge(0, 2, 10.0);
+        d.add_edge(1, 3, 10.0);
+        d.add_edge(2, 3, 1.0);
+        let flow = d.max_flow(0, 3);
+        assert!((flow - 2.0).abs() < 1e-9);
+        let side = d.min_cut_source_side(0);
+        assert!(side[0]);
+        assert!(!side[3]);
+        // Cut value recomputed from the partition equals the flow.
+        // Edges: (0,1,1), (0,2,10), (1,3,10), (2,3,1).
+        let caps = [(0, 1, 1.0), (0, 2, 10.0), (1, 3, 10.0), (2, 3, 1.0)];
+        let cut: f64 = caps
+            .iter()
+            .filter(|&&(a, b, _)| side[a] && !side[b])
+            .map(|&(_, _, c)| c)
+            .sum();
+        assert!((cut - flow).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infinite_edges_act_as_constraints() {
+        // Cutting must avoid the ∞ edge: s->a (inf), a->t (5) → flow 5.
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, f64::INFINITY);
+        d.add_edge(1, 2, 5.0);
+        assert!((d.max_flow(0, 2) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_infinite_path_returns_infinity() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, f64::INFINITY);
+        d.add_edge(1, 2, f64::INFINITY);
+        assert_eq!(d.max_flow(0, 2), f64::INFINITY);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_flow() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 5.0);
+        assert_eq!(d.max_flow(0, 2), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_edges_are_legal() {
+        let mut d = Dinic::new(2);
+        d.add_edge(0, 1, 0.0);
+        assert_eq!(d.max_flow(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! NoOptimization: the paper's straw man — execute every pipeline exactly
+//! as submitted; no reuse, no materialization, no equivalences.
+
+use crate::method::{ArtifactRequest, BaselineState, Method, MethodReport};
+use hyppo_core::system::SubmitError;
+use hyppo_hypergraph::EdgeId;
+use hyppo_pipeline::{NamingMode, PipelineSpec};
+use hyppo_tensor::Dataset;
+
+/// The NoOptimization baseline.
+#[derive(Debug)]
+pub struct NoOptimization {
+    state: BaselineState,
+}
+
+impl NoOptimization {
+    /// A fresh instance (budget is irrelevant: nothing is materialized).
+    pub fn new() -> Self {
+        NoOptimization { state: BaselineState::new(0) }
+    }
+}
+
+impl Default for NoOptimization {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Method for NoOptimization {
+    fn name(&self) -> &'static str {
+        "NoOptimization"
+    }
+
+    fn register_dataset(&mut self, id: &str, dataset: Dataset) {
+        self.state.register_dataset(id, dataset);
+    }
+
+    fn submit(&mut self, spec: PipelineSpec) -> Result<MethodReport, SubmitError> {
+        // The plan is the pipeline itself, verbatim.
+        let aug = self.state.build_augmentation(spec, false);
+        let plan: Vec<EdgeId> = aug.graph.edge_ids().collect();
+        let costs = self.state.costs(&aug);
+        let planned: f64 = plan.iter().map(|&e| costs[e.index()]).sum();
+        let (report, _) = self.state.run(&aug, &plan, planned, 0.0)?;
+        Ok(report)
+    }
+
+    fn retrieve(&mut self, requests: &[ArtifactRequest]) -> Result<MethodReport, SubmitError> {
+        // Recompute each request's derivation independently — no sharing
+        // across requests (the whole point of this baseline).
+        let mut total = MethodReport::default();
+        for req in requests {
+            let aug = self.state.build_augmentation(req.spec.clone(), false);
+            let name = req.name(NamingMode::Physical);
+            let target =
+                *aug.node_by_name.get(&name).ok_or(SubmitError::NoPlan)?;
+            let plan = crate::method::unique_derivation_plan(
+                &aug.graph,
+                aug.source,
+                &[target],
+                |_| false,
+            )
+            .ok_or(SubmitError::NoPlan)?;
+            let costs = self.state.costs(&aug);
+            let planned: f64 = plan.iter().map(|&e| costs[e.index()]).sum();
+            // Retarget the augmentation at the single requested artifact so
+            // the plan validates/executes for exactly that artifact.
+            let mut aug = aug;
+            aug.targets = vec![target];
+            let (r, _) = self.state.run(&aug, &plan, planned, 0.0)?;
+            total.execution_seconds += r.execution_seconds;
+            total.tasks_executed += r.tasks_executed;
+            total.loads += r.loads;
+            total.planned_cost += r.planned_cost;
+        }
+        Ok(total)
+    }
+
+    fn cumulative_seconds(&self) -> f64 {
+        self.state.cumulative_seconds
+    }
+
+    fn budget_bytes(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_ml::{Config, LogicalOp};
+    use hyppo_pipeline::{ArtifactHandle, StepId};
+    use hyppo_tensor::{Matrix, TaskKind};
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            Matrix::filled(60, 2, 1.0),
+            vec![0.0; 60],
+            vec!["a".into(), "b".into()],
+            TaskKind::Regression,
+        )
+    }
+
+    fn spec() -> PipelineSpec {
+        let mut s = PipelineSpec::new();
+        let d = s.load("data");
+        let (train, _test) = s.split(d, Config::new().with_i("seed", 0));
+        s.fit(LogicalOp::MinMaxScaler, 0, Config::new(), &[train]);
+        s
+    }
+
+    #[test]
+    fn executes_pipeline_verbatim() {
+        let mut m = NoOptimization::new();
+        m.register_dataset("data", dataset());
+        let r = m.submit(spec()).unwrap();
+        assert_eq!(r.tasks_executed, 3);
+        assert_eq!(r.loads, 1, "only the raw dataset load");
+    }
+
+    #[test]
+    fn resubmission_costs_the_same_tasks() {
+        let mut m = NoOptimization::new();
+        m.register_dataset("data", dataset());
+        let r1 = m.submit(spec()).unwrap();
+        let r2 = m.submit(spec()).unwrap();
+        assert_eq!(r1.tasks_executed, r2.tasks_executed, "no reuse whatsoever");
+        assert!(m.cumulative_seconds() >= r1.execution_seconds + r2.execution_seconds);
+    }
+
+    #[test]
+    fn retrieval_recomputes_per_request() {
+        let mut m = NoOptimization::new();
+        m.register_dataset("data", dataset());
+        m.submit(spec()).unwrap();
+        let req = ArtifactRequest {
+            spec: spec(),
+            handle: ArtifactHandle { step: StepId(2), output: 0 },
+        };
+        let r = m.retrieve(&[req.clone(), req]).unwrap();
+        // Two identical requests each pay the full 3-task derivation.
+        assert_eq!(r.tasks_executed, 6);
+    }
+}

@@ -1,0 +1,159 @@
+//! Sharing: common-subexpression elimination only (the paper's second
+//! baseline).
+//!
+//! For sequential pipeline execution it behaves like NoOptimization (the
+//! paper omits it from Scenario 1 for this reason); for retrieval requests
+//! it recomputes derivations but *shares* the tasks common to several
+//! requested artifacts. It never loads materialized artifacts and never
+//! exploits equivalences (physical naming).
+
+use crate::method::{
+    unique_derivation_plan, ArtifactRequest, BaselineState, Method, MethodReport,
+};
+use hyppo_core::system::SubmitError;
+use hyppo_hypergraph::{EdgeId, NodeId};
+use hyppo_pipeline::{ArtifactName, NamingMode, PipelineSpec};
+use hyppo_tensor::Dataset;
+
+/// The Sharing baseline.
+#[derive(Debug)]
+pub struct Sharing {
+    state: BaselineState,
+}
+
+impl Sharing {
+    /// A fresh instance.
+    pub fn new() -> Self {
+        Sharing { state: BaselineState::new(0) }
+    }
+}
+
+impl Default for Sharing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Method for Sharing {
+    fn name(&self) -> &'static str {
+        "Sharing"
+    }
+
+    fn register_dataset(&mut self, id: &str, dataset: Dataset) {
+        self.state.register_dataset(id, dataset);
+    }
+
+    fn submit(&mut self, spec: PipelineSpec) -> Result<MethodReport, SubmitError> {
+        // Sequential execution: identical to NoOptimization, but the
+        // history is recorded so retrieval requests can be planned.
+        let aug = self.state.build_augmentation(spec, false);
+        let plan: Vec<EdgeId> = aug.graph.edge_ids().collect();
+        let costs = self.state.costs(&aug);
+        let planned: f64 = plan.iter().map(|&e| costs[e.index()]).sum();
+        let (report, _) = self.state.run(&aug, &plan, planned, 0.0)?;
+        Ok(report)
+    }
+
+    fn retrieve(&mut self, requests: &[ArtifactRequest]) -> Result<MethodReport, SubmitError> {
+        let names: Vec<ArtifactName> =
+            requests.iter().map(|r| r.name(NamingMode::Physical)).collect();
+        let mut aug =
+            self.state.build_request_augmentation(&names).ok_or(SubmitError::NoPlan)?;
+        let targets: Vec<NodeId> = aug.targets.clone();
+        // One shared plan: the union of the unique derivations, with common
+        // subexpressions automatically deduplicated. Loads are ignored
+        // (Sharing has no materialization) except raw dataset loads.
+        let plan = unique_derivation_plan(&aug.graph, aug.source, &targets, |v| {
+            // Only raw datasets come "from storage".
+            aug.graph.node(v).role == hyppo_pipeline::ArtifactRole::Raw
+        })
+        .ok_or(SubmitError::NoPlan)?;
+        let costs = self.state.costs(&aug);
+        let planned: f64 = plan.iter().map(|&e| costs[e.index()]).sum();
+        aug.targets = targets;
+        let (report, _) = self.state.run(&aug, &plan, planned, 0.0)?;
+        Ok(report)
+    }
+
+    fn cumulative_seconds(&self) -> f64 {
+        self.state.cumulative_seconds
+    }
+
+    fn budget_bytes(&self) -> u64 {
+        0
+    }
+
+    fn history_artifacts(&self) -> usize {
+        self.state.history.artifact_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_ml::{Config, LogicalOp};
+    use hyppo_pipeline::{ArtifactHandle, StepId};
+    use hyppo_tensor::{Matrix, TaskKind};
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            Matrix::filled(60, 3, 1.0),
+            vec![0.0; 60],
+            (0..3).map(|i| format!("f{i}")).collect(),
+            TaskKind::Regression,
+        )
+    }
+
+    fn spec() -> PipelineSpec {
+        let mut s = PipelineSpec::new();
+        let d = s.load("data");
+        let (train, test) = s.split(d, Config::new().with_i("seed", 0));
+        let scaler = s.fit(LogicalOp::MinMaxScaler, 0, Config::new(), &[train]);
+        s.transform(LogicalOp::MinMaxScaler, 0, Config::new(), scaler, test);
+        s
+    }
+
+    #[test]
+    fn shared_retrieval_deduplicates_common_subexpressions() {
+        let mut m = Sharing::new();
+        m.register_dataset("data", dataset());
+        m.submit(spec()).unwrap();
+        // Request both the scaler state (step 2) and the scaled test set
+        // (step 3): their derivations share load+split+fit.
+        let reqs = vec![
+            ArtifactRequest {
+                spec: spec(),
+                handle: ArtifactHandle { step: StepId(2), output: 0 },
+            },
+            ArtifactRequest {
+                spec: spec(),
+                handle: ArtifactHandle { step: StepId(3), output: 0 },
+            },
+        ];
+        let r = m.retrieve(&reqs).unwrap();
+        // Shared plan: load, split, fit, transform = 4 tasks (vs 7 without
+        // sharing: 3 + 4).
+        assert_eq!(r.tasks_executed, 4);
+    }
+
+    #[test]
+    fn unknown_request_is_no_plan() {
+        let mut m = Sharing::new();
+        m.register_dataset("data", dataset());
+        // Nothing submitted yet: history has no derivations.
+        let req = ArtifactRequest {
+            spec: spec(),
+            handle: ArtifactHandle { step: StepId(2), output: 0 },
+        };
+        assert!(matches!(m.retrieve(&[req]), Err(SubmitError::NoPlan)));
+    }
+
+    #[test]
+    fn submit_matches_no_optimization_task_count() {
+        let mut m = Sharing::new();
+        m.register_dataset("data", dataset());
+        let r = m.submit(spec()).unwrap();
+        assert_eq!(r.tasks_executed, 4, "load+split+fit+transform, verbatim");
+        assert_eq!(m.budget_bytes(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks of the hypergraph substrate: B-closure,
+//! plan validation, and execution ordering on synthetic graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyppo_hypergraph::{b_closure, connectivity, execution_order, minimize_plan};
+use hyppo_workloads::generate_synthetic;
+use std::hint::black_box;
+
+fn bench_b_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b_closure");
+    for n in [50usize, 200, 800] {
+        let g = generate_synthetic(n, 2, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| b_closure(black_box(&g.graph), &[g.source]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward_relevant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backward_relevant");
+    for n in [50usize, 200, 800] {
+        let g = generate_synthetic(n, 2, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| connectivity::backward_relevant(black_box(&g.graph), &g.targets))
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_machinery(c: &mut Criterion) {
+    let g = generate_synthetic(60, 2, 17);
+    let all: Vec<_> = g.graph.edge_ids().collect();
+    let plan = minimize_plan(&g.graph, &all, &[g.source], &g.targets);
+    c.bench_function("execution_order_60", |b| {
+        b.iter(|| execution_order(black_box(&g.graph), &plan, &[g.source]).unwrap())
+    });
+    c.bench_function("minimize_plan_60", |b| {
+        b.iter(|| minimize_plan(black_box(&g.graph), &all, &[g.source], &g.targets))
+    });
+}
+
+criterion_group!(benches, bench_b_closure, bench_backward_relevant, bench_plan_machinery);
+criterion_main!(benches);

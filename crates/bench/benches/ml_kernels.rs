@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the physical-implementation cost
+//! asymmetries the equivalence optimizer exploits: each pair fits the same
+//! logical operator two ways on identical data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyppo_ml::{execute, Artifact, Config, LogicalOp, TaskType};
+use hyppo_workloads::higgs;
+use std::hint::black_box;
+
+fn imputed_higgs(rows: usize) -> Artifact {
+    let raw = Artifact::Data(higgs::generate(rows, 5));
+    let cfg = Config::new();
+    let imp = &execute(LogicalOp::ImputerMean, TaskType::Fit, 0, &cfg, &[&raw]).unwrap()[0];
+    execute(LogicalOp::ImputerMean, TaskType::Transform, 0, &cfg, &[imp, &raw])
+        .unwrap()
+        .remove(0)
+}
+
+fn bench_pairs(c: &mut Criterion) {
+    let data = imputed_higgs(2000);
+    let cfg = Config::new()
+        .with_i("n_trees", 10)
+        .with_i("n_rounds", 10)
+        .with_i("n_components", 5)
+        .with_i("seed", 3);
+    for op in [
+        LogicalOp::StandardScaler,
+        LogicalOp::RobustScaler,
+        LogicalOp::Pca,
+        LogicalOp::RandomForest,
+        LogicalOp::GradientBoosting,
+    ] {
+        let mut group = c.benchmark_group(format!("{}_fit", op.name()));
+        group.sample_size(10);
+        for imp in op.impls() {
+            group.bench_function(imp.name, |b| {
+                b.iter(|| {
+                    execute(op, TaskType::Fit, imp.index, &cfg, &[black_box(&data)]).unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let data = imputed_higgs(2000);
+    c.bench_function("codec_encode_2000x30", |b| {
+        b.iter(|| hyppo_core::codec::encode(black_box(&data)))
+    });
+    let bytes = hyppo_core::codec::encode(&data);
+    c.bench_function("codec_decode_2000x30", |b| {
+        b.iter(|| hyppo_core::codec::decode(black_box(bytes.clone())).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_pairs, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the plan search (OPTIMIZE stack/priority
+//! and the greedy variant) on synthetic augmentations — the kernel behind
+//! paper Fig. 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyppo_core::optimizer::{optimize, QueueKind, SearchOptions};
+use hyppo_workloads::generate_synthetic;
+use std::hint::black_box;
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_vs_n_m2");
+    group.sample_size(20);
+    for n in [8usize, 16, 24] {
+        let g = generate_synthetic(n, 2, 42);
+        for (label, queue) in [("stack", QueueKind::Stack), ("priority", QueueKind::Priority)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                let opts = SearchOptions { queue, ..Default::default() };
+                b.iter(|| {
+                    optimize(
+                        black_box(&g.graph),
+                        black_box(&g.costs),
+                        g.source,
+                        &g.targets,
+                        &[],
+                        opts,
+                    )
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            let opts = SearchOptions { greedy: true, ..Default::default() };
+            b.iter(|| {
+                optimize(
+                    black_box(&g.graph),
+                    black_box(&g.costs),
+                    g.source,
+                    &g.targets,
+                    &[],
+                    opts,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_vs_m_n10");
+    group.sample_size(20);
+    for m in [2usize, 3, 4] {
+        let g = generate_synthetic(10, m, 7);
+        group.bench_with_input(BenchmarkId::new("priority", m), &m, |b, _| {
+            let opts = SearchOptions { queue: QueueKind::Priority, ..Default::default() };
+            b.iter(|| {
+                optimize(
+                    black_box(&g.graph),
+                    black_box(&g.costs),
+                    g.source,
+                    &g.targets,
+                    &[],
+                    opts,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_n, bench_vs_m);
+criterion_main!(benches);

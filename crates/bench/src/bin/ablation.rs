@@ -1,0 +1,6 @@
+//! HYPPO design-choice ablation (search order, greedy, equivalences,
+//! plan locality, exploration). Options: --scale --pipelines --seed.
+fn main() {
+    let opts = hyppo_bench::setup::parse_cli();
+    hyppo_bench::figures::ablation::run(&opts);
+}

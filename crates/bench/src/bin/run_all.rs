@@ -1,0 +1,23 @@
+//! Regenerates every table and figure in sequence.
+//! Options: --scale <f> --pipelines <n> --seqs <n> --seed <n>.
+fn main() {
+    let opts = hyppo_bench::setup::parse_cli();
+    let t0 = std::time::Instant::now();
+    for (name, f) in [
+        ("table1", hyppo_bench::figures::table1::run as fn(&_)),
+        ("fig3", hyppo_bench::figures::fig3::run),
+        ("fig4", hyppo_bench::figures::fig4::run),
+        ("fig5", hyppo_bench::figures::fig5::run),
+        ("fig6", hyppo_bench::figures::fig6::run),
+        ("fig7", hyppo_bench::figures::fig7::run),
+        ("fig8", hyppo_bench::figures::fig8::run),
+        ("fig9a", hyppo_bench::figures::fig9a::run),
+        ("fig9b", hyppo_bench::figures::fig9b::run),
+        ("fig10", hyppo_bench::figures::fig10::run),
+        ("ablation", hyppo_bench::figures::ablation::run),
+    ] {
+        eprintln!("\n===== {name} ({:.0}s elapsed) =====", t0.elapsed().as_secs_f64());
+        f(&opts);
+    }
+    eprintln!("\nall experiments done in {:.0}s", t0.elapsed().as_secs_f64());
+}

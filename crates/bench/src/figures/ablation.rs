@@ -1,0 +1,79 @@
+//! Ablation study (beyond the paper's figures): which of HYPPO's design
+//! choices buys how much?
+//!
+//! Variants compared on a Scenario-1 HIGGS session:
+//! - **full** — priority-queue exact search, dictionary alternatives,
+//!   paper plan-locality;
+//! - **stack** — LIFO search (same plans, different search order);
+//! - **greedy** — linear-time plan construction (may pick worse plans);
+//! - **no-equivalence** — dictionary alternatives disabled (reuse +
+//!   materialization only, HYPPO reduced to a Collab-class optimizer with
+//!   an exact planner);
+//! - **no-locality** / **exp-decay** — materializer `pl(v)` variants
+//!   (DESIGN.md discusses the paper's formula discrepancy);
+//! - **explore** — `c_exp = 1`: always execute new tasks.
+
+use crate::report::{secs, speedup, Table};
+use crate::setup::{CliOptions, ExperimentScale};
+use hyppo_core::materialize::PlanLocality;
+use hyppo_core::optimizer::QueueKind;
+use hyppo_core::{Hyppo, HyppoConfig};
+use hyppo_workloads::generator::{generate_sequence, SequenceConfig, UseCase};
+
+fn variant(name: &str, budget: u64) -> (String, Hyppo) {
+    let mut cfg = HyppoConfig { budget_bytes: budget, ..Default::default() };
+    match name {
+        "full" => {}
+        "stack" => cfg.search.queue = QueueKind::Stack,
+        "greedy" => cfg.search.greedy = true,
+        "no-equivalence" => cfg.augment.dictionary_alternatives = false,
+        "no-locality" => cfg.locality = PlanLocality::None,
+        "exp-decay" => cfg.locality = PlanLocality::ExpDecay,
+        "explore" => cfg.search.c_exp = 1.0,
+        other => panic!("unknown variant {other}"),
+    }
+    (name.to_string(), Hyppo::new(cfg))
+}
+
+/// Emit the ablation table.
+pub fn run(opts: &CliOptions) {
+    let n = opts.pipelines.unwrap_or(30);
+    let scale = ExperimentScale { multiplier: opts.scale };
+    let dataset = scale.dataset(UseCase::Higgs, opts.seed);
+    let budget = dataset.size_bytes() as u64 / 10;
+    let templates = generate_sequence(&SequenceConfig {
+        use_case: UseCase::Higgs,
+        dataset_id: "higgs".to_string(),
+        n_pipelines: n,
+        seed: opts.seed,
+    });
+
+    let mut t = Table::new(
+        &format!("Ablation: HYPPO variants on a {n}-pipeline HIGGS session, B=0.1"),
+        &["variant", "cumulative time", "vs full", "optimize overhead", "stored now"],
+    );
+    let mut full_time = None;
+    for name in
+        ["full", "stack", "greedy", "no-equivalence", "no-locality", "exp-decay", "explore"]
+    {
+        let (label, mut sys) = variant(name, budget);
+        sys.register_dataset("higgs", dataset.clone());
+        let mut overhead = 0.0;
+        for template in &templates {
+            let report = sys.submit(template.to_spec()).expect("pipeline runs");
+            overhead += report.optimize_seconds;
+        }
+        let total = sys.cumulative_seconds;
+        if full_time.is_none() {
+            full_time = Some(total);
+        }
+        t.row(&[
+            label,
+            secs(total),
+            speedup(total, full_time.expect("set on first variant")),
+            secs(overhead),
+            sys.store.len().to_string(),
+        ]);
+    }
+    t.emit("ablation");
+}

@@ -1,0 +1,67 @@
+//! Figure 3: cumulative execution time and price with varying #pipelines
+//! (Scenario 1, fixed storage budget B = 0.1 × dataset size).
+
+use crate::report::{euros, secs, speedup, Table};
+use crate::runner::{run_scenario1, Scenario1Config};
+use crate::setup::{CliOptions, ExperimentScale, MethodKind};
+use hyppo_workloads::UseCase;
+
+fn checkpoint_headers(checkpoints: &[usize]) -> Vec<String> {
+    let mut h = vec!["method".to_string()];
+    h.extend(checkpoints.iter().map(|c| format!("{c} pipelines")));
+    h
+}
+
+/// Emit Fig. 3(a–d).
+pub fn run(opts: &CliOptions) {
+    let n = opts.pipelines.unwrap_or(50);
+    let checkpoints: Vec<usize> = [n / 5, 2 * n / 5, 3 * n / 5, 4 * n / 5, n]
+        .iter()
+        .copied()
+        .filter(|&c| c > 0)
+        .collect();
+    for (use_case, tag, suffix) in
+        [(UseCase::Higgs, "a/c HIGGS", "higgs"), (UseCase::Taxi, "b/d TAXI", "taxi")]
+    {
+        let cfg = Scenario1Config {
+            use_case,
+            n_pipelines: n,
+            checkpoints: checkpoints.clone(),
+            budget_frac: 0.1,
+            scale: ExperimentScale { multiplier: opts.scale },
+            seed: opts.seed,
+            n_sequences: opts.seqs,
+            methods: MethodKind::SCENARIO1.to_vec(),
+        };
+        let result = run_scenario1(&cfg);
+        let base = result
+            .methods
+            .iter()
+            .find(|m| m.name == "NoOptimization")
+            .expect("NoOptimization is the baseline")
+            .clone();
+
+        let mut time_table = Table::from_headers(
+            &format!("Fig 3({tag}): cumulative execution time, B=0.1 (speedup vs NoOpt)"),
+            checkpoint_headers(&result.checkpoints),
+        );
+        let mut price_table = Table::from_headers(
+            &format!("Fig 3({tag}): price (speedup vs NoOpt)"),
+            checkpoint_headers(&result.checkpoints),
+        );
+        for m in &result.methods {
+            let mut cells = vec![m.name.clone()];
+            for (i, &v) in m.cet.iter().enumerate() {
+                cells.push(format!("{} ({})", secs(v), speedup(base.cet[i], v)));
+            }
+            time_table.row(&cells);
+            let mut cells = vec![m.name.clone()];
+            for (i, &v) in m.price.iter().enumerate() {
+                cells.push(format!("{} ({})", euros(v), speedup(base.price[i], v)));
+            }
+            price_table.row(&cells);
+        }
+        time_table.emit(&format!("fig3_time_{suffix}"));
+        price_table.emit(&format!("fig3_price_{suffix}"));
+    }
+}

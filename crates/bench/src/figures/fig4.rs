@@ -1,0 +1,94 @@
+//! Figure 4: execution time and price with varying storage budget
+//! (Scenario 1, #pipelines = 50, B ∈ {0.01, 0.05, 0.1, 0.5, 1.0} ×
+//! dataset size).
+
+use crate::report::{euros, secs, speedup, Table};
+use crate::runner::{run_scenario1, Scenario1Config};
+use crate::setup::{CliOptions, ExperimentScale, MethodKind};
+use hyppo_workloads::UseCase;
+
+/// The budget fractions the paper sweeps.
+pub const BUDGETS: [f64; 5] = [0.01, 0.05, 0.1, 0.5, 1.0];
+
+/// Emit Fig. 4(a–d).
+pub fn run(opts: &CliOptions) {
+    let n = opts.pipelines.unwrap_or(50);
+    for (use_case, tag, suffix) in
+        [(UseCase::Higgs, "a/c HIGGS", "higgs"), (UseCase::Taxi, "b/d TAXI", "taxi")]
+    {
+        let mut headers = vec!["method".to_string()];
+        headers.extend(BUDGETS.iter().map(|b| format!("B={b}")));
+        let mut time_table = Table::from_headers(
+            &format!("Fig 4({tag}): execution time vs storage budget, {n} pipelines (speedup vs NoOpt)"),
+            headers.clone(),
+        );
+        let mut price_table = Table::from_headers(
+            &format!("Fig 4({tag}): price vs storage budget (speedup vs NoOpt)"),
+            headers,
+        );
+
+        // NoOpt is budget-independent: run once.
+        let mut rows: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+        let mut noopt_cet = 0.0;
+        let mut noopt_price = Vec::new();
+        for (bi, &budget) in BUDGETS.iter().enumerate() {
+            let methods = if bi == 0 {
+                vec![MethodKind::NoOpt, MethodKind::Collab, MethodKind::Hyppo]
+            } else {
+                vec![MethodKind::Collab, MethodKind::Hyppo]
+            };
+            let cfg = Scenario1Config {
+                use_case,
+                n_pipelines: n,
+                checkpoints: vec![n],
+                budget_frac: budget,
+                scale: ExperimentScale { multiplier: opts.scale },
+                seed: opts.seed,
+                n_sequences: opts.seqs,
+                methods,
+            };
+            let result = run_scenario1(&cfg);
+            for m in &result.methods {
+                if m.name == "NoOptimization" {
+                    noopt_cet = m.cet[0];
+                } else {
+                    let entry = match rows.iter_mut().find(|(name, _, _)| *name == m.name) {
+                        Some(e) => e,
+                        None => {
+                            rows.push((m.name.clone(), Vec::new(), Vec::new()));
+                            rows.last_mut().expect("just pushed")
+                        }
+                    };
+                    entry.1.push(m.cet[0]);
+                    entry.2.push(m.price[0]);
+                }
+            }
+            // NoOpt price depends on B (storage is billed even if unused by
+            // the method? No — NoOpt provisions no storage): use B=0.
+            noopt_price.push(
+                hyppo_core::PriceModel::default().price(noopt_cet, 0),
+            );
+        }
+        let mut cells = vec!["NoOptimization".to_string()];
+        cells.extend(BUDGETS.iter().map(|_| format!("{} (1.00x)", secs(noopt_cet))));
+        time_table.row(&cells);
+        let mut cells = vec!["NoOptimization".to_string()];
+        cells.extend(noopt_price.iter().map(|&p| format!("{} (1.00x)", euros(p))));
+        price_table.row(&cells);
+        for (name, cets, prices) in &rows {
+            let mut cells = vec![name.clone()];
+            cells.extend(cets.iter().map(|&v| format!("{} ({})", secs(v), speedup(noopt_cet, v))));
+            time_table.row(&cells);
+            let mut cells = vec![name.clone()];
+            cells.extend(
+                prices
+                    .iter()
+                    .zip(&noopt_price)
+                    .map(|(&v, &b)| format!("{} ({})", euros(v), speedup(b, v))),
+            );
+            price_table.row(&cells);
+        }
+        time_table.emit(&format!("fig4_time_{suffix}"));
+        price_table.emit(&format!("fig4_price_{suffix}"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 5: materialization decisions and beneficial artifact types.
+//!
+//! (a) monetary storage cost per budget; (b) % of artifacts stored by type
+//! vs budget; (c) average computational cost per artifact type; (d)
+//! average size per artifact type; (e) execution cost per task type.
+
+use crate::report::{bytes, euros, secs, Table};
+use crate::runner::{artifact_role_stats, task_type_costs};
+use crate::setup::{CliOptions, ExperimentScale};
+use hyppo_core::{Hyppo, HyppoConfig};
+use hyppo_workloads::generator::{generate_sequence, SequenceConfig};
+use hyppo_workloads::UseCase;
+
+/// Budget fractions swept for (a) and (b).
+pub const BUDGETS: [f64; 4] = [0.01, 0.05, 0.1, 0.5];
+
+fn build_history(budget_bytes: u64, opts: &CliOptions, n: usize) -> Hyppo {
+    let scale = ExperimentScale { multiplier: opts.scale };
+    let dataset = scale.dataset(UseCase::Higgs, opts.seed);
+    let mut sys = Hyppo::new(HyppoConfig { budget_bytes, ..Default::default() });
+    sys.register_dataset("higgs", dataset);
+    let templates = generate_sequence(&SequenceConfig {
+        use_case: UseCase::Higgs,
+        dataset_id: "higgs".to_string(),
+        n_pipelines: n,
+        seed: opts.seed,
+    });
+    for t in &templates {
+        sys.submit(t.to_spec()).expect("pipeline execution failed");
+    }
+    sys
+}
+
+/// Emit Fig. 5(a–e).
+pub fn run(opts: &CliOptions) {
+    let n = opts.pipelines.unwrap_or(30);
+    let scale = ExperimentScale { multiplier: opts.scale };
+    let dataset_bytes = scale.dataset(UseCase::Higgs, opts.seed).size_bytes() as u64;
+
+    // (a) + (b): sweep budgets.
+    let mut a = Table::new(
+        "Fig 5(a): monetary storage cost per budget (HIGGS)",
+        &["budget", "budget bytes", "used bytes", "storage price"],
+    );
+    let mut b = Table::from_headers(
+        "Fig 5(b): % stored artifacts by type vs budget (HIGGS)",
+        vec![
+            "budget".to_string(),
+            "value".to_string(),
+            "op-state".to_string(),
+            "predictions".to_string(),
+            "test".to_string(),
+            "train".to_string(),
+        ],
+    );
+    let mut last_sys = None;
+    for &frac in &BUDGETS {
+        let budget = (dataset_bytes as f64 * frac) as u64;
+        let sys = build_history(budget, opts, n);
+        let price = hyppo_core::PriceModel::default().price(0.0, budget);
+        a.row(&[
+            format!("{frac}"),
+            bytes(budget),
+            bytes(sys.store.used_bytes()),
+            euros(price),
+        ]);
+        let stats = artifact_role_stats(&sys);
+        let pct = |role: hyppo_pipeline::ArtifactRole| -> String {
+            stats
+                .iter()
+                .find(|(r, ..)| *r == role)
+                .map(|&(_, total, stored, ..)| {
+                    format!("{:.0}%", 100.0 * stored as f64 / total.max(1) as f64)
+                })
+                .unwrap_or_else(|| "-".to_string())
+        };
+        use hyppo_pipeline::ArtifactRole as R;
+        b.row(&[
+            format!("{frac}"),
+            pct(R::Value),
+            pct(R::OpState),
+            pct(R::Predictions),
+            pct(R::Test),
+            pct(R::Train),
+        ]);
+        last_sys = Some(sys);
+    }
+    a.emit("fig5a_storage_cost");
+    b.emit("fig5b_stored_by_type");
+
+    // (c) + (d): per-type averages from the B=0.5 history.
+    let sys = last_sys.expect("at least one budget swept");
+    let mut c = Table::new(
+        "Fig 5(c,d): average compute cost and size per artifact type (HIGGS)",
+        &["type", "count", "avg compute cost", "avg size"],
+    );
+    for (role, count, _stored, avg_cost, avg_size) in artifact_role_stats(&sys) {
+        c.row(&[
+            role.name().to_string(),
+            count.to_string(),
+            secs(avg_cost),
+            bytes(avg_size as u64),
+        ]);
+    }
+    c.emit("fig5cd_artifact_types");
+
+    // (e): per-task-type cost.
+    let mut e = Table::new(
+        "Fig 5(e): mean execution cost per task type (HIGGS)",
+        &["task type", "mean cost"],
+    );
+    for (task, cost) in task_type_costs(&sys) {
+        e.row(&[task.name().to_string(), secs(cost)]);
+    }
+    e.emit("fig5e_task_types");
+}

@@ -1,0 +1,81 @@
+//! Figure 6: execution time and price with varying dataset size
+//! (Scenario 1, B = 0.1 × dataset size, 50 pipelines,
+//! `dataset_multiplier` ∈ {0.5, 1, 2, 4}).
+
+use crate::report::{euros, secs, speedup, Table};
+use crate::runner::{run_scenario1, Scenario1Config};
+use crate::setup::{CliOptions, ExperimentScale, MethodKind};
+use hyppo_workloads::UseCase;
+
+/// The multipliers swept (relative to the configured `--scale`).
+pub const MULTIPLIERS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+/// Emit Fig. 6(a–d).
+pub fn run(opts: &CliOptions) {
+    let n = opts.pipelines.unwrap_or(30);
+    for (use_case, tag, suffix) in
+        [(UseCase::Higgs, "a/c HIGGS", "higgs"), (UseCase::Taxi, "b/d TAXI", "taxi")]
+    {
+        let mut headers = vec!["method".to_string()];
+        headers.extend(MULTIPLIERS.iter().map(|m| format!("x{m}")));
+        let mut time_table = Table::from_headers(
+            &format!("Fig 6({tag}): execution time vs dataset multiplier, {n} pipelines (speedup vs NoOpt)"),
+            headers.clone(),
+        );
+        let mut price_table = Table::from_headers(
+            &format!("Fig 6({tag}): price vs dataset multiplier (speedup vs NoOpt)"),
+            headers,
+        );
+        let mut series: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+        let mut baselines: Vec<(f64, f64)> = Vec::new();
+        for &mult in &MULTIPLIERS {
+            let cfg = Scenario1Config {
+                use_case,
+                n_pipelines: n,
+                checkpoints: vec![n],
+                budget_frac: 0.1,
+                scale: ExperimentScale { multiplier: opts.scale * mult },
+                seed: opts.seed,
+                n_sequences: opts.seqs,
+                methods: vec![MethodKind::NoOpt, MethodKind::Collab, MethodKind::Hyppo],
+            };
+            let result = run_scenario1(&cfg);
+            let base = result
+                .methods
+                .iter()
+                .find(|m| m.name == "NoOptimization")
+                .expect("baseline present");
+            baselines.push((base.cet[0], base.price[0]));
+            for m in &result.methods {
+                let entry = match series.iter_mut().find(|(name, ..)| *name == m.name) {
+                    Some(e) => e,
+                    None => {
+                        series.push((m.name.clone(), Vec::new(), Vec::new()));
+                        series.last_mut().expect("just pushed")
+                    }
+                };
+                entry.1.push(m.cet[0]);
+                entry.2.push(m.price[0]);
+            }
+        }
+        for (name, cets, prices) in &series {
+            let mut cells = vec![name.clone()];
+            cells.extend(
+                cets.iter()
+                    .zip(&baselines)
+                    .map(|(&v, &(b, _))| format!("{} ({})", secs(v), speedup(b, v))),
+            );
+            time_table.row(&cells);
+            let mut cells = vec![name.clone()];
+            cells.extend(
+                prices
+                    .iter()
+                    .zip(&baselines)
+                    .map(|(&v, &(_, b))| format!("{} ({})", euros(v), speedup(b, v))),
+            );
+            price_table.row(&cells);
+        }
+        time_table.emit(&format!("fig6_time_{suffix}"));
+        price_table.emit(&format!("fig6_price_{suffix}"));
+    }
+}

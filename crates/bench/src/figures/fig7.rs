@@ -1,0 +1,59 @@
+//! Figure 7: retrieval time of artifacts and models with **zero storage**
+//! (Scenario 2, B = 0 — materialization disabled, so the benefit comes
+//! purely from sharing and, for HYPPO, from equivalent alternatives).
+
+use crate::report::{secs, speedup, Table};
+use crate::runner::{run_scenario2, Scenario2Config, Scenario2Result};
+use crate::setup::{CliOptions, ExperimentScale, MethodKind};
+use hyppo_workloads::UseCase;
+
+/// Shared implementation for Figs. 7 and 8 (they differ only in budget).
+pub fn run_with_budget(opts: &CliOptions, budget_frac: f64, figure: &str) {
+    let history = opts.pipelines.unwrap_or(25);
+    let sizes = vec![1, 2, 4, 8];
+    for (use_case, uc_tag) in [(UseCase::Higgs, "higgs"), (UseCase::Taxi, "taxi")] {
+        for (models_only, kind_tag) in [(false, "artifacts"), (true, "models")] {
+            let cfg = Scenario2Config {
+                use_case,
+                history_pipelines: history,
+                budget_frac,
+                scale: ExperimentScale { multiplier: opts.scale },
+                seed: opts.seed,
+                request_sizes: sizes.clone(),
+                n_requests: 20.max(opts.seqs * 10),
+                models_only,
+                methods: MethodKind::SCENARIO2.to_vec(),
+            };
+            let result = run_scenario2(&cfg);
+            emit(&result, figure, uc_tag, kind_tag, budget_frac);
+        }
+    }
+}
+
+fn emit(result: &Scenario2Result, figure: &str, uc: &str, kind: &str, budget: f64) {
+    let mut headers = vec!["method".to_string()];
+    headers.extend(result.sizes.iter().map(|s| format!("{s} {kind}")));
+    let mut t = Table::from_headers(
+        &format!("{figure} {uc}: avg retrieval time of {kind}, B={budget} (speedup vs Sharing)"),
+        headers,
+    );
+    let base = result
+        .methods
+        .iter()
+        .find(|(n, _)| n == "Sharing")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| result.methods[0].1.clone());
+    for (name, series) in &result.methods {
+        let mut cells = vec![name.clone()];
+        for (i, &v) in series.iter().enumerate() {
+            cells.push(format!("{} ({})", secs(v), speedup(base[i], v)));
+        }
+        t.row(&cells);
+    }
+    t.emit(&format!("{figure}_{uc}_{kind}"));
+}
+
+/// Emit Fig. 7 (B = 0).
+pub fn run(opts: &CliOptions) {
+    run_with_budget(opts, 0.0, "fig7");
+}

@@ -1,0 +1,12 @@
+//! Figure 8: retrieval time of artifacts and models with B = 0.1 ×
+//! dataset size (Scenario 2 with materialization enabled — Collab and
+//! HYPPO benefit from stored artifacts; HYPPO additionally covers more of
+//! the request space thanks to equivalence-aware naming).
+
+use crate::figures::fig7::run_with_budget;
+use crate::setup::CliOptions;
+
+/// Emit Fig. 8 (B = 0.1).
+pub fn run(opts: &CliOptions) {
+    run_with_budget(opts, 0.1, "fig8");
+}

@@ -1,0 +1,51 @@
+//! Figure 9(b): optimization overhead — pure planning time (augmentation +
+//! plan search) as the history grows, for HYPPO and Collab.
+
+use crate::report::{secs, Table};
+use crate::setup::{make_method, CliOptions, ExperimentScale, MethodKind};
+use hyppo_workloads::generator::{generate_sequence, SequenceConfig};
+use hyppo_workloads::UseCase;
+
+/// Emit Fig. 9(b).
+pub fn run(opts: &CliOptions) {
+    let history_sizes: Vec<usize> = vec![5, 10, 20, 40];
+    let probes = 5usize;
+    let scale = ExperimentScale { multiplier: opts.scale };
+    let dataset = scale.dataset(UseCase::Higgs, opts.seed);
+    let budget = (dataset.size_bytes() as f64 * 0.1) as u64;
+
+    let mut t = Table::new(
+        "Fig 9(b): optimization overhead per pipeline vs history size (HIGGS)",
+        &["method", "#pipelines", "#H nodes", "avg optimize time"],
+    );
+    for kind in [MethodKind::Collab, MethodKind::Hyppo] {
+        for &k in &history_sizes {
+            let mut method = make_method(kind, budget);
+            method.register_dataset("higgs", dataset.clone());
+            let templates = generate_sequence(&SequenceConfig {
+                use_case: UseCase::Higgs,
+                dataset_id: "higgs".to_string(),
+                n_pipelines: k + probes,
+                seed: opts.seed,
+            });
+            let mut h_nodes = 0usize;
+            let mut overhead = 0.0;
+            for (i, template) in templates.iter().enumerate() {
+                if i == k {
+                    h_nodes = method.history_artifacts();
+                }
+                let report = method.submit(template.to_spec()).expect("pipeline failed");
+                if i >= k {
+                    overhead += report.optimize_seconds;
+                }
+            }
+            t.row(&[
+                method.name().to_string(),
+                k.to_string(),
+                h_nodes.to_string(),
+                secs(overhead / probes as f64),
+            ]);
+        }
+    }
+    t.emit("fig9b_overhead");
+}

@@ -1,0 +1,14 @@
+//! One module per paper table/figure; each exposes `run(&CliOptions)`.
+//! The `src/bin/*` binaries are thin wrappers, and `run_all` chains them.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9a;
+pub mod fig9b;
+pub mod table1;

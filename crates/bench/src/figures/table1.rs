@@ -1,0 +1,48 @@
+//! Table I: description of the use cases.
+//!
+//! The paper reports the Kaggle competitions' team counts and dataset
+//! shapes; we report the synthetic substitutes' generator parameters and
+//! the shapes they produce at the configured scale (see DESIGN.md,
+//! substitution 1).
+
+use crate::report::Table;
+use crate::setup::{CliOptions, ExperimentScale};
+use hyppo_workloads::UseCase;
+
+/// Emit the table.
+pub fn run(opts: &CliOptions) {
+    let scale = ExperimentScale { multiplier: opts.scale };
+    let mut t = Table::new(
+        "Table I: use cases (synthetic substitutes; paper shapes in parentheses)",
+        &["usecase", "task", "shape@scale", "paper shape", "missing", "notes"],
+    );
+    for (uc, name, paper, task, missing, notes) in [
+        (
+            UseCase::Higgs,
+            "HIGGS",
+            "(800000, 30)",
+            "classification",
+            "2%",
+            "10 informative + 10 derived + 10 noise features; SVM-style submissions",
+        ),
+        (
+            UseCase::Taxi,
+            "TAXI",
+            "(1000000, 11)",
+            "regression",
+            "1%",
+            "NYC schema; duration = haversine/speed(hour); more preprocessing",
+        ),
+    ] {
+        let d = scale.dataset(uc, opts.seed);
+        t.row(&[
+            name.to_string(),
+            task.to_string(),
+            format!("({}, {})", d.len(), d.n_features()),
+            paper.to_string(),
+            missing.to_string(),
+            notes.to_string(),
+        ]);
+    }
+    t.emit("table1");
+}

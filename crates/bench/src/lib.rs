@@ -1,0 +1,23 @@
+//! Experiment harness for the HYPPO reproduction.
+//!
+//! One runnable binary per paper table/figure lives in `src/bin/`
+//! (`table1`, `fig3` … `fig10`, `run_all`); this library holds the shared
+//! machinery:
+//!
+//! - [`setup`] — method factories and default (laptop-scale) workload
+//!   sizes, with a `--scale` multiplier mirroring the paper's
+//!   `dataset_multiplier`;
+//! - [`runner`] — the three evaluation scenarios: iterative pipeline
+//!   execution (Scenario 1), artifact/model retrieval (Scenario 2), and
+//!   ensemble-based advanced analysis (Scenario 3);
+//! - [`report`] — plain-text + TSV table rendering, with the
+//!   speedup-vs-NoOptimization annotations the paper's figures carry.
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod setup;
+
+pub use report::Table;
+pub use runner::{Scenario1Config, Scenario1Result, Scenario2Config};
+pub use setup::{make_method, ExperimentScale, MethodKind};

@@ -1,0 +1,176 @@
+//! Table rendering for experiment outputs: aligned text for the terminal
+//! and TSV for post-processing, written under `results/`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple experiment table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Title printed above the table (e.g. `Fig 3(a) HIGGS: cumulative
+    /// execution time`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// New table from owned header strings.
+    pub fn from_headers(title: &str, headers: Vec<String>) -> Self {
+        Table { title: title.to_string(), headers, rows: Vec::new() }
+    }
+
+    /// Append a row (stringifying each cell).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as TSV (headers + rows).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.headers.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        out
+    }
+
+    /// Print to stdout and persist a TSV copy under `results/<name>.tsv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let dir = Path::new("results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{name}.tsv"));
+            if let Err(e) = std::fs::write(&path, self.to_tsv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+    }
+}
+
+/// Format seconds compactly.
+pub fn secs(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}s")
+    } else if v >= 1.0 {
+        format!("{v:.2}s")
+    } else if v >= 1e-3 {
+        format!("{:.2}ms", v * 1e3)
+    } else {
+        format!("{:.1}µs", v * 1e6)
+    }
+}
+
+/// Format a speedup factor the way the paper annotates its bars.
+pub fn speedup(baseline: f64, value: f64) -> String {
+    if value <= 0.0 {
+        return "∞x".to_string();
+    }
+    format!("{:.2}x", baseline / value)
+}
+
+/// Format a price in euros.
+pub fn euros(v: f64) -> String {
+    format!("{v:.5}€")
+}
+
+/// Format bytes compactly.
+pub fn bytes(v: u64) -> String {
+    const MB: f64 = 1_048_576.0;
+    let v = v as f64;
+    if v >= MB {
+        format!("{:.1}MB", v / MB)
+    } else if v >= 1024.0 {
+        format!("{:.1}KB", v / 1024.0)
+    } else {
+        format!("{v:.0}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["method", "cet"]);
+        t.row(&["NoOptimization".to_string(), "10.0s".to_string()]);
+        t.row(&["HYPPO".to_string(), "1.0s".to_string()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("NoOptimization"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn tsv_is_machine_readable() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["1".to_string(), "2".to_string()]);
+        let tsv = t.to_tsv();
+        assert!(tsv.contains("a\tb"));
+        assert!(tsv.contains("1\t2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(&["1".to_string(), "2".to_string()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(120.0), "120s");
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(0.005), "5.00ms");
+        assert_eq!(secs(2e-6), "2.0µs");
+        assert_eq!(speedup(10.0, 2.0), "5.00x");
+        assert_eq!(speedup(10.0, 0.0), "∞x");
+        assert_eq!(bytes(2 * 1_048_576), "2.0MB");
+        assert_eq!(bytes(512), "512B");
+        assert!(euros(0.001).contains('€'));
+    }
+}

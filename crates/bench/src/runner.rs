@@ -1,0 +1,357 @@
+//! Scenario drivers (paper §V-B): iterative pipeline execution, artifact
+//! and model retrieval, and ensemble-based advanced analysis.
+
+use crate::setup::{make_method, ExperimentScale, MethodKind};
+use hyppo_baselines::ArtifactRequest;
+use hyppo_core::Hyppo;
+use hyppo_ml::TaskType;
+use hyppo_pipeline::{ArtifactHandle, ArtifactRole, StepId};
+use hyppo_tensor::SeededRng;
+use hyppo_workloads::ensemble_wl::generate_ensemble_workload;
+use hyppo_workloads::generator::{generate_sequence, PipelineTemplate, SequenceConfig};
+use hyppo_workloads::UseCase;
+
+/// Scenario 1 configuration (Figs. 3, 4, 6).
+#[derive(Clone, Debug)]
+pub struct Scenario1Config {
+    /// Use case.
+    pub use_case: UseCase,
+    /// Total pipelines per sequence.
+    pub n_pipelines: usize,
+    /// Cumulative-time checkpoints (subset of `1..=n_pipelines`).
+    pub checkpoints: Vec<usize>,
+    /// Storage budget as a fraction of the dataset size (the paper's `B`).
+    pub budget_frac: f64,
+    /// Dataset scale.
+    pub scale: ExperimentScale,
+    /// Base seed.
+    pub seed: u64,
+    /// Number of sequences to average over (the paper uses 5).
+    pub n_sequences: usize,
+    /// Methods to run.
+    pub methods: Vec<MethodKind>,
+}
+
+/// One method's cumulative series.
+#[derive(Clone, Debug)]
+pub struct MethodSeries {
+    /// Display name.
+    pub name: String,
+    /// Cumulative execution time (s) at each checkpoint, averaged over
+    /// sequences.
+    pub cet: Vec<f64>,
+    /// Price (€) at each checkpoint.
+    pub price: Vec<f64>,
+    /// Total optimization overhead (s) across the whole run.
+    pub optimize_seconds: f64,
+}
+
+/// Scenario 1 outcome.
+#[derive(Clone, Debug)]
+pub struct Scenario1Result {
+    /// Checkpoints (pipeline counts).
+    pub checkpoints: Vec<usize>,
+    /// Per-method series, in the configured method order.
+    pub methods: Vec<MethodSeries>,
+    /// Storage budget in bytes used for the run.
+    pub budget_bytes: u64,
+}
+
+/// Run Scenario 1: sequences of iterative pipelines, cold start.
+pub fn run_scenario1(cfg: &Scenario1Config) -> Scenario1Result {
+    let mut budget_bytes = 0;
+    let mut methods: Vec<MethodSeries> = cfg
+        .methods
+        .iter()
+        .map(|_| MethodSeries {
+            name: String::new(),
+            cet: vec![0.0; cfg.checkpoints.len()],
+            price: vec![0.0; cfg.checkpoints.len()],
+            optimize_seconds: 0.0,
+        })
+        .collect();
+
+    for seq in 0..cfg.n_sequences {
+        let seed = cfg.seed + seq as u64;
+        let dataset = cfg.scale.dataset(cfg.use_case, seed);
+        budget_bytes = (dataset.size_bytes() as f64 * cfg.budget_frac) as u64;
+        let templates = generate_sequence(&SequenceConfig {
+            use_case: cfg.use_case,
+            dataset_id: ExperimentScale::dataset_id(cfg.use_case).to_string(),
+            n_pipelines: cfg.n_pipelines,
+            seed,
+        });
+        for (mi, &kind) in cfg.methods.iter().enumerate() {
+            let mut method = make_method(kind, budget_bytes);
+            methods[mi].name = method.name().to_string();
+            method
+                .register_dataset(ExperimentScale::dataset_id(cfg.use_case), dataset.clone());
+            for (pi, template) in templates.iter().enumerate() {
+                let report = method
+                    .submit(template.to_spec())
+                    .unwrap_or_else(|e| panic!("{} failed on pipeline {pi}: {e}", method.name()));
+                methods[mi].optimize_seconds += report.optimize_seconds;
+                for (ci, &cp) in cfg.checkpoints.iter().enumerate() {
+                    if pi + 1 == cp {
+                        methods[mi].cet[ci] += method.cumulative_seconds();
+                        methods[mi].price[ci] += method.price();
+                    }
+                }
+            }
+        }
+    }
+    let n = cfg.n_sequences as f64;
+    for m in &mut methods {
+        for v in m.cet.iter_mut().chain(m.price.iter_mut()) {
+            *v /= n;
+        }
+    }
+    Scenario1Result { checkpoints: cfg.checkpoints.clone(), methods, budget_bytes }
+}
+
+/// Scenario 2 configuration (Figs. 7, 8).
+#[derive(Clone, Debug)]
+pub struct Scenario2Config {
+    /// Use case.
+    pub use_case: UseCase,
+    /// Pipelines building the steady-state history (the paper uses 50).
+    pub history_pipelines: usize,
+    /// Storage budget fraction (0 disables materialization — Fig. 7).
+    pub budget_frac: f64,
+    /// Dataset scale.
+    pub scale: ExperimentScale,
+    /// Base seed.
+    pub seed: u64,
+    /// Request sizes to sweep (number of artifacts per request).
+    pub request_sizes: Vec<usize>,
+    /// Requests per size (the paper issues 1000).
+    pub n_requests: usize,
+    /// Restrict requests to fitted models (Fig. 7/8 right panels).
+    pub models_only: bool,
+    /// Methods to run.
+    pub methods: Vec<MethodKind>,
+}
+
+/// Scenario 2 outcome: average retrieval time per request, per size.
+#[derive(Clone, Debug)]
+pub struct Scenario2Result {
+    /// Request sizes.
+    pub sizes: Vec<usize>,
+    /// `(method name, avg retrieval seconds per request at each size)`.
+    pub methods: Vec<(String, Vec<f64>)>,
+}
+
+/// Pickable artifacts of a template's spec.
+fn request_handles(template: &PipelineTemplate, models_only: bool) -> Vec<ArtifactHandle> {
+    let spec = template.to_spec();
+    let mut out = Vec::new();
+    for (i, step) in spec.steps.iter().enumerate() {
+        if step.task == TaskType::Load {
+            continue; // raw data retrieval is trivial
+        }
+        if models_only && !(step.task == TaskType::Fit && step.op.is_model()) {
+            continue;
+        }
+        for o in 0..step.n_outputs() {
+            out.push(ArtifactHandle { step: StepId(i), output: o });
+        }
+    }
+    out
+}
+
+/// Run Scenario 2: steady-state retrieval of artifacts/models.
+pub fn run_scenario2(cfg: &Scenario2Config) -> Scenario2Result {
+    let dataset = cfg.scale.dataset(cfg.use_case, cfg.seed);
+    let budget_bytes = (dataset.size_bytes() as f64 * cfg.budget_frac) as u64;
+    let templates = generate_sequence(&SequenceConfig {
+        use_case: cfg.use_case,
+        dataset_id: ExperimentScale::dataset_id(cfg.use_case).to_string(),
+        n_pipelines: cfg.history_pipelines,
+        seed: cfg.seed,
+    });
+
+    let mut out = Vec::new();
+    for &kind in &cfg.methods {
+        let mut method = make_method(kind, budget_bytes);
+        method.register_dataset(ExperimentScale::dataset_id(cfg.use_case), dataset.clone());
+        for t in &templates {
+            method.submit(t.to_spec()).expect("history construction failed");
+        }
+        // Identical request stream for every method.
+        let mut rng = SeededRng::new(cfg.seed ^ 0x5eed);
+        let mut avgs = Vec::with_capacity(cfg.request_sizes.len());
+        for &size in &cfg.request_sizes {
+            let mut total = 0.0;
+            for _ in 0..cfg.n_requests {
+                let mut requests = Vec::with_capacity(size);
+                while requests.len() < size {
+                    let t = &templates[rng.index(templates.len())];
+                    let handles = request_handles(t, cfg.models_only);
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let h = handles[rng.index(handles.len())];
+                    requests.push(ArtifactRequest { spec: t.to_spec(), handle: h });
+                }
+                let report = method.retrieve(&requests).expect("retrieval failed");
+                total += report.execution_seconds;
+            }
+            avgs.push(total / cfg.n_requests as f64);
+        }
+        out.push((method.name().to_string(), avgs));
+    }
+    Scenario2Result { sizes: cfg.request_sizes.clone(), methods: out }
+}
+
+/// Run Scenario 3 (Fig. 9a): ensemble workloads over a TAXI history.
+///
+/// Returns `(method name, cumulative seconds for the ensemble batch)` per
+/// method and batch size.
+pub fn run_scenario3(
+    history_pipelines: usize,
+    batch_sizes: &[usize],
+    scale: ExperimentScale,
+    seed: u64,
+    methods: &[MethodKind],
+    budget_frac: f64,
+) -> Vec<(String, Vec<f64>)> {
+    let dataset = scale.dataset(UseCase::Taxi, seed);
+    let budget_bytes = (dataset.size_bytes() as f64 * budget_frac) as u64;
+    let templates = generate_sequence(&SequenceConfig {
+        use_case: UseCase::Taxi,
+        dataset_id: "taxi".to_string(),
+        n_pipelines: history_pipelines,
+        seed,
+    });
+    let max_batch = *batch_sizes.iter().max().unwrap_or(&0);
+    let workload = generate_ensemble_workload(&templates, max_batch, seed ^ 0xe5e);
+
+    let mut out = Vec::new();
+    for &kind in methods {
+        let mut method = make_method(kind, budget_bytes);
+        method.register_dataset("taxi", dataset.clone());
+        for t in &templates {
+            method.submit(t.to_spec()).expect("history construction failed");
+        }
+        let before = method.cumulative_seconds();
+        let mut series = Vec::with_capacity(batch_sizes.len());
+        for (i, spec) in workload.iter().enumerate() {
+            method.submit(spec.clone()).expect("ensemble pipeline failed");
+            if batch_sizes.contains(&(i + 1)) {
+                series.push(method.cumulative_seconds() - before);
+            }
+        }
+        out.push((method.name().to_string(), series));
+    }
+    out
+}
+
+/// Per-artifact-role statistics from a HYPPO system (Fig. 5b–d).
+/// Returns `(role, total, materialized, avg compute cost, avg size)`.
+pub fn artifact_role_stats(sys: &Hyppo) -> Vec<(ArtifactRole, usize, usize, f64, f64)> {
+    use std::collections::BTreeMap;
+    let mut acc: BTreeMap<ArtifactRole, (usize, usize, f64, f64)> = BTreeMap::new();
+    for name in sys.history.artifact_names() {
+        let node = sys.history.node_of(name).expect("name enumerated from history");
+        let role = sys.history.graph.node(node).role;
+        if role == ArtifactRole::Source || role == ArtifactRole::Raw {
+            continue;
+        }
+        let stats = sys.history.stats_of(name);
+        let e = acc.entry(role).or_insert((0, 0, 0.0, 0.0));
+        e.0 += 1;
+        if sys.history.is_materialized(name) {
+            e.1 += 1;
+        }
+        e.2 += stats.compute_cost;
+        e.3 += stats.size_bytes as f64;
+    }
+    acc.into_iter()
+        .map(|(role, (n, stored, cost, size))| {
+            (role, n, stored, cost / n.max(1) as f64, size / n.max(1) as f64)
+        })
+        .collect()
+}
+
+/// Per-task-type mean execution cost from a HYPPO system's learned
+/// statistics (Fig. 5e).
+pub fn task_type_costs(sys: &Hyppo) -> Vec<(TaskType, f64)> {
+    use std::collections::BTreeMap;
+    let mut acc: BTreeMap<TaskType, (f64, u64)> = BTreeMap::new();
+    for (key, count, mean) in sys.estimator.stats.iter() {
+        let e = acc.entry(key.task).or_insert((0.0, 0));
+        e.0 += mean * count as f64;
+        e.1 += count;
+    }
+    acc.into_iter().map(|(t, (sum, n))| (t, sum / n.max(1) as f64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale { multiplier: 0.05 }
+    }
+
+    #[test]
+    fn scenario1_produces_monotone_cumulative_series() {
+        let cfg = Scenario1Config {
+            use_case: UseCase::Higgs,
+            n_pipelines: 4,
+            checkpoints: vec![2, 4],
+            budget_frac: 0.5,
+            scale: tiny_scale(),
+            seed: 1,
+            n_sequences: 1,
+            methods: vec![MethodKind::NoOpt, MethodKind::Hyppo],
+        };
+        let result = run_scenario1(&cfg);
+        assert_eq!(result.methods.len(), 2);
+        for m in &result.methods {
+            assert!(m.cet[0] > 0.0);
+            assert!(m.cet[1] >= m.cet[0], "{}: cumulative must grow", m.name);
+            assert!(m.price[1] >= m.price[0]);
+        }
+        assert_eq!(result.methods[0].name, "NoOptimization");
+        assert_eq!(result.methods[1].name, "HYPPO");
+    }
+
+    #[test]
+    fn scenario2_retrieval_runs_for_all_methods() {
+        let cfg = Scenario2Config {
+            use_case: UseCase::Taxi,
+            history_pipelines: 3,
+            budget_frac: 0.1,
+            scale: tiny_scale(),
+            seed: 2,
+            request_sizes: vec![1, 2],
+            n_requests: 2,
+            models_only: false,
+            methods: vec![MethodKind::Sharing, MethodKind::Hyppo],
+        };
+        let result = run_scenario2(&cfg);
+        assert_eq!(result.methods.len(), 2);
+        for (name, series) in &result.methods {
+            assert_eq!(series.len(), 2, "{name}");
+            assert!(series.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn scenario3_ensembles_run() {
+        let out = run_scenario3(3, &[1, 2], tiny_scale(), 3, &[MethodKind::Hyppo], 1.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.len(), 2);
+        assert!(out[0].1[1] >= out[0].1[0]);
+    }
+
+    #[test]
+    fn request_handles_filter_models() {
+        let t = PipelineTemplate::base(UseCase::Higgs, "higgs", 0);
+        let all = request_handles(&t, false);
+        let models = request_handles(&t, true);
+        assert!(all.len() > models.len());
+        assert_eq!(models.len(), 1, "exactly the model fit output");
+    }
+}

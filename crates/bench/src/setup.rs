@@ -1,0 +1,191 @@
+//! Method factories and experiment scale defaults.
+
+use hyppo_baselines::{Collab, Helix, HyppoMethod, Method, NoOptimization, Sharing};
+use hyppo_core::{Hyppo, HyppoConfig};
+use hyppo_tensor::Dataset;
+use hyppo_workloads::{higgs, taxi, UseCase};
+
+/// Methods under evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Execute pipelines verbatim.
+    NoOpt,
+    /// Common-subexpression elimination only.
+    Sharing,
+    /// Helix: optimal reuse, previous-iteration materialization.
+    Helix,
+    /// Collab: linear reuse heuristic, experiment-graph materialization.
+    Collab,
+    /// HYPPO: reuse + materialization + equivalences.
+    Hyppo,
+}
+
+impl MethodKind {
+    /// The method sets the paper's figures use.
+    pub const SCENARIO1: [MethodKind; 4] =
+        [MethodKind::NoOpt, MethodKind::Helix, MethodKind::Collab, MethodKind::Hyppo];
+    /// Fig. 7/8 methods.
+    pub const SCENARIO2: [MethodKind; 3] =
+        [MethodKind::Sharing, MethodKind::Collab, MethodKind::Hyppo];
+}
+
+/// Instantiate a method with the given storage budget.
+pub fn make_method(kind: MethodKind, budget_bytes: u64) -> Box<dyn Method> {
+    match kind {
+        MethodKind::NoOpt => Box::new(NoOptimization::new()),
+        MethodKind::Sharing => Box::new(Sharing::new()),
+        MethodKind::Helix => Box::new(Helix::new(budget_bytes)),
+        MethodKind::Collab => Box::new(Collab::new(budget_bytes)),
+        MethodKind::Hyppo => Box::new(HyppoMethod(Hyppo::new(HyppoConfig {
+            budget_bytes,
+            ..Default::default()
+        }))),
+    }
+}
+
+/// Laptop-scale workload sizes. The paper runs HIGGS at 800 000 × 30 and
+/// TAXI at 1 000 000 × 11 on a testbed; we default to a ~1/200 scale that
+/// preserves the HIGGS:TAXI cell-count ratio (~2.2:1) and scale with
+/// `--scale` exactly like the paper's `dataset_multiplier` (Fig. 6).
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentScale {
+    /// Multiplier applied to the base row counts.
+    pub multiplier: f64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale { multiplier: 1.0 }
+    }
+}
+
+impl ExperimentScale {
+    /// Base rows for a use case at multiplier 1.
+    pub fn rows(&self, use_case: UseCase) -> usize {
+        let base = match use_case {
+            UseCase::Higgs => 4000.0,
+            UseCase::Taxi => 5200.0,
+        };
+        (base * self.multiplier).round().max(16.0) as usize
+    }
+
+    /// Generate the dataset for a use case.
+    pub fn dataset(&self, use_case: UseCase, seed: u64) -> Dataset {
+        match use_case {
+            UseCase::Higgs => higgs::generate(self.rows(use_case), seed),
+            UseCase::Taxi => taxi::generate(self.rows(use_case), seed),
+        }
+    }
+
+    /// Canonical dataset id used by all experiments.
+    pub fn dataset_id(use_case: UseCase) -> &'static str {
+        match use_case {
+            UseCase::Higgs => "higgs",
+            UseCase::Taxi => "taxi",
+        }
+    }
+}
+
+/// Parse common CLI options: `--scale <f>`, `--pipelines <n>`,
+/// `--seqs <n>`, `--seed <n>`. Unknown flags are ignored so binaries can
+/// add their own.
+#[derive(Clone, Copy, Debug)]
+pub struct CliOptions {
+    /// Dataset scale multiplier.
+    pub scale: f64,
+    /// Pipeline-sequence length override.
+    pub pipelines: Option<usize>,
+    /// Number of sequences to average over (the paper uses 5).
+    pub seqs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions { scale: 1.0, pipelines: None, seqs: 2, seed: 42 }
+    }
+}
+
+/// Parse options from `std::env::args`.
+pub fn parse_cli() -> CliOptions {
+    let mut opts = CliOptions::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let take = |i: usize| args.get(i + 1).cloned();
+        match args[i].as_str() {
+            "--scale" => {
+                if let Some(v) = take(i).and_then(|s| s.parse().ok()) {
+                    opts.scale = v;
+                }
+                i += 1;
+            }
+            "--pipelines" => {
+                if let Some(v) = take(i).and_then(|s| s.parse().ok()) {
+                    opts.pipelines = Some(v);
+                }
+                i += 1;
+            }
+            "--seqs" => {
+                if let Some(v) = take(i).and_then(|s| s.parse().ok()) {
+                    opts.seqs = v;
+                }
+                i += 1;
+            }
+            "--seed" => {
+                if let Some(v) = take(i).and_then(|s| s.parse().ok()) {
+                    opts.seed = v;
+                }
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factories_build_every_method() {
+        for kind in [
+            MethodKind::NoOpt,
+            MethodKind::Sharing,
+            MethodKind::Helix,
+            MethodKind::Collab,
+            MethodKind::Hyppo,
+        ] {
+            let m = make_method(kind, 1024);
+            assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn scale_preserves_use_case_ratio() {
+        let s = ExperimentScale::default();
+        let higgs_cells = s.rows(UseCase::Higgs) * 30;
+        let taxi_cells = s.rows(UseCase::Taxi) * 11;
+        let ratio = higgs_cells as f64 / taxi_cells as f64;
+        assert!((1.8..2.6).contains(&ratio), "paper ratio ~2.2, got {ratio}");
+    }
+
+    #[test]
+    fn multiplier_scales_rows() {
+        let s1 = ExperimentScale { multiplier: 1.0 };
+        let s2 = ExperimentScale { multiplier: 2.0 };
+        assert_eq!(s2.rows(UseCase::Higgs), 2 * s1.rows(UseCase::Higgs));
+    }
+
+    #[test]
+    fn datasets_have_expected_shapes() {
+        let s = ExperimentScale { multiplier: 0.05 };
+        let h = s.dataset(UseCase::Higgs, 1);
+        assert_eq!(h.n_features(), 30);
+        let t = s.dataset(UseCase::Taxi, 1);
+        assert_eq!(t.n_features(), 11);
+    }
+}

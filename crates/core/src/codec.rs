@@ -1,0 +1,479 @@
+//! Compact binary codec for artifacts.
+//!
+//! Materialization serializes artifacts to bytes; retrieval deserializes
+//! them. The codec cost is part of the *measured* store/load cost, so it
+//! must behave like a real storage engine's (roughly proportional to
+//! payload size, far cheaper than recomputing an expensive artifact, not
+//! free). A hand-rolled little-endian format over `bytes::BufMut` gives us
+//! that: ~memcpy for the `f64` payloads, with small tags for structure.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hyppo_ml::artifact::{Artifact, OpState, TreeModel, TreeNode};
+use hyppo_ml::LogicalOp;
+use hyppo_tensor::{Dataset, Matrix, TaskKind};
+
+/// Codec failure: truncated or corrupt buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+type Result<T> = std::result::Result<T, CodecError>;
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        return Err(CodecError(format!("truncated buffer reading {what}")));
+    }
+    Ok(())
+}
+
+fn put_f64s(out: &mut BytesMut, v: &[f64]) {
+    out.put_u64_le(v.len() as u64);
+    for &x in v {
+        out.put_f64_le(x);
+    }
+}
+
+fn get_f64s(buf: &mut Bytes) -> Result<Vec<f64>> {
+    need(buf, 8, "f64 slice length")?;
+    let n = buf.get_u64_le() as usize;
+    need(buf, n * 8, "f64 slice payload")?;
+    Ok((0..n).map(|_| buf.get_f64_le()).collect())
+}
+
+fn put_str(out: &mut BytesMut, s: &str) {
+    out.put_u64_le(s.len() as u64);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    need(buf, 8, "string length")?;
+    let n = buf.get_u64_le() as usize;
+    need(buf, n, "string payload")?;
+    let bytes = buf.copy_to_bytes(n);
+    String::from_utf8(bytes.to_vec()).map_err(|e| CodecError(e.to_string()))
+}
+
+fn put_matrix(out: &mut BytesMut, m: &Matrix) {
+    out.put_u64_le(m.rows() as u64);
+    out.put_u64_le(m.cols() as u64);
+    for &x in m.as_slice() {
+        out.put_f64_le(x);
+    }
+}
+
+fn get_matrix(buf: &mut Bytes) -> Result<Matrix> {
+    need(buf, 16, "matrix header")?;
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    let len = rows.checked_mul(cols).ok_or_else(|| CodecError("matrix overflow".into()))?;
+    need(buf, len * 8, "matrix payload")?;
+    let data = (0..len).map(|_| buf.get_f64_le()).collect();
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+fn op_tag(op: LogicalOp) -> u8 {
+    LogicalOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u8
+}
+
+fn op_from_tag(tag: u8) -> Result<LogicalOp> {
+    LogicalOp::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| CodecError(format!("unknown op tag {tag}")))
+}
+
+fn put_tree(out: &mut BytesMut, t: &TreeModel) {
+    out.put_u64_le(t.nodes.len() as u64);
+    for node in &t.nodes {
+        match *node {
+            TreeNode::Leaf { value } => {
+                out.put_u8(0);
+                out.put_f64_le(value);
+            }
+            TreeNode::Split { feature, threshold, left, right } => {
+                out.put_u8(1);
+                out.put_u64_le(feature as u64);
+                out.put_f64_le(threshold);
+                out.put_u64_le(left as u64);
+                out.put_u64_le(right as u64);
+            }
+        }
+    }
+}
+
+fn get_tree(buf: &mut Bytes) -> Result<TreeModel> {
+    need(buf, 8, "tree length")?;
+    let n = buf.get_u64_le() as usize;
+    let mut nodes = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        need(buf, 1, "tree node tag")?;
+        match buf.get_u8() {
+            0 => {
+                need(buf, 8, "leaf value")?;
+                nodes.push(TreeNode::Leaf { value: buf.get_f64_le() });
+            }
+            1 => {
+                need(buf, 32, "split node")?;
+                nodes.push(TreeNode::Split {
+                    feature: buf.get_u64_le() as usize,
+                    threshold: buf.get_f64_le(),
+                    left: buf.get_u64_le() as usize,
+                    right: buf.get_u64_le() as usize,
+                });
+            }
+            t => return Err(CodecError(format!("bad tree node tag {t}"))),
+        }
+    }
+    Ok(TreeModel { nodes })
+}
+
+fn put_trees(out: &mut BytesMut, trees: &[TreeModel]) {
+    out.put_u64_le(trees.len() as u64);
+    for t in trees {
+        put_tree(out, t);
+    }
+}
+
+fn get_trees(buf: &mut Bytes) -> Result<Vec<TreeModel>> {
+    need(buf, 8, "tree count")?;
+    let n = buf.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(get_tree(buf)?);
+    }
+    Ok(out)
+}
+
+fn put_state(out: &mut BytesMut, s: &OpState) {
+    match s {
+        OpState::Scaler { op, offset, scale } => {
+            out.put_u8(0);
+            out.put_u8(op_tag(*op));
+            put_f64s(out, offset);
+            put_f64s(out, scale);
+        }
+        OpState::Imputer { op, fill } => {
+            out.put_u8(1);
+            out.put_u8(op_tag(*op));
+            put_f64s(out, fill);
+        }
+        OpState::Poly { degree, input_dim } => {
+            out.put_u8(2);
+            out.put_u64_le(*degree as u64);
+            out.put_u64_le(*input_dim as u64);
+        }
+        OpState::Pca { mean, components } => {
+            out.put_u8(3);
+            put_f64s(out, mean);
+            put_matrix(out, components);
+        }
+        OpState::Discretizer { edges } => {
+            out.put_u8(4);
+            out.put_u64_le(edges.len() as u64);
+            for e in edges {
+                put_f64s(out, e);
+            }
+        }
+        OpState::Linear { op, weights, bias } => {
+            out.put_u8(5);
+            out.put_u8(op_tag(*op));
+            put_f64s(out, weights);
+            out.put_f64_le(*bias);
+        }
+        OpState::Tree(t) => {
+            out.put_u8(6);
+            put_tree(out, t);
+        }
+        OpState::Forest { trees, classification } => {
+            out.put_u8(7);
+            out.put_u8(*classification as u8);
+            put_trees(out, trees);
+        }
+        OpState::Gbm { trees, learning_rate, base } => {
+            out.put_u8(8);
+            out.put_f64_le(*learning_rate);
+            out.put_f64_le(*base);
+            put_trees(out, trees);
+        }
+        OpState::KMeans { centroids } => {
+            out.put_u8(9);
+            put_matrix(out, centroids);
+        }
+        OpState::Voting { members, classification } => {
+            out.put_u8(10);
+            out.put_u8(*classification as u8);
+            out.put_u64_le(members.len() as u64);
+            for m in members {
+                put_state(out, m);
+            }
+        }
+        OpState::Stacking { members, meta_weights, meta_bias } => {
+            out.put_u8(11);
+            out.put_u64_le(members.len() as u64);
+            for m in members {
+                put_state(out, m);
+            }
+            put_f64s(out, meta_weights);
+            out.put_f64_le(*meta_bias);
+        }
+    }
+}
+
+fn get_state(buf: &mut Bytes) -> Result<OpState> {
+    need(buf, 1, "op-state tag")?;
+    Ok(match buf.get_u8() {
+        0 => {
+            need(buf, 1, "scaler op")?;
+            let op = op_from_tag(buf.get_u8())?;
+            OpState::Scaler { op, offset: get_f64s(buf)?, scale: get_f64s(buf)? }
+        }
+        1 => {
+            need(buf, 1, "imputer op")?;
+            let op = op_from_tag(buf.get_u8())?;
+            OpState::Imputer { op, fill: get_f64s(buf)? }
+        }
+        2 => {
+            need(buf, 16, "poly state")?;
+            OpState::Poly {
+                degree: buf.get_u64_le() as usize,
+                input_dim: buf.get_u64_le() as usize,
+            }
+        }
+        3 => OpState::Pca { mean: get_f64s(buf)?, components: get_matrix(buf)? },
+        4 => {
+            need(buf, 8, "discretizer count")?;
+            let n = buf.get_u64_le() as usize;
+            let mut edges = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                edges.push(get_f64s(buf)?);
+            }
+            OpState::Discretizer { edges }
+        }
+        5 => {
+            need(buf, 1, "linear op")?;
+            let op = op_from_tag(buf.get_u8())?;
+            let weights = get_f64s(buf)?;
+            need(buf, 8, "linear bias")?;
+            OpState::Linear { op, weights, bias: buf.get_f64_le() }
+        }
+        6 => OpState::Tree(get_tree(buf)?),
+        7 => {
+            need(buf, 1, "forest flag")?;
+            let classification = buf.get_u8() != 0;
+            OpState::Forest { trees: get_trees(buf)?, classification }
+        }
+        8 => {
+            need(buf, 16, "gbm header")?;
+            let learning_rate = buf.get_f64_le();
+            let base = buf.get_f64_le();
+            OpState::Gbm { trees: get_trees(buf)?, learning_rate, base }
+        }
+        9 => OpState::KMeans { centroids: get_matrix(buf)? },
+        10 => {
+            need(buf, 9, "voting header")?;
+            let classification = buf.get_u8() != 0;
+            let n = buf.get_u64_le() as usize;
+            let mut members = Vec::with_capacity(n.min(1 << 12));
+            for _ in 0..n {
+                members.push(get_state(buf)?);
+            }
+            OpState::Voting { members, classification }
+        }
+        11 => {
+            need(buf, 8, "stacking header")?;
+            let n = buf.get_u64_le() as usize;
+            let mut members = Vec::with_capacity(n.min(1 << 12));
+            for _ in 0..n {
+                members.push(get_state(buf)?);
+            }
+            let meta_weights = get_f64s(buf)?;
+            need(buf, 8, "stacking bias")?;
+            OpState::Stacking { members, meta_weights, meta_bias: buf.get_f64_le() }
+        }
+        t => return Err(CodecError(format!("bad op-state tag {t}"))),
+    })
+}
+
+/// Serialize an artifact to bytes.
+pub fn encode(artifact: &Artifact) -> Bytes {
+    let mut out = BytesMut::with_capacity(artifact.size_bytes() + 64);
+    match artifact {
+        Artifact::Data(d) => {
+            out.put_u8(0);
+            put_matrix(&mut out, &d.x);
+            put_f64s(&mut out, &d.y);
+            out.put_u8(match d.task {
+                TaskKind::Classification => 0,
+                TaskKind::Regression => 1,
+            });
+            out.put_u64_le(d.feature_names.len() as u64);
+            for n in &d.feature_names {
+                put_str(&mut out, n);
+            }
+        }
+        Artifact::Predictions(p) => {
+            out.put_u8(1);
+            put_f64s(&mut out, p);
+        }
+        Artifact::Value(v) => {
+            out.put_u8(2);
+            out.put_f64_le(*v);
+        }
+        Artifact::OpState(s) => {
+            out.put_u8(3);
+            put_state(&mut out, s);
+        }
+    }
+    out.freeze()
+}
+
+/// Deserialize an artifact from bytes.
+pub fn decode(mut buf: Bytes) -> Result<Artifact> {
+    need(&buf, 1, "artifact tag")?;
+    let artifact = match buf.get_u8() {
+        0 => {
+            let x = get_matrix(&mut buf)?;
+            let y = get_f64s(&mut buf)?;
+            need(&buf, 9, "dataset trailer")?;
+            let task = match buf.get_u8() {
+                0 => TaskKind::Classification,
+                1 => TaskKind::Regression,
+                t => return Err(CodecError(format!("bad task kind {t}"))),
+            };
+            let n = buf.get_u64_le() as usize;
+            let mut names = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                names.push(get_str(&mut buf)?);
+            }
+            Artifact::Data(Dataset::new(x, y, names, task))
+        }
+        1 => Artifact::Predictions(get_f64s(&mut buf)?),
+        2 => {
+            need(&buf, 8, "value")?;
+            Artifact::Value(buf.get_f64_le())
+        }
+        3 => Artifact::OpState(get_state(&mut buf)?),
+        t => return Err(CodecError(format!("bad artifact tag {t}"))),
+    };
+    if buf.has_remaining() {
+        return Err(CodecError(format!("{} trailing bytes", buf.remaining())));
+    }
+    Ok(artifact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_ml::LogicalOp;
+
+    fn roundtrip(a: Artifact) {
+        let bytes = encode(&a);
+        let back = decode(bytes).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn roundtrips_all_artifact_kinds() {
+        roundtrip(Artifact::Value(3.125));
+        roundtrip(Artifact::Predictions(vec![1.0, -2.5, f64::MAX]));
+        roundtrip(Artifact::Data(Dataset::new(
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]),
+            vec![0.0, 1.0],
+            vec!["α".into(), "b".into()],
+            TaskKind::Classification,
+        )));
+        // NaN payloads can't use `==` (NaN != NaN); compare structurally.
+        let gap = Artifact::Data(Dataset::new(
+            Matrix::from_rows(&[&[1.0, f64::NAN]]),
+            vec![0.0],
+            vec!["a".into(), "b".into()],
+            TaskKind::Regression,
+        ));
+        let back = decode(encode(&gap)).unwrap();
+        assert!(gap.approx_eq(&back, 0.0));
+    }
+
+    #[test]
+    fn roundtrips_every_op_state_variant() {
+        let tree = TreeModel {
+            nodes: vec![
+                TreeNode::Split { feature: 1, threshold: 0.5, left: 1, right: 2 },
+                TreeNode::Leaf { value: -1.0 },
+                TreeNode::Leaf { value: 1.0 },
+            ],
+        };
+        let states = vec![
+            OpState::Scaler {
+                op: LogicalOp::StandardScaler,
+                offset: vec![1.0],
+                scale: vec![2.0],
+            },
+            OpState::Imputer { op: LogicalOp::ImputerMedian, fill: vec![0.5, 0.25] },
+            OpState::Poly { degree: 2, input_dim: 30 },
+            OpState::Pca { mean: vec![0.0, 1.0], components: Matrix::identity(2) },
+            OpState::Discretizer { edges: vec![vec![0.0, 1.0], vec![2.0, 3.0, 4.0]] },
+            OpState::Linear { op: LogicalOp::Ridge, weights: vec![1.0, 2.0], bias: -0.5 },
+            OpState::Tree(tree.clone()),
+            OpState::Forest { trees: vec![tree.clone(), tree.clone()], classification: true },
+            OpState::Gbm { trees: vec![tree.clone()], learning_rate: 0.1, base: 2.0 },
+            OpState::KMeans { centroids: Matrix::filled(3, 2, 0.5) },
+            OpState::Voting {
+                members: vec![OpState::Tree(tree.clone())],
+                classification: false,
+            },
+            OpState::Stacking {
+                members: vec![OpState::Tree(tree)],
+                meta_weights: vec![1.5],
+                meta_bias: 0.25,
+            },
+        ];
+        for s in states {
+            roundtrip(Artifact::OpState(s));
+        }
+    }
+
+    #[test]
+    fn nan_survives_roundtrip() {
+        let a = Artifact::Predictions(vec![f64::NAN]);
+        let back = decode(encode(&a)).unwrap();
+        match back {
+            Artifact::Predictions(p) => assert!(p[0].is_nan()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let bytes = encode(&Artifact::Value(1.0));
+        let truncated = bytes.slice(0..bytes.len() - 1);
+        assert!(decode(truncated).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut raw = BytesMut::from(&encode(&Artifact::Value(1.0))[..]);
+        raw.put_u8(0xFF);
+        assert!(decode(raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(200);
+        assert!(decode(raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn encoded_size_tracks_payload() {
+        let small = encode(&Artifact::Predictions(vec![0.0; 10]));
+        let large = encode(&Artifact::Predictions(vec![0.0; 10_000]));
+        assert!(large.len() > 100 * small.len() / 2);
+    }
+}

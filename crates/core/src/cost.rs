@@ -1,0 +1,216 @@
+//! Cost model: time, money, and bucketed execution statistics (§III-C3).
+
+use hyppo_ml::{LogicalOp, TaskType};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Cloud pricing model.
+///
+/// The paper derives its constants by averaging AWS/GCP/Azure prices for an
+/// instance comparable to its testbed, arriving at
+/// `price = cet × 0.00018 + B × 0.023` with `cet` in seconds and the
+/// storage budget `B` in MB (per experiment-duration unit). We use those
+/// constants verbatim as defaults.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PriceModel {
+    /// €/second of computation.
+    pub price_per_second: f64,
+    /// €/MB of provisioned artifact storage.
+    pub price_per_mb: f64,
+}
+
+impl Default for PriceModel {
+    fn default() -> Self {
+        PriceModel { price_per_second: 0.00018, price_per_mb: 0.023 }
+    }
+}
+
+impl PriceModel {
+    /// Total price of a run: cumulative execution time plus provisioned
+    /// storage budget (paper §V-B1: `price = cet × 0.00018 + B × 0.023`).
+    pub fn price(&self, cet_seconds: f64, budget_bytes: u64) -> f64 {
+        self.price_per_second * cet_seconds
+            + self.price_per_mb * (budget_bytes as f64 / 1_048_576.0)
+    }
+}
+
+/// Statistics key: a task shape bucketed by input size.
+///
+/// Input sizes are bucketed by the base-2 logarithm of the total input cell
+/// count, giving the paper's "crude estimate buckets rather than specific
+/// values" (§IV-G).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StatKey {
+    /// Logical operator.
+    pub op: LogicalOp,
+    /// Task type.
+    pub task: TaskType,
+    /// Physical implementation.
+    pub impl_index: usize,
+    /// `log2` bucket of the input cell count.
+    pub size_bucket: u32,
+}
+
+impl StatKey {
+    /// Build a key for an observed input size (total cells across inputs).
+    pub fn new(op: LogicalOp, task: TaskType, impl_index: usize, input_cells: u64) -> Self {
+        StatKey { op, task, impl_index, size_bucket: bucket_of(input_cells) }
+    }
+}
+
+/// Bucket index of a cell count.
+pub fn bucket_of(cells: u64) -> u32 {
+    64 - cells.max(1).leading_zeros()
+}
+
+/// Online mean of observed task costs per [`StatKey`].
+///
+/// Serialized as an entry list (JSON cannot key maps by structs).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(from = "CostStatsSerde", into = "CostStatsSerde")]
+pub struct CostStats {
+    entries: HashMap<StatKey, (u64, f64)>, // (count, mean seconds)
+}
+
+#[derive(Serialize, Deserialize)]
+struct CostStatsSerde(Vec<(StatKey, u64, f64)>);
+
+impl From<CostStats> for CostStatsSerde {
+    fn from(s: CostStats) -> Self {
+        CostStatsSerde(s.entries.into_iter().map(|(k, (c, m))| (k, c, m)).collect())
+    }
+}
+
+impl From<CostStatsSerde> for CostStats {
+    fn from(s: CostStatsSerde) -> Self {
+        CostStats { entries: s.0.into_iter().map(|(k, c, m)| (k, (c, m))).collect() }
+    }
+}
+
+impl CostStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        CostStats::default()
+    }
+
+    /// Record one observed execution.
+    pub fn record(&mut self, key: StatKey, seconds: f64) {
+        let entry = self.entries.entry(key).or_insert((0, 0.0));
+        entry.0 += 1;
+        // Incremental mean.
+        entry.1 += (seconds - entry.1) / entry.0 as f64;
+    }
+
+    /// Mean observed cost and observation count, if any.
+    pub fn lookup(&self, key: StatKey) -> Option<(u64, f64)> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Nearest-bucket lookup: the exact bucket if present, otherwise the
+    /// closest observed bucket for the same task shape scaled by the bucket
+    /// distance (each bucket is a factor of two of input size; most of our
+    /// operators are near-linear in input size).
+    pub fn lookup_nearest(&self, key: StatKey) -> Option<f64> {
+        if let Some((_, mean)) = self.lookup(key) {
+            return Some(mean);
+        }
+        let mut best: Option<(u32, f64)> = None;
+        for (k, &(_, mean)) in &self.entries {
+            if (k.op, k.task, k.impl_index) == (key.op, key.task, key.impl_index) {
+                let dist = k.size_bucket.abs_diff(key.size_bucket);
+                if best.is_none_or(|(d, _)| dist < d) {
+                    let scale = 2f64.powi(key.size_bucket as i32 - k.size_bucket as i32);
+                    best = Some((dist, mean * scale));
+                }
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// Number of distinct keys tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterate over `(key, count, mean seconds)` entries (experiment
+    /// reporting: Fig. 5's per-task-type cost aggregation).
+    pub fn iter(&self) -> impl Iterator<Item = (StatKey, u64, f64)> + '_ {
+        self.entries.iter().map(|(&k, &(c, m))| (k, c, m))
+    }
+
+    /// Whether no statistics have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(bucket_cells: u64) -> StatKey {
+        StatKey::new(LogicalOp::Ridge, TaskType::Fit, 0, bucket_cells)
+    }
+
+    #[test]
+    fn default_price_constants_match_paper() {
+        let p = PriceModel::default();
+        assert_eq!(p.price_per_second, 0.00018);
+        assert_eq!(p.price_per_mb, 0.023);
+        // 100 s of compute plus 10 MB of storage.
+        let price = p.price(100.0, 10 * 1_048_576);
+        assert!((price - (100.0 * 0.00018 + 10.0 * 0.023)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(0), 1, "zero clamps to the first bucket");
+    }
+
+    #[test]
+    fn same_bucket_same_key() {
+        assert_eq!(key(1000), key(1023));
+        assert_ne!(key(1000), key(5000));
+    }
+
+    #[test]
+    fn record_computes_running_mean() {
+        let mut stats = CostStats::new();
+        stats.record(key(1000), 1.0);
+        stats.record(key(1000), 3.0);
+        let (count, mean) = stats.lookup(key(1000)).unwrap();
+        assert_eq!(count, 2);
+        assert!((mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_bucket_scales_linearly() {
+        let mut stats = CostStats::new();
+        stats.record(key(1 << 10), 1.0);
+        // Two buckets up = 4× the input = ~4× the cost under linear scaling.
+        let est = stats.lookup_nearest(key(1 << 12)).unwrap();
+        assert!((est - 4.0).abs() < 1e-9);
+        // Two buckets down.
+        let est = stats.lookup_nearest(key(1 << 8)).unwrap();
+        assert!((est - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_ignores_other_shapes() {
+        let mut stats = CostStats::new();
+        stats.record(StatKey::new(LogicalOp::Pca, TaskType::Fit, 0, 1000), 5.0);
+        assert!(stats.lookup_nearest(key(1000)).is_none());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut stats = CostStats::new();
+        assert!(stats.is_empty());
+        stats.record(key(10), 1.0);
+        assert_eq!(stats.len(), 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! `EXPLAIN` for pipeline submissions: inspect what the optimizer would do
+//! — augmentation statistics, the chosen plan with per-task cost estimates
+//! and provenance (compute vs load vs equivalent swap) — without executing
+//! anything.
+//!
+//! The analogue of a database's `EXPLAIN`: indispensable when a plan looks
+//! surprising ("why is it re-fitting instead of loading?").
+
+use crate::augment::{annotate_costs, augment, Augmentation};
+use crate::optimizer::{optimize, Plan};
+use crate::system::{Hyppo, SubmitError};
+use hyppo_hypergraph::{execution_order, EdgeId};
+use hyppo_pipeline::{build_pipeline, PipelineSpec};
+use std::fmt::Write as _;
+
+/// Where a planned task comes from, relative to the submitted pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepProvenance {
+    /// A task the user wrote, executed as written.
+    Pipeline,
+    /// A load of a materialized artifact (reuse).
+    Load,
+    /// An equivalent task substituted for one the user wrote (different
+    /// physical implementation or a recorded equivalent derivation).
+    EquivalentSwap,
+}
+
+/// One planned step.
+#[derive(Clone, Debug)]
+pub struct ExplainStep {
+    /// Execution position (0-based).
+    pub position: usize,
+    /// Task display string, e.g. `standard_scaler.fit[1]`.
+    pub task: String,
+    /// Estimated cost in seconds.
+    pub estimated_seconds: f64,
+    /// Provenance of the step.
+    pub provenance: StepProvenance,
+}
+
+/// The result of explaining a submission.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// Number of artifacts in the augmentation.
+    pub augmentation_nodes: usize,
+    /// Number of alternative tasks in the augmentation.
+    pub augmentation_edges: usize,
+    /// How many tasks of the augmentation are new (never recorded).
+    pub new_tasks: usize,
+    /// Estimated cost of executing the pipeline exactly as written.
+    pub verbatim_cost: f64,
+    /// Estimated cost of the chosen plan.
+    pub plan_cost: f64,
+    /// The chosen plan's steps in execution order.
+    pub steps: Vec<ExplainStep>,
+    /// Plan-search effort (expansions).
+    pub expansions: usize,
+}
+
+impl Explanation {
+    /// Estimated speedup of the chosen plan over verbatim execution.
+    pub fn estimated_speedup(&self) -> f64 {
+        if self.plan_cost <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.verbatim_cost / self.plan_cost
+        }
+    }
+
+    /// Render as a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "augmentation: {} artifacts, {} tasks ({} new)",
+            self.augmentation_nodes, self.augmentation_edges, self.new_tasks
+        );
+        let _ = writeln!(
+            out,
+            "verbatim cost ~{:.3}ms | plan cost ~{:.3}ms | est. speedup {:.2}x | {} expansions",
+            self.verbatim_cost * 1e3,
+            self.plan_cost * 1e3,
+            self.estimated_speedup(),
+            self.expansions
+        );
+        for step in &self.steps {
+            let tag = match step.provenance {
+                StepProvenance::Pipeline => "run ",
+                StepProvenance::Load => "load",
+                StepProvenance::EquivalentSwap => "swap",
+            };
+            let _ = writeln!(
+                out,
+                "  {:>3}. [{tag}] {:<40} ~{:.3}ms",
+                step.position,
+                step.task,
+                step.estimated_seconds * 1e3
+            );
+        }
+        out
+    }
+}
+
+fn provenance(aug: &Augmentation, e: EdgeId) -> StepProvenance {
+    if aug.graph.edge(e).is_load() && aug.graph.edge(e).dataset.is_none() {
+        StepProvenance::Load
+    } else if aug.pipeline_edges.contains(&e) {
+        StepProvenance::Pipeline
+    } else {
+        StepProvenance::EquivalentSwap
+    }
+}
+
+/// Explain what submitting `spec` would do, without executing it.
+pub fn explain(sys: &Hyppo, spec: PipelineSpec) -> Result<Explanation, SubmitError> {
+    let pipeline = build_pipeline(spec);
+    let aug = augment(&pipeline, &sys.history, &sys.config.dictionary, sys.config.augment);
+    let costs = annotate_costs(&aug, &sys.estimator, &sys.store);
+    let verbatim_cost: f64 =
+        aug.pipeline_edges.iter().map(|&e| costs[e.index()]).sum();
+    let plan: Plan = optimize(
+        &aug.graph,
+        &costs,
+        aug.source,
+        &aug.targets,
+        &aug.new_tasks,
+        sys.config.search,
+    )
+    .ok_or(SubmitError::NoPlan)?;
+    let order = execution_order(&aug.graph, &plan.edges, &[aug.source])
+        .map_err(|e| SubmitError::Exec(e.into()))?;
+    let steps = order
+        .into_iter()
+        .enumerate()
+        .map(|(position, e)| ExplainStep {
+            position,
+            task: aug.graph.edge(e).display(),
+            estimated_seconds: costs[e.index()],
+            provenance: provenance(&aug, e),
+        })
+        .collect();
+    Ok(Explanation {
+        augmentation_nodes: aug.graph.node_count(),
+        augmentation_edges: aug.graph.edge_count(),
+        new_tasks: aug.new_tasks.len(),
+        verbatim_cost,
+        plan_cost: plan.cost,
+        steps,
+        expansions: plan.expansions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::HyppoConfig;
+    use hyppo_ml::{Config, LogicalOp};
+    use hyppo_tensor::{Dataset, Matrix, SeededRng, TaskKind};
+
+    fn dataset(n: usize) -> Dataset {
+        let mut rng = SeededRng::new(1);
+        let mut x = Matrix::zeros(n, 3);
+        let mut y = Vec::new();
+        for r in 0..n {
+            for c in 0..3 {
+                x.set(r, c, rng.uniform(-1.0, 1.0));
+            }
+            y.push(x.get(r, 0));
+        }
+        Dataset::new(x, y, (0..3).map(|i| format!("f{i}")).collect(), TaskKind::Regression)
+    }
+
+    fn spec() -> PipelineSpec {
+        let mut s = PipelineSpec::new();
+        let d = s.load("data");
+        let (train, test) = s.split(d, Config::new().with_i("seed", 0));
+        let cfg = Config::new().with_i("n_trees", 20).with_i("seed", 4);
+        let model = s.fit(LogicalOp::RandomForest, 0, cfg.clone(), &[train]);
+        let preds = s.predict(LogicalOp::RandomForest, 0, cfg, model, test);
+        s.evaluate(LogicalOp::Mse, preds, test);
+        s
+    }
+
+    #[test]
+    fn explain_does_not_execute() {
+        let mut sys = Hyppo::new(HyppoConfig::default());
+        sys.register_dataset("data", dataset(500));
+        let before = sys.cumulative_seconds;
+        let ex = explain(&sys, spec()).unwrap();
+        assert_eq!(sys.cumulative_seconds, before, "explain must be side-effect free");
+        assert!(ex.plan_cost > 0.0);
+        assert!(ex.verbatim_cost >= ex.plan_cost - 1e-12);
+        assert!(!ex.steps.is_empty());
+    }
+
+    #[test]
+    fn explain_reports_loads_after_materialization() {
+        let mut sys = Hyppo::new(HyppoConfig {
+            budget_bytes: 32 * 1024 * 1024,
+            ..Default::default()
+        });
+        sys.register_dataset("data", dataset(1500));
+        sys.submit(spec()).unwrap();
+        let ex = explain(&sys, spec()).unwrap();
+        assert!(
+            ex.steps.iter().any(|s| s.provenance == StepProvenance::Load),
+            "resubmission should plan loads: {}",
+            ex.render()
+        );
+        assert!(ex.estimated_speedup() > 1.0);
+        // Render smoke.
+        let text = ex.render();
+        assert!(text.contains("augmentation:"));
+        assert!(text.contains("[load]"));
+    }
+
+    #[test]
+    fn explain_flags_equivalent_swaps() {
+        // With an empty history, the only non-pipeline alternatives are
+        // dictionary implementations; if the plan picks one, it is a swap.
+        let mut sys = Hyppo::new(HyppoConfig::default());
+        sys.register_dataset("data", dataset(800));
+        let mut s = PipelineSpec::new();
+        let d = s.load("data");
+        let (train, _) = s.split(d, Config::new().with_i("seed", 0));
+        // PCA impl 0 is the expensive exact variant; the optimizer should
+        // swap to impl 1 (randomized).
+        s.fit(LogicalOp::Pca, 0, Config::new().with_i("n_components", 2), &[train]);
+        let ex = explain(&sys, s).unwrap();
+        assert!(
+            ex.steps.iter().any(|st| st.provenance == StepProvenance::EquivalentSwap),
+            "expected an equivalent-implementation swap: {}",
+            ex.render()
+        );
+    }
+}

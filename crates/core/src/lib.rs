@@ -1,0 +1,52 @@
+//! HYPPO core: the Hypergraph Pipeline Optimizer (Kontaxakis et al.,
+//! ICDE 2024).
+//!
+//! The crate implements the system of the paper's §IV:
+//!
+//! - [`history`] — the history hypergraph `H`, a *dual cache* archiving
+//!   every task and artifact observed across pipeline executions, with
+//!   pointers to materialized copies;
+//! - [`augment`] — the augmenter, which enriches a submitted pipeline `P`
+//!   with the equivalent alternatives recorded in `H` (and with the
+//!   dictionary's alternative physical implementations), yielding the
+//!   augmentation `A`;
+//! - [`optimizer`] — the plan generator: the exact `OPTIMIZE`/`EXPAND`
+//!   backward search (Algorithms 1–2) with LIFO-stack and priority-queue
+//!   frontiers, the linear-time greedy variant, and the
+//!   exploration/exploitation knob `c_exp`;
+//! - [`cost`] / [`estimator`] — the cost model (time and money) and the
+//!   bucketed-statistics cost estimator;
+//! - [`executor`] — plan execution against the ML substrate (real
+//!   computation) or against the cost model (simulated clock);
+//! - [`monitor`] — execution tracing feeding the estimator and history;
+//! - [`materialize`] — the Problem-2 materializer: greedy selection by
+//!   `pl(v) × gain(v)` under a storage budget, with eviction;
+//! - [`store`] — the artifact store backing materialization, with a
+//!   bandwidth-modelled load cost;
+//! - [`system`] — the [`system::Hyppo`] facade tying everything together:
+//!   `submit(spec) → augment → optimize → execute → record → materialize`.
+
+pub mod augment;
+pub mod codec;
+pub mod cost;
+pub mod estimator;
+pub mod executor;
+pub mod explain;
+pub mod history;
+pub mod materialize;
+pub mod monitor;
+pub mod optimizer;
+pub mod persist;
+pub mod store;
+pub mod system;
+
+pub use augment::{augment, Augmentation};
+pub use cost::PriceModel;
+pub use estimator::CostEstimator;
+pub use executor::{execute_plan, ExecMode, ExecOutcome};
+pub use explain::{explain, Explanation};
+pub use history::History;
+pub use materialize::{MaterializeConfig, Materializer, PlanLocality};
+pub use optimizer::{optimize, Plan, QueueKind, SearchOptions};
+pub use store::ArtifactStore;
+pub use system::{Hyppo, HyppoConfig, RunReport};

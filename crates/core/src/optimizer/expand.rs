@@ -1,0 +1,262 @@
+//! Incomplete plans and the EXPAND procedure (paper Algorithm 2).
+
+use hyppo_hypergraph::{EdgeId, HyperGraph, NodeBitSet, NodeId};
+use std::collections::HashSet;
+
+/// An incomplete plan: a sub-hypergraph deriving the targets from the
+/// nodes in `frontier` (plus the source, once reached).
+#[derive(Clone, Debug)]
+pub struct Partial {
+    /// Accumulated cost of the chosen hyperedges.
+    pub cost: f64,
+    /// Artifacts already derivable within the plan (cycle avoidance and
+    /// shared-subplan cost deduplication).
+    pub visited: NodeBitSet,
+    /// Artifacts still to be derived, sorted ascending (the plan's current
+    /// sources). May contain the search source node.
+    pub frontier: Vec<NodeId>,
+    /// Chosen hyperedges.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Partial {
+    /// The trivial plan from `targets` to `targets` (Algorithm 1, line 2).
+    pub fn new(node_bound: usize, targets: &[NodeId]) -> Self {
+        let mut frontier: Vec<NodeId> = targets.to_vec();
+        frontier.sort_unstable();
+        frontier.dedup();
+        Partial {
+            cost: 0.0,
+            visited: NodeBitSet::with_bound(node_bound),
+            frontier,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Whether the plan is complete: nothing left to derive except the
+    /// source itself.
+    pub fn is_complete(&self, source: NodeId) -> bool {
+        self.frontier.iter().all(|&v| v == source)
+    }
+
+    /// Force a hyperedge into the plan (exploration-mode seeding, §IV-E):
+    /// its heads become visited, its tails join the frontier, its cost is
+    /// paid.
+    pub fn force_edge<N, E>(&mut self, graph: &HyperGraph<N, E>, costs: &[f64], e: EdgeId) {
+        if self.edges.contains(&e) {
+            return;
+        }
+        self.cost += costs[e.index()];
+        self.edges.push(e);
+        for &h in graph.head(e) {
+            self.visited.insert(h);
+        }
+        for &t in graph.tail(e) {
+            self.frontier.push(t);
+        }
+    }
+
+    /// Re-sort the frontier, removing duplicates and already-visited nodes
+    /// (the source stays — it marks completion).
+    pub fn normalize_frontier(&mut self, source: NodeId) {
+        self.frontier.retain(|&v| v == source || !self.visited.contains(v));
+        self.frontier.sort_unstable();
+        self.frontier.dedup();
+    }
+}
+
+/// EXPAND (Algorithm 2): generate all single-move expansions of `partial`.
+///
+/// A *move* selects exactly one hyperedge from the backward star of each
+/// non-source frontier node (the cross product of backward stars); moves
+/// that select the same multi-output hyperedge for several frontier nodes
+/// deduplicate to a single edge set. Returns one new incomplete plan per
+/// distinct move; a frontier node with an empty backward star kills the
+/// branch (no expansions).
+pub fn expand<N, E>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    partial: &Partial,
+    source: NodeId,
+) -> Vec<Partial> {
+    let work: Vec<NodeId> =
+        partial.frontier.iter().copied().filter(|&v| v != source).collect();
+    debug_assert!(!work.is_empty(), "expand called on a complete plan");
+
+    // Option sets (backward stars). Any empty star ⇒ dead branch.
+    let stars: Vec<&[EdgeId]> = work.iter().map(|&v| graph.bstar(v)).collect();
+    if stars.iter().any(|s| s.is_empty()) {
+        return Vec::new();
+    }
+
+    let mut out = Vec::new();
+    let mut seen_moves: HashSet<Vec<EdgeId>> = HashSet::new();
+    let mut indices = vec![0usize; stars.len()];
+    loop {
+        // Materialize the move: one edge per frontier node, deduplicated.
+        let mut move_edges: Vec<EdgeId> =
+            indices.iter().zip(&stars).map(|(&i, s)| s[i]).collect();
+        move_edges.sort_unstable();
+        move_edges.dedup();
+
+        if seen_moves.insert(move_edges.clone()) {
+            let mut next = Partial {
+                cost: partial.cost,
+                visited: partial.visited.clone(),
+                frontier: Vec::new(),
+                edges: partial.edges.clone(),
+            };
+            for &e in &move_edges {
+                // newNodes = head(e) \ visited (Algorithm 2, line 8).
+                let mut produced_new = false;
+                for &h in graph.head(e) {
+                    if next.visited.insert(h) {
+                        produced_new = true;
+                    }
+                }
+                if produced_new {
+                    next.cost += costs[e.index()];
+                    next.edges.push(e);
+                    for &t in graph.tail(e) {
+                        next.frontier.push(t);
+                    }
+                }
+            }
+            // Nodes of the old frontier are now visited heads; anything the
+            // move's tails reference that is already derivable drops out.
+            next.normalize_frontier(source);
+            out.push(next);
+        }
+
+        // Advance the cross-product odometer.
+        let mut pos = 0;
+        loop {
+            if pos == indices.len() {
+                return out;
+            }
+            indices[pos] += 1;
+            if indices[pos] < stars[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type G = HyperGraph<(), ()>;
+
+    #[test]
+    fn expand_generates_one_plan_per_alternative() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let v = g.add_node(());
+        let e0 = g.add_edge(vec![s], vec![v], ());
+        let e1 = g.add_edge(vec![s], vec![v], ());
+        let costs = vec![3.0, 5.0];
+        let p = Partial::new(g.node_bound(), &[v]);
+        let expanded = expand(&g, &costs, &p, s);
+        assert_eq!(expanded.len(), 2);
+        let costs_found: Vec<f64> = expanded.iter().map(|p| p.cost).collect();
+        assert!(costs_found.contains(&3.0));
+        assert!(costs_found.contains(&5.0));
+        for x in &expanded {
+            assert!(x.is_complete(s));
+        }
+        let _ = (e0, e1);
+    }
+
+    #[test]
+    fn cross_product_covers_combinations() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        for _ in 0..2 {
+            g.add_edge(vec![s], vec![a], ());
+        }
+        for _ in 0..3 {
+            g.add_edge(vec![s], vec![b], ());
+        }
+        let costs = vec![1.0; 5];
+        let p = Partial::new(g.node_bound(), &[a, b]);
+        let expanded = expand(&g, &costs, &p, s);
+        assert_eq!(expanded.len(), 6, "2 × 3 moves");
+    }
+
+    #[test]
+    fn shared_multi_output_edge_counts_once() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let split = g.add_edge(vec![s], vec![a, b], ());
+        let costs = vec![7.0];
+        let p = Partial::new(g.node_bound(), &[a, b]);
+        let expanded = expand(&g, &costs, &p, s);
+        assert_eq!(expanded.len(), 1, "(split, split) dedupes to one move");
+        assert_eq!(expanded[0].cost, 7.0, "cost paid once");
+        assert_eq!(expanded[0].edges, vec![split]);
+    }
+
+    #[test]
+    fn dead_frontier_node_kills_branch() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let v = g.add_node(()); // no producer
+        let p = Partial::new(g.node_bound(), &[v]);
+        assert!(expand(&g, &[], &p, s).is_empty());
+    }
+
+    #[test]
+    fn already_visited_heads_add_no_cost() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let ea = g.add_edge(vec![s], vec![a], ());
+        let eb = g.add_edge(vec![a], vec![b], ());
+        let costs = vec![2.0, 3.0];
+        let mut p = Partial::new(g.node_bound(), &[b]);
+        // Pretend b was already derived by a forced edge.
+        p.force_edge(&g, &costs, eb);
+        p.normalize_frontier(s);
+        // Frontier now {a, b-was-removed…}: expand from a.
+        assert_eq!(p.frontier, vec![a]);
+        let expanded = expand(&g, &costs, &p, s);
+        assert_eq!(expanded.len(), 1);
+        assert_eq!(expanded[0].cost, 5.0);
+        assert_eq!(expanded[0].edges, vec![eb, ea]);
+    }
+
+    #[test]
+    fn force_edge_is_idempotent() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let e = g.add_edge(vec![s], vec![a], ());
+        let costs = vec![4.0];
+        let mut p = Partial::new(g.node_bound(), &[a]);
+        p.force_edge(&g, &costs, e);
+        p.force_edge(&g, &costs, e);
+        assert_eq!(p.cost, 4.0);
+        assert_eq!(p.edges.len(), 1);
+    }
+
+    #[test]
+    fn completion_check() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let p = Partial::new(g.node_bound(), &[s]);
+        assert!(p.is_complete(s));
+        let p2 = Partial::new(g.node_bound(), &[a]);
+        assert!(!p2.is_complete(s));
+        let empty = Partial::new(g.node_bound(), &[]);
+        assert!(empty.is_complete(s), "empty frontier is complete");
+    }
+}

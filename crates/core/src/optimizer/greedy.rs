@@ -1,0 +1,141 @@
+//! Linear-time greedy plan construction (§IV-E, "Accuracy can be
+//! sacrificed…").
+//!
+//! Instead of exploring the full cross product of moves, the greedy variant
+//! follows the minimum-cost hyperedge of each frontier artifact exactly
+//! once, visiting every node and hyperedge at most once —
+//! `O(n + m·n)` worst case. The result is a valid plan but not necessarily
+//! an optimal one.
+
+use super::expand::Partial;
+use super::Plan;
+use hyppo_hypergraph::{EdgeId, HyperGraph, NodeId};
+
+/// Build a plan by always following the locally cheapest alternative.
+/// Returns `None` if some required artifact has no producer.
+pub fn greedy_plan<N, E>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    source: NodeId,
+    targets: &[NodeId],
+    new_tasks: &[EdgeId],
+    c_exp: f64,
+) -> Option<Plan> {
+    let mut plan = Partial::new(graph.node_bound(), targets);
+    let mo = (new_tasks.len() as f64 * c_exp.clamp(0.0, 1.0)).ceil() as usize;
+    for &e in new_tasks.iter().take(mo) {
+        plan.force_edge(graph, costs, e);
+    }
+    plan.normalize_frontier(source);
+
+    let mut steps = 0usize;
+    while !plan.is_complete(source) {
+        // Safety: each iteration resolves at least one frontier node, and
+        // nodes never return to the frontier once visited.
+        steps += 1;
+        if steps > graph.node_bound() + 1 {
+            unreachable!("greedy must terminate within |V| iterations");
+        }
+        let mut next_frontier: Vec<NodeId> = Vec::new();
+        let work: Vec<NodeId> =
+            plan.frontier.iter().copied().filter(|&v| v != source).collect();
+        for v in work {
+            if plan.visited.contains(v) {
+                continue; // produced by an earlier pick this round
+            }
+            // Minimum-cost producing hyperedge.
+            let best = graph
+                .bstar(v)
+                .iter()
+                .copied()
+                .min_by(|&a, &b| costs[a.index()].total_cmp(&costs[b.index()]))?;
+            let mut produced_new = false;
+            for &h in graph.head(best) {
+                if plan.visited.insert(h) {
+                    produced_new = true;
+                }
+            }
+            if produced_new {
+                plan.cost += costs[best.index()];
+                plan.edges.push(best);
+                next_frontier.extend_from_slice(graph.tail(best));
+            }
+        }
+        plan.frontier = next_frontier;
+        plan.normalize_frontier(source);
+    }
+    Some(Plan { edges: plan.edges, cost: plan.cost, optimal: false, expansions: steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{optimize, SearchOptions};
+    use hyppo_hypergraph::{validate_plan, PlanValidity};
+
+    type G = HyperGraph<(), ()>;
+
+    /// A graph where greedy is suboptimal: the locally cheap edge for the
+    /// target leads to an expensive upstream, while the pricier alternative
+    /// loads directly.
+    fn trap() -> (G, Vec<f64>, NodeId, NodeId) {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let mid = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(vec![s], vec![mid], ()); // expensive upstream: 100
+        g.add_edge(vec![mid], vec![t], ()); // locally cheapest for t: 1
+        g.add_edge(vec![s], vec![t], ()); // direct: 5
+        (g, vec![100.0, 1.0, 5.0], s, t)
+    }
+
+    #[test]
+    fn greedy_returns_valid_plan() {
+        let (g, costs, s, t) = trap();
+        let plan = greedy_plan(&g, &costs, s, &[t], &[], 0.0).unwrap();
+        assert_eq!(validate_plan(&g, &plan.edges, &[s], &[t]), PlanValidity::Valid);
+        assert!(!plan.optimal);
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_but_never_beats_exact() {
+        let (g, costs, s, t) = trap();
+        let greedy = greedy_plan(&g, &costs, s, &[t], &[], 0.0).unwrap();
+        let exact = optimize(&g, &costs, s, &[t], &[], SearchOptions::default()).unwrap();
+        assert!((exact.cost - 5.0).abs() < 1e-12);
+        assert!((greedy.cost - 101.0).abs() < 1e-12, "greedy walks into the trap");
+        assert!(greedy.cost >= exact.cost);
+    }
+
+    #[test]
+    fn greedy_handles_multi_output_and_sharing() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(vec![s], vec![a, b], ()); // split: 4
+        g.add_edge(vec![a, b], vec![c], ()); // join: 2
+        let costs = vec![4.0, 2.0];
+        let plan = greedy_plan(&g, &costs, s, &[c], &[], 0.0).unwrap();
+        assert!((plan.cost - 6.0).abs() < 1e-12, "split paid once: {}", plan.cost);
+        assert_eq!(validate_plan(&g, &plan.edges, &[s], &[c]), PlanValidity::Valid);
+    }
+
+    #[test]
+    fn greedy_fails_on_unreachable_targets() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let orphan = g.add_node(());
+        assert!(greedy_plan(&g, &[], s, &[orphan], &[], 0.0).is_none());
+    }
+
+    #[test]
+    fn greedy_respects_exploration_seeding() {
+        let (g, costs, s, t) = trap();
+        // Force the expensive path as a "new task".
+        let forced = hyppo_hypergraph::EdgeId::from_index(0);
+        let plan = greedy_plan(&g, &costs, s, &[t], &[forced], 1.0).unwrap();
+        assert!(plan.edges.contains(&forced));
+    }
+}

@@ -1,0 +1,393 @@
+//! The plan generator (§IV-E): backward search for a minimum-cost S-T plan
+//! over a directed hypergraph with alternatives.
+//!
+//! Implements the paper's Algorithm 1 (`OPTIMIZE`) and Algorithm 2
+//! (`EXPAND`): search starts from the targets `T` and traverses hyperedges
+//! backwards, maintaining a set of *incomplete plans*; an incomplete plan's
+//! frontier holds the artifacts still to be derived, and each *move* picks
+//! one producing hyperedge per frontier node (the cross product of backward
+//! stars). A plan completes when its frontier reaches the source.
+//!
+//! The queue discipline is pluggable ([`QueueKind`]): a LIFO stack
+//! (OPTIMIZE-STACK, dives to complete plans quickly, enabling aggressive
+//! cost pruning) or a priority queue keyed on partial cost
+//! (OPTIMIZE-PRIORITY, uniform-cost order). A linear-time greedy variant
+//! ([`greedy`]) trades optimality for speed, and the
+//! exploration/exploitation knob `c_exp` (§IV-E) seeds the initial plan
+//! with new tasks so the system keeps learning.
+//!
+//! The optimizer is generic over node/edge labels: it needs only the
+//! hypergraph structure plus a per-edge cost vector, which is what lets the
+//! synthetic-hypergraph scalability study (paper Fig. 10) drive it
+//! directly.
+
+pub mod expand;
+pub mod greedy;
+pub mod queue;
+
+use expand::{expand, Partial};
+use hyppo_hypergraph::{EdgeId, HyperGraph, NodeId};
+use queue::PlanQueue;
+
+/// Queue discipline for [`optimize`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueKind {
+    /// LIFO stack — the paper's OPTIMIZE-STACK.
+    Stack,
+    /// Min-cost priority queue — the paper's OPTIMIZE-PRIORITY.
+    Priority,
+}
+
+/// Search options.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchOptions {
+    /// Queue discipline.
+    pub queue: QueueKind,
+    /// Use the linear-time greedy variant instead of exact search.
+    pub greedy: bool,
+    /// Exploration coefficient `c_exp ∈ [0, 1]`: the initial plan is seeded
+    /// with `⌈#new_tasks × c_exp⌉` of the new tasks, forcing their
+    /// execution (0 = pure exploitation, 1 = full exploration).
+    pub c_exp: f64,
+    /// Safety valve: abort after this many plan expansions and return the
+    /// best plan found so far (`optimal = false`).
+    pub max_expansions: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            queue: QueueKind::Priority,
+            greedy: false,
+            c_exp: 0.0,
+            max_expansions: 2_000_000,
+        }
+    }
+}
+
+/// A complete S-T plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    /// The plan's hyperedges (unordered; executable via
+    /// [`hyppo_hypergraph::execution_order`]).
+    pub edges: Vec<EdgeId>,
+    /// Total cost `Σ e.cost`.
+    pub cost: f64,
+    /// Whether the search proved optimality (false when the expansion
+    /// budget was exhausted or the greedy variant ran).
+    pub optimal: bool,
+    /// Number of plan expansions performed (search effort metric).
+    pub expansions: usize,
+}
+
+/// Find a minimum-cost plan deriving `targets` from `source`.
+///
+/// `costs` is indexed by [`EdgeId::index`]; `new_tasks` are the edges the
+/// exploration mode may force into the plan. Returns `None` when the
+/// targets are not B-connected to the source.
+pub fn optimize<N, E>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    source: NodeId,
+    targets: &[NodeId],
+    new_tasks: &[EdgeId],
+    opts: SearchOptions,
+) -> Option<Plan> {
+    if opts.greedy {
+        return greedy::greedy_plan(graph, costs, source, targets, new_tasks, opts.c_exp);
+    }
+
+    let seed = initial_plan(graph, costs, source, targets, new_tasks, opts.c_exp)?;
+    let mut q = PlanQueue::new(opts.queue);
+    q.insert(seed);
+
+    let mut best: Option<Partial> = None;
+    let mut best_cost = f64::INFINITY;
+    let mut expansions = 0usize;
+    let mut truncated = false;
+
+    while let Some(partial) = q.pop() {
+        if partial.cost >= best_cost {
+            continue; // pruned (Algorithm 1, line 6)
+        }
+        if partial.is_complete(source) {
+            best_cost = partial.cost;
+            best = Some(partial);
+            continue;
+        }
+        if expansions >= opts.max_expansions {
+            truncated = true;
+            break;
+        }
+        expansions += 1;
+        for next in expand(graph, costs, &partial, source) {
+            if next.cost < best_cost {
+                q.insert(next);
+            }
+        }
+    }
+
+    best.map(|p| Plan {
+        edges: p.edges,
+        cost: p.cost,
+        optimal: !truncated,
+        expansions,
+    })
+}
+
+/// Build the initial incomplete plan, seeding exploration-mode new tasks
+/// (§IV-E: `mo = ⌈#new_tasks × c_exp⌉` forced tasks).
+fn initial_plan<N, E>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    source: NodeId,
+    targets: &[NodeId],
+    new_tasks: &[EdgeId],
+    c_exp: f64,
+) -> Option<Partial> {
+    let mut plan = Partial::new(graph.node_bound(), targets);
+    let mo = (new_tasks.len() as f64 * c_exp.clamp(0.0, 1.0)).ceil() as usize;
+    for &e in new_tasks.iter().take(mo) {
+        plan.force_edge(graph, costs, e);
+    }
+    plan.normalize_frontier(source);
+    // Feasibility: every frontier node other than the source needs at least
+    // one producer for a plan to exist at all.
+    for &v in &plan.frontier {
+        if v != source && graph.bstar(v).is_empty() {
+            return None;
+        }
+    }
+    Some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_hypergraph::{validate_plan, PlanValidity};
+
+    type G = HyperGraph<u32, ()>;
+
+    /// Enumerate all edge subsets; minimum-cost valid plan. Test oracle.
+    fn brute_force(
+        graph: &G,
+        costs: &[f64],
+        source: NodeId,
+        targets: &[NodeId],
+    ) -> Option<f64> {
+        let edges: Vec<EdgeId> = graph.edge_ids().collect();
+        let n = edges.len();
+        assert!(n <= 20, "brute force limited to small graphs");
+        let mut best: Option<f64> = None;
+        for mask in 0u32..(1 << n) {
+            let subset: Vec<EdgeId> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| edges[i])
+                .collect();
+            let closure = hyppo_hypergraph::connectivity::b_closure_filtered(
+                graph,
+                &[source],
+                |e| subset.contains(&e),
+            );
+            if targets.iter().all(|&t| closure.contains(t)) {
+                let cost: f64 = subset.iter().map(|&e| costs[e.index()]).sum();
+                if best.is_none_or(|b| cost < b) {
+                    best = Some(cost);
+                }
+            }
+        }
+        best
+    }
+
+    /// The paper's Figure 1 augmentation shape: s loads; v3/v4 derivable
+    /// three ways (t2, t7, load).
+    fn figure1_like() -> (G, Vec<f64>, NodeId, Vec<NodeId>) {
+        let mut g = G::new();
+        let s = g.add_node(0);
+        let v0 = g.add_node(1); // raw
+        let v1 = g.add_node(2); // train
+        let v2 = g.add_node(3); // test
+        let v34 = g.add_node(4); // scaler state (collapsing v3/v4)
+        let v5 = g.add_node(5); // scaled test
+        let mut costs = Vec::new();
+        let add = |g: &mut G, t: Vec<NodeId>, h: Vec<NodeId>, c: f64, costs: &mut Vec<f64>| {
+            let e = g.add_edge(t, h, ());
+            costs.resize(e.index() + 1, 0.0);
+            costs[e.index()] = c;
+            e
+        };
+        add(&mut g, vec![s], vec![v0], 10.0, &mut costs); // l0 load raw
+        add(&mut g, vec![v0], vec![v1, v2], 20.0, &mut costs); // t1 split
+        add(&mut g, vec![s], vec![v1], 4.0, &mut costs); // l1 load train
+        add(&mut g, vec![s], vec![v2], 2.0, &mut costs); // l2 load test
+        add(&mut g, vec![v1], vec![v34], 15.0, &mut costs); // t2 fit (impl 0)
+        add(&mut g, vec![v1], vec![v34], 9.0, &mut costs); // t7 fit (equivalent)
+        add(&mut g, vec![s], vec![v34], 1.0, &mut costs); // l34 load state
+        add(&mut g, vec![v34, v2], vec![v5], 3.0, &mut costs); // t3 transform
+        (g, costs, s, vec![v5])
+    }
+
+    #[test]
+    fn finds_the_materialization_plan() {
+        let (g, costs, s, t) = figure1_like();
+        let plan = optimize(&g, &costs, s, &t, &[], SearchOptions::default()).unwrap();
+        // Optimal: load state (1) + load test (2) + transform (3) = 6.
+        assert!((plan.cost - 6.0).abs() < 1e-12, "cost {}", plan.cost);
+        assert!(plan.optimal);
+        assert_eq!(
+            validate_plan(&g, &plan.edges, &[s], &t),
+            PlanValidity::Valid,
+            "plan must be a valid minimal S-T plan"
+        );
+    }
+
+    #[test]
+    fn stack_and_priority_agree_with_brute_force() {
+        let (g, costs, s, t) = figure1_like();
+        let expected = brute_force(&g, &costs, s, &t).unwrap();
+        for queue in [QueueKind::Stack, QueueKind::Priority] {
+            let opts = SearchOptions { queue, ..SearchOptions::default() };
+            let plan = optimize(&g, &costs, s, &t, &[], opts).unwrap();
+            assert!((plan.cost - expected).abs() < 1e-12, "{queue:?} found {}", plan.cost);
+        }
+    }
+
+    #[test]
+    fn equivalence_alternative_is_chosen_without_materialization() {
+        let (g, costs, s, t) = figure1_like();
+        // Disable the two artifact loads (simulate B = 0) by pricing them ∞.
+        let mut costs = costs;
+        costs[2] = f64::INFINITY; // l1
+        costs[3] = f64::INFINITY; // l2
+        costs[6] = f64::INFINITY; // l34
+        let plan = optimize(&g, &costs, s, &t, &[], SearchOptions::default()).unwrap();
+        // Must compute: load raw (10) + split (20) + cheaper fit t7 (9) +
+        // transform (3) = 42 — picking t7 over t2 is the equivalence win.
+        assert!((plan.cost - 42.0).abs() < 1e-12, "cost {}", plan.cost);
+    }
+
+    #[test]
+    fn multi_target_plans_share_subcomputations() {
+        let mut g = G::new();
+        let s = g.add_node(0);
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let c = g.add_node(3);
+        let e0 = g.add_edge(vec![s], vec![a], ());
+        let e1 = g.add_edge(vec![a], vec![b], ());
+        let e2 = g.add_edge(vec![a], vec![c], ());
+        let costs = vec![5.0, 1.0, 1.0];
+        let plan = optimize(&g, &costs, s, &[b, c], &[], SearchOptions::default()).unwrap();
+        // The load of a is shared, not paid twice.
+        assert!((plan.cost - 7.0).abs() < 1e-12);
+        assert_eq!(plan.edges.len(), 3);
+        let _ = (e0, e1, e2);
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let mut g = G::new();
+        let s = g.add_node(0);
+        let orphan = g.add_node(1);
+        assert!(optimize(&g, &[], s, &[orphan], &[], SearchOptions::default()).is_none());
+    }
+
+    #[test]
+    fn source_as_target_is_the_empty_plan() {
+        let mut g = G::new();
+        let s = g.add_node(0);
+        let plan = optimize(&g, &[], s, &[s], &[], SearchOptions::default()).unwrap();
+        assert!(plan.edges.is_empty());
+        assert_eq!(plan.cost, 0.0);
+    }
+
+    #[test]
+    fn exploration_mode_forces_new_tasks() {
+        let (g, costs, s, t) = figure1_like();
+        // t2 (edge index 4) is a new task; with c_exp = 1 it must appear in
+        // the plan even though loading the state is far cheaper.
+        let new_tasks = vec![EdgeId::from_index(4)];
+        let opts = SearchOptions { c_exp: 1.0, ..SearchOptions::default() };
+        let plan = optimize(&g, &costs, s, &t, &new_tasks, opts).unwrap();
+        assert!(plan.edges.contains(&EdgeId::from_index(4)), "new task must be executed");
+        assert!(plan.cost > 6.0, "forced exploration costs more than pure exploitation");
+    }
+
+    #[test]
+    fn exploitation_mode_ignores_new_tasks() {
+        let (g, costs, s, t) = figure1_like();
+        let new_tasks = vec![EdgeId::from_index(4)];
+        let opts = SearchOptions { c_exp: 0.0, ..SearchOptions::default() };
+        let plan = optimize(&g, &costs, s, &t, &new_tasks, opts).unwrap();
+        assert!((plan.cost - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expansion_budget_degrades_gracefully() {
+        let (g, costs, s, t) = figure1_like();
+        let opts = SearchOptions {
+            queue: QueueKind::Stack,
+            max_expansions: 1,
+            ..SearchOptions::default()
+        };
+        if let Some(plan) = optimize(&g, &costs, s, &t, &[], opts) {
+            // Whatever is returned must still be a valid plan.
+            assert_eq!(validate_plan(&g, &plan.edges, &[s], &t), PlanValidity::Valid);
+        }
+    }
+
+    /// Random layered graphs: exact search must match brute force.
+    #[test]
+    fn random_graphs_match_brute_force() {
+        use hyppo_tensor::SeededRng;
+        for seed in 0..30 {
+            let mut rng = SeededRng::new(seed);
+            let mut g = G::new();
+            let s = g.add_node(0);
+            let mut nodes = vec![s];
+            let n_nodes = 3 + rng.index(5);
+            let mut costs = Vec::new();
+            for i in 0..n_nodes {
+                let v = g.add_node(i as u32 + 1);
+                // 1-2 alternative producers from earlier nodes.
+                let n_alts = 1 + rng.index(2);
+                for _ in 0..n_alts {
+                    let n_tail = 1 + rng.index(2.min(nodes.len()));
+                    let mut tail: Vec<NodeId> =
+                        (0..n_tail).map(|_| nodes[rng.index(nodes.len())]).collect();
+                    tail.sort_unstable();
+                    tail.dedup();
+                    let e = g.add_edge(tail, vec![v], ());
+                    costs.resize(e.index() + 1, 0.0);
+                    costs[e.index()] = (1 + rng.index(20)) as f64;
+                }
+                nodes.push(v);
+            }
+            if g.edge_count() > 14 {
+                continue; // keep brute force cheap
+            }
+            let target = *nodes.last().unwrap();
+            let expected = brute_force(&g, &costs, s, &[target]);
+            for queue in [QueueKind::Stack, QueueKind::Priority] {
+                let opts = SearchOptions { queue, ..SearchOptions::default() };
+                let plan = optimize(&g, &costs, s, &[target], &[], opts);
+                match (expected, &plan) {
+                    (Some(exp), Some(p)) => {
+                        assert!(
+                            (p.cost - exp).abs() < 1e-9,
+                            "seed {seed} {queue:?}: got {} expected {exp}",
+                            p.cost
+                        );
+                        assert_eq!(
+                            validate_plan(&g, &p.edges, &[s], &[target]),
+                            PlanValidity::Valid,
+                            "seed {seed}"
+                        );
+                    }
+                    (None, None) => {}
+                    other => panic!("seed {seed}: mismatch {other:?}"),
+                }
+            }
+        }
+    }
+}

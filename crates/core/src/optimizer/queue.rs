@@ -1,0 +1,125 @@
+//! The queue `Q` of incomplete plans: LIFO stack or min-cost priority
+//! queue (paper §IV-E, "the data structure Q … defines the order in which
+//! plans are examined").
+
+use super::expand::Partial;
+use super::QueueKind;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Queue of incomplete plans under a pluggable discipline.
+#[derive(Debug)]
+pub enum PlanQueue {
+    /// LIFO (depth-first): dives to complete plans quickly, enabling early
+    /// cost-bound pruning.
+    Stack(Vec<Partial>),
+    /// Min-cost (uniform-cost search).
+    Priority(BinaryHeap<ByCost>),
+}
+
+/// Min-heap wrapper ordering partial plans by ascending cost.
+#[derive(Debug)]
+pub struct ByCost(pub Partial);
+
+impl PartialEq for ByCost {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.cost == other.0.cost
+    }
+}
+
+impl Eq for ByCost {}
+
+impl PartialOrd for ByCost {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ByCost {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want min-cost first.
+        other.0.cost.total_cmp(&self.0.cost)
+    }
+}
+
+impl PlanQueue {
+    /// Empty queue with the chosen discipline.
+    pub fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Stack => PlanQueue::Stack(Vec::new()),
+            QueueKind::Priority => PlanQueue::Priority(BinaryHeap::new()),
+        }
+    }
+
+    /// Insert an incomplete plan.
+    pub fn insert(&mut self, plan: Partial) {
+        match self {
+            PlanQueue::Stack(v) => v.push(plan),
+            PlanQueue::Priority(h) => h.push(ByCost(plan)),
+        }
+    }
+
+    /// Remove the next plan to examine.
+    pub fn pop(&mut self) -> Option<Partial> {
+        match self {
+            PlanQueue::Stack(v) => v.pop(),
+            PlanQueue::Priority(h) => h.pop().map(|b| b.0),
+        }
+    }
+
+    /// Number of queued plans.
+    pub fn len(&self) -> usize {
+        match self {
+            PlanQueue::Stack(v) => v.len(),
+            PlanQueue::Priority(h) => h.len(),
+        }
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_hypergraph::NodeBitSet;
+
+    fn partial(cost: f64) -> Partial {
+        Partial { cost, visited: NodeBitSet::with_bound(0), frontier: vec![], edges: vec![] }
+    }
+
+    #[test]
+    fn stack_is_lifo() {
+        let mut q = PlanQueue::new(QueueKind::Stack);
+        q.insert(partial(1.0));
+        q.insert(partial(2.0));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().cost, 2.0);
+        assert_eq!(q.pop().unwrap().cost, 1.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn priority_pops_min_cost() {
+        let mut q = PlanQueue::new(QueueKind::Priority);
+        q.insert(partial(5.0));
+        q.insert(partial(1.0));
+        q.insert(partial(3.0));
+        assert_eq!(q.pop().unwrap().cost, 1.0);
+        assert_eq!(q.pop().unwrap().cost, 3.0);
+        assert_eq!(q.pop().unwrap().cost, 5.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn priority_handles_equal_costs() {
+        let mut q = PlanQueue::new(QueueKind::Priority);
+        q.insert(partial(1.0));
+        q.insert(partial(1.0));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().cost, 1.0);
+        assert_eq!(q.pop().unwrap().cost, 1.0);
+    }
+}

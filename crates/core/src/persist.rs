@@ -1,0 +1,303 @@
+//! Catalog persistence: snapshot the history hypergraph and learned cost
+//! statistics to a serializable form, and spill/restore the artifact store
+//! to a directory.
+//!
+//! The paper's catalog outlives individual sessions — across-experiment
+//! reuse (§I) assumes one data scientist benefits from artifacts another
+//! materialized earlier. These helpers make a `Hyppo` system restartable:
+//! `snapshot` + `save_store` on shutdown, `restore` + `load_store` on
+//! startup.
+
+use crate::estimator::CostEstimator;
+use crate::history::{ArtifactStats, History};
+use crate::store::ArtifactStore;
+use hyppo_hypergraph::NodeId;
+use hyppo_pipeline::{ArtifactName, EdgeLabel, NodeLabel};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A serializable image of the history.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HistorySnapshot {
+    /// Artifact nodes in insertion order.
+    nodes: Vec<NodeLabel>,
+    /// Hyperedges as (tail names, head names, label); the source is the
+    /// implicit name `ArtifactName(0)`.
+    edges: Vec<(Vec<ArtifactName>, Vec<ArtifactName>, EdgeLabel)>,
+    /// Per-artifact statistics.
+    stats: Vec<(ArtifactName, ArtifactStats)>,
+    /// Names of materialized artifacts.
+    materialized: Vec<ArtifactName>,
+}
+
+/// Capture a snapshot of a history.
+pub fn snapshot(history: &History) -> HistorySnapshot {
+    let name_of = |v: NodeId| -> ArtifactName {
+        if v == history.source {
+            ArtifactName(0)
+        } else {
+            history.graph.node(v).name
+        }
+    };
+    let nodes = history
+        .graph
+        .node_ids()
+        .filter(|&v| v != history.source)
+        .map(|v| history.graph.node(v).clone())
+        .collect();
+    let edges = history
+        .graph
+        .edge_ids()
+        .map(|e| {
+            (
+                history.graph.tail(e).iter().map(|&v| name_of(v)).collect(),
+                history.graph.head(e).iter().map(|&v| name_of(v)).collect(),
+                history.graph.edge(e).clone(),
+            )
+        })
+        .collect();
+    let stats = history
+        .artifact_names()
+        .map(|n| (n, history.stats_of(n)))
+        .collect();
+    let materialized = history.materialized().collect();
+    HistorySnapshot { nodes, edges, stats, materialized }
+}
+
+/// Rebuild a history from a snapshot.
+///
+/// The reconstruction replays tasks through the public recording API, so
+/// all internal indices (name maps, task identities, load edges) are
+/// consistent by construction.
+pub fn restore(snap: &HistorySnapshot) -> History {
+    let mut history = History::new();
+    let label_of = |name: ArtifactName| -> Option<&NodeLabel> {
+        snap.nodes.iter().find(|l| l.name == name)
+    };
+    for (tail, head, label) in &snap.edges {
+        if label.is_load() {
+            match &label.dataset {
+                Some(id) => {
+                    let size = label_of(head[0]).and_then(|l| l.size_bytes).unwrap_or(0);
+                    history.record_dataset(id, size);
+                }
+                None => { /* artifact load edges re-added below */ }
+            }
+            continue;
+        }
+        let inputs: Vec<ArtifactName> = tail.clone();
+        let outputs: Vec<crate::history::ProducedArtifact> = head
+            .iter()
+            .map(|&n| {
+                let label = label_of(n).cloned().unwrap_or_else(|| NodeLabel {
+                    name: n,
+                    kind: hyppo_ml::ArtifactKind::Data,
+                    role: hyppo_pipeline::ArtifactRole::Raw,
+                    hint: "restored".to_string(),
+                    size_bytes: None,
+                });
+                let size = label.size_bytes.unwrap_or(0);
+                crate::history::ProducedArtifact { name: n, label, size_bytes: size }
+            })
+            .collect();
+        let cost = head
+            .first()
+            .map(|&n| {
+                snap.stats
+                    .iter()
+                    .find(|(sn, _)| *sn == n)
+                    .map(|(_, s)| s.compute_cost)
+                    .unwrap_or(0.0)
+            })
+            .unwrap_or(0.0);
+        history.record_task(
+            label.op,
+            label.task,
+            label.impl_index,
+            &label.config,
+            &inputs,
+            &outputs,
+            cost,
+        );
+    }
+    // Statistics (touch counts) and materialization flags.
+    for (name, stats) in &snap.stats {
+        if history.contains(*name) {
+            history.set_stats(*name, *stats);
+        }
+    }
+    for &name in &snap.materialized {
+        if history.contains(name) {
+            history.materialize(name);
+        }
+    }
+    history
+}
+
+/// Serialize history + estimator to a JSON string.
+pub fn catalog_to_json(history: &History, estimator: &CostEstimator) -> String {
+    #[derive(Serialize)]
+    struct Catalog<'a> {
+        history: HistorySnapshot,
+        estimator: &'a CostEstimator,
+    }
+    serde_json::to_string(&Catalog { history: snapshot(history), estimator })
+        .expect("catalog serialization cannot fail")
+}
+
+/// Restore history + estimator from [`catalog_to_json`] output.
+pub fn catalog_from_json(json: &str) -> Result<(History, CostEstimator), serde_json::Error> {
+    #[derive(Deserialize)]
+    struct Catalog {
+        history: HistorySnapshot,
+        estimator: CostEstimator,
+    }
+    let c: Catalog = serde_json::from_str(json)?;
+    Ok((restore(&c.history), c.estimator))
+}
+
+/// Spill every materialized artifact to `dir` (one file per artifact,
+/// hex-named). Returns the number of files written.
+pub fn save_store(store: &ArtifactStore, dir: &Path) -> std::io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = 0;
+    for name in store.names().collect::<Vec<_>>() {
+        if let Some((artifact, _)) = store.load(name) {
+            let bytes = crate::codec::encode(&artifact);
+            std::fs::write(dir.join(format!("{name}.art")), &bytes)?;
+            written += 1;
+        }
+    }
+    Ok(written)
+}
+
+/// Reload artifacts spilled by [`save_store`] into the store. Returns the
+/// number of artifacts loaded.
+pub fn load_store(store: &mut ArtifactStore, dir: &Path) -> std::io::Result<usize> {
+    let mut loaded = 0;
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else { continue };
+        let Some(hex) = stem.strip_prefix('a') else { continue };
+        let Ok(raw) = u64::from_str_radix(hex, 16) else { continue };
+        let bytes = std::fs::read(&path)?;
+        let artifact = crate::codec::decode(bytes.into())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        store.put(ArtifactName(raw), &artifact);
+        loaded += 1;
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_ml::Artifact;
+    use hyppo_pipeline::naming;
+    use hyppo_pipeline::ArtifactRole;
+
+    fn sample_history() -> History {
+        let mut h = History::new();
+        h.record_dataset("higgs", 4096);
+        let raw = naming::dataset_name("higgs");
+        let cfg = hyppo_ml::Config::new();
+        let state = naming::output_name(
+            hyppo_ml::LogicalOp::StandardScaler,
+            hyppo_ml::TaskType::Fit,
+            &cfg,
+            &[raw],
+            0,
+        );
+        h.record_task(
+            hyppo_ml::LogicalOp::StandardScaler,
+            hyppo_ml::TaskType::Fit,
+            1,
+            &cfg,
+            &[raw],
+            &[crate::history::ProducedArtifact {
+                name: state,
+                label: NodeLabel {
+                    name: state,
+                    kind: hyppo_ml::ArtifactKind::OpState,
+                    role: ArtifactRole::OpState,
+                    hint: "scaler".into(),
+                    size_bytes: Some(64),
+                },
+                size_bytes: 64,
+            }],
+            1.25,
+        );
+        h.touch(state);
+        h.touch(state);
+        h.materialize(state);
+        h
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_structure() {
+        let h = sample_history();
+        let restored = restore(&snapshot(&h));
+        assert_eq!(restored.artifact_count(), h.artifact_count());
+        assert_eq!(restored.graph.edge_count(), h.graph.edge_count());
+        for name in h.artifact_names() {
+            assert!(restored.contains(name));
+            assert_eq!(restored.stats_of(name), h.stats_of(name), "stats for {name}");
+            assert_eq!(restored.is_materialized(name), h.is_materialized(name));
+        }
+    }
+
+    #[test]
+    fn restored_history_answers_task_queries() {
+        let h = sample_history();
+        let restored = restore(&snapshot(&h));
+        let raw = naming::dataset_name("higgs");
+        let cfg = hyppo_ml::Config::new();
+        let identity = naming::task_identity(
+            hyppo_ml::LogicalOp::StandardScaler,
+            hyppo_ml::TaskType::Fit,
+            &cfg,
+            &[raw],
+        );
+        assert!(restored.has_task(identity, 1));
+        assert!(!restored.has_task(identity, 0));
+    }
+
+    #[test]
+    fn catalog_json_roundtrip() {
+        let h = sample_history();
+        let mut est = CostEstimator::new();
+        est.observe(hyppo_ml::LogicalOp::Ridge, hyppo_ml::TaskType::Fit, 0, 1024, 0.5);
+        let json = catalog_to_json(&h, &est);
+        let (h2, est2) = catalog_from_json(&json).unwrap();
+        assert_eq!(h2.artifact_count(), h.artifact_count());
+        assert_eq!(est2.stats.len(), est.stats.len());
+    }
+
+    #[test]
+    fn store_spill_and_reload() {
+        let dir = std::env::temp_dir().join(format!("hyppo_store_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ArtifactStore::new();
+        let name = naming::dataset_name("x");
+        store.put(name, &Artifact::Predictions(vec![1.0, 2.0, 3.0]));
+        let written = save_store(&store, &dir).unwrap();
+        assert_eq!(written, 1);
+        let mut store2 = ArtifactStore::new();
+        let loaded = load_store(&mut store2, &dir).unwrap();
+        assert_eq!(loaded, 1);
+        let (artifact, _) = store2.load(name).unwrap();
+        assert_eq!(artifact, Artifact::Predictions(vec![1.0, 2.0, 3.0]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spill_file_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("hyppo_store_bad_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a00000000000000ff.art"), b"garbage").unwrap();
+        let mut store = ArtifactStore::new();
+        assert!(load_store(&mut store, &dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,474 @@
+//! The HYPPO system facade (§IV-A): parser → augmenter → plan generator →
+//! executor → monitor → history manager, wired end-to-end.
+
+use crate::augment::{self, annotate_costs, AugmentOptions, Augmentation};
+use crate::cost::PriceModel;
+use crate::estimator::CostEstimator;
+use crate::executor::{execute_plan, ExecError, ExecMode};
+use crate::history::History;
+use crate::materialize::{MaterializeConfig, Materializer, PlanLocality};
+use crate::monitor::record_outcome;
+use crate::optimizer::{optimize, SearchOptions};
+use crate::store::ArtifactStore;
+use hyppo_pipeline::{build_pipeline, ArtifactName, Dictionary, PipelineSpec};
+use hyppo_tensor::Dataset;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// System configuration.
+#[derive(Clone, Debug)]
+pub struct HyppoConfig {
+    /// Storage budget in bytes (0 disables materialization).
+    pub budget_bytes: u64,
+    /// Plan-search options (queue kind, greediness, exploration knob).
+    pub search: SearchOptions,
+    /// The operator dictionary.
+    pub dictionary: Dictionary,
+    /// Augmentation options.
+    pub augment: AugmentOptions,
+    /// Materialization locality variant.
+    pub locality: PlanLocality,
+    /// Pricing model for monetary cost reporting.
+    pub price: PriceModel,
+    /// Execution mode (real computation vs virtual clock).
+    pub mode: ExecMode,
+}
+
+impl Default for HyppoConfig {
+    fn default() -> Self {
+        HyppoConfig {
+            budget_bytes: 0,
+            search: SearchOptions::default(),
+            dictionary: Dictionary::full(),
+            augment: AugmentOptions::default(),
+            locality: PlanLocality::PaperInverse,
+            price: PriceModel::default(),
+            mode: ExecMode::Real,
+        }
+    }
+}
+
+/// What one pipeline submission cost and did.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Estimated cost of the chosen plan (seconds).
+    pub planned_cost: f64,
+    /// Executed cost (seconds) — the run's contribution to cumulative
+    /// execution time.
+    pub execution_seconds: f64,
+    /// Time spent in augmentation + plan search (the optimization
+    /// overhead of paper Fig. 9b).
+    pub optimize_seconds: f64,
+    /// Number of hyperedges executed.
+    pub tasks_executed: usize,
+    /// How many of them were loads of materialized artifacts / datasets.
+    pub loads: usize,
+    /// Number of new tasks the augmentation contained.
+    pub new_tasks: usize,
+    /// Plan-search expansions (search effort).
+    pub expansions: usize,
+    /// Artifacts stored / evicted by this round's materialization.
+    pub stored: usize,
+    /// Artifacts evicted by this round's materialization.
+    pub evicted: usize,
+    /// Scalar evaluation results, by artifact name.
+    pub values: HashMap<ArtifactName, f64>,
+}
+
+/// Submission failure.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// No executable plan derives the targets (e.g. a requested artifact
+    /// is unknown or underivable).
+    NoPlan,
+    /// Plan execution failed.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::NoPlan => write!(f, "no executable plan for the requested targets"),
+            SubmitError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<ExecError> for SubmitError {
+    fn from(e: ExecError) -> Self {
+        SubmitError::Exec(e)
+    }
+}
+
+/// The HYPPO system.
+#[derive(Debug)]
+pub struct Hyppo {
+    /// Configuration.
+    pub config: HyppoConfig,
+    /// The history hypergraph `H`.
+    pub history: History,
+    /// The learned cost estimator.
+    pub estimator: CostEstimator,
+    /// The artifact store behind the source node `s`.
+    pub store: ArtifactStore,
+    /// Cumulative execution seconds across all submissions.
+    pub cumulative_seconds: f64,
+}
+
+impl Hyppo {
+    /// Create a system with the given configuration.
+    pub fn new(config: HyppoConfig) -> Self {
+        Hyppo {
+            config,
+            history: History::new(),
+            estimator: CostEstimator::new(),
+            store: ArtifactStore::new(),
+            cumulative_seconds: 0.0,
+        }
+    }
+
+    /// Register a raw dataset as loadable from the source.
+    pub fn register_dataset(&mut self, id: &str, dataset: Dataset) {
+        let size = dataset.size_bytes() as u64;
+        self.store.register_dataset(id, dataset);
+        self.history.record_dataset(id, size);
+    }
+
+    /// Current monetary cost: `cet × price_per_second + B × price_per_MB`.
+    pub fn price(&self) -> f64 {
+        self.config.price.price(self.cumulative_seconds, self.config.budget_bytes)
+    }
+
+    /// Persist the catalog (history + learned statistics) and spill the
+    /// materialized artifacts under `dir`, so a later session can resume
+    /// with full across-experiment reuse.
+    pub fn save_catalog(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let json = crate::persist::catalog_to_json(&self.history, &self.estimator);
+        std::fs::write(dir.join("catalog.json"), json)?;
+        crate::persist::save_store(&self.store, &dir.join("artifacts"))?;
+        Ok(())
+    }
+
+    /// Restore a catalog previously written by [`Hyppo::save_catalog`].
+    /// Raw datasets are not persisted — re-register them after loading.
+    pub fn load_catalog(&mut self, dir: &std::path::Path) -> std::io::Result<()> {
+        let json = std::fs::read_to_string(dir.join("catalog.json"))?;
+        let (history, estimator) = crate::persist::catalog_from_json(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        self.history = history;
+        self.estimator = estimator;
+        crate::persist::load_store(&mut self.store, &dir.join("artifacts"))?;
+        // Drop materialization flags for artifacts whose payloads did not
+        // survive the round trip (defensive consistency).
+        for name in self.history.materialized().collect::<Vec<_>>() {
+            if !self.store.contains(name) {
+                self.history.evict(name);
+            }
+        }
+        Ok(())
+    }
+
+    /// Submit a pipeline: augment, optimize, execute, record, materialize.
+    pub fn submit(&mut self, spec: PipelineSpec) -> Result<RunReport, SubmitError> {
+        let opt_start = Instant::now();
+        let pipeline = build_pipeline(spec);
+        let aug = augment::augment(
+            &pipeline,
+            &self.history,
+            &self.config.dictionary,
+            self.config.augment,
+        );
+        self.run_augmentation(aug, opt_start)
+    }
+
+    /// Retrieve previously computed artifacts by name (paper Scenario 2):
+    /// plan over the history's alternatives only.
+    pub fn retrieve(&mut self, names: &[ArtifactName]) -> Result<RunReport, SubmitError> {
+        let opt_start = Instant::now();
+        let aug = augment::augment_request(&self.history, names).ok_or(SubmitError::NoPlan)?;
+        self.run_augmentation(aug, opt_start)
+    }
+
+    fn run_augmentation(
+        &mut self,
+        aug: Augmentation,
+        opt_start: Instant,
+    ) -> Result<RunReport, SubmitError> {
+        let costs = annotate_costs(&aug, &self.estimator, &self.store);
+        let plan = optimize(
+            &aug.graph,
+            &costs,
+            aug.source,
+            &aug.targets,
+            &aug.new_tasks,
+            self.config.search,
+        )
+        .ok_or(SubmitError::NoPlan)?;
+        let optimize_seconds = opt_start.elapsed().as_secs_f64();
+
+        let outcome = execute_plan(&aug, &plan.edges, &self.store, self.config.mode, &costs)?;
+        let target_names: Vec<ArtifactName> =
+            aug.targets.iter().map(|&t| aug.graph.node(t).name).collect();
+        record_outcome(&aug, &outcome, &target_names, &mut self.history, &mut self.estimator);
+
+        // Materialize under the budget.
+        let report_mat = if self.config.budget_bytes > 0 {
+            let materializer = Materializer::new(MaterializeConfig {
+                budget_bytes: self.config.budget_bytes,
+                locality: self.config.locality,
+            });
+            materializer.run(
+                &mut self.history,
+                &mut self.store,
+                &self.estimator,
+                &outcome.artifacts,
+            )
+        } else {
+            Default::default()
+        };
+
+        self.cumulative_seconds += outcome.total_seconds;
+        let values: HashMap<ArtifactName, f64> = target_names
+            .iter()
+            .filter_map(|&n| outcome.value(n).map(|v| (n, v)))
+            .collect();
+        Ok(RunReport {
+            planned_cost: plan.cost,
+            execution_seconds: outcome.total_seconds,
+            optimize_seconds,
+            tasks_executed: outcome.metrics.len(),
+            loads: outcome.metrics.iter().filter(|m| m.is_load).count(),
+            new_tasks: aug.new_tasks.len(),
+            expansions: plan.expansions,
+            stored: report_mat.stored.len(),
+            evicted: report_mat.evicted.len(),
+            values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_ml::{Config, LogicalOp};
+    use hyppo_tensor::{Matrix, SeededRng, TaskKind};
+
+    fn dataset(n: usize) -> Dataset {
+        let mut rng = SeededRng::new(3);
+        let mut x = Matrix::zeros(n, 4);
+        let mut y = Vec::new();
+        for r in 0..n {
+            for c in 0..4 {
+                x.set(r, c, rng.uniform(-1.0, 1.0));
+            }
+            y.push(if x.get(r, 0) + x.get(r, 1) > 0.0 { 1.0 } else { 0.0 });
+        }
+        Dataset::new(
+            x,
+            y,
+            (0..4).map(|i| format!("f{i}")).collect(),
+            TaskKind::Classification,
+        )
+    }
+
+    fn svm_spec(seed: i64) -> PipelineSpec {
+        let mut spec = PipelineSpec::new();
+        let d = spec.load("data");
+        let (train, test) = spec.split(d, Config::new().with_i("seed", seed));
+        let scaler = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+        let train_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, train);
+        let test_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
+        let model = spec.fit(LogicalOp::LinearSvm, 0, Config::new(), &[train_s]);
+        let preds = spec.predict(LogicalOp::LinearSvm, 0, Config::new(), model, test_s);
+        spec.evaluate(LogicalOp::Accuracy, preds, test_s);
+        spec
+    }
+
+    fn system(budget: u64) -> Hyppo {
+        let mut h = Hyppo::new(HyppoConfig { budget_bytes: budget, ..Default::default() });
+        h.register_dataset("data", dataset(300));
+        h
+    }
+
+    #[test]
+    fn submit_executes_end_to_end() {
+        let mut sys = system(0);
+        let report = sys.submit(svm_spec(0)).unwrap();
+        assert!(report.execution_seconds > 0.0);
+        assert_eq!(report.values.len(), 1);
+        let acc = *report.values.values().next().unwrap();
+        assert!(acc > 0.8, "accuracy {acc}");
+        assert!(sys.history.artifact_count() >= 7);
+        assert!(sys.cumulative_seconds > 0.0);
+        assert!(sys.price() > 0.0);
+    }
+
+    /// A pipeline whose model fit dominates everything else, so loading
+    /// the materialized op-state beats re-fitting by a wide margin.
+    fn forest_spec(seed: i64) -> PipelineSpec {
+        let mut spec = PipelineSpec::new();
+        let d = spec.load("data");
+        let (train, test) = spec.split(d, Config::new().with_i("seed", seed));
+        let fcfg = Config::new().with_i("n_trees", 40).with_i("max_depth", 8).with_i("seed", 7);
+        let model = spec.fit(LogicalOp::RandomForest, 0, fcfg.clone(), &[train]);
+        let preds = spec.predict(LogicalOp::RandomForest, 0, fcfg, model, test);
+        spec.evaluate(LogicalOp::Accuracy, preds, test);
+        spec
+    }
+
+    #[test]
+    fn repeat_submission_reuses_via_materialization() {
+        let mut sys = system(64 * 1024 * 1024);
+        sys.register_dataset("data", dataset(2000));
+        let first = sys.submit(forest_spec(0)).unwrap();
+        assert!(first.stored > 0, "first run must materialize artifacts");
+        let second = sys.submit(forest_spec(0)).unwrap();
+        // The expensive fit is bypassed via a load; the run gets much
+        // cheaper.
+        assert!(second.loads >= 1, "second run must load something");
+        assert!(
+            second.execution_seconds < 0.5 * first.execution_seconds,
+            "second {} vs first {}",
+            second.execution_seconds,
+            first.execution_seconds
+        );
+    }
+
+    #[test]
+    fn equivalence_reuse_without_materialization_shares_nothing_but_still_plans() {
+        let mut sys = system(0);
+        let r1 = sys.submit(svm_spec(0)).unwrap();
+        // With zero budget nothing is stored...
+        assert_eq!(r1.stored, 0);
+        assert!(sys.store.is_empty());
+        // ...but history still records the tasks: on resubmission only the
+        // never-executed dictionary alternatives remain "new".
+        let r2 = sys.submit(svm_spec(0)).unwrap();
+        assert!(
+            r2.new_tasks < r1.new_tasks,
+            "recorded tasks must stop being new ({} vs {})",
+            r2.new_tasks,
+            r1.new_tasks
+        );
+    }
+
+    #[test]
+    fn retrieve_replans_from_history() {
+        let mut sys = system(64 * 1024 * 1024);
+        sys.submit(svm_spec(0)).unwrap();
+        // Ask for the accuracy artifact again by name.
+        let names: Vec<ArtifactName> = sys
+            .history
+            .artifact_names()
+            .filter(|&n| {
+                let node = sys.history.node_of(n).unwrap();
+                sys.history.graph.node(node).role == hyppo_pipeline::ArtifactRole::Value
+            })
+            .collect();
+        assert!(!names.is_empty());
+        let report = sys.retrieve(&names).unwrap();
+        assert!(report.tasks_executed >= 1);
+        assert_eq!(report.values.len(), names.len());
+    }
+
+    #[test]
+    fn retrieve_unknown_artifact_fails() {
+        let mut sys = system(0);
+        assert!(matches!(
+            sys.retrieve(&[ArtifactName(42)]),
+            Err(SubmitError::NoPlan)
+        ));
+    }
+
+    #[test]
+    fn exploration_mode_executes_new_tasks() {
+        let mut sys = system(64 * 1024 * 1024);
+        sys.submit(svm_spec(0)).unwrap();
+        sys.config.search.c_exp = 1.0;
+        // A variant pipeline with a different model; exploration forces the
+        // new fit even though much is reusable.
+        let mut spec = PipelineSpec::new();
+        let d = spec.load("data");
+        let (train, test) = spec.split(d, Config::new().with_i("seed", 0));
+        let scaler = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+        let train_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, train);
+        let test_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
+        let model = spec.fit(LogicalOp::LogisticRegression, 0, Config::new(), &[train_s]);
+        let preds = spec.predict(LogicalOp::LogisticRegression, 0, Config::new(), model, test_s);
+        spec.evaluate(LogicalOp::Accuracy, preds, test_s);
+        let report = sys.submit(spec).unwrap();
+        assert!(report.new_tasks > 0);
+        assert!(report.tasks_executed > 0);
+    }
+
+    #[test]
+    fn catalog_survives_a_restart() {
+        let dir = std::env::temp_dir().join(format!("hyppo_catalog_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut first = system(64 * 1024 * 1024);
+        first.register_dataset("data", dataset(2000));
+        let cold = first.submit(forest_spec(0)).unwrap();
+        first.save_catalog(&dir).unwrap();
+
+        // A "new session": fresh system, catalog loaded, dataset
+        // re-registered (sources are not persisted).
+        let mut second = Hyppo::new(HyppoConfig {
+            budget_bytes: 64 * 1024 * 1024,
+            ..Default::default()
+        });
+        second.load_catalog(&dir).unwrap();
+        second.register_dataset("data", dataset(2000));
+        let warm = second.submit(forest_spec(0)).unwrap();
+        assert!(warm.loads >= 1, "restored catalog must enable loads");
+        assert!(
+            warm.execution_seconds < 0.5 * cold.execution_seconds,
+            "warm {} vs cold {}",
+            warm.execution_seconds,
+            cold.execution_seconds
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn augmentation_renders_to_dot() {
+        let mut sys = system(0);
+        let pipeline = hyppo_pipeline::build_pipeline(svm_spec(0));
+        let aug = crate::augment::augment(
+            &pipeline,
+            &sys.history,
+            &sys.config.dictionary,
+            sys.config.augment,
+        );
+        let costs = crate::augment::annotate_costs(&aug, &sys.estimator, &sys.store);
+        let plan = crate::optimizer::optimize(
+            &aug.graph,
+            &costs,
+            aug.source,
+            &aug.targets,
+            &[],
+            sys.config.search,
+        )
+        .unwrap();
+        let dot = aug.to_dot(&plan.edges);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("style=bold"), "plan edges must be highlighted");
+        let _ = sys.submit(svm_spec(0));
+    }
+
+    #[test]
+    fn budget_bound_is_never_exceeded() {
+        let budget = 8 * 1024;
+        let mut sys = system(budget as u64);
+        for seed in 0..3 {
+            sys.submit(svm_spec(seed)).unwrap();
+            assert!(
+                sys.store.used_bytes() <= budget as u64,
+                "store uses {} > budget {budget}",
+                sys.store.used_bytes()
+            );
+        }
+    }
+}

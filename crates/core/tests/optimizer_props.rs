@@ -1,0 +1,164 @@
+//! Property-based tests of the plan search: on random layered hypergraphs
+//! with alternatives, the exact variants agree with brute force and with
+//! each other, plans always validate, and greedy never beats exact.
+
+use hyppo_core::optimizer::{optimize, QueueKind, SearchOptions};
+use hyppo_hypergraph::{
+    connectivity, validate_plan, EdgeId, HyperGraph, NodeId, PlanValidity,
+};
+use proptest::prelude::*;
+
+type G = HyperGraph<u32, u32>;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    graph: G,
+    costs: Vec<f64>,
+    source: NodeId,
+    targets: Vec<NodeId>,
+}
+
+/// Random layered hypergraph: node 0 is the source; each later node gets
+/// 1–3 alternative producer hyperedges with tails drawn from earlier nodes.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (2usize..7).prop_flat_map(|n| {
+        let producers = proptest::collection::vec(
+            proptest::collection::vec(
+                (proptest::collection::vec(0usize..n, 1..3), 1u32..20),
+                1..3,
+            ),
+            n,
+        );
+        (producers, proptest::collection::vec(0usize..n, 1..3)).prop_map(
+            move |(producers, target_picks)| {
+                let mut graph = G::new();
+                let source = graph.add_node(0);
+                let mut nodes = vec![source];
+                let mut costs = Vec::new();
+                for (i, alts) in producers.into_iter().enumerate() {
+                    let v = graph.add_node(i as u32 + 1);
+                    for (tails, w) in alts {
+                        let mut tail: Vec<NodeId> = tails
+                            .into_iter()
+                            .map(|t| nodes[t % nodes.len()])
+                            .collect();
+                        tail.sort_unstable();
+                        tail.dedup();
+                        let e = graph.add_edge(tail, vec![v], w);
+                        costs.resize(e.index() + 1, 0.0);
+                        costs[e.index()] = w as f64;
+                    }
+                    nodes.push(v);
+                }
+                let mut targets: Vec<NodeId> = target_picks
+                    .into_iter()
+                    .map(|t| nodes[1 + t % (nodes.len() - 1)])
+                    .collect();
+                targets.sort_unstable();
+                targets.dedup();
+                Instance { graph, costs, source, targets }
+            },
+        )
+    })
+}
+
+fn brute_force(inst: &Instance) -> Option<f64> {
+    let edges: Vec<EdgeId> = inst.graph.edge_ids().collect();
+    let n = edges.len();
+    if n > 16 {
+        return None; // skip oversized cases
+    }
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let subset: Vec<EdgeId> =
+            (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| edges[i]).collect();
+        let closure = connectivity::b_closure_filtered(&inst.graph, &[inst.source], |e| {
+            subset.contains(&e)
+        });
+        if inst.targets.iter().all(|&t| closure.contains(t)) {
+            let cost: f64 = subset.iter().map(|&e| inst.costs[e.index()]).sum();
+            if best.is_none_or(|b| cost < b) {
+                best = Some(cost);
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_search_matches_brute_force(inst in arb_instance()) {
+        let Some(expected) = brute_force(&inst) else {
+            return Ok(());
+        };
+        for queue in [QueueKind::Stack, QueueKind::Priority] {
+            let opts = SearchOptions { queue, ..Default::default() };
+            let plan = optimize(
+                &inst.graph, &inst.costs, inst.source, &inst.targets, &[], opts,
+            ).expect("brute force found a plan, search must too");
+            prop_assert!(
+                (plan.cost - expected).abs() < 1e-9,
+                "{queue:?}: {} vs {expected}", plan.cost
+            );
+            prop_assert_eq!(
+                validate_plan(&inst.graph, &plan.edges, &[inst.source], &inst.targets),
+                PlanValidity::Valid
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_is_valid_and_never_cheaper_than_exact(inst in arb_instance()) {
+        let exact = optimize(
+            &inst.graph, &inst.costs, inst.source, &inst.targets, &[],
+            SearchOptions::default(),
+        );
+        let greedy = optimize(
+            &inst.graph, &inst.costs, inst.source, &inst.targets, &[],
+            SearchOptions { greedy: true, ..Default::default() },
+        );
+        match (exact, greedy) {
+            (Some(e), Some(g)) => {
+                prop_assert!(g.cost >= e.cost - 1e-9, "greedy {} < exact {}", g.cost, e.cost);
+                prop_assert_eq!(
+                    validate_plan(&inst.graph, &g.edges, &[inst.source], &inst.targets),
+                    PlanValidity::Valid
+                );
+            }
+            (None, None) => {}
+            (e, g) => prop_assert!(false, "feasibility disagreement: {e:?} vs {g:?}"),
+        }
+    }
+
+    #[test]
+    fn exploration_seeding_includes_forced_tasks(inst in arb_instance()) {
+        // Force the first (non-load) edge as a "new task" under c_exp = 1.
+        let Some(forced) = inst.graph.edge_ids().next() else { return Ok(()); };
+        let opts = SearchOptions { c_exp: 1.0, ..Default::default() };
+        if let Some(plan) = optimize(
+            &inst.graph, &inst.costs, inst.source, &inst.targets, &[forced], opts,
+        ) {
+            prop_assert!(plan.edges.contains(&forced));
+            // The plan with the forced edge still derives the targets.
+            let closure = connectivity::b_closure_filtered(
+                &inst.graph, &[inst.source], |e| plan.edges.contains(&e),
+            );
+            for &t in &inst.targets {
+                prop_assert!(closure.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cost_equals_sum_of_edge_costs(inst in arb_instance()) {
+        if let Some(plan) = optimize(
+            &inst.graph, &inst.costs, inst.source, &inst.targets, &[],
+            SearchOptions::default(),
+        ) {
+            let sum: f64 = plan.edges.iter().map(|&e| inst.costs[e.index()]).sum();
+            prop_assert!((plan.cost - sum).abs() < 1e-9);
+        }
+    }
+}

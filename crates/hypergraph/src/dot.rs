@@ -1,0 +1,86 @@
+//! Graphviz (DOT) export.
+//!
+//! Hyperedges are rendered as small box nodes connected to their tail and
+//! head artifacts, the standard visual encoding for directed hypergraphs —
+//! and the one used in the HYPPO paper's Figure 1.
+
+use crate::graph::HyperGraph;
+use crate::ids::EdgeId;
+use std::fmt::Write;
+
+/// Render the hypergraph as a DOT digraph.
+///
+/// `node_label` and `edge_label` provide display labels; `highlight_edge`
+/// marks plan edges (drawn bold) so a plan can be visualised inside its
+/// augmentation.
+pub fn to_dot<N, E>(
+    graph: &HyperGraph<N, E>,
+    mut node_label: impl FnMut(&N) -> String,
+    mut edge_label: impl FnMut(&E) -> String,
+    mut highlight_edge: impl FnMut(EdgeId) -> bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("digraph hypergraph {\n  rankdir=LR;\n");
+    for node in graph.nodes() {
+        writeln!(
+            out,
+            "  n{} [label=\"{}\", shape=ellipse];",
+            node.id.index(),
+            escape(&node_label(node.data))
+        )
+        .expect("write to String cannot fail");
+    }
+    for edge in graph.edges() {
+        let style = if highlight_edge(edge.id) { ", style=bold, color=red" } else { "" };
+        writeln!(
+            out,
+            "  e{} [label=\"{}\", shape=box{}];",
+            edge.id.index(),
+            escape(&edge_label(edge.data)),
+            style
+        )
+        .expect("write to String cannot fail");
+        for v in edge.tail {
+            writeln!(out, "  n{} -> e{};", v.index(), edge.id.index())
+                .expect("write to String cannot fail");
+        }
+        for v in edge.head {
+            writeln!(out, "  e{} -> n{};", edge.id.index(), v.index())
+                .expect("write to String cannot fail");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_edges_and_highlights() {
+        let mut g: HyperGraph<&str, &str> = HyperGraph::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let e = g.add_edge(vec![s], vec![a], "load");
+        let dot = to_dot(&g, |n| n.to_string(), |e| e.to_string(), |id| id == e);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("label=\"s\""));
+        assert!(dot.contains("label=\"load\""));
+        assert!(dot.contains("style=bold"));
+        assert!(dot.contains("n0 -> e0"));
+        assert!(dot.contains("e0 -> n1"));
+    }
+
+    #[test]
+    fn escapes_quotes_in_labels() {
+        let mut g: HyperGraph<&str, &str> = HyperGraph::new();
+        g.add_node("say \"hi\"");
+        let dot = to_dot(&g, |n| n.to_string(), |e: &&str| e.to_string(), |_| false);
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

@@ -1,0 +1,422 @@
+//! Arena-style labelled directed hypergraph storage.
+//!
+//! Nodes and hyperedges are stored in vectors; ids are dense indices into
+//! those vectors. Removal marks entries dead (tombstones) so existing ids
+//! never dangle into a *different* element; dead entries are skipped by all
+//! iterators and star queries. HYPPO's histories only ever remove `load`
+//! hyperedges (on artifact eviction), so tombstoning is both simple and
+//! adequate — the paper keeps the artifact node and its computational edges
+//! when a materialized copy is evicted (§IV-H).
+
+use crate::ids::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct NodeEntry<N> {
+    data: N,
+    /// Hyperedges with this node in their head (alternative producers).
+    bstar: Vec<EdgeId>,
+    /// Hyperedges with this node in their tail (consumers).
+    fstar: Vec<EdgeId>,
+    alive: bool,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct EdgeEntry<E> {
+    data: E,
+    tail: Vec<NodeId>,
+    head: Vec<NodeId>,
+    alive: bool,
+}
+
+/// A labelled directed hypergraph.
+///
+/// `N` is the node (artifact) label type and `E` the hyperedge (task) label
+/// type. The graph is append-mostly: nodes and edges receive dense sequential
+/// ids, and [`HyperGraph::remove_edge`] tombstones rather than reindexes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HyperGraph<N, E> {
+    nodes: Vec<NodeEntry<N>>,
+    edges: Vec<EdgeEntry<E>>,
+    live_nodes: usize,
+    live_edges: usize,
+}
+
+/// Borrowed view of a node and its incident structure.
+#[derive(Debug)]
+pub struct NodeRef<'g, N> {
+    /// The node's id.
+    pub id: NodeId,
+    /// The node's label.
+    pub data: &'g N,
+    /// Backward star: ids of hyperedges producing this node.
+    pub bstar: &'g [EdgeId],
+    /// Forward star: ids of hyperedges consuming this node.
+    pub fstar: &'g [EdgeId],
+}
+
+/// Borrowed view of a hyperedge and its endpoints.
+#[derive(Debug)]
+pub struct EdgeRef<'g, E> {
+    /// The edge's id.
+    pub id: EdgeId,
+    /// The edge's label.
+    pub data: &'g E,
+    /// Input artifacts (AND semantics: all are required).
+    pub tail: &'g [NodeId],
+    /// Output artifacts (all are produced together).
+    pub head: &'g [NodeId],
+}
+
+impl<N, E> Default for HyperGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> HyperGraph<N, E> {
+    /// Create an empty hypergraph.
+    pub fn new() -> Self {
+        HyperGraph { nodes: Vec::new(), edges: Vec::new(), live_nodes: 0, live_edges: 0 }
+    }
+
+    /// Create an empty hypergraph with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        HyperGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            live_nodes: 0,
+            live_edges: 0,
+        }
+    }
+
+    /// Number of live (non-removed) nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live (non-removed) hyperedges.
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Upper bound (exclusive) on node indices ever allocated, including
+    /// tombstones. Use this to size side tables indexed by [`NodeId::index`].
+    pub fn node_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Upper bound (exclusive) on edge indices ever allocated, including
+    /// tombstones. Use this to size side tables indexed by [`EdgeId::index`].
+    pub fn edge_bound(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Insert a node with label `data` and return its id.
+    pub fn add_node(&mut self, data: N) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeEntry { data, bstar: Vec::new(), fstar: Vec::new(), alive: true });
+        self.live_nodes += 1;
+        id
+    }
+
+    /// Insert a hyperedge `tail -> head` with label `data` and return its id.
+    ///
+    /// # Panics
+    /// Panics if any endpoint id is dead or out of range, or if `head` is
+    /// empty (a task must produce at least one artifact; a *source* task has
+    /// an empty tail instead).
+    pub fn add_edge(&mut self, tail: Vec<NodeId>, head: Vec<NodeId>, data: E) -> EdgeId {
+        assert!(!head.is_empty(), "hyperedge must produce at least one artifact");
+        let id = EdgeId::from_index(self.edges.len());
+        for &v in &tail {
+            let entry = self.node_entry_mut(v);
+            entry.fstar.push(id);
+        }
+        for &v in &head {
+            let entry = self.node_entry_mut(v);
+            entry.bstar.push(id);
+        }
+        self.edges.push(EdgeEntry { data, tail, head, alive: true });
+        self.live_edges += 1;
+        id
+    }
+
+    /// Remove a hyperedge. Its endpoints remain in the graph.
+    ///
+    /// Used by HYPPO's history manager to evict a materialized artifact: the
+    /// artifact's `load` hyperedge is removed while the node and all other
+    /// incident hyperedges are kept.
+    pub fn remove_edge(&mut self, e: EdgeId) {
+        let entry = &mut self.edges[e.index()];
+        assert!(entry.alive, "edge {e} removed twice");
+        entry.alive = false;
+        self.live_edges -= 1;
+        let (tail, head) = (std::mem::take(&mut entry.tail), std::mem::take(&mut entry.head));
+        for v in tail {
+            self.nodes[v.index()].fstar.retain(|&x| x != e);
+        }
+        for v in head {
+            self.nodes[v.index()].bstar.retain(|&x| x != e);
+        }
+    }
+
+    /// Remove a node together with every incident hyperedge.
+    pub fn remove_node(&mut self, v: NodeId) {
+        let entry = &mut self.nodes[v.index()];
+        assert!(entry.alive, "node {v} removed twice");
+        let incident: Vec<EdgeId> =
+            entry.bstar.iter().chain(entry.fstar.iter()).copied().collect();
+        for e in incident {
+            if self.edges[e.index()].alive {
+                self.remove_edge(e);
+            }
+        }
+        let entry = &mut self.nodes[v.index()];
+        entry.alive = false;
+        self.live_nodes -= 1;
+    }
+
+    /// Whether `v` refers to a live node.
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        self.nodes.get(v.index()).is_some_and(|n| n.alive)
+    }
+
+    /// Whether `e` refers to a live hyperedge.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.get(e.index()).is_some_and(|n| n.alive)
+    }
+
+    /// Label of node `v`.
+    pub fn node(&self, v: NodeId) -> &N {
+        let entry = &self.nodes[v.index()];
+        assert!(entry.alive, "access to removed node {v}");
+        &entry.data
+    }
+
+    /// Mutable label of node `v`.
+    pub fn node_mut(&mut self, v: NodeId) -> &mut N {
+        let entry = &mut self.nodes[v.index()];
+        assert!(entry.alive, "access to removed node {v}");
+        &mut entry.data
+    }
+
+    /// Label of hyperedge `e`.
+    pub fn edge(&self, e: EdgeId) -> &E {
+        let entry = &self.edges[e.index()];
+        assert!(entry.alive, "access to removed edge {e}");
+        &entry.data
+    }
+
+    /// Mutable label of hyperedge `e`.
+    pub fn edge_mut(&mut self, e: EdgeId) -> &mut E {
+        let entry = &mut self.edges[e.index()];
+        assert!(entry.alive, "access to removed edge {e}");
+        &mut entry.data
+    }
+
+    /// Tail (input artifact set) of hyperedge `e`.
+    pub fn tail(&self, e: EdgeId) -> &[NodeId] {
+        &self.edges[e.index()].tail
+    }
+
+    /// Head (output artifact set) of hyperedge `e`.
+    pub fn head(&self, e: EdgeId) -> &[NodeId] {
+        &self.edges[e.index()].head
+    }
+
+    /// Backward star of `v`: hyperedges with `v` in their head, i.e. the
+    /// alternative ways to produce artifact `v` (OR semantics).
+    pub fn bstar(&self, v: NodeId) -> &[EdgeId] {
+        &self.nodes[v.index()].bstar
+    }
+
+    /// Forward star of `v`: hyperedges with `v` in their tail, i.e. the tasks
+    /// depending on artifact `v`.
+    pub fn fstar(&self, v: NodeId) -> &[EdgeId] {
+        &self.nodes[v.index()].fstar
+    }
+
+    /// Borrowed view bundling a node's label and stars.
+    pub fn node_ref(&self, v: NodeId) -> NodeRef<'_, N> {
+        let entry = &self.nodes[v.index()];
+        assert!(entry.alive, "access to removed node {v}");
+        NodeRef { id: v, data: &entry.data, bstar: &entry.bstar, fstar: &entry.fstar }
+    }
+
+    /// Borrowed view bundling an edge's label and endpoints.
+    pub fn edge_ref(&self, e: EdgeId) -> EdgeRef<'_, E> {
+        let entry = &self.edges[e.index()];
+        assert!(entry.alive, "access to removed edge {e}");
+        EdgeRef { id: e, data: &entry.data, tail: &entry.tail, head: &entry.head }
+    }
+
+    /// Iterate over live node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Iterate over live edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(i, _)| EdgeId::from_index(i))
+    }
+
+    /// Iterate over live nodes as [`NodeRef`]s.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeRef<'_, N>> + '_ {
+        self.node_ids().map(|v| self.node_ref(v))
+    }
+
+    /// Iterate over live edges as [`EdgeRef`]s.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        self.edge_ids().map(|e| self.edge_ref(e))
+    }
+
+    /// Sink nodes: live nodes with an empty forward star. In a pipeline these
+    /// are the *targets* — the artifacts the user asked for (paper §III-C5).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&v| self.fstar(v).is_empty()).collect()
+    }
+
+    fn node_entry_mut(&mut self, v: NodeId) -> &mut NodeEntry<N> {
+        let entry = self
+            .nodes
+            .get_mut(v.index())
+            .unwrap_or_else(|| panic!("node {v} out of range"));
+        assert!(entry.alive, "edge references removed node {v}");
+        entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (HyperGraph<&'static str, &'static str>, Vec<NodeId>, Vec<EdgeId>) {
+        // s -t0-> a ; a -t1-> {b, c} ; {b, c} -t2-> d
+        let mut g = HyperGraph::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        let t0 = g.add_edge(vec![s], vec![a], "load");
+        let t1 = g.add_edge(vec![a], vec![b, c], "split");
+        let t2 = g.add_edge(vec![b, c], vec![d], "join");
+        (g, vec![s, a, b, c, d], vec![t0, t1, t2])
+    }
+
+    #[test]
+    fn add_and_query_structure() {
+        let (g, n, e) = diamond();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.tail(e[1]), &[n[1]]);
+        assert_eq!(g.head(e[1]), &[n[2], n[3]]);
+        assert_eq!(g.bstar(n[2]), &[e[1]]);
+        assert_eq!(g.fstar(n[2]), &[e[2]]);
+        assert_eq!(g.bstar(n[0]), &[] as &[EdgeId]);
+        assert_eq!(*g.node(n[4]), "d");
+        assert_eq!(*g.edge(e[2]), "join");
+    }
+
+    #[test]
+    fn multi_output_edge_appears_in_both_bstars() {
+        let (g, n, e) = diamond();
+        assert_eq!(g.bstar(n[2]), &[e[1]]);
+        assert_eq!(g.bstar(n[3]), &[e[1]]);
+    }
+
+    #[test]
+    fn sinks_are_nodes_with_empty_fstar() {
+        let (g, n, _) = diamond();
+        assert_eq!(g.sinks(), vec![n[4]]);
+    }
+
+    #[test]
+    fn remove_edge_detaches_stars_but_keeps_nodes() {
+        let (mut g, n, e) = diamond();
+        g.remove_edge(e[1]);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.contains_edge(e[1]));
+        assert!(g.contains_node(n[2]));
+        assert!(g.bstar(n[2]).is_empty());
+        assert!(g.fstar(n[1]).is_empty());
+        // other edges untouched
+        assert!(g.contains_edge(e[0]));
+        assert!(g.contains_edge(e[2]));
+    }
+
+    #[test]
+    fn remove_node_removes_incident_edges() {
+        let (mut g, n, e) = diamond();
+        g.remove_node(n[2]); // b
+        assert!(!g.contains_node(n[2]));
+        assert!(!g.contains_edge(e[1]));
+        assert!(!g.contains_edge(e[2]));
+        assert!(g.contains_edge(e[0]));
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn iterators_skip_tombstones() {
+        let (mut g, _, e) = diamond();
+        g.remove_edge(e[0]);
+        let ids: Vec<_> = g.edge_ids().collect();
+        assert_eq!(ids, vec![e[1], e[2]]);
+        assert_eq!(g.edges().count(), 2);
+        assert_eq!(g.nodes().count(), 5);
+    }
+
+    #[test]
+    fn node_mut_and_edge_mut_update_labels() {
+        let (mut g, n, e) = diamond();
+        *g.node_mut(n[0]) = "source";
+        *g.edge_mut(e[0]) = "load2";
+        assert_eq!(*g.node(n[0]), "source");
+        assert_eq!(*g.edge(e[0]), "load2");
+    }
+
+    #[test]
+    #[should_panic(expected = "must produce at least one artifact")]
+    fn empty_head_rejected() {
+        let mut g: HyperGraph<(), ()> = HyperGraph::new();
+        let v = g.add_node(());
+        g.add_edge(vec![v], vec![], ());
+    }
+
+    #[test]
+    #[should_panic(expected = "removed twice")]
+    fn double_edge_removal_panics() {
+        let (mut g, _, e) = diamond();
+        g.remove_edge(e[0]);
+        g.remove_edge(e[0]);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_structure() {
+        let (g, n, e) = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: HyperGraph<String, String> = serde_json::from_str(&json).unwrap();
+        assert_eq!(g2.node_count(), 5);
+        assert_eq!(g2.edge_count(), 3);
+        assert_eq!(g2.tail(e[2]), &[n[2], n[3]]);
+        assert_eq!(g2.node(n[4]), "d");
+    }
+
+    #[test]
+    fn bound_includes_tombstones() {
+        let (mut g, n, _) = diamond();
+        g.remove_node(n[4]);
+        assert_eq!(g.node_bound(), 5);
+        assert_eq!(g.node_count(), 4);
+    }
+}

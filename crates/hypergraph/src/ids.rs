@@ -1,0 +1,99 @@
+//! Stable, copyable handles for hypergraph nodes and hyperedges.
+//!
+//! Both id types are thin `u32` newtypes. Ids are dense (assigned
+//! sequentially on insertion) which lets algorithms index bitsets and
+//! side-tables by `id.index()` without hashing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (an *artifact* in HYPPO's pipeline representation).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of a hyperedge (a *task* in HYPPO's pipeline representation).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// Dense index of this node, suitable for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct an id from a dense index (the inverse of [`NodeId::index`]).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+}
+
+impl EdgeId {
+    /// Dense index of this edge, suitable for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct an id from a dense index (the inverse of [`EdgeId::index`]).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32 range"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_through_index() {
+        for i in [0usize, 1, 7, 1 << 20] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn edge_id_roundtrips_through_index() {
+        for i in [0usize, 1, 7, 1 << 20] {
+            assert_eq!(EdgeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", NodeId::from_index(3)), "v3");
+        assert_eq!(format!("{:?}", EdgeId::from_index(5)), "t5");
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32 range")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Execution ordering of hyperedges.
+//!
+//! A plan is executed by firing hyperedges in an order where every task's
+//! inputs are available before it runs. [`execution_order`] produces such an
+//! order with the same counting scheme used for B-closure, and reports the
+//! offending task when the edge set is not executable (which the optimizer
+//! guarantees never happens for the plans it emits — this is the executor's
+//! defence-in-depth check).
+
+use crate::graph::HyperGraph;
+use crate::ids::{EdgeId, NodeId};
+use crate::NodeBitSet;
+use std::collections::VecDeque;
+
+/// Why an edge set could not be ordered for execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopoError {
+    /// This hyperedge's tail can never be fully derived from the sources
+    /// using the given edges (missing dependency or dependency cycle).
+    NotExecutable(EdgeId),
+}
+
+impl std::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopoError::NotExecutable(e) => {
+                write!(f, "task {e} can never fire: its inputs are not derivable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Order `edges` such that each hyperedge appears after all its inputs are
+/// produced (by earlier edges or present in `sources`).
+///
+/// Deterministic: ties are broken by edge id, so identical plans execute in
+/// identical order across runs.
+pub fn execution_order<N, E>(
+    graph: &HyperGraph<N, E>,
+    edges: &[EdgeId],
+    sources: &[NodeId],
+) -> Result<Vec<EdgeId>, TopoError> {
+    let mut available = NodeBitSet::with_bound(graph.node_bound());
+    for &s in sources {
+        available.insert(s);
+    }
+
+    let mut order = Vec::with_capacity(edges.len());
+    let mut remaining: Vec<u32> = vec![u32::MAX; graph.edge_bound()];
+    // fstar lookups must be restricted to the plan's edges.
+    let mut in_plan = vec![false; graph.edge_bound()];
+    for &e in edges {
+        in_plan[e.index()] = true;
+        remaining[e.index()] =
+            graph.tail(e).iter().filter(|&&v| !available.contains(v)).count() as u32;
+    }
+
+    let mut ready: VecDeque<EdgeId> = {
+        let mut r: Vec<EdgeId> =
+            edges.iter().copied().filter(|&e| remaining[e.index()] == 0).collect();
+        r.sort_unstable();
+        r.into()
+    };
+
+    let mut fired = vec![false; graph.edge_bound()];
+    while let Some(e) = ready.pop_front() {
+        if fired[e.index()] {
+            continue;
+        }
+        fired[e.index()] = true;
+        order.push(e);
+        let mut newly_ready: Vec<EdgeId> = Vec::new();
+        for &h in graph.head(e) {
+            if available.insert(h) {
+                for &consumer in graph.fstar(h) {
+                    if in_plan[consumer.index()] && !fired[consumer.index()] {
+                        let r = &mut remaining[consumer.index()];
+                        *r -= 1;
+                        if *r == 0 {
+                            newly_ready.push(consumer);
+                        }
+                    }
+                }
+            }
+        }
+        newly_ready.sort_unstable();
+        ready.extend(newly_ready);
+    }
+
+    if order.len() != edges.len() {
+        let stuck = edges
+            .iter()
+            .copied()
+            .find(|&e| !fired[e.index()])
+            .expect("some edge must be unfired when order is incomplete");
+        return Err(TopoError::NotExecutable(stuck));
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type G = HyperGraph<&'static str, &'static str>;
+
+    fn chain() -> (G, [NodeId; 4], [EdgeId; 3]) {
+        let mut g = G::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let e0 = g.add_edge(vec![s], vec![a], "t0");
+        let e1 = g.add_edge(vec![a], vec![b], "t1");
+        let e2 = g.add_edge(vec![a, b], vec![c], "t2");
+        (g, [s, a, b, c], [e0, e1, e2])
+    }
+
+    #[test]
+    fn orders_chain_dependencies() {
+        let (g, n, e) = chain();
+        let order = execution_order(&g, &[e[2], e[0], e[1]], &[n[0]]).unwrap();
+        assert_eq!(order, vec![e[0], e[1], e[2]]);
+    }
+
+    #[test]
+    fn multi_output_edges_release_all_heads() {
+        let mut g = G::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let split = g.add_edge(vec![s], vec![a, b], "split");
+        let join = g.add_edge(vec![a, b], vec![c], "join");
+        let order = execution_order(&g, &[join, split], &[s]).unwrap();
+        assert_eq!(order, vec![split, join]);
+    }
+
+    #[test]
+    fn missing_dependency_reported() {
+        let (g, n, e) = chain();
+        // Omit t1: t2 can never fire (b missing).
+        let err = execution_order(&g, &[e[0], e[2]], &[n[0]]).unwrap_err();
+        assert_eq!(err, TopoError::NotExecutable(e[2]));
+    }
+
+    #[test]
+    fn sources_satisfy_dependencies_directly() {
+        let (g, n, e) = chain();
+        // Treat a as already available: only t1, t2 needed.
+        let order = execution_order(&g, &[e[1], e[2]], &[n[1]]).unwrap();
+        assert_eq!(order, vec![e[1], e[2]]);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_edge_id() {
+        let mut g = G::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let ea = g.add_edge(vec![s], vec![a], "ta");
+        let eb = g.add_edge(vec![s], vec![b], "tb");
+        let order = execution_order(&g, &[eb, ea], &[s]).unwrap();
+        assert_eq!(order, vec![ea, eb]);
+    }
+
+    #[test]
+    fn empty_plan_is_trivially_ordered() {
+        let (g, n, _) = chain();
+        assert!(execution_order(&g, &[], &[n[0]]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_displays_task_id() {
+        let (g, n, e) = chain();
+        let err = execution_order(&g, &[e[2]], &[n[0]]).unwrap_err();
+        assert!(err.to_string().contains("t2"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the hypergraph substrate.
+
+use hyppo_hypergraph::{
+    b_closure, execution_order, is_b_connected, minimize_plan, validate_plan, HyperGraph, NodeId,
+    PlanValidity,
+};
+use proptest::prelude::*;
+
+type G = HyperGraph<u32, u32>;
+
+/// A random "layered" hypergraph resembling an augmented pipeline: node 0 is
+/// the source, later nodes are produced by hyperedges whose tails draw only
+/// from earlier nodes (guaranteeing acyclicity, as in real histories).
+fn arb_layered_graph() -> impl Strategy<Value = (G, Vec<NodeId>)> {
+    (2usize..24).prop_flat_map(|n| {
+        // For each non-source node: up to 3 alternative producers, each with
+        // a tail of up to 3 earlier nodes (possibly empty tails are avoided
+        // by always tying to node selection below).
+        let producers = proptest::collection::vec(
+            proptest::collection::vec(
+                (proptest::collection::vec(0usize..n, 1..4), any::<u32>()),
+                1..4,
+            ),
+            n - 1,
+        );
+        producers.prop_map(move |producers| {
+            let mut g = G::new();
+            let nodes: Vec<NodeId> = (0..n as u32).map(|i| g.add_node(i)).collect();
+            for (i, alts) in producers.into_iter().enumerate() {
+                let v = i + 1; // node being produced
+                for (tail_idx, w) in alts {
+                    let tail: Vec<NodeId> = {
+                        let mut t: Vec<usize> =
+                            tail_idx.into_iter().map(|x| x % v).collect();
+                        t.sort_unstable();
+                        t.dedup();
+                        t.into_iter().map(|x| nodes[x]).collect()
+                    };
+                    g.add_edge(tail, vec![nodes[v]], w);
+                }
+            }
+            (g, nodes)
+        })
+    })
+}
+
+proptest! {
+    /// In a layered graph every node's producers only use earlier nodes, so
+    /// the whole graph is B-connected to the source.
+    #[test]
+    fn layered_graphs_are_fully_b_connected((g, nodes) in arb_layered_graph()) {
+        let closure = b_closure(&g, &[nodes[0]]);
+        for &v in &nodes {
+            prop_assert!(closure.contains(v));
+        }
+    }
+
+    /// B-closure is monotone in the source set.
+    #[test]
+    fn closure_monotone_in_sources((g, nodes) in arb_layered_graph(), extra in 0usize..24) {
+        let base = b_closure(&g, &[nodes[0]]);
+        let extra_node = nodes[extra % nodes.len()];
+        let bigger = b_closure(&g, &[nodes[0], extra_node]);
+        for v in base.iter() {
+            prop_assert!(bigger.contains(v), "closure must grow with sources");
+        }
+    }
+
+    /// minimize_plan always produces a valid minimal plan when the input edge
+    /// set derives the targets.
+    #[test]
+    fn minimized_plans_validate((g, nodes) in arb_layered_graph()) {
+        let all_edges: Vec<_> = g.edge_ids().collect();
+        let target = *nodes.last().unwrap();
+        prop_assume!(is_b_connected(&g, &[nodes[0]], &[target]));
+        let plan = minimize_plan(&g, &all_edges, &[nodes[0]], &[target]);
+        prop_assert_eq!(
+            validate_plan(&g, &plan, &[nodes[0]], &[target]),
+            PlanValidity::Valid
+        );
+    }
+
+    /// Every valid plan admits an execution order, and the order respects
+    /// dependencies (each edge's tail available before it fires).
+    #[test]
+    fn valid_plans_are_executable_in_order((g, nodes) in arb_layered_graph()) {
+        let all_edges: Vec<_> = g.edge_ids().collect();
+        let target = *nodes.last().unwrap();
+        prop_assume!(is_b_connected(&g, &[nodes[0]], &[target]));
+        let plan = minimize_plan(&g, &all_edges, &[nodes[0]], &[target]);
+        let order = execution_order(&g, &plan, &[nodes[0]]).expect("valid plan must order");
+        prop_assert_eq!(order.len(), plan.len());
+        let mut available: Vec<NodeId> = vec![nodes[0]];
+        for e in order {
+            for v in g.tail(e) {
+                prop_assert!(available.contains(v), "input {v} not ready for {e}");
+            }
+            available.extend_from_slice(g.head(e));
+        }
+    }
+
+    /// Removing a node never increases the closure of the remaining nodes.
+    #[test]
+    fn node_removal_shrinks_closure((mut g, nodes) in arb_layered_graph(), pick in 1usize..24) {
+        let victim = nodes[1 + (pick % (nodes.len() - 1))];
+        prop_assume!(victim != nodes[0]);
+        let before = b_closure(&g, &[nodes[0]]);
+        g.remove_node(victim);
+        let after = b_closure(&g, &[nodes[0]]);
+        for v in after.iter() {
+            prop_assert!(before.contains(v));
+        }
+        prop_assert!(!after.contains(victim));
+    }
+}

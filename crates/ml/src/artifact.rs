@@ -1,0 +1,380 @@
+//! Artifacts: the values produced and consumed by tasks.
+//!
+//! The paper distinguishes artifact payloads of kind *data* (datasets,
+//! values, collections) and *op-state* (fitted operator internals,
+//! §III-A). We refine "data" into datasets, prediction vectors, and scalar
+//! values because their sizes differ by orders of magnitude — exactly the
+//! asymmetry the materializer exploits (paper Fig. 5d: values ~bytes,
+//! op-states ~KB, train/test ~MB).
+
+use crate::ops::LogicalOp;
+use hyppo_tensor::{Dataset, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Coarse artifact kind, used in error reporting and materialization stats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ArtifactKind {
+    /// A full dataset (train/test/raw).
+    Data,
+    /// A prediction vector.
+    Predictions,
+    /// A scalar evaluation result.
+    Value,
+    /// A fitted operator state.
+    OpState,
+}
+
+/// A fitted operator's internal state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum OpState {
+    /// Affine per-column scaler: `x' = (x - offset) / scale`.
+    Scaler {
+        /// Which scaler operator produced this state.
+        op: LogicalOp,
+        /// Per-column offset (mean / min / median).
+        offset: Vec<f64>,
+        /// Per-column scale (std / range / IQR); zeros are clamped to 1.
+        scale: Vec<f64>,
+    },
+    /// Per-column fill values for missing entries.
+    Imputer {
+        /// Which imputer operator produced this state.
+        op: LogicalOp,
+        /// Fill value per column.
+        fill: Vec<f64>,
+    },
+    /// Polynomial feature expansion parameters (fit records the input
+    /// width; expansion itself is stateless).
+    Poly {
+        /// Expansion degree (2 in this reproduction).
+        degree: usize,
+        /// Number of input features seen at fit time.
+        input_dim: usize,
+    },
+    /// Principal components.
+    Pca {
+        /// Per-column mean subtracted before projection.
+        mean: Vec<f64>,
+        /// `d × k` matrix of principal components (columns).
+        components: Matrix,
+    },
+    /// Equal-width bin edges per column.
+    Discretizer {
+        /// `n_bins + 1` edges per column.
+        edges: Vec<Vec<f64>>,
+    },
+    /// Linear model `f(x) = w·x + b`, interpreted per `kind`.
+    Linear {
+        /// Which linear operator produced this state (decides prediction
+        /// semantics: raw, sigmoid-threshold, or sign).
+        op: LogicalOp,
+        /// Weight vector.
+        weights: Vec<f64>,
+        /// Intercept.
+        bias: f64,
+    },
+    /// A single decision tree.
+    Tree(TreeModel),
+    /// A bagged ensemble of trees.
+    Forest {
+        /// Member trees.
+        trees: Vec<TreeModel>,
+        /// Whether predictions are votes (classification) or means.
+        classification: bool,
+    },
+    /// Gradient-boosted trees: `f(x) = base + lr · Σ tree_i(x)`.
+    Gbm {
+        /// Boosted stages.
+        trees: Vec<TreeModel>,
+        /// Shrinkage.
+        learning_rate: f64,
+        /// Initial prediction (target mean).
+        base: f64,
+    },
+    /// K-means centroids.
+    KMeans {
+        /// `k × d` centroid matrix.
+        centroids: Matrix,
+    },
+    /// Averaging/majority ensemble over member model states.
+    Voting {
+        /// Fitted member models.
+        members: Vec<OpState>,
+        /// Majority vote (classification) vs mean (regression).
+        classification: bool,
+    },
+    /// Stacked ensemble: members plus a linear meta-model over their
+    /// predictions.
+    Stacking {
+        /// Fitted member models.
+        members: Vec<OpState>,
+        /// Meta-learner weights (len == members.len()).
+        meta_weights: Vec<f64>,
+        /// Meta-learner intercept.
+        meta_bias: f64,
+    },
+}
+
+/// A binary decision tree in array form.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TreeModel {
+    /// Flat node storage; node 0 is the root.
+    pub nodes: Vec<TreeNode>,
+}
+
+/// One node of a [`TreeModel`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TreeNode {
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Index of the left child.
+        left: usize,
+        /// Index of the right child.
+        right: usize,
+    },
+    /// Leaf with a constant prediction.
+    Leaf {
+        /// Predicted value.
+        value: f64,
+    },
+}
+
+impl TreeModel {
+    /// Predict a single row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match self.nodes[i] {
+                TreeNode::Leaf { value } => return value,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    i = if row[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Serialized size estimate in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<TreeNode>()
+    }
+}
+
+impl OpState {
+    /// In-memory size estimate in bytes — the quantity the storage budget
+    /// constrains (paper Problem 2).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            OpState::Scaler { offset, scale, .. } => (offset.len() + scale.len()) * 8,
+            OpState::Imputer { fill, .. } => fill.len() * 8,
+            OpState::Poly { .. } => 16,
+            OpState::Pca { mean, components } => mean.len() * 8 + components.size_bytes(),
+            OpState::Discretizer { edges } => edges.iter().map(|e| e.len() * 8).sum(),
+            OpState::Linear { weights, .. } => weights.len() * 8 + 8,
+            OpState::Tree(t) => t.size_bytes(),
+            OpState::Forest { trees, .. } => trees.iter().map(TreeModel::size_bytes).sum(),
+            OpState::Gbm { trees, .. } => {
+                trees.iter().map(TreeModel::size_bytes).sum::<usize>() + 16
+            }
+            OpState::KMeans { centroids } => centroids.size_bytes(),
+            OpState::Voting { members, .. } => {
+                members.iter().map(OpState::size_bytes).sum::<usize>() + 1
+            }
+            OpState::Stacking { members, meta_weights, .. } => {
+                members.iter().map(OpState::size_bytes).sum::<usize>()
+                    + meta_weights.len() * 8
+                    + 8
+            }
+        }
+    }
+}
+
+/// A value flowing between tasks.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Artifact {
+    /// A dataset (raw / train / test / transformed).
+    Data(Dataset),
+    /// A prediction vector.
+    Predictions(Vec<f64>),
+    /// A scalar evaluation result.
+    Value(f64),
+    /// A fitted operator state.
+    OpState(OpState),
+}
+
+impl Artifact {
+    /// The artifact's coarse kind.
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            Artifact::Data(_) => ArtifactKind::Data,
+            Artifact::Predictions(_) => ArtifactKind::Predictions,
+            Artifact::Value(_) => ArtifactKind::Value,
+            Artifact::OpState(_) => ArtifactKind::OpState,
+        }
+    }
+
+    /// In-memory size estimate in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Artifact::Data(d) => d.size_bytes(),
+            Artifact::Predictions(p) => p.len() * 8,
+            Artifact::Value(_) => 8,
+            Artifact::OpState(s) => s.size_bytes(),
+        }
+    }
+
+    /// Borrow as dataset, if that is the payload.
+    pub fn as_data(&self) -> Option<&Dataset> {
+        match self {
+            Artifact::Data(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Borrow as op-state, if that is the payload.
+    pub fn as_op_state(&self) -> Option<&OpState> {
+        match self {
+            Artifact::OpState(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as prediction vector, if that is the payload.
+    pub fn as_predictions(&self) -> Option<&[f64]> {
+        match self {
+            Artifact::Predictions(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The scalar, if this is a value artifact.
+    pub fn as_value(&self) -> Option<f64> {
+        match self {
+            Artifact::Value(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Loose numeric equivalence for testing cross-implementation artifact
+    /// equality: exact for shapes/kinds, within `tol` elementwise.
+    pub fn approx_eq(&self, other: &Artifact, tol: f64) -> bool {
+        match (self, other) {
+            (Artifact::Value(a), Artifact::Value(b)) => (a - b).abs() <= tol,
+            (Artifact::Predictions(a), Artifact::Predictions(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+            }
+            (Artifact::Data(a), Artifact::Data(b)) => {
+                a.x.shape() == b.x.shape()
+                    && a.x
+                        .as_slice()
+                        .iter()
+                        .zip(b.x.as_slice())
+                        .all(|(x, y)| (x - y).abs() <= tol || (x.is_nan() && y.is_nan()))
+            }
+            (Artifact::OpState(a), Artifact::OpState(b)) => {
+                // Structural equality is enough for the deterministic pairs
+                // exercised in tests.
+                a == b
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_tensor::TaskKind;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[&[1.0, 2.0]]),
+            vec![1.0],
+            vec!["a".into(), "b".into()],
+            TaskKind::Regression,
+        )
+    }
+
+    #[test]
+    fn kinds_and_sizes() {
+        assert_eq!(Artifact::Value(1.0).kind(), ArtifactKind::Value);
+        assert_eq!(Artifact::Value(1.0).size_bytes(), 8);
+        assert_eq!(Artifact::Predictions(vec![1.0, 2.0]).size_bytes(), 16);
+        let d = Artifact::Data(tiny_dataset());
+        assert_eq!(d.kind(), ArtifactKind::Data);
+        assert!(d.size_bytes() > 16);
+    }
+
+    #[test]
+    fn accessors_return_correct_variants() {
+        let a = Artifact::Value(3.0);
+        assert_eq!(a.as_value(), Some(3.0));
+        assert!(a.as_data().is_none());
+        assert!(a.as_op_state().is_none());
+        let p = Artifact::Predictions(vec![1.0]);
+        assert_eq!(p.as_predictions(), Some(&[1.0][..]));
+    }
+
+    #[test]
+    fn tree_prediction_follows_splits() {
+        let tree = TreeModel {
+            nodes: vec![
+                TreeNode::Split { feature: 0, threshold: 0.5, left: 1, right: 2 },
+                TreeNode::Leaf { value: -1.0 },
+                TreeNode::Leaf { value: 1.0 },
+            ],
+        };
+        assert_eq!(tree.predict_row(&[0.0]), -1.0);
+        assert_eq!(tree.predict_row(&[0.5]), -1.0);
+        assert_eq!(tree.predict_row(&[0.9]), 1.0);
+    }
+
+    #[test]
+    fn op_state_sizes_scale_with_content() {
+        let small = OpState::Scaler { op: LogicalOp::StandardScaler, offset: vec![0.0], scale: vec![1.0] };
+        let big = OpState::Scaler {
+            op: LogicalOp::StandardScaler,
+            offset: vec![0.0; 100],
+            scale: vec![1.0; 100],
+        };
+        assert!(big.size_bytes() > small.size_bytes());
+        let forest = OpState::Forest {
+            trees: vec![TreeModel { nodes: vec![TreeNode::Leaf { value: 0.0 }] }; 5],
+            classification: false,
+        };
+        assert!(forest.size_bytes() > 0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_differences() {
+        let a = Artifact::Predictions(vec![1.0, 2.0]);
+        let b = Artifact::Predictions(vec![1.0 + 1e-12, 2.0]);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+        assert!(!a.approx_eq(&Artifact::Value(1.0), 1.0));
+    }
+
+    #[test]
+    fn approx_eq_handles_nan_data() {
+        let mut d1 = tiny_dataset();
+        d1.x.set(0, 0, f64::NAN);
+        let d2 = d1.clone();
+        assert!(Artifact::Data(d1).approx_eq(&Artifact::Data(d2), 0.0));
+    }
+
+    #[test]
+    fn serde_roundtrip_op_state() {
+        let s = OpState::Gbm {
+            trees: vec![TreeModel { nodes: vec![TreeNode::Leaf { value: 1.5 }] }],
+            learning_rate: 0.1,
+            base: 2.0,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: OpState = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,169 @@
+//! Operator configurations (hyperparameters).
+//!
+//! The paper treats the set of hyperparameter values as part of a task's
+//! identity (`Ridge(alpha = 75.0)` is a different dictionary entry than
+//! `Ridge(alpha = 1.0)`, §IV-B). Configurations are small ordered maps so
+//! they have a canonical textual form, which feeds the artifact-naming hash.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single hyperparameter value.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ConfigValue {
+    /// Real-valued hyperparameter (learning rate, alpha, fraction, …).
+    F(f64),
+    /// Integer hyperparameter (tree count, component count, seed, …).
+    I(i64),
+}
+
+impl fmt::Display for ConfigValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // `{:?}` keeps a trailing `.0` on whole floats so F(2.0) and I(2)
+            // render differently and hash differently.
+            ConfigValue::F(v) => write!(f, "{v:?}"),
+            ConfigValue::I(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An operator configuration: an ordered name → value map.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    params: BTreeMap<String, ConfigValue>,
+}
+
+impl Config {
+    /// The empty configuration.
+    pub fn new() -> Self {
+        Config::default()
+    }
+
+    /// Builder-style insertion of a float hyperparameter.
+    pub fn with_f(mut self, key: &str, value: f64) -> Self {
+        self.params.insert(key.to_string(), ConfigValue::F(value));
+        self
+    }
+
+    /// Builder-style insertion of an integer hyperparameter.
+    pub fn with_i(mut self, key: &str, value: i64) -> Self {
+        self.params.insert(key.to_string(), ConfigValue::I(value));
+        self
+    }
+
+    /// Float hyperparameter lookup (integers coerce).
+    pub fn f(&self, key: &str) -> Option<f64> {
+        match self.params.get(key) {
+            Some(ConfigValue::F(v)) => Some(*v),
+            Some(ConfigValue::I(v)) => Some(*v as f64),
+            None => None,
+        }
+    }
+
+    /// Integer hyperparameter lookup.
+    pub fn i(&self, key: &str) -> Option<i64> {
+        match self.params.get(key) {
+            Some(ConfigValue::I(v)) => Some(*v),
+            Some(ConfigValue::F(v)) if v.fract() == 0.0 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Float hyperparameter with a default.
+    pub fn f_or(&self, key: &str, default: f64) -> f64 {
+        self.f(key).unwrap_or(default)
+    }
+
+    /// Integer hyperparameter with a default.
+    pub fn i_or(&self, key: &str, default: i64) -> i64 {
+        self.i(key).unwrap_or(default)
+    }
+
+    /// `usize` hyperparameter with a default (negative values clamp to 0).
+    pub fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.i(key).map(|v| v.max(0) as usize).unwrap_or(default)
+    }
+
+    /// Whether the configuration has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Canonical textual form, stable across runs: `k1=v1,k2=v2` in key
+    /// order. This string participates in artifact naming (paper §IV-C).
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v.to_string());
+        }
+        out
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.canonical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let c = Config::new().with_f("alpha", 0.5).with_i("n_trees", 10);
+        assert_eq!(c.f("alpha"), Some(0.5));
+        assert_eq!(c.i("n_trees"), Some(10));
+        assert_eq!(c.f("n_trees"), Some(10.0), "integers coerce to float");
+        assert_eq!(c.i("alpha"), None, "fractional floats do not coerce to int");
+        assert_eq!(c.f_or("missing", 7.0), 7.0);
+        assert_eq!(c.usize_or("n_trees", 1), 10);
+    }
+
+    #[test]
+    fn canonical_is_key_ordered_and_type_distinguishing() {
+        let a = Config::new().with_i("b", 2).with_f("a", 1.0);
+        assert_eq!(a.canonical(), "a=1.0,b=2");
+        let int_two = Config::new().with_i("x", 2);
+        let float_two = Config::new().with_f("x", 2.0);
+        assert_ne!(int_two.canonical(), float_two.canonical());
+    }
+
+    #[test]
+    fn canonical_is_insertion_order_independent() {
+        let a = Config::new().with_f("lr", 0.1).with_i("k", 3);
+        let b = Config::new().with_i("k", 3).with_f("lr", 0.1);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_config() {
+        let c = Config::new();
+        assert!(c.is_empty());
+        assert_eq!(c.canonical(), "");
+        assert_eq!(c.to_string(), "{}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Config::new().with_f("alpha", 75.0).with_i("seed", 42);
+        let s = serde_json::to_string(&c).unwrap();
+        let back: Config = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn negative_int_clamps_for_usize() {
+        let c = Config::new().with_i("k", -5);
+        assert_eq!(c.usize_or("k", 3), 0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Ensemble operators over *pre-trained* models.
+//!
+//! These implement the paper's Scenario 3 ("advanced analysis"): TAXI users
+//! extend past pipelines with `StackingRegressor` / `VotingRegressor`
+//! operators that consume models trained in earlier iterations. Fitting an
+//! ensemble is cheap when the member models are reusable artifacts — which
+//! is exactly where HYPPO's history pays off.
+
+pub mod stacking;
+pub mod voting;

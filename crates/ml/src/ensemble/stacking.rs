@@ -1,0 +1,133 @@
+//! Stacking ensembles: a ridge meta-learner over member model predictions.
+
+use crate::artifact::OpState;
+use crate::error::MlError;
+use crate::model::predict_model;
+use hyppo_tensor::linalg::cholesky_solve;
+use hyppo_tensor::{Dataset, Matrix};
+
+/// Fit a stacking ensemble: compute each member's predictions on the
+/// training data and solve a small ridge system for the meta-weights. The
+/// members themselves are not re-trained.
+pub fn fit_stacking(members: Vec<OpState>, data: &Dataset) -> Result<OpState, MlError> {
+    if members.is_empty() {
+        return Err(MlError::BadInput("stacking ensemble needs at least one member".into()));
+    }
+    let n = data.len();
+    let k = members.len();
+    if n == 0 {
+        return Err(MlError::BadInput("stacking fit on empty dataset".into()));
+    }
+    // Member prediction matrix Z (n × k).
+    let mut z = Matrix::zeros(n, k);
+    for (j, m) in members.iter().enumerate() {
+        let p = predict_model(m, data)?;
+        for (r, v) in p.into_iter().enumerate() {
+            z.set(r, j, v);
+        }
+    }
+    // Ridge meta-learner with bias: (ZᵀZ + λI) w = Zᵀy.
+    let lambda = 1e-3 * n as f64;
+    let mut a = Matrix::zeros(k + 1, k + 1);
+    let mut b = vec![0.0; k + 1];
+    for (row, &yi) in z.rows_iter().zip(&data.y) {
+        for i in 0..k {
+            let ar = a.row_mut(i);
+            for (j, &rj) in row.iter().enumerate().skip(i) {
+                ar[j] += row[i] * rj;
+            }
+            ar[k] += row[i];
+            b[i] += row[i] * yi;
+        }
+        let v = a.get(k, k) + 1.0;
+        a.set(k, k, v);
+        b[k] += yi;
+    }
+    for i in 0..=k {
+        for j in 0..i {
+            let v = a.get(j, i);
+            a.set(i, j, v);
+        }
+    }
+    for i in 0..k {
+        let v = a.get(i, i) + lambda;
+        a.set(i, i, v);
+    }
+    let v = a.get(k, k) + 1e-9;
+    a.set(k, k, v);
+    let w = cholesky_solve(&a, &b)?;
+    Ok(OpState::Stacking {
+        members,
+        meta_weights: w[..k].to_vec(),
+        meta_bias: w[k],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::LogicalOp;
+    use hyppo_tensor::{SeededRng, TaskKind};
+
+    fn linear(w: f64, b: f64) -> OpState {
+        OpState::Linear { op: LogicalOp::LinearRegression, weights: vec![w], bias: b }
+    }
+
+    /// y = 5x; members predict x and 2x, so the exact stack is w=(1,2)… any
+    /// combination with w0 + 2 w1 = 5 works; we check predictions, not
+    /// weights.
+    fn stack_data(n: usize) -> Dataset {
+        let mut rng = SeededRng::new(4);
+        let mut x = Matrix::zeros(n, 1);
+        let mut y = Vec::new();
+        for r in 0..n {
+            let v = rng.uniform(-3.0, 3.0);
+            x.set(r, 0, v);
+            y.push(5.0 * v);
+        }
+        Dataset::new(x, y, vec!["a".into()], TaskKind::Regression)
+    }
+
+    #[test]
+    fn meta_learner_combines_members() {
+        let d = stack_data(100);
+        let state = fit_stacking(vec![linear(1.0, 0.0), linear(2.0, 0.0)], &d).unwrap();
+        let preds = predict_model(&state, &d).unwrap();
+        for (p, y) in preds.iter().zip(&d.y) {
+            assert!((p - y).abs() < 0.2, "{p} vs {y}");
+        }
+    }
+
+    #[test]
+    fn single_member_stack_rescales() {
+        let d = stack_data(50);
+        // Member predicts x; meta must learn weight ≈ 5.
+        let state = fit_stacking(vec![linear(1.0, 0.0)], &d).unwrap();
+        let OpState::Stacking { meta_weights, .. } = &state else { panic!() };
+        assert!((meta_weights[0] - 5.0).abs() < 0.2, "meta weight {}", meta_weights[0]);
+    }
+
+    #[test]
+    fn empty_members_rejected() {
+        assert!(fit_stacking(vec![], &stack_data(5)).is_err());
+    }
+
+    #[test]
+    fn bias_is_learned() {
+        let mut d = stack_data(50);
+        for y in d.y.iter_mut() {
+            *y += 7.0;
+        }
+        let state = fit_stacking(vec![linear(1.0, 0.0)], &d).unwrap();
+        let preds = predict_model(&state, &d).unwrap();
+        for (p, y) in preds.iter().zip(&d.y) {
+            assert!((p - y).abs() < 0.3);
+        }
+    }
+
+    #[test]
+    fn non_model_member_fails_at_prediction() {
+        let bad = OpState::Poly { degree: 2, input_dim: 1 };
+        assert!(fit_stacking(vec![bad], &stack_data(5)).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Voting ensembles: average (regression) or majority (classification) of
+//! member model predictions.
+
+use crate::artifact::OpState;
+use crate::error::MlError;
+use hyppo_tensor::{Dataset, TaskKind};
+
+fn is_model_state(s: &OpState) -> bool {
+    matches!(
+        s,
+        OpState::Linear { .. }
+            | OpState::Tree(_)
+            | OpState::Forest { .. }
+            | OpState::Gbm { .. }
+            | OpState::Voting { .. }
+            | OpState::Stacking { .. }
+    )
+}
+
+/// Fit a voting ensemble from already-fitted member models. The `data`
+/// argument supplies the task kind (vote vs average); the members are not
+/// re-trained — the whole point of the ensemble workload is that they are
+/// reusable artifacts.
+pub fn fit_voting(members: Vec<OpState>, data: &Dataset) -> Result<OpState, MlError> {
+    if members.is_empty() {
+        return Err(MlError::BadInput("voting ensemble needs at least one member".into()));
+    }
+    for (i, m) in members.iter().enumerate() {
+        if !is_model_state(m) {
+            return Err(MlError::BadInput(format!(
+                "voting member #{i} is not a fitted model state"
+            )));
+        }
+    }
+    Ok(OpState::Voting { members, classification: data.task == TaskKind::Classification })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::predict_model;
+    use crate::ops::LogicalOp;
+    use hyppo_tensor::Matrix;
+
+    fn reg_data() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[&[1.0], &[2.0]]),
+            vec![0.0, 0.0],
+            vec!["a".into()],
+            TaskKind::Regression,
+        )
+    }
+
+    fn linear(w: f64, b: f64) -> OpState {
+        OpState::Linear { op: LogicalOp::LinearRegression, weights: vec![w], bias: b }
+    }
+
+    #[test]
+    fn fit_wraps_members_without_retraining() {
+        let d = reg_data();
+        let state = fit_voting(vec![linear(1.0, 0.0), linear(3.0, 0.0)], &d).unwrap();
+        let preds = predict_model(&state, &d).unwrap();
+        // average of x and 3x = 2x
+        assert_eq!(preds, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn classification_votes() {
+        let d = Dataset::new(
+            Matrix::from_rows(&[&[1.0]]),
+            vec![1.0],
+            vec!["a".into()],
+            TaskKind::Classification,
+        );
+        // Members predicting raw scores around the threshold: use logistic
+        // members so outputs are labels.
+        let yes = OpState::Linear {
+            op: LogicalOp::LogisticRegression,
+            weights: vec![10.0],
+            bias: 0.0,
+        };
+        let no = OpState::Linear {
+            op: LogicalOp::LogisticRegression,
+            weights: vec![-10.0],
+            bias: 0.0,
+        };
+        let state = fit_voting(vec![yes.clone(), yes, no], &d).unwrap();
+        assert_eq!(predict_model(&state, &d).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn empty_members_rejected() {
+        assert!(fit_voting(vec![], &reg_data()).is_err());
+    }
+
+    #[test]
+    fn non_model_member_rejected() {
+        let bad = OpState::Poly { degree: 2, input_dim: 1 };
+        assert!(fit_voting(vec![bad], &reg_data()).is_err());
+    }
+
+    #[test]
+    fn nested_ensembles_allowed() {
+        let inner = fit_voting(vec![linear(1.0, 0.0)], &reg_data()).unwrap();
+        let outer = fit_voting(vec![inner, linear(3.0, 0.0)], &reg_data()).unwrap();
+        let preds = predict_model(&outer, &reg_data()).unwrap();
+        assert_eq!(preds, vec![2.0, 4.0]);
+    }
+}

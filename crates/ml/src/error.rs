@@ -1,0 +1,107 @@
+//! Errors raised by ML task execution.
+
+use crate::artifact::ArtifactKind;
+use crate::ops::{LogicalOp, TaskType};
+use hyppo_tensor::linalg::LinalgError;
+use std::fmt;
+
+/// Error raised when executing an ML task.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MlError {
+    /// The task received the wrong number of input artifacts.
+    Arity {
+        /// The operator whose task was invoked.
+        op: LogicalOp,
+        /// The invoked task type.
+        task: TaskType,
+        /// Expected input count.
+        expected: usize,
+        /// Received input count.
+        got: usize,
+    },
+    /// An input artifact had the wrong kind (e.g. a `Value` where a
+    /// `Data` was required).
+    Kind {
+        /// The operator whose task was invoked.
+        op: LogicalOp,
+        /// The invoked task type.
+        task: TaskType,
+        /// Position of the offending input.
+        position: usize,
+        /// Expected artifact kind.
+        expected: ArtifactKind,
+        /// Received artifact kind.
+        got: ArtifactKind,
+    },
+    /// The operator does not expose this task type.
+    UnsupportedTask(LogicalOp, TaskType),
+    /// The operator has no physical implementation with this index.
+    UnknownImpl(LogicalOp, usize),
+    /// A required hyperparameter is missing from the configuration.
+    MissingConfig(&'static str),
+    /// The op-state passed to transform/predict does not belong to this
+    /// operator (e.g. a scaler state handed to a PCA transform).
+    StateMismatch(LogicalOp),
+    /// Input data is empty or otherwise numerically unusable.
+    BadInput(String),
+    /// A numeric kernel failed.
+    Numeric(LinalgError),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::Arity { op, task, expected, got } => {
+                write!(f, "{op:?}.{task:?} expects {expected} inputs, got {got}")
+            }
+            MlError::Kind { op, task, position, expected, got } => write!(
+                f,
+                "{op:?}.{task:?} input #{position} must be {expected:?}, got {got:?}"
+            ),
+            MlError::UnsupportedTask(op, task) => {
+                write!(f, "operator {op:?} does not expose task {task:?}")
+            }
+            MlError::UnknownImpl(op, idx) => {
+                write!(f, "operator {op:?} has no physical implementation #{idx}")
+            }
+            MlError::MissingConfig(key) => write!(f, "missing hyperparameter '{key}'"),
+            MlError::StateMismatch(op) => {
+                write!(f, "op-state does not belong to operator {op:?}")
+            }
+            MlError::BadInput(msg) => write!(f, "bad input: {msg}"),
+            MlError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<LinalgError> for MlError {
+    fn from(e: LinalgError) -> Self {
+        MlError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = MlError::Arity {
+            op: LogicalOp::StandardScaler,
+            task: TaskType::Fit,
+            expected: 1,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expects 1 inputs"));
+        assert!(MlError::MissingConfig("alpha").to_string().contains("alpha"));
+        assert!(MlError::UnknownImpl(LogicalOp::Pca, 9).to_string().contains("#9"));
+    }
+
+    #[test]
+    fn linalg_errors_convert() {
+        let e: MlError = LinalgError::NoConvergence.into();
+        assert_eq!(e, MlError::Numeric(LinalgError::NoConvergence));
+    }
+}

@@ -1,0 +1,468 @@
+//! Task execution dispatcher: `(logical op, task type, physical impl,
+//! config, inputs) → outputs`.
+//!
+//! This is the ML substrate's single entry point, the analogue of "calling
+//! the framework function" in the paper's Python pipelines. HYPPO's plan
+//! executor invokes it for every computational hyperedge.
+//!
+//! Input conventions (enforced here):
+//! - `Split`: `[Data] → [train: Data, test: Data]`
+//! - `Fit` (preprocessing/models): `[Data] → [OpState]`
+//! - `Fit` (ensembles): `[member: OpState, …, train: Data] → [OpState]`
+//! - `Transform` (fitted): `[OpState, Data] → [Data]`
+//! - `Transform` (stateless row-ops): `[Data] → [Data]`
+//! - `Predict`: `[OpState, Data] → [Predictions]`
+//! - `Evaluate`: `[Predictions, Data(truth)] → [Value]`
+
+use crate::artifact::{Artifact, ArtifactKind, OpState};
+use crate::config::Config;
+use crate::ensemble::{stacking, voting};
+use crate::error::MlError;
+use crate::metrics;
+use crate::model::{self, forest, gbm, kmeans, linear, svm};
+use crate::ops::{LogicalOp, TaskType};
+use crate::preprocess::{discretize, imputer, pca, poly, rowops, scaler};
+use crate::split;
+use hyppo_tensor::Dataset;
+
+fn arity(
+    op: LogicalOp,
+    task: TaskType,
+    expected: usize,
+    inputs: &[&Artifact],
+) -> Result<(), MlError> {
+    if inputs.len() != expected {
+        return Err(MlError::Arity { op, task, expected, got: inputs.len() });
+    }
+    Ok(())
+}
+
+fn data_at<'a>(
+    op: LogicalOp,
+    task: TaskType,
+    inputs: &[&'a Artifact],
+    position: usize,
+) -> Result<&'a Dataset, MlError> {
+    inputs[position].as_data().ok_or(MlError::Kind {
+        op,
+        task,
+        position,
+        expected: ArtifactKind::Data,
+        got: inputs[position].kind(),
+    })
+}
+
+fn state_at<'a>(
+    op: LogicalOp,
+    task: TaskType,
+    inputs: &[&'a Artifact],
+    position: usize,
+) -> Result<&'a OpState, MlError> {
+    inputs[position].as_op_state().ok_or(MlError::Kind {
+        op,
+        task,
+        position,
+        expected: ArtifactKind::OpState,
+        got: inputs[position].kind(),
+    })
+}
+
+fn preds_at<'a>(
+    op: LogicalOp,
+    task: TaskType,
+    inputs: &[&'a Artifact],
+    position: usize,
+) -> Result<&'a [f64], MlError> {
+    inputs[position].as_predictions().ok_or(MlError::Kind {
+        op,
+        task,
+        position,
+        expected: ArtifactKind::Predictions,
+        got: inputs[position].kind(),
+    })
+}
+
+fn impl_checked(op: LogicalOp, index: usize) -> Result<usize, MlError> {
+    if index >= op.impls().len() {
+        return Err(MlError::UnknownImpl(op, index));
+    }
+    Ok(index)
+}
+
+/// Execute one task. See the module docs for input conventions.
+pub fn execute(
+    op: LogicalOp,
+    task: TaskType,
+    impl_index: usize,
+    config: &Config,
+    inputs: &[&Artifact],
+) -> Result<Vec<Artifact>, MlError> {
+    if !op.task_types().contains(&task) {
+        return Err(MlError::UnsupportedTask(op, task));
+    }
+    let imp = impl_checked(op, impl_index)?;
+    match task {
+        TaskType::Load => Err(MlError::UnsupportedTask(op, task)),
+        TaskType::Split => {
+            arity(op, task, 1, inputs)?;
+            let data = data_at(op, task, inputs, 0)?;
+            let (train, test) = split::train_test_split(data, config)?;
+            Ok(vec![Artifact::Data(train), Artifact::Data(test)])
+        }
+        TaskType::Fit => execute_fit(op, imp, config, inputs),
+        TaskType::Transform => execute_transform(op, imp, config, inputs),
+        TaskType::Predict => {
+            arity(op, task, 2, inputs)?;
+            let state = state_at(op, task, inputs, 0)?;
+            let data = data_at(op, task, inputs, 1)?;
+            let preds = model::predict_model(state, data)?;
+            // GBM regresses even on 0/1 labels; threshold for classification.
+            let preds = if op == LogicalOp::GradientBoosting {
+                gbm::maybe_threshold(preds, data)
+            } else {
+                preds
+            };
+            Ok(vec![Artifact::Predictions(preds)])
+        }
+        TaskType::Evaluate => {
+            arity(op, task, 2, inputs)?;
+            let preds = preds_at(op, task, inputs, 0)?;
+            let truth = &data_at(op, task, inputs, 1)?.y;
+            let value = match op {
+                LogicalOp::Accuracy => metrics::accuracy(preds, truth)?,
+                LogicalOp::F1Score => metrics::f1_score(preds, truth)?,
+                LogicalOp::RocAuc => metrics::roc_auc(preds, truth)?,
+                LogicalOp::Mse => metrics::mse(preds, truth)?,
+                LogicalOp::Rmse => metrics::rmse(preds, truth)?,
+                LogicalOp::Mae => metrics::mae(preds, truth)?,
+                LogicalOp::R2Score => metrics::r2_score(preds, truth)?,
+                _ => return Err(MlError::UnsupportedTask(op, task)),
+            };
+            Ok(vec![Artifact::Value(value)])
+        }
+    }
+}
+
+fn execute_fit(
+    op: LogicalOp,
+    imp: usize,
+    config: &Config,
+    inputs: &[&Artifact],
+) -> Result<Vec<Artifact>, MlError> {
+    use LogicalOp::*;
+    let task = TaskType::Fit;
+    // Ensembles take member states plus a trailing dataset.
+    if matches!(op, Voting | Stacking) {
+        if inputs.len() < 2 {
+            return Err(MlError::Arity { op, task, expected: 2, got: inputs.len() });
+        }
+        let data = data_at(op, task, inputs, inputs.len() - 1)?;
+        let mut members = Vec::with_capacity(inputs.len() - 1);
+        for (i, a) in inputs[..inputs.len() - 1].iter().enumerate() {
+            members.push(state_at(op, task, &[*a], 0).map_err(|_| MlError::Kind {
+                op,
+                task,
+                position: i,
+                expected: ArtifactKind::OpState,
+                got: a.kind(),
+            })?);
+        }
+        let members: Vec<OpState> = members.into_iter().cloned().collect();
+        let state = match op {
+            Voting => voting::fit_voting(members, data)?,
+            Stacking => stacking::fit_stacking(members, data)?,
+            _ => unreachable!(),
+        };
+        return Ok(vec![Artifact::OpState(state)]);
+    }
+
+    arity(op, task, 1, inputs)?;
+    let data = data_at(op, task, inputs, 0)?;
+    let state = match (op, imp) {
+        (StandardScaler, 0) => scaler::fit_standard_two_pass(data)?,
+        (StandardScaler, 1) => scaler::fit_standard_welford(data)?,
+        (MinMaxScaler, 0) => scaler::fit_minmax_sequential(data)?,
+        (MinMaxScaler, 1) => scaler::fit_minmax_chunked(data)?,
+        (RobustScaler, 0) => scaler::fit_robust_sort(data)?,
+        (RobustScaler, 1) => scaler::fit_robust_quickselect(data)?,
+        (ImputerMean, 0) => imputer::fit_mean_two_pass(data)?,
+        (ImputerMean, 1) => imputer::fit_mean_streaming(data)?,
+        (ImputerMedian, 0) => imputer::fit_median_sort(data)?,
+        (ImputerMedian, 1) => imputer::fit_median_quickselect(data)?,
+        (PolynomialFeatures, _) => poly::fit_poly(data)?,
+        (Pca, 0) => pca::fit_pca_exact(data, config)?,
+        (Pca, 1) => pca::fit_pca_randomized(data, config)?,
+        (KBinsDiscretizer, 0) => discretize::fit_discretizer_scan(data, config)?,
+        (KBinsDiscretizer, 1) => discretize::fit_discretizer_columnar(data, config)?,
+        (LinearRegression, 0) => linear::fit_ols_normal(data, config)?,
+        (LinearRegression, 1) => linear::fit_ols_sgd(data, config)?,
+        (Ridge, 0) => linear::fit_ridge_cholesky(data, config)?,
+        (Ridge, 1) => linear::fit_ridge_sgd(data, config)?,
+        (Lasso, _) => linear::fit_lasso_cd(data, config)?,
+        (LogisticRegression, 0) => linear::fit_logistic_irls(data, config)?,
+        (LogisticRegression, 1) => linear::fit_logistic_sgd(data, config)?,
+        (LinearSvm, 0) => svm::fit_svm_pegasos(data, config)?,
+        (LinearSvm, 1) => svm::fit_svm_dual_cd(data, config)?,
+        (DecisionTree, _) => {
+            let rows: Vec<usize> = (0..data.len()).collect();
+            let features: Vec<usize> = (0..data.n_features()).collect();
+            if data.x.has_missing() {
+                return Err(MlError::BadInput("tree fit requires imputed data".into()));
+            }
+            let params = model::TreeParams {
+                max_depth: config.usize_or("max_depth", 6),
+                min_leaf: config.usize_or("min_leaf", 2),
+                max_thresholds: 16,
+            };
+            OpState::Tree(model::build_tree(&data.x, &data.y, &rows, &features, params)?)
+        }
+        (RandomForest, 0) => forest::fit_forest_sequential(data, config)?,
+        (RandomForest, 1) => forest::fit_forest_parallel(data, config)?,
+        (GradientBoosting, 0) => gbm::fit_gbm_exact(data, config)?,
+        (GradientBoosting, 1) => gbm::fit_gbm_histogram(data, config)?,
+        (KMeans, 0) => kmeans::fit_kmeans_lloyd(data, config)?,
+        (KMeans, 1) => kmeans::fit_kmeans_elkan(data, config)?,
+        _ => return Err(MlError::UnknownImpl(op, imp)),
+    };
+    Ok(vec![Artifact::OpState(state)])
+}
+
+fn execute_transform(
+    op: LogicalOp,
+    imp: usize,
+    _config: &Config,
+    inputs: &[&Artifact],
+) -> Result<Vec<Artifact>, MlError> {
+    use LogicalOp::*;
+    let task = TaskType::Transform;
+    // Stateless row ops take the dataset directly.
+    if matches!(op, Normalizer | LogTransform | HaversineFeature | TimeFeatures) {
+        arity(op, task, 1, inputs)?;
+        let data = data_at(op, task, inputs, 0)?;
+        let out = match op {
+            Normalizer => rowops::transform_normalizer(data)?,
+            LogTransform => rowops::transform_log(data)?,
+            HaversineFeature => rowops::transform_haversine(data)?,
+            TimeFeatures => rowops::transform_time_features(data)?,
+            _ => unreachable!(),
+        };
+        return Ok(vec![Artifact::Data(out)]);
+    }
+    arity(op, task, 2, inputs)?;
+    let state = state_at(op, task, inputs, 0)?;
+    let data = data_at(op, task, inputs, 1)?;
+    let out = match op {
+        StandardScaler | MinMaxScaler | RobustScaler => scaler::transform_scaler(state, data)?,
+        ImputerMean | ImputerMedian => imputer::transform_imputer(state, data)?,
+        PolynomialFeatures => {
+            if imp == 0 {
+                poly::transform_poly_rowwise(state, data)?
+            } else {
+                poly::transform_poly_colwise(state, data)?
+            }
+        }
+        Pca => pca::transform_pca(state, data)?,
+        KBinsDiscretizer => discretize::transform_discretizer(state, data)?,
+        _ => return Err(MlError::UnsupportedTask(op, task)),
+    };
+    Ok(vec![Artifact::Data(out)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_tensor::{Matrix, SeededRng, TaskKind};
+
+    fn dataset(n: usize, task: TaskKind) -> Artifact {
+        let mut rng = SeededRng::new(2);
+        let mut x = Matrix::zeros(n, 3);
+        let mut y = Vec::new();
+        for r in 0..n {
+            for c in 0..3 {
+                x.set(r, c, rng.uniform(-1.0, 1.0));
+            }
+            let v = x.get(r, 0) + 0.5 * x.get(r, 1);
+            y.push(match task {
+                TaskKind::Classification => {
+                    if v > 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                TaskKind::Regression => v,
+            });
+        }
+        let names = (0..3).map(|i| format!("f{i}")).collect();
+        Artifact::Data(Dataset::new(x, y, names, task))
+    }
+
+    #[test]
+    fn full_pipeline_through_dispatcher() {
+        // load -> split -> scaler.fit -> scaler.transform -> svm.fit ->
+        // predict -> accuracy: the paper's Figure 1 pipeline, via execute().
+        let raw = dataset(200, TaskKind::Classification);
+        let cfg = Config::new();
+        let split_out =
+            execute(LogicalOp::TrainTestSplit, TaskType::Split, 0, &cfg, &[&raw]).unwrap();
+        let (train, test) = (&split_out[0], &split_out[1]);
+        let scaler_state = &execute(LogicalOp::StandardScaler, TaskType::Fit, 0, &cfg, &[train])
+            .unwrap()[0];
+        let train_scaled = &execute(
+            LogicalOp::StandardScaler,
+            TaskType::Transform,
+            0,
+            &cfg,
+            &[scaler_state, train],
+        )
+        .unwrap()[0];
+        let test_scaled = &execute(
+            LogicalOp::StandardScaler,
+            TaskType::Transform,
+            0,
+            &cfg,
+            &[scaler_state, test],
+        )
+        .unwrap()[0];
+        let model =
+            &execute(LogicalOp::LinearSvm, TaskType::Fit, 0, &cfg, &[train_scaled]).unwrap()[0];
+        let preds = &execute(
+            LogicalOp::LinearSvm,
+            TaskType::Predict,
+            0,
+            &cfg,
+            &[model, test_scaled],
+        )
+        .unwrap()[0];
+        let acc = execute(LogicalOp::Accuracy, TaskType::Evaluate, 0, &cfg, &[preds, test_scaled])
+            .unwrap()[0]
+            .as_value()
+            .unwrap();
+        assert!(acc > 0.9, "end-to-end accuracy {acc}");
+    }
+
+    #[test]
+    fn equivalent_impls_produce_equivalent_artifacts() {
+        let raw = dataset(150, TaskKind::Regression);
+        let cfg = Config::new();
+        for imp in [0usize, 1] {
+            let s = execute(LogicalOp::StandardScaler, TaskType::Fit, imp, &cfg, &[&raw])
+                .unwrap();
+            assert_eq!(s.len(), 1);
+        }
+        let a = &execute(LogicalOp::StandardScaler, TaskType::Fit, 0, &cfg, &[&raw]).unwrap()[0];
+        let b = &execute(LogicalOp::StandardScaler, TaskType::Fit, 1, &cfg, &[&raw]).unwrap()[0];
+        // Transform with each and compare outputs.
+        let ta =
+            &execute(LogicalOp::StandardScaler, TaskType::Transform, 0, &cfg, &[a, &raw])
+                .unwrap()[0];
+        let tb =
+            &execute(LogicalOp::StandardScaler, TaskType::Transform, 1, &cfg, &[b, &raw])
+                .unwrap()[0];
+        assert!(ta.approx_eq(tb, 1e-9));
+    }
+
+    #[test]
+    fn ensemble_fit_consumes_member_states() {
+        let raw = dataset(100, TaskKind::Regression);
+        let cfg = Config::new();
+        let m1 = &execute(LogicalOp::Ridge, TaskType::Fit, 0, &cfg, &[&raw]).unwrap()[0];
+        let m2 = &execute(LogicalOp::DecisionTree, TaskType::Fit, 0, &cfg, &[&raw]).unwrap()[0];
+        let ens =
+            &execute(LogicalOp::Voting, TaskType::Fit, 0, &cfg, &[m1, m2, &raw]).unwrap()[0];
+        let preds =
+            execute(LogicalOp::Voting, TaskType::Predict, 0, &cfg, &[ens, &raw]).unwrap();
+        assert_eq!(preds[0].as_predictions().unwrap().len(), 100);
+        let stack =
+            &execute(LogicalOp::Stacking, TaskType::Fit, 0, &cfg, &[m1, m2, &raw]).unwrap()[0];
+        assert!(stack.as_op_state().is_some());
+    }
+
+    #[test]
+    fn arity_errors() {
+        let raw = dataset(10, TaskKind::Regression);
+        let cfg = Config::new();
+        let err =
+            execute(LogicalOp::TrainTestSplit, TaskType::Split, 0, &cfg, &[&raw, &raw])
+                .unwrap_err();
+        assert!(matches!(err, MlError::Arity { expected: 1, got: 2, .. }));
+    }
+
+    #[test]
+    fn kind_errors() {
+        let cfg = Config::new();
+        let v = Artifact::Value(1.0);
+        let err = execute(LogicalOp::StandardScaler, TaskType::Fit, 0, &cfg, &[&v]).unwrap_err();
+        assert!(matches!(err, MlError::Kind { .. }));
+    }
+
+    #[test]
+    fn unsupported_task_rejected() {
+        let raw = dataset(10, TaskKind::Regression);
+        let cfg = Config::new();
+        assert!(matches!(
+            execute(LogicalOp::StandardScaler, TaskType::Predict, 0, &cfg, &[&raw, &raw]),
+            Err(MlError::UnsupportedTask(..))
+        ));
+        assert!(matches!(
+            execute(LogicalOp::LoadDataset, TaskType::Load, 0, &cfg, &[]),
+            Err(MlError::UnsupportedTask(..))
+        ));
+    }
+
+    #[test]
+    fn unknown_impl_rejected() {
+        let raw = dataset(10, TaskKind::Regression);
+        let cfg = Config::new();
+        assert!(matches!(
+            execute(LogicalOp::StandardScaler, TaskType::Fit, 5, &cfg, &[&raw]),
+            Err(MlError::UnknownImpl(..))
+        ));
+    }
+
+    #[test]
+    fn gbm_thresholds_for_classification() {
+        let raw = dataset(200, TaskKind::Classification);
+        let cfg = Config::new().with_i("n_rounds", 10);
+        let model =
+            &execute(LogicalOp::GradientBoosting, TaskType::Fit, 0, &cfg, &[&raw]).unwrap()[0];
+        let preds = execute(LogicalOp::GradientBoosting, TaskType::Predict, 0, &cfg, &[model, &raw])
+            .unwrap();
+        for &p in preds[0].as_predictions().unwrap() {
+            assert!(p == 0.0 || p == 1.0);
+        }
+    }
+
+    #[test]
+    fn stateless_transforms_take_data_directly() {
+        let raw = dataset(20, TaskKind::Regression);
+        let cfg = Config::new();
+        let out = execute(LogicalOp::Normalizer, TaskType::Transform, 0, &cfg, &[&raw]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].as_data().is_some());
+    }
+
+    #[test]
+    fn all_fit_capable_ops_dispatch_every_impl() {
+        // Smoke test: every (op, fit, impl) combination runs on suitable data.
+        let reg = dataset(80, TaskKind::Regression);
+        let cls = dataset(80, TaskKind::Classification);
+        let cfg = Config::new().with_i("n_trees", 3).with_i("n_rounds", 3).with_i("k", 2);
+        for op in LogicalOp::ALL {
+            if !op.task_types().contains(&TaskType::Fit)
+                || matches!(op, LogicalOp::Voting | LogicalOp::Stacking)
+            {
+                continue;
+            }
+            let input = if matches!(op, LogicalOp::LogisticRegression | LogicalOp::LinearSvm) {
+                &cls
+            } else {
+                &reg
+            };
+            for imp in 0..op.impls().len() {
+                let out = execute(op, TaskType::Fit, imp, &cfg, &[input]);
+                assert!(out.is_ok(), "{op:?} impl {imp} failed: {:?}", out.err());
+            }
+        }
+    }
+}

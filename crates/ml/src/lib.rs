@@ -1,0 +1,38 @@
+//! ML operator substrate for the HYPPO reproduction.
+//!
+//! The HYPPO paper optimizes pipelines built from Python ML frameworks
+//! (scikit-learn, TensorFlow, PyTorch, LightGBM, …). This crate is the Rust
+//! stand-in: a catalogue of *logical operators* ([`LogicalOp`]), each
+//! exposing *tasks* ([`TaskType`]: fit / transform / predict / evaluate /
+//! split) through one or more *physical implementations* that genuinely
+//! compute on [`hyppo_tensor::Dataset`]s.
+//!
+//! Physical implementations of the same logical operator are **equivalent**
+//! in the paper's sense (§III-C2): given the same input they produce the
+//! same artifact (bitwise for deterministic pairs such as sequential vs
+//! parallel random forests, numerically close for approximate pairs such as
+//! exact vs randomized PCA — exactly the sklearn-vs-`torch.pca_lowrank`
+//! situation the paper uses as its flagship example). Crucially, the
+//! implementations have *different real costs*, which is the asymmetry
+//! HYPPO's equivalence optimization exploits.
+//!
+//! The crate deliberately knows nothing about hypergraphs or plans: it is a
+//! plain "ML framework" whose entry point is [`exec::execute`], dispatching
+//! `(logical op, task type, physical impl, config, inputs) → outputs`.
+
+pub mod artifact;
+pub mod config;
+pub mod ensemble;
+pub mod error;
+pub mod exec;
+pub mod metrics;
+pub mod model;
+pub mod ops;
+pub mod preprocess;
+pub mod split;
+
+pub use artifact::{Artifact, ArtifactKind, OpState};
+pub use config::{Config, ConfigValue};
+pub use error::MlError;
+pub use exec::execute;
+pub use ops::{LogicalOp, PhysImpl, TaskType};

@@ -1,0 +1,170 @@
+//! Evaluation metrics (the `evaluate` task type). All single-impl,
+//! use-case-specific operators per the paper's dictionary policy.
+
+use crate::error::MlError;
+
+fn check_lengths(preds: &[f64], truth: &[f64]) -> Result<(), MlError> {
+    if preds.is_empty() {
+        return Err(MlError::BadInput("evaluation of empty predictions".into()));
+    }
+    if preds.len() != truth.len() {
+        return Err(MlError::BadInput(format!(
+            "prediction/truth length mismatch: {} vs {}",
+            preds.len(),
+            truth.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Fraction of exactly matching labels.
+pub fn accuracy(preds: &[f64], truth: &[f64]) -> Result<f64, MlError> {
+    check_lengths(preds, truth)?;
+    let hits = preds.iter().zip(truth).filter(|(p, t)| (*p - *t).abs() < 0.5).count();
+    Ok(hits as f64 / preds.len() as f64)
+}
+
+/// Binary F1 score with positive class 1.
+pub fn f1_score(preds: &[f64], truth: &[f64]) -> Result<f64, MlError> {
+    check_lengths(preds, truth)?;
+    let (mut tp, mut fp, mut fun) = (0.0, 0.0, 0.0);
+    for (&p, &t) in preds.iter().zip(truth) {
+        let p_pos = p > 0.5;
+        let t_pos = t > 0.5;
+        match (p_pos, t_pos) {
+            (true, true) => tp += 1.0,
+            (true, false) => fp += 1.0,
+            (false, true) => fun += 1.0,
+            (false, false) => {}
+        }
+    }
+    let denom = 2.0 * tp + fp + fun;
+    Ok(if denom == 0.0 { 0.0 } else { 2.0 * tp / denom })
+}
+
+/// Area under the ROC curve via the rank statistic (Mann–Whitney U). Ties
+/// receive half credit.
+pub fn roc_auc(scores: &[f64], truth: &[f64]) -> Result<f64, MlError> {
+    check_lengths(scores, truth)?;
+    let pos: Vec<f64> =
+        scores.iter().zip(truth).filter(|(_, &t)| t > 0.5).map(|(&s, _)| s).collect();
+    let neg: Vec<f64> =
+        scores.iter().zip(truth).filter(|(_, &t)| t <= 0.5).map(|(&s, _)| s).collect();
+    if pos.is_empty() || neg.is_empty() {
+        return Err(MlError::BadInput("AUC needs both classes present".into()));
+    }
+    let mut u = 0.0;
+    for &p in &pos {
+        for &n in &neg {
+            if p > n {
+                u += 1.0;
+            } else if p == n {
+                u += 0.5;
+            }
+        }
+    }
+    Ok(u / (pos.len() as f64 * neg.len() as f64))
+}
+
+/// Mean squared error.
+pub fn mse(preds: &[f64], truth: &[f64]) -> Result<f64, MlError> {
+    check_lengths(preds, truth)?;
+    Ok(preds.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
+        / preds.len() as f64)
+}
+
+/// Root mean squared error.
+pub fn rmse(preds: &[f64], truth: &[f64]) -> Result<f64, MlError> {
+    Ok(mse(preds, truth)?.sqrt())
+}
+
+/// Mean absolute error.
+pub fn mae(preds: &[f64], truth: &[f64]) -> Result<f64, MlError> {
+    check_lengths(preds, truth)?;
+    Ok(preds.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / preds.len() as f64)
+}
+
+/// Coefficient of determination R².
+pub fn r2_score(preds: &[f64], truth: &[f64]) -> Result<f64, MlError> {
+    check_lengths(preds, truth)?;
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = preds.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    if ss_tot == 0.0 {
+        return Ok(if ss_res == 0.0 { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1.0, 0.0, 1.0, 1.0], &[1.0, 0.0, 0.0, 1.0]).unwrap(), 0.75);
+    }
+
+    #[test]
+    fn perfect_f1() {
+        assert_eq!(f1_score(&[1.0, 0.0], &[1.0, 0.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn f1_known_value() {
+        // tp=1, fp=1, fn=1 -> f1 = 2/4 = 0.5
+        let f1 = f1_score(&[1.0, 1.0, 0.0], &[1.0, 0.0, 1.0]).unwrap();
+        assert_eq!(f1, 0.5);
+    }
+
+    #[test]
+    fn f1_no_positives_is_zero() {
+        assert_eq!(f1_score(&[0.0, 0.0], &[0.0, 0.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        assert_eq!(roc_auc(&[0.9, 0.8, 0.2, 0.1], &[1.0, 1.0, 0.0, 0.0]).unwrap(), 1.0);
+        assert_eq!(roc_auc(&[0.1, 0.2, 0.8, 0.9], &[1.0, 1.0, 0.0, 0.0]).unwrap(), 0.0);
+        // All-equal scores = coin flip.
+        assert_eq!(roc_auc(&[0.5, 0.5, 0.5, 0.5], &[1.0, 1.0, 0.0, 0.0]).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn auc_requires_both_classes() {
+        assert!(roc_auc(&[0.5, 0.6], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn regression_metrics_known_values() {
+        let preds = [1.0, 2.0, 3.0];
+        let truth = [2.0, 2.0, 5.0];
+        assert!((mse(&preds, &truth).unwrap() - 5.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&preds, &truth).unwrap() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mae(&preds, &truth).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn r2_perfect_is_one() {
+        assert_eq!(r2_score(&[1.0, 2.0], &[1.0, 2.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn r2_mean_predictor_is_zero() {
+        let truth = [1.0, 2.0, 3.0];
+        let preds = [2.0, 2.0, 2.0];
+        assert!((r2_score(&preds, &truth).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_constant_truth_edge_case() {
+        assert_eq!(r2_score(&[2.0, 2.0], &[2.0, 2.0]).unwrap(), 1.0);
+        assert_eq!(r2_score(&[1.0, 3.0], &[2.0, 2.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(accuracy(&[1.0], &[1.0, 0.0]).is_err());
+        assert!(mse(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! K-means clustering with two physical implementations producing
+//! *identical* results: plain Lloyd iterations and a pruned variant
+//! ("elkan") that short-circuits distance computations with a running-best
+//! bound. Same fixpoint, fewer multiplications.
+
+use crate::artifact::OpState;
+use crate::config::Config;
+use crate::error::MlError;
+use hyppo_tensor::{Dataset, Matrix, SeededRng};
+
+fn check_trainable(data: &Dataset, k: usize) -> Result<(), MlError> {
+    if data.is_empty() || data.n_features() == 0 {
+        return Err(MlError::BadInput("k-means fit on empty dataset".into()));
+    }
+    if data.x.has_missing() {
+        return Err(MlError::BadInput("k-means requires imputed data".into()));
+    }
+    if k == 0 || k > data.len() {
+        return Err(MlError::BadInput(format!("invalid cluster count k={k}")));
+    }
+    Ok(())
+}
+
+fn init_centroids(data: &Dataset, k: usize, seed: u64) -> Matrix {
+    // k-means++ seeding: first center uniform, subsequent centers sampled
+    // proportionally to squared distance from the nearest chosen center.
+    // Deterministic given the seed; avoids the two-centers-in-one-blob local
+    // optima of naive row sampling.
+    let mut rng = SeededRng::new(seed);
+    let n = data.len();
+    let mut chosen: Vec<usize> = vec![rng.index(n)];
+    let mut dist2: Vec<f64> = (0..n)
+        .map(|r| squared_distance(data.x.row(r), data.x.row(chosen[0])))
+        .collect();
+    while chosen.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with chosen centers; fall back to any row.
+            rng.index(n)
+        } else {
+            rng.weighted_index(&dist2)
+        };
+        chosen.push(next);
+        for r in 0..n {
+            let d = squared_distance(data.x.row(r), data.x.row(next));
+            if d < dist2[r] {
+                dist2[r] = d;
+            }
+        }
+    }
+    data.x.select_rows(&chosen)
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Squared distance with early abort once `bound` is exceeded. Returns the
+/// exact distance when it is `< bound`, otherwise any value `>= bound`.
+fn squared_distance_bounded(a: &[f64], b: &[f64], bound: f64) -> f64 {
+    let mut acc = 0.0;
+    for (chunk_a, chunk_b) in a.chunks(8).zip(b.chunks(8)) {
+        for (x, y) in chunk_a.iter().zip(chunk_b) {
+            let d = x - y;
+            acc += d * d;
+        }
+        if acc >= bound {
+            return acc;
+        }
+    }
+    acc
+}
+
+fn lloyd_loop(
+    data: &Dataset,
+    mut centroids: Matrix,
+    max_iter: usize,
+    pruned: bool,
+) -> Matrix {
+    let k = centroids.rows();
+    let d = centroids.cols();
+    let n = data.len();
+    let mut assignment = vec![usize::MAX; n];
+    for _ in 0..max_iter {
+        let mut changed = false;
+        for r in 0..n {
+            let row = data.x.row(r);
+            let mut best = 0usize;
+            let mut best_dist = f64::INFINITY;
+            for c in 0..k {
+                let dist = if pruned {
+                    squared_distance_bounded(row, centroids.row(c), best_dist)
+                } else {
+                    squared_distance(row, centroids.row(c))
+                };
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = c;
+                }
+            }
+            if assignment[r] != best {
+                assignment[r] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Recompute centroids; empty clusters keep their previous position.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for (r, &c) in assignment.iter().enumerate() {
+            counts[c] += 1;
+            let row = data.x.row(r);
+            let dst = sums.row_mut(c);
+            for (s, &v) in dst.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f64;
+                let src: Vec<f64> = sums.row(c).iter().map(|v| v * inv).collect();
+                centroids.row_mut(c).copy_from_slice(&src);
+            }
+        }
+    }
+    centroids
+}
+
+/// Impl 0 ("lloyd"): plain Lloyd iterations.
+pub fn fit_kmeans_lloyd(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    let k = config.usize_or("k", 3);
+    check_trainable(data, k)?;
+    let seed = config.i_or("seed", 41) as u64;
+    let max_iter = config.usize_or("max_iter", 50);
+    let centroids = lloyd_loop(data, init_centroids(data, k, seed), max_iter, false);
+    Ok(OpState::KMeans { centroids })
+}
+
+/// Impl 1 ("elkan"): Lloyd with bounded-distance pruning. Identical
+/// fixpoint and identical centroids, fewer arithmetic operations.
+pub fn fit_kmeans_elkan(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    let k = config.usize_or("k", 3);
+    check_trainable(data, k)?;
+    let seed = config.i_or("seed", 41) as u64;
+    let max_iter = config.usize_or("max_iter", 50);
+    let centroids = lloyd_loop(data, init_centroids(data, k, seed), max_iter, true);
+    Ok(OpState::KMeans { centroids })
+}
+
+/// Assign each row to its nearest centroid (the "predict" task).
+pub fn assign_clusters(centroids: &Matrix, data: &Dataset) -> Result<Vec<f64>, MlError> {
+    if centroids.cols() != data.n_features() {
+        return Err(MlError::BadInput(format!(
+            "centroids have {} features, data has {}",
+            centroids.cols(),
+            data.n_features()
+        )));
+    }
+    Ok(data
+        .x
+        .rows_iter()
+        .map(|row| {
+            let mut best = 0usize;
+            let mut best_dist = f64::INFINITY;
+            for c in 0..centroids.rows() {
+                let dist = squared_distance(row, centroids.row(c));
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = c;
+                }
+            }
+            best as f64
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_tensor::TaskKind;
+
+    /// Three well-separated blobs.
+    fn blobs(n_per: usize) -> Dataset {
+        let mut rng = SeededRng::new(55);
+        let centers = [(-10.0, 0.0), (10.0, 0.0), (0.0, 15.0)];
+        let n = n_per * 3;
+        let mut x = Matrix::zeros(n, 2);
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..n_per {
+                let r = ci * n_per + i;
+                x.set(r, 0, cx + rng.normal() * 0.5);
+                x.set(r, 1, cy + rng.normal() * 0.5);
+            }
+        }
+        Dataset::new(x, vec![0.0; n], vec!["a".into(), "b".into()], TaskKind::Regression)
+    }
+
+    #[test]
+    fn lloyd_recovers_blob_centers() {
+        let d = blobs(50);
+        let cfg = Config::new().with_i("k", 3);
+        let OpState::KMeans { centroids } = fit_kmeans_lloyd(&d, &cfg).unwrap() else {
+            panic!()
+        };
+        // Each true center must be within 1.0 of some centroid.
+        for &(cx, cy) in &[(-10.0, 0.0), (10.0, 0.0), (0.0, 15.0)] {
+            let ok = (0..3).any(|c| {
+                let row = centroids.row(c);
+                ((row[0] - cx).powi(2) + (row[1] - cy).powi(2)).sqrt() < 1.0
+            });
+            assert!(ok, "no centroid near ({cx},{cy}): {centroids:?}");
+        }
+    }
+
+    #[test]
+    fn lloyd_and_elkan_are_bitwise_identical() {
+        let d = blobs(40);
+        let cfg = Config::new().with_i("k", 3).with_i("seed", 9);
+        let a = fit_kmeans_lloyd(&d, &cfg).unwrap();
+        let b = fit_kmeans_elkan(&d, &cfg).unwrap();
+        assert_eq!(a, b, "pruning must not change the fixpoint");
+    }
+
+    #[test]
+    fn assignment_is_consistent_with_centroids() {
+        let d = blobs(30);
+        let cfg = Config::new().with_i("k", 3);
+        let state = fit_kmeans_lloyd(&d, &cfg).unwrap();
+        let OpState::KMeans { centroids } = &state else { panic!() };
+        let assign = assign_clusters(centroids, &d).unwrap();
+        // All points in one blob share a label.
+        for blob in 0..3 {
+            let first = assign[blob * 30];
+            for i in 0..30 {
+                assert_eq!(assign[blob * 30 + i], first, "blob {blob} split");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let d = blobs(5);
+        assert!(fit_kmeans_lloyd(&d, &Config::new().with_i("k", 0)).is_err());
+        assert!(fit_kmeans_lloyd(&d, &Config::new().with_i("k", 1000)).is_err());
+    }
+
+    #[test]
+    fn assign_width_mismatch_rejected() {
+        let d = blobs(5);
+        let centroids = Matrix::zeros(2, 5);
+        assert!(assign_clusters(&centroids, &d).is_err());
+    }
+
+    #[test]
+    fn bounded_distance_exact_below_bound() {
+        let a = vec![1.0; 20];
+        let b = vec![2.0; 20];
+        assert_eq!(squared_distance_bounded(&a, &b, f64::INFINITY), 20.0);
+        assert!(squared_distance_bounded(&a, &b, 5.0) >= 5.0);
+    }
+}

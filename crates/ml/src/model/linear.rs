@@ -1,0 +1,458 @@
+//! Linear models: OLS, ridge, lasso, logistic regression.
+//!
+//! Each regression operator has a *direct* (normal equations via Cholesky)
+//! and an *iterative* (SGD) physical implementation — the classic
+//! "sklearn vs TF" equivalence pair. The iterative variants converge to the
+//! same optimum; tests assert closeness, not bitwise equality, mirroring
+//! real cross-framework behaviour.
+
+use crate::artifact::OpState;
+use crate::config::Config;
+use crate::error::MlError;
+use crate::ops::LogicalOp;
+use hyppo_tensor::linalg::cholesky_solve;
+use hyppo_tensor::matrix::dot;
+use hyppo_tensor::{Dataset, SeededRng};
+
+fn check_trainable(data: &Dataset) -> Result<(), MlError> {
+    if data.is_empty() || data.n_features() == 0 {
+        return Err(MlError::BadInput("fit on empty dataset".into()));
+    }
+    if data.x.has_missing() {
+        return Err(MlError::BadInput("model fit requires imputed (non-NaN) data".into()));
+    }
+    Ok(())
+}
+
+/// Solve `(XᵀX + λI) w = Xᵀy` on bias-augmented features (bias not
+/// regularized). `lambda = 0` gives OLS; a tiny jitter keeps the system SPD.
+fn solve_normal_equations(data: &Dataset, lambda: f64) -> Result<(Vec<f64>, f64), MlError> {
+    let d = data.n_features();
+    let n = data.len();
+    // Augmented gram: [X 1]ᵀ[X 1], assembled directly.
+    let mut a = hyppo_tensor::Matrix::zeros(d + 1, d + 1);
+    let mut b = vec![0.0; d + 1];
+    for (row, &yi) in data.x.rows_iter().zip(&data.y) {
+        for i in 0..d {
+            let ri = row[i];
+            let ar = a.row_mut(i);
+            for (j, &rj) in row.iter().enumerate().skip(i) {
+                ar[j] += ri * rj;
+            }
+            ar[d] += ri; // bias column
+            b[i] += ri * yi;
+        }
+        *a.row_mut(d).last_mut().expect("non-empty row") += 1.0;
+        b[d] += yi;
+    }
+    // Mirror, regularize weights (not bias), add jitter for stability.
+    for i in 0..=d {
+        for j in 0..i {
+            let v = a.get(j, i);
+            a.set(i, j, v);
+        }
+    }
+    let jitter = 1e-9 * n as f64;
+    for i in 0..d {
+        let v = a.get(i, i) + lambda + jitter;
+        a.set(i, i, v);
+    }
+    let v = a.get(d, d) + jitter;
+    a.set(d, d, v);
+    let w = cholesky_solve(&a, &b)?;
+    let bias = w[d];
+    Ok((w[..d].to_vec(), bias))
+}
+
+/// Mini-batch SGD on squared loss with optional L2 penalty. Learning-rate
+/// schedule `lr / (1 + epoch)`; deterministic given the seed.
+fn sgd_regression(
+    data: &Dataset,
+    lambda: f64,
+    config: &Config,
+) -> Result<(Vec<f64>, f64), MlError> {
+    let d = data.n_features();
+    let n = data.len();
+    let epochs = config.usize_or("epochs", 60);
+    let lr0 = config.f_or("lr", 0.05);
+    let seed = config.i_or("seed", 17) as u64;
+    let mut rng = SeededRng::new(seed);
+    let mut w = vec![0.0; d];
+    let mut bias = 0.0;
+    // Feature scaling for stable SGD: run on standardized copies internally,
+    // then unscale the weights.
+    let (mean, std) = hyppo_tensor::stats::column_mean_std_two_pass(&data.x);
+    let std: Vec<f64> = std.into_iter().map(|s| if s < 1e-12 { 1.0 } else { s }).collect();
+    let y_mean = data.y.iter().sum::<f64>() / n as f64;
+
+    for epoch in 0..epochs {
+        let lr = lr0 / (1.0 + epoch as f64 * 0.1);
+        let order = rng.permutation(n);
+        for &r in &order {
+            let row = data.x.row(r);
+            let mut pred = bias;
+            for i in 0..d {
+                pred += w[i] * (row[i] - mean[i]) / std[i];
+            }
+            let err = pred - (data.y[r] - y_mean);
+            for i in 0..d {
+                let xi = (row[i] - mean[i]) / std[i];
+                w[i] -= lr * (err * xi + lambda / n as f64 * w[i]);
+            }
+            bias -= lr * err;
+        }
+    }
+    // Unscale: prediction = Σ w_i (x_i - m_i)/s_i + bias + y_mean.
+    let mut w_out = vec![0.0; d];
+    let mut b_out = bias + y_mean;
+    for i in 0..d {
+        w_out[i] = w[i] / std[i];
+        b_out -= w[i] * mean[i] / std[i];
+    }
+    Ok((w_out, b_out))
+}
+
+/// OLS impl 0 ("sklearn"): normal equations.
+pub fn fit_ols_normal(data: &Dataset, _config: &Config) -> Result<OpState, MlError> {
+    check_trainable(data)?;
+    let (weights, bias) = solve_normal_equations(data, 0.0)?;
+    Ok(OpState::Linear { op: LogicalOp::LinearRegression, weights, bias })
+}
+
+/// OLS impl 1 ("tf"): SGD.
+pub fn fit_ols_sgd(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    check_trainable(data)?;
+    let (weights, bias) = sgd_regression(data, 0.0, config)?;
+    Ok(OpState::Linear { op: LogicalOp::LinearRegression, weights, bias })
+}
+
+/// Ridge impl 0 ("sklearn"): regularized normal equations.
+pub fn fit_ridge_cholesky(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    check_trainable(data)?;
+    let alpha = config.f_or("alpha", 1.0);
+    let (weights, bias) = solve_normal_equations(data, alpha)?;
+    Ok(OpState::Linear { op: LogicalOp::Ridge, weights, bias })
+}
+
+/// Ridge impl 1 ("pyglmnet"): SGD with L2 penalty.
+pub fn fit_ridge_sgd(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    check_trainable(data)?;
+    let alpha = config.f_or("alpha", 1.0);
+    let (weights, bias) = sgd_regression(data, alpha, config)?;
+    Ok(OpState::Linear { op: LogicalOp::Ridge, weights, bias })
+}
+
+/// Lasso (single impl): cyclic coordinate descent with soft thresholding on
+/// standardized features.
+pub fn fit_lasso_cd(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    check_trainable(data)?;
+    let alpha = config.f_or("alpha", 0.1);
+    let iters = config.usize_or("iters", 100);
+    let d = data.n_features();
+    let n = data.len();
+    let (mean, std) = hyppo_tensor::stats::column_mean_std_two_pass(&data.x);
+    let std: Vec<f64> = std.into_iter().map(|s| if s < 1e-12 { 1.0 } else { s }).collect();
+    let y_mean = data.y.iter().sum::<f64>() / n as f64;
+
+    // Standardized feature columns.
+    let cols: Vec<Vec<f64>> = (0..d)
+        .map(|j| data.x.col(j).iter().map(|&v| (v - mean[j]) / std[j]).collect())
+        .collect();
+    let yc: Vec<f64> = data.y.iter().map(|&v| v - y_mean).collect();
+
+    let mut w = vec![0.0; d];
+    let mut residual = yc.clone();
+    let col_sq: Vec<f64> = cols.iter().map(|c| dot(c, c)).collect();
+    for _ in 0..iters {
+        let mut max_delta: f64 = 0.0;
+        for j in 0..d {
+            if col_sq[j] < 1e-12 {
+                continue;
+            }
+            // rho = x_jᵀ(residual + w_j x_j)
+            let rho = dot(&cols[j], &residual) + w[j] * col_sq[j];
+            let new_w = soft_threshold(rho, alpha * n as f64 / 2.0) / col_sq[j];
+            let delta = new_w - w[j];
+            if delta != 0.0 {
+                for (res, &xj) in residual.iter_mut().zip(&cols[j]) {
+                    *res -= delta * xj;
+                }
+                w[j] = new_w;
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        if max_delta < 1e-10 {
+            break;
+        }
+    }
+    let mut weights = vec![0.0; d];
+    let mut bias = y_mean;
+    for j in 0..d {
+        weights[j] = w[j] / std[j];
+        bias -= w[j] * mean[j] / std[j];
+    }
+    Ok(OpState::Linear { op: LogicalOp::Lasso, weights, bias })
+}
+
+fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Logistic regression impl 0 ("sklearn"): Newton / IRLS iterations.
+pub fn fit_logistic_irls(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    check_trainable(data)?;
+    let d = data.n_features();
+    let iters = config.usize_or("iters", 12);
+    let ridge = 1e-6;
+    let mut w = vec![0.0; d + 1]; // last entry is bias
+    for _ in 0..iters {
+        // Gradient and Hessian of the negative log-likelihood.
+        let mut grad = vec![0.0; d + 1];
+        let mut hess = hyppo_tensor::Matrix::zeros(d + 1, d + 1);
+        for (row, &yi) in data.x.rows_iter().zip(&data.y) {
+            let mut z = w[d];
+            for i in 0..d {
+                z += w[i] * row[i];
+            }
+            let p = sigmoid(z);
+            let err = p - yi;
+            let s = p * (1.0 - p) + 1e-9;
+            for i in 0..d {
+                grad[i] += err * row[i];
+                let hr = hess.row_mut(i);
+                for (j, &rj) in row.iter().enumerate().skip(i) {
+                    hr[j] += s * row[i] * rj;
+                }
+                hr[d] += s * row[i];
+            }
+            grad[d] += err;
+            let v = hess.get(d, d) + s;
+            hess.set(d, d, v);
+        }
+        for i in 0..=d {
+            for j in 0..i {
+                let v = hess.get(j, i);
+                hess.set(i, j, v);
+            }
+            let v = hess.get(i, i) + ridge;
+            hess.set(i, i, v);
+        }
+        let step = cholesky_solve(&hess, &grad)?;
+        let mut max_step: f64 = 0.0;
+        for i in 0..=d {
+            w[i] -= step[i];
+            max_step = max_step.max(step[i].abs());
+        }
+        if max_step < 1e-10 {
+            break;
+        }
+    }
+    let bias = w[d];
+    Ok(OpState::Linear { op: LogicalOp::LogisticRegression, weights: w[..d].to_vec(), bias })
+}
+
+/// Logistic regression impl 1 ("tf"): plain SGD on the log loss.
+pub fn fit_logistic_sgd(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    check_trainable(data)?;
+    let d = data.n_features();
+    let n = data.len();
+    let epochs = config.usize_or("epochs", 40);
+    let lr0 = config.f_or("lr", 0.1);
+    let seed = config.i_or("seed", 23) as u64;
+    let mut rng = SeededRng::new(seed);
+    let mut w = vec![0.0; d];
+    let mut bias = 0.0;
+    for epoch in 0..epochs {
+        let lr = lr0 / (1.0 + epoch as f64 * 0.05);
+        let order = rng.permutation(n);
+        for &r in &order {
+            let row = data.x.row(r);
+            let z = bias + dot(&w, row);
+            let err = sigmoid(z) - data.y[r];
+            for i in 0..d {
+                w[i] -= lr * err * row[i];
+            }
+            bias -= lr * err;
+        }
+    }
+    Ok(OpState::Linear { op: LogicalOp::LogisticRegression, weights: w, bias })
+}
+
+/// Prediction for all [`OpState::Linear`] kinds.
+pub fn predict_linear(
+    op: LogicalOp,
+    weights: &[f64],
+    bias: f64,
+    data: &Dataset,
+) -> Result<Vec<f64>, MlError> {
+    if weights.len() != data.n_features() {
+        return Err(MlError::BadInput(format!(
+            "linear model has {} weights but data has {} features",
+            weights.len(),
+            data.n_features()
+        )));
+    }
+    let raw = data.x.rows_iter().map(|row| bias + dot(weights, row));
+    Ok(match op {
+        LogicalOp::LogisticRegression => {
+            raw.map(|z| if sigmoid(z) >= 0.5 { 1.0 } else { 0.0 }).collect()
+        }
+        LogicalOp::LinearSvm => raw.map(|z| if z >= 0.0 { 1.0 } else { 0.0 }).collect(),
+        _ => raw.collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::predict_model;
+    use hyppo_tensor::{Matrix, TaskKind};
+
+    /// y = 3 x0 - 2 x1 + 1 + noise
+    fn linear_data(n: usize, noise: f64) -> Dataset {
+        let mut rng = SeededRng::new(5);
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let (a, b) = (rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0));
+            x.set(r, 0, a);
+            x.set(r, 1, b);
+            y.push(3.0 * a - 2.0 * b + 1.0 + noise * rng.normal());
+        }
+        Dataset::new(x, y, vec!["a".into(), "b".into()], TaskKind::Regression)
+    }
+
+    fn weights_of(s: &OpState) -> (Vec<f64>, f64) {
+        match s {
+            OpState::Linear { weights, bias, .. } => (weights.clone(), *bias),
+            _ => panic!("not linear"),
+        }
+    }
+
+    #[test]
+    fn ols_normal_recovers_coefficients() {
+        let d = linear_data(200, 0.0);
+        let (w, b) = weights_of(&fit_ols_normal(&d, &Config::new()).unwrap());
+        assert!((w[0] - 3.0).abs() < 1e-6);
+        assert!((w[1] + 2.0).abs() < 1e-6);
+        assert!((b - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ols_sgd_approximates_normal_equations() {
+        let d = linear_data(300, 0.01);
+        let (we, be) = weights_of(&fit_ols_normal(&d, &Config::new()).unwrap());
+        let (ws, bs) = weights_of(&fit_ols_sgd(&d, &Config::new()).unwrap());
+        assert!((we[0] - ws[0]).abs() < 0.05, "{} vs {}", we[0], ws[0]);
+        assert!((we[1] - ws[1]).abs() < 0.05);
+        assert!((be - bs).abs() < 0.05);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let d = linear_data(100, 0.1);
+        let (w_small, _) =
+            weights_of(&fit_ridge_cholesky(&d, &Config::new().with_f("alpha", 0.01)).unwrap());
+        let (w_big, _) =
+            weights_of(&fit_ridge_cholesky(&d, &Config::new().with_f("alpha", 1e5)).unwrap());
+        assert!(w_big[0].abs() < w_small[0].abs());
+        assert!(w_big[0].abs() < 0.5);
+    }
+
+    #[test]
+    fn ridge_impls_approximately_agree() {
+        let d = linear_data(300, 0.05);
+        let cfg = Config::new().with_f("alpha", 1.0);
+        let (wc, bc) = weights_of(&fit_ridge_cholesky(&d, &cfg).unwrap());
+        let (ws, bs) = weights_of(&fit_ridge_sgd(&d, &cfg).unwrap());
+        for (a, b) in wc.iter().zip(&ws) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+        assert!((bc - bs).abs() < 0.1);
+    }
+
+    #[test]
+    fn lasso_zeroes_irrelevant_features() {
+        // y depends only on x0; x1 is noise.
+        let mut rng = SeededRng::new(8);
+        let n = 200;
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Vec::new();
+        for r in 0..n {
+            let a = rng.uniform(-1.0, 1.0);
+            let b = rng.uniform(-1.0, 1.0);
+            x.set(r, 0, a);
+            x.set(r, 1, b);
+            y.push(2.0 * a + 0.01 * rng.normal());
+        }
+        let d = Dataset::new(x, y, vec!["a".into(), "b".into()], TaskKind::Regression);
+        let (w, _) = weights_of(&fit_lasso_cd(&d, &Config::new().with_f("alpha", 0.5)).unwrap());
+        assert!(w[0].abs() > 0.5, "relevant feature kept: {}", w[0]);
+        assert!(w[1].abs() < 0.05, "irrelevant feature shrunk: {}", w[1]);
+    }
+
+    /// Linearly separable classification data.
+    fn separable(n: usize) -> Dataset {
+        let mut rng = SeededRng::new(13);
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Vec::new();
+        for r in 0..n {
+            let (a, b) = (rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+            x.set(r, 0, a);
+            x.set(r, 1, b);
+            y.push(if a + b > 0.0 { 1.0 } else { 0.0 });
+        }
+        Dataset::new(x, y, vec!["a".into(), "b".into()], TaskKind::Classification)
+    }
+
+    #[test]
+    fn logistic_irls_separates() {
+        let d = separable(200);
+        let state = fit_logistic_irls(&d, &Config::new()).unwrap();
+        let preds = predict_model(&state, &d).unwrap();
+        let acc = preds.iter().zip(&d.y).filter(|(p, y)| p == y).count() as f64 / 200.0;
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn logistic_impls_agree_on_predictions() {
+        let d = separable(300);
+        let a = fit_logistic_irls(&d, &Config::new()).unwrap();
+        let b = fit_logistic_sgd(&d, &Config::new()).unwrap();
+        let pa = predict_model(&a, &d).unwrap();
+        let pb = predict_model(&b, &d).unwrap();
+        let agree = pa.iter().zip(&pb).filter(|(x, y)| x == y).count() as f64 / 300.0;
+        assert!(agree > 0.95, "impl agreement {agree}");
+    }
+
+    #[test]
+    fn missing_values_rejected() {
+        let mut d = linear_data(10, 0.0);
+        d.x.set(0, 0, f64::NAN);
+        assert!(fit_ols_normal(&d, &Config::new()).is_err());
+        assert!(fit_logistic_sgd(&d, &Config::new()).is_err());
+    }
+
+    #[test]
+    fn predict_width_mismatch_rejected() {
+        let d = linear_data(5, 0.0);
+        assert!(predict_linear(LogicalOp::LinearRegression, &[1.0], 0.0, &d).is_err());
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(5.0, 2.0), 3.0);
+        assert_eq!(soft_threshold(-5.0, 2.0), -3.0);
+        assert_eq!(soft_threshold(1.0, 2.0), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Learning operators (fit + predict).
+//!
+//! [`predict_model`] is the shared prediction dispatcher: every fitted model
+//! op-state can be applied to a dataset, including recursively for ensemble
+//! states. Classification models emit labels in {0, 1}.
+
+pub mod forest;
+pub mod gbm;
+pub mod kmeans;
+pub mod linear;
+pub mod svm;
+pub mod tree;
+
+pub use tree::{build_tree, TreeParams};
+
+use crate::artifact::OpState;
+use crate::error::MlError;
+use crate::ops::LogicalOp;
+use hyppo_tensor::Dataset;
+
+/// Predict with any fitted model state on a dataset.
+pub fn predict_model(state: &OpState, data: &Dataset) -> Result<Vec<f64>, MlError> {
+    match state {
+        OpState::Linear { op, weights, bias } => {
+            linear::predict_linear(*op, weights, *bias, data)
+        }
+        OpState::Tree(tree) => {
+            check_width(data, tree_width_hint(state), "decision tree")?;
+            Ok(data.x.rows_iter().map(|row| tree.predict_row(row)).collect())
+        }
+        OpState::Forest { trees, classification } => {
+            if trees.is_empty() {
+                return Err(MlError::BadInput("empty forest".into()));
+            }
+            let mut acc = vec![0.0; data.len()];
+            for t in trees {
+                for (a, row) in acc.iter_mut().zip(data.x.rows_iter()) {
+                    *a += t.predict_row(row);
+                }
+            }
+            let k = trees.len() as f64;
+            Ok(acc
+                .into_iter()
+                .map(|s| {
+                    let mean = s / k;
+                    if *classification {
+                        if mean >= 0.5 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        mean
+                    }
+                })
+                .collect())
+        }
+        OpState::Gbm { trees, learning_rate, base } => {
+            let mut preds = vec![*base; data.len()];
+            for t in trees {
+                for (p, row) in preds.iter_mut().zip(data.x.rows_iter()) {
+                    *p += learning_rate * t.predict_row(row);
+                }
+            }
+            Ok(preds)
+        }
+        OpState::KMeans { centroids } => kmeans::assign_clusters(centroids, data),
+        OpState::Voting { members, classification } => {
+            if members.is_empty() {
+                return Err(MlError::BadInput("empty voting ensemble".into()));
+            }
+            let mut acc = vec![0.0; data.len()];
+            for m in members {
+                let p = predict_model(m, data)?;
+                for (a, v) in acc.iter_mut().zip(p) {
+                    *a += v;
+                }
+            }
+            let k = members.len() as f64;
+            Ok(acc
+                .into_iter()
+                .map(|s| {
+                    let mean = s / k;
+                    if *classification {
+                        if mean >= 0.5 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        mean
+                    }
+                })
+                .collect())
+        }
+        OpState::Stacking { members, meta_weights, meta_bias } => {
+            let mut out = vec![*meta_bias; data.len()];
+            for (m, w) in members.iter().zip(meta_weights) {
+                let p = predict_model(m, data)?;
+                for (o, v) in out.iter_mut().zip(p) {
+                    *o += w * v;
+                }
+            }
+            Ok(out)
+        }
+        _ => Err(MlError::StateMismatch(LogicalOp::LinearRegression)),
+    }
+}
+
+fn tree_width_hint(_state: &OpState) -> Option<usize> {
+    // Trees store feature indices, not widths; rely on predict to bounds-check
+    // in debug builds. Returning None skips the width check.
+    None
+}
+
+fn check_width(data: &Dataset, expected: Option<usize>, what: &str) -> Result<(), MlError> {
+    if let Some(d) = expected {
+        if data.n_features() != d {
+            return Err(MlError::BadInput(format!(
+                "{what} expects {d} features, data has {}",
+                data.n_features()
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{TreeModel, TreeNode};
+    use hyppo_tensor::{Matrix, TaskKind};
+
+    fn ds(rows: &[&[f64]]) -> Dataset {
+        let m = Matrix::from_rows(rows);
+        let names = (0..m.cols()).map(|i| format!("f{i}")).collect();
+        Dataset::new(m, vec![0.0; rows.len()], names, TaskKind::Regression)
+    }
+
+    fn stump(threshold: f64, lo: f64, hi: f64) -> TreeModel {
+        TreeModel {
+            nodes: vec![
+                TreeNode::Split { feature: 0, threshold, left: 1, right: 2 },
+                TreeNode::Leaf { value: lo },
+                TreeNode::Leaf { value: hi },
+            ],
+        }
+    }
+
+    #[test]
+    fn forest_prediction_averages_trees() {
+        let state = OpState::Forest {
+            trees: vec![stump(0.5, 0.0, 2.0), stump(0.5, 1.0, 4.0)],
+            classification: false,
+        };
+        let d = ds(&[&[0.0], &[1.0]]);
+        let p = predict_model(&state, &d).unwrap();
+        assert_eq!(p, vec![0.5, 3.0]);
+    }
+
+    #[test]
+    fn forest_classification_thresholds_votes() {
+        let state = OpState::Forest {
+            trees: vec![stump(0.5, 0.0, 1.0), stump(0.5, 0.0, 1.0), stump(0.5, 1.0, 1.0)],
+            classification: true,
+        };
+        let d = ds(&[&[0.0], &[1.0]]);
+        let p = predict_model(&state, &d).unwrap();
+        assert_eq!(p, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn gbm_prediction_accumulates_stages() {
+        let state = OpState::Gbm {
+            trees: vec![stump(0.5, -1.0, 1.0), stump(0.5, -1.0, 1.0)],
+            learning_rate: 0.5,
+            base: 10.0,
+        };
+        let d = ds(&[&[0.0], &[1.0]]);
+        let p = predict_model(&state, &d).unwrap();
+        assert_eq!(p, vec![9.0, 11.0]);
+    }
+
+    #[test]
+    fn voting_averages_members() {
+        let members = vec![
+            OpState::Gbm { trees: vec![], learning_rate: 1.0, base: 2.0 },
+            OpState::Gbm { trees: vec![], learning_rate: 1.0, base: 4.0 },
+        ];
+        let state = OpState::Voting { members, classification: false };
+        let d = ds(&[&[0.0]]);
+        assert_eq!(predict_model(&state, &d).unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn stacking_applies_meta_weights() {
+        let members = vec![
+            OpState::Gbm { trees: vec![], learning_rate: 1.0, base: 2.0 },
+            OpState::Gbm { trees: vec![], learning_rate: 1.0, base: 4.0 },
+        ];
+        let state =
+            OpState::Stacking { members, meta_weights: vec![0.5, 0.25], meta_bias: 1.0 };
+        let d = ds(&[&[0.0]]);
+        assert_eq!(predict_model(&state, &d).unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn empty_ensembles_rejected() {
+        let d = ds(&[&[0.0]]);
+        assert!(predict_model(
+            &OpState::Forest { trees: vec![], classification: false },
+            &d
+        )
+        .is_err());
+        assert!(predict_model(
+            &OpState::Voting { members: vec![], classification: false },
+            &d
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn non_model_state_rejected() {
+        let d = ds(&[&[0.0]]);
+        let bad = OpState::Poly { degree: 2, input_dim: 1 };
+        assert!(matches!(predict_model(&bad, &d), Err(MlError::StateMismatch(_))));
+    }
+}

@@ -1,0 +1,198 @@
+//! Linear SVM with two equivalent physical implementations:
+//! Pegasos-style primal SGD ("sklearn LinearSVC") and dual coordinate
+//! descent ("libsvm/liblinear"). Both optimize the same L2-regularized
+//! hinge loss; decision boundaries agree up to optimization tolerance.
+
+use crate::artifact::OpState;
+use crate::config::Config;
+use crate::error::MlError;
+use crate::ops::LogicalOp;
+use hyppo_tensor::matrix::dot;
+use hyppo_tensor::{Dataset, SeededRng};
+
+fn check_trainable(data: &Dataset) -> Result<(), MlError> {
+    if data.is_empty() || data.n_features() == 0 {
+        return Err(MlError::BadInput("SVM fit on empty dataset".into()));
+    }
+    if data.x.has_missing() {
+        return Err(MlError::BadInput("SVM fit requires imputed data".into()));
+    }
+    Ok(())
+}
+
+/// Labels as ±1 from {0, 1}.
+fn signed_labels(data: &Dataset) -> Vec<f64> {
+    data.y.iter().map(|&y| if y > 0.5 { 1.0 } else { -1.0 }).collect()
+}
+
+/// Impl 0 ("sklearn.svm.LinearSVC"): Pegasos primal sub-gradient descent
+/// on `λ/2 ‖w‖² + mean hinge`.
+pub fn fit_svm_pegasos(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    check_trainable(data)?;
+    let c = config.f_or("c", 1.0).max(1e-9);
+    let n = data.len();
+    let d = data.n_features();
+    let lambda = 1.0 / (c * n as f64);
+    let epochs = config.usize_or("epochs", 30);
+    let seed = config.i_or("seed", 29) as u64;
+    let mut rng = SeededRng::new(seed);
+    let mut w = vec![0.0; d];
+    let mut bias = 0.0;
+    let mut t = 1.0f64;
+    for _ in 0..epochs {
+        let order = rng.permutation(n);
+        for &r in &order {
+            let eta = 1.0 / (lambda * t);
+            let row = data.x.row(r);
+            let y = if data.y[r] > 0.5 { 1.0 } else { -1.0 };
+            let margin = y * (dot(&w, row) + bias);
+            for wi in w.iter_mut() {
+                *wi *= 1.0 - eta * lambda;
+            }
+            if margin < 1.0 {
+                let scale = eta * y;
+                for (wi, &xi) in w.iter_mut().zip(row) {
+                    *wi += scale * xi;
+                }
+                bias += eta * y * 0.01; // small unregularized bias step
+            }
+            t += 1.0;
+        }
+    }
+    Ok(OpState::Linear { op: LogicalOp::LinearSvm, weights: w, bias })
+}
+
+/// Impl 1 ("libsvm linear"): dual coordinate descent (liblinear algorithm 3)
+/// for L2-regularized L1-loss SVM.
+pub fn fit_svm_dual_cd(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    check_trainable(data)?;
+    let c = config.f_or("c", 1.0).max(1e-9);
+    let n = data.len();
+    let d = data.n_features();
+    let iters = config.usize_or("iters", 20);
+    let y = signed_labels(data);
+    // Append an implicit bias feature of value 1 (standard liblinear trick).
+    let q: Vec<f64> = data
+        .x
+        .rows_iter()
+        .map(|row| dot(row, row) + 1.0)
+        .collect();
+    let mut alpha = vec![0.0; n];
+    let mut w = vec![0.0; d];
+    let mut bias = 0.0;
+    let seed = config.i_or("seed", 31) as u64;
+    let mut rng = SeededRng::new(seed);
+    for _ in 0..iters {
+        let order = rng.permutation(n);
+        let mut max_step: f64 = 0.0;
+        for &r in &order {
+            let row = data.x.row(r);
+            let g = y[r] * (dot(&w, row) + bias) - 1.0;
+            let pg = if alpha[r] <= 0.0 {
+                g.min(0.0)
+            } else if alpha[r] >= c {
+                g.max(0.0)
+            } else {
+                g
+            };
+            if pg.abs() > 1e-12 {
+                let old = alpha[r];
+                alpha[r] = (old - g / q[r]).clamp(0.0, c);
+                let delta = (alpha[r] - old) * y[r];
+                if delta != 0.0 {
+                    for (wi, &xi) in w.iter_mut().zip(row) {
+                        *wi += delta * xi;
+                    }
+                    bias += delta;
+                    max_step = max_step.max(delta.abs());
+                }
+            }
+        }
+        if max_step < 1e-10 {
+            break;
+        }
+    }
+    Ok(OpState::Linear { op: LogicalOp::LinearSvm, weights: w, bias })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::predict_model;
+    use hyppo_tensor::{Matrix, TaskKind};
+
+    fn separable(n: usize, margin: f64) -> Dataset {
+        let mut rng = SeededRng::new(77);
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Vec::new();
+        for r in 0..n {
+            let label = rng.chance(0.5);
+            let offset = if label { margin } else { -margin };
+            x.set(r, 0, rng.normal() * 0.3 + offset);
+            x.set(r, 1, rng.normal() * 0.3 + offset);
+            y.push(if label { 1.0 } else { 0.0 });
+        }
+        Dataset::new(x, y, vec!["a".into(), "b".into()], TaskKind::Classification)
+    }
+
+    fn accuracy(preds: &[f64], truth: &[f64]) -> f64 {
+        preds.iter().zip(truth).filter(|(p, y)| p == y).count() as f64 / truth.len() as f64
+    }
+
+    #[test]
+    fn pegasos_separates_clean_data() {
+        let d = separable(300, 1.0);
+        let s = fit_svm_pegasos(&d, &Config::new().with_f("c", 1.0)).unwrap();
+        let acc = accuracy(&predict_model(&s, &d).unwrap(), &d.y);
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn dual_cd_separates_clean_data() {
+        let d = separable(300, 1.0);
+        let s = fit_svm_dual_cd(&d, &Config::new().with_f("c", 1.0)).unwrap();
+        let acc = accuracy(&predict_model(&s, &d).unwrap(), &d.y);
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn impls_agree_on_most_predictions() {
+        let d = separable(400, 0.8);
+        let a = fit_svm_pegasos(&d, &Config::new()).unwrap();
+        let b = fit_svm_dual_cd(&d, &Config::new()).unwrap();
+        let pa = predict_model(&a, &d).unwrap();
+        let pb = predict_model(&b, &d).unwrap();
+        let agree = pa.iter().zip(&pb).filter(|(x, y)| x == y).count() as f64 / 400.0;
+        assert!(agree > 0.95, "agreement {agree}");
+    }
+
+    #[test]
+    fn predictions_are_binary() {
+        let d = separable(50, 1.0);
+        let s = fit_svm_dual_cd(&d, &Config::new()).unwrap();
+        for p in predict_model(&s, &d).unwrap() {
+            assert!(p == 0.0 || p == 1.0);
+        }
+    }
+
+    #[test]
+    fn missing_data_rejected() {
+        let mut d = separable(10, 1.0);
+        d.x.set(0, 0, f64::NAN);
+        assert!(fit_svm_pegasos(&d, &Config::new()).is_err());
+        assert!(fit_svm_dual_cd(&d, &Config::new()).is_err());
+    }
+
+    #[test]
+    fn dual_alphas_stay_in_box() {
+        // Indirect: training on noisy data still converges and predicts 0/1.
+        let mut d = separable(100, 0.2);
+        // flip some labels
+        for i in 0..10 {
+            d.y[i] = 1.0 - d.y[i];
+        }
+        let s = fit_svm_dual_cd(&d, &Config::new().with_f("c", 0.5)).unwrap();
+        let preds = predict_model(&s, &d).unwrap();
+        assert!(preds.iter().all(|p| *p == 0.0 || *p == 1.0));
+    }
+}

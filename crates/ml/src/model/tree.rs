@@ -1,0 +1,261 @@
+//! CART regression trees (also used for binary classification on 0/1
+//! labels, where variance reduction coincides with Gini-style impurity up
+//! to a monotone transform).
+//!
+//! The builder is deterministic and shared by [`crate::model::gbm`] and the
+//! random forest; per-tree randomness (bootstrap rows, feature subsets) is
+//! injected by the caller.
+
+use crate::artifact::{TreeModel, TreeNode};
+use crate::error::MlError;
+use hyppo_tensor::Matrix;
+
+/// Tree construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required in each child of a split.
+    pub min_leaf: usize,
+    /// Maximum number of candidate thresholds examined per feature
+    /// (quantile-spaced over the node's values).
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 5, min_leaf: 2, max_thresholds: 16 }
+    }
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    features: &'a [usize],
+    params: TreeParams,
+    nodes: Vec<TreeNode>,
+}
+
+/// Build a regression tree on the given rows, considering only the given
+/// feature indices for splits.
+pub fn build_tree(
+    x: &Matrix,
+    y: &[f64],
+    rows: &[usize],
+    features: &[usize],
+    params: TreeParams,
+) -> Result<TreeModel, MlError> {
+    if rows.is_empty() {
+        return Err(MlError::BadInput("tree fit on zero rows".into()));
+    }
+    if features.is_empty() {
+        return Err(MlError::BadInput("tree fit with zero features".into()));
+    }
+    let mut b = Builder { x, y, features, params, nodes: Vec::new() };
+    let mut rows = rows.to_vec();
+    b.split_node(&mut rows, 0);
+    Ok(TreeModel { nodes: b.nodes })
+}
+
+impl Builder<'_> {
+    /// Recursively grow the tree; returns the index of the created node.
+    fn split_node(&mut self, rows: &mut [usize], depth: usize) -> usize {
+        let mean = rows.iter().map(|&r| self.y[r]).sum::<f64>() / rows.len() as f64;
+        if depth >= self.params.max_depth || rows.len() < 2 * self.params.min_leaf {
+            return self.leaf(mean);
+        }
+        let Some((feature, threshold)) = self.best_split(rows) else {
+            return self.leaf(mean);
+        };
+        // Partition rows in place around the threshold.
+        let mut lt = 0usize;
+        for i in 0..rows.len() {
+            if self.x.get(rows[i], feature) <= threshold {
+                rows.swap(lt, i);
+                lt += 1;
+            }
+        }
+        if lt < self.params.min_leaf || rows.len() - lt < self.params.min_leaf {
+            return self.leaf(mean);
+        }
+        let idx = self.nodes.len();
+        // Placeholder; children indices patched after recursion.
+        self.nodes.push(TreeNode::Leaf { value: mean });
+        let (left_rows, right_rows) = rows.split_at_mut(lt);
+        let left = self.split_node(left_rows, depth + 1);
+        let right = self.split_node(right_rows, depth + 1);
+        self.nodes[idx] = TreeNode::Split { feature, threshold, left, right };
+        idx
+    }
+
+    fn leaf(&mut self, value: f64) -> usize {
+        self.nodes.push(TreeNode::Leaf { value });
+        self.nodes.len() - 1
+    }
+
+    /// Best (feature, threshold) by variance reduction over quantile-spaced
+    /// candidate thresholds; `None` if no split improves.
+    fn best_split(&self, rows: &[usize]) -> Option<(usize, f64)> {
+        let n = rows.len() as f64;
+        let total_sum: f64 = rows.iter().map(|&r| self.y[r]).sum();
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        let mut values: Vec<f64> = Vec::with_capacity(rows.len());
+        for &f in self.features {
+            values.clear();
+            values.extend(rows.iter().map(|&r| self.x.get(r, f)));
+            let mut sorted = values.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            sorted.dedup();
+            if sorted.len() < 2 {
+                continue;
+            }
+            let n_cand = self.params.max_thresholds.min(sorted.len() - 1);
+            for c in 0..n_cand {
+                // Quantile-spaced midpoints between consecutive unique values.
+                let pos = (c + 1) * (sorted.len() - 1) / (n_cand + 1);
+                let threshold = 0.5 * (sorted[pos] + sorted[pos + 1]);
+                let mut left_sum = 0.0;
+                let mut left_n = 0.0;
+                for (&r, &v) in rows.iter().zip(&values) {
+                    if v <= threshold {
+                        left_sum += self.y[r];
+                        left_n += 1.0;
+                    }
+                }
+                let right_n = n - left_n;
+                if left_n < self.params.min_leaf as f64 || right_n < self.params.min_leaf as f64
+                {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                // Variance reduction ∝ Σ_child (sum² / n) − total²/n.
+                let gain =
+                    left_sum * left_sum / left_n + right_sum * right_sum / right_n
+                        - total_sum * total_sum / n;
+                let improved = match best {
+                    None => gain > 1e-12,
+                    Some((g, bf, bt)) => {
+                        gain > g + 1e-12
+                            // Deterministic tie-break: lower feature id, then
+                            // lower threshold.
+                            || ((gain - g).abs() <= 1e-12 && (f, threshold) < (bf, bt))
+                    }
+                };
+                if improved {
+                    best = Some((gain, f, threshold));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Matrix, Vec<f64>) {
+        // y = 1 if x0 > 0.5 else 0 (perfectly splittable).
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0, 0.0]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y: Vec<f64> = (0..40).map(|i| if i as f64 / 40.0 > 0.5 { 1.0 } else { 0.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let (x, y) = step_data();
+        let rows: Vec<usize> = (0..40).collect();
+        let tree = build_tree(&x, &y, &rows, &[0, 1], TreeParams::default()).unwrap();
+        for i in 0..40 {
+            assert_eq!(tree.predict_row(x.row(i)), y[i], "row {i}");
+        }
+    }
+
+    #[test]
+    fn depth_zero_gives_mean_leaf() {
+        let (x, y) = step_data();
+        let rows: Vec<usize> = (0..40).collect();
+        let params = TreeParams { max_depth: 0, ..TreeParams::default() };
+        let tree = build_tree(&x, &y, &rows, &[0], params).unwrap();
+        assert_eq!(tree.nodes.len(), 1);
+        let mean = y.iter().sum::<f64>() / 40.0;
+        assert!((tree.predict_row(x.row(0)) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_min_leaf() {
+        let (x, y) = step_data();
+        let rows: Vec<usize> = (0..40).collect();
+        let params = TreeParams { max_depth: 10, min_leaf: 25, max_thresholds: 16 };
+        // No split can give both children >= 25 rows out of 40.
+        let tree = build_tree(&x, &y, &rows, &[0], params).unwrap();
+        assert_eq!(tree.nodes.len(), 1, "must stay a single leaf");
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let (x, _) = step_data();
+        let y = vec![3.0; 40];
+        let rows: Vec<usize> = (0..40).collect();
+        let tree = build_tree(&x, &y, &rows, &[0, 1], TreeParams::default()).unwrap();
+        assert_eq!(tree.nodes.len(), 1);
+        assert_eq!(tree.predict_row(x.row(5)), 3.0);
+    }
+
+    #[test]
+    fn feature_restriction_is_honored() {
+        let (x, y) = step_data();
+        let rows: Vec<usize> = (0..40).collect();
+        // Only the constant feature 1 is allowed: no split possible.
+        let tree = build_tree(&x, &y, &rows, &[1], TreeParams::default()).unwrap();
+        assert_eq!(tree.nodes.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (x, y) = step_data();
+        let rows: Vec<usize> = (0..40).collect();
+        let a = build_tree(&x, &y, &rows, &[0, 1], TreeParams::default()).unwrap();
+        let b = build_tree(&x, &y, &rows, &[0, 1], TreeParams::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let (x, y) = step_data();
+        assert!(build_tree(&x, &y, &[], &[0], TreeParams::default()).is_err());
+        assert!(build_tree(&x, &y, &[0], &[], TreeParams::default()).is_err());
+    }
+
+    #[test]
+    fn deeper_trees_fit_better() {
+        // Piecewise target needing two splits.
+        let rows_data: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let refs: Vec<&[f64]> = rows_data.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y: Vec<f64> = (0..60).map(|i| (i / 20) as f64).collect();
+        let rows: Vec<usize> = (0..60).collect();
+        let shallow = build_tree(
+            &x,
+            &y,
+            &rows,
+            &[0],
+            TreeParams { max_depth: 1, ..TreeParams::default() },
+        )
+        .unwrap();
+        let deep = build_tree(
+            &x,
+            &y,
+            &rows,
+            &[0],
+            TreeParams { max_depth: 3, ..TreeParams::default() },
+        )
+        .unwrap();
+        let sse = |t: &TreeModel| -> f64 {
+            (0..60).map(|i| (t.predict_row(x.row(i)) - y[i]).powi(2)).sum()
+        };
+        assert!(sse(&deep) < sse(&shallow));
+    }
+}

@@ -1,0 +1,481 @@
+//! Logical operators, task types, and their physical implementations.
+//!
+//! A *logical operator* (e.g. `StandardScaler`, `Pca`, `RandomForest`) is an
+//! abstract computation; a *physical implementation* is a concrete algorithm
+//! realizing it — the paper's sklearn/TensorFlow/PyTorch variants. Each
+//! logical operator exposes *task types* (`fit`, `transform`, `predict`,
+//! `evaluate`, `split`). The triple `(logical op, task type, config)` is the
+//! unit of equivalence; the physical implementation is the unit of cost.
+
+use serde::{Deserialize, Serialize};
+
+/// Fundamental task types common across physical implementations (§III-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TaskType {
+    /// Retrieve an artifact from a storage location (source task).
+    Load,
+    /// Partition a dataset (multi-output: train and test).
+    Split,
+    /// Compute an operator's internal state (scaler statistics, model
+    /// weights, …) from training data.
+    Fit,
+    /// Apply a fitted preprocessing state to a dataset.
+    Transform,
+    /// Apply a fitted model state to a dataset, producing predictions.
+    Predict,
+    /// Score predictions against ground truth, producing a scalar value.
+    Evaluate,
+}
+
+impl TaskType {
+    /// Lower-case name used in artifact naming.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskType::Load => "load",
+            TaskType::Split => "split",
+            TaskType::Fit => "fit",
+            TaskType::Transform => "transform",
+            TaskType::Predict => "predict",
+            TaskType::Evaluate => "evaluate",
+        }
+    }
+}
+
+/// A physical implementation of a logical operator: a name (mimicking the
+/// provider framework) plus a dispatch index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysImpl {
+    /// Index into the operator's implementation table (dispatch key).
+    pub index: usize,
+    /// Human-readable provenance-style name, e.g. `sklearn.StandardScaler`.
+    pub name: &'static str,
+}
+
+/// The logical operators in the reproduction's dictionary.
+///
+/// The set mirrors the paper's 40-entry dictionary (§IV-B): scalers,
+/// imputation, PCA, polynomial features, discretization, use-case-specific
+/// feature engineering, linear/tree/boosted/clustering models, ensembles,
+/// and evaluation metrics. Use-case-specific preprocessing and evaluation
+/// operators have a single implementation; the rest have at least two
+/// (paper §V-A-b).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LogicalOp {
+    // ---- data handling ----
+    /// Load a raw dataset from the source.
+    LoadDataset,
+    /// Train/test split (multi-output).
+    TrainTestSplit,
+    // ---- preprocessing (fit + transform) ----
+    /// Standardize features to zero mean / unit variance.
+    StandardScaler,
+    /// Scale features to the [0, 1] range.
+    MinMaxScaler,
+    /// Scale by median and inter-quartile range.
+    RobustScaler,
+    /// Replace missing values with the column mean.
+    ImputerMean,
+    /// Replace missing values with the column median.
+    ImputerMedian,
+    /// Degree-2 polynomial feature expansion.
+    PolynomialFeatures,
+    /// Principal component analysis (dimensionality reduction).
+    Pca,
+    /// Equal-width binning of features.
+    KBinsDiscretizer,
+    /// Row-wise L2 normalization (stateless transform).
+    Normalizer,
+    /// `log1p` transform of all features (TAXI-specific, stateless).
+    LogTransform,
+    /// Great-circle-distance feature from coordinate columns (TAXI-specific,
+    /// stateless).
+    HaversineFeature,
+    /// Cyclical time-of-day/weekday features (TAXI-specific, stateless).
+    TimeFeatures,
+    // ---- models (fit + predict) ----
+    /// Ordinary least squares regression.
+    LinearRegression,
+    /// L2-regularized linear regression.
+    Ridge,
+    /// L1-regularized linear regression.
+    Lasso,
+    /// Binary logistic regression.
+    LogisticRegression,
+    /// Linear support vector machine (hinge loss).
+    LinearSvm,
+    /// Single CART decision tree.
+    DecisionTree,
+    /// Random forest (bagged trees).
+    RandomForest,
+    /// Gradient-boosted trees (LightGBM-style histogram variant included).
+    GradientBoosting,
+    /// K-means clustering.
+    KMeans,
+    // ---- ensembles over pre-trained models (fit + predict) ----
+    /// Averaging/majority ensemble of fitted models.
+    Voting,
+    /// Stacked ensemble: ridge meta-learner over fitted models.
+    Stacking,
+    // ---- evaluation (single-impl, use-case specific) ----
+    /// Classification accuracy.
+    Accuracy,
+    /// F1 score (binary).
+    F1Score,
+    /// Area under the ROC curve (binary).
+    RocAuc,
+    /// Mean squared error.
+    Mse,
+    /// Root mean squared error.
+    Rmse,
+    /// Mean absolute error.
+    Mae,
+    /// Coefficient of determination.
+    R2Score,
+}
+
+impl LogicalOp {
+    /// All logical operators, in declaration order.
+    pub const ALL: [LogicalOp; 32] = [
+        LogicalOp::LoadDataset,
+        LogicalOp::TrainTestSplit,
+        LogicalOp::StandardScaler,
+        LogicalOp::MinMaxScaler,
+        LogicalOp::RobustScaler,
+        LogicalOp::ImputerMean,
+        LogicalOp::ImputerMedian,
+        LogicalOp::PolynomialFeatures,
+        LogicalOp::Pca,
+        LogicalOp::KBinsDiscretizer,
+        LogicalOp::Normalizer,
+        LogicalOp::LogTransform,
+        LogicalOp::HaversineFeature,
+        LogicalOp::TimeFeatures,
+        LogicalOp::LinearRegression,
+        LogicalOp::Ridge,
+        LogicalOp::Lasso,
+        LogicalOp::LogisticRegression,
+        LogicalOp::LinearSvm,
+        LogicalOp::DecisionTree,
+        LogicalOp::RandomForest,
+        LogicalOp::GradientBoosting,
+        LogicalOp::KMeans,
+        LogicalOp::Voting,
+        LogicalOp::Stacking,
+        LogicalOp::Accuracy,
+        LogicalOp::F1Score,
+        LogicalOp::RocAuc,
+        LogicalOp::Mse,
+        LogicalOp::Rmse,
+        LogicalOp::Mae,
+        LogicalOp::R2Score,
+    ];
+
+    /// Stable lower-case name used in artifact naming and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LogicalOp::LoadDataset => "load_dataset",
+            LogicalOp::TrainTestSplit => "train_test_split",
+            LogicalOp::StandardScaler => "standard_scaler",
+            LogicalOp::MinMaxScaler => "minmax_scaler",
+            LogicalOp::RobustScaler => "robust_scaler",
+            LogicalOp::ImputerMean => "imputer_mean",
+            LogicalOp::ImputerMedian => "imputer_median",
+            LogicalOp::PolynomialFeatures => "polynomial_features",
+            LogicalOp::Pca => "pca",
+            LogicalOp::KBinsDiscretizer => "kbins_discretizer",
+            LogicalOp::Normalizer => "normalizer",
+            LogicalOp::LogTransform => "log_transform",
+            LogicalOp::HaversineFeature => "haversine_feature",
+            LogicalOp::TimeFeatures => "time_features",
+            LogicalOp::LinearRegression => "linear_regression",
+            LogicalOp::Ridge => "ridge",
+            LogicalOp::Lasso => "lasso",
+            LogicalOp::LogisticRegression => "logistic_regression",
+            LogicalOp::LinearSvm => "linear_svm",
+            LogicalOp::DecisionTree => "decision_tree",
+            LogicalOp::RandomForest => "random_forest",
+            LogicalOp::GradientBoosting => "gradient_boosting",
+            LogicalOp::KMeans => "kmeans",
+            LogicalOp::Voting => "voting",
+            LogicalOp::Stacking => "stacking",
+            LogicalOp::Accuracy => "accuracy",
+            LogicalOp::F1Score => "f1_score",
+            LogicalOp::RocAuc => "roc_auc",
+            LogicalOp::Mse => "mse",
+            LogicalOp::Rmse => "rmse",
+            LogicalOp::Mae => "mae",
+            LogicalOp::R2Score => "r2_score",
+        }
+    }
+
+    /// The task types this operator exposes.
+    pub fn task_types(self) -> &'static [TaskType] {
+        use LogicalOp::*;
+        use TaskType::*;
+        match self {
+            LoadDataset => &[Load],
+            TrainTestSplit => &[Split],
+            StandardScaler | MinMaxScaler | RobustScaler | ImputerMean | ImputerMedian
+            | PolynomialFeatures | Pca | KBinsDiscretizer => &[Fit, Transform],
+            Normalizer | LogTransform | HaversineFeature | TimeFeatures => &[Transform],
+            LinearRegression | Ridge | Lasso | LogisticRegression | LinearSvm | DecisionTree
+            | RandomForest | GradientBoosting | Voting | Stacking => &[Fit, Predict],
+            KMeans => &[Fit, Predict],
+            Accuracy | F1Score | RocAuc | Mse | Rmse | Mae | R2Score => &[Evaluate],
+        }
+    }
+
+    /// Physical implementations of this operator, mimicking the paper's
+    /// cross-framework variants. Index 0 is the "default framework" impl.
+    pub fn impls(self) -> &'static [PhysImpl] {
+        use LogicalOp::*;
+        const fn p(index: usize, name: &'static str) -> PhysImpl {
+            PhysImpl { index, name }
+        }
+        match self {
+            LoadDataset => {
+                const L: &[PhysImpl] = &[p(0, "storage.load")];
+                L
+            }
+            TrainTestSplit => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.model_selection.train_test_split")];
+                L
+            }
+            StandardScaler => {
+                const L: &[PhysImpl] = &[
+                    p(0, "sklearn.preprocessing.StandardScaler"),
+                    p(1, "tf.keras.layers.Normalization"),
+                ];
+                L
+            }
+            MinMaxScaler => {
+                const L: &[PhysImpl] = &[
+                    p(0, "sklearn.preprocessing.MinMaxScaler"),
+                    p(1, "cuml.preprocessing.MinMaxScaler"),
+                ];
+                L
+            }
+            RobustScaler => {
+                const L: &[PhysImpl] = &[
+                    p(0, "sklearn.preprocessing.RobustScaler"),
+                    p(1, "dask_ml.preprocessing.RobustScaler"),
+                ];
+                L
+            }
+            ImputerMean => {
+                const L: &[PhysImpl] = &[
+                    p(0, "sklearn.impute.SimpleImputer(mean)"),
+                    p(1, "pyspark.ml.feature.Imputer(mean)"),
+                ];
+                L
+            }
+            ImputerMedian => {
+                const L: &[PhysImpl] = &[
+                    p(0, "sklearn.impute.SimpleImputer(median)"),
+                    p(1, "pyspark.ml.feature.Imputer(median)"),
+                ];
+                L
+            }
+            PolynomialFeatures => {
+                const L: &[PhysImpl] = &[
+                    p(0, "sklearn.preprocessing.PolynomialFeatures"),
+                    p(1, "numpy.polynomial.expand"),
+                ];
+                L
+            }
+            Pca => {
+                const L: &[PhysImpl] =
+                    &[p(0, "sklearn.decomposition.PCA"), p(1, "torch.pca_lowrank")];
+                L
+            }
+            KBinsDiscretizer => {
+                const L: &[PhysImpl] = &[
+                    p(0, "sklearn.preprocessing.KBinsDiscretizer"),
+                    p(1, "pandas.cut"),
+                ];
+                L
+            }
+            Normalizer => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.preprocessing.Normalizer")];
+                L
+            }
+            LogTransform => {
+                const L: &[PhysImpl] = &[p(0, "numpy.log1p")];
+                L
+            }
+            HaversineFeature => {
+                const L: &[PhysImpl] = &[p(0, "taxi.haversine")];
+                L
+            }
+            TimeFeatures => {
+                const L: &[PhysImpl] = &[p(0, "taxi.time_features")];
+                L
+            }
+            LinearRegression => {
+                const L: &[PhysImpl] = &[
+                    p(0, "sklearn.linear_model.LinearRegression"),
+                    p(1, "tf.linalg.lstsq_sgd"),
+                ];
+                L
+            }
+            Ridge => {
+                const L: &[PhysImpl] =
+                    &[p(0, "sklearn.linear_model.Ridge"), p(1, "pyglmnet.GLM(ridge)")];
+                L
+            }
+            Lasso => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.linear_model.Lasso")];
+                L
+            }
+            LogisticRegression => {
+                const L: &[PhysImpl] = &[
+                    p(0, "sklearn.linear_model.LogisticRegression"),
+                    p(1, "tf.keras.LogisticRegression"),
+                ];
+                L
+            }
+            LinearSvm => {
+                const L: &[PhysImpl] =
+                    &[p(0, "sklearn.svm.LinearSVC"), p(1, "libsvm.svm_train(linear)")];
+                L
+            }
+            DecisionTree => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.tree.DecisionTreeRegressor")];
+                L
+            }
+            RandomForest => {
+                const L: &[PhysImpl] = &[
+                    p(0, "sklearn.ensemble.RandomForest"),
+                    p(1, "cuml.ensemble.RandomForest(parallel)"),
+                ];
+                L
+            }
+            GradientBoosting => {
+                const L: &[PhysImpl] =
+                    &[p(0, "sklearn.ensemble.GradientBoosting"), p(1, "lightgbm.LGBM")];
+                L
+            }
+            KMeans => {
+                const L: &[PhysImpl] =
+                    &[p(0, "sklearn.cluster.KMeans(lloyd)"), p(1, "sklearn.cluster.KMeans(elkan)")];
+                L
+            }
+            Voting => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.ensemble.Voting")];
+                L
+            }
+            Stacking => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.ensemble.Stacking")];
+                L
+            }
+            Accuracy => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.metrics.accuracy_score")];
+                L
+            }
+            F1Score => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.metrics.f1_score")];
+                L
+            }
+            RocAuc => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.metrics.roc_auc_score")];
+                L
+            }
+            Mse => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.metrics.mean_squared_error")];
+                L
+            }
+            Rmse => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.metrics.rmse")];
+                L
+            }
+            Mae => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.metrics.mean_absolute_error")];
+                L
+            }
+            R2Score => {
+                const L: &[PhysImpl] = &[p(0, "sklearn.metrics.r2_score")];
+                L
+            }
+        }
+    }
+
+    /// Whether the operator is a (statistical) model — used by experiment
+    /// reporting (Fig. 7/8 distinguish "artifacts" from "models").
+    pub fn is_model(self) -> bool {
+        use LogicalOp::*;
+        matches!(
+            self,
+            LinearRegression
+                | Ridge
+                | Lasso
+                | LogisticRegression
+                | LinearSvm
+                | DecisionTree
+                | RandomForest
+                | GradientBoosting
+                | KMeans
+                | Voting
+                | Stacking
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_has_forty_plus_entries() {
+        // Paper §IV-B: "the dictionary contains 40 operators" — counting
+        // lop.tasktype entries we match that scale.
+        let entries: usize = LogicalOp::ALL.iter().map(|op| op.task_types().len()).sum();
+        assert!(entries >= 40, "only {entries} dictionary entries");
+    }
+
+    #[test]
+    fn multi_impl_coverage_matches_paper_policy() {
+        // Use-case-specific preprocessing/evaluation: single impl;
+        // the rest: at least two (paper §V-A-b).
+        for op in LogicalOp::ALL {
+            let n = op.impls().len();
+            assert!(n >= 1, "{op:?} has no impls");
+            for (i, imp) in op.impls().iter().enumerate() {
+                assert_eq!(imp.index, i, "impl indices must be dense");
+            }
+        }
+        let multi: Vec<_> =
+            LogicalOp::ALL.iter().filter(|op| op.impls().len() >= 2).collect();
+        assert!(multi.len() >= 12, "need plenty of equivalence candidates, got {}", multi.len());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = LogicalOp::ALL.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), LogicalOp::ALL.len());
+    }
+
+    #[test]
+    fn task_types_are_consistent() {
+        assert_eq!(LogicalOp::LoadDataset.task_types(), &[TaskType::Load]);
+        assert_eq!(LogicalOp::TrainTestSplit.task_types(), &[TaskType::Split]);
+        assert!(LogicalOp::Pca.task_types().contains(&TaskType::Fit));
+        assert!(LogicalOp::Ridge.task_types().contains(&TaskType::Predict));
+        assert_eq!(LogicalOp::Accuracy.task_types(), &[TaskType::Evaluate]);
+    }
+
+    #[test]
+    fn model_classification() {
+        assert!(LogicalOp::RandomForest.is_model());
+        assert!(LogicalOp::Voting.is_model());
+        assert!(!LogicalOp::StandardScaler.is_model());
+        assert!(!LogicalOp::Accuracy.is_model());
+    }
+
+    #[test]
+    fn task_type_names() {
+        assert_eq!(TaskType::Fit.name(), "fit");
+        assert_eq!(TaskType::Load.name(), "load");
+    }
+}

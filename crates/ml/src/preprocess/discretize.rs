@@ -1,0 +1,175 @@
+//! Equal-width binning (KBinsDiscretizer).
+
+use crate::artifact::OpState;
+use crate::config::Config;
+use crate::error::MlError;
+use crate::ops::LogicalOp;
+use hyppo_tensor::stats::column_min_max;
+use hyppo_tensor::Dataset;
+
+fn edges_from_min_max(min: &[f64], max: &[f64], n_bins: usize) -> Vec<Vec<f64>> {
+    min.iter()
+        .zip(max)
+        .map(|(&lo, &hi)| {
+            let span = if hi > lo { hi - lo } else { 1.0 };
+            (0..=n_bins).map(|b| lo + span * b as f64 / n_bins as f64).collect()
+        })
+        .collect()
+}
+
+fn n_bins(config: &Config) -> usize {
+    config.usize_or("n_bins", 5).max(1)
+}
+
+/// Impl 0 ("sklearn"): single scan for min/max, then edge construction.
+pub fn fit_discretizer_scan(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    if data.is_empty() || data.n_features() == 0 {
+        return Err(MlError::BadInput("discretizer fit on empty dataset".into()));
+    }
+    let (min, max) = column_min_max(&data.x);
+    Ok(OpState::Discretizer { edges: edges_from_min_max(&min, &max, n_bins(config)) })
+}
+
+/// Impl 1 ("pandas.cut"): transposed scan (column-at-a-time). Identical
+/// edges, different traversal cost on row-major data.
+pub fn fit_discretizer_columnar(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    if data.is_empty() || data.n_features() == 0 {
+        return Err(MlError::BadInput("discretizer fit on empty dataset".into()));
+    }
+    let d = data.n_features();
+    let mut min = vec![f64::INFINITY; d];
+    let mut max = vec![f64::NEG_INFINITY; d];
+    for j in 0..d {
+        for v in data.x.col(j) {
+            if v.is_nan() {
+                continue;
+            }
+            min[j] = min[j].min(v);
+            max[j] = max[j].max(v);
+        }
+    }
+    Ok(OpState::Discretizer { edges: edges_from_min_max(&min, &max, n_bins(config)) })
+}
+
+/// Replace each value with its (zero-based) bin index as `f64`. Values
+/// outside the fitted range clamp to the first/last bin; NaNs pass through.
+pub fn transform_discretizer(state: &OpState, data: &Dataset) -> Result<Dataset, MlError> {
+    let edges = match state {
+        OpState::Discretizer { edges } => edges,
+        _ => return Err(MlError::StateMismatch(LogicalOp::KBinsDiscretizer)),
+    };
+    if edges.len() != data.n_features() {
+        return Err(MlError::BadInput(format!(
+            "discretizer state has {} columns but data has {}",
+            edges.len(),
+            data.n_features()
+        )));
+    }
+    let mut x = data.x.clone();
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
+        for (j, v) in row.iter_mut().enumerate() {
+            if v.is_nan() {
+                continue;
+            }
+            let col_edges = &edges[j];
+            let n_bins = col_edges.len() - 1;
+            // Binary search for the bin; clamp out-of-range.
+            let bin = match col_edges
+                .binary_search_by(|e| e.partial_cmp(v).expect("finite edges"))
+            {
+                Ok(i) => i.min(n_bins - 1),
+                Err(i) => i.saturating_sub(1).min(n_bins - 1),
+            };
+            *v = bin as f64;
+        }
+    }
+    Ok(data.with_features(x, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_tensor::{Matrix, TaskKind};
+
+    fn ds() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[&[0.0], &[2.5], &[5.0], &[7.5], &[10.0]]),
+            vec![0.0; 5],
+            vec!["a".into()],
+            TaskKind::Regression,
+        )
+    }
+
+    #[test]
+    fn impls_agree() {
+        let d = ds();
+        let cfg = Config::new().with_i("n_bins", 4);
+        let a = fit_discretizer_scan(&d, &cfg).unwrap();
+        let b = fit_discretizer_columnar(&d, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bins_are_equal_width() {
+        let d = ds();
+        let cfg = Config::new().with_i("n_bins", 4);
+        let state = fit_discretizer_scan(&d, &cfg).unwrap();
+        let OpState::Discretizer { edges } = &state else { panic!() };
+        assert_eq!(edges[0], vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+    }
+
+    #[test]
+    fn transform_assigns_bin_indices() {
+        let d = ds();
+        let cfg = Config::new().with_i("n_bins", 4);
+        let state = fit_discretizer_scan(&d, &cfg).unwrap();
+        let out = transform_discretizer(&state, &d).unwrap();
+        // 0.0 -> bin 0, 2.5 -> edge (bin 1), 5.0 -> bin 2, 10.0 -> clamped to bin 3.
+        assert_eq!(out.x.col(0), vec![0.0, 1.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let d = ds();
+        let cfg = Config::new().with_i("n_bins", 2);
+        let state = fit_discretizer_scan(&d, &cfg).unwrap();
+        let wild = Dataset::new(
+            Matrix::from_rows(&[&[-100.0], &[100.0]]),
+            vec![0.0; 2],
+            vec!["a".into()],
+            TaskKind::Regression,
+        );
+        let out = transform_discretizer(&state, &wild).unwrap();
+        assert_eq!(out.x.col(0), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn nan_passthrough() {
+        let d = ds();
+        let cfg = Config::new();
+        let state = fit_discretizer_scan(&d, &cfg).unwrap();
+        let gap = Dataset::new(
+            Matrix::from_rows(&[&[f64::NAN]]),
+            vec![0.0],
+            vec!["a".into()],
+            TaskKind::Regression,
+        );
+        let out = transform_discretizer(&state, &gap).unwrap();
+        assert!(out.x.get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn constant_column_uses_unit_span() {
+        let d = Dataset::new(
+            Matrix::from_rows(&[&[3.0], &[3.0]]),
+            vec![0.0; 2],
+            vec!["a".into()],
+            TaskKind::Regression,
+        );
+        let cfg = Config::new().with_i("n_bins", 2);
+        let state = fit_discretizer_scan(&d, &cfg).unwrap();
+        let out = transform_discretizer(&state, &d).unwrap();
+        assert!(out.x.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,169 @@
+//! Missing-value imputation (mean and median variants).
+
+use crate::artifact::OpState;
+use crate::error::MlError;
+use crate::ops::LogicalOp;
+use crate::preprocess::quantile::{kth_by_quickselect, kth_by_sort, median_with};
+use hyppo_tensor::stats::{column_mean_std_two_pass, column_mean_std_welford};
+use hyppo_tensor::Dataset;
+
+fn check_nonempty(data: &Dataset) -> Result<(), MlError> {
+    if data.is_empty() || data.n_features() == 0 {
+        return Err(MlError::BadInput("imputer fit on empty dataset".into()));
+    }
+    Ok(())
+}
+
+/// Mean imputer impl 0 ("sklearn"): two-pass column means.
+pub fn fit_mean_two_pass(data: &Dataset) -> Result<OpState, MlError> {
+    check_nonempty(data)?;
+    let (mean, _) = column_mean_std_two_pass(&data.x);
+    Ok(OpState::Imputer { op: LogicalOp::ImputerMean, fill: mean })
+}
+
+/// Mean imputer impl 1 ("pyspark"): streaming means (Welford).
+pub fn fit_mean_streaming(data: &Dataset) -> Result<OpState, MlError> {
+    check_nonempty(data)?;
+    let (mean, _) = column_mean_std_welford(&data.x);
+    Ok(OpState::Imputer { op: LogicalOp::ImputerMean, fill: mean })
+}
+
+fn fit_median_with(
+    data: &Dataset,
+    kth: impl Fn(&[f64], usize) -> f64,
+) -> Result<OpState, MlError> {
+    check_nonempty(data)?;
+    let d = data.n_features();
+    let mut fill = Vec::with_capacity(d);
+    for j in 0..d {
+        let col: Vec<f64> = data.x.col(j).into_iter().filter(|v| !v.is_nan()).collect();
+        fill.push(if col.is_empty() { 0.0 } else { median_with(&col, &kth) });
+    }
+    Ok(OpState::Imputer { op: LogicalOp::ImputerMedian, fill })
+}
+
+/// Median imputer impl 0 ("sklearn"): full-sort medians.
+pub fn fit_median_sort(data: &Dataset) -> Result<OpState, MlError> {
+    fit_median_with(data, kth_by_sort)
+}
+
+/// Median imputer impl 1 ("pyspark"): quickselect medians.
+pub fn fit_median_quickselect(data: &Dataset) -> Result<OpState, MlError> {
+    fit_median_with(data, kth_by_quickselect)
+}
+
+/// Replace NaN entries with the fitted fill values.
+pub fn transform_imputer(state: &OpState, data: &Dataset) -> Result<Dataset, MlError> {
+    let (op, fill) = match state {
+        OpState::Imputer { op, fill } => (*op, fill),
+        _ => return Err(MlError::StateMismatch(LogicalOp::ImputerMean)),
+    };
+    if fill.len() != data.n_features() {
+        return Err(MlError::BadInput(format!(
+            "{op:?} state has {} columns but data has {}",
+            fill.len(),
+            data.n_features()
+        )));
+    }
+    let mut x = data.x.clone();
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
+        for (j, v) in row.iter_mut().enumerate() {
+            if v.is_nan() {
+                *v = fill[j];
+            }
+        }
+    }
+    Ok(data.with_features(x, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_tensor::{Matrix, TaskKind};
+
+    fn ds_with_gaps() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[
+                &[1.0, f64::NAN],
+                &[f64::NAN, 20.0],
+                &[3.0, 30.0],
+                &[5.0, 40.0],
+            ]),
+            vec![0.0; 4],
+            vec!["a".into(), "b".into()],
+            TaskKind::Regression,
+        )
+    }
+
+    fn fill_of(s: &OpState) -> Vec<f64> {
+        match s {
+            OpState::Imputer { fill, .. } => fill.clone(),
+            _ => panic!("not an imputer state"),
+        }
+    }
+
+    #[test]
+    fn mean_impls_agree() {
+        let d = ds_with_gaps();
+        let a = fill_of(&fit_mean_two_pass(&d).unwrap());
+        let b = fill_of(&fit_mean_streaming(&d).unwrap());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        assert_eq!(a[0], 3.0); // mean of {1,3,5}
+        assert_eq!(a[1], 30.0); // mean of {20,30,40}
+    }
+
+    #[test]
+    fn median_impls_agree() {
+        let d = ds_with_gaps();
+        let a = fill_of(&fit_median_sort(&d).unwrap());
+        let b = fill_of(&fit_median_quickselect(&d).unwrap());
+        assert_eq!(a, b);
+        assert_eq!(a[0], 3.0);
+        assert_eq!(a[1], 30.0);
+    }
+
+    #[test]
+    fn transform_fills_only_missing() {
+        let d = ds_with_gaps();
+        let state = fit_mean_two_pass(&d).unwrap();
+        let out = transform_imputer(&state, &d).unwrap();
+        assert!(!out.x.has_missing());
+        assert_eq!(out.x.get(0, 0), 1.0, "present values untouched");
+        assert_eq!(out.x.get(1, 0), 3.0, "gap filled with mean");
+    }
+
+    #[test]
+    fn state_mismatch_rejected() {
+        let d = ds_with_gaps();
+        let bad = OpState::Poly { degree: 2, input_dim: 2 };
+        assert!(matches!(transform_imputer(&bad, &d), Err(MlError::StateMismatch(_))));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let d = ds_with_gaps();
+        let state = fit_mean_two_pass(&d).unwrap();
+        let narrow = Dataset::new(
+            Matrix::zeros(1, 1),
+            vec![0.0],
+            vec!["a".into()],
+            TaskKind::Regression,
+        );
+        assert!(transform_imputer(&state, &narrow).is_err());
+    }
+
+    #[test]
+    fn all_missing_column_fills_with_zero() {
+        let d = Dataset::new(
+            Matrix::from_rows(&[&[f64::NAN], &[f64::NAN]]),
+            vec![0.0; 2],
+            vec!["a".into()],
+            TaskKind::Regression,
+        );
+        let fill = fill_of(&fit_median_sort(&d).unwrap());
+        assert_eq!(fill, vec![0.0]);
+    }
+}

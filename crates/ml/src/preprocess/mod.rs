@@ -1,0 +1,15 @@
+//! Preprocessing operators (fit + transform).
+//!
+//! Each logical operator comes in the physical implementations declared in
+//! [`crate::ops::LogicalOp::impls`]. Deterministic implementation pairs
+//! (two-pass vs streaming scalers, sequential vs chunked min/max, sort vs
+//! quickselect medians) produce *identical* artifacts; the PCA pair is
+//! numerically close (see module docs in [`pca`]).
+
+pub mod discretize;
+pub mod imputer;
+pub mod pca;
+pub mod poly;
+pub mod quantile;
+pub mod rowops;
+pub mod scaler;

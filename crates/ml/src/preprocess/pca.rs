@@ -1,0 +1,224 @@
+//! Principal component analysis — the paper's flagship equivalence example
+//! (`sklearn.decomposition.PCA` vs `torch.pca_lowrank`, §III-C2).
+//!
+//! Impl 0 computes the covariance matrix and a *full* Jacobi
+//! eigendecomposition (exact, expensive). Impl 1 runs randomized subspace
+//! iteration for the top `k` components only (approximate, cheap when
+//! `k ≪ d`). Both fix eigenvector signs (largest-magnitude entry positive)
+//! so projections agree up to iteration tolerance — mirroring the real
+//! sklearn/torch pair, which agrees numerically but not bitwise.
+
+use crate::artifact::OpState;
+use crate::config::Config;
+use crate::error::MlError;
+use crate::ops::LogicalOp;
+use hyppo_tensor::linalg::{jacobi_eigen, orthogonal_iteration};
+use hyppo_tensor::stats::column_mean_std_two_pass;
+use hyppo_tensor::{Dataset, Matrix, SeededRng};
+
+fn centered(data: &Dataset) -> Result<(Vec<f64>, Matrix), MlError> {
+    if data.is_empty() || data.n_features() == 0 {
+        return Err(MlError::BadInput("PCA fit on empty dataset".into()));
+    }
+    if data.x.has_missing() {
+        return Err(MlError::BadInput("PCA requires imputed (non-NaN) data".into()));
+    }
+    let (mean, _) = column_mean_std_two_pass(&data.x);
+    let mut x = data.x.clone();
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v -= mean[j];
+        }
+    }
+    Ok((mean, x))
+}
+
+fn covariance(x: &Matrix) -> Matrix {
+    let n = x.rows() as f64;
+    let mut cov = x.gram();
+    for v in cov.as_mut_slice() {
+        *v /= n;
+    }
+    cov
+}
+
+/// Canonical sign: flip each component (column) so its largest-magnitude
+/// entry is positive. Removes the inherent sign ambiguity so the two
+/// implementations are comparable.
+fn fix_signs(components: &mut Matrix) {
+    let (d, k) = components.shape();
+    for j in 0..k {
+        let mut best = 0usize;
+        let mut best_abs = 0.0;
+        for i in 0..d {
+            let a = components.get(i, j).abs();
+            if a > best_abs {
+                best_abs = a;
+                best = i;
+            }
+        }
+        if components.get(best, j) < 0.0 {
+            for i in 0..d {
+                let v = -components.get(i, j);
+                components.set(i, j, v);
+            }
+        }
+    }
+}
+
+fn n_components(config: &Config, d: usize) -> usize {
+    config.usize_or("n_components", d.min(2)).clamp(1, d)
+}
+
+/// Impl 0 ("sklearn"): exact covariance eigendecomposition.
+pub fn fit_pca_exact(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    let (mean, x) = centered(data)?;
+    let d = data.n_features();
+    let k = n_components(config, d);
+    let cov = covariance(&x);
+    let (_, vectors) = jacobi_eigen(&cov, 100)?;
+    let mut components = vectors.select_cols(&(0..k).collect::<Vec<_>>());
+    fix_signs(&mut components);
+    Ok(OpState::Pca { mean, components })
+}
+
+/// Impl 1 ("torch.pca_lowrank"): randomized subspace iteration for the top
+/// `k` eigenvectors of the covariance.
+pub fn fit_pca_randomized(data: &Dataset, config: &Config) -> Result<OpState, MlError> {
+    let (mean, x) = centered(data)?;
+    let d = data.n_features();
+    let k = n_components(config, d);
+    let cov = covariance(&x);
+    let seed = config.i_or("seed", 7) as u64;
+    let mut rng = SeededRng::new(seed);
+    let mut basis = Matrix::zeros(d, k);
+    for i in 0..d {
+        for j in 0..k {
+            basis.set(i, j, rng.normal());
+        }
+    }
+    let (_, mut components) = orthogonal_iteration(&cov, basis, 60);
+    fix_signs(&mut components);
+    Ok(OpState::Pca { mean, components })
+}
+
+/// Project data onto the fitted components: `(x - mean) · W`.
+pub fn transform_pca(state: &OpState, data: &Dataset) -> Result<Dataset, MlError> {
+    let (mean, components) = match state {
+        OpState::Pca { mean, components } => (mean, components),
+        _ => return Err(MlError::StateMismatch(LogicalOp::Pca)),
+    };
+    if mean.len() != data.n_features() {
+        return Err(MlError::BadInput(format!(
+            "PCA state has {} columns but data has {}",
+            mean.len(),
+            data.n_features()
+        )));
+    }
+    let k = components.cols();
+    let mut out = Matrix::zeros(data.len(), k);
+    for r in 0..data.len() {
+        let row = data.x.row(r);
+        let dst = out.row_mut(r);
+        for j in 0..k {
+            let mut acc = 0.0;
+            for (i, &xi) in row.iter().enumerate() {
+                acc += (xi - mean[i]) * components.get(i, j);
+            }
+            dst[j] = acc;
+        }
+    }
+    let names = (0..k).map(|i| format!("pc{i}")).collect();
+    Ok(data.with_features(out, Some(names)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_tensor::TaskKind;
+
+    /// Data with dominant variance along (1, 1) and small noise along (1, -1).
+    fn correlated(n: usize) -> Dataset {
+        let mut rng = SeededRng::new(99);
+        let mut x = Matrix::zeros(n, 2);
+        for r in 0..n {
+            let main = rng.normal() * 10.0;
+            let noise = rng.normal() * 0.5;
+            x.set(r, 0, main + noise);
+            x.set(r, 1, main - noise);
+        }
+        let y = vec![0.0; n];
+        Dataset::new(x, y, vec!["a".into(), "b".into()], TaskKind::Regression)
+    }
+
+    #[test]
+    fn exact_pca_finds_dominant_direction() {
+        let d = correlated(400);
+        let cfg = Config::new().with_i("n_components", 1);
+        let state = fit_pca_exact(&d, &cfg).unwrap();
+        let OpState::Pca { components, .. } = &state else { panic!() };
+        // Dominant direction ~ (1,1)/sqrt(2).
+        let (c0, c1) = (components.get(0, 0), components.get(1, 0));
+        assert!((c0 - c1).abs() < 0.02, "components {c0},{c1} should be equal");
+        assert!((c0.hypot(c1) - 1.0).abs() < 1e-9, "component must be unit norm");
+    }
+
+    #[test]
+    fn randomized_matches_exact_projection() {
+        let d = correlated(400);
+        let cfg = Config::new().with_i("n_components", 2).with_i("seed", 3);
+        let exact = fit_pca_exact(&d, &cfg).unwrap();
+        let rand = fit_pca_randomized(&d, &cfg).unwrap();
+        let pe = transform_pca(&exact, &d).unwrap();
+        let pr = transform_pca(&rand, &d).unwrap();
+        let err = pe.x.distance(&pr.x) / (d.len() as f64).sqrt();
+        assert!(err < 1e-4, "projection rms error {err} too large");
+    }
+
+    #[test]
+    fn transform_output_width_is_k() {
+        let d = correlated(50);
+        let cfg = Config::new().with_i("n_components", 1);
+        let state = fit_pca_exact(&d, &cfg).unwrap();
+        let out = transform_pca(&state, &d).unwrap();
+        assert_eq!(out.n_features(), 1);
+        assert_eq!(out.feature_names, vec!["pc0"]);
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn projected_data_is_centered() {
+        let d = correlated(200);
+        let cfg = Config::new().with_i("n_components", 2);
+        let state = fit_pca_exact(&d, &cfg).unwrap();
+        let out = transform_pca(&state, &d).unwrap();
+        let (mean, _) = column_mean_std_two_pass(&out.x);
+        assert!(mean.iter().all(|m| m.abs() < 1e-9));
+    }
+
+    #[test]
+    fn missing_values_rejected() {
+        let mut d = correlated(10);
+        d.x.set(0, 0, f64::NAN);
+        let cfg = Config::new();
+        assert!(fit_pca_exact(&d, &cfg).is_err());
+        assert!(fit_pca_randomized(&d, &cfg).is_err());
+    }
+
+    #[test]
+    fn n_components_clamps_to_dimension() {
+        let d = correlated(30);
+        let cfg = Config::new().with_i("n_components", 10);
+        let state = fit_pca_exact(&d, &cfg).unwrap();
+        let OpState::Pca { components, .. } = &state else { panic!() };
+        assert_eq!(components.cols(), 2);
+    }
+
+    #[test]
+    fn wrong_state_rejected() {
+        let d = correlated(5);
+        let bad = OpState::Poly { degree: 2, input_dim: 2 };
+        assert!(matches!(transform_pca(&bad, &d), Err(MlError::StateMismatch(_))));
+    }
+}

@@ -1,0 +1,177 @@
+//! Degree-2 polynomial feature expansion.
+//!
+//! Output layout (both implementations, identical): the original `d`
+//! features, then squares `x_i²`, then cross terms `x_i·x_j` for `i < j` in
+//! lexicographic order — `d + d + d(d-1)/2` columns total.
+
+use crate::artifact::OpState;
+use crate::error::MlError;
+use crate::ops::LogicalOp;
+use hyppo_tensor::{Dataset, Matrix};
+
+/// Number of output columns for `d` input features at degree 2.
+pub fn expanded_width(d: usize) -> usize {
+    d + d + d * (d - 1) / 2
+}
+
+/// Fit records the input width (the expansion itself is stateless).
+pub fn fit_poly(data: &Dataset) -> Result<OpState, MlError> {
+    if data.n_features() == 0 {
+        return Err(MlError::BadInput("polynomial expansion of zero features".into()));
+    }
+    Ok(OpState::Poly { degree: 2, input_dim: data.n_features() })
+}
+
+/// Impl 0 ("sklearn"): row-major expansion, one output row at a time.
+pub fn transform_poly_rowwise(state: &OpState, data: &Dataset) -> Result<Dataset, MlError> {
+    let d = check_state(state, data)?;
+    let out_w = expanded_width(d);
+    let mut out = Matrix::zeros(data.len(), out_w);
+    for r in 0..data.len() {
+        let src = data.x.row(r);
+        let dst = out.row_mut(r);
+        dst[..d].copy_from_slice(src);
+        for i in 0..d {
+            dst[d + i] = src[i] * src[i];
+        }
+        let mut c = 2 * d;
+        for i in 0..d {
+            for j in i + 1..d {
+                dst[c] = src[i] * src[j];
+                c += 1;
+            }
+        }
+    }
+    Ok(data.with_features(out, Some(expanded_names(data))))
+}
+
+/// Impl 1 ("numpy"): column-pair driven expansion — computes each output
+/// column in a separate pass. Identical output, different memory-access
+/// pattern and cost.
+pub fn transform_poly_colwise(state: &OpState, data: &Dataset) -> Result<Dataset, MlError> {
+    let d = check_state(state, data)?;
+    let n = data.len();
+    let out_w = expanded_width(d);
+    let mut out = Matrix::zeros(n, out_w);
+    // Original features.
+    for j in 0..d {
+        for r in 0..n {
+            out.set(r, j, data.x.get(r, j));
+        }
+    }
+    // Squares.
+    for j in 0..d {
+        for r in 0..n {
+            let v = data.x.get(r, j);
+            out.set(r, d + j, v * v);
+        }
+    }
+    // Cross terms.
+    let mut c = 2 * d;
+    for i in 0..d {
+        for j in i + 1..d {
+            for r in 0..n {
+                out.set(r, c, data.x.get(r, i) * data.x.get(r, j));
+            }
+            c += 1;
+        }
+    }
+    Ok(data.with_features(out, Some(expanded_names(data))))
+}
+
+fn check_state(state: &OpState, data: &Dataset) -> Result<usize, MlError> {
+    match state {
+        OpState::Poly { degree: 2, input_dim } if *input_dim == data.n_features() => {
+            Ok(*input_dim)
+        }
+        OpState::Poly { input_dim, .. } => Err(MlError::BadInput(format!(
+            "poly state fitted on {} features, data has {}",
+            input_dim,
+            data.n_features()
+        ))),
+        _ => Err(MlError::StateMismatch(LogicalOp::PolynomialFeatures)),
+    }
+}
+
+fn expanded_names(data: &Dataset) -> Vec<String> {
+    let names = &data.feature_names;
+    let d = names.len();
+    let mut out = Vec::with_capacity(expanded_width(d));
+    out.extend(names.iter().cloned());
+    out.extend(names.iter().map(|n| format!("{n}^2")));
+    for i in 0..d {
+        for j in i + 1..d {
+            out.push(format!("{}*{}", names[i], names[j]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_tensor::TaskKind;
+
+    fn ds() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.5, -1.0, 4.0]]),
+            vec![0.0, 1.0],
+            vec!["a".into(), "b".into(), "c".into()],
+            TaskKind::Regression,
+        )
+    }
+
+    #[test]
+    fn width_formula() {
+        assert_eq!(expanded_width(1), 2);
+        assert_eq!(expanded_width(3), 9);
+        assert_eq!(expanded_width(30), 495);
+    }
+
+    #[test]
+    fn rowwise_known_values() {
+        let d = ds();
+        let state = fit_poly(&d).unwrap();
+        let out = transform_poly_rowwise(&state, &d).unwrap();
+        assert_eq!(out.n_features(), 9);
+        // row 0: [1,2,3, 1,4,9, 2,3,6]
+        assert_eq!(out.x.row(0), &[1.0, 2.0, 3.0, 1.0, 4.0, 9.0, 2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn impls_produce_identical_output() {
+        let d = ds();
+        let state = fit_poly(&d).unwrap();
+        let a = transform_poly_rowwise(&state, &d).unwrap();
+        let b = transform_poly_colwise(&state, &d).unwrap();
+        assert_eq!(a.x, b.x, "expansion layouts must be bitwise identical");
+        assert_eq!(a.feature_names, b.feature_names);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        let d = ds();
+        let state = fit_poly(&d).unwrap();
+        let out = transform_poly_rowwise(&state, &d).unwrap();
+        assert_eq!(out.feature_names[3], "a^2");
+        assert_eq!(out.feature_names[6], "a*b");
+        assert_eq!(out.feature_names[8], "b*c");
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let d = ds();
+        let state = OpState::Poly { degree: 2, input_dim: 5 };
+        assert!(transform_poly_rowwise(&state, &d).is_err());
+    }
+
+    #[test]
+    fn wrong_state_rejected() {
+        let d = ds();
+        let bad = OpState::Imputer { op: LogicalOp::ImputerMean, fill: vec![0.0; 3] };
+        assert!(matches!(
+            transform_poly_colwise(&bad, &d),
+            Err(MlError::StateMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,145 @@
+//! Exact quantiles two ways: full sort and quickselect.
+//!
+//! Both return *identical* results (the exact order statistic), so the
+//! robust scaler's and median imputer's physical implementations are
+//! bitwise-equivalent while the quickselect variant is asymptotically
+//! cheaper — a textbook instance of the paper's "same logical operator,
+//! different physical cost".
+
+/// The `k`-th smallest element (0-based) by full sort. NaNs must be filtered
+/// by the caller.
+pub fn kth_by_sort(values: &[f64], k: usize) -> f64 {
+    debug_assert!(k < values.len());
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    v[k]
+}
+
+/// The `k`-th smallest element (0-based) by iterative quickselect with
+/// median-of-three pivots. NaNs must be filtered by the caller.
+pub fn kth_by_quickselect(values: &[f64], k: usize) -> f64 {
+    debug_assert!(k < values.len());
+    let mut v = values.to_vec();
+    let mut lo = 0usize;
+    let mut hi = v.len();
+    let mut k = k;
+    loop {
+        if hi - lo <= 8 {
+            v[lo..hi].sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            return v[lo + k];
+        }
+        // Median-of-three pivot.
+        let mid = lo + (hi - lo) / 2;
+        let (a, b, c) = (v[lo], v[mid], v[hi - 1]);
+        let pivot = if (a <= b) == (b <= c) {
+            b
+        } else if (b <= a) == (a <= c) {
+            a
+        } else {
+            c
+        };
+        // Three-way partition around the pivot.
+        let (mut lt, mut i, mut gt) = (lo, lo, hi);
+        while i < gt {
+            if v[i] < pivot {
+                v.swap(lt, i);
+                lt += 1;
+                i += 1;
+            } else if v[i] > pivot {
+                gt -= 1;
+                v.swap(i, gt);
+            } else {
+                i += 1;
+            }
+        }
+        let n_lt = lt - lo;
+        let n_eq = gt - lt;
+        if k < n_lt {
+            hi = lt;
+        } else if k < n_lt + n_eq {
+            return pivot;
+        } else {
+            k -= n_lt + n_eq;
+            lo = gt;
+        }
+    }
+}
+
+/// Median with the same even/odd convention as [`hyppo_tensor::stats`],
+/// parameterized by the order-statistic kernel.
+pub fn median_with(values: &[f64], kth: impl Fn(&[f64], usize) -> f64) -> f64 {
+    let n = values.len();
+    assert!(n > 0, "median of empty slice");
+    if n % 2 == 1 {
+        kth(values, n / 2)
+    } else {
+        0.5 * (kth(values, n / 2 - 1) + kth(values, n / 2))
+    }
+}
+
+/// Exact quartiles (q1, q2, q3) by nearest-rank, parameterized by kernel.
+pub fn quartiles_with(values: &[f64], kth: impl Fn(&[f64], usize) -> f64) -> (f64, f64, f64) {
+    let n = values.len();
+    assert!(n > 0, "quartiles of empty slice");
+    let rank = |q: f64| ((n - 1) as f64 * q).round() as usize;
+    (kth(values, rank(0.25)), kth(values, rank(0.5)), kth(values, rank(0.75)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_and_quickselect_agree_on_small_inputs() {
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        for k in 0..v.len() {
+            assert_eq!(kth_by_sort(&v, k), kth_by_quickselect(&v, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn agree_on_large_random_input() {
+        // Deterministic pseudo-random sequence without pulling in rand here.
+        let mut x = 123456789u64;
+        let v: Vec<f64> = (0..2000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        for k in [0, 1, 999, 1000, 1998, 1999] {
+            assert_eq!(kth_by_sort(&v, k), kth_by_quickselect(&v, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let v = [2.0; 100];
+        assert_eq!(kth_by_quickselect(&v, 50), 2.0);
+        let mut v2 = vec![1.0; 50];
+        v2.extend(vec![3.0; 50]);
+        assert_eq!(kth_by_quickselect(&v2, 49), 1.0);
+        assert_eq!(kth_by_quickselect(&v2, 50), 3.0);
+    }
+
+    #[test]
+    fn median_conventions() {
+        assert_eq!(median_with(&[1.0, 2.0, 3.0], kth_by_sort), 2.0);
+        assert_eq!(median_with(&[1.0, 2.0, 3.0, 4.0], kth_by_quickselect), 2.5);
+    }
+
+    #[test]
+    fn quartiles_match_between_kernels() {
+        let v: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let a = quartiles_with(&v, kth_by_sort);
+        let b = quartiles_with(&v, kth_by_quickselect);
+        assert_eq!(a, b);
+        assert_eq!(a.1, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "median of empty slice")]
+    fn empty_median_panics() {
+        median_with(&[], kth_by_sort);
+    }
+}

@@ -1,0 +1,170 @@
+//! Stateless row-wise transforms: normalizer, log transform, and the
+//! TAXI-specific feature engineering (haversine distance, cyclical time
+//! features). Single physical implementation each (paper §V-A-b: "a single
+//! implementation for use-case specific preprocessing").
+
+use crate::error::MlError;
+use hyppo_tensor::{Dataset, Matrix};
+
+/// Row-wise L2 normalization (`sklearn.preprocessing.Normalizer`).
+pub fn transform_normalizer(data: &Dataset) -> Result<Dataset, MlError> {
+    let mut x = data.x.clone();
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
+        let norm: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for v in row.iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+    Ok(data.with_features(x, None))
+}
+
+/// Signed `log1p`: `sign(x) · ln(1 + |x|)`, defined for all reals. The TAXI
+/// pipelines apply it to skewed duration-like features.
+pub fn transform_log(data: &Dataset) -> Result<Dataset, MlError> {
+    let x = data.x.map(|v| v.signum() * v.abs().ln_1p());
+    Ok(data.with_features(x, None))
+}
+
+/// Append a haversine great-circle distance column computed from the first
+/// four features interpreted as (lat1, lon1, lat2, lon2) in degrees — the
+/// pickup/dropoff coordinates of the TAXI dataset.
+pub fn transform_haversine(data: &Dataset) -> Result<Dataset, MlError> {
+    if data.n_features() < 4 {
+        return Err(MlError::BadInput(
+            "haversine feature needs at least 4 coordinate columns".into(),
+        ));
+    }
+    const EARTH_RADIUS_KM: f64 = 6371.0;
+    let n = data.len();
+    let mut dist = Matrix::zeros(n, 1);
+    for r in 0..n {
+        let row = data.x.row(r);
+        let (lat1, lon1, lat2, lon2) = (
+            row[0].to_radians(),
+            row[1].to_radians(),
+            row[2].to_radians(),
+            row[3].to_radians(),
+        );
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        dist.set(r, 0, 2.0 * EARTH_RADIUS_KM * a.sqrt().asin());
+    }
+    let x = data.x.hstack(&dist);
+    let mut names = data.feature_names.clone();
+    names.push("haversine_km".to_string());
+    Ok(data.with_features(x, Some(names)))
+}
+
+/// Append cyclical (sin, cos) encodings of an hour-of-day column. The
+/// column is identified by the feature name `hour`; TAXI datasets carry it.
+pub fn transform_time_features(data: &Dataset) -> Result<Dataset, MlError> {
+    let hour_col = data
+        .feature_names
+        .iter()
+        .position(|n| n == "hour")
+        .ok_or_else(|| MlError::BadInput("time features need an 'hour' column".into()))?;
+    let n = data.len();
+    let mut enc = Matrix::zeros(n, 2);
+    for r in 0..n {
+        let hour = data.x.get(r, hour_col);
+        let angle = hour / 24.0 * std::f64::consts::TAU;
+        enc.set(r, 0, angle.sin());
+        enc.set(r, 1, angle.cos());
+    }
+    let x = data.x.hstack(&enc);
+    let mut names = data.feature_names.clone();
+    names.push("hour_sin".to_string());
+    names.push("hour_cos".to_string());
+    Ok(data.with_features(x, Some(names)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_tensor::TaskKind;
+
+    fn ds(rows: &[&[f64]], names: &[&str]) -> Dataset {
+        let m = Matrix::from_rows(rows);
+        Dataset::new(
+            m,
+            vec![0.0; rows.len()],
+            names.iter().map(|s| s.to_string()).collect(),
+            TaskKind::Regression,
+        )
+    }
+
+    #[test]
+    fn normalizer_rows_have_unit_norm() {
+        let d = ds(&[&[3.0, 4.0], &[0.0, 5.0]], &["a", "b"]);
+        let out = transform_normalizer(&d).unwrap();
+        assert_eq!(out.x.row(0), &[0.6, 0.8]);
+        assert_eq!(out.x.row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn normalizer_zero_row_unchanged() {
+        let d = ds(&[&[0.0, 0.0]], &["a", "b"]);
+        let out = transform_normalizer(&d).unwrap();
+        assert_eq!(out.x.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn log_transform_is_signed_and_monotone() {
+        let d = ds(&[&[0.0, 1.0, -1.0, 100.0]], &["a", "b", "c", "d"]);
+        let out = transform_log(&d).unwrap();
+        assert_eq!(out.x.get(0, 0), 0.0);
+        assert!((out.x.get(0, 1) - 2.0f64.ln()).abs() < 1e-12);
+        assert!((out.x.get(0, 2) + 2.0f64.ln()).abs() < 1e-12);
+        assert!(out.x.get(0, 3) > out.x.get(0, 1));
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Roughly Manhattan (40.78,-73.97) to JFK (40.64,-73.78): ~21 km.
+        let d = ds(
+            &[&[40.78, -73.97, 40.64, -73.78, 9.0]],
+            &["plat", "plon", "dlat", "dlon", "hour"],
+        );
+        let out = transform_haversine(&d).unwrap();
+        let km = out.x.get(0, 5);
+        assert!((15.0..30.0).contains(&km), "distance {km} km implausible");
+        assert_eq!(out.feature_names[5], "haversine_km");
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let d = ds(&[&[40.0, -73.0, 40.0, -73.0]], &["a", "b", "c", "d"]);
+        let out = transform_haversine(&d).unwrap();
+        assert!(out.x.get(0, 4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_needs_four_columns() {
+        let d = ds(&[&[1.0, 2.0]], &["a", "b"]);
+        assert!(transform_haversine(&d).is_err());
+    }
+
+    #[test]
+    fn time_features_are_cyclical() {
+        let d = ds(&[&[0.0], &[6.0], &[12.0], &[24.0]], &["hour"]);
+        let out = transform_time_features(&d).unwrap();
+        assert_eq!(out.n_features(), 3);
+        // hour 0 and hour 24 encode identically.
+        assert!((out.x.get(0, 1) - out.x.get(3, 1)).abs() < 1e-9);
+        assert!((out.x.get(0, 2) - out.x.get(3, 2)).abs() < 1e-9);
+        // hour 6: sin = 1, cos = 0.
+        assert!((out.x.get(1, 1) - 1.0).abs() < 1e-9);
+        assert!(out.x.get(1, 2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_features_need_hour_column() {
+        let d = ds(&[&[1.0]], &["not_hour"]);
+        assert!(transform_time_features(&d).is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Scalers: standard, min-max, robust — each with two equivalent physical
+//! implementations of different cost.
+
+use crate::artifact::OpState;
+use crate::error::MlError;
+use crate::ops::LogicalOp;
+use crate::preprocess::quantile::{kth_by_quickselect, kth_by_sort, quartiles_with};
+use hyppo_tensor::stats::{column_mean_std_two_pass, column_mean_std_welford, column_min_max};
+use hyppo_tensor::Dataset;
+
+fn clamp_scale(scale: Vec<f64>) -> Vec<f64> {
+    scale.into_iter().map(|s| if s.abs() < 1e-12 { 1.0 } else { s }).collect()
+}
+
+fn check_nonempty(data: &Dataset) -> Result<(), MlError> {
+    if data.is_empty() || data.n_features() == 0 {
+        return Err(MlError::BadInput("scaler fit on empty dataset".into()));
+    }
+    Ok(())
+}
+
+/// StandardScaler impl 0 ("sklearn"): classic two-pass mean/std.
+pub fn fit_standard_two_pass(data: &Dataset) -> Result<OpState, MlError> {
+    check_nonempty(data)?;
+    let (mean, std) = column_mean_std_two_pass(&data.x);
+    Ok(OpState::Scaler { op: LogicalOp::StandardScaler, offset: mean, scale: clamp_scale(std) })
+}
+
+/// StandardScaler impl 1 ("tf.keras Normalization"): streaming Welford pass.
+/// Produces the same statistics in one pass over the data.
+pub fn fit_standard_welford(data: &Dataset) -> Result<OpState, MlError> {
+    check_nonempty(data)?;
+    let (mean, std) = column_mean_std_welford(&data.x);
+    Ok(OpState::Scaler { op: LogicalOp::StandardScaler, offset: mean, scale: clamp_scale(std) })
+}
+
+/// MinMaxScaler impl 0 ("sklearn"): sequential column scan.
+pub fn fit_minmax_sequential(data: &Dataset) -> Result<OpState, MlError> {
+    check_nonempty(data)?;
+    let (min, max) = column_min_max(&data.x);
+    let range: Vec<f64> = min.iter().zip(&max).map(|(lo, hi)| hi - lo).collect();
+    Ok(OpState::Scaler { op: LogicalOp::MinMaxScaler, offset: min, scale: clamp_scale(range) })
+}
+
+/// MinMaxScaler impl 1 ("cuML"): row-chunked scan merged across chunks —
+/// a data-parallel schedule with identical output.
+pub fn fit_minmax_chunked(data: &Dataset) -> Result<OpState, MlError> {
+    check_nonempty(data)?;
+    let d = data.n_features();
+    let n = data.len();
+    let n_chunks = 4.min(n.max(1));
+    let chunk_rows = n.div_ceil(n_chunks);
+    let partials: Vec<(Vec<f64>, Vec<f64>)> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..n_chunks {
+            let lo = c * chunk_rows;
+            let hi = ((c + 1) * chunk_rows).min(n);
+            if lo >= hi {
+                continue;
+            }
+            let x = &data.x;
+            handles.push(scope.spawn(move |_| {
+                let mut min = vec![f64::INFINITY; d];
+                let mut max = vec![f64::NEG_INFINITY; d];
+                for r in lo..hi {
+                    for (j, &v) in x.row(r).iter().enumerate() {
+                        if v.is_nan() {
+                            continue;
+                        }
+                        min[j] = min[j].min(v);
+                        max[j] = max[j].max(v);
+                    }
+                }
+                (min, max)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("scaler worker panicked")).collect()
+    })
+    .expect("crossbeam scope failed");
+
+    let mut min = vec![f64::INFINITY; d];
+    let mut max = vec![f64::NEG_INFINITY; d];
+    for (pmin, pmax) in partials {
+        for j in 0..d {
+            min[j] = min[j].min(pmin[j]);
+            max[j] = max[j].max(pmax[j]);
+        }
+    }
+    let range: Vec<f64> = min.iter().zip(&max).map(|(lo, hi)| hi - lo).collect();
+    Ok(OpState::Scaler { op: LogicalOp::MinMaxScaler, offset: min, scale: clamp_scale(range) })
+}
+
+/// RobustScaler parameterized by the exact order-statistic kernel:
+/// impl 0 sorts every column, impl 1 uses quickselect. Outputs are
+/// identical (both compute the exact median and IQR).
+fn fit_robust_with(
+    data: &Dataset,
+    kth: impl Fn(&[f64], usize) -> f64,
+) -> Result<OpState, MlError> {
+    check_nonempty(data)?;
+    let d = data.n_features();
+    let mut offset = Vec::with_capacity(d);
+    let mut scale = Vec::with_capacity(d);
+    for j in 0..d {
+        let col: Vec<f64> = data.x.col(j).into_iter().filter(|v| !v.is_nan()).collect();
+        if col.is_empty() {
+            offset.push(0.0);
+            scale.push(1.0);
+            continue;
+        }
+        let (q1, q2, q3) = quartiles_with(&col, &kth);
+        offset.push(q2);
+        scale.push(q3 - q1);
+    }
+    Ok(OpState::Scaler { op: LogicalOp::RobustScaler, offset, scale: clamp_scale(scale) })
+}
+
+/// RobustScaler impl 0 ("sklearn"): full-sort quartiles.
+pub fn fit_robust_sort(data: &Dataset) -> Result<OpState, MlError> {
+    fit_robust_with(data, kth_by_sort)
+}
+
+/// RobustScaler impl 1 ("dask-ml"): quickselect quartiles.
+pub fn fit_robust_quickselect(data: &Dataset) -> Result<OpState, MlError> {
+    fit_robust_with(data, kth_by_quickselect)
+}
+
+/// Apply a fitted scaler state: `x' = (x - offset) / scale`. NaNs pass
+/// through (imputation is a separate operator).
+pub fn transform_scaler(state: &OpState, data: &Dataset) -> Result<Dataset, MlError> {
+    let (op, offset, scale) = match state {
+        OpState::Scaler { op, offset, scale } => (*op, offset, scale),
+        _ => return Err(MlError::StateMismatch(LogicalOp::StandardScaler)),
+    };
+    if offset.len() != data.n_features() {
+        return Err(MlError::BadInput(format!(
+            "{op:?} state has {} columns but data has {}",
+            offset.len(),
+            data.n_features()
+        )));
+    }
+    let mut x = data.x.clone();
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
+        for (j, v) in row.iter_mut().enumerate() {
+            if !v.is_nan() {
+                *v = (*v - offset[j]) / scale[j];
+            }
+        }
+    }
+    Ok(data.with_features(x, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_tensor::{Matrix, TaskKind};
+
+    fn ds(rows: &[&[f64]]) -> Dataset {
+        let m = Matrix::from_rows(rows);
+        let names = (0..m.cols()).map(|i| format!("f{i}")).collect();
+        let y = vec![0.0; m.rows()];
+        Dataset::new(m, y, names, TaskKind::Regression)
+    }
+
+    fn states_equal(a: &OpState, b: &OpState, tol: f64) -> bool {
+        match (a, b) {
+            (
+                OpState::Scaler { op: o1, offset: f1, scale: s1 },
+                OpState::Scaler { op: o2, offset: f2, scale: s2 },
+            ) => {
+                o1 == o2
+                    && f1.iter().zip(f2).all(|(x, y)| (x - y).abs() <= tol)
+                    && s1.iter().zip(s2).all(|(x, y)| (x - y).abs() <= tol)
+            }
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn standard_impls_are_equivalent() {
+        let d = ds(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0], &[4.0, 40.0]]);
+        let a = fit_standard_two_pass(&d).unwrap();
+        let b = fit_standard_welford(&d).unwrap();
+        assert!(states_equal(&a, &b, 1e-10));
+    }
+
+    #[test]
+    fn standard_transform_standardizes() {
+        let d = ds(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let state = fit_standard_two_pass(&d).unwrap();
+        let out = transform_scaler(&state, &d).unwrap();
+        let (mean, std) = column_mean_std_two_pass(&out.x);
+        assert!(mean[0].abs() < 1e-12);
+        assert!((std[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_impls_are_equivalent() {
+        let d = ds(&[&[5.0, -1.0], &[1.0, 3.0], &[9.0, 0.0], &[2.0, 2.0], &[7.0, 1.0]]);
+        let a = fit_minmax_sequential(&d).unwrap();
+        let b = fit_minmax_chunked(&d).unwrap();
+        assert!(states_equal(&a, &b, 0.0), "chunked scan must be bitwise identical");
+    }
+
+    #[test]
+    fn minmax_transform_maps_to_unit_interval() {
+        let d = ds(&[&[5.0], &[1.0], &[9.0]]);
+        let state = fit_minmax_sequential(&d).unwrap();
+        let out = transform_scaler(&state, &d).unwrap();
+        let (min, max) = column_min_max(&out.x);
+        assert_eq!((min[0], max[0]), (0.0, 1.0));
+    }
+
+    #[test]
+    fn robust_impls_are_equivalent() {
+        let rows: Vec<Vec<f64>> =
+            (0..57).map(|i| vec![(i * 37 % 57) as f64, ((i * 13 + 5) % 57) as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let d = ds(&refs);
+        let a = fit_robust_sort(&d).unwrap();
+        let b = fit_robust_quickselect(&d).unwrap();
+        assert!(states_equal(&a, &b, 0.0), "exact order statistics must match");
+    }
+
+    #[test]
+    fn robust_centers_on_median() {
+        let d = ds(&[&[1.0], &[2.0], &[3.0], &[4.0], &[100.0]]);
+        let state = fit_robust_sort(&d).unwrap();
+        let out = transform_scaler(&state, &d).unwrap();
+        // Median (3.0) maps to zero.
+        assert_eq!(out.x.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let d = ds(&[&[5.0], &[5.0], &[5.0]]);
+        let state = fit_standard_two_pass(&d).unwrap();
+        let out = transform_scaler(&state, &d).unwrap();
+        assert!(out.x.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nan_passthrough_in_transform() {
+        let d = ds(&[&[1.0], &[f64::NAN], &[3.0]]);
+        let state = fit_standard_two_pass(&d).unwrap();
+        let out = transform_scaler(&state, &d).unwrap();
+        assert!(out.x.get(1, 0).is_nan());
+        assert!(out.x.get(0, 0).is_finite());
+    }
+
+    #[test]
+    fn wrong_state_rejected() {
+        let d = ds(&[&[1.0]]);
+        let bad = OpState::Imputer { op: LogicalOp::ImputerMean, fill: vec![0.0] };
+        assert!(matches!(transform_scaler(&bad, &d), Err(MlError::StateMismatch(_))));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let d1 = ds(&[&[1.0, 2.0]]);
+        let d2 = ds(&[&[1.0]]);
+        let state = fit_standard_two_pass(&d1).unwrap();
+        assert!(matches!(transform_scaler(&state, &d2), Err(MlError::BadInput(_))));
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let d = Dataset::new(Matrix::zeros(0, 0), vec![], vec![], TaskKind::Regression);
+        assert!(fit_standard_two_pass(&d).is_err());
+        assert!(fit_minmax_chunked(&d).is_err());
+    }
+}

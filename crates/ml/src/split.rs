@@ -1,0 +1,113 @@
+//! Train/test split — the canonical multi-output task (§I, Fig. 1: one
+//! hyperedge from the raw data to the `train` and `test` artifacts).
+//!
+//! Deterministic given `seed`, with the paper's 3:1 train:test ratio as the
+//! default (§V, Fig. 5d).
+
+use crate::config::Config;
+use crate::error::MlError;
+use hyppo_tensor::{Dataset, SeededRng};
+
+/// Split `data` into `(train, test)` by a seeded shuffle.
+///
+/// Config keys: `test_frac` (default 0.25), `seed` (default 0).
+pub fn train_test_split(data: &Dataset, config: &Config) -> Result<(Dataset, Dataset), MlError> {
+    if data.len() < 2 {
+        return Err(MlError::BadInput("split needs at least two rows".into()));
+    }
+    let test_frac = config.f_or("test_frac", 0.25);
+    if !(0.0..1.0).contains(&test_frac) || test_frac == 0.0 {
+        return Err(MlError::BadInput(format!("invalid test fraction {test_frac}")));
+    }
+    let seed = config.i_or("seed", 0) as u64;
+    let n = data.len();
+    let n_test = ((n as f64 * test_frac).round() as usize).clamp(1, n - 1);
+    let mut rng = SeededRng::new(seed);
+    let perm = rng.permutation(n);
+    let test_idx: Vec<usize> = perm[..n_test].to_vec();
+    let train_idx: Vec<usize> = perm[n_test..].to_vec();
+    Ok((data.select_rows(&train_idx), data.select_rows(&test_idx)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_tensor::{Matrix, TaskKind};
+
+    fn ds(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Dataset::new(
+            Matrix::from_rows(&refs),
+            (0..n).map(|i| i as f64).collect(),
+            vec!["a".into()],
+            TaskKind::Regression,
+        )
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let d = ds(100);
+        let (train, test) = train_test_split(&d, &Config::new()).unwrap();
+        assert_eq!(train.len() + test.len(), 100);
+        let mut seen: Vec<i64> = train
+            .x
+            .col(0)
+            .into_iter()
+            .chain(test.x.col(0))
+            .map(|v| v as i64)
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn default_ratio_is_three_to_one() {
+        let d = ds(100);
+        let (train, test) = train_test_split(&d, &Config::new()).unwrap();
+        assert_eq!(test.len(), 25);
+        assert_eq!(train.len(), 75);
+    }
+
+    #[test]
+    fn custom_fraction() {
+        let d = ds(10);
+        let cfg = Config::new().with_f("test_frac", 0.5);
+        let (train, test) = train_test_split(&d, &cfg).unwrap();
+        assert_eq!((train.len(), test.len()), (5, 5));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = ds(50);
+        let cfg = Config::new().with_i("seed", 9);
+        let (a_train, _) = train_test_split(&d, &cfg).unwrap();
+        let (b_train, _) = train_test_split(&d, &cfg).unwrap();
+        assert_eq!(a_train, b_train);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = ds(50);
+        let (a, _) = train_test_split(&d, &Config::new().with_i("seed", 1)).unwrap();
+        let (b, _) = train_test_split(&d, &Config::new().with_i("seed", 2)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn labels_travel_with_rows() {
+        let d = ds(20);
+        let (train, _) = train_test_split(&d, &Config::new()).unwrap();
+        for r in 0..train.len() {
+            assert_eq!(train.x.get(r, 0), train.y[r]);
+        }
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        let d = ds(10);
+        assert!(train_test_split(&d, &Config::new().with_f("test_frac", 0.0)).is_err());
+        assert!(train_test_split(&d, &Config::new().with_f("test_frac", 1.0)).is_err());
+        assert!(train_test_split(&ds(1), &Config::new()).is_err());
+    }
+}

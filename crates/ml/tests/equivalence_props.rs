@@ -1,0 +1,117 @@
+//! Property-based tests of the substrate's equivalence guarantees: on
+//! random datasets, implementation pairs of the same logical operator
+//! produce equivalent artifacts, and structural invariants (split
+//! partitions, scaling ranges) hold.
+
+use hyppo_ml::{execute, Artifact, Config, LogicalOp, TaskType};
+use hyppo_tensor::{Dataset, Matrix, TaskKind};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (4usize..40, 1usize..6).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(-100.0f64..100.0, rows * cols).prop_map(move |data| {
+            let x = Matrix::from_vec(rows, cols, data);
+            let y = (0..rows).map(|i| (i % 2) as f64).collect();
+            let names = (0..cols).map(|i| format!("f{i}")).collect();
+            Dataset::new(x, y, names, TaskKind::Regression)
+        })
+    })
+}
+
+fn fit_both(op: LogicalOp, data: &Dataset, cfg: &Config) -> (Artifact, Artifact) {
+    let input = Artifact::Data(data.clone());
+    let a = execute(op, TaskType::Fit, 0, cfg, &[&input]).unwrap().remove(0);
+    let b = execute(op, TaskType::Fit, 1, cfg, &[&input]).unwrap().remove(0);
+    (a, b)
+}
+
+fn transform_with(op: LogicalOp, state: &Artifact, data: &Dataset, imp: usize) -> Dataset {
+    let input = Artifact::Data(data.clone());
+    let out = execute(op, TaskType::Transform, imp, &Config::new(), &[state, &input])
+        .unwrap()
+        .remove(0);
+    match out {
+        Artifact::Data(d) => d,
+        _ => panic!("transform must return data"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scaler_impl_pairs_transform_identically(data in arb_dataset()) {
+        for op in [LogicalOp::StandardScaler, LogicalOp::MinMaxScaler, LogicalOp::RobustScaler] {
+            let (a, b) = fit_both(op, &data, &Config::new());
+            let ta = transform_with(op, &a, &data, 0);
+            let tb = transform_with(op, &b, &data, 1);
+            prop_assert!(
+                Artifact::Data(ta).approx_eq(&Artifact::Data(tb), 1e-8),
+                "{op:?} impls diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn imputer_impl_pairs_agree(data in arb_dataset()) {
+        // Punch some holes first.
+        let mut gapped = data.clone();
+        for r in (0..gapped.len()).step_by(3) {
+            gapped.x.set(r, 0, f64::NAN);
+        }
+        for op in [LogicalOp::ImputerMean, LogicalOp::ImputerMedian] {
+            let (a, b) = fit_both(op, &gapped, &Config::new());
+            let ta = transform_with(op, &a, &gapped, 0);
+            let tb = transform_with(op, &b, &gapped, 1);
+            prop_assert!(!ta.x.has_missing());
+            prop_assert!(
+                Artifact::Data(ta).approx_eq(&Artifact::Data(tb), 1e-8),
+                "{op:?} impls diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn minmax_transform_lands_in_unit_interval(data in arb_dataset()) {
+        let (state, _) = fit_both(LogicalOp::MinMaxScaler, &data, &Config::new());
+        let out = transform_with(LogicalOp::MinMaxScaler, &state, &data, 0);
+        for &v in out.x.as_slice() {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "value {v} out of range");
+        }
+    }
+
+    #[test]
+    fn split_is_a_seeded_partition(data in arb_dataset(), seed in 0i64..100) {
+        let input = Artifact::Data(data.clone());
+        let cfg = Config::new().with_i("seed", seed);
+        let out = execute(LogicalOp::TrainTestSplit, TaskType::Split, 0, &cfg, &[&input]).unwrap();
+        let train = out[0].as_data().unwrap();
+        let test = out[1].as_data().unwrap();
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        prop_assert!(!test.is_empty());
+        prop_assert!(!train.is_empty());
+        // Determinism.
+        let again = execute(LogicalOp::TrainTestSplit, TaskType::Split, 0, &cfg, &[&input]).unwrap();
+        prop_assert!(out[0].approx_eq(&again[0], 0.0));
+    }
+
+    #[test]
+    fn poly_impls_identical_and_width_correct(data in arb_dataset()) {
+        let input = Artifact::Data(data.clone());
+        let cfg = Config::new();
+        let state = execute(LogicalOp::PolynomialFeatures, TaskType::Fit, 0, &cfg, &[&input])
+            .unwrap().remove(0);
+        let a = transform_with(LogicalOp::PolynomialFeatures, &state, &data, 0);
+        let b = transform_with(LogicalOp::PolynomialFeatures, &state, &data, 1);
+        prop_assert_eq!(&a.x, &b.x, "expansion must be bitwise identical");
+        let d = data.n_features();
+        prop_assert_eq!(a.n_features(), d + d + d * (d - 1) / 2);
+    }
+
+    #[test]
+    fn forest_parallelism_is_invisible(data in arb_dataset()) {
+        let cfg = Config::new().with_i("n_trees", 4).with_i("seed", 2);
+        let (a, b) = fit_both(LogicalOp::RandomForest, &data, &cfg);
+        prop_assert_eq!(a, b, "parallel forest must equal sequential forest");
+    }
+}

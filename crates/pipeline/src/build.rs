@@ -1,0 +1,299 @@
+//! Build the pipeline hypergraph from a specification (the parser's second
+//! half, paper §IV-C).
+//!
+//! - every artifact becomes a node labelled with its logical name;
+//! - every task becomes a hyperedge (multi-input, multi-output);
+//! - the special source node `s` represents storage; load steps become
+//!   hyperedges from `s`;
+//! - artifacts with identical logical names are **merged** (within-pipeline
+//!   common subexpressions collapse), and identical tasks (same logical
+//!   identity *and* same physical implementation) are deduplicated, while
+//!   the same logical task with two different implementations yields two
+//!   parallel hyperedges — alternatives already present in `P`.
+
+use crate::labels::{ArtifactRole, EdgeLabel, NodeLabel};
+use crate::naming::ArtifactName;
+use crate::spec::{PipelineSpec, Step};
+use hyppo_hypergraph::{HyperGraph, NodeId};
+use hyppo_ml::{ArtifactKind, LogicalOp, TaskType};
+use std::collections::HashMap;
+
+/// A pipeline: a labelled hypergraph with its source node and targets.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    /// The labelled hypergraph `P`.
+    pub graph: HyperGraph<NodeLabel, EdgeLabel>,
+    /// The storage source node `s`.
+    pub source: NodeId,
+    /// Target artifacts: sink nodes with empty forward stars.
+    pub targets: Vec<NodeId>,
+    /// Node of each step output: `outputs[step][output_index]`.
+    pub outputs: Vec<Vec<NodeId>>,
+    /// The originating spec.
+    pub spec: PipelineSpec,
+}
+
+impl Pipeline {
+    /// Look up a node by logical artifact name.
+    pub fn node_by_name(&self, name: ArtifactName) -> Option<NodeId> {
+        self.graph.node_ids().find(|&v| self.graph.node(v).name == name)
+    }
+}
+
+fn output_kind(step: &Step) -> ArtifactKind {
+    match step.task {
+        TaskType::Fit => ArtifactKind::OpState,
+        TaskType::Predict => ArtifactKind::Predictions,
+        TaskType::Evaluate => ArtifactKind::Value,
+        _ => ArtifactKind::Data,
+    }
+}
+
+fn output_role(step: &Step, input_roles: &[ArtifactRole], output_index: usize) -> ArtifactRole {
+    match step.task {
+        TaskType::Load => ArtifactRole::Raw,
+        TaskType::Split => {
+            if output_index == 0 {
+                ArtifactRole::Train
+            } else {
+                ArtifactRole::Test
+            }
+        }
+        TaskType::Fit => ArtifactRole::OpState,
+        TaskType::Predict => ArtifactRole::Predictions,
+        TaskType::Evaluate => ArtifactRole::Value,
+        TaskType::Transform => {
+            // Inherit the data input's role (the last input for fitted
+            // transforms, the only input for stateless ones).
+            *input_roles.last().unwrap_or(&ArtifactRole::Raw)
+        }
+    }
+}
+
+/// Build the pipeline hypergraph from a spec with logical (HYPPO) naming.
+pub fn build_pipeline(spec: PipelineSpec) -> Pipeline {
+    build_pipeline_mode(spec, crate::naming::NamingMode::Logical)
+}
+
+/// Build the pipeline hypergraph under the given naming mode.
+///
+/// In physical mode, artifacts produced by different implementations do not
+/// merge — the hypergraph degenerates to the DAG the reuse baselines see.
+pub fn build_pipeline_mode(spec: PipelineSpec, mode: crate::naming::NamingMode) -> Pipeline {
+    let names = spec.output_names_mode(mode);
+    let mut graph: HyperGraph<NodeLabel, EdgeLabel> =
+        HyperGraph::with_capacity(spec.len() * 2 + 1, spec.len());
+    let source = graph.add_node(NodeLabel::source());
+
+    let mut node_by_name: HashMap<ArtifactName, NodeId> = HashMap::new();
+    // Edge dedup key: logical identity + physical impl.
+    let mut seen_edges: HashMap<(ArtifactName, usize), ()> = HashMap::new();
+    let mut outputs: Vec<Vec<NodeId>> = Vec::with_capacity(spec.len());
+
+    for (step_idx, step) in spec.steps.iter().enumerate() {
+        let input_nodes: Vec<NodeId> =
+            step.inputs.iter().map(|h| outputs[h.step.0][h.output]).collect();
+        let input_roles: Vec<ArtifactRole> =
+            input_nodes.iter().map(|&v| graph.node(v).role).collect();
+
+        // Create or reuse output nodes.
+        let mut head = Vec::with_capacity(step.n_outputs());
+        let mut step_outputs = Vec::with_capacity(step.n_outputs());
+        for (i, &name) in names[step_idx].iter().enumerate() {
+            let node = *node_by_name.entry(name).or_insert_with(|| {
+                graph.add_node(NodeLabel {
+                    name,
+                    kind: output_kind(step),
+                    role: output_role(step, &input_roles, i),
+                    hint: format!("{}.{}#{}", step.op.name(), step.task.name(), i),
+                    size_bytes: None,
+                })
+            });
+            head.push(node);
+            step_outputs.push(node);
+        }
+
+        // Deduplicate identical tasks (same logical identity + same impl).
+        let identity = crate::naming::task_identity(
+            step.op,
+            step.task,
+            &step.config,
+            &step.inputs.iter().map(|h| names[h.step.0][h.output]).collect::<Vec<_>>(),
+        );
+        let edge_key = (identity, step.impl_index);
+        if seen_edges.insert(edge_key, ()).is_none() {
+            let tail = if step.task == TaskType::Load { vec![source] } else { input_nodes };
+            let label = match (&step.dataset, step.task) {
+                (Some(id), TaskType::Load) => EdgeLabel::load_dataset(id),
+                _ => EdgeLabel::task(step.op, step.task, step.impl_index, step.config.clone()),
+            };
+            graph.add_edge(tail, head, label);
+        }
+        outputs.push(step_outputs);
+    }
+
+    let targets: Vec<NodeId> =
+        graph.sinks().into_iter().filter(|&v| v != source).collect();
+    Pipeline { graph, source, targets, outputs, spec }
+}
+
+/// Convenience: the paper's Figure 1(a) pipeline (load → split → scaler.fit
+/// → scaler.transform(test) → forest.fit → predict(train) → predict(test)).
+pub fn figure1_pipeline(dataset_id: &str) -> Pipeline {
+    use hyppo_ml::Config;
+    let mut spec = PipelineSpec::new();
+    let data = spec.load(dataset_id);
+    let (train, test) = spec.split(data, Config::new().with_i("seed", 0));
+    let scaler = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+    let test_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
+    let model = spec.fit(
+        LogicalOp::RandomForest,
+        0,
+        Config::new().with_i("n_trees", 5).with_i("seed", 1),
+        &[train],
+    );
+    spec.predict(
+        LogicalOp::RandomForest,
+        0,
+        Config::new().with_i("n_trees", 5).with_i("seed", 1),
+        model,
+        train,
+    );
+    spec.predict(
+        LogicalOp::RandomForest,
+        0,
+        Config::new().with_i("n_trees", 5).with_i("seed", 1),
+        model,
+        test_s,
+    );
+    build_pipeline(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_ml::Config;
+
+    #[test]
+    fn figure1_structure() {
+        let p = figure1_pipeline("higgs");
+        // Nodes: s, raw, train, test, scaler-state, scaled-test, model,
+        // preds-train, preds-test = 9.
+        assert_eq!(p.graph.node_count(), 9);
+        // Edges: load, split, scaler.fit, scaler.transform, forest.fit,
+        // predict(train), predict(test) = 7.
+        assert_eq!(p.graph.edge_count(), 7);
+        // Targets: the two prediction artifacts.
+        assert_eq!(p.targets.len(), 2);
+    }
+
+    #[test]
+    fn split_edge_is_multi_output() {
+        let p = figure1_pipeline("higgs");
+        let split_edge = p
+            .graph
+            .edge_ids()
+            .find(|&e| p.graph.edge(e).op == LogicalOp::TrainTestSplit)
+            .unwrap();
+        assert_eq!(p.graph.head(split_edge).len(), 2);
+    }
+
+    #[test]
+    fn fit_state_feeds_transform_as_multi_input() {
+        let p = figure1_pipeline("higgs");
+        let transform_edge = p
+            .graph
+            .edge_ids()
+            .find(|&e| p.graph.edge(e).task == TaskType::Transform)
+            .unwrap();
+        assert_eq!(p.graph.tail(transform_edge).len(), 2, "state + data");
+    }
+
+    #[test]
+    fn load_edges_start_at_source() {
+        let p = figure1_pipeline("higgs");
+        for e in p.graph.edge_ids() {
+            if p.graph.edge(e).is_load() {
+                assert_eq!(p.graph.tail(e), &[p.source]);
+            }
+        }
+    }
+
+    #[test]
+    fn common_subexpressions_merge() {
+        // Two identical scaler fits on the same train data collapse into one
+        // node and one edge.
+        let mut spec = PipelineSpec::new();
+        let d = spec.load("higgs");
+        let (train, _test) = spec.split(d, Config::new());
+        let s1 = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+        let s2 = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+        let p = build_pipeline(spec);
+        assert_eq!(p.outputs[2][0], p.outputs[3][0], "same logical artifact, same node");
+        let fit_edges = p
+            .graph
+            .edge_ids()
+            .filter(|&e| p.graph.edge(e).task == TaskType::Fit)
+            .count();
+        assert_eq!(fit_edges, 1, "identical tasks deduplicate");
+        let _ = (s1, s2);
+    }
+
+    #[test]
+    fn different_impls_become_parallel_alternatives() {
+        let mut spec = PipelineSpec::new();
+        let d = spec.load("higgs");
+        let (train, _) = spec.split(d, Config::new());
+        spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+        spec.fit(LogicalOp::StandardScaler, 1, Config::new(), &[train]);
+        let p = build_pipeline(spec);
+        let fit_edges: Vec<_> = p
+            .graph
+            .edge_ids()
+            .filter(|&e| p.graph.edge(e).task == TaskType::Fit)
+            .collect();
+        assert_eq!(fit_edges.len(), 2, "two impls = two parallel hyperedges");
+        // Both edges share the same head node.
+        assert_eq!(p.graph.head(fit_edges[0]), p.graph.head(fit_edges[1]));
+    }
+
+    #[test]
+    fn physical_mode_keeps_impls_apart() {
+        let make = || {
+            let mut spec = PipelineSpec::new();
+            let d = spec.load("higgs");
+            let (train, _) = spec.split(d, Config::new());
+            spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+            spec.fit(LogicalOp::StandardScaler, 1, Config::new(), &[train]);
+            spec
+        };
+        let logical = build_pipeline_mode(make(), crate::naming::NamingMode::Logical);
+        let physical = build_pipeline_mode(make(), crate::naming::NamingMode::Physical);
+        // Logical: both fits share one output node. Physical: two nodes.
+        assert_eq!(logical.graph.node_count() + 1, physical.graph.node_count());
+    }
+
+    #[test]
+    fn roles_are_assigned() {
+        let p = figure1_pipeline("higgs");
+        let roles: Vec<ArtifactRole> = p.graph.nodes().map(|n| n.data.role).collect();
+        assert!(roles.contains(&ArtifactRole::Train));
+        assert!(roles.contains(&ArtifactRole::Test));
+        assert!(roles.contains(&ArtifactRole::OpState));
+        assert!(roles.contains(&ArtifactRole::Predictions));
+    }
+
+    #[test]
+    fn targets_are_b_connected_to_source() {
+        let p = figure1_pipeline("higgs");
+        assert!(hyppo_hypergraph::is_b_connected(&p.graph, &[p.source], &p.targets));
+    }
+
+    #[test]
+    fn node_by_name_finds_artifacts() {
+        let p = figure1_pipeline("higgs");
+        let name = p.graph.node(p.targets[0]).name;
+        assert_eq!(p.node_by_name(name), Some(p.targets[0]));
+        assert_eq!(p.node_by_name(ArtifactName(12345)), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! The operator dictionary `D` (paper §IV-B).
+//!
+//! Maps each `logical-operator.task-type` entry to its equivalent physical
+//! implementations. The implementation tables live on
+//! [`hyppo_ml::LogicalOp`]; the dictionary adds lookup, enumeration, and
+//! the ability to *restrict* the visible implementations (used by ablation
+//! experiments that disable equivalences).
+
+use hyppo_ml::{LogicalOp, PhysImpl, TaskType};
+use std::collections::BTreeMap;
+
+/// The task dictionary: `lop.tasktype → [impl, …]`.
+#[derive(Clone, Debug)]
+pub struct Dictionary {
+    entries: BTreeMap<(LogicalOp, TaskType), Vec<PhysImpl>>,
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl Dictionary {
+    /// The full dictionary with every registered implementation.
+    pub fn full() -> Self {
+        let mut entries = BTreeMap::new();
+        for op in LogicalOp::ALL {
+            for &task in op.task_types() {
+                entries.insert((op, task), op.impls().to_vec());
+            }
+        }
+        Dictionary { entries }
+    }
+
+    /// A dictionary exposing only implementation 0 of each operator —
+    /// equivalences disabled. Baselines (Helix, Collab) see the pipeline
+    /// through this dictionary: one physical operator per logical operator.
+    pub fn single_impl() -> Self {
+        let mut d = Self::full();
+        for impls in d.entries.values_mut() {
+            impls.truncate(1);
+        }
+        d
+    }
+
+    /// Implementations registered for `(op, task)`.
+    pub fn impls(&self, op: LogicalOp, task: TaskType) -> &[PhysImpl] {
+        self.entries.get(&(op, task)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the entry exists.
+    pub fn contains(&self, op: LogicalOp, task: TaskType) -> bool {
+        self.entries.contains_key(&(op, task))
+    }
+
+    /// Number of `lop.tasktype` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries that are optimization candidates: more than one registered
+    /// physical implementation (paper §IV-B).
+    pub fn optimization_candidates(&self) -> impl Iterator<Item = (LogicalOp, TaskType)> + '_ {
+        self.entries
+            .iter()
+            .filter(|(_, impls)| impls.len() > 1)
+            .map(|(&key, _)| key)
+    }
+
+    /// Iterate over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = ((LogicalOp, TaskType), &[PhysImpl])> + '_ {
+        self.entries.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_dictionary_has_paper_scale() {
+        let d = Dictionary::full();
+        assert!(d.len() >= 40, "dictionary has {} entries", d.len());
+        assert!(d.contains(LogicalOp::Pca, TaskType::Fit));
+        assert!(!d.contains(LogicalOp::Pca, TaskType::Predict));
+    }
+
+    #[test]
+    fn pca_fit_has_the_flagship_pair() {
+        let d = Dictionary::full();
+        let impls = d.impls(LogicalOp::Pca, TaskType::Fit);
+        assert_eq!(impls.len(), 2);
+        assert!(impls[0].name.contains("sklearn"));
+        assert!(impls[1].name.contains("torch"));
+    }
+
+    #[test]
+    fn single_impl_disables_equivalences() {
+        let d = Dictionary::single_impl();
+        assert_eq!(d.optimization_candidates().count(), 0);
+        assert_eq!(d.impls(LogicalOp::Pca, TaskType::Fit).len(), 1);
+        assert_eq!(d.len(), Dictionary::full().len(), "entries survive, impls shrink");
+    }
+
+    #[test]
+    fn candidates_have_multiple_impls() {
+        let d = Dictionary::full();
+        let candidates: Vec<_> = d.optimization_candidates().collect();
+        assert!(candidates.len() >= 12, "{} candidates", candidates.len());
+        for (op, task) in candidates {
+            assert!(d.impls(op, task).len() > 1);
+        }
+    }
+
+    #[test]
+    fn unknown_entry_yields_empty() {
+        let d = Dictionary::full();
+        assert!(d.impls(LogicalOp::Accuracy, TaskType::Fit).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Node and hyperedge labels shared by pipelines, histories, augmentations,
+//! and plans.
+
+use crate::naming::ArtifactName;
+use hyppo_ml::{ArtifactKind, Config, LogicalOp, TaskType};
+use serde::{Deserialize, Serialize};
+
+/// Reporting-oriented artifact role, matching the artifact types the
+/// paper's Figure 5 analyses (`train`, `test`, `op-state`, `value`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ArtifactRole {
+    /// The storage source node `s` (one per graph).
+    Source,
+    /// A raw dataset as loaded.
+    Raw,
+    /// A training split (or transformed training data).
+    Train,
+    /// A test split (or transformed test data).
+    Test,
+    /// A fitted operator state.
+    OpState,
+    /// A prediction vector.
+    Predictions,
+    /// A scalar evaluation result.
+    Value,
+}
+
+impl ArtifactRole {
+    /// Short label used in experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactRole::Source => "source",
+            ArtifactRole::Raw => "raw",
+            ArtifactRole::Train => "train",
+            ArtifactRole::Test => "test",
+            ArtifactRole::OpState => "op-state",
+            ArtifactRole::Predictions => "predictions",
+            ArtifactRole::Value => "value",
+        }
+    }
+}
+
+/// Label of an artifact node.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeLabel {
+    /// Logical name (recursive backward-star hash; equivalence key).
+    pub name: ArtifactName,
+    /// Payload kind.
+    pub kind: ArtifactKind,
+    /// Reporting role.
+    pub role: ArtifactRole,
+    /// Human-readable hint, e.g. `standard_scaler.state`.
+    pub hint: String,
+    /// Size in bytes, known after the artifact has been produced once.
+    pub size_bytes: Option<u64>,
+}
+
+impl NodeLabel {
+    /// Label for the storage source node `s`.
+    pub fn source() -> Self {
+        NodeLabel {
+            name: ArtifactName(0),
+            kind: ArtifactKind::Data,
+            role: ArtifactRole::Source,
+            hint: "s".to_string(),
+            size_bytes: None,
+        }
+    }
+}
+
+/// Label of a task hyperedge.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EdgeLabel {
+    /// Logical operator.
+    pub op: LogicalOp,
+    /// Task type.
+    pub task: TaskType,
+    /// Physical implementation index into `op.impls()`.
+    pub impl_index: usize,
+    /// Operator configuration (hyperparameters).
+    pub config: Config,
+    /// For `Load` edges: the id of the dataset or materialized artifact
+    /// being loaded.
+    pub dataset: Option<String>,
+}
+
+impl EdgeLabel {
+    /// A computational task label.
+    pub fn task(op: LogicalOp, task: TaskType, impl_index: usize, config: Config) -> Self {
+        EdgeLabel { op, task, impl_index, config, dataset: None }
+    }
+
+    /// A `load` edge for a raw dataset.
+    pub fn load_dataset(dataset_id: &str) -> Self {
+        EdgeLabel {
+            op: LogicalOp::LoadDataset,
+            task: TaskType::Load,
+            impl_index: 0,
+            config: Config::new(),
+            dataset: Some(dataset_id.to_string()),
+        }
+    }
+
+    /// Whether this is a load (source) edge.
+    pub fn is_load(&self) -> bool {
+        self.task == TaskType::Load
+    }
+
+    /// Short display string, e.g. `standard_scaler.fit[0]`.
+    pub fn display(&self) -> String {
+        format!("{}.{}[{}]", self.op.name(), self.task.name(), self.impl_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_names() {
+        assert_eq!(ArtifactRole::OpState.name(), "op-state");
+        assert_eq!(ArtifactRole::Train.name(), "train");
+    }
+
+    #[test]
+    fn source_label() {
+        let s = NodeLabel::source();
+        assert_eq!(s.role, ArtifactRole::Source);
+        assert_eq!(s.hint, "s");
+    }
+
+    #[test]
+    fn load_edges_are_loads() {
+        let l = EdgeLabel::load_dataset("higgs");
+        assert!(l.is_load());
+        assert_eq!(l.dataset.as_deref(), Some("higgs"));
+        let t = EdgeLabel::task(LogicalOp::Ridge, TaskType::Fit, 1, Config::new());
+        assert!(!t.is_load());
+    }
+
+    #[test]
+    fn display_includes_impl() {
+        let t = EdgeLabel::task(LogicalOp::Pca, TaskType::Fit, 1, Config::new());
+        assert_eq!(t.display(), "pca.fit[1]");
+    }
+}

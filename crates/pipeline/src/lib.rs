@@ -1,0 +1,25 @@
+//! Pipeline representation for HYPPO.
+//!
+//! The paper's parser (§IV-C) turns user Python code into a labelled
+//! directed hypergraph by (a) mapping each function call to a dictionary
+//! entry (logical operator + task type + configuration), and (b) assigning
+//! each artifact a *logical name* that recursively encodes its backward
+//! star in terms of logical operators — so equivalent artifacts produced by
+//! different physical implementations receive the *same* name.
+//!
+//! This crate is that parser's Rust counterpart. Instead of parsing Python
+//! source we accept a typed [`PipelineSpec`] (the information the parser
+//! would extract), look operators up in the [`Dictionary`], compute logical
+//! names ([`naming`]), and build the pipeline hypergraph ([`build`]).
+
+pub mod build;
+pub mod dictionary;
+pub mod labels;
+pub mod naming;
+pub mod spec;
+
+pub use build::{build_pipeline, build_pipeline_mode, figure1_pipeline, Pipeline};
+pub use dictionary::Dictionary;
+pub use labels::{ArtifactRole, EdgeLabel, NodeLabel};
+pub use naming::{ArtifactName, NamingMode};
+pub use spec::{ArtifactHandle, PipelineSpec, Step, StepId};

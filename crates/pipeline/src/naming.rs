@@ -1,0 +1,222 @@
+//! Logical artifact naming.
+//!
+//! Each artifact's name encodes its backward star *recursively* using
+//! logical operators, task types, and configurations — but **not** physical
+//! implementations. Two tasks that apply the same logical operator with the
+//! same configuration to the same inputs therefore produce identically
+//! named outputs, which is how the augmenter discovers equivalences "for
+//! free" (paper §IV-C/§IV-D: "equivalent artifacts are immediately apparent
+//! thanks to our naming convention").
+//!
+//! Names are 64-bit FNV-1a hashes: stable across runs and processes
+//! (unlike `DefaultHasher`, which is randomly keyed).
+
+use hyppo_ml::{Config, LogicalOp, TaskType};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logical artifact name: a stable 64-bit hash of the artifact's
+/// recursive derivation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArtifactName(pub u64);
+
+impl fmt::Debug for ArtifactName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for ArtifactName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{:016x}", self.0)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over a byte slice, continuing from `state`.
+fn fnv_bytes(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Name of a raw dataset artifact held in storage.
+pub fn dataset_name(dataset_id: &str) -> ArtifactName {
+    let mut h = fnv_bytes(FNV_OFFSET, b"dataset:");
+    h = fnv_bytes(h, dataset_id.as_bytes());
+    ArtifactName(h)
+}
+
+/// Naming mode: whether physical implementations participate in names.
+///
+/// HYPPO names artifacts *logically* (implementation-blind), which is what
+/// makes equivalent artifacts collide by construction. The reuse baselines
+/// (Helix, Collab) hash the concrete operator implementations instead, so a
+/// `tf` scaler state and an `sklearn` scaler state are different artifacts
+/// to them — exactly the limitation the paper's §I highlights.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NamingMode {
+    /// Implementation-blind names (HYPPO).
+    Logical,
+    /// Implementation-aware names (reuse-only baselines).
+    Physical,
+}
+
+/// Name of output `output_index` of a task applying `(op, task, config)` to
+/// inputs with the given names.
+///
+/// Input order matters (a transform's state input is not interchangeable
+/// with its data input), physical implementation does not.
+pub fn output_name(
+    op: LogicalOp,
+    task: TaskType,
+    config: &Config,
+    inputs: &[ArtifactName],
+    output_index: usize,
+) -> ArtifactName {
+    output_name_mode(op, task, config, inputs, output_index, NamingMode::Logical, 0)
+}
+
+/// Mode-aware variant of [`output_name`]: in [`NamingMode::Physical`] the
+/// implementation index is folded into the hash.
+pub fn output_name_mode(
+    op: LogicalOp,
+    task: TaskType,
+    config: &Config,
+    inputs: &[ArtifactName],
+    output_index: usize,
+    mode: NamingMode,
+    impl_index: usize,
+) -> ArtifactName {
+    let mut h = fnv_bytes(FNV_OFFSET, op.name().as_bytes());
+    if mode == NamingMode::Physical {
+        h = fnv_bytes(h, b"@impl");
+        h = fnv_bytes(h, &(impl_index as u64).to_le_bytes());
+    }
+    h = fnv_bytes(h, b".");
+    h = fnv_bytes(h, task.name().as_bytes());
+    h = fnv_bytes(h, b"{");
+    h = fnv_bytes(h, config.canonical().as_bytes());
+    h = fnv_bytes(h, b"}(");
+    for input in inputs {
+        h = fnv_bytes(h, &input.0.to_le_bytes());
+        h = fnv_bytes(h, b",");
+    }
+    h = fnv_bytes(h, b")#");
+    h = fnv_bytes(h, &(output_index as u64).to_le_bytes());
+    ArtifactName(h)
+}
+
+/// Identity of a *task* (hyperedge) at the logical level: the name of its
+/// 0th output doubles as the task identity since a task is fully determined
+/// by `(op, task, config, inputs)`.
+pub fn task_identity(
+    op: LogicalOp,
+    task: TaskType,
+    config: &Config,
+    inputs: &[ArtifactName],
+) -> ArtifactName {
+    output_name(op, task, config, inputs, usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(alpha: f64) -> Config {
+        Config::new().with_f("alpha", alpha)
+    }
+
+    #[test]
+    fn dataset_names_distinguish_ids() {
+        assert_ne!(dataset_name("higgs"), dataset_name("taxi"));
+        assert_eq!(dataset_name("higgs"), dataset_name("higgs"));
+    }
+
+    #[test]
+    fn same_logical_task_same_name_regardless_of_impl() {
+        // The name has no impl parameter at all: equivalence by construction.
+        let input = dataset_name("higgs");
+        let a = output_name(LogicalOp::StandardScaler, TaskType::Fit, &cfg(1.0), &[input], 0);
+        let b = output_name(LogicalOp::StandardScaler, TaskType::Fit, &cfg(1.0), &[input], 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_changes_name() {
+        let input = dataset_name("higgs");
+        let a = output_name(LogicalOp::Ridge, TaskType::Fit, &cfg(75.0), &[input], 0);
+        let b = output_name(LogicalOp::Ridge, TaskType::Fit, &cfg(1.0), &[input], 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn operator_and_task_change_name() {
+        let input = dataset_name("higgs");
+        let a = output_name(LogicalOp::Ridge, TaskType::Fit, &cfg(1.0), &[input], 0);
+        let b = output_name(LogicalOp::Lasso, TaskType::Fit, &cfg(1.0), &[input], 0);
+        assert_ne!(a, b);
+        let c = output_name(LogicalOp::Ridge, TaskType::Predict, &cfg(1.0), &[input], 0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn input_order_matters() {
+        let x = dataset_name("x");
+        let y = dataset_name("y");
+        let cfg = Config::new();
+        let a = output_name(LogicalOp::StandardScaler, TaskType::Transform, &cfg, &[x, y], 0);
+        let b = output_name(LogicalOp::StandardScaler, TaskType::Transform, &cfg, &[y, x], 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn output_index_distinguishes_multi_output() {
+        let input = dataset_name("higgs");
+        let cfg = Config::new();
+        let train = output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg, &[input], 0);
+        let test = output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg, &[input], 1);
+        assert_ne!(train, test);
+    }
+
+    #[test]
+    fn names_are_recursive() {
+        // Changing an upstream config changes all downstream names.
+        let raw = dataset_name("higgs");
+        let cfg0 = Config::new().with_i("seed", 0);
+        let cfg1 = Config::new().with_i("seed", 1);
+        let empty = Config::new();
+        let train0 = output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg0, &[raw], 0);
+        let train1 = output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg1, &[raw], 0);
+        let s0 = output_name(LogicalOp::StandardScaler, TaskType::Fit, &empty, &[train0], 0);
+        let s1 = output_name(LogicalOp::StandardScaler, TaskType::Fit, &empty, &[train1], 0);
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn task_identity_differs_from_outputs() {
+        let input = dataset_name("higgs");
+        let cfg = Config::new();
+        let t = task_identity(LogicalOp::TrainTestSplit, TaskType::Split, &cfg, &[input]);
+        let o0 = output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg, &[input], 0);
+        assert_ne!(t, o0);
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        let n = dataset_name("x");
+        let s = n.to_string();
+        assert_eq!(s.len(), 17);
+        assert!(s.starts_with('a'));
+    }
+
+    #[test]
+    fn names_are_stable_across_processes() {
+        // Regression pin: FNV is unkeyed, so this value must never change.
+        assert_eq!(dataset_name("higgs").0, fnv_bytes(fnv_bytes(FNV_OFFSET, b"dataset:"), b"higgs"));
+    }
+}

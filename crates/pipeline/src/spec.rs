@@ -1,0 +1,332 @@
+//! The pipeline specification DSL.
+//!
+//! A [`PipelineSpec`] is what the paper's Python parser extracts from user
+//! code: an ordered list of steps, each a `(logical op, task type, physical
+//! impl, config)` application to earlier steps' outputs. The builder
+//! methods mirror the sklearn-style code of the paper's Figure 1(a).
+
+use crate::naming::{self, ArtifactName};
+use hyppo_ml::{Config, LogicalOp, TaskType};
+use serde::{Deserialize, Serialize};
+
+/// Index of a step within its spec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StepId(pub usize);
+
+/// A reference to one output of a step (steps can be multi-output).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArtifactHandle {
+    /// Producing step.
+    pub step: StepId,
+    /// Output position within the step.
+    pub output: usize,
+}
+
+/// One task application.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Step {
+    /// Logical operator.
+    pub op: LogicalOp,
+    /// Task type.
+    pub task: TaskType,
+    /// Physical implementation chosen in the user code.
+    pub impl_index: usize,
+    /// Operator configuration.
+    pub config: Config,
+    /// Inputs: outputs of earlier steps.
+    pub inputs: Vec<ArtifactHandle>,
+    /// For load steps: the dataset id.
+    pub dataset: Option<String>,
+}
+
+impl Step {
+    /// Number of artifacts this step produces.
+    pub fn n_outputs(&self) -> usize {
+        match self.task {
+            TaskType::Split => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// A complete pipeline specification.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Ordered steps; inputs always reference earlier steps.
+    pub steps: Vec<Step>,
+}
+
+impl PipelineSpec {
+    /// An empty spec.
+    pub fn new() -> Self {
+        PipelineSpec::default()
+    }
+
+    fn push(&mut self, step: Step) -> StepId {
+        for input in &step.inputs {
+            assert!(
+                input.step.0 < self.steps.len(),
+                "step input must reference an earlier step"
+            );
+            assert!(
+                input.output < self.steps[input.step.0].n_outputs(),
+                "step input references a nonexistent output"
+            );
+        }
+        self.steps.push(step);
+        StepId(self.steps.len() - 1)
+    }
+
+    /// Load a raw dataset from storage.
+    pub fn load(&mut self, dataset_id: &str) -> ArtifactHandle {
+        let id = self.push(Step {
+            op: LogicalOp::LoadDataset,
+            task: TaskType::Load,
+            impl_index: 0,
+            config: Config::new(),
+            inputs: vec![],
+            dataset: Some(dataset_id.to_string()),
+        });
+        ArtifactHandle { step: id, output: 0 }
+    }
+
+    /// Train/test split; returns `(train, test)` handles.
+    pub fn split(&mut self, data: ArtifactHandle, config: Config) -> (ArtifactHandle, ArtifactHandle) {
+        let id = self.push(Step {
+            op: LogicalOp::TrainTestSplit,
+            task: TaskType::Split,
+            impl_index: 0,
+            config,
+            inputs: vec![data],
+            dataset: None,
+        });
+        (ArtifactHandle { step: id, output: 0 }, ArtifactHandle { step: id, output: 1 })
+    }
+
+    /// Fit task over the given inputs (training data last for ensembles).
+    pub fn fit(
+        &mut self,
+        op: LogicalOp,
+        impl_index: usize,
+        config: Config,
+        inputs: &[ArtifactHandle],
+    ) -> ArtifactHandle {
+        let id = self.push(Step {
+            op,
+            task: TaskType::Fit,
+            impl_index,
+            config,
+            inputs: inputs.to_vec(),
+            dataset: None,
+        });
+        ArtifactHandle { step: id, output: 0 }
+    }
+
+    /// Transform with a fitted state: inputs `(state, data)`.
+    pub fn transform(
+        &mut self,
+        op: LogicalOp,
+        impl_index: usize,
+        config: Config,
+        state: ArtifactHandle,
+        data: ArtifactHandle,
+    ) -> ArtifactHandle {
+        let id = self.push(Step {
+            op,
+            task: TaskType::Transform,
+            impl_index,
+            config,
+            inputs: vec![state, data],
+            dataset: None,
+        });
+        ArtifactHandle { step: id, output: 0 }
+    }
+
+    /// Stateless transform: input `(data)`.
+    pub fn transform_stateless(
+        &mut self,
+        op: LogicalOp,
+        config: Config,
+        data: ArtifactHandle,
+    ) -> ArtifactHandle {
+        let id = self.push(Step {
+            op,
+            task: TaskType::Transform,
+            impl_index: 0,
+            config,
+            inputs: vec![data],
+            dataset: None,
+        });
+        ArtifactHandle { step: id, output: 0 }
+    }
+
+    /// Predict with a fitted model: inputs `(state, data)`.
+    pub fn predict(
+        &mut self,
+        op: LogicalOp,
+        impl_index: usize,
+        config: Config,
+        model: ArtifactHandle,
+        data: ArtifactHandle,
+    ) -> ArtifactHandle {
+        let id = self.push(Step {
+            op,
+            task: TaskType::Predict,
+            impl_index,
+            config,
+            inputs: vec![model, data],
+            dataset: None,
+        });
+        ArtifactHandle { step: id, output: 0 }
+    }
+
+    /// Evaluate predictions against a dataset's ground truth.
+    pub fn evaluate(
+        &mut self,
+        op: LogicalOp,
+        predictions: ArtifactHandle,
+        truth: ArtifactHandle,
+    ) -> ArtifactHandle {
+        let id = self.push(Step {
+            op,
+            task: TaskType::Evaluate,
+            impl_index: 0,
+            config: Config::new(),
+            inputs: vec![predictions, truth],
+            dataset: None,
+        });
+        ArtifactHandle { step: id, output: 0 }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the spec has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Logical names of every step output, computed recursively. Index by
+    /// `[step][output]`.
+    pub fn output_names(&self) -> Vec<Vec<ArtifactName>> {
+        self.output_names_mode(naming::NamingMode::Logical)
+    }
+
+    /// Mode-aware output names ([`naming::NamingMode::Physical`] folds the
+    /// implementation index into every name — the baselines' view).
+    pub fn output_names_mode(&self, mode: naming::NamingMode) -> Vec<Vec<ArtifactName>> {
+        let mut names: Vec<Vec<ArtifactName>> = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            let input_names: Vec<ArtifactName> = step
+                .inputs
+                .iter()
+                .map(|h| names[h.step.0][h.output])
+                .collect();
+            let outs = match (&step.dataset, step.task) {
+                (Some(id), TaskType::Load) => vec![naming::dataset_name(id)],
+                _ => (0..step.n_outputs())
+                    .map(|i| {
+                        naming::output_name_mode(
+                            step.op,
+                            step.task,
+                            &step.config,
+                            &input_names,
+                            i,
+                            mode,
+                            step.impl_index,
+                        )
+                    })
+                    .collect(),
+            };
+            names.push(outs);
+        }
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1(a) pipeline.
+    pub fn figure1_spec() -> PipelineSpec {
+        let mut spec = PipelineSpec::new();
+        let data = spec.load("higgs");
+        let (train, test) = spec.split(data, Config::new().with_i("seed", 0));
+        let scaler = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+        let test_s =
+            spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
+        let model = spec.fit(LogicalOp::RandomForest, 0, Config::new(), &[train]);
+        let _p_train = spec.predict(LogicalOp::RandomForest, 0, Config::new(), model, train);
+        let _p_test = spec.predict(LogicalOp::RandomForest, 0, Config::new(), model, test_s);
+        spec
+    }
+
+    #[test]
+    fn figure1_has_seven_steps() {
+        let spec = figure1_spec();
+        assert_eq!(spec.len(), 7);
+        assert!(!spec.is_empty());
+    }
+
+    #[test]
+    fn split_produces_two_outputs() {
+        let spec = figure1_spec();
+        assert_eq!(spec.steps[1].n_outputs(), 2);
+        assert_eq!(spec.steps[0].n_outputs(), 1);
+    }
+
+    #[test]
+    fn output_names_respect_structure() {
+        let spec = figure1_spec();
+        let names = spec.output_names();
+        assert_eq!(names.len(), 7);
+        assert_eq!(names[1].len(), 2);
+        assert_ne!(names[1][0], names[1][1], "train and test differ");
+    }
+
+    #[test]
+    fn identical_specs_have_identical_names() {
+        let a = figure1_spec().output_names();
+        let b = figure1_spec().output_names();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn impl_choice_does_not_change_names() {
+        let mut spec_a = PipelineSpec::new();
+        let d = spec_a.load("higgs");
+        spec_a.fit(LogicalOp::StandardScaler, 0, Config::new(), &[d]);
+        let mut spec_b = PipelineSpec::new();
+        let d = spec_b.load("higgs");
+        spec_b.fit(LogicalOp::StandardScaler, 1, Config::new(), &[d]);
+        assert_eq!(spec_a.output_names(), spec_b.output_names());
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier step")]
+    fn forward_references_rejected() {
+        let mut spec = PipelineSpec::new();
+        let bogus = ArtifactHandle { step: StepId(5), output: 0 };
+        spec.fit(LogicalOp::Ridge, 0, Config::new(), &[bogus]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent output")]
+    fn invalid_output_index_rejected() {
+        let mut spec = PipelineSpec::new();
+        let d = spec.load("higgs");
+        let bogus = ArtifactHandle { step: d.step, output: 3 };
+        spec.fit(LogicalOp::Ridge, 0, Config::new(), &[bogus]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = figure1_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: PipelineSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

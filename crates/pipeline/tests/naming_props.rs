@@ -1,0 +1,92 @@
+//! Property-based tests of the logical naming convention — the mechanism
+//! that makes equivalence discovery "free" in HYPPO.
+
+use hyppo_ml::{Config, LogicalOp};
+use hyppo_pipeline::{build_pipeline_mode, NamingMode, PipelineSpec};
+use proptest::prelude::*;
+
+/// A random linear preprocessing pipeline over a fixed dataset: a chain of
+/// fitted scalers/imputers, each with a per-step implementation choice.
+fn arb_chain() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    // (operator pick, impl pick) per step
+    proptest::collection::vec((0usize..4, 0usize..2), 1..6)
+}
+
+const OPS: [LogicalOp; 4] = [
+    LogicalOp::StandardScaler,
+    LogicalOp::MinMaxScaler,
+    LogicalOp::ImputerMean,
+    LogicalOp::ImputerMedian,
+];
+
+fn build_spec(chain: &[(usize, usize)], impl_override: Option<usize>) -> PipelineSpec {
+    let mut spec = PipelineSpec::new();
+    let data = spec.load("d");
+    let (mut train, _test) = spec.split(data, Config::new().with_i("seed", 1));
+    for &(op_pick, impl_pick) in chain {
+        let op = OPS[op_pick];
+        let imp = impl_override.unwrap_or(impl_pick) % op.impls().len();
+        let state = spec.fit(op, imp, Config::new(), &[train]);
+        train = spec.transform(op, imp, Config::new(), state, train);
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn logical_names_are_impl_invariant(chain in arb_chain()) {
+        let all_zero = build_spec(&chain, Some(0));
+        let all_one = build_spec(&chain, Some(1));
+        prop_assert_eq!(
+            all_zero.output_names(),
+            all_one.output_names(),
+            "implementation choice must not affect logical names"
+        );
+    }
+
+    #[test]
+    fn physical_names_distinguish_impl_chains(chain in arb_chain()) {
+        let all_zero = build_spec(&chain, Some(0));
+        let all_one = build_spec(&chain, Some(1));
+        // Load/split prefix is impl-free; fitted steps must differ whenever
+        // the chosen op actually has two impls (all of OPS do).
+        let a = all_zero.output_names_mode(NamingMode::Physical);
+        let b = all_one.output_names_mode(NamingMode::Physical);
+        prop_assert_ne!(a.last(), b.last(), "physical names must expose impl choices");
+    }
+
+    #[test]
+    fn names_are_injective_over_structure(chain in arb_chain()) {
+        // Distinct steps of one spec never collide unless they are the
+        // same logical computation.
+        let spec = build_spec(&chain, Some(0));
+        let names = spec.output_names();
+        let flat: Vec<_> = names.iter().flatten().collect();
+        let mut sorted = flat.clone();
+        sorted.sort();
+        sorted.dedup();
+        // Chains never repeat a computation (each fit consumes the running
+        // train artifact), so all names are distinct.
+        prop_assert_eq!(sorted.len(), flat.len());
+    }
+
+    #[test]
+    fn hypergraphs_merge_exactly_under_logical_naming(chain in arb_chain()) {
+        // Building the same spec twice into hypergraphs yields identical
+        // structure (names are stable), and the logical graph never has
+        // more nodes than the physical one.
+        let logical = build_pipeline_mode(build_spec(&chain, None), NamingMode::Logical);
+        let physical = build_pipeline_mode(build_spec(&chain, None), NamingMode::Physical);
+        prop_assert!(logical.graph.node_count() <= physical.graph.node_count());
+        prop_assert_eq!(logical.targets.len(), physical.targets.len());
+        // Both remain executable.
+        prop_assert!(hyppo_hypergraph::is_b_connected(
+            &logical.graph, &[logical.source], &logical.targets
+        ));
+        prop_assert!(hyppo_hypergraph::is_b_connected(
+            &physical.graph, &[physical.source], &physical.targets
+        ));
+    }
+}

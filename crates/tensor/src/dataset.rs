@@ -1,0 +1,140 @@
+//! The `Dataset` artifact: features, target, names, task kind.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Learning-task kind carried by a dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Binary classification (labels in {0, 1}), the HIGGS use case.
+    Classification,
+    /// Real-valued regression, the TAXI use case.
+    Regression,
+}
+
+/// A supervised-learning dataset: an `n × d` feature matrix, an `n`-vector
+/// target, feature names, and the task kind.
+///
+/// Missing feature values are `NaN` in the matrix; imputation operators
+/// clear them. This is the payload behind the paper's `train`/`test`
+/// artifact types.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature matrix, one row per example.
+    pub x: Matrix,
+    /// Target vector, one entry per example.
+    pub y: Vec<f64>,
+    /// Feature names (len == x.cols()).
+    pub feature_names: Vec<String>,
+    /// Task kind.
+    pub task: TaskKind,
+}
+
+impl Dataset {
+    /// Build a dataset, checking shape consistency.
+    pub fn new(x: Matrix, y: Vec<f64>, feature_names: Vec<String>, task: TaskKind) -> Self {
+        assert_eq!(x.rows(), y.len(), "target length must equal row count");
+        assert_eq!(x.cols(), feature_names.len(), "one name per feature");
+        Dataset { x, y, feature_names, task }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// In-memory payload size in bytes (matrix + target + names).
+    pub fn size_bytes(&self) -> usize {
+        self.x.size_bytes()
+            + self.y.len() * std::mem::size_of::<f64>()
+            + self.feature_names.iter().map(|s| s.len()).sum::<usize>()
+    }
+
+    /// A dataset with the same target but a replaced feature matrix (used by
+    /// transform tasks; names are regenerated when the width changes).
+    pub fn with_features(&self, x: Matrix, names: Option<Vec<String>>) -> Dataset {
+        let feature_names = match names {
+            Some(n) => n,
+            None if x.cols() == self.feature_names.len() => self.feature_names.clone(),
+            None => (0..x.cols()).map(|i| format!("f{i}")).collect(),
+        };
+        Dataset::new(x, self.y.clone(), feature_names, self.task)
+    }
+
+    /// Select a subset of rows into a new dataset.
+    pub fn select_rows(&self, idx: &[usize]) -> Dataset {
+        let x = self.x.select_rows(idx);
+        let y = idx.iter().map(|&i| self.y[i]).collect();
+        Dataset::new(x, y, self.feature_names.clone(), self.task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]),
+            vec![0.0, 1.0, 0.0],
+            vec!["a".into(), "b".into()],
+            TaskKind::Classification,
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = ds();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.task, TaskKind::Classification);
+    }
+
+    #[test]
+    fn size_accounts_for_all_parts() {
+        let d = ds();
+        assert_eq!(d.size_bytes(), 6 * 8 + 3 * 8 + 2);
+    }
+
+    #[test]
+    fn with_features_same_width_keeps_names() {
+        let d = ds();
+        let d2 = d.with_features(Matrix::zeros(3, 2), None);
+        assert_eq!(d2.feature_names, d.feature_names);
+        assert_eq!(d2.y, d.y);
+    }
+
+    #[test]
+    fn with_features_new_width_regenerates_names() {
+        let d = ds();
+        let d2 = d.with_features(Matrix::zeros(3, 5), None);
+        assert_eq!(d2.feature_names.len(), 5);
+        assert_eq!(d2.feature_names[4], "f4");
+    }
+
+    #[test]
+    fn select_rows_takes_matching_targets() {
+        let d = ds();
+        let sub = d.select_rows(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.y, vec![0.0, 0.0]);
+        assert_eq!(sub.x.row(0), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target length")]
+    fn mismatched_target_rejected() {
+        Dataset::new(Matrix::zeros(2, 1), vec![0.0], vec!["a".into()], TaskKind::Regression);
+    }
+}

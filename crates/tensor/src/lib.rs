@@ -1,0 +1,23 @@
+//! Dense numeric substrate for HYPPO's ML operators.
+//!
+//! The HYPPO paper runs its pipelines on the Python data ecosystem (NumPy
+//! arrays, DataFrames). This crate is the Rust stand-in: a row-major dense
+//! [`Matrix`], the handful of linear-algebra kernels the ML operators need
+//! (Cholesky, symmetric eigendecomposition, orthogonal/power iteration),
+//! streaming statistics, seeded random generation, and the [`Dataset`]
+//! artifact type (features + target + missing-value mask).
+//!
+//! Everything is implemented from scratch on `f64`; no BLAS. The kernels are
+//! deliberately simple but cache-aware (row-major traversal), since
+//! physical-operator *cost asymmetry* is what HYPPO's equivalence
+//! optimization exploits and we want those costs to be real.
+
+pub mod dataset;
+pub mod linalg;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+
+pub use dataset::{Dataset, TaskKind};
+pub use matrix::Matrix;
+pub use rng::SeededRng;

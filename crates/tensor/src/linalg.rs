@@ -1,0 +1,288 @@
+//! Linear-algebra kernels used by the ML operators.
+//!
+//! Only what the operators need, implemented from scratch:
+//! - [`cholesky_solve`] — SPD solve for normal-equation / ridge regression;
+//! - [`jacobi_eigen`] — full symmetric eigendecomposition, the *exact* (and
+//!   expensive) kernel behind the "sklearn-style" PCA physical operator;
+//! - [`orthogonal_iteration`] — top-k eigenvectors via subspace iteration,
+//!   the *randomized/low-rank* (cheap) kernel behind the "torch
+//!   `pca_lowrank`-style" PCA physical operator.
+//!
+//! The exact/approximate pair is deliberately asymmetric in cost: that
+//! asymmetry is what makes HYPPO's operator-equivalence optimization win.
+
+use crate::matrix::{dot, Matrix};
+
+/// Error raised by numeric kernels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not (numerically) positive definite.
+    NotPositiveDefinite,
+    /// Iterative method failed to converge within its iteration budget.
+    NoConvergence,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::NoConvergence => write!(f, "iteration failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    assert_eq!(a.rows(), a.cols(), "cholesky requires a square matrix");
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `A x = b` for symmetric positive-definite `A` via Cholesky.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let l = cholesky(a)?;
+    let n = l.rows();
+    assert_eq!(b.len(), n);
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l.get(i, k) * y[k];
+        }
+        y[i] = sum / l.get(i, i);
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l.get(k, i) * x[k];
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    Ok(x)
+}
+
+/// Full eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted descending
+/// and eigenvectors as the *columns* of the returned matrix.
+pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize) -> Result<(Vec<f64>, Matrix), LinalgError> {
+    let n = a.rows();
+    assert_eq!(a.rows(), a.cols(), "eigendecomposition requires a square matrix");
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m.get(i, j) * m.get(i, j);
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            let mut pairs: Vec<(f64, usize)> =
+                (0..n).map(|i| (m.get(i, i), i)).collect();
+            pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("eigenvalues are finite"));
+            let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let order: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+            let vectors = v.select_cols(&order);
+            return Ok((values, vectors));
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Standard Jacobi rotation angle: tan(2θ) = 2 a_pq / (a_pp - a_qq).
+                let phi = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let (s, c) = phi.sin_cos();
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp + s * mkq);
+                    m.set(k, q, -s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk + s * mqk);
+                    m.set(q, k, -s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp + s * vkq);
+                    v.set(k, q, -s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence)
+}
+
+/// Top-`k` eigenpairs of a symmetric PSD matrix via orthogonal (subspace)
+/// iteration with Gram–Schmidt re-orthogonalization.
+///
+/// Much cheaper than [`jacobi_eigen`] when `k ≪ n`. `seed_basis` supplies the
+/// (random) starting basis as an `n × k` matrix.
+pub fn orthogonal_iteration(
+    a: &Matrix,
+    seed_basis: Matrix,
+    iters: usize,
+) -> (Vec<f64>, Matrix) {
+    let n = a.rows();
+    let k = seed_basis.cols();
+    assert_eq!(seed_basis.rows(), n, "basis rows must match matrix size");
+    let mut q = seed_basis;
+    gram_schmidt(&mut q);
+    for _ in 0..iters {
+        q = a.matmul(&q);
+        gram_schmidt(&mut q);
+    }
+    // Rayleigh quotients as eigenvalue estimates.
+    let aq = a.matmul(&q);
+    let mut values = Vec::with_capacity(k);
+    for j in 0..k {
+        let qj = q.col(j);
+        let aqj = aq.col(j);
+        values.push(dot(&qj, &aqj));
+    }
+    // Sort descending by eigenvalue estimate.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&i, &j| values[j].partial_cmp(&values[i]).expect("finite values"));
+    let sorted_values: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+    let sorted_vectors = q.select_cols(&order);
+    (sorted_values, sorted_vectors)
+}
+
+/// In-place modified Gram–Schmidt on the columns of `q`.
+fn gram_schmidt(q: &mut Matrix) {
+    let (n, k) = q.shape();
+    for j in 0..k {
+        for prev in 0..j {
+            let proj: f64 = (0..n).map(|i| q.get(i, j) * q.get(i, prev)).sum();
+            for i in 0..n {
+                let v = q.get(i, j) - proj * q.get(i, prev);
+                q.set(i, j, v);
+            }
+        }
+        let norm: f64 = (0..n).map(|i| q.get(i, j) * q.get(i, j)).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for i in 0..n {
+                let v = q.get(i, j) / norm;
+                q.set(i, j, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]])
+    }
+
+    #[test]
+    fn cholesky_reconstructs_input() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let recon = l.matmul(&l.transpose());
+        assert!(a.distance(&recon) < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_solve_solves() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = cholesky_solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!(approx(*xi, *ti, 1e-9));
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(cholesky(&a).unwrap_err(), LinalgError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn jacobi_finds_known_eigenvalues() {
+        // diag(5, 2) rotated: eigenvalues stay {5, 2}.
+        let a = Matrix::from_rows(&[&[3.5, 1.5], &[1.5, 3.5]]);
+        let (values, vectors) = jacobi_eigen(&a, 50).unwrap();
+        assert!(approx(values[0], 5.0, 1e-9));
+        assert!(approx(values[1], 2.0, 1e-9));
+        // A v = λ v for the top eigenvector.
+        let v0 = vectors.col(0);
+        let av0 = a.matvec(&v0);
+        for (avi, vi) in av0.iter().zip(&v0) {
+            assert!(approx(*avi, 5.0 * vi, 1e-8));
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_are_orthonormal() {
+        let a = spd3();
+        let (_, v) = jacobi_eigen(&a, 100).unwrap();
+        let vtv = v.transpose().matmul(&v);
+        assert!(vtv.distance(&Matrix::identity(3)) < 1e-8);
+    }
+
+    #[test]
+    fn orthogonal_iteration_matches_jacobi_top_eigenpair() {
+        let a = spd3();
+        let (exact, _) = jacobi_eigen(&a, 100).unwrap();
+        let seed = Matrix::from_rows(&[&[1.0, 0.3], &[0.2, 1.0], &[0.4, -0.2]]);
+        let (approx_vals, vectors) = orthogonal_iteration(&a, seed, 200);
+        assert!(approx(approx_vals[0], exact[0], 1e-6));
+        assert!(approx(approx_vals[1], exact[1], 1e-6));
+        // Columns orthonormal.
+        let vtv = vectors.transpose().matmul(&vectors);
+        assert!(vtv.distance(&Matrix::identity(2)) < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_on_diagonal_is_immediate() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 7.0]]);
+        let (values, _) = jacobi_eigen(&a, 5).unwrap();
+        assert_eq!(values, vec![7.0, 2.0]);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(LinalgError::NoConvergence.to_string().contains("converge"));
+        assert!(LinalgError::NotPositiveDefinite.to_string().contains("positive"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Row-major dense `f64` matrix.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major matrix of `f64`.
+///
+/// This is the artifact payload type for all `data`-kind artifacts in the
+/// reproduction (the paper's DataFrame/ndarray stand-in). Missing values are
+/// represented as `NaN` (the imputation operators understand this).
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from row slices.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows are not allowed");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat row-major mutable view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// In-memory payload size in bytes (used for artifact sizing and the
+    /// storage budget accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Straightforward i-k-j loop order (row-major friendly: the inner loop
+    /// streams both `other`'s row and the output row).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must match");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                let o_row = out.row_mut(i);
+                for (j, &bkj) in b_row.iter().enumerate() {
+                    o_row[j] += aik * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "vector length must equal cols");
+        self.rows_iter().map(|row| dot(row, x)).collect()
+    }
+
+    /// Gram matrix `selfᵀ * self` (symmetric), computed in one pass over the
+    /// rows — the core kernel of covariance-based PCA and normal equations.
+    pub fn gram(&self) -> Matrix {
+        let d = self.cols;
+        let mut out = Matrix::zeros(d, d);
+        for row in self.rows_iter() {
+            for i in 0..d {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                let o = out.row_mut(i);
+                for (j, &rj) in row.iter().enumerate().skip(i) {
+                    o[j] += ri * rj;
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..d {
+            for j in 0..i {
+                let v = out.get(j, i);
+                out.set(i, j, v);
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * y` for a target vector — right-hand side of normal equations.
+    pub fn t_matvec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, y.len());
+        let mut out = vec![0.0; self.cols];
+        for (row, &yi) in self.rows_iter().zip(y) {
+            if yi == 0.0 {
+                continue;
+            }
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x * yi;
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Select a subset of rows (by index) into a new matrix.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(idx.len() * self.cols);
+        for &r in idx {
+            data.extend_from_slice(self.row(r));
+        }
+        Matrix { rows: idx.len(), cols: self.cols, data }
+    }
+
+    /// Select a subset of columns (by index) into a new matrix.
+    pub fn select_cols(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, idx.len());
+        for r in 0..self.rows {
+            let src = self.row(r);
+            let dst = out.row_mut(r);
+            for (j, &c) in idx.iter().enumerate() {
+                dst[j] = src[c];
+            }
+        }
+        out
+    }
+
+    /// Horizontally concatenate `self | other`.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row counts must match for hstack");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            let dst = out.row_mut(r);
+            dst[..self.cols].copy_from_slice(self.row(r));
+            dst[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Vertically concatenate `self` on top of `other`.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "col counts must match for vstack");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Frobenius-norm distance to another matrix of the same shape.
+    pub fn distance(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Whether any element is NaN (a missing value).
+    pub fn has_missing(&self) -> bool {
+        self.data.iter().any(|v| v.is_nan())
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 36 {
+            for row in self.rows_iter() {
+                write!(f, "\n  {row:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn gram_matches_explicit_transpose_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let expected = a.transpose().matmul(&a);
+        let g = a.gram();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx(g.get(i, j), expected.get(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn t_matvec_matches_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let y = [1.0, 0.5, 2.0];
+        let expected = a.transpose().matvec(&y);
+        assert_eq!(a.t_matvec(&y), expected);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        assert_eq!(a.select_rows(&[2, 0]), Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]]));
+        assert_eq!(a.select_cols(&[1]), Matrix::from_rows(&[&[2.0], &[5.0], &[8.0]]));
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        assert_eq!(a.hstack(&b), Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
+        assert_eq!(
+            a.vstack(&b),
+            Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]])
+        );
+    }
+
+    #[test]
+    fn size_and_missing() {
+        let mut a = Matrix::zeros(2, 2);
+        assert_eq!(a.size_bytes(), 32);
+        assert!(!a.has_missing());
+        a.set(0, 1, f64::NAN);
+        assert!(a.has_missing());
+    }
+
+    #[test]
+    fn distance_is_frobenius() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::filled(2, 2, 1.0);
+        assert!(approx(a.distance(&b), 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0]]);
+        assert_eq!(a.map(f64::abs), Matrix::from_rows(&[&[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.5, 2.5]]);
+        let s = serde_json::to_string(&a).unwrap();
+        let b: Matrix = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,164 @@
+//! Seeded random generation helpers.
+//!
+//! All workload generation in the reproduction is deterministic given a
+//! seed, so every experiment is replayable. `rand` 0.8 ships only uniform
+//! sampling; the normal variates used by the dataset generators come from a
+//! Box–Muller transform implemented here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded RNG with the sampling helpers the workload generators need.
+#[derive(Debug)]
+pub struct SeededRng {
+    inner: StdRng,
+    /// Cached second Box–Muller variate.
+    spare_normal: Option<f64>,
+}
+
+impl SeededRng {
+    /// Deterministic RNG from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Derive an independent child RNG (stable given the parent's state).
+    pub fn fork(&mut self) -> SeededRng {
+        SeededRng::new(self.inner.next_u64())
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Standard normal variate via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid u1 == 0 so ln() is finite.
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.normal()
+    }
+
+    /// Sample an index according to (unnormalized, non-negative) weights.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must have positive sum");
+        let mut x = self.uniform(0.0, total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle of indices `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.inner.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx
+    }
+
+    /// Raw access to the underlying RNG.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let sa: Vec<f64> = (0..10).map(|_| a.uniform(0.0, 1.0)).collect();
+        let sb: Vec<f64> = (0..10).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SeededRng::new(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SeededRng::new(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..9_000 {
+            counts[rng.weighted_index(&[1.0, 0.0, 2.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0]);
+        // Roughly 1:2 split.
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((1.5..2.7).contains(&ratio), "ratio {ratio} not ~2");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = SeededRng::new(9);
+        let mut p = rng.permutation(50);
+        p.sort_unstable();
+        assert_eq!(p, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_produces_independent_deterministic_children() {
+        let mut a = SeededRng::new(11);
+        let mut b = SeededRng::new(11);
+        let mut ca = a.fork();
+        let mut cb = b.fork();
+        assert_eq!(ca.uniform(0.0, 1.0), cb.uniform(0.0, 1.0));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SeededRng::new(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

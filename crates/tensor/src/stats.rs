@@ -1,0 +1,190 @@
+//! Column statistics: two-pass and streaming (Welford) variants.
+//!
+//! Both variants exist on purpose: the StandardScaler logical operator has
+//! two equivalent physical implementations in the reproduction — a two-pass
+//! "sklearn-style" one and a single-pass Welford "TF-style" one — mirroring
+//! the paper's cross-framework operator equivalences (§III-C2). They produce
+//! equal results (up to float round-off) at different costs.
+
+use crate::matrix::Matrix;
+
+/// Per-column mean and (population) standard deviation, two-pass, skipping
+/// NaN (missing) entries.
+pub fn column_mean_std_two_pass(m: &Matrix) -> (Vec<f64>, Vec<f64>) {
+    let d = m.cols();
+    let mut mean = vec![0.0; d];
+    let mut count = vec![0usize; d];
+    for row in m.rows_iter() {
+        for (j, &v) in row.iter().enumerate() {
+            if !v.is_nan() {
+                mean[j] += v;
+                count[j] += 1;
+            }
+        }
+    }
+    for j in 0..d {
+        mean[j] /= count[j].max(1) as f64;
+    }
+    let mut var = vec![0.0; d];
+    for row in m.rows_iter() {
+        for (j, &v) in row.iter().enumerate() {
+            if !v.is_nan() {
+                let dlt = v - mean[j];
+                var[j] += dlt * dlt;
+            }
+        }
+    }
+    let std: Vec<f64> = var
+        .iter()
+        .zip(&count)
+        .map(|(&s, &n)| if n > 0 { (s / n as f64).sqrt() } else { 0.0 })
+        .collect();
+    (mean, std)
+}
+
+/// Per-column mean and (population) standard deviation in a single pass
+/// using Welford's algorithm, skipping NaN entries.
+pub fn column_mean_std_welford(m: &Matrix) -> (Vec<f64>, Vec<f64>) {
+    let d = m.cols();
+    let mut mean = vec![0.0; d];
+    let mut m2 = vec![0.0; d];
+    let mut count = vec![0usize; d];
+    for row in m.rows_iter() {
+        for (j, &v) in row.iter().enumerate() {
+            if v.is_nan() {
+                continue;
+            }
+            count[j] += 1;
+            let delta = v - mean[j];
+            mean[j] += delta / count[j] as f64;
+            m2[j] += delta * (v - mean[j]);
+        }
+    }
+    let std: Vec<f64> = m2
+        .iter()
+        .zip(&count)
+        .map(|(&s, &n)| if n > 0 { (s / n as f64).sqrt() } else { 0.0 })
+        .collect();
+    (mean, std)
+}
+
+/// Per-column minimum and maximum, skipping NaN entries.
+pub fn column_min_max(m: &Matrix) -> (Vec<f64>, Vec<f64>) {
+    let d = m.cols();
+    let mut min = vec![f64::INFINITY; d];
+    let mut max = vec![f64::NEG_INFINITY; d];
+    for row in m.rows_iter() {
+        for (j, &v) in row.iter().enumerate() {
+            if v.is_nan() {
+                continue;
+            }
+            min[j] = min[j].min(v);
+            max[j] = max[j].max(v);
+        }
+    }
+    (min, max)
+}
+
+/// Per-column median (by sorting a copy), skipping NaN entries.
+pub fn column_median(m: &Matrix) -> Vec<f64> {
+    let d = m.cols();
+    let mut out = Vec::with_capacity(d);
+    for j in 0..d {
+        let mut col: Vec<f64> = m.col(j).into_iter().filter(|v| !v.is_nan()).collect();
+        if col.is_empty() {
+            out.push(0.0);
+            continue;
+        }
+        col.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        let n = col.len();
+        out.push(if n % 2 == 1 { col[n / 2] } else { 0.5 * (col[n / 2 - 1] + col[n / 2]) });
+    }
+    out
+}
+
+/// Per-column quantile `q ∈ [0, 1]` (nearest-rank on a sorted copy),
+/// skipping NaN entries.
+pub fn column_quantile(m: &Matrix, q: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    let d = m.cols();
+    let mut out = Vec::with_capacity(d);
+    for j in 0..d {
+        let mut col: Vec<f64> = m.col(j).into_iter().filter(|v| !v.is_nan()).collect();
+        if col.is_empty() {
+            out.push(0.0);
+            continue;
+        }
+        col.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        let idx = ((col.len() - 1) as f64 * q).round() as usize;
+        out.push(col[idx]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0], &[4.0, 40.0]])
+    }
+
+    #[test]
+    fn two_pass_known_values() {
+        let (mean, std) = column_mean_std_two_pass(&sample());
+        assert_eq!(mean, vec![2.5, 25.0]);
+        assert!((std[0] - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let m = sample();
+        let (m1, s1) = column_mean_std_two_pass(&m);
+        let (m2, s2) = column_mean_std_welford(&m);
+        for j in 0..2 {
+            assert!((m1[j] - m2[j]).abs() < 1e-12);
+            assert!((s1[j] - s2[j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nan_entries_are_skipped() {
+        let m = Matrix::from_rows(&[&[1.0], &[f64::NAN], &[3.0]]);
+        let (mean, _) = column_mean_std_two_pass(&m);
+        assert_eq!(mean, vec![2.0]);
+        let (mean_w, _) = column_mean_std_welford(&m);
+        assert_eq!(mean_w, vec![2.0]);
+        let (min, max) = column_min_max(&m);
+        assert_eq!((min[0], max[0]), (1.0, 3.0));
+        assert_eq!(column_median(&m), vec![2.0]);
+    }
+
+    #[test]
+    fn min_max_known() {
+        let (min, max) = column_min_max(&sample());
+        assert_eq!(min, vec![1.0, 10.0]);
+        assert_eq!(max, vec![4.0, 40.0]);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(column_median(&sample()), vec![2.5, 25.0]);
+        let odd = Matrix::from_rows(&[&[1.0], &[2.0], &[9.0]]);
+        assert_eq!(column_median(&odd), vec![2.0]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let m = sample();
+        assert_eq!(column_quantile(&m, 0.0), vec![1.0, 10.0]);
+        assert_eq!(column_quantile(&m, 1.0), vec![4.0, 40.0]);
+    }
+
+    #[test]
+    fn all_nan_column_defaults_to_zero() {
+        let m = Matrix::from_rows(&[&[f64::NAN], &[f64::NAN]]);
+        let (mean, std) = column_mean_std_welford(&m);
+        assert_eq!((mean[0], std[0]), (0.0, 0.0));
+        assert_eq!(column_median(&m), vec![0.0]);
+    }
+}

@@ -1,0 +1,402 @@
+//! The iterative pipeline-sequence generator (paper §V-A-b).
+//!
+//! A sequence starts from a sensible base pipeline for the use case and
+//! mutates it step by step, the way an ML engineer iterates: mostly model
+//! and hyperparameter changes (the developer survey the paper cites found
+//! most changes happen *after* the preprocessing stage), occasionally a
+//! physical-implementation swap (a user moving a step to another
+//! framework — the source of cross-pipeline equivalences), and sometimes a
+//! preprocessing change. Everything is seeded and replayable.
+
+use hyppo_ml::{Config, LogicalOp};
+use hyppo_pipeline::{ArtifactHandle, PipelineSpec};
+use hyppo_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// The evaluation use case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UseCase {
+    /// HIGGS: binary classification, 30 features.
+    Higgs,
+    /// TAXI: trip-duration regression, 11 features.
+    Taxi,
+}
+
+/// Handles into a template's built spec.
+#[derive(Clone, Copy, Debug)]
+pub struct TemplateHandles {
+    /// The fitted model's op-state artifact.
+    pub model: ArtifactHandle,
+    /// The (preprocessed) training data fed to the model.
+    pub train: ArtifactHandle,
+    /// The (preprocessed) test data.
+    pub test: ArtifactHandle,
+    /// Test-set predictions.
+    pub predictions: ArtifactHandle,
+    /// The evaluation value.
+    pub metric: ArtifactHandle,
+}
+
+/// A declarative pipeline configuration — the unit the generator mutates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PipelineTemplate {
+    /// Use case (decides structure, models, metrics).
+    pub use_case: UseCase,
+    /// Dataset id in the store.
+    pub dataset_id: String,
+    /// Split seed — constant within a sequence so iterations share splits.
+    pub split_seed: i64,
+    /// Imputer operator and physical implementation.
+    pub imputer: (LogicalOp, usize),
+    /// Scaler operator and physical implementation.
+    pub scaler: (LogicalOp, usize),
+    /// Degree-2 polynomial expansion (HIGGS only) and implementation.
+    pub poly: Option<usize>,
+    /// PCA components and implementation (HIGGS only).
+    pub pca: Option<(i64, usize)>,
+    /// Model operator, configuration, implementation.
+    pub model: (LogicalOp, Config, usize),
+    /// Evaluation metric.
+    pub metric: LogicalOp,
+}
+
+impl PipelineTemplate {
+    /// The base pipeline each sequence starts from.
+    pub fn base(use_case: UseCase, dataset_id: &str, split_seed: i64) -> Self {
+        let model = match use_case {
+            UseCase::Higgs => (
+                LogicalOp::LinearSvm,
+                Config::new().with_f("c", 1.0).with_i("epochs", 12),
+                0,
+            ),
+            UseCase::Taxi => (LogicalOp::Ridge, Config::new().with_f("alpha", 1.0), 0),
+        };
+        let metric = match use_case {
+            UseCase::Higgs => LogicalOp::Accuracy,
+            UseCase::Taxi => LogicalOp::Rmse,
+        };
+        PipelineTemplate {
+            use_case,
+            dataset_id: dataset_id.to_string(),
+            split_seed,
+            imputer: (LogicalOp::ImputerMean, 0),
+            scaler: (LogicalOp::StandardScaler, 0),
+            poly: None,
+            pca: None,
+            model,
+            metric,
+        }
+    }
+
+    /// Append this template's steps to a spec; returns the key handles.
+    /// Appending several templates into one spec models Scenario-3 style
+    /// pipelines that extend past work (identical steps merge by name at
+    /// hypergraph construction).
+    pub fn append(&self, spec: &mut PipelineSpec) -> TemplateHandles {
+        let data = spec.load(&self.dataset_id);
+        let (train, test) =
+            spec.split(data, Config::new().with_i("seed", self.split_seed));
+        // Imputation.
+        let (imp_op, imp_impl) = self.imputer;
+        let imp = spec.fit(imp_op, imp_impl, Config::new(), &[train]);
+        let mut train = spec.transform(imp_op, imp_impl, Config::new(), imp, train);
+        let mut test = spec.transform(imp_op, imp_impl, Config::new(), imp, test);
+        // Use-case specific feature engineering.
+        if self.use_case == UseCase::Taxi {
+            train = spec.transform_stateless(LogicalOp::HaversineFeature, Config::new(), train);
+            test = spec.transform_stateless(LogicalOp::HaversineFeature, Config::new(), test);
+            train = spec.transform_stateless(LogicalOp::TimeFeatures, Config::new(), train);
+            test = spec.transform_stateless(LogicalOp::TimeFeatures, Config::new(), test);
+        }
+        // Scaling.
+        let (sc_op, sc_impl) = self.scaler;
+        let sc = spec.fit(sc_op, sc_impl, Config::new(), &[train]);
+        train = spec.transform(sc_op, sc_impl, Config::new(), sc, train);
+        test = spec.transform(sc_op, sc_impl, Config::new(), sc, test);
+        // Optional polynomial expansion / PCA (HIGGS).
+        if let Some(poly_impl) = self.poly {
+            let st = spec.fit(LogicalOp::PolynomialFeatures, poly_impl, Config::new(), &[train]);
+            train = spec.transform(LogicalOp::PolynomialFeatures, poly_impl, Config::new(), st, train);
+            test = spec.transform(LogicalOp::PolynomialFeatures, poly_impl, Config::new(), st, test);
+        }
+        if let Some((k, pca_impl)) = self.pca {
+            let cfg = Config::new().with_i("n_components", k).with_i("seed", 5);
+            let st = spec.fit(LogicalOp::Pca, pca_impl, cfg.clone(), &[train]);
+            train = spec.transform(LogicalOp::Pca, pca_impl, cfg.clone(), st, train);
+            test = spec.transform(LogicalOp::Pca, pca_impl, cfg, st, test);
+        }
+        // Model, predictions, evaluation.
+        let (m_op, m_cfg, m_impl) = &self.model;
+        let model = spec.fit(*m_op, *m_impl, m_cfg.clone(), &[train]);
+        let predictions = spec.predict(*m_op, *m_impl, m_cfg.clone(), model, test);
+        let metric = spec.evaluate(self.metric, predictions, test);
+        TemplateHandles { model, train, test, predictions, metric }
+    }
+
+    /// Build a standalone spec from this template.
+    pub fn to_spec(&self) -> PipelineSpec {
+        let mut spec = PipelineSpec::new();
+        self.append(&mut spec);
+        spec
+    }
+
+    /// Mutate the template the way an engineer's next iteration would.
+    pub fn mutate(&mut self, rng: &mut SeededRng) {
+        // Weights per the post-preprocessing-dominated edit model.
+        let kind = rng.weighted_index(&[
+            35.0, // 0: model hyperparameter change
+            18.0, // 1: model operator change
+            12.0, // 2: model implementation swap
+            10.0, // 3: scaler implementation swap
+            8.0,  // 4: scaler operator change
+            5.0,  // 5: imputer change
+            7.0,  // 6: toggle poly/pca (HIGGS) or re-toggle scaler (TAXI)
+            5.0,  // 7: metric change
+        ]);
+        match kind {
+            0 => self.model.1 = random_model_config(self.model.0, rng),
+            1 => {
+                let (op, cfg) = random_model(self.use_case, rng);
+                self.model = (op, cfg, 0);
+            }
+            2 => {
+                let n = self.model.0.impls().len();
+                self.model.2 = (self.model.2 + 1) % n;
+            }
+            3 => {
+                let n = self.scaler.0.impls().len();
+                self.scaler.1 = (self.scaler.1 + 1) % n;
+            }
+            4 => {
+                let scalers = [
+                    LogicalOp::StandardScaler,
+                    LogicalOp::MinMaxScaler,
+                    LogicalOp::RobustScaler,
+                ];
+                self.scaler = (scalers[rng.index(3)], 0);
+            }
+            5 => {
+                self.imputer = if rng.chance(0.5) {
+                    (LogicalOp::ImputerMean, rng.index(2))
+                } else {
+                    (LogicalOp::ImputerMedian, rng.index(2))
+                };
+            }
+            6 => match self.use_case {
+                UseCase::Higgs => {
+                    if rng.chance(0.5) {
+                        self.poly = if self.poly.is_some() { None } else { Some(0) };
+                    } else {
+                        self.pca = if self.pca.is_some() {
+                            None
+                        } else {
+                            Some((10, rng.index(2)))
+                        };
+                    }
+                }
+                UseCase::Taxi => {
+                    let n = self.scaler.0.impls().len();
+                    self.scaler.1 = (self.scaler.1 + 1) % n;
+                }
+            },
+            _ => {
+                self.metric = match self.use_case {
+                    UseCase::Higgs => {
+                        if self.metric == LogicalOp::Accuracy {
+                            LogicalOp::F1Score
+                        } else {
+                            LogicalOp::Accuracy
+                        }
+                    }
+                    UseCase::Taxi => {
+                        let metrics = [LogicalOp::Rmse, LogicalOp::Mae, LogicalOp::R2Score];
+                        metrics[rng.index(3)]
+                    }
+                };
+            }
+        }
+    }
+}
+
+fn random_model(use_case: UseCase, rng: &mut SeededRng) -> (LogicalOp, Config) {
+    let op = match use_case {
+        UseCase::Higgs => {
+            let ops = [
+                LogicalOp::LinearSvm,
+                LogicalOp::LogisticRegression,
+                LogicalOp::RandomForest,
+                LogicalOp::GradientBoosting,
+            ];
+            ops[rng.index(4)]
+        }
+        UseCase::Taxi => {
+            let ops = [
+                LogicalOp::Ridge,
+                LogicalOp::Lasso,
+                LogicalOp::LinearRegression,
+                LogicalOp::RandomForest,
+                LogicalOp::GradientBoosting,
+            ];
+            ops[rng.index(5)]
+        }
+    };
+    let cfg = random_model_config(op, rng);
+    (op, cfg)
+}
+
+fn random_model_config(op: LogicalOp, rng: &mut SeededRng) -> Config {
+    match op {
+        LogicalOp::LinearSvm => {
+            let cs = [0.1, 1.0, 10.0];
+            Config::new().with_f("c", cs[rng.index(3)]).with_i("epochs", 12)
+        }
+        LogicalOp::LogisticRegression => {
+            Config::new().with_i("iters", [8, 12][rng.index(2)]).with_i("epochs", 25)
+        }
+        LogicalOp::Ridge | LogicalOp::Lasso => {
+            let alphas = [0.1, 1.0, 75.0];
+            Config::new().with_f("alpha", alphas[rng.index(3)])
+        }
+        LogicalOp::LinearRegression => Config::new(),
+        LogicalOp::RandomForest => Config::new()
+            .with_i("n_trees", [10, 20, 40][rng.index(3)])
+            .with_i("max_depth", [6, 8][rng.index(2)])
+            .with_i("seed", 1),
+        LogicalOp::GradientBoosting => Config::new()
+            .with_i("n_rounds", [10, 20, 40][rng.index(3)])
+            .with_i("max_depth", 3),
+        _ => Config::new(),
+    }
+}
+
+/// Sequence-generation parameters.
+#[derive(Clone, Debug)]
+pub struct SequenceConfig {
+    /// Use case.
+    pub use_case: UseCase,
+    /// Dataset id in the store.
+    pub dataset_id: String,
+    /// Number of pipelines in the sequence.
+    pub n_pipelines: usize,
+    /// RNG seed (also fixes the shared split seed).
+    pub seed: u64,
+}
+
+/// Generate an iterative sequence of pipeline templates.
+pub fn generate_sequence(cfg: &SequenceConfig) -> Vec<PipelineTemplate> {
+    let mut rng = SeededRng::new(cfg.seed);
+    let mut template =
+        PipelineTemplate::base(cfg.use_case, &cfg.dataset_id, (cfg.seed % 1000) as i64);
+    let mut out = Vec::with_capacity(cfg.n_pipelines);
+    for _ in 0..cfg.n_pipelines {
+        out.push(template.clone());
+        template.mutate(&mut rng);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_ml::TaskType;
+
+    fn cfg(use_case: UseCase, n: usize, seed: u64) -> SequenceConfig {
+        SequenceConfig {
+            use_case,
+            dataset_id: "d".to_string(),
+            n_pipelines: n,
+            seed,
+        }
+    }
+
+    #[test]
+    fn sequences_are_deterministic_and_seed_sensitive() {
+        let a = generate_sequence(&cfg(UseCase::Higgs, 20, 1));
+        let b = generate_sequence(&cfg(UseCase::Higgs, 20, 1));
+        let c = generate_sequence(&cfg(UseCase::Higgs, 20, 2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn consecutive_pipelines_differ_but_share_structure() {
+        let seq = generate_sequence(&cfg(UseCase::Taxi, 30, 3));
+        let mut changed = 0;
+        for w in seq.windows(2) {
+            if w[0] != w[1] {
+                changed += 1;
+            }
+            assert_eq!(w[0].split_seed, w[1].split_seed, "split shared within a sequence");
+            assert_eq!(w[0].dataset_id, w[1].dataset_id);
+        }
+        assert!(changed >= 18, "mutations must actually change templates ({changed}/29)");
+    }
+
+    #[test]
+    fn higgs_spec_has_expected_shape() {
+        let t = PipelineTemplate::base(UseCase::Higgs, "higgs", 0);
+        let spec = t.to_spec();
+        // load, split, imp fit + 2 transforms, scaler fit + 2 transforms,
+        // model fit, predict, evaluate = 11 steps.
+        assert_eq!(spec.len(), 11);
+        let tasks: Vec<TaskType> = spec.steps.iter().map(|s| s.task).collect();
+        assert_eq!(tasks.iter().filter(|&&t| t == TaskType::Fit).count(), 3);
+        assert_eq!(tasks.iter().filter(|&&t| t == TaskType::Evaluate).count(), 1);
+    }
+
+    #[test]
+    fn taxi_spec_includes_feature_engineering() {
+        let t = PipelineTemplate::base(UseCase::Taxi, "taxi", 0);
+        let spec = t.to_spec();
+        let ops: Vec<LogicalOp> = spec.steps.iter().map(|s| s.op).collect();
+        assert!(ops.contains(&LogicalOp::HaversineFeature));
+        assert!(ops.contains(&LogicalOp::TimeFeatures));
+        assert!(ops.contains(&LogicalOp::Ridge));
+    }
+
+    #[test]
+    fn sequences_produce_equivalence_opportunities() {
+        // Across a long sequence, at least one impl-swap mutation occurs,
+        // i.e. two pipelines differ only in a physical implementation.
+        let seq = generate_sequence(&cfg(UseCase::Higgs, 50, 5));
+        let impl_variants: std::collections::HashSet<usize> =
+            seq.iter().map(|t| t.scaler.1).chain(seq.iter().map(|t| t.model.2)).collect();
+        assert!(impl_variants.len() > 1, "no implementation diversity generated");
+    }
+
+    #[test]
+    fn mutation_keeps_configs_valid() {
+        let mut rng = SeededRng::new(9);
+        let mut t = PipelineTemplate::base(UseCase::Higgs, "higgs", 0);
+        for _ in 0..200 {
+            t.mutate(&mut rng);
+            assert!(t.model.2 < t.model.0.impls().len());
+            assert!(t.scaler.1 < t.scaler.0.impls().len());
+            // Template must always build a valid spec.
+            let spec = t.to_spec();
+            assert!(spec.len() >= 11);
+        }
+    }
+
+    #[test]
+    fn appending_two_templates_shares_prefix_names() {
+        let a = PipelineTemplate::base(UseCase::Taxi, "taxi", 0);
+        let mut b = a.clone();
+        b.model = (LogicalOp::Lasso, Config::new().with_f("alpha", 0.1), 0);
+        let mut spec = PipelineSpec::new();
+        let ha = a.append(&mut spec);
+        let hb = b.append(&mut spec);
+        let names = spec.output_names();
+        // Shared preprocessing: identical artifact names for train inputs.
+        assert_eq!(
+            names[ha.train.step.0][ha.train.output],
+            names[hb.train.step.0][hb.train.output]
+        );
+        // Different models: different model artifact names.
+        assert_ne!(
+            names[ha.model.step.0][ha.model.output],
+            names[hb.model.step.0][hb.model.output]
+        );
+    }
+}

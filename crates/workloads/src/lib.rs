@@ -1,0 +1,26 @@
+//! Workload generators for the HYPPO evaluation (paper §V-A).
+//!
+//! The paper evaluates on two Kaggle use cases (Table I): **HIGGS** (binary
+//! classification, 30 features) and **TAXI** (trip-duration regression,
+//! 11 features). The raw competition data is proprietary-ish and large;
+//! what the experiments actually depend on is the *structure* — dataset
+//! shapes, task kinds, operator mixes, and the 3:1 split — so this crate
+//! generates seeded synthetic datasets with the same structure
+//! ([`higgs`], [`taxi`]; substitution documented in DESIGN.md) plus:
+//!
+//! - [`generator`] — the iterative pipeline-sequence generator (edit model
+//!   biased toward post-preprocessing changes, per the developer-survey
+//!   the paper cites);
+//! - [`ensemble_wl`] — Scenario-3 workloads extending past TAXI pipelines
+//!   with voting/stacking ensembles over previously trained models;
+//! - [`synthetic`] — the synthetic hypergraph generator of the scalability
+//!   study (§V-B5: parameters `n` = #artifacts and `m` = #alternatives).
+
+pub mod ensemble_wl;
+pub mod generator;
+pub mod higgs;
+pub mod synthetic;
+pub mod taxi;
+
+pub use generator::{PipelineTemplate, SequenceConfig, UseCase};
+pub use synthetic::{generate_synthetic, SyntheticGraph};

@@ -1,0 +1,194 @@
+//! Synthetic hypergraph generator for the scalability study (paper §V-B5,
+//! Fig. 10).
+//!
+//! Parameters: `n` — number of artifacts, `m` — number of alternatives
+//! (incoming hyperedges) per artifact. Following the paper, we grow
+//! pipeline-like structures (chains with occasional multi-output splits
+//! and multi-input joins) until the node count reaches `n`, then add
+//! alternative producer edges until every artifact has in-degree `m`.
+//! Nodes without outgoing edges become the request targets.
+
+use hyppo_hypergraph::{HyperGraph, NodeId};
+use hyppo_tensor::SeededRng;
+
+/// A generated scalability instance.
+#[derive(Debug)]
+pub struct SyntheticGraph {
+    /// The hypergraph (unit labels; only structure and costs matter).
+    pub graph: HyperGraph<u32, u32>,
+    /// Edge costs indexed by [`EdgeId::index`].
+    pub costs: Vec<f64>,
+    /// The source node.
+    pub source: NodeId,
+    /// Sink artifacts (request targets).
+    pub targets: Vec<NodeId>,
+    /// Longest source-to-sink path length (the paper's ℓ).
+    pub max_path_len: usize,
+}
+
+/// Generate a synthetic instance with `n` artifacts and `m` alternatives
+/// per artifact.
+pub fn generate_synthetic(n: usize, m: usize, seed: u64) -> SyntheticGraph {
+    assert!(n >= 1 && m >= 1);
+    let mut rng = SeededRng::new(seed);
+    let mut graph: HyperGraph<u32, u32> = HyperGraph::new();
+    let mut costs: Vec<f64> = Vec::new();
+    let source = graph.add_node(0);
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(n);
+
+    let add_edge = |graph: &mut HyperGraph<u32, u32>,
+                        costs: &mut Vec<f64>,
+                        tail: Vec<NodeId>,
+                        head: Vec<NodeId>,
+                        rng: &mut SeededRng| {
+        let e = graph.add_edge(tail, head, 0);
+        costs.resize(e.index() + 1, 0.0);
+        costs[e.index()] = rng.uniform(1.0, 10.0);
+        e
+    };
+
+    // Pipeline-like growth: chains with splits and joins.
+    while nodes.len() < n {
+        let remaining = n - nodes.len();
+        let shape = rng.weighted_index(&[60.0, 20.0, 20.0]);
+        match shape {
+            // Chain step: one predecessor → one new node.
+            0 => {
+                let prev = *nodes.last().unwrap_or(&source);
+                let v = graph.add_node(nodes.len() as u32 + 1);
+                add_edge(&mut graph, &mut costs, vec![prev], vec![v], &mut rng);
+                nodes.push(v);
+            }
+            // Split: one predecessor → two new nodes (multi-output task).
+            1 if remaining >= 2 => {
+                let prev = *nodes.last().unwrap_or(&source);
+                let a = graph.add_node(nodes.len() as u32 + 1);
+                let b = graph.add_node(nodes.len() as u32 + 2);
+                add_edge(&mut graph, &mut costs, vec![prev], vec![a, b], &mut rng);
+                nodes.push(a);
+                nodes.push(b);
+            }
+            // Join: two earlier nodes → one new node (multi-input task).
+            _ => {
+                let v = graph.add_node(nodes.len() as u32 + 1);
+                let tail = if nodes.len() >= 2 {
+                    let i = rng.index(nodes.len());
+                    let mut j = rng.index(nodes.len());
+                    if j == i {
+                        j = (j + 1) % nodes.len();
+                    }
+                    let mut t = vec![nodes[i], nodes[j]];
+                    t.sort_unstable();
+                    t.dedup();
+                    t
+                } else {
+                    vec![*nodes.last().unwrap_or(&source)]
+                };
+                add_edge(&mut graph, &mut costs, tail, vec![v], &mut rng);
+                nodes.push(v);
+            }
+        }
+    }
+
+    // Raise every artifact's in-degree to m with alternative producers
+    // drawn from strictly earlier nodes (keeps the graph acyclic).
+    for (i, &v) in nodes.iter().enumerate() {
+        while graph.bstar(v).len() < m {
+            let tail = if i == 0 {
+                vec![source]
+            } else {
+                let mut t: Vec<NodeId> = (0..=rng.index(2))
+                    .map(|_| if rng.chance(0.15) { source } else { nodes[rng.index(i)] })
+                    .collect();
+                t.sort_unstable();
+                t.dedup();
+                t
+            };
+            add_edge(&mut graph, &mut costs, tail, vec![v], &mut rng);
+        }
+    }
+
+    let targets: Vec<NodeId> =
+        nodes.iter().copied().filter(|&v| graph.fstar(v).is_empty()).collect();
+    let targets = if targets.is_empty() { vec![*nodes.last().unwrap()] } else { targets };
+
+    // Longest path via DP over the (acyclic) structure.
+    let mut depth: Vec<usize> = vec![0; graph.node_bound()];
+    // Nodes were created in topological order (tails always earlier).
+    for &v in &nodes {
+        let mut best = 0;
+        for &e in graph.bstar(v) {
+            let tail_max = graph.tail(e).iter().map(|&u| depth[u.index()]).max().unwrap_or(0);
+            best = best.max(tail_max + 1);
+        }
+        depth[v.index()] = best;
+    }
+    let max_path_len = nodes.iter().map(|&v| depth[v.index()]).max().unwrap_or(0);
+
+    SyntheticGraph { graph, costs, source, targets, max_path_len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_hypergraph::is_b_connected;
+
+    #[test]
+    fn respects_node_and_degree_parameters() {
+        for (n, m) in [(5, 1), (10, 2), (20, 3)] {
+            let g = generate_synthetic(n, m, 7);
+            assert_eq!(g.graph.node_count(), n + 1, "n={n} (+source)");
+            for v in g.graph.node_ids() {
+                if v == g.source {
+                    continue;
+                }
+                assert_eq!(g.graph.bstar(v).len(), m, "artifact in-degree must be m");
+            }
+        }
+    }
+
+    #[test]
+    fn all_targets_are_b_connected_to_source() {
+        for seed in 0..10 {
+            let g = generate_synthetic(15, 2, seed);
+            assert!(
+                is_b_connected(&g.graph, &[g.source], &g.targets),
+                "seed {seed}: targets must be derivable"
+            );
+            assert!(!g.targets.is_empty());
+        }
+    }
+
+    #[test]
+    fn costs_cover_every_edge() {
+        let g = generate_synthetic(12, 2, 3);
+        for e in g.graph.edge_ids() {
+            assert!(g.costs[e.index()] >= 1.0 && g.costs[e.index()] <= 10.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_synthetic(10, 2, 5);
+        let b = generate_synthetic(10, 2, 5);
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.costs, b.costs);
+        assert_eq!(a.max_path_len, b.max_path_len);
+    }
+
+    #[test]
+    fn path_length_grows_with_n() {
+        let small = generate_synthetic(5, 2, 1);
+        let large = generate_synthetic(40, 2, 1);
+        assert!(large.max_path_len > small.max_path_len);
+        assert!(small.max_path_len >= 1);
+    }
+
+    #[test]
+    fn targets_are_sinks() {
+        let g = generate_synthetic(20, 2, 9);
+        for &t in &g.targets {
+            assert!(g.graph.fstar(t).is_empty());
+        }
+    }
+}

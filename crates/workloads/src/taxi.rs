@@ -1,0 +1,150 @@
+//! TAXI-like synthetic dataset (paper Table I: 1 000 000 × 11, trip
+//! duration regression; NYC Taxi & Limousine Commission schema).
+//!
+//! Columns follow the competition's schema: pickup/dropoff coordinates,
+//! pickup hour/weekday/month, passenger count, vendor id, and a
+//! store-and-forward flag. The target is trip duration in seconds,
+//! generated as `distance / speed(hour)` plus noise — so the haversine and
+//! cyclic-time feature-engineering operators genuinely help, as they do on
+//! the real data. The first four columns are the coordinates in the order
+//! [`hyppo_ml::preprocess::rowops::transform_haversine`] expects, and the
+//! hour column is named `hour` as
+//! [`hyppo_ml::preprocess::rowops::transform_time_features`] expects.
+
+use hyppo_tensor::{Dataset, Matrix, SeededRng, TaskKind};
+
+/// Number of features (Table I).
+pub const N_FEATURES: usize = 11;
+
+/// Fraction of cells made missing (coordinates are kept intact).
+pub const MISSING_FRACTION: f64 = 0.01;
+
+/// Generate a TAXI-like dataset with `rows` examples.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = SeededRng::new(seed);
+    let mut x = Matrix::zeros(rows, N_FEATURES);
+    let mut y = Vec::with_capacity(rows);
+    const EARTH_RADIUS_KM: f64 = 6371.0;
+    for r in 0..rows {
+        // Manhattan-ish coordinates.
+        let plat = 40.75 + rng.normal() * 0.03;
+        let plon = -73.98 + rng.normal() * 0.03;
+        let dlat = plat + rng.normal() * 0.04;
+        let dlon = plon + rng.normal() * 0.04;
+        let hour = rng.index(24) as f64;
+        let weekday = rng.index(7) as f64;
+        let month = 1.0 + rng.index(6) as f64;
+        let day = 1.0 + rng.index(28) as f64;
+        let passengers = 1.0 + rng.index(5) as f64;
+        let vendor = 1.0 + rng.index(2) as f64;
+        let flag = if rng.chance(0.02) { 1.0 } else { 0.0 };
+        let row = [plat, plon, dlat, dlon, hour, weekday, passengers, vendor, month, day, flag];
+        for (c, &v) in row.iter().enumerate() {
+            x.set(r, c, v);
+        }
+        // Ground-truth duration: haversine distance over hour-dependent
+        // speed plus multiplicative noise.
+        let (la1, lo1, la2, lo2) =
+            (plat.to_radians(), plon.to_radians(), dlat.to_radians(), dlon.to_radians());
+        let a = ((la2 - la1) / 2.0).sin().powi(2)
+            + la1.cos() * la2.cos() * ((lo2 - lo1) / 2.0).sin().powi(2);
+        let km = 2.0 * EARTH_RADIUS_KM * a.sqrt().asin();
+        // Rush hours are slow: speed dips at 8-9 and 17-18.
+        let rush = (-(hour - 8.5).powi(2) / 4.0).exp() + (-(hour - 17.5).powi(2) / 4.0).exp();
+        let kmh = 28.0 - 14.0 * rush;
+        let seconds = km / kmh * 3600.0 * (1.0 + 0.15 * rng.normal()).max(0.3) + 60.0;
+        y.push(seconds);
+    }
+    // Missing values in the non-coordinate columns only.
+    let n_missing = ((rows * N_FEATURES) as f64 * MISSING_FRACTION) as usize;
+    for _ in 0..n_missing {
+        let r = rng.index(rows);
+        let c = 4 + rng.index(N_FEATURES - 4);
+        x.set(r, c, f64::NAN);
+    }
+    let names = vec![
+        "pickup_lat".to_string(),
+        "pickup_lon".to_string(),
+        "dropoff_lat".to_string(),
+        "dropoff_lon".to_string(),
+        "hour".to_string(),
+        "weekday".to_string(),
+        "passenger_count".to_string(),
+        "vendor_id".to_string(),
+        "month".to_string(),
+        "day".to_string(),
+        "store_fwd_flag".to_string(),
+    ];
+    Dataset::new(x, y, names, TaskKind::Regression)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table_one_structure() {
+        let d = generate(400, 1);
+        assert_eq!(d.len(), 400);
+        assert_eq!(d.n_features(), 11);
+        assert_eq!(d.task, TaskKind::Regression);
+        assert_eq!(d.feature_names[4], "hour");
+    }
+
+    #[test]
+    fn durations_are_positive_and_plausible() {
+        let d = generate(1000, 2);
+        for &v in &d.y {
+            assert!(v > 0.0, "negative duration {v}");
+            assert!(v < 4.0 * 3600.0, "implausible duration {v}");
+        }
+    }
+
+    #[test]
+    fn coordinates_are_never_missing() {
+        let d = generate(1000, 3);
+        for r in 0..d.len() {
+            for c in 0..4 {
+                assert!(!d.x.get(r, c).is_nan());
+            }
+        }
+        // But some other cells are.
+        assert!(d.x.has_missing());
+    }
+
+    #[test]
+    fn distance_correlates_with_duration() {
+        let d = generate(2000, 4);
+        // Pearson correlation between straight-line displacement and
+        // duration should be strongly positive.
+        let disp: Vec<f64> = (0..d.len())
+            .map(|r| {
+                let dx = d.x.get(r, 2) - d.x.get(r, 0);
+                let dy = d.x.get(r, 3) - d.x.get(r, 1);
+                (dx * dx + dy * dy).sqrt()
+            })
+            .collect();
+        let n = disp.len() as f64;
+        let mx = disp.iter().sum::<f64>() / n;
+        let my = d.y.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (a, b) in disp.iter().zip(&d.y) {
+            cov += (a - mx) * (b - my);
+            vx += (a - mx).powi(2);
+            vy += (b - my).powi(2);
+        }
+        let corr = cov / (vx.sqrt() * vy.sqrt());
+        assert!(corr > 0.6, "correlation {corr}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        // NaN cells defeat PartialEq; compare via Debug rendering, where
+        // NaN == "NaN".
+        let render = |d: &Dataset| format!("{:?}{:?}", d.x.as_slice(), d.y);
+        assert_eq!(render(&generate(100, 9)), render(&generate(100, 9)));
+        assert_ne!(render(&generate(100, 9)), render(&generate(100, 10)));
+    }
+}

@@ -1,0 +1,68 @@
+//! An exploratory-ML session on the HIGGS use case (the paper's
+//! Scenario 1): an engineer iterates over 15 pipeline variants, and HYPPO
+//! keeps the cumulative cost low by reusing, materializing, and swapping
+//! equivalent implementations. A NoOptimization run of the same session
+//! shows the difference.
+//!
+//! Run with: `cargo run --release --example higgs_exploration`
+
+use hyppo::baselines::{HyppoMethod, Method, NoOptimization};
+use hyppo::core::{Hyppo, HyppoConfig};
+use hyppo::workloads::generator::{generate_sequence, SequenceConfig, UseCase};
+use hyppo::workloads::higgs;
+
+fn main() {
+    let dataset = higgs::generate(3000, 7);
+    let budget = dataset.size_bytes() as u64 / 10; // B = 0.1 × dataset
+
+    // The engineer's 15 iterations: model swaps, hyperparameter tweaks,
+    // occasional framework (implementation) changes.
+    let session = generate_sequence(&SequenceConfig {
+        use_case: UseCase::Higgs,
+        dataset_id: "higgs".to_string(),
+        n_pipelines: 15,
+        seed: 99,
+    });
+
+    let mut hyppo = HyppoMethod(Hyppo::new(HyppoConfig {
+        budget_bytes: budget,
+        ..Default::default()
+    }));
+    let mut noopt = NoOptimization::new();
+    hyppo.register_dataset("higgs", dataset.clone());
+    noopt.register_dataset("higgs", dataset);
+
+    println!("{:>4} {:>28} {:>14} {:>14} {:>10}", "iter", "model", "NoOpt", "HYPPO", "accuracy");
+    for (i, template) in session.iter().enumerate() {
+        let r_noopt = noopt.submit(template.to_spec()).expect("baseline run");
+        let r_hyppo = hyppo.submit(template.to_spec()).expect("hyppo run");
+        let accuracy = r_hyppo
+            .values
+            .values()
+            .next()
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:>4} {:>28} {:>12.1}ms {:>12.1}ms {:>10}",
+            i + 1,
+            format!("{:?}", template.model.0),
+            r_noopt.execution_seconds * 1e3,
+            r_hyppo.execution_seconds * 1e3,
+            accuracy,
+        );
+    }
+    let speedup = noopt.cumulative_seconds() / hyppo.cumulative_seconds();
+    println!(
+        "\nsession total: NoOpt {:.2}s vs HYPPO {:.2}s — {:.1}x faster",
+        noopt.cumulative_seconds(),
+        hyppo.cumulative_seconds(),
+        speedup
+    );
+    println!(
+        "history: {} artifacts; {} currently materialized within the {:.1}KB budget",
+        hyppo.0.history.artifact_count(),
+        hyppo.0.store.len(),
+        budget as f64 / 1024.0
+    );
+    assert!(speedup > 1.5);
+}

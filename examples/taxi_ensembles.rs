@@ -1,0 +1,68 @@
+//! The paper's Scenario 3 on the TAXI use case: after a history of
+//! individual regression pipelines, the user builds voting/stacking
+//! ensembles over the previously trained models. HYPPO retrieves the
+//! member models from the history instead of re-fitting them, which is
+//! where its largest speedups come from (paper Fig. 9a: up to 50×).
+//!
+//! Run with: `cargo run --release --example taxi_ensembles`
+
+use hyppo::baselines::{Collab, HyppoMethod, Method, NoOptimization};
+use hyppo::core::{Hyppo, HyppoConfig};
+use hyppo::workloads::ensemble_wl::generate_ensemble_workload;
+use hyppo::workloads::generator::{generate_sequence, SequenceConfig, UseCase};
+use hyppo::workloads::taxi;
+
+fn main() {
+    let dataset = taxi::generate(4000, 11);
+    let budget = dataset.size_bytes() as u64 / 10;
+
+    // Phase 1: a history of 12 ordinary TAXI pipelines.
+    let history = generate_sequence(&SequenceConfig {
+        use_case: UseCase::Taxi,
+        dataset_id: "taxi".to_string(),
+        n_pipelines: 12,
+        seed: 5,
+    });
+    // Phase 2: 6 ensemble pipelines extending that history.
+    let ensembles = generate_ensemble_workload(&history, 6, 17);
+
+    let mut methods: Vec<Box<dyn Method>> = vec![
+        Box::new(NoOptimization::new()),
+        Box::new(Collab::new(budget)),
+        Box::new(HyppoMethod(Hyppo::new(HyppoConfig {
+            budget_bytes: budget,
+            ..Default::default()
+        }))),
+    ];
+
+    let mut batch_seconds = Vec::new();
+    for method in &mut methods {
+        method.register_dataset("taxi", dataset.clone());
+        for t in &history {
+            method.submit(t.to_spec()).expect("history pipeline");
+        }
+        let before = method.cumulative_seconds();
+        for spec in &ensembles {
+            method.submit(spec.clone()).expect("ensemble pipeline");
+        }
+        batch_seconds.push(method.cumulative_seconds() - before);
+    }
+
+    println!("ensemble batch (6 voting/stacking pipelines over 12-pipeline history):");
+    let base = batch_seconds[0];
+    for (method, &secs) in methods.iter().zip(&batch_seconds) {
+        println!(
+            "  {:>16}: {:>9.1}ms  ({:.1}x vs NoOpt)",
+            method.name(),
+            secs * 1e3,
+            base / secs.max(1e-9)
+        );
+    }
+    let hyppo_speedup = base / batch_seconds[2].max(1e-9);
+    let collab_speedup = base / batch_seconds[1].max(1e-9);
+    assert!(
+        hyppo_speedup > collab_speedup,
+        "HYPPO must beat Collab on ensemble reuse ({hyppo_speedup:.1}x vs {collab_speedup:.1}x)"
+    );
+    println!("\nHYPPO reuses the trained member models by name; the baselines refit them.");
+}

@@ -1,0 +1,304 @@
+//! `hyppo-cli` — drive a HYPPO system from the command line.
+//!
+//! ```text
+//! hyppo-cli dictionary                     list operators + implementations
+//! hyppo-cli demo                           run the built-in two-pipeline demo
+//! hyppo-cli explain <spec.json> [opts]     EXPLAIN a pipeline (no execution)
+//! hyppo-cli run <spec.json> [opts]         execute a pipeline
+//! hyppo-cli dot <spec.json> [opts]         print the augmentation + plan as DOT
+//!
+//! options:
+//!   --dataset <higgs|taxi>   synthetic dataset to register (default higgs)
+//!   --rows <n>               dataset rows (default 4000)
+//!   --budget <bytes>         storage budget (default 16777216)
+//!   --catalog <dir>          load the catalog from <dir> before, save after
+//! ```
+//!
+//! Pipeline specs are the JSON serialization of
+//! [`hyppo::pipeline::PipelineSpec`]; `hyppo-cli demo --emit-spec` prints
+//! one to start from.
+
+use hyppo::core::{explain, Hyppo, HyppoConfig};
+use hyppo::ml::{Config, LogicalOp};
+use hyppo::pipeline::{Dictionary, PipelineSpec};
+use hyppo::workloads::{higgs, taxi};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Options {
+    dataset: String,
+    rows: usize,
+    budget: u64,
+    catalog: Option<PathBuf>,
+    emit_spec: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            dataset: "higgs".to_string(),
+            rows: 4000,
+            budget: 16 * 1024 * 1024,
+            catalog: None,
+            emit_spec: false,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1).ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--dataset" => {
+                opts.dataset = value(i)?.clone();
+                i += 1;
+            }
+            "--rows" => {
+                opts.rows = value(i)?.parse().map_err(|e| format!("--rows: {e}"))?;
+                i += 1;
+            }
+            "--budget" => {
+                opts.budget = value(i)?.parse().map_err(|e| format!("--budget: {e}"))?;
+                i += 1;
+            }
+            "--catalog" => {
+                opts.catalog = Some(PathBuf::from(value(i)?));
+                i += 1;
+            }
+            "--emit-spec" => opts.emit_spec = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn build_system(opts: &Options) -> Result<Hyppo, String> {
+    let mut sys = Hyppo::new(HyppoConfig { budget_bytes: opts.budget, ..Default::default() });
+    if let Some(dir) = &opts.catalog {
+        if dir.join("catalog.json").exists() {
+            sys.load_catalog(dir).map_err(|e| format!("loading catalog: {e}"))?;
+            eprintln!(
+                "loaded catalog: {} artifacts, {} materialized",
+                sys.history.artifact_count(),
+                sys.store.len()
+            );
+        }
+    }
+    let dataset = match opts.dataset.as_str() {
+        "higgs" => higgs::generate(opts.rows, 42),
+        "taxi" => taxi::generate(opts.rows, 42),
+        other => return Err(format!("unknown dataset '{other}' (use higgs or taxi)")),
+    };
+    sys.register_dataset(&opts.dataset, dataset);
+    Ok(sys)
+}
+
+fn load_spec(path: &str) -> Result<PipelineSpec, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn demo_spec(dataset: &str) -> PipelineSpec {
+    let mut spec = PipelineSpec::new();
+    let data = spec.load(dataset);
+    let (train, test) = spec.split(data, Config::new().with_i("seed", 0));
+    let imp = spec.fit(LogicalOp::ImputerMean, 0, Config::new(), &[train]);
+    let train = spec.transform(LogicalOp::ImputerMean, 0, Config::new(), imp, train);
+    let test = spec.transform(LogicalOp::ImputerMean, 0, Config::new(), imp, test);
+    let scaler = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+    let train = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, train);
+    let test = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
+    let cfg = Config::new().with_i("n_trees", 25).with_i("seed", 7);
+    let model = spec.fit(LogicalOp::RandomForest, 0, cfg.clone(), &[train]);
+    let preds = spec.predict(LogicalOp::RandomForest, 0, cfg, model, test);
+    spec.evaluate(LogicalOp::Accuracy, preds, test);
+    spec
+}
+
+fn finish(sys: &Hyppo, opts: &Options) -> Result<(), String> {
+    if let Some(dir) = &opts.catalog {
+        sys.save_catalog(dir).map_err(|e| format!("saving catalog: {e}"))?;
+        eprintln!("saved catalog to {}", dir.display());
+    }
+    Ok(())
+}
+
+fn cmd_dictionary() {
+    let dict = Dictionary::full();
+    println!(
+        "{} lop.tasktype entries ({} optimization candidates)",
+        dict.len(),
+        dict.optimization_candidates().count()
+    );
+    for ((op, task), impls) in dict.iter() {
+        let names: Vec<&str> = impls.iter().map(|i| i.name).collect();
+        println!("  {}.{:<10} {}", op.name(), task.name(), names.join(" | "));
+    }
+}
+
+fn cmd_run(spec: PipelineSpec, opts: &Options) -> Result<(), String> {
+    let mut sys = build_system(opts)?;
+    let report = sys.submit(spec).map_err(|e| e.to_string())?;
+    println!(
+        "executed {} tasks ({} loads, {} new) in {:.2} ms; plan search: {:.2} ms, {} expansions",
+        report.tasks_executed,
+        report.loads,
+        report.new_tasks,
+        report.execution_seconds * 1e3,
+        report.optimize_seconds * 1e3,
+        report.expansions,
+    );
+    for (name, value) in &report.values {
+        println!("  value {name} = {value:.6}");
+    }
+    println!(
+        "materialized {} artifacts (+{}, -{}); store holds {} / budget {}",
+        sys.store.len(),
+        report.stored,
+        report.evicted,
+        sys.store.used_bytes(),
+        opts.budget
+    );
+    finish(&sys, opts)
+}
+
+fn cmd_explain(spec: PipelineSpec, opts: &Options) -> Result<(), String> {
+    let sys = build_system(opts)?;
+    let ex = explain(&sys, spec).map_err(|e| e.to_string())?;
+    print!("{}", ex.render());
+    Ok(())
+}
+
+fn cmd_dot(spec: PipelineSpec, opts: &Options) -> Result<(), String> {
+    let sys = build_system(opts)?;
+    let pipeline = hyppo::pipeline::build_pipeline(spec);
+    let aug = hyppo::core::augment::augment(
+        &pipeline,
+        &sys.history,
+        &sys.config.dictionary,
+        sys.config.augment,
+    );
+    let costs = hyppo::core::augment::annotate_costs(&aug, &sys.estimator, &sys.store);
+    let plan = hyppo::core::optimizer::optimize(
+        &aug.graph,
+        &costs,
+        aug.source,
+        &aug.targets,
+        &aug.new_tasks,
+        sys.config.search,
+    )
+    .ok_or("no executable plan")?;
+    println!("{}", aug.to_dot(&plan.edges));
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err("usage: hyppo-cli <dictionary|demo|run|explain|dot> …".to_string());
+    };
+    match command.as_str() {
+        "dictionary" => {
+            cmd_dictionary();
+            Ok(())
+        }
+        "demo" => {
+            let opts = parse_options(&args[1..])?;
+            let spec = demo_spec(&opts.dataset);
+            if opts.emit_spec {
+                println!("{}", serde_json::to_string_pretty(&spec).expect("spec serializes"));
+                return Ok(());
+            }
+            cmd_run(spec.clone(), &opts)?;
+            eprintln!("-- resubmitting the same pipeline (watch the loads) --");
+            let mut sys = build_system(&opts)?;
+            sys.submit(spec.clone()).map_err(|e| e.to_string())?;
+            let second = sys.submit(spec).map_err(|e| e.to_string())?;
+            println!(
+                "second run: {} tasks, {} loads, {:.2} ms",
+                second.tasks_executed,
+                second.loads,
+                second.execution_seconds * 1e3
+            );
+            Ok(())
+        }
+        "run" | "explain" | "dot" => {
+            let path = args.get(1).ok_or(format!("{command} needs a spec.json path"))?;
+            let opts = parse_options(&args[2..])?;
+            let spec = load_spec(path)?;
+            match command.as_str() {
+                "run" => cmd_run(spec, &opts),
+                "explain" => cmd_explain(spec, &opts),
+                _ => cmd_dot(spec, &opts),
+            }
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_defaults_and_overrides() {
+        let o = parse_options(&[]).unwrap();
+        assert_eq!(o.dataset, "higgs");
+        assert_eq!(o.rows, 4000);
+        let o = parse_options(&s(&[
+            "--dataset", "taxi", "--rows", "123", "--budget", "1024", "--catalog", "/tmp/c",
+        ]))
+        .unwrap();
+        assert_eq!(o.dataset, "taxi");
+        assert_eq!(o.rows, 123);
+        assert_eq!(o.budget, 1024);
+        assert_eq!(o.catalog.as_deref(), Some(std::path::Path::new("/tmp/c")));
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        assert!(parse_options(&s(&["--rows"])).is_err());
+        assert!(parse_options(&s(&["--rows", "abc"])).is_err());
+        assert!(parse_options(&s(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn demo_spec_is_serializable_and_loadable() {
+        let spec = demo_spec("higgs");
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: PipelineSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        assert!(spec.len() >= 11);
+    }
+
+    #[test]
+    fn system_builds_for_both_datasets() {
+        for d in ["higgs", "taxi"] {
+            let opts = Options { dataset: d.to_string(), rows: 64, ..Default::default() };
+            let sys = build_system(&opts).unwrap();
+            assert!(sys.store.dataset(d).is_some());
+        }
+        let opts = Options { dataset: "nope".to_string(), ..Default::default() };
+        assert!(build_system(&opts).is_err());
+    }
+}

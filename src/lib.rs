@@ -1,0 +1,55 @@
+//! # HYPPO — Hypergraph Pipeline Optimizer
+//!
+//! A from-scratch Rust reproduction of *HYPPO: Using Equivalences to
+//! Optimize Pipelines in Exploratory Machine Learning* (Kontaxakis,
+//! Sacharidis, Simitsis, Abelló, Nadal — ICDE 2024).
+//!
+//! HYPPO represents ML pipelines, their execution history, and execution
+//! plans as **directed hypergraphs** (artifacts = nodes, tasks =
+//! multi-input/multi-output hyperedges). Alternative ways to derive an
+//! artifact — recomputing it, loading a materialized copy, or running an
+//! *equivalent* task from another framework — appear as parallel incoming
+//! hyperedges, and finding the cheapest execution plan becomes a search
+//! problem over the hypergraph.
+//!
+//! ## Crate map
+//!
+//! - [`hypergraph`] — directed hypergraphs, B-connectivity, plans;
+//! - [`tensor`] — dense matrices, linear algebra, datasets;
+//! - [`ml`] — the ML operator substrate (~40 operators, multiple physical
+//!   implementations each);
+//! - [`pipeline`] — pipeline specs, the operator dictionary, logical
+//!   artifact naming;
+//! - [`core`] — the HYPPO system: history, augmenter, plan search,
+//!   cost model, materializer, executor;
+//! - [`baselines`] — NoOptimization, Sharing, Helix, Collab, Collab-E;
+//! - [`workloads`] — HIGGS/TAXI generators, iterative pipeline sequences,
+//!   synthetic hypergraphs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hyppo::core::{Hyppo, HyppoConfig};
+//! use hyppo::ml::{Config, LogicalOp};
+//! use hyppo::pipeline::PipelineSpec;
+//! use hyppo::workloads::higgs;
+//!
+//! let mut sys = Hyppo::new(HyppoConfig { budget_bytes: 1 << 20, ..Default::default() });
+//! sys.register_dataset("higgs", higgs::generate(200, 1));
+//!
+//! let mut spec = PipelineSpec::new();
+//! let data = spec.load("higgs");
+//! let (train, _test) = spec.split(data, Config::new().with_i("seed", 0));
+//! spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+//!
+//! let report = sys.submit(spec).unwrap();
+//! assert!(report.execution_seconds > 0.0);
+//! ```
+
+pub use hyppo_baselines as baselines;
+pub use hyppo_core as core;
+pub use hyppo_hypergraph as hypergraph;
+pub use hyppo_ml as ml;
+pub use hyppo_pipeline as pipeline;
+pub use hyppo_tensor as tensor;
+pub use hyppo_workloads as workloads;

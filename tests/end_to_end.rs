@@ -1,0 +1,207 @@
+//! Cross-crate integration tests: the full submit → augment → optimize →
+//! execute → record → materialize loop, across methods.
+
+use hyppo::baselines::{Collab, Helix, HyppoMethod, Method, NoOptimization};
+use hyppo::core::{Hyppo, HyppoConfig};
+use hyppo::workloads::generator::{generate_sequence, SequenceConfig, UseCase};
+use hyppo::workloads::{higgs, taxi};
+
+fn methods(budget: u64) -> Vec<Box<dyn Method>> {
+    vec![
+        Box::new(NoOptimization::new()),
+        Box::new(Helix::new(budget)),
+        Box::new(Collab::new(budget)),
+        Box::new(HyppoMethod(Hyppo::new(HyppoConfig {
+            budget_bytes: budget,
+            ..Default::default()
+        }))),
+    ]
+}
+
+#[test]
+fn scenario1_ordering_hyppo_never_loses() {
+    // On an iterative HIGGS session, cumulative cost must order
+    // HYPPO ≤ Collab ≤ NoOpt (allowing small noise margins).
+    let dataset = higgs::generate(1500, 3);
+    let budget = dataset.size_bytes() as u64 / 10;
+    let session = generate_sequence(&SequenceConfig {
+        use_case: UseCase::Higgs,
+        dataset_id: "higgs".to_string(),
+        n_pipelines: 10,
+        seed: 21,
+    });
+    let mut totals = Vec::new();
+    for mut method in methods(budget) {
+        method.register_dataset("higgs", dataset.clone());
+        for t in &session {
+            method.submit(t.to_spec()).expect("pipeline runs");
+        }
+        totals.push((method.name().to_string(), method.cumulative_seconds()));
+    }
+    let get = |name: &str| totals.iter().find(|(n, _)| n == name).unwrap().1;
+    let (noopt, collab, hyppo) = (get("NoOptimization"), get("Collab"), get("Helix").min(get("Collab")));
+    assert!(
+        get("HYPPO") < 0.9 * noopt,
+        "HYPPO {} must clearly beat NoOpt {}",
+        get("HYPPO"),
+        noopt
+    );
+    assert!(
+        get("HYPPO") < collab * 1.1,
+        "HYPPO {} must not lose to Collab {}",
+        get("HYPPO"),
+        collab
+    );
+    let _ = hyppo;
+}
+
+#[test]
+fn identical_resubmission_degenerates_to_loads() {
+    let dataset = taxi::generate(1200, 5);
+    let mut sys = Hyppo::new(HyppoConfig {
+        budget_bytes: dataset.size_bytes() as u64, // ample
+        ..Default::default()
+    });
+    sys.register_dataset("taxi", dataset);
+    let t = generate_sequence(&SequenceConfig {
+        use_case: UseCase::Taxi,
+        dataset_id: "taxi".to_string(),
+        n_pipelines: 1,
+        seed: 9,
+    })
+    .remove(0);
+    let first = sys.submit(t.to_spec()).unwrap();
+    let second = sys.submit(t.to_spec()).unwrap();
+    assert!(second.tasks_executed < first.tasks_executed);
+    assert!(second.execution_seconds < first.execution_seconds);
+    // The evaluation value must be identical whichever way it was derived.
+    for (name, v1) in &first.values {
+        let v2 = second.values[name];
+        assert!((v1 - v2).abs() < 1e-9, "reused value differs: {v1} vs {v2}");
+    }
+}
+
+#[test]
+fn loaded_artifacts_equal_recomputed_artifacts() {
+    // Retrieval correctness: what HYPPO loads from the store is what a
+    // from-scratch execution computes.
+    let dataset = higgs::generate(800, 13);
+    let mut with_store = Hyppo::new(HyppoConfig {
+        budget_bytes: dataset.size_bytes() as u64 * 4,
+        ..Default::default()
+    });
+    let mut without_store = Hyppo::new(HyppoConfig { budget_bytes: 0, ..Default::default() });
+    with_store.register_dataset("higgs", dataset.clone());
+    without_store.register_dataset("higgs", dataset);
+    let t = generate_sequence(&SequenceConfig {
+        use_case: UseCase::Higgs,
+        dataset_id: "higgs".to_string(),
+        n_pipelines: 1,
+        seed: 2,
+    })
+    .remove(0);
+    let a = with_store.submit(t.to_spec()).unwrap();
+    with_store.submit(t.to_spec()).unwrap(); // second run loads
+    let b = without_store.submit(t.to_spec()).unwrap();
+    for (name, v1) in &a.values {
+        assert!((v1 - b.values[name]).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn exploration_mode_executes_new_tasks_at_extra_cost() {
+    let dataset = higgs::generate(1000, 4);
+    let budget = dataset.size_bytes() as u64;
+    let session = generate_sequence(&SequenceConfig {
+        use_case: UseCase::Higgs,
+        dataset_id: "higgs".to_string(),
+        n_pipelines: 6,
+        seed: 31,
+    });
+    let run = |c_exp: f64| -> f64 {
+        let mut cfg = HyppoConfig { budget_bytes: budget, ..Default::default() };
+        cfg.search.c_exp = c_exp;
+        let mut sys = Hyppo::new(cfg);
+        sys.register_dataset("higgs", dataset.clone());
+        for t in &session {
+            sys.submit(t.to_spec()).unwrap();
+        }
+        sys.cumulative_seconds
+    };
+    let exploit = run(0.0);
+    let explore = run(1.0);
+    assert!(
+        explore >= exploit,
+        "exploration ({explore}) must cost at least exploitation ({exploit})"
+    );
+}
+
+#[test]
+fn budget_is_respected_across_a_session() {
+    let dataset = taxi::generate(1500, 6);
+    let budget = dataset.size_bytes() as u64 / 20;
+    let mut sys = Hyppo::new(HyppoConfig { budget_bytes: budget, ..Default::default() });
+    sys.register_dataset("taxi", dataset.clone());
+    let session = generate_sequence(&SequenceConfig {
+        use_case: UseCase::Taxi,
+        dataset_id: "taxi".to_string(),
+        n_pipelines: 8,
+        seed: 44,
+    });
+    for t in &session {
+        sys.submit(t.to_spec()).unwrap();
+        assert!(
+            sys.store.used_bytes() <= budget,
+            "store {} exceeds budget {budget}",
+            sys.store.used_bytes()
+        );
+    }
+    // Materialized set and history must agree.
+    for name in sys.history.materialized() {
+        assert!(sys.store.contains(name), "history says materialized, store disagrees");
+    }
+}
+
+#[test]
+fn all_methods_produce_equivalent_model_quality() {
+    // Reuse-only methods never substitute implementations, so their
+    // results agree bitwise with NoOptimization. HYPPO may swap a task for
+    // an *approximately* equivalent one (the paper's sklearn-vs-torch PCA
+    // situation), so its results agree within a quality tolerance.
+    let dataset = higgs::generate(1200, 8);
+    let budget = dataset.size_bytes() as u64 / 5;
+    let t = generate_sequence(&SequenceConfig {
+        use_case: UseCase::Higgs,
+        dataset_id: "higgs".to_string(),
+        n_pipelines: 3,
+        seed: 77,
+    });
+    let mut all_values: Vec<(String, Vec<f64>)> = Vec::new();
+    for mut method in methods(budget) {
+        method.register_dataset("higgs", dataset.clone());
+        let mut values = Vec::new();
+        for template in &t {
+            let r = method.submit(template.to_spec()).unwrap();
+            let mut vs: Vec<f64> = r.values.values().copied().collect();
+            vs.sort_by(f64::total_cmp);
+            values.extend(vs);
+        }
+        all_values.push((method.name().to_string(), values));
+    }
+    let baseline = &all_values[0].1;
+    for (name, other) in &all_values[1..] {
+        assert_eq!(baseline.len(), other.len());
+        for (a, b) in baseline.iter().zip(other) {
+            if name == "HYPPO" {
+                // HIGGS metrics are accuracies/F1 in [0,1]: equivalent
+                // implementations must land within a few points.
+                assert!(
+                    (a - b).abs() < 0.08,
+                    "{name} quality drifted too far: {a} vs {b}"
+                );
+            } else {
+                assert!((a - b).abs() < 1e-9, "{name} disagrees exactly: {a} vs {b}");
+            }
+        }
+    }
+}

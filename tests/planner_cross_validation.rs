@@ -1,0 +1,144 @@
+//! Cross-validation of the four planners on shared problem instances:
+//! HYPPO's exact search (stack & priority), Helix's min-cut, Collab's
+//! linear heuristic, and Collab-E's exhaustive enumeration must relate as
+//! their theory predicts — on pipelines with real histories and on
+//! synthetic hypergraphs.
+
+use hyppo::baselines::{collab_e_plan, collab_plan, helix_plan, BaselineState};
+use hyppo::core::optimizer::{optimize, QueueKind, SearchOptions};
+use hyppo::hypergraph::{validate_plan, PlanValidity};
+use hyppo::ml::{Config, LogicalOp};
+use hyppo::pipeline::PipelineSpec;
+use hyppo::workloads::{generate_synthetic, higgs};
+
+fn forest_spec(seed: i64, trees: i64) -> PipelineSpec {
+    let mut s = PipelineSpec::new();
+    let d = s.load("higgs");
+    let (train, test) = s.split(d, Config::new().with_i("seed", seed));
+    let cfg = Config::new().with_i("n_trees", trees).with_i("seed", 3);
+    let imp = s.fit(LogicalOp::ImputerMean, 0, Config::new(), &[train]);
+    let train = s.transform(LogicalOp::ImputerMean, 0, Config::new(), imp, train);
+    let test = s.transform(LogicalOp::ImputerMean, 0, Config::new(), imp, test);
+    let model = s.fit(LogicalOp::RandomForest, 0, cfg.clone(), &[train]);
+    let preds = s.predict(LogicalOp::RandomForest, 0, cfg, model, test);
+    s.evaluate(LogicalOp::Accuracy, preds, test);
+    s
+}
+
+/// On a baseline augmentation with real load/compute costs, Helix's
+/// min-cut must equal HYPPO's exact optimum, and Collab's heuristic must
+/// be no better.
+#[test]
+fn helix_equals_exact_collab_no_better_on_real_histories() {
+    let mut state = BaselineState::new(8 * 1024 * 1024);
+    state.register_dataset("higgs", higgs::generate(1200, 3));
+    // Build a history with two pipelines, materializing along the way.
+    for seed in [0, 1] {
+        let aug = state.build_augmentation(forest_spec(seed, 15), true);
+        let plan: Vec<_> = aug.graph.edge_ids().collect();
+        let (_, fresh) = state.run(&aug, &plan, 0.0, 0.0).unwrap();
+        // Materialize everything that fits (simple ample-budget policy).
+        for (name, artifact) in &fresh {
+            if state.history.node_of(*name).is_some()
+                && state.store.used_bytes() + artifact.size_bytes() as u64
+                    <= state.budget_bytes
+            {
+                state.store.put(*name, artifact);
+                state.history.materialize(*name);
+            }
+        }
+    }
+    // A third pipeline overlapping the history.
+    let aug = state.build_augmentation(forest_spec(0, 15), true);
+    let costs = state.costs(&aug);
+    let targets = aug.targets.clone();
+
+    let exact = optimize(&aug.graph, &costs, aug.source, &targets, &[], SearchOptions::default())
+        .expect("plan exists");
+    let hx = helix_plan(&aug, &costs, &targets).expect("helix plan exists");
+    let hx_cost: f64 = hx.iter().map(|&e| costs[e.index()]).sum();
+    assert!(
+        (hx_cost - exact.cost).abs() < 1e-9,
+        "helix {hx_cost} vs exact {}",
+        exact.cost
+    );
+    let cb = collab_plan(&aug, &costs, &targets).expect("collab plan exists");
+    let cb_cost: f64 = cb.iter().map(|&e| costs[e.index()]).sum();
+    assert!(cb_cost >= exact.cost - 1e-9, "heuristic can't beat the optimum");
+    for plan in [&exact.edges, &hx, &cb] {
+        assert_eq!(
+            validate_plan(&aug.graph, plan, &[aug.source], &targets),
+            PlanValidity::Valid
+        );
+    }
+}
+
+/// On synthetic hypergraphs with alternatives, Collab-E (when feasible)
+/// matches both exact search variants.
+#[test]
+fn collab_e_matches_both_exact_variants_on_synthetic_graphs() {
+    for seed in 0..12 {
+        let g = generate_synthetic(8, 2, seed);
+        let stack = optimize(
+            &g.graph,
+            &g.costs,
+            g.source,
+            &g.targets,
+            &[],
+            SearchOptions { queue: QueueKind::Stack, ..Default::default() },
+        )
+        .expect("derivable");
+        let priority = optimize(
+            &g.graph,
+            &g.costs,
+            g.source,
+            &g.targets,
+            &[],
+            SearchOptions { queue: QueueKind::Priority, ..Default::default() },
+        )
+        .expect("derivable");
+        let (_, exhaustive) =
+            collab_e_plan(&g.graph, &g.costs, g.source, &g.targets, 1 << 22)
+                .expect("within cap");
+        assert!((stack.cost - priority.cost).abs() < 1e-9, "seed {seed}");
+        assert!(
+            (stack.cost - exhaustive).abs() < 1e-9,
+            "seed {seed}: search {} vs exhaustive {exhaustive}",
+            stack.cost
+        );
+    }
+}
+
+/// Search effort ordering: the greedy variant expands at most as many
+/// states as exact search and stays within a bounded optimality gap on
+/// these workloads.
+#[test]
+fn greedy_effort_and_quality_tradeoff() {
+    let mut worst_ratio = 1.0f64;
+    for seed in 0..10 {
+        let g = generate_synthetic(14, 3, 100 + seed);
+        let exact = optimize(
+            &g.graph,
+            &g.costs,
+            g.source,
+            &g.targets,
+            &[],
+            SearchOptions::default(),
+        )
+        .expect("derivable");
+        let greedy = optimize(
+            &g.graph,
+            &g.costs,
+            g.source,
+            &g.targets,
+            &[],
+            SearchOptions { greedy: true, ..Default::default() },
+        )
+        .expect("derivable");
+        assert!(greedy.cost >= exact.cost - 1e-9);
+        worst_ratio = worst_ratio.max(greedy.cost / exact.cost);
+    }
+    // Greedy is lossy but not unboundedly so on pipeline-shaped graphs.
+    assert!(worst_ratio < 3.0, "greedy degraded {worst_ratio}x");
+    assert!(worst_ratio >= 1.0);
+}
