@@ -53,11 +53,7 @@ impl Collab {
 ///
 /// Requires physical naming (each artifact has at most one computational
 /// producer plus an optional load edge).
-pub fn collab_plan(
-    aug: &Augmentation,
-    costs: &[f64],
-    targets: &[NodeId],
-) -> Option<Vec<EdgeId>> {
+pub fn collab_plan(aug: &Augmentation, costs: &[f64], targets: &[NodeId]) -> Option<Vec<EdgeId>> {
     // Memoized standalone recreation cost + choice per node.
     fn rc(
         aug: &Augmentation,
@@ -152,8 +148,8 @@ fn collab_materialize(
         .into_iter()
         .map(|(name, size, is_fresh)| {
             let stats = state.history.stats_of(name);
-            let utility = stats.freq.max(1) as f64 * stats.compute_cost.max(1e-9)
-                / size.max(1) as f64;
+            let utility =
+                stats.freq.max(1) as f64 * stats.compute_cost.max(1e-9) / size.max(1) as f64;
             (utility, name, size, is_fresh)
         })
         .collect();
@@ -217,8 +213,7 @@ impl Method for Collab {
         let start = Instant::now();
         let names: Vec<ArtifactName> =
             requests.iter().map(|r| r.name(NamingMode::Physical)).collect();
-        let aug =
-            self.state.build_request_augmentation(&names).ok_or(SubmitError::NoPlan)?;
+        let aug = self.state.build_request_augmentation(&names).ok_or(SubmitError::NoPlan)?;
         let costs = self.state.costs(&aug);
         let targets = aug.targets.clone();
         let plan = collab_plan(&aug, &costs, &targets).ok_or(SubmitError::NoPlan)?;
@@ -265,8 +260,7 @@ mod tests {
         let mut s = PipelineSpec::new();
         let d = s.load("data");
         let (train, test) = s.split(d, Config::new().with_i("seed", seed));
-        let cfg =
-            Config::new().with_i("n_trees", trees).with_i("max_depth", 7).with_i("seed", 5);
+        let cfg = Config::new().with_i("n_trees", trees).with_i("max_depth", 7).with_i("seed", 5);
         let model = s.fit(LogicalOp::RandomForest, 0, cfg.clone(), &[train]);
         let preds = s.predict(LogicalOp::RandomForest, 0, cfg, model, test);
         s.evaluate(LogicalOp::Mse, preds, test);

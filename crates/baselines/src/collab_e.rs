@@ -25,10 +25,8 @@ pub fn collab_e_plan<N, E>(
 ) -> Option<(Vec<EdgeId>, f64)> {
     // Artifacts with at least one producer; their backward stars are the
     // choice dimensions.
-    let nodes: Vec<NodeId> = graph
-        .node_ids()
-        .filter(|&v| v != source && !graph.bstar(v).is_empty())
-        .collect();
+    let nodes: Vec<NodeId> =
+        graph.node_ids().filter(|&v| v != source && !graph.bstar(v).is_empty()).collect();
     let dims: Vec<&[EdgeId]> = nodes.iter().map(|&v| graph.bstar(v)).collect();
 
     // Combination count with overflow care.
@@ -122,10 +120,8 @@ mod tests {
                 nodes.push(v);
             }
             let target = *nodes.last().unwrap();
-            let (edges, cost) =
-                collab_e_plan(&g, &costs, s, &[target], 1_000_000).unwrap();
-            let exact =
-                optimize(&g, &costs, s, &[target], &[], SearchOptions::default()).unwrap();
+            let (edges, cost) = collab_e_plan(&g, &costs, s, &[target], 1_000_000).unwrap();
+            let exact = optimize(&g, &costs, s, &[target], &[], SearchOptions::default()).unwrap();
             assert!(
                 (cost - exact.cost).abs() < 1e-9,
                 "seed {seed}: collab-e {cost} vs exact {}",

@@ -61,11 +61,7 @@ impl Helix {
 /// Solve the load-vs-compute problem on an augmentation (physical naming:
 /// one compute producer per artifact) via iterated min-cut. Returns the
 /// chosen plan edges. Exposed for the scalability tests.
-pub fn helix_plan(
-    aug: &Augmentation,
-    costs: &[f64],
-    targets: &[NodeId],
-) -> Option<Vec<EdgeId>> {
+pub fn helix_plan(aug: &Augmentation, costs: &[f64], targets: &[NodeId]) -> Option<Vec<EdgeId>> {
     let compute_edge = |v: NodeId| -> Option<EdgeId> {
         aug.graph.bstar(v).iter().copied().find(|&e| !aug.graph.edge(e).is_load())
     };
@@ -88,8 +84,7 @@ pub fn helix_plan(
         t.dedup();
         t
     };
-    let task_idx: HashMap<EdgeId, usize> =
-        tasks.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+    let task_idx: HashMap<EdgeId, usize> = tasks.iter().enumerate().map(|(i, &e)| (e, i)).collect();
 
     // Network: 0 = S, 1 = T, then y-nodes (artifacts), then x-nodes (tasks).
     let mut net = Dinic::new(2 + artifacts.len() + tasks.len());
@@ -142,9 +137,7 @@ pub fn helix_plan(
         if !side[y_node(i)] {
             continue; // pruned
         }
-        let runs = compute_edge(v)
-            .map(|ce| side[x_node(task_idx[&ce])])
-            .unwrap_or(false);
+        let runs = compute_edge(v).map(|ce| side[x_node(task_idx[&ce])]).unwrap_or(false);
         if !runs {
             let le = load_edge(v)?;
             if !edges.contains(&le) {
@@ -204,8 +197,7 @@ impl Method for Helix {
         let start = Instant::now();
         let names: Vec<ArtifactName> =
             requests.iter().map(|r| r.name(NamingMode::Physical)).collect();
-        let aug =
-            self.state.build_request_augmentation(&names).ok_or(SubmitError::NoPlan)?;
+        let aug = self.state.build_request_augmentation(&names).ok_or(SubmitError::NoPlan)?;
         let costs = self.state.costs(&aug);
         let targets = aug.targets.clone();
         let plan = helix_plan(&aug, &costs, &targets).ok_or(SubmitError::NoPlan)?;
@@ -273,20 +265,10 @@ mod tests {
         let targets = aug.targets.clone();
         let cut_plan = helix_plan(&aug, &costs, &targets).unwrap();
         let cut_cost: f64 = cut_plan.iter().map(|&e| costs[e.index()]).sum();
-        let exact = optimize(
-            &aug.graph,
-            &costs,
-            aug.source,
-            &targets,
-            &[],
-            SearchOptions::default(),
-        )
-        .unwrap();
-        assert!(
-            (cut_cost - exact.cost).abs() < 1e-9,
-            "min-cut {cut_cost} vs exact {}",
-            exact.cost
-        );
+        let exact =
+            optimize(&aug.graph, &costs, aug.source, &targets, &[], SearchOptions::default())
+                .unwrap();
+        assert!((cut_cost - exact.cost).abs() < 1e-9, "min-cut {cut_cost} vs exact {}", exact.cost);
         assert_eq!(
             validate_plan(&aug.graph, &cut_plan, &[aug.source], &targets),
             PlanValidity::Valid

@@ -30,9 +30,9 @@ pub mod sharing;
 
 pub use collab::{collab_plan, Collab};
 pub use collab_e::collab_e_plan;
+pub use helix::helix_plan;
 pub use helix::Helix;
 pub use maxflow::Dinic;
-pub use helix::helix_plan;
 pub use method::{ArtifactRequest, BaselineState, HyppoMethod, Method, MethodReport};
 pub use no_opt::NoOptimization;
 pub use sharing::Sharing;

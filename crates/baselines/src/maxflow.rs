@@ -55,8 +55,7 @@ impl Dinic {
     pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
         assert_ne!(s, t);
         let mut flow = 0.0;
-        loop {
-            let Some(level) = self.bfs_levels(s, t) else { break };
+        while let Some(level) = self.bfs_levels(s, t) {
             let mut iter = vec![0usize; self.adj.len()];
             loop {
                 let pushed = self.dfs(s, t, f64::INFINITY, &level, &mut iter);
@@ -88,14 +87,7 @@ impl Dinic {
         (level[t] != u32::MAX).then_some(level)
     }
 
-    fn dfs(
-        &mut self,
-        v: usize,
-        t: usize,
-        pushed: f64,
-        level: &[u32],
-        iter: &mut [usize],
-    ) -> f64 {
+    fn dfs(&mut self, v: usize, t: usize, pushed: f64, level: &[u32], iter: &mut [usize]) -> f64 {
         if v == t {
             return pushed;
         }
@@ -189,11 +181,8 @@ mod tests {
         // Cut value recomputed from the partition equals the flow.
         // Edges: (0,1,1), (0,2,10), (1,3,10), (2,3,1).
         let caps = [(0, 1, 1.0), (0, 2, 10.0), (1, 3, 10.0), (2, 3, 1.0)];
-        let cut: f64 = caps
-            .iter()
-            .filter(|&&(a, b, _)| side[a] && !side[b])
-            .map(|&(_, _, c)| c)
-            .sum();
+        let cut: f64 =
+            caps.iter().filter(|&&(a, b, _)| side[a] && !side[b]).map(|&(_, _, c)| c).sum();
         assert!((cut - flow).abs() < 1e-9);
     }
 

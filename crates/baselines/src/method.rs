@@ -101,10 +101,8 @@ impl BaselineState {
     /// no dictionary alternatives, history enrichment as requested.
     pub fn build_augmentation(&self, spec: PipelineSpec, use_history: bool) -> Augmentation {
         let pipeline = build_pipeline_mode(spec, NamingMode::Physical);
-        let opts = hyppo_core::augment::AugmentOptions {
-            dictionary_alternatives: false,
-            use_history,
-        };
+        let opts =
+            hyppo_core::augment::AugmentOptions { dictionary_alternatives: false, use_history };
         hyppo_core::augment::augment(
             &pipeline,
             &self.history,
@@ -114,10 +112,7 @@ impl BaselineState {
     }
 
     /// Build a retrieval augmentation from the history for named requests.
-    pub fn build_request_augmentation(
-        &self,
-        names: &[ArtifactName],
-    ) -> Option<Augmentation> {
+    pub fn build_request_augmentation(&self, names: &[ArtifactName]) -> Option<Augmentation> {
         hyppo_core::augment::augment_request(&self.history, names)
     }
 
@@ -143,10 +138,8 @@ impl BaselineState {
             aug.targets.iter().map(|&t| aug.graph.node(t).name).collect();
         record_outcome(aug, &outcome, &target_names, &mut self.history, &mut self.estimator);
         self.cumulative_seconds += outcome.total_seconds;
-        let values = target_names
-            .iter()
-            .filter_map(|&n| outcome.value(n).map(|v| (n, v)))
-            .collect();
+        let values =
+            target_names.iter().filter_map(|&n| outcome.value(n).map(|v| (n, v))).collect();
         let report = MethodReport {
             planned_cost,
             execution_seconds: outcome.total_seconds,
@@ -284,8 +277,7 @@ mod tests {
         let mut st = BaselineState::new(0);
         st.register_dataset("data", dataset());
         let aug = st.build_augmentation(spec(), false);
-        let plan =
-            unique_derivation_plan(&aug.graph, aug.source, &aug.targets, |_| false).unwrap();
+        let plan = unique_derivation_plan(&aug.graph, aug.source, &aug.targets, |_| false).unwrap();
         assert_eq!(plan.len(), 3, "load + split + fit");
     }
 

@@ -52,15 +52,10 @@ impl Method for NoOptimization {
         for req in requests {
             let aug = self.state.build_augmentation(req.spec.clone(), false);
             let name = req.name(NamingMode::Physical);
-            let target =
-                *aug.node_by_name.get(&name).ok_or(SubmitError::NoPlan)?;
-            let plan = crate::method::unique_derivation_plan(
-                &aug.graph,
-                aug.source,
-                &[target],
-                |_| false,
-            )
-            .ok_or(SubmitError::NoPlan)?;
+            let target = *aug.node_by_name.get(&name).ok_or(SubmitError::NoPlan)?;
+            let plan =
+                crate::method::unique_derivation_plan(&aug.graph, aug.source, &[target], |_| false)
+                    .ok_or(SubmitError::NoPlan)?;
             let costs = self.state.costs(&aug);
             let planned: f64 = plan.iter().map(|&e| costs[e.index()]).sum();
             // Retarget the augmentation at the single requested artifact so
@@ -133,10 +128,8 @@ mod tests {
         let mut m = NoOptimization::new();
         m.register_dataset("data", dataset());
         m.submit(spec()).unwrap();
-        let req = ArtifactRequest {
-            spec: spec(),
-            handle: ArtifactHandle { step: StepId(2), output: 0 },
-        };
+        let req =
+            ArtifactRequest { spec: spec(), handle: ArtifactHandle { step: StepId(2), output: 0 } };
         let r = m.retrieve(&[req.clone(), req]).unwrap();
         // Two identical requests each pay the full 3-task derivation.
         assert_eq!(r.tasks_executed, 6);

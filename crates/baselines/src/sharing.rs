@@ -7,9 +7,7 @@
 //! requested artifacts. It never loads materialized artifacts and never
 //! exploits equivalences (physical naming).
 
-use crate::method::{
-    unique_derivation_plan, ArtifactRequest, BaselineState, Method, MethodReport,
-};
+use crate::method::{unique_derivation_plan, ArtifactRequest, BaselineState, Method, MethodReport};
 use hyppo_core::system::SubmitError;
 use hyppo_hypergraph::{EdgeId, NodeId};
 use hyppo_pipeline::{ArtifactName, NamingMode, PipelineSpec};
@@ -57,8 +55,7 @@ impl Method for Sharing {
     fn retrieve(&mut self, requests: &[ArtifactRequest]) -> Result<MethodReport, SubmitError> {
         let names: Vec<ArtifactName> =
             requests.iter().map(|r| r.name(NamingMode::Physical)).collect();
-        let mut aug =
-            self.state.build_request_augmentation(&names).ok_or(SubmitError::NoPlan)?;
+        let mut aug = self.state.build_request_augmentation(&names).ok_or(SubmitError::NoPlan)?;
         let targets: Vec<NodeId> = aug.targets.clone();
         // One shared plan: the union of the unique derivations, with common
         // subexpressions automatically deduplicated. Loads are ignored
@@ -121,14 +118,8 @@ mod tests {
         // Request both the scaler state (step 2) and the scaled test set
         // (step 3): their derivations share load+split+fit.
         let reqs = vec![
-            ArtifactRequest {
-                spec: spec(),
-                handle: ArtifactHandle { step: StepId(2), output: 0 },
-            },
-            ArtifactRequest {
-                spec: spec(),
-                handle: ArtifactHandle { step: StepId(3), output: 0 },
-            },
+            ArtifactRequest { spec: spec(), handle: ArtifactHandle { step: StepId(2), output: 0 } },
+            ArtifactRequest { spec: spec(), handle: ArtifactHandle { step: StepId(3), output: 0 } },
         ];
         let r = m.retrieve(&reqs).unwrap();
         // Shared plan: load, split, fit, transform = 4 tasks (vs 7 without
@@ -141,10 +132,8 @@ mod tests {
         let mut m = Sharing::new();
         m.register_dataset("data", dataset());
         // Nothing submitted yet: history has no derivations.
-        let req = ArtifactRequest {
-            spec: spec(),
-            handle: ArtifactHandle { step: StepId(2), output: 0 },
-        };
+        let req =
+            ArtifactRequest { spec: spec(), handle: ArtifactHandle { step: StepId(2), output: 0 } };
         assert!(matches!(m.retrieve(&[req]), Err(SubmitError::NoPlan)));
     }
 

@@ -11,9 +11,7 @@ fn imputed_higgs(rows: usize) -> Artifact {
     let raw = Artifact::Data(higgs::generate(rows, 5));
     let cfg = Config::new();
     let imp = &execute(LogicalOp::ImputerMean, TaskType::Fit, 0, &cfg, &[&raw]).unwrap()[0];
-    execute(LogicalOp::ImputerMean, TaskType::Transform, 0, &cfg, &[imp, &raw])
-        .unwrap()
-        .remove(0)
+    execute(LogicalOp::ImputerMean, TaskType::Transform, 0, &cfg, &[imp, &raw]).unwrap().remove(0)
 }
 
 fn bench_pairs(c: &mut Criterion) {
@@ -34,9 +32,7 @@ fn bench_pairs(c: &mut Criterion) {
         group.sample_size(10);
         for imp in op.impls() {
             group.bench_function(imp.name, |b| {
-                b.iter(|| {
-                    execute(op, TaskType::Fit, imp.index, &cfg, &[black_box(&data)]).unwrap()
-                })
+                b.iter(|| execute(op, TaskType::Fit, imp.index, &cfg, &[black_box(&data)]).unwrap())
             });
         }
         group.finish();
@@ -50,7 +46,7 @@ fn bench_codec(c: &mut Criterion) {
     });
     let bytes = hyppo_core::codec::encode(&data);
     c.bench_function("codec_decode_2000x30", |b| {
-        b.iter(|| hyppo_core::codec::decode(black_box(bytes.clone())).unwrap())
+        b.iter(|| hyppo_core::codec::decode(black_box(&bytes)).unwrap())
     });
 }
 

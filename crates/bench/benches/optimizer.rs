@@ -30,14 +30,7 @@ fn bench_vs_n(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
             let opts = SearchOptions { greedy: true, ..Default::default() };
             b.iter(|| {
-                optimize(
-                    black_box(&g.graph),
-                    black_box(&g.costs),
-                    g.source,
-                    &g.targets,
-                    &[],
-                    opts,
-                )
+                optimize(black_box(&g.graph), black_box(&g.costs), g.source, &g.targets, &[], opts)
             })
         });
     }
@@ -52,14 +45,7 @@ fn bench_vs_m(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("priority", m), &m, |b, _| {
             let opts = SearchOptions { queue: QueueKind::Priority, ..Default::default() };
             b.iter(|| {
-                optimize(
-                    black_box(&g.graph),
-                    black_box(&g.costs),
-                    g.source,
-                    &g.targets,
-                    &[],
-                    opts,
-                )
+                optimize(black_box(&g.graph), black_box(&g.costs), g.source, &g.targets, &[], opts)
             })
         });
     }

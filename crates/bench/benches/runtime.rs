@@ -1,0 +1,126 @@
+//! Serial vs wavefront-parallel plan execution on a wide ensemble plan.
+//!
+//! Run under `cargo bench --bench runtime` for the full measurement, which
+//! writes `BENCH_runtime.json` (wall-clock and speedup per worker count).
+//! Without `--bench` in the arguments (e.g. when `cargo test` smoke-runs
+//! harness-less bench targets) a tiny workload runs and nothing is
+//! written.
+
+use hyppo_core::augment::{augment, AugmentOptions};
+use hyppo_core::executor::ExecMode;
+use hyppo_core::{execute_plan, ArtifactStore, History};
+use hyppo_hypergraph::EdgeId;
+use hyppo_ml::{Config, LogicalOp};
+use hyppo_pipeline::{build_pipeline, Dictionary, PipelineSpec};
+use hyppo_runtime::execute_plan_parallel;
+use hyppo_workloads::ensemble_wl::{ensemble_spec, wide_ensemble_spec};
+use hyppo_workloads::generator::{PipelineTemplate, UseCase};
+use hyppo_workloads::taxi;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct WorkerResult {
+    workers: usize,
+    wall_seconds: f64,
+    peak_concurrency: usize,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    benchmark: String,
+    /// Wall-clock speedup is bounded by this; on a single-core host the
+    /// interesting signal is `peak_concurrency` (exposed parallelism).
+    host_cpus: usize,
+    dataset_rows: usize,
+    ensemble_members: usize,
+    plan_edges: usize,
+    serial_wall_seconds: f64,
+    parallel: Vec<WorkerResult>,
+}
+
+/// Wide voting ensemble whose members are random forests: the member fits
+/// dominate the shared preprocessing prefix, so the fan-out is where the
+/// time goes — the shape the wavefront executor is built for.
+fn heavy_wide_spec(members: usize) -> PipelineSpec {
+    let templates: Vec<PipelineTemplate> = (0..members)
+        .map(|i| {
+            let mut t = PipelineTemplate::base(UseCase::Taxi, "taxi", 0);
+            let cfg =
+                Config::new().with_i("n_trees", 25).with_i("max_depth", 8).with_i("seed", i as i64);
+            t.model = (LogicalOp::RandomForest, cfg, 0);
+            t
+        })
+        .collect();
+    ensemble_spec(&templates, LogicalOp::Voting)
+}
+
+fn fixture(
+    rows: usize,
+    members: usize,
+    heavy: bool,
+) -> (hyppo_core::augment::Augmentation, ArtifactStore, Vec<EdgeId>) {
+    let spec =
+        if heavy { heavy_wide_spec(members) } else { wide_ensemble_spec("taxi", members, 42) };
+    let pipeline = build_pipeline(spec);
+    let opts = AugmentOptions { dictionary_alternatives: false, use_history: false };
+    let aug = augment(&pipeline, &History::new(), &Dictionary::full(), opts);
+    let mut store = ArtifactStore::new();
+    store.register_dataset("taxi", taxi::generate(rows, 5));
+    let plan = aug.graph.edge_ids().collect();
+    (aug, store, plan)
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--bench");
+    let (rows, members, reps) = if full { (4000, 8, 3) } else { (150, 3, 1) };
+    let (aug, store, plan) = fixture(rows, members, full);
+    let costs = vec![0.0; aug.graph.edge_bound()];
+
+    // Serial baseline: best of `reps` runs of the core executor.
+    let mut serial_wall = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        execute_plan(&aug, &plan, &store, ExecMode::Real, &costs).expect("serial run failed");
+        serial_wall = serial_wall.min(start.elapsed().as_secs_f64());
+    }
+    println!("runtime: {} edges, serial {:.3}s", plan.len(), serial_wall);
+
+    let mut report = BenchReport {
+        benchmark: "wavefront_vs_serial".to_string(),
+        host_cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        dataset_rows: rows,
+        ensemble_members: members,
+        plan_edges: plan.len(),
+        serial_wall_seconds: serial_wall,
+        parallel: Vec::new(),
+    };
+    for workers in [1usize, 2, 4, 8] {
+        let mut wall = f64::INFINITY;
+        let mut peak = 0;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let out =
+                execute_plan_parallel(&aug, &plan, &store, workers).expect("parallel run failed");
+            wall = wall.min(start.elapsed().as_secs_f64());
+            peak = peak.max(out.metrics.peak_concurrency);
+        }
+        let speedup = serial_wall / wall;
+        println!("runtime: {workers} workers {wall:.3}s (peak {peak}, {speedup:.2}x)");
+        report.parallel.push(WorkerResult {
+            workers,
+            wall_seconds: wall,
+            peak_concurrency: peak,
+            speedup_vs_serial: speedup,
+        });
+    }
+
+    if full {
+        let json = serde_json::to_string_pretty(&report).expect("serialize report");
+        // Anchor at the workspace root regardless of cargo's bench CWD.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+        std::fs::write(path, json).expect("write BENCH_runtime.json");
+        println!("runtime: wrote {path}");
+    }
+}

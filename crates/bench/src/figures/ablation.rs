@@ -53,8 +53,7 @@ pub fn run(opts: &CliOptions) {
         &["variant", "cumulative time", "vs full", "optimize overhead", "stored now"],
     );
     let mut full_time = None;
-    for name in
-        ["full", "stack", "greedy", "no-equivalence", "no-locality", "exp-decay", "explore"]
+    for name in ["full", "stack", "greedy", "no-equivalence", "no-locality", "exp-decay", "explore"]
     {
         let (label, mut sys) = variant(name, budget);
         sys.register_dataset("higgs", dataset.clone());

@@ -35,7 +35,8 @@ fn measure(n: usize, m: usize, base_seed: u64) -> Point {
         for (kind, slot) in
             [(QueueKind::Stack, &mut acc.stack), (QueueKind::Priority, &mut acc.priority)]
         {
-            let opts = SearchOptions { queue: kind, max_expansions: 40_000_000, ..Default::default() };
+            let opts =
+                SearchOptions { queue: kind, max_expansions: 40_000_000, ..Default::default() };
             let start = Instant::now();
             let plan = optimize(&g.graph, &g.costs, g.source, &g.targets, &[], opts)
                 .expect("synthetic targets are derivable");
@@ -73,10 +74,9 @@ pub fn run(_opts: &CliOptions) {
                 anchors = Some((ce, 2f64.powi(n as i32), p.stack, 2f64.powf(f * p.avg_len)));
                 (ce, p.stack)
             }
-            Some((ce0, exp0, st0, opt0)) => (
-                ce0 * 2f64.powi(n as i32) / exp0,
-                st0 * 2f64.powf(f * p.avg_len) / opt0,
-            ),
+            Some((ce0, exp0, st0, opt0)) => {
+                (ce0 * 2f64.powi(n as i32) / exp0, st0 * 2f64.powf(f * p.avg_len) / opt0)
+            }
         };
         a.row(&[
             n.to_string(),

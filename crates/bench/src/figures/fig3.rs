@@ -15,11 +15,8 @@ fn checkpoint_headers(checkpoints: &[usize]) -> Vec<String> {
 /// Emit Fig. 3(a–d).
 pub fn run(opts: &CliOptions) {
     let n = opts.pipelines.unwrap_or(50);
-    let checkpoints: Vec<usize> = [n / 5, 2 * n / 5, 3 * n / 5, 4 * n / 5, n]
-        .iter()
-        .copied()
-        .filter(|&c| c > 0)
-        .collect();
+    let checkpoints: Vec<usize> =
+        [n / 5, 2 * n / 5, 3 * n / 5, 4 * n / 5, n].iter().copied().filter(|&c| c > 0).collect();
     for (use_case, tag, suffix) in
         [(UseCase::Higgs, "a/c HIGGS", "higgs"), (UseCase::Taxi, "b/d TAXI", "taxi")]
     {

@@ -19,7 +19,9 @@ pub fn run(opts: &CliOptions) {
         let mut headers = vec!["method".to_string()];
         headers.extend(BUDGETS.iter().map(|b| format!("B={b}")));
         let mut time_table = Table::from_headers(
-            &format!("Fig 4({tag}): execution time vs storage budget, {n} pipelines (speedup vs NoOpt)"),
+            &format!(
+                "Fig 4({tag}): execution time vs storage budget, {n} pipelines (speedup vs NoOpt)"
+            ),
             headers.clone(),
         );
         let mut price_table = Table::from_headers(
@@ -65,9 +67,7 @@ pub fn run(opts: &CliOptions) {
             }
             // NoOpt price depends on B (storage is billed even if unused by
             // the method? No — NoOpt provisions no storage): use B=0.
-            noopt_price.push(
-                hyppo_core::PriceModel::default().price(noopt_cet, 0),
-            );
+            noopt_price.push(hyppo_core::PriceModel::default().price(noopt_cet, 0));
         }
         let mut cells = vec!["NoOptimization".to_string()];
         cells.extend(BUDGETS.iter().map(|_| format!("{} (1.00x)", secs(noopt_cet))));

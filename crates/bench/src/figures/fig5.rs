@@ -58,12 +58,7 @@ pub fn run(opts: &CliOptions) {
         let budget = (dataset_bytes as f64 * frac) as u64;
         let sys = build_history(budget, opts, n);
         let price = hyppo_core::PriceModel::default().price(0.0, budget);
-        a.row(&[
-            format!("{frac}"),
-            bytes(budget),
-            bytes(sys.store.used_bytes()),
-            euros(price),
-        ]);
+        a.row(&[format!("{frac}"), bytes(budget), bytes(sys.store.used_bytes()), euros(price)]);
         let stats = artifact_role_stats(&sys);
         let pct = |role: hyppo_pipeline::ArtifactRole| -> String {
             stats

@@ -19,12 +19,8 @@ use crate::setup::{CliOptions, ExperimentScale, MethodKind};
 pub fn run(opts: &CliOptions) {
     let history = opts.pipelines.unwrap_or(40);
     let max_batch = history.max(10);
-    let batches: Vec<usize> = vec![
-        (max_batch / 4).max(1),
-        (max_batch / 2).max(2),
-        (3 * max_batch / 4).max(3),
-        max_batch,
-    ];
+    let batches: Vec<usize> =
+        vec![(max_batch / 4).max(1), (max_batch / 2).max(2), (3 * max_batch / 4).max(3), max_batch];
     let out = run_scenario3(
         history,
         &batches,

@@ -48,12 +48,7 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
         let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);

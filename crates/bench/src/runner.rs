@@ -84,8 +84,7 @@ pub fn run_scenario1(cfg: &Scenario1Config) -> Scenario1Result {
         for (mi, &kind) in cfg.methods.iter().enumerate() {
             let mut method = make_method(kind, budget_bytes);
             methods[mi].name = method.name().to_string();
-            method
-                .register_dataset(ExperimentScale::dataset_id(cfg.use_case), dataset.clone());
+            method.register_dataset(ExperimentScale::dataset_id(cfg.use_case), dataset.clone());
             for (pi, template) in templates.iter().enumerate() {
                 let report = method
                     .submit(template.to_spec())

@@ -36,10 +36,9 @@ pub fn make_method(kind: MethodKind, budget_bytes: u64) -> Box<dyn Method> {
         MethodKind::Sharing => Box::new(Sharing::new()),
         MethodKind::Helix => Box::new(Helix::new(budget_bytes)),
         MethodKind::Collab => Box::new(Collab::new(budget_bytes)),
-        MethodKind::Hyppo => Box::new(HyppoMethod(Hyppo::new(HyppoConfig {
-            budget_bytes,
-            ..Default::default()
-        }))),
+        MethodKind::Hyppo => {
+            Box::new(HyppoMethod(Hyppo::new(HyppoConfig { budget_bytes, ..Default::default() })))
+        }
     }
 }
 

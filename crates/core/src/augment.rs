@@ -14,7 +14,7 @@
 
 use crate::estimator::{output_shape, CostEstimator, ShapeEst};
 use crate::history::History;
-use crate::store::ArtifactStore;
+use crate::store::ArtifactStorage;
 use hyppo_hypergraph::{connectivity, EdgeId, HyperGraph, NodeId};
 use hyppo_ml::TaskType;
 use hyppo_pipeline::{naming, ArtifactName, Dictionary, EdgeLabel, NodeLabel, Pipeline};
@@ -85,14 +85,11 @@ pub fn augment(
     let mut edge_seen: HashMap<(ArtifactName, usize), EdgeId> = HashMap::new();
     let mut pipeline_edges = Vec::new();
 
-    let ensure_node =
-        |graph: &mut HyperGraph<NodeLabel, EdgeLabel>,
-         node_by_name: &mut HashMap<ArtifactName, NodeId>,
-         label: &NodeLabel| {
-            *node_by_name
-                .entry(label.name)
-                .or_insert_with(|| graph.add_node(label.clone()))
-        };
+    let ensure_node = |graph: &mut HyperGraph<NodeLabel, EdgeLabel>,
+                       node_by_name: &mut HashMap<ArtifactName, NodeId>,
+                       label: &NodeLabel| {
+        *node_by_name.entry(label.name).or_insert_with(|| graph.add_node(label.clone()))
+    };
 
     // --- 1. Copy P ---
     for e in pipeline.graph.edge_ids() {
@@ -134,17 +131,12 @@ pub fn augment(
                 if imp.index == label.impl_index {
                     continue;
                 }
-                let identity =
-                    edge_identity(&graph, &label, graph.tail(e), graph.head(e), source);
+                let identity = edge_identity(&graph, &label, graph.tail(e), graph.head(e), source);
                 if edge_seen.contains_key(&(identity, imp.index)) {
                     continue;
                 }
-                let alt_label = EdgeLabel::task(
-                    label.op,
-                    label.task,
-                    imp.index,
-                    label.config.clone(),
-                );
+                let alt_label =
+                    EdgeLabel::task(label.op, label.task, imp.index, label.config.clone());
                 let tail = graph.tail(e).to_vec();
                 let head = graph.head(e).to_vec();
                 let alt = graph.add_edge(tail, head, alt_label);
@@ -156,10 +148,8 @@ pub fn augment(
     // --- 3. History enrichment ---
     if opts.use_history {
         // Artifacts of P that the history knows (equivalence by name).
-        let matched: Vec<NodeId> = node_by_name
-            .iter()
-            .filter_map(|(&name, _)| history.node_of(name))
-            .collect();
+        let matched: Vec<NodeId> =
+            node_by_name.iter().filter_map(|(&name, _)| history.node_of(name)).collect();
         if !matched.is_empty() {
             let relevant = connectivity::backward_relevant(&history.graph, &matched);
             for he in history.graph.edge_ids() {
@@ -208,19 +198,15 @@ pub fn augment(
         }
         let tail_names: Vec<ArtifactName> =
             graph.tail(e).iter().map(|&v| node_name(&graph, v, source)).collect();
-        let identity =
-            naming::task_identity(label.op, label.task, &label.config, &tail_names);
+        let identity = naming::task_identity(label.op, label.task, &label.config, &tail_names);
         if !history.has_task(identity, label.impl_index) {
             new_tasks.push(e);
         }
     }
 
     // Targets by name.
-    let targets: Vec<NodeId> = pipeline
-        .targets
-        .iter()
-        .map(|&v| node_by_name[&pipeline.graph.node(v).name])
-        .collect();
+    let targets: Vec<NodeId> =
+        pipeline.targets.iter().map(|&v| node_by_name[&pipeline.graph.node(v).name]).collect();
 
     Augmentation { graph, source, targets, node_by_name, new_tasks, pipeline_edges }
 }
@@ -240,11 +226,9 @@ pub fn augment_request(history: &History, requests: &[ArtifactName]) -> Option<A
     let source = graph.add_node(NodeLabel::source());
     let mut node_by_name: HashMap<ArtifactName, NodeId> = HashMap::new();
     let ensure = |graph: &mut HyperGraph<NodeLabel, EdgeLabel>,
-                      node_by_name: &mut HashMap<ArtifactName, NodeId>,
-                      label: &NodeLabel| {
-        *node_by_name
-            .entry(label.name)
-            .or_insert_with(|| graph.add_node(label.clone()))
+                  node_by_name: &mut HashMap<ArtifactName, NodeId>,
+                  label: &NodeLabel| {
+        *node_by_name.entry(label.name).or_insert_with(|| graph.add_node(label.clone()))
     };
     for he in history.graph.edge_ids() {
         if !history.graph.head(he).iter().any(|&v| relevant.contains(v)) {
@@ -305,10 +289,8 @@ fn edge_identity(
     head: &[NodeId],
     source: NodeId,
 ) -> ArtifactName {
-    let tail_names: Vec<ArtifactName> =
-        tail.iter().map(|&v| node_name(graph, v, source)).collect();
-    let head_names: Vec<ArtifactName> =
-        head.iter().map(|&v| node_name(graph, v, source)).collect();
+    let tail_names: Vec<ArtifactName> = tail.iter().map(|&v| node_name(graph, v, source)).collect();
+    let head_names: Vec<ArtifactName> = head.iter().map(|&v| node_name(graph, v, source)).collect();
     edge_identity_names(label, &tail_names, &head_names)
 }
 
@@ -334,7 +316,7 @@ fn edge_identity_names(
 pub fn annotate_costs(
     aug: &Augmentation,
     estimator: &CostEstimator,
-    store: &ArtifactStore,
+    store: &impl ArtifactStorage,
 ) -> Vec<f64> {
     let mut shapes: Vec<Option<ShapeEst>> = vec![None; aug.graph.node_bound()];
     shapes[aug.source.index()] = Some(ShapeEst { rows: 0.0, cols: 0.0 });
@@ -343,12 +325,9 @@ pub fn annotate_costs(
     for e in aug.graph.edge_ids() {
         let label = aug.graph.edge(e);
         if let Some(id) = &label.dataset {
-            if let Some(d) = store.dataset(id) {
+            if let Some((rows, cols)) = store.dataset_shape(id) {
                 for &h in aug.graph.head(e) {
-                    shapes[h.index()] = Some(ShapeEst {
-                        rows: d.len() as f64,
-                        cols: d.n_features() as f64,
-                    });
+                    shapes[h.index()] = Some(ShapeEst { rows: rows as f64, cols: cols as f64 });
                 }
             }
         }
@@ -379,13 +358,8 @@ pub fn annotate_costs(
             let Some(tail_shapes) = tail_shapes else { continue };
             for (i, &h) in aug.graph.head(e).iter().enumerate() {
                 if shapes[h.index()].is_none() {
-                    shapes[h.index()] = Some(output_shape(
-                        label.op,
-                        label.task,
-                        &label.config,
-                        &tail_shapes,
-                        i,
-                    ));
+                    shapes[h.index()] =
+                        Some(output_shape(label.op, label.task, &label.config, &tail_shapes, i));
                     changed = true;
                 }
             }
@@ -431,6 +405,7 @@ pub fn annotate_costs(
 mod tests {
     use super::*;
     use crate::history::ProducedArtifact;
+    use crate::store::ArtifactStore;
     use hyppo_ml::{ArtifactKind, Config, LogicalOp};
     use hyppo_pipeline::{build_pipeline, ArtifactRole, PipelineSpec};
     use hyppo_tensor::{Dataset, Matrix, TaskKind};
@@ -440,8 +415,7 @@ mod tests {
         let d = spec.load("higgs");
         let (train, test) = spec.split(d, Config::new().with_i("seed", 0));
         let scaler = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
-        let _scaled =
-            spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
+        let _scaled = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
         build_pipeline(spec)
     }
 
@@ -493,8 +467,7 @@ mod tests {
         let cfg = Config::new().with_i("seed", 0);
         let train =
             naming::output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg, &[raw], 0);
-        let test =
-            naming::output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg, &[raw], 1);
+        let test = naming::output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg, &[raw], 1);
         let mk = |name: ArtifactName, role: ArtifactRole, size: u64| ProducedArtifact {
             name,
             label: NodeLabel {
@@ -516,7 +489,8 @@ mod tests {
             0.2,
         );
         let scfg = Config::new();
-        let state = naming::output_name(LogicalOp::StandardScaler, TaskType::Fit, &scfg, &[train], 0);
+        let state =
+            naming::output_name(LogicalOp::StandardScaler, TaskType::Fit, &scfg, &[train], 0);
         h.record_task(
             LogicalOp::StandardScaler,
             TaskType::Fit,
@@ -591,8 +565,7 @@ mod tests {
         let cfg = Config::new().with_i("seed", 0);
         let train =
             naming::output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg, &[raw], 0);
-        let test =
-            naming::output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg, &[raw], 1);
+        let test = naming::output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg, &[raw], 1);
         let mk = |name: ArtifactName, size: u64| ProducedArtifact {
             name,
             label: NodeLabel {

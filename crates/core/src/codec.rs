@@ -40,7 +40,7 @@ fn put_f64s(out: &mut BytesMut, v: &[f64]) {
     }
 }
 
-fn get_f64s(buf: &mut Bytes) -> Result<Vec<f64>> {
+fn get_f64s(buf: &mut &[u8]) -> Result<Vec<f64>> {
     need(buf, 8, "f64 slice length")?;
     let n = buf.get_u64_le() as usize;
     need(buf, n * 8, "f64 slice payload")?;
@@ -52,7 +52,7 @@ fn put_str(out: &mut BytesMut, s: &str) {
     out.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String> {
+fn get_str(buf: &mut &[u8]) -> Result<String> {
     need(buf, 8, "string length")?;
     let n = buf.get_u64_le() as usize;
     need(buf, n, "string payload")?;
@@ -68,7 +68,7 @@ fn put_matrix(out: &mut BytesMut, m: &Matrix) {
     }
 }
 
-fn get_matrix(buf: &mut Bytes) -> Result<Matrix> {
+fn get_matrix(buf: &mut &[u8]) -> Result<Matrix> {
     need(buf, 16, "matrix header")?;
     let rows = buf.get_u64_le() as usize;
     let cols = buf.get_u64_le() as usize;
@@ -108,7 +108,7 @@ fn put_tree(out: &mut BytesMut, t: &TreeModel) {
     }
 }
 
-fn get_tree(buf: &mut Bytes) -> Result<TreeModel> {
+fn get_tree(buf: &mut &[u8]) -> Result<TreeModel> {
     need(buf, 8, "tree length")?;
     let n = buf.get_u64_le() as usize;
     let mut nodes = Vec::with_capacity(n.min(1 << 20));
@@ -141,7 +141,7 @@ fn put_trees(out: &mut BytesMut, trees: &[TreeModel]) {
     }
 }
 
-fn get_trees(buf: &mut Bytes) -> Result<Vec<TreeModel>> {
+fn get_trees(buf: &mut &[u8]) -> Result<Vec<TreeModel>> {
     need(buf, 8, "tree count")?;
     let n = buf.get_u64_le() as usize;
     let mut out = Vec::with_capacity(n.min(1 << 16));
@@ -226,7 +226,7 @@ fn put_state(out: &mut BytesMut, s: &OpState) {
     }
 }
 
-fn get_state(buf: &mut Bytes) -> Result<OpState> {
+fn get_state(buf: &mut &[u8]) -> Result<OpState> {
     need(buf, 1, "op-state tag")?;
     Ok(match buf.get_u8() {
         0 => {
@@ -301,6 +301,13 @@ fn get_state(buf: &mut Bytes) -> Result<OpState> {
     })
 }
 
+/// Exact byte length [`encode`] produces for this artifact. The in-memory
+/// estimate `Artifact::size_bytes` excludes tags/lengths/strings, so budget
+/// accounting must use this instead.
+pub fn encoded_size(artifact: &Artifact) -> u64 {
+    encode(artifact).len() as u64
+}
+
 /// Serialize an artifact to bytes.
 pub fn encode(artifact: &Artifact) -> Bytes {
     let mut out = BytesMut::with_capacity(artifact.size_bytes() + 64);
@@ -334,8 +341,9 @@ pub fn encode(artifact: &Artifact) -> Bytes {
     out.freeze()
 }
 
-/// Deserialize an artifact from bytes.
-pub fn decode(mut buf: Bytes) -> Result<Artifact> {
+/// Deserialize an artifact from a borrowed byte slice (a `&Bytes` view
+/// coerces via `Deref`, so callers never clone the backing buffer).
+pub fn decode(mut buf: &[u8]) -> Result<Artifact> {
     need(&buf, 1, "artifact tag")?;
     let artifact = match buf.get_u8() {
         0 => {
@@ -375,7 +383,7 @@ mod tests {
 
     fn roundtrip(a: Artifact) {
         let bytes = encode(&a);
-        let back = decode(bytes).unwrap();
+        let back = decode(&bytes).unwrap();
         assert_eq!(a, back);
     }
 
@@ -396,7 +404,7 @@ mod tests {
             vec!["a".into(), "b".into()],
             TaskKind::Regression,
         ));
-        let back = decode(encode(&gap)).unwrap();
+        let back = decode(&encode(&gap)).unwrap();
         assert!(gap.approx_eq(&back, 0.0));
     }
 
@@ -410,11 +418,7 @@ mod tests {
             ],
         };
         let states = vec![
-            OpState::Scaler {
-                op: LogicalOp::StandardScaler,
-                offset: vec![1.0],
-                scale: vec![2.0],
-            },
+            OpState::Scaler { op: LogicalOp::StandardScaler, offset: vec![1.0], scale: vec![2.0] },
             OpState::Imputer { op: LogicalOp::ImputerMedian, fill: vec![0.5, 0.25] },
             OpState::Poly { degree: 2, input_dim: 30 },
             OpState::Pca { mean: vec![0.0, 1.0], components: Matrix::identity(2) },
@@ -424,10 +428,7 @@ mod tests {
             OpState::Forest { trees: vec![tree.clone(), tree.clone()], classification: true },
             OpState::Gbm { trees: vec![tree.clone()], learning_rate: 0.1, base: 2.0 },
             OpState::KMeans { centroids: Matrix::filled(3, 2, 0.5) },
-            OpState::Voting {
-                members: vec![OpState::Tree(tree.clone())],
-                classification: false,
-            },
+            OpState::Voting { members: vec![OpState::Tree(tree.clone())], classification: false },
             OpState::Stacking {
                 members: vec![OpState::Tree(tree)],
                 meta_weights: vec![1.5],
@@ -442,7 +443,7 @@ mod tests {
     #[test]
     fn nan_survives_roundtrip() {
         let a = Artifact::Predictions(vec![f64::NAN]);
-        let back = decode(encode(&a)).unwrap();
+        let back = decode(&encode(&a)).unwrap();
         match back {
             Artifact::Predictions(p) => assert!(p[0].is_nan()),
             _ => panic!(),
@@ -453,21 +454,21 @@ mod tests {
     fn truncated_buffer_rejected() {
         let bytes = encode(&Artifact::Value(1.0));
         let truncated = bytes.slice(0..bytes.len() - 1);
-        assert!(decode(truncated).is_err());
+        assert!(decode(&truncated).is_err());
     }
 
     #[test]
     fn trailing_garbage_rejected() {
         let mut raw = BytesMut::from(&encode(&Artifact::Value(1.0))[..]);
         raw.put_u8(0xFF);
-        assert!(decode(raw.freeze()).is_err());
+        assert!(decode(&raw.freeze()).is_err());
     }
 
     #[test]
     fn bad_tags_rejected() {
         let mut raw = BytesMut::new();
         raw.put_u8(200);
-        assert!(decode(raw.freeze()).is_err());
+        assert!(decode(&raw.freeze()).is_err());
     }
 
     #[test]

@@ -66,14 +66,27 @@ pub fn bucket_of(cells: u64) -> u32 {
 /// Online mean of observed task costs per [`StatKey`].
 ///
 /// Serialized as an entry list (JSON cannot key maps by structs).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
-#[serde(from = "CostStatsSerde", into = "CostStatsSerde")]
+#[derive(Clone, Debug, Default)]
 pub struct CostStats {
     entries: HashMap<StatKey, (u64, f64)>, // (count, mean seconds)
 }
 
 #[derive(Serialize, Deserialize)]
 struct CostStatsSerde(Vec<(StatKey, u64, f64)>);
+
+// Manual impls routing through `CostStatsSerde` (the offline serde
+// stand-in's derive does not interpret `#[serde(from/into)]`).
+impl Serialize for CostStats {
+    fn to_value(&self) -> serde::Value {
+        CostStatsSerde::from(self.clone()).to_value()
+    }
+}
+
+impl Deserialize for CostStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        CostStatsSerde::from_value(v).map(CostStats::from)
+    }
+}
 
 impl From<CostStats> for CostStatsSerde {
     fn from(s: CostStats) -> Self {

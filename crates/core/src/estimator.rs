@@ -163,9 +163,7 @@ fn formula(op: LogicalOp, task: TaskType, config: &Config, input: ShapeEst) -> f
             let iters = config.usize_or("iters", 100) as f64;
             C * cells * iters / 4.0
         }
-        (LogisticRegression, TaskType::Fit) => {
-            12.0 * 2.0 * C * rows * cols * cols
-        }
+        (LogisticRegression, TaskType::Fit) => 12.0 * 2.0 * C * rows * cols * cols,
         (LinearSvm, TaskType::Fit) => {
             let epochs = config.usize_or("epochs", 30) as f64;
             2.0 * C * cells * epochs
@@ -249,18 +247,14 @@ pub fn output_shape(
             ShapeEst { rows: (data.rows * frac).max(1.0), cols: data.cols }
         }
         TaskType::Fit => match op {
-            Pca => ShapeEst {
-                rows: data.cols,
-                cols: config.usize_or("n_components", 2) as f64,
-            },
+            Pca => ShapeEst { rows: data.cols, cols: config.usize_or("n_components", 2) as f64 },
             RandomForest => ShapeEst {
                 rows: config.usize_or("n_trees", 10) as f64,
                 cols: 64.0, // ~nodes per tree
             },
-            GradientBoosting => ShapeEst {
-                rows: config.usize_or("n_rounds", 20) as f64,
-                cols: 16.0,
-            },
+            GradientBoosting => {
+                ShapeEst { rows: config.usize_or("n_rounds", 20) as f64, cols: 16.0 }
+            }
             KMeans => ShapeEst { rows: config.usize_or("k", 3) as f64, cols: data.cols },
             _ => ShapeEst { rows: 1.0, cols: data.cols + 1.0 },
         },
@@ -386,8 +380,7 @@ mod tests {
             0,
         );
         assert_eq!(expanded.cols, 30.0 + 30.0 + 435.0);
-        let preds =
-            output_shape(LogicalOp::Ridge, TaskType::Predict, &cfg, &[poly_state, test], 0);
+        let preds = output_shape(LogicalOp::Ridge, TaskType::Predict, &cfg, &[poly_state, test], 0);
         assert_eq!((preds.rows, preds.cols), (250.0, 1.0));
         let val = output_shape(LogicalOp::Mse, TaskType::Evaluate, &cfg, &[preds, test], 0);
         assert_eq!(val.cells(), 1.0);

@@ -7,7 +7,8 @@
 //! from the [`ArtifactStore`] with its modelled IO cost.
 
 use crate::augment::Augmentation;
-use crate::store::ArtifactStore;
+use crate::codec::CodecError;
+use crate::store::ArtifactStorage;
 use hyppo_hypergraph::{execution_order, EdgeId, TopoError};
 use hyppo_ml::{Artifact, LogicalOp, MlError, TaskType};
 use hyppo_pipeline::ArtifactName;
@@ -73,6 +74,8 @@ pub enum ExecError {
     MissingArtifact(ArtifactName),
     /// A task's input artifact was never produced (internal invariant).
     MissingInput(ArtifactName),
+    /// A materialized artifact's stored encoding failed to decode.
+    Corrupt(ArtifactName, CodecError),
 }
 
 impl std::fmt::Display for ExecError {
@@ -83,6 +86,7 @@ impl std::fmt::Display for ExecError {
             ExecError::MissingDataset(id) => write!(f, "dataset '{id}' not registered"),
             ExecError::MissingArtifact(n) => write!(f, "artifact {n} not materialized"),
             ExecError::MissingInput(n) => write!(f, "input artifact {n} not produced"),
+            ExecError::Corrupt(n, e) => write!(f, "artifact {n} is corrupt: {e}"),
         }
     }
 }
@@ -112,7 +116,7 @@ fn artifact_cells(a: &Artifact) -> u64 {
 pub fn execute_plan(
     aug: &Augmentation,
     plan_edges: &[EdgeId],
-    store: &ArtifactStore,
+    store: &impl ArtifactStorage,
     mode: ExecMode,
     costs: &[f64],
 ) -> Result<ExecOutcome, ExecError> {
@@ -141,10 +145,13 @@ pub fn execute_plan(
             let head = aug.graph.head(e)[0];
             let name = aug.graph.node(head).name;
             let (artifact, cost) = match &label.dataset {
-                Some(id) => store
-                    .load_dataset(id)
-                    .ok_or_else(|| ExecError::MissingDataset(id.clone()))?,
-                None => store.load(name).ok_or(ExecError::MissingArtifact(name))?,
+                Some(id) => {
+                    store.load_dataset(id).ok_or_else(|| ExecError::MissingDataset(id.clone()))?
+                }
+                None => store
+                    .load_artifact(name)
+                    .map_err(|e| ExecError::Corrupt(name, e))?
+                    .ok_or(ExecError::MissingArtifact(name))?,
             };
             let cells = artifact_cells(&artifact);
             (vec![artifact], cost, cells)
@@ -154,9 +161,7 @@ pub fn execute_plan(
                 .tail(e)
                 .iter()
                 .map(|v| {
-                    produced
-                        .get(v)
-                        .ok_or_else(|| ExecError::MissingInput(aug.graph.node(*v).name))
+                    produced.get(v).ok_or_else(|| ExecError::MissingInput(aug.graph.node(*v).name))
                 })
                 .collect::<Result<_, _>>()?;
             let cells: u64 = inputs.iter().map(|a| artifact_cells(a)).sum();
@@ -193,6 +198,7 @@ mod tests {
     use super::*;
     use crate::augment::{augment, AugmentOptions};
     use crate::history::History;
+    use crate::store::ArtifactStore;
     use hyppo_ml::Config;
     use hyppo_pipeline::{build_pipeline, Dictionary, PipelineSpec};
     use hyppo_tensor::{Dataset, Matrix, SeededRng, TaskKind};
@@ -207,12 +213,7 @@ mod tests {
             }
             y.push(if x.get(r, 0) > 0.0 { 1.0 } else { 0.0 });
         }
-        Dataset::new(
-            x,
-            y,
-            (0..3).map(|i| format!("f{i}")).collect(),
-            TaskKind::Classification,
-        )
+        Dataset::new(x, y, (0..3).map(|i| format!("f{i}")).collect(), TaskKind::Classification)
     }
 
     fn fig1ish() -> (Augmentation, ArtifactStore, Vec<f64>) {
@@ -220,8 +221,7 @@ mod tests {
         let d = spec.load("higgs");
         let (train, test) = spec.split(d, Config::new().with_i("seed", 0));
         let scaler = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
-        let train_s =
-            spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, train);
+        let train_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, train);
         let test_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
         let model = spec.fit(LogicalOp::LinearSvm, 0, Config::new(), &[train_s]);
         let preds = spec.predict(LogicalOp::LinearSvm, 0, Config::new(), model, test_s);
@@ -288,11 +288,7 @@ mod tests {
         let outcome = execute_plan(&a, &plan, &store, ExecMode::Real, &costs).unwrap();
         let loads = outcome.metrics.iter().filter(|m| m.is_load).count();
         assert_eq!(loads, 1);
-        let fits = outcome
-            .metrics
-            .iter()
-            .filter(|m| m.task == TaskType::Fit)
-            .count();
+        let fits = outcome.metrics.iter().filter(|m| m.task == TaskType::Fit).count();
         assert_eq!(fits, 2);
     }
 

@@ -116,17 +116,10 @@ pub fn explain(sys: &Hyppo, spec: PipelineSpec) -> Result<Explanation, SubmitErr
     let pipeline = build_pipeline(spec);
     let aug = augment(&pipeline, &sys.history, &sys.config.dictionary, sys.config.augment);
     let costs = annotate_costs(&aug, &sys.estimator, &sys.store);
-    let verbatim_cost: f64 =
-        aug.pipeline_edges.iter().map(|&e| costs[e.index()]).sum();
-    let plan: Plan = optimize(
-        &aug.graph,
-        &costs,
-        aug.source,
-        &aug.targets,
-        &aug.new_tasks,
-        sys.config.search,
-    )
-    .ok_or(SubmitError::NoPlan)?;
+    let verbatim_cost: f64 = aug.pipeline_edges.iter().map(|&e| costs[e.index()]).sum();
+    let plan: Plan =
+        optimize(&aug.graph, &costs, aug.source, &aug.targets, &aug.new_tasks, sys.config.search)
+            .ok_or(SubmitError::NoPlan)?;
     let order = execution_order(&aug.graph, &plan.edges, &[aug.source])
         .map_err(|e| SubmitError::Exec(e.into()))?;
     let steps = order
@@ -195,10 +188,8 @@ mod tests {
 
     #[test]
     fn explain_reports_loads_after_materialization() {
-        let mut sys = Hyppo::new(HyppoConfig {
-            budget_bytes: 32 * 1024 * 1024,
-            ..Default::default()
-        });
+        let mut sys =
+            Hyppo::new(HyppoConfig { budget_bytes: 32 * 1024 * 1024, ..Default::default() });
         sys.register_dataset("data", dataset(1500));
         sys.submit(spec()).unwrap();
         let ex = explain(&sys, spec()).unwrap();

@@ -182,11 +182,8 @@ impl History {
         if let Some(&e) = self.edge_by_identity.get(&(identity, impl_index)) {
             return e;
         }
-        let e = self.graph.add_edge(
-            tail,
-            head,
-            EdgeLabel::task(op, task, impl_index, config.clone()),
-        );
+        let e =
+            self.graph.add_edge(tail, head, EdgeLabel::task(op, task, impl_index, config.clone()));
         self.edge_by_identity.insert((identity, impl_index), e);
         e
     }
@@ -251,10 +248,7 @@ impl History {
         for &start in &nodes {
             self.depth_of(start, &mut depth);
         }
-        self.node_by_name
-            .iter()
-            .map(|(&name, &node)| (name, depth[&node]))
-            .collect()
+        self.node_by_name.iter().map(|(&name, &node)| (name, depth[&node])).collect()
     }
 
     fn depth_of(&self, node: NodeId, memo: &mut HashMap<NodeId, f64>) -> f64 {
@@ -321,8 +315,7 @@ mod tests {
         let raw = naming::dataset_name("higgs");
         h.record_dataset("higgs", 1000);
         let cfg = Config::new();
-        let state =
-            naming::output_name(LogicalOp::StandardScaler, TaskType::Fit, &cfg, &[raw], 0);
+        let state = naming::output_name(LogicalOp::StandardScaler, TaskType::Fit, &cfg, &[raw], 0);
         h.record_task(
             LogicalOp::StandardScaler,
             TaskType::Fit,

@@ -48,5 +48,5 @@ pub use explain::{explain, Explanation};
 pub use history::History;
 pub use materialize::{MaterializeConfig, Materializer, PlanLocality};
 pub use optimizer::{optimize, Plan, QueueKind, SearchOptions};
-pub use store::ArtifactStore;
+pub use store::{ArtifactStorage, ArtifactStore};
 pub use system::{Hyppo, HyppoConfig, RunReport};

@@ -20,7 +20,7 @@
 
 use crate::estimator::CostEstimator;
 use crate::history::History;
-use crate::store::ArtifactStore;
+use crate::store::ArtifactStorage;
 use hyppo_ml::Artifact;
 use hyppo_pipeline::{ArtifactName, ArtifactRole};
 use std::collections::HashMap;
@@ -116,7 +116,7 @@ impl Materializer {
     pub fn run(
         &self,
         history: &mut History,
-        store: &mut ArtifactStore,
+        store: &mut impl ArtifactStorage,
         estimator: &CostEstimator,
         fresh: &HashMap<ArtifactName, Artifact>,
     ) -> MaterializeReport {
@@ -126,7 +126,7 @@ impl Materializer {
         // sources (never candidates, §IV-H) and unknown artifacts.
         let mut candidates: Vec<(ArtifactName, u64, bool)> = Vec::new(); // (name, size, is_fresh)
         for name in history.materialized().collect::<Vec<_>>() {
-            if let Some(size) = store.size_of(name) {
+            if let Some(size) = store.artifact_size(name) {
                 candidates.push((name, size, false));
             }
         }
@@ -139,7 +139,10 @@ impl Materializer {
             if matches!(role, ArtifactRole::Raw | ArtifactRole::Source) {
                 continue;
             }
-            candidates.push((name, artifact.size_bytes() as u64, true));
+            // Budget by the exact encoded size: the store charges encoded
+            // bytes, and the in-memory estimate undercounts tags/lengths —
+            // enough to breach the budget when the selection is near-full.
+            candidates.push((name, crate::codec::encoded_size(artifact), true));
         }
 
         // Rank by locality-weighted gain, descending.
@@ -164,12 +167,11 @@ impl Materializer {
 
         let mut report = MaterializeReport::default();
         // Evict materialized artifacts that lost their slot.
-        let keep: Vec<ArtifactName> =
-            selected.iter().map(|&(name, _)| name).collect();
+        let keep: Vec<ArtifactName> = selected.iter().map(|&(name, _)| name).collect();
         for name in history.materialized().collect::<Vec<_>>() {
             if !keep.contains(&name) {
                 history.evict(name);
-                store.remove(name);
+                store.remove_artifact(name);
                 report.evicted.push(name);
             }
         }
@@ -177,13 +179,18 @@ impl Materializer {
         for (name, is_fresh) in selected {
             if is_fresh {
                 let artifact = &fresh[&name];
-                store.put(name, artifact);
+                store.put_artifact(name, artifact);
                 history.materialize(name);
                 report.stored.push(name);
             }
         }
         report.used_bytes = store.used_bytes();
-        debug_assert!(report.used_bytes <= self.config.budget_bytes.max(report.used_bytes));
+        debug_assert!(
+            report.used_bytes <= self.config.budget_bytes,
+            "materializer exceeded budget: {} > {}",
+            report.used_bytes,
+            self.config.budget_bytes
+        );
         report
     }
 }
@@ -192,6 +199,7 @@ impl Materializer {
 mod tests {
     use super::*;
     use crate::history::ProducedArtifact;
+    use crate::store::ArtifactStore;
     use hyppo_ml::{ArtifactKind, Config, LogicalOp, TaskType};
     use hyppo_pipeline::{naming, NodeLabel};
 

@@ -55,12 +55,8 @@ pub fn record_outcome(
             metric.cost_seconds,
         );
         // Merge the task and its products into the history.
-        let input_names: Vec<ArtifactName> = aug
-            .graph
-            .tail(e)
-            .iter()
-            .map(|&v| aug.graph.node(v).name)
-            .collect();
+        let input_names: Vec<ArtifactName> =
+            aug.graph.tail(e).iter().map(|&v| aug.graph.node(v).name).collect();
         let outputs: Vec<ProducedArtifact> = aug
             .graph
             .head(e)
@@ -133,8 +129,7 @@ mod tests {
         let outcome = execute_plan(&a, &plan, &store, ExecMode::Real, &costs).unwrap();
         let mut history = History::new();
         let mut estimator = CostEstimator::new();
-        let targets: Vec<ArtifactName> =
-            a.targets.iter().map(|&t| a.graph.node(t).name).collect();
+        let targets: Vec<ArtifactName> = a.targets.iter().map(|&t| a.graph.node(t).name).collect();
         let report = record_outcome(&a, &outcome, &targets, &mut history, &mut estimator);
         assert_eq!(report.tasks_recorded, 2, "split + fit");
         assert!(report.artifacts_recorded >= 3, "train, test, state");

@@ -79,8 +79,7 @@ pub fn expand<N, E>(
     partial: &Partial,
     source: NodeId,
 ) -> Vec<Partial> {
-    let work: Vec<NodeId> =
-        partial.frontier.iter().copied().filter(|&v| v != source).collect();
+    let work: Vec<NodeId> = partial.frontier.iter().copied().filter(|&v| v != source).collect();
     debug_assert!(!work.is_empty(), "expand called on a complete plan");
 
     // Option sets (backward stars). Any empty star ⇒ dead branch.
@@ -94,8 +93,7 @@ pub fn expand<N, E>(
     let mut indices = vec![0usize; stars.len()];
     loop {
         // Materialize the move: one edge per frontier node, deduplicated.
-        let mut move_edges: Vec<EdgeId> =
-            indices.iter().zip(&stars).map(|(&i, s)| s[i]).collect();
+        let mut move_edges: Vec<EdgeId> = indices.iter().zip(&stars).map(|(&i, s)| s[i]).collect();
         move_edges.sort_unstable();
         move_edges.dedup();
 

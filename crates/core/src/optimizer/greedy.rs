@@ -37,8 +37,7 @@ pub fn greedy_plan<N, E>(
             unreachable!("greedy must terminate within |V| iterations");
         }
         let mut next_frontier: Vec<NodeId> = Vec::new();
-        let work: Vec<NodeId> =
-            plan.frontier.iter().copied().filter(|&v| v != source).collect();
+        let work: Vec<NodeId> = plan.frontier.iter().copied().filter(|&v| v != source).collect();
         for v in work {
             if plan.visited.contains(v) {
                 continue; // produced by an earlier pick this round

@@ -127,12 +127,7 @@ pub fn optimize<N, E>(
         }
     }
 
-    best.map(|p| Plan {
-        edges: p.edges,
-        cost: p.cost,
-        optimal: !truncated,
-        expansions,
-    })
+    best.map(|p| Plan { edges: p.edges, cost: p.cost, optimal: !truncated, expansions })
 }
 
 /// Build the initial incomplete plan, seeding exploration-mode new tasks
@@ -169,26 +164,18 @@ mod tests {
     type G = HyperGraph<u32, ()>;
 
     /// Enumerate all edge subsets; minimum-cost valid plan. Test oracle.
-    fn brute_force(
-        graph: &G,
-        costs: &[f64],
-        source: NodeId,
-        targets: &[NodeId],
-    ) -> Option<f64> {
+    fn brute_force(graph: &G, costs: &[f64], source: NodeId, targets: &[NodeId]) -> Option<f64> {
         let edges: Vec<EdgeId> = graph.edge_ids().collect();
         let n = edges.len();
         assert!(n <= 20, "brute force limited to small graphs");
         let mut best: Option<f64> = None;
         for mask in 0u32..(1 << n) {
-            let subset: Vec<EdgeId> = (0..n)
-                .filter(|&i| mask & (1 << i) != 0)
-                .map(|i| edges[i])
-                .collect();
-            let closure = hyppo_hypergraph::connectivity::b_closure_filtered(
-                graph,
-                &[source],
-                |e| subset.contains(&e),
-            );
+            let subset: Vec<EdgeId> =
+                (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| edges[i]).collect();
+            let closure =
+                hyppo_hypergraph::connectivity::b_closure_filtered(graph, &[source], |e| {
+                    subset.contains(&e)
+                });
             if targets.iter().all(|&t| closure.contains(t)) {
                 let cost: f64 = subset.iter().map(|&e| costs[e.index()]).sum();
                 if best.is_none_or(|b| cost < b) {

@@ -56,10 +56,7 @@ pub fn snapshot(history: &History) -> HistorySnapshot {
             )
         })
         .collect();
-    let stats = history
-        .artifact_names()
-        .map(|n| (n, history.stats_of(n)))
-        .collect();
+    let stats = history.artifact_names().map(|n| (n, history.stats_of(n))).collect();
     let materialized = history.materialized().collect();
     HistorySnapshot { nodes, edges, stats, materialized }
 }
@@ -71,9 +68,8 @@ pub fn snapshot(history: &History) -> HistorySnapshot {
 /// consistent by construction.
 pub fn restore(snap: &HistorySnapshot) -> History {
     let mut history = History::new();
-    let label_of = |name: ArtifactName| -> Option<&NodeLabel> {
-        snap.nodes.iter().find(|l| l.name == name)
-    };
+    let label_of =
+        |name: ArtifactName| -> Option<&NodeLabel> { snap.nodes.iter().find(|l| l.name == name) };
     for (tail, head, label) in &snap.edges {
         if label.is_load() {
             match &label.dataset {
@@ -162,7 +158,10 @@ pub fn save_store(store: &ArtifactStore, dir: &Path) -> std::io::Result<usize> {
     std::fs::create_dir_all(dir)?;
     let mut written = 0;
     for name in store.names().collect::<Vec<_>>() {
-        if let Some((artifact, _)) = store.load(name) {
+        let loaded = store
+            .load(name)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if let Some((artifact, _)) = loaded {
             let bytes = crate::codec::encode(&artifact);
             std::fs::write(dir.join(format!("{name}.art")), &bytes)?;
             written += 1;
@@ -181,7 +180,7 @@ pub fn load_store(store: &mut ArtifactStore, dir: &Path) -> std::io::Result<usiz
         let Some(hex) = stem.strip_prefix('a') else { continue };
         let Ok(raw) = u64::from_str_radix(hex, 16) else { continue };
         let bytes = std::fs::read(&path)?;
-        let artifact = crate::codec::decode(bytes.into())
+        let artifact = crate::codec::decode(&bytes)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         store.put(ArtifactName(raw), &artifact);
         loaded += 1;
@@ -285,7 +284,7 @@ mod tests {
         let mut store2 = ArtifactStore::new();
         let loaded = load_store(&mut store2, &dir).unwrap();
         assert_eq!(loaded, 1);
-        let (artifact, _) = store2.load(name).unwrap();
+        let (artifact, _) = store2.load(name).unwrap().unwrap();
         assert_eq!(artifact, Artifact::Predictions(vec![1.0, 2.0, 3.0]));
         let _ = std::fs::remove_dir_all(&dir);
     }

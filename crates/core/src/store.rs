@@ -10,13 +10,53 @@
 //! bandwidth term (`bytes / bandwidth + overhead`), standing in for the
 //! disk/network the paper's testbed would hit.
 
-use crate::codec;
+use crate::codec::{self, CodecError};
 use bytes::Bytes;
 use hyppo_ml::Artifact;
 use hyppo_pipeline::ArtifactName;
 use hyppo_tensor::Dataset;
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Storage abstraction over the source node `s`.
+///
+/// The executor, cost annotator, and materializer are generic over this
+/// trait so plans can run against either the single-owner
+/// [`ArtifactStore`] or a concurrent wrapper (e.g. the runtime crate's
+/// `SharedArtifactStore`) without changing the modelled cost accounting.
+/// Method names are suffixed with `_artifact`/`_shape` where an inherent
+/// [`ArtifactStore`] method of the same role exists, so concrete callers
+/// keep resolving to the inherent API.
+pub trait ArtifactStorage {
+    /// `(rows, columns)` of a registered dataset.
+    fn dataset_shape(&self, id: &str) -> Option<(usize, usize)>;
+
+    /// Size in bytes of a registered dataset.
+    fn dataset_bytes(&self, id: &str) -> Option<u64>;
+
+    /// Load a raw dataset with its modelled IO cost in seconds.
+    fn load_dataset(&self, id: &str) -> Option<(Artifact, f64)>;
+
+    /// Load a materialized artifact with its load cost in seconds.
+    /// `Ok(None)` means not materialized; `Err` means the stored encoding
+    /// is corrupt.
+    fn load_artifact(&self, name: ArtifactName) -> Result<Option<(Artifact, f64)>, CodecError>;
+
+    /// Whether an artifact is materialized.
+    fn contains_artifact(&self, name: ArtifactName) -> bool;
+
+    /// Stored size of a materialized artifact.
+    fn artifact_size(&self, name: ArtifactName) -> Option<u64>;
+
+    /// Materialize an artifact; returns `(stored bytes, store cost seconds)`.
+    fn put_artifact(&mut self, name: ArtifactName, artifact: &Artifact) -> (u64, f64);
+
+    /// Evict a materialized artifact; returns its size if present.
+    fn remove_artifact(&mut self, name: ArtifactName) -> Option<u64>;
+
+    /// Total bytes used by materialized artifacts (budget accounting).
+    fn used_bytes(&self) -> u64;
+}
 
 /// Simulated storage backing the source node `s`.
 #[derive(Clone, Debug)]
@@ -85,13 +125,14 @@ impl ArtifactStore {
     }
 
     /// Load a materialized artifact. Returns the artifact and the load cost
-    /// in seconds (measured decode + modelled IO).
-    pub fn load(&self, name: ArtifactName) -> Option<(Artifact, f64)> {
-        let bytes = self.items.get(&name)?;
+    /// in seconds (measured decode + modelled IO). `Ok(None)` means the
+    /// artifact is not materialized; `Err` means its encoding is corrupt.
+    pub fn load(&self, name: ArtifactName) -> Result<Option<(Artifact, f64)>, CodecError> {
+        let Some(bytes) = self.items.get(&name) else { return Ok(None) };
         let start = Instant::now();
-        let artifact = codec::decode(bytes.clone()).expect("store holds only valid encodings");
+        let artifact = codec::decode(bytes)?;
         let decode_secs = start.elapsed().as_secs_f64();
-        Some((artifact, decode_secs + self.io_cost(bytes.len())))
+        Ok(Some((artifact, decode_secs + self.io_cost(bytes.len()))))
     }
 
     /// Whether an artifact is materialized.
@@ -129,10 +170,73 @@ impl ArtifactStore {
         self.items.keys().copied()
     }
 
+    /// Raw encoded payloads of all materialized artifacts. Persistence and
+    /// sharding layers use this to move entries between stores without a
+    /// decode/encode round trip.
+    pub fn entries(&self) -> impl Iterator<Item = (ArtifactName, &Bytes)> + '_ {
+        self.items.iter().map(|(&n, b)| (n, b))
+    }
+
+    /// Insert an already-encoded payload verbatim (the inverse of
+    /// [`ArtifactStore::entries`]). The bytes are trusted to be a valid
+    /// encoding; a corrupt payload surfaces later as a load error.
+    pub fn insert_raw(&mut self, name: ArtifactName, bytes: Bytes) {
+        self.items.insert(name, bytes);
+    }
+
+    /// Ids of all registered raw datasets.
+    pub fn dataset_ids(&self) -> impl Iterator<Item = &str> + '_ {
+        self.datasets.keys().map(String::as_str)
+    }
+
+    /// Move all registered datasets out of the store (sharding layers
+    /// relocate them wholesale).
+    pub fn take_datasets(&mut self) -> HashMap<String, Dataset> {
+        std::mem::take(&mut self.datasets)
+    }
+
     /// Total bytes of all registered raw datasets (the basis for relative
     /// storage budgets — the paper's `B = 0.1 × dataset_size`).
     pub fn total_dataset_bytes(&self) -> u64 {
         self.datasets.values().map(|d| d.size_bytes() as u64).sum()
+    }
+}
+
+impl ArtifactStorage for ArtifactStore {
+    fn dataset_shape(&self, id: &str) -> Option<(usize, usize)> {
+        self.datasets.get(id).map(|d| (d.len(), d.n_features()))
+    }
+
+    fn dataset_bytes(&self, id: &str) -> Option<u64> {
+        ArtifactStore::dataset_bytes(self, id)
+    }
+
+    fn load_dataset(&self, id: &str) -> Option<(Artifact, f64)> {
+        ArtifactStore::load_dataset(self, id)
+    }
+
+    fn load_artifact(&self, name: ArtifactName) -> Result<Option<(Artifact, f64)>, CodecError> {
+        self.load(name)
+    }
+
+    fn contains_artifact(&self, name: ArtifactName) -> bool {
+        self.contains(name)
+    }
+
+    fn artifact_size(&self, name: ArtifactName) -> Option<u64> {
+        self.size_of(name)
+    }
+
+    fn put_artifact(&mut self, name: ArtifactName, artifact: &Artifact) -> (u64, f64) {
+        self.put(name, artifact)
+    }
+
+    fn remove_artifact(&mut self, name: ArtifactName) -> Option<u64> {
+        self.remove(name)
+    }
+
+    fn used_bytes(&self) -> u64 {
+        ArtifactStore::used_bytes(self)
     }
 }
 
@@ -171,7 +275,7 @@ mod tests {
         let (bytes, put_cost) = store.put(name, &a);
         assert!(bytes > 0);
         assert!(put_cost > 0.0);
-        let (back, load_cost) = store.load(name).unwrap();
+        let (back, load_cost) = store.load(name).unwrap().unwrap();
         assert_eq!(a, back);
         assert!(load_cost > 0.0);
     }
@@ -184,8 +288,8 @@ mod tests {
         let large = dataset_name("large");
         store.put(small, &Artifact::Predictions(vec![0.0; 100]));
         store.put(large, &Artifact::Predictions(vec![0.0; 1_000_000]));
-        let (_, c_small) = store.load(small).unwrap();
-        let (_, c_large) = store.load(large).unwrap();
+        let (_, c_small) = store.load(small).unwrap().unwrap();
+        let (_, c_large) = store.load(large).unwrap().unwrap();
         assert!(c_large > 10.0 * c_small, "{c_large} vs {c_small}");
     }
 
@@ -214,12 +318,26 @@ mod tests {
     }
 
     #[test]
+    fn missing_artifact_loads_as_none() {
+        let store = ArtifactStore::new();
+        assert!(store.load(dataset_name("nope")).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_encoding_is_an_error_not_a_panic() {
+        let mut store = ArtifactStore::new();
+        let name = dataset_name("x");
+        store.insert_raw(name, Bytes::from(&b"garbage"[..]));
+        assert!(store.load(name).is_err());
+    }
+
+    #[test]
     fn overwrite_replaces_payload() {
         let mut store = ArtifactStore::new();
         let name = dataset_name("x");
         store.put(name, &Artifact::Value(1.0));
         store.put(name, &Artifact::Value(2.0));
-        let (back, _) = store.load(name).unwrap();
+        let (back, _) = store.load(name).unwrap().unwrap();
         assert_eq!(back, Artifact::Value(2.0));
         assert_eq!(store.len(), 1);
     }

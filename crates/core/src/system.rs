@@ -231,10 +231,8 @@ impl Hyppo {
         };
 
         self.cumulative_seconds += outcome.total_seconds;
-        let values: HashMap<ArtifactName, f64> = target_names
-            .iter()
-            .filter_map(|&n| outcome.value(n).map(|v| (n, v)))
-            .collect();
+        let values: HashMap<ArtifactName, f64> =
+            target_names.iter().filter_map(|&n| outcome.value(n).map(|v| (n, v))).collect();
         Ok(RunReport {
             planned_cost: plan.cost,
             execution_seconds: outcome.total_seconds,
@@ -266,12 +264,7 @@ mod tests {
             }
             y.push(if x.get(r, 0) + x.get(r, 1) > 0.0 { 1.0 } else { 0.0 });
         }
-        Dataset::new(
-            x,
-            y,
-            (0..4).map(|i| format!("f{i}")).collect(),
-            TaskKind::Classification,
-        )
+        Dataset::new(x, y, (0..4).map(|i| format!("f{i}")).collect(), TaskKind::Classification)
     }
 
     fn svm_spec(seed: i64) -> PipelineSpec {
@@ -377,10 +370,7 @@ mod tests {
     #[test]
     fn retrieve_unknown_artifact_fails() {
         let mut sys = system(0);
-        assert!(matches!(
-            sys.retrieve(&[ArtifactName(42)]),
-            Err(SubmitError::NoPlan)
-        ));
+        assert!(matches!(sys.retrieve(&[ArtifactName(42)]), Err(SubmitError::NoPlan)));
     }
 
     #[test]
@@ -415,10 +405,8 @@ mod tests {
 
         // A "new session": fresh system, catalog loaded, dataset
         // re-registered (sources are not persisted).
-        let mut second = Hyppo::new(HyppoConfig {
-            budget_bytes: 64 * 1024 * 1024,
-            ..Default::default()
-        });
+        let mut second =
+            Hyppo::new(HyppoConfig { budget_bytes: 64 * 1024 * 1024, ..Default::default() });
         second.load_catalog(&dir).unwrap();
         second.register_dataset("data", dataset(2000));
         let warm = second.submit(forest_spec(0)).unwrap();

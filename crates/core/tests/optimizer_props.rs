@@ -3,9 +3,7 @@
 //! each other, plans always validate, and greedy never beats exact.
 
 use hyppo_core::optimizer::{optimize, QueueKind, SearchOptions};
-use hyppo_hypergraph::{
-    connectivity, validate_plan, EdgeId, HyperGraph, NodeId, PlanValidity,
-};
+use hyppo_hypergraph::{connectivity, validate_plan, EdgeId, HyperGraph, NodeId, PlanValidity};
 use proptest::prelude::*;
 
 type G = HyperGraph<u32, u32>;
@@ -23,10 +21,7 @@ struct Instance {
 fn arb_instance() -> impl Strategy<Value = Instance> {
     (2usize..7).prop_flat_map(|n| {
         let producers = proptest::collection::vec(
-            proptest::collection::vec(
-                (proptest::collection::vec(0usize..n, 1..3), 1u32..20),
-                1..3,
-            ),
+            proptest::collection::vec((proptest::collection::vec(0usize..n, 1..3), 1u32..20), 1..3),
             n,
         );
         (producers, proptest::collection::vec(0usize..n, 1..3)).prop_map(
@@ -38,10 +33,8 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
                 for (i, alts) in producers.into_iter().enumerate() {
                     let v = graph.add_node(i as u32 + 1);
                     for (tails, w) in alts {
-                        let mut tail: Vec<NodeId> = tails
-                            .into_iter()
-                            .map(|t| nodes[t % nodes.len()])
-                            .collect();
+                        let mut tail: Vec<NodeId> =
+                            tails.into_iter().map(|t| nodes[t % nodes.len()]).collect();
                         tail.sort_unstable();
                         tail.dedup();
                         let e = graph.add_edge(tail, vec![v], w);
@@ -50,10 +43,8 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
                     }
                     nodes.push(v);
                 }
-                let mut targets: Vec<NodeId> = target_picks
-                    .into_iter()
-                    .map(|t| nodes[1 + t % (nodes.len() - 1)])
-                    .collect();
+                let mut targets: Vec<NodeId> =
+                    target_picks.into_iter().map(|t| nodes[1 + t % (nodes.len() - 1)]).collect();
                 targets.sort_unstable();
                 targets.dedup();
                 Instance { graph, costs, source, targets }
@@ -72,9 +63,8 @@ fn brute_force(inst: &Instance) -> Option<f64> {
     for mask in 0u32..(1 << n) {
         let subset: Vec<EdgeId> =
             (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| edges[i]).collect();
-        let closure = connectivity::b_closure_filtered(&inst.graph, &[inst.source], |e| {
-            subset.contains(&e)
-        });
+        let closure =
+            connectivity::b_closure_filtered(&inst.graph, &[inst.source], |e| subset.contains(&e));
         if inst.targets.iter().all(|&t| closure.contains(t)) {
             let cost: f64 = subset.iter().map(|&e| inst.costs[e.index()]).sum();
             if best.is_none_or(|b| cost < b) {

@@ -131,13 +131,14 @@ pub fn b_closure_filtered<N, E>(
     }
 
     // Source tasks (empty tail) fire immediately.
-    let fire = |e: EdgeId, reached: &mut NodeBitSet, queue: &mut Vec<NodeId>, graph: &HyperGraph<N, E>| {
-        for &h in graph.head(e) {
-            if reached.insert(h) {
-                queue.push(h);
+    let fire =
+        |e: EdgeId, reached: &mut NodeBitSet, queue: &mut Vec<NodeId>, graph: &HyperGraph<N, E>| {
+            for &h in graph.head(e) {
+                if reached.insert(h) {
+                    queue.push(h);
+                }
             }
-        }
-    };
+        };
     for e in graph.edge_ids() {
         if remaining[e.index()] == 0 {
             fire(e, &mut reached, &mut queue, graph);

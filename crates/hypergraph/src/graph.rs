@@ -165,8 +165,7 @@ impl<N, E> HyperGraph<N, E> {
     pub fn remove_node(&mut self, v: NodeId) {
         let entry = &mut self.nodes[v.index()];
         assert!(entry.alive, "node {v} removed twice");
-        let incident: Vec<EdgeId> =
-            entry.bstar.iter().chain(entry.fstar.iter()).copied().collect();
+        let incident: Vec<EdgeId> = entry.bstar.iter().chain(entry.fstar.iter()).copied().collect();
         for e in incident {
             if self.edges[e.index()].alive {
                 self.remove_edge(e);
@@ -253,20 +252,12 @@ impl<N, E> HyperGraph<N, E> {
 
     /// Iterate over live node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.alive)
-            .map(|(i, _)| NodeId::from_index(i))
+        self.nodes.iter().enumerate().filter(|(_, n)| n.alive).map(|(i, _)| NodeId::from_index(i))
     }
 
     /// Iterate over live edge ids.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.alive)
-            .map(|(i, _)| EdgeId::from_index(i))
+        self.edges.iter().enumerate().filter(|(_, e)| e.alive).map(|(i, _)| EdgeId::from_index(i))
     }
 
     /// Iterate over live nodes as [`NodeRef`]s.
@@ -286,10 +277,8 @@ impl<N, E> HyperGraph<N, E> {
     }
 
     fn node_entry_mut(&mut self, v: NodeId) -> &mut NodeEntry<N> {
-        let entry = self
-            .nodes
-            .get_mut(v.index())
-            .unwrap_or_else(|| panic!("node {v} out of range"));
+        let entry =
+            self.nodes.get_mut(v.index()).unwrap_or_else(|| panic!("node {v} out of range"));
         assert!(entry.alive, "edge references removed node {v}");
         entry
     }

@@ -20,17 +20,22 @@
 //! - [`connectivity`]: linear-time B-connectivity (Gallo et al. 1993) used to
 //!   decide whether a plan is executable;
 //! - [`subgraph`]: sub-hypergraph views, plan validation and minimality;
+//! - [`frontier`]: per-edge in-degree tracking and the ready frontier, the
+//!   shared substrate of serial ordering and concurrent wavefront
+//!   scheduling;
 //! - [`topo`]: execution (topological) ordering of hyperedges;
 //! - [`dot`]: Graphviz export for debugging and documentation.
 
 pub mod connectivity;
 pub mod dot;
+pub mod frontier;
 pub mod graph;
 pub mod ids;
 pub mod subgraph;
 pub mod topo;
 
 pub use connectivity::{b_closure, is_b_connected, NodeBitSet};
+pub use frontier::{ready_frontier, InDegreeTracker};
 pub use graph::{EdgeRef, HyperGraph, NodeRef};
 pub use ids::{EdgeId, NodeId};
 pub use subgraph::{minimize_plan, validate_plan, PlanValidity, SubGraph};

@@ -124,8 +124,7 @@ pub fn minimize_plan<N, E>(
     while i > 0 {
         i -= 1;
         let candidate = kept[i];
-        let closure =
-            b_closure_filtered(graph, sources, |e| e != candidate && kept.contains(&e));
+        let closure = b_closure_filtered(graph, sources, |e| e != candidate && kept.contains(&e));
         let ok = targets.iter().all(|&t| closure.contains(t))
             && kept
                 .iter()

@@ -7,9 +7,9 @@
 //! guarantees never happens for the plans it emits — this is the executor's
 //! defence-in-depth check).
 
+use crate::frontier::InDegreeTracker;
 use crate::graph::HyperGraph;
 use crate::ids::{EdgeId, NodeId};
-use crate::NodeBitSet;
 use std::collections::VecDeque;
 
 /// Why an edge set could not be ordered for execution.
@@ -42,59 +42,18 @@ pub fn execution_order<N, E>(
     edges: &[EdgeId],
     sources: &[NodeId],
 ) -> Result<Vec<EdgeId>, TopoError> {
-    let mut available = NodeBitSet::with_bound(graph.node_bound());
-    for &s in sources {
-        available.insert(s);
-    }
-
+    let mut tracker = InDegreeTracker::new(graph, edges, sources);
+    let mut ready: VecDeque<EdgeId> = tracker.ready().into();
     let mut order = Vec::with_capacity(edges.len());
-    let mut remaining: Vec<u32> = vec![u32::MAX; graph.edge_bound()];
-    // fstar lookups must be restricted to the plan's edges.
-    let mut in_plan = vec![false; graph.edge_bound()];
-    for &e in edges {
-        in_plan[e.index()] = true;
-        remaining[e.index()] =
-            graph.tail(e).iter().filter(|&&v| !available.contains(v)).count() as u32;
-    }
-
-    let mut ready: VecDeque<EdgeId> = {
-        let mut r: Vec<EdgeId> =
-            edges.iter().copied().filter(|&e| remaining[e.index()] == 0).collect();
-        r.sort_unstable();
-        r.into()
-    };
-
-    let mut fired = vec![false; graph.edge_bound()];
     while let Some(e) = ready.pop_front() {
-        if fired[e.index()] {
-            continue;
-        }
-        fired[e.index()] = true;
         order.push(e);
-        let mut newly_ready: Vec<EdgeId> = Vec::new();
-        for &h in graph.head(e) {
-            if available.insert(h) {
-                for &consumer in graph.fstar(h) {
-                    if in_plan[consumer.index()] && !fired[consumer.index()] {
-                        let r = &mut remaining[consumer.index()];
-                        *r -= 1;
-                        if *r == 0 {
-                            newly_ready.push(consumer);
-                        }
-                    }
-                }
-            }
-        }
-        newly_ready.sort_unstable();
-        ready.extend(newly_ready);
+        ready.extend(tracker.complete(graph, e));
     }
 
-    if order.len() != edges.len() {
-        let stuck = edges
-            .iter()
-            .copied()
-            .find(|&e| !fired[e.index()])
-            .expect("some edge must be unfired when order is incomplete");
+    if !tracker.is_done() {
+        let stuck = tracker
+            .first_incomplete(edges)
+            .expect("some edge must be incomplete when the tracker is not done");
         return Err(TopoError::NotExecutable(stuck));
     }
     Ok(order)

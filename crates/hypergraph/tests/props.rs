@@ -30,8 +30,7 @@ fn arb_layered_graph() -> impl Strategy<Value = (G, Vec<NodeId>)> {
                 let v = i + 1; // node being produced
                 for (tail_idx, w) in alts {
                     let tail: Vec<NodeId> = {
-                        let mut t: Vec<usize> =
-                            tail_idx.into_iter().map(|x| x % v).collect();
+                        let mut t: Vec<usize> = tail_idx.into_iter().map(|x| x % v).collect();
                         t.sort_unstable();
                         t.dedup();
                         t.into_iter().map(|x| nodes[x]).collect()

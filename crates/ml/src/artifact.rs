@@ -184,9 +184,7 @@ impl OpState {
                 members.iter().map(OpState::size_bytes).sum::<usize>() + 1
             }
             OpState::Stacking { members, meta_weights, .. } => {
-                members.iter().map(OpState::size_bytes).sum::<usize>()
-                    + meta_weights.len() * 8
-                    + 8
+                members.iter().map(OpState::size_bytes).sum::<usize>() + meta_weights.len() * 8 + 8
             }
         }
     }
@@ -264,8 +262,7 @@ impl Artifact {
         match (self, other) {
             (Artifact::Value(a), Artifact::Value(b)) => (a - b).abs() <= tol,
             (Artifact::Predictions(a), Artifact::Predictions(b)) => {
-                a.len() == b.len()
-                    && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
             }
             (Artifact::Data(a), Artifact::Data(b)) => {
                 a.x.shape() == b.x.shape()
@@ -335,7 +332,8 @@ mod tests {
 
     #[test]
     fn op_state_sizes_scale_with_content() {
-        let small = OpState::Scaler { op: LogicalOp::StandardScaler, offset: vec![0.0], scale: vec![1.0] };
+        let small =
+            OpState::Scaler { op: LogicalOp::StandardScaler, offset: vec![0.0], scale: vec![1.0] };
         let big = OpState::Scaler {
             op: LogicalOp::StandardScaler,
             offset: vec![0.0; 100],

@@ -56,11 +56,7 @@ pub fn fit_stacking(members: Vec<OpState>, data: &Dataset) -> Result<OpState, Ml
     let v = a.get(k, k) + 1e-9;
     a.set(k, k, v);
     let w = cholesky_solve(&a, &b)?;
-    Ok(OpState::Stacking {
-        members,
-        meta_weights: w[..k].to_vec(),
-        meta_bias: w[k],
-    })
+    Ok(OpState::Stacking { members, meta_weights: w[..k].to_vec(), meta_bias: w[k] })
 }
 
 #[cfg(test)]

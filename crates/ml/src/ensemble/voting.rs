@@ -74,16 +74,10 @@ mod tests {
         );
         // Members predicting raw scores around the threshold: use logistic
         // members so outputs are labels.
-        let yes = OpState::Linear {
-            op: LogicalOp::LogisticRegression,
-            weights: vec![10.0],
-            bias: 0.0,
-        };
-        let no = OpState::Linear {
-            op: LogicalOp::LogisticRegression,
-            weights: vec![-10.0],
-            bias: 0.0,
-        };
+        let yes =
+            OpState::Linear { op: LogicalOp::LogisticRegression, weights: vec![10.0], bias: 0.0 };
+        let no =
+            OpState::Linear { op: LogicalOp::LogisticRegression, weights: vec![-10.0], bias: 0.0 };
         let state = fit_voting(vec![yes.clone(), yes, no], &d).unwrap();
         assert_eq!(predict_model(&state, &d).unwrap(), vec![1.0]);
     }

@@ -54,10 +54,9 @@ impl fmt::Display for MlError {
             MlError::Arity { op, task, expected, got } => {
                 write!(f, "{op:?}.{task:?} expects {expected} inputs, got {got}")
             }
-            MlError::Kind { op, task, position, expected, got } => write!(
-                f,
-                "{op:?}.{task:?} input #{position} must be {expected:?}, got {got:?}"
-            ),
+            MlError::Kind { op, task, position, expected, got } => {
+                write!(f, "{op:?}.{task:?} input #{position} must be {expected:?}, got {got:?}")
+            }
             MlError::UnsupportedTask(op, task) => {
                 write!(f, "operator {op:?} does not expose task {task:?}")
             }

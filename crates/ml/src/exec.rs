@@ -306,8 +306,8 @@ mod tests {
         let split_out =
             execute(LogicalOp::TrainTestSplit, TaskType::Split, 0, &cfg, &[&raw]).unwrap();
         let (train, test) = (&split_out[0], &split_out[1]);
-        let scaler_state = &execute(LogicalOp::StandardScaler, TaskType::Fit, 0, &cfg, &[train])
-            .unwrap()[0];
+        let scaler_state =
+            &execute(LogicalOp::StandardScaler, TaskType::Fit, 0, &cfg, &[train]).unwrap()[0];
         let train_scaled = &execute(
             LogicalOp::StandardScaler,
             TaskType::Transform,
@@ -326,14 +326,9 @@ mod tests {
         .unwrap()[0];
         let model =
             &execute(LogicalOp::LinearSvm, TaskType::Fit, 0, &cfg, &[train_scaled]).unwrap()[0];
-        let preds = &execute(
-            LogicalOp::LinearSvm,
-            TaskType::Predict,
-            0,
-            &cfg,
-            &[model, test_scaled],
-        )
-        .unwrap()[0];
+        let preds =
+            &execute(LogicalOp::LinearSvm, TaskType::Predict, 0, &cfg, &[model, test_scaled])
+                .unwrap()[0];
         let acc = execute(LogicalOp::Accuracy, TaskType::Evaluate, 0, &cfg, &[preds, test_scaled])
             .unwrap()[0]
             .as_value()
@@ -346,19 +341,16 @@ mod tests {
         let raw = dataset(150, TaskKind::Regression);
         let cfg = Config::new();
         for imp in [0usize, 1] {
-            let s = execute(LogicalOp::StandardScaler, TaskType::Fit, imp, &cfg, &[&raw])
-                .unwrap();
+            let s = execute(LogicalOp::StandardScaler, TaskType::Fit, imp, &cfg, &[&raw]).unwrap();
             assert_eq!(s.len(), 1);
         }
         let a = &execute(LogicalOp::StandardScaler, TaskType::Fit, 0, &cfg, &[&raw]).unwrap()[0];
         let b = &execute(LogicalOp::StandardScaler, TaskType::Fit, 1, &cfg, &[&raw]).unwrap()[0];
         // Transform with each and compare outputs.
-        let ta =
-            &execute(LogicalOp::StandardScaler, TaskType::Transform, 0, &cfg, &[a, &raw])
-                .unwrap()[0];
-        let tb =
-            &execute(LogicalOp::StandardScaler, TaskType::Transform, 1, &cfg, &[b, &raw])
-                .unwrap()[0];
+        let ta = &execute(LogicalOp::StandardScaler, TaskType::Transform, 0, &cfg, &[a, &raw])
+            .unwrap()[0];
+        let tb = &execute(LogicalOp::StandardScaler, TaskType::Transform, 1, &cfg, &[b, &raw])
+            .unwrap()[0];
         assert!(ta.approx_eq(tb, 1e-9));
     }
 
@@ -368,10 +360,8 @@ mod tests {
         let cfg = Config::new();
         let m1 = &execute(LogicalOp::Ridge, TaskType::Fit, 0, &cfg, &[&raw]).unwrap()[0];
         let m2 = &execute(LogicalOp::DecisionTree, TaskType::Fit, 0, &cfg, &[&raw]).unwrap()[0];
-        let ens =
-            &execute(LogicalOp::Voting, TaskType::Fit, 0, &cfg, &[m1, m2, &raw]).unwrap()[0];
-        let preds =
-            execute(LogicalOp::Voting, TaskType::Predict, 0, &cfg, &[ens, &raw]).unwrap();
+        let ens = &execute(LogicalOp::Voting, TaskType::Fit, 0, &cfg, &[m1, m2, &raw]).unwrap()[0];
+        let preds = execute(LogicalOp::Voting, TaskType::Predict, 0, &cfg, &[ens, &raw]).unwrap();
         assert_eq!(preds[0].as_predictions().unwrap().len(), 100);
         let stack =
             &execute(LogicalOp::Stacking, TaskType::Fit, 0, &cfg, &[m1, m2, &raw]).unwrap()[0];
@@ -382,9 +372,8 @@ mod tests {
     fn arity_errors() {
         let raw = dataset(10, TaskKind::Regression);
         let cfg = Config::new();
-        let err =
-            execute(LogicalOp::TrainTestSplit, TaskType::Split, 0, &cfg, &[&raw, &raw])
-                .unwrap_err();
+        let err = execute(LogicalOp::TrainTestSplit, TaskType::Split, 0, &cfg, &[&raw, &raw])
+            .unwrap_err();
         assert!(matches!(err, MlError::Arity { expected: 1, got: 2, .. }));
     }
 
@@ -426,8 +415,9 @@ mod tests {
         let cfg = Config::new().with_i("n_rounds", 10);
         let model =
             &execute(LogicalOp::GradientBoosting, TaskType::Fit, 0, &cfg, &[&raw]).unwrap()[0];
-        let preds = execute(LogicalOp::GradientBoosting, TaskType::Predict, 0, &cfg, &[model, &raw])
-            .unwrap();
+        let preds =
+            execute(LogicalOp::GradientBoosting, TaskType::Predict, 0, &cfg, &[model, &raw])
+                .unwrap();
         for &p in preds[0].as_predictions().unwrap() {
             assert!(p == 0.0 || p == 1.0);
         }

@@ -69,8 +69,7 @@ pub fn roc_auc(scores: &[f64], truth: &[f64]) -> Result<f64, MlError> {
 /// Mean squared error.
 pub fn mse(preds: &[f64], truth: &[f64]) -> Result<f64, MlError> {
     check_lengths(preds, truth)?;
-    Ok(preds.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
-        / preds.len() as f64)
+    Ok(preds.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / preds.len() as f64)
 }
 
 /// Root mean squared error.

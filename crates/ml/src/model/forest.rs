@@ -1,6 +1,6 @@
 //! Random forests with two physical implementations producing *bitwise
 //! identical* models: sequential tree construction ("sklearn") and
-//! multi-threaded construction over crossbeam scoped threads ("cuML
+//! multi-threaded construction over std scoped threads ("cuML
 //! parallel"). Each tree's bootstrap sample and feature subset derive from
 //! `seed + tree_index`, so the schedule cannot change the result — only the
 //! wall-clock cost. This is the cleanest possible instance of the paper's
@@ -42,11 +42,7 @@ fn forest_config(config: &Config) -> ForestConfig {
 
 /// Build tree `t` of the forest: bootstrap rows and a random
 /// `ceil(sqrt(d))`-feature subset, both derived from `seed + t`.
-fn build_member(
-    data: &Dataset,
-    cfg: &ForestConfig,
-    t: usize,
-) -> Result<TreeModel, MlError> {
+fn build_member(data: &Dataset, cfg: &ForestConfig, t: usize) -> Result<TreeModel, MlError> {
     let n = data.len();
     let d = data.n_features();
     let mut rng = SeededRng::new(cfg.seed.wrapping_add(t as u64));
@@ -74,11 +70,11 @@ pub fn fit_forest_parallel(data: &Dataset, config: &Config) -> Result<OpState, M
     check_trainable(data)?;
     let cfg = forest_config(config);
     let n_workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).min(8);
-    let results: Vec<Result<TreeModel, MlError>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<TreeModel, MlError>> = std::thread::scope(|scope| {
         let cfg = &cfg;
         let mut handles = Vec::new();
         for w in 0..n_workers {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 let mut t = w;
                 while t < cfg.n_trees {
@@ -94,8 +90,7 @@ pub fn fit_forest_parallel(data: &Dataset, config: &Config) -> Result<OpState, M
         }
         collected.sort_by_key(|(t, _)| *t);
         collected.into_iter().map(|(_, r)| r).collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut trees = Vec::with_capacity(cfg.n_trees);
     for r in results {
@@ -140,8 +135,7 @@ mod tests {
         let cfg = Config::new().with_i("n_trees", 20);
         let s = fit_forest_sequential(&d, &cfg).unwrap();
         let preds = predict_model(&s, &d).unwrap();
-        let acc = preds.iter().zip(&d.y).filter(|(p, y)| p == y).count() as f64
-            / d.len() as f64;
+        let acc = preds.iter().zip(&d.y).filter(|(p, y)| p == y).count() as f64 / d.len() as f64;
         assert!(acc > 0.85, "training accuracy {acc}");
     }
 

@@ -84,16 +84,15 @@ fn build_histogram(x: &Matrix) -> Histogram {
             hi = hi.max(v);
         }
         let span = if hi > lo { hi - lo } else { 1.0 };
-        boundaries.push(
-            (1..N_BINS).map(|b| lo + span * b as f64 / N_BINS as f64).collect::<Vec<f64>>(),
-        );
+        boundaries
+            .push((1..N_BINS).map(|b| lo + span * b as f64 / N_BINS as f64).collect::<Vec<f64>>());
     }
     let mut bins = vec![vec![0u8; d]; n];
-    for r in 0..n {
+    for (r, bin_row) in bins.iter_mut().enumerate() {
         let row = x.row(r);
-        for f in 0..d {
+        for (f, bin) in bin_row.iter_mut().enumerate() {
             let b = boundaries[f].partition_point(|&t| t < row[f]);
-            bins[r][f] = b as u8;
+            *bin = b as u8;
         }
     }
     Histogram { bins, boundaries }
@@ -152,8 +151,8 @@ fn grow(
                 continue;
             }
             let right_sum = total - left_sum;
-            let gain = left_sum * left_sum / left_n + right_sum * right_sum / right_n
-                - total * total / n;
+            let gain =
+                left_sum * left_sum / left_n + right_sum * right_sum / right_n - total * total / n;
             let improved = match best {
                 None => gain > 1e-12,
                 Some((g, ..)) => gain > g + 1e-12,

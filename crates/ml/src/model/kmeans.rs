@@ -29,9 +29,8 @@ fn init_centroids(data: &Dataset, k: usize, seed: u64) -> Matrix {
     let mut rng = SeededRng::new(seed);
     let n = data.len();
     let mut chosen: Vec<usize> = vec![rng.index(n)];
-    let mut dist2: Vec<f64> = (0..n)
-        .map(|r| squared_distance(data.x.row(r), data.x.row(chosen[0])))
-        .collect();
+    let mut dist2: Vec<f64> =
+        (0..n).map(|r| squared_distance(data.x.row(r), data.x.row(chosen[0]))).collect();
     while chosen.len() < k {
         let total: f64 = dist2.iter().sum();
         let next = if total <= 0.0 {
@@ -41,10 +40,10 @@ fn init_centroids(data: &Dataset, k: usize, seed: u64) -> Matrix {
             rng.weighted_index(&dist2)
         };
         chosen.push(next);
-        for r in 0..n {
+        for (r, slot) in dist2.iter_mut().enumerate() {
             let d = squared_distance(data.x.row(r), data.x.row(next));
-            if d < dist2[r] {
-                dist2[r] = d;
+            if d < *slot {
+                *slot = d;
             }
         }
     }
@@ -71,19 +70,14 @@ fn squared_distance_bounded(a: &[f64], b: &[f64], bound: f64) -> f64 {
     acc
 }
 
-fn lloyd_loop(
-    data: &Dataset,
-    mut centroids: Matrix,
-    max_iter: usize,
-    pruned: bool,
-) -> Matrix {
+fn lloyd_loop(data: &Dataset, mut centroids: Matrix, max_iter: usize, pruned: bool) -> Matrix {
     let k = centroids.rows();
     let d = centroids.cols();
     let n = data.len();
     let mut assignment = vec![usize::MAX; n];
     for _ in 0..max_iter {
         let mut changed = false;
-        for r in 0..n {
+        for (r, slot) in assignment.iter_mut().enumerate() {
             let row = data.x.row(r);
             let mut best = 0usize;
             let mut best_dist = f64::INFINITY;
@@ -98,8 +92,8 @@ fn lloyd_loop(
                     best = c;
                 }
             }
-            if assignment[r] != best {
-                assignment[r] = best;
+            if *slot != best {
+                *slot = best;
                 changed = true;
             }
         }
@@ -117,9 +111,9 @@ fn lloyd_loop(
                 *s += v;
             }
         }
-        for c in 0..k {
-            if counts[c] > 0 {
-                let inv = 1.0 / counts[c] as f64;
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                let inv = 1.0 / count as f64;
                 let src: Vec<f64> = sums.row(c).iter().map(|v| v * inv).collect();
                 centroids.row_mut(c).copy_from_slice(&src);
             }
@@ -201,9 +195,7 @@ mod tests {
     fn lloyd_recovers_blob_centers() {
         let d = blobs(50);
         let cfg = Config::new().with_i("k", 3);
-        let OpState::KMeans { centroids } = fit_kmeans_lloyd(&d, &cfg).unwrap() else {
-            panic!()
-        };
+        let OpState::KMeans { centroids } = fit_kmeans_lloyd(&d, &cfg).unwrap() else { panic!() };
         // Each true center must be within 1.0 of some centroid.
         for &(cx, cy) in &[(-10.0, 0.0), (10.0, 0.0), (0.0, 15.0)] {
             let ok = (0..3).any(|c| {

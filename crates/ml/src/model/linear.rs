@@ -155,9 +155,8 @@ pub fn fit_lasso_cd(data: &Dataset, config: &Config) -> Result<OpState, MlError>
     let y_mean = data.y.iter().sum::<f64>() / n as f64;
 
     // Standardized feature columns.
-    let cols: Vec<Vec<f64>> = (0..d)
-        .map(|j| data.x.col(j).iter().map(|&v| (v - mean[j]) / std[j]).collect())
-        .collect();
+    let cols: Vec<Vec<f64>> =
+        (0..d).map(|j| data.x.col(j).iter().map(|&v| (v - mean[j]) / std[j]).collect()).collect();
     let yc: Vec<f64> = data.y.iter().map(|&v| v - y_mean).collect();
 
     let mut w = vec![0.0; d];

@@ -21,9 +21,7 @@ use hyppo_tensor::Dataset;
 /// Predict with any fitted model state on a dataset.
 pub fn predict_model(state: &OpState, data: &Dataset) -> Result<Vec<f64>, MlError> {
     match state {
-        OpState::Linear { op, weights, bias } => {
-            linear::predict_linear(*op, weights, *bias, data)
-        }
+        OpState::Linear { op, weights, bias } => linear::predict_linear(*op, weights, *bias, data),
         OpState::Tree(tree) => {
             check_width(data, tree_width_hint(state), "decision tree")?;
             Ok(data.x.rows_iter().map(|row| tree.predict_row(row)).collect())
@@ -198,8 +196,7 @@ mod tests {
             OpState::Gbm { trees: vec![], learning_rate: 1.0, base: 2.0 },
             OpState::Gbm { trees: vec![], learning_rate: 1.0, base: 4.0 },
         ];
-        let state =
-            OpState::Stacking { members, meta_weights: vec![0.5, 0.25], meta_bias: 1.0 };
+        let state = OpState::Stacking { members, meta_weights: vec![0.5, 0.25], meta_bias: 1.0 };
         let d = ds(&[&[0.0]]);
         assert_eq!(predict_model(&state, &d).unwrap(), vec![3.0]);
     }
@@ -207,16 +204,12 @@ mod tests {
     #[test]
     fn empty_ensembles_rejected() {
         let d = ds(&[&[0.0]]);
-        assert!(predict_model(
-            &OpState::Forest { trees: vec![], classification: false },
-            &d
-        )
-        .is_err());
-        assert!(predict_model(
-            &OpState::Voting { members: vec![], classification: false },
-            &d
-        )
-        .is_err());
+        assert!(
+            predict_model(&OpState::Forest { trees: vec![], classification: false }, &d).is_err()
+        );
+        assert!(
+            predict_model(&OpState::Voting { members: vec![], classification: false }, &d).is_err()
+        );
     }
 
     #[test]

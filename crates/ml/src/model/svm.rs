@@ -72,11 +72,7 @@ pub fn fit_svm_dual_cd(data: &Dataset, config: &Config) -> Result<OpState, MlErr
     let iters = config.usize_or("iters", 20);
     let y = signed_labels(data);
     // Append an implicit bias feature of value 1 (standard liblinear trick).
-    let q: Vec<f64> = data
-        .x
-        .rows_iter()
-        .map(|row| dot(row, row) + 1.0)
-        .collect();
+    let q: Vec<f64> = data.x.rows_iter().map(|row| dot(row, row) + 1.0).collect();
     let mut alpha = vec![0.0; n];
     let mut w = vec![0.0; d];
     let mut bias = 0.0;

@@ -123,15 +123,13 @@ impl Builder<'_> {
                     }
                 }
                 let right_n = n - left_n;
-                if left_n < self.params.min_leaf as f64 || right_n < self.params.min_leaf as f64
-                {
+                if left_n < self.params.min_leaf as f64 || right_n < self.params.min_leaf as f64 {
                     continue;
                 }
                 let right_sum = total_sum - left_sum;
                 // Variance reduction ∝ Σ_child (sum² / n) − total²/n.
-                let gain =
-                    left_sum * left_sum / left_n + right_sum * right_sum / right_n
-                        - total_sum * total_sum / n;
+                let gain = left_sum * left_sum / left_n + right_sum * right_sum / right_n
+                    - total_sum * total_sum / n;
                 let improved = match best {
                     None => gain > 1e-12,
                     Some((g, bf, bt)) => {
@@ -168,8 +166,8 @@ mod tests {
         let (x, y) = step_data();
         let rows: Vec<usize> = (0..40).collect();
         let tree = build_tree(&x, &y, &rows, &[0, 1], TreeParams::default()).unwrap();
-        for i in 0..40 {
-            assert_eq!(tree.predict_row(x.row(i)), y[i], "row {i}");
+        for (i, &yi) in y.iter().enumerate() {
+            assert_eq!(tree.predict_row(x.row(i)), yi, "row {i}");
         }
     }
 
@@ -237,22 +235,12 @@ mod tests {
         let x = Matrix::from_rows(&refs);
         let y: Vec<f64> = (0..60).map(|i| (i / 20) as f64).collect();
         let rows: Vec<usize> = (0..60).collect();
-        let shallow = build_tree(
-            &x,
-            &y,
-            &rows,
-            &[0],
-            TreeParams { max_depth: 1, ..TreeParams::default() },
-        )
-        .unwrap();
-        let deep = build_tree(
-            &x,
-            &y,
-            &rows,
-            &[0],
-            TreeParams { max_depth: 3, ..TreeParams::default() },
-        )
-        .unwrap();
+        let shallow =
+            build_tree(&x, &y, &rows, &[0], TreeParams { max_depth: 1, ..TreeParams::default() })
+                .unwrap();
+        let deep =
+            build_tree(&x, &y, &rows, &[0], TreeParams { max_depth: 3, ..TreeParams::default() })
+                .unwrap();
         let sse = |t: &TreeModel| -> f64 {
             (0..60).map(|i| (t.predict_row(x.row(i)) - y[i]).powi(2)).sum()
         };

@@ -43,12 +43,36 @@ impl TaskType {
 
 /// A physical implementation of a logical operator: a name (mimicking the
 /// provider framework) plus a dispatch index.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PhysImpl {
     /// Index into the operator's implementation table (dispatch key).
     pub index: usize,
     /// Human-readable provenance-style name, e.g. `sklearn.StandardScaler`.
     pub name: &'static str,
+}
+
+// Manual serde impls: the `&'static str` name can't be produced by a
+// deserializer, so it is re-interned through the operator dictionary.
+impl Serialize for PhysImpl {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("index".to_string(), self.index.to_value()),
+            ("name".to_string(), self.name.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PhysImpl {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let index = usize::from_value(v.field_or_null("index"))?;
+        let name = String::from_value(v.field_or_null("name"))?;
+        LogicalOp::ALL
+            .iter()
+            .flat_map(|op| op.impls().iter())
+            .find(|p| p.name == name)
+            .map(|p| PhysImpl { index, name: p.name })
+            .ok_or_else(|| serde::DeError(format!("unknown physical impl {name:?}")))
+    }
 }
 
 /// The logical operators in the reproduction's dictionary.
@@ -289,10 +313,8 @@ impl LogicalOp {
                 L
             }
             KBinsDiscretizer => {
-                const L: &[PhysImpl] = &[
-                    p(0, "sklearn.preprocessing.KBinsDiscretizer"),
-                    p(1, "pandas.cut"),
-                ];
+                const L: &[PhysImpl] =
+                    &[p(0, "sklearn.preprocessing.KBinsDiscretizer"), p(1, "pandas.cut")];
                 L
             }
             Normalizer => {
@@ -312,10 +334,8 @@ impl LogicalOp {
                 L
             }
             LinearRegression => {
-                const L: &[PhysImpl] = &[
-                    p(0, "sklearn.linear_model.LinearRegression"),
-                    p(1, "tf.linalg.lstsq_sgd"),
-                ];
+                const L: &[PhysImpl] =
+                    &[p(0, "sklearn.linear_model.LinearRegression"), p(1, "tf.linalg.lstsq_sgd")];
                 L
             }
             Ridge => {
@@ -443,8 +463,7 @@ mod tests {
                 assert_eq!(imp.index, i, "impl indices must be dense");
             }
         }
-        let multi: Vec<_> =
-            LogicalOp::ALL.iter().filter(|op| op.impls().len() >= 2).collect();
+        let multi: Vec<_> = LogicalOp::ALL.iter().filter(|op| op.impls().len() >= 2).collect();
         assert!(multi.len() >= 12, "need plenty of equivalence candidates, got {}", multi.len());
     }
 

@@ -75,8 +75,7 @@ pub fn transform_discretizer(state: &OpState, data: &Dataset) -> Result<Dataset,
             let col_edges = &edges[j];
             let n_bins = col_edges.len() - 1;
             // Binary search for the bin; clamp out-of-range.
-            let bin = match col_edges
-                .binary_search_by(|e| e.partial_cmp(v).expect("finite edges"))
+            let bin = match col_edges.binary_search_by(|e| e.partial_cmp(v).expect("finite edges"))
             {
                 Ok(i) => i.min(n_bins - 1),
                 Err(i) => i.saturating_sub(1).min(n_bins - 1),

@@ -28,10 +28,7 @@ pub fn fit_mean_streaming(data: &Dataset) -> Result<OpState, MlError> {
     Ok(OpState::Imputer { op: LogicalOp::ImputerMean, fill: mean })
 }
 
-fn fit_median_with(
-    data: &Dataset,
-    kth: impl Fn(&[f64], usize) -> f64,
-) -> Result<OpState, MlError> {
+fn fit_median_with(data: &Dataset, kth: impl Fn(&[f64], usize) -> f64) -> Result<OpState, MlError> {
     check_nonempty(data)?;
     let d = data.n_features();
     let mut fill = Vec::with_capacity(d);
@@ -84,12 +81,7 @@ mod tests {
 
     fn ds_with_gaps() -> Dataset {
         Dataset::new(
-            Matrix::from_rows(&[
-                &[1.0, f64::NAN],
-                &[f64::NAN, 20.0],
-                &[3.0, 30.0],
-                &[5.0, 40.0],
-            ]),
+            Matrix::from_rows(&[&[1.0, f64::NAN], &[f64::NAN, 20.0], &[3.0, 30.0], &[5.0, 40.0]]),
             vec![0.0; 4],
             vec!["a".into(), "b".into()],
             TaskKind::Regression,
@@ -146,12 +138,8 @@ mod tests {
     fn width_mismatch_rejected() {
         let d = ds_with_gaps();
         let state = fit_mean_two_pass(&d).unwrap();
-        let narrow = Dataset::new(
-            Matrix::zeros(1, 1),
-            vec![0.0],
-            vec!["a".into()],
-            TaskKind::Regression,
-        );
+        let narrow =
+            Dataset::new(Matrix::zeros(1, 1), vec![0.0], vec!["a".into()], TaskKind::Regression);
         assert!(transform_imputer(&state, &narrow).is_err());
     }
 

@@ -121,12 +121,12 @@ pub fn transform_pca(state: &OpState, data: &Dataset) -> Result<Dataset, MlError
     for r in 0..data.len() {
         let row = data.x.row(r);
         let dst = out.row_mut(r);
-        for j in 0..k {
+        for (j, d) in dst.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (i, &xi) in row.iter().enumerate() {
                 acc += (xi - mean[i]) * components.get(i, j);
             }
-            dst[j] = acc;
+            *d = acc;
         }
     }
     let names = (0..k).map(|i| format!("pc{i}")).collect();

@@ -81,9 +81,7 @@ pub fn transform_poly_colwise(state: &OpState, data: &Dataset) -> Result<Dataset
 
 fn check_state(state: &OpState, data: &Dataset) -> Result<usize, MlError> {
     match state {
-        OpState::Poly { degree: 2, input_dim } if *input_dim == data.n_features() => {
-            Ok(*input_dim)
-        }
+        OpState::Poly { degree: 2, input_dim } if *input_dim == data.n_features() => Ok(*input_dim),
         OpState::Poly { input_dim, .. } => Err(MlError::BadInput(format!(
             "poly state fitted on {} features, data has {}",
             input_dim,
@@ -169,9 +167,6 @@ mod tests {
     fn wrong_state_rejected() {
         let d = ds();
         let bad = OpState::Imputer { op: LogicalOp::ImputerMean, fill: vec![0.0; 3] };
-        assert!(matches!(
-            transform_poly_colwise(&bad, &d),
-            Err(MlError::StateMismatch(_))
-        ));
+        assert!(matches!(transform_poly_colwise(&bad, &d), Err(MlError::StateMismatch(_))));
     }
 }

@@ -42,16 +42,11 @@ pub fn transform_haversine(data: &Dataset) -> Result<Dataset, MlError> {
     let mut dist = Matrix::zeros(n, 1);
     for r in 0..n {
         let row = data.x.row(r);
-        let (lat1, lon1, lat2, lon2) = (
-            row[0].to_radians(),
-            row[1].to_radians(),
-            row[2].to_radians(),
-            row[3].to_radians(),
-        );
+        let (lat1, lon1, lat2, lon2) =
+            (row[0].to_radians(), row[1].to_radians(), row[2].to_radians(), row[3].to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         dist.set(r, 0, 2.0 * EARTH_RADIUS_KM * a.sqrt().asin());
     }
     let x = data.x.hstack(&dist);
@@ -126,10 +121,8 @@ mod tests {
     #[test]
     fn haversine_known_distance() {
         // Roughly Manhattan (40.78,-73.97) to JFK (40.64,-73.78): ~21 km.
-        let d = ds(
-            &[&[40.78, -73.97, 40.64, -73.78, 9.0]],
-            &["plat", "plon", "dlat", "dlon", "hour"],
-        );
+        let d =
+            ds(&[&[40.78, -73.97, 40.64, -73.78, 9.0]], &["plat", "plon", "dlat", "dlon", "hour"]);
         let out = transform_haversine(&d).unwrap();
         let km = out.x.get(0, 5);
         assert!((15.0..30.0).contains(&km), "distance {km} km implausible");

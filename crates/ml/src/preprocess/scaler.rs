@@ -50,7 +50,7 @@ pub fn fit_minmax_chunked(data: &Dataset) -> Result<OpState, MlError> {
     let n = data.len();
     let n_chunks = 4.min(n.max(1));
     let chunk_rows = n.div_ceil(n_chunks);
-    let partials: Vec<(Vec<f64>, Vec<f64>)> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<(Vec<f64>, Vec<f64>)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for c in 0..n_chunks {
             let lo = c * chunk_rows;
@@ -59,7 +59,7 @@ pub fn fit_minmax_chunked(data: &Dataset) -> Result<OpState, MlError> {
                 continue;
             }
             let x = &data.x;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut min = vec![f64::INFINITY; d];
                 let mut max = vec![f64::NEG_INFINITY; d];
                 for r in lo..hi {
@@ -75,8 +75,7 @@ pub fn fit_minmax_chunked(data: &Dataset) -> Result<OpState, MlError> {
             }));
         }
         handles.into_iter().map(|h| h.join().expect("scaler worker panicked")).collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut min = vec![f64::INFINITY; d];
     let mut max = vec![f64::NEG_INFINITY; d];
@@ -93,10 +92,7 @@ pub fn fit_minmax_chunked(data: &Dataset) -> Result<OpState, MlError> {
 /// RobustScaler parameterized by the exact order-statistic kernel:
 /// impl 0 sorts every column, impl 1 uses quickselect. Outputs are
 /// identical (both compute the exact median and IQR).
-fn fit_robust_with(
-    data: &Dataset,
-    kth: impl Fn(&[f64], usize) -> f64,
-) -> Result<OpState, MlError> {
+fn fit_robust_with(data: &Dataset, kth: impl Fn(&[f64], usize) -> f64) -> Result<OpState, MlError> {
     check_nonempty(data)?;
     let d = data.n_features();
     let mut offset = Vec::with_capacity(d);

@@ -50,13 +50,8 @@ mod tests {
         let d = ds(100);
         let (train, test) = train_test_split(&d, &Config::new()).unwrap();
         assert_eq!(train.len() + test.len(), 100);
-        let mut seen: Vec<i64> = train
-            .x
-            .col(0)
-            .into_iter()
-            .chain(test.x.col(0))
-            .map(|v| v as i64)
-            .collect();
+        let mut seen: Vec<i64> =
+            train.x.col(0).into_iter().chain(test.x.col(0)).map(|v| v as i64).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..100).collect::<Vec<i64>>());
     }

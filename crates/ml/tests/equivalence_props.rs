@@ -27,9 +27,8 @@ fn fit_both(op: LogicalOp, data: &Dataset, cfg: &Config) -> (Artifact, Artifact)
 
 fn transform_with(op: LogicalOp, state: &Artifact, data: &Dataset, imp: usize) -> Dataset {
     let input = Artifact::Data(data.clone());
-    let out = execute(op, TaskType::Transform, imp, &Config::new(), &[state, &input])
-        .unwrap()
-        .remove(0);
+    let out =
+        execute(op, TaskType::Transform, imp, &Config::new(), &[state, &input]).unwrap().remove(0);
     match out {
         Artifact::Data(d) => d,
         _ => panic!("transform must return data"),

@@ -132,8 +132,7 @@ pub fn build_pipeline_mode(spec: PipelineSpec, mode: crate::naming::NamingMode) 
         outputs.push(step_outputs);
     }
 
-    let targets: Vec<NodeId> =
-        graph.sinks().into_iter().filter(|&v| v != source).collect();
+    let targets: Vec<NodeId> = graph.sinks().into_iter().filter(|&v| v != source).collect();
     Pipeline { graph, source, targets, outputs, spec }
 }
 
@@ -190,22 +189,16 @@ mod tests {
     #[test]
     fn split_edge_is_multi_output() {
         let p = figure1_pipeline("higgs");
-        let split_edge = p
-            .graph
-            .edge_ids()
-            .find(|&e| p.graph.edge(e).op == LogicalOp::TrainTestSplit)
-            .unwrap();
+        let split_edge =
+            p.graph.edge_ids().find(|&e| p.graph.edge(e).op == LogicalOp::TrainTestSplit).unwrap();
         assert_eq!(p.graph.head(split_edge).len(), 2);
     }
 
     #[test]
     fn fit_state_feeds_transform_as_multi_input() {
         let p = figure1_pipeline("higgs");
-        let transform_edge = p
-            .graph
-            .edge_ids()
-            .find(|&e| p.graph.edge(e).task == TaskType::Transform)
-            .unwrap();
+        let transform_edge =
+            p.graph.edge_ids().find(|&e| p.graph.edge(e).task == TaskType::Transform).unwrap();
         assert_eq!(p.graph.tail(transform_edge).len(), 2, "state + data");
     }
 
@@ -230,11 +223,8 @@ mod tests {
         let s2 = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
         let p = build_pipeline(spec);
         assert_eq!(p.outputs[2][0], p.outputs[3][0], "same logical artifact, same node");
-        let fit_edges = p
-            .graph
-            .edge_ids()
-            .filter(|&e| p.graph.edge(e).task == TaskType::Fit)
-            .count();
+        let fit_edges =
+            p.graph.edge_ids().filter(|&e| p.graph.edge(e).task == TaskType::Fit).count();
         assert_eq!(fit_edges, 1, "identical tasks deduplicate");
         let _ = (s1, s2);
     }
@@ -247,11 +237,8 @@ mod tests {
         spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
         spec.fit(LogicalOp::StandardScaler, 1, Config::new(), &[train]);
         let p = build_pipeline(spec);
-        let fit_edges: Vec<_> = p
-            .graph
-            .edge_ids()
-            .filter(|&e| p.graph.edge(e).task == TaskType::Fit)
-            .collect();
+        let fit_edges: Vec<_> =
+            p.graph.edge_ids().filter(|&e| p.graph.edge(e).task == TaskType::Fit).collect();
         assert_eq!(fit_edges.len(), 2, "two impls = two parallel hyperedges");
         // Both edges share the same head node.
         assert_eq!(p.graph.head(fit_edges[0]), p.graph.head(fit_edges[1]));

@@ -67,10 +67,7 @@ impl Dictionary {
     /// Entries that are optimization candidates: more than one registered
     /// physical implementation (paper §IV-B).
     pub fn optimization_candidates(&self) -> impl Iterator<Item = (LogicalOp, TaskType)> + '_ {
-        self.entries
-            .iter()
-            .filter(|(_, impls)| impls.len() > 1)
-            .map(|(&key, _)| key)
+        self.entries.iter().filter(|(_, impls)| impls.len() > 1).map(|(&key, _)| key)
     }
 
     /// Iterate over all entries.

@@ -217,6 +217,9 @@ mod tests {
     #[test]
     fn names_are_stable_across_processes() {
         // Regression pin: FNV is unkeyed, so this value must never change.
-        assert_eq!(dataset_name("higgs").0, fnv_bytes(fnv_bytes(FNV_OFFSET, b"dataset:"), b"higgs"));
+        assert_eq!(
+            dataset_name("higgs").0,
+            fnv_bytes(fnv_bytes(FNV_OFFSET, b"dataset:"), b"higgs")
+        );
     }
 }

@@ -64,10 +64,7 @@ impl PipelineSpec {
 
     fn push(&mut self, step: Step) -> StepId {
         for input in &step.inputs {
-            assert!(
-                input.step.0 < self.steps.len(),
-                "step input must reference an earlier step"
-            );
+            assert!(input.step.0 < self.steps.len(), "step input must reference an earlier step");
             assert!(
                 input.output < self.steps[input.step.0].n_outputs(),
                 "step input references a nonexistent output"
@@ -91,7 +88,11 @@ impl PipelineSpec {
     }
 
     /// Train/test split; returns `(train, test)` handles.
-    pub fn split(&mut self, data: ArtifactHandle, config: Config) -> (ArtifactHandle, ArtifactHandle) {
+    pub fn split(
+        &mut self,
+        data: ArtifactHandle,
+        config: Config,
+    ) -> (ArtifactHandle, ArtifactHandle) {
         let id = self.push(Step {
             op: LogicalOp::TrainTestSplit,
             task: TaskType::Split,
@@ -219,11 +220,8 @@ impl PipelineSpec {
     pub fn output_names_mode(&self, mode: naming::NamingMode) -> Vec<Vec<ArtifactName>> {
         let mut names: Vec<Vec<ArtifactName>> = Vec::with_capacity(self.steps.len());
         for step in &self.steps {
-            let input_names: Vec<ArtifactName> = step
-                .inputs
-                .iter()
-                .map(|h| names[h.step.0][h.output])
-                .collect();
+            let input_names: Vec<ArtifactName> =
+                step.inputs.iter().map(|h| names[h.step.0][h.output]).collect();
             let outs = match (&step.dataset, step.task) {
                 (Some(id), TaskType::Load) => vec![naming::dataset_name(id)],
                 _ => (0..step.n_outputs())
@@ -256,8 +254,7 @@ mod tests {
         let data = spec.load("higgs");
         let (train, test) = spec.split(data, Config::new().with_i("seed", 0));
         let scaler = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
-        let test_s =
-            spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
+        let test_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
         let model = spec.fit(LogicalOp::RandomForest, 0, Config::new(), &[train]);
         let _p_train = spec.predict(LogicalOp::RandomForest, 0, Config::new(), model, train);
         let _p_test = spec.predict(LogicalOp::RandomForest, 0, Config::new(), model, test_s);

@@ -1,0 +1,484 @@
+//! Concurrent exploratory sessions over one shared HYPPO state.
+//!
+//! [`SharedHyppo`] is the thread-safe counterpart of the core
+//! [`Hyppo`] facade: history and cost estimator live behind [`RwLock`]s,
+//! artifacts in a sharded [`SharedArtifactStore`], and every submission
+//! runs its plan on the wavefront executor. [`SharedHyppo::run_sessions_concurrent`]
+//! drives N exploratory sessions — each a sequence of pipeline submissions —
+//! on N threads against that single shared state, so one analyst's
+//! materialized artifacts immediately benefit everyone else's plans (the
+//! paper's collaborative-notebook setting).
+//!
+//! # Locking protocol
+//!
+//! Planning takes the history and estimator *read* locks; recording and
+//! materialization take both *write* locks, always acquiring history before
+//! estimator — one fixed order, no deadlock. Materialization runs inside
+//! that critical section so budget accounting (`used_bytes` vs budget)
+//! is never interleaved between sessions.
+//!
+//! Concurrent eviction can still invalidate a plan *between* planning and
+//! execution: session A plans a load of an artifact that session B evicts
+//! first. The executor surfaces this as a missing-artifact error and the
+//! driver simply replans — the eviction already cleared the history flag,
+//! so the new plan routes around the evicted artifact.
+
+use crate::executor::{execute_plan_parallel, WavefrontMetrics};
+use crate::store::{SharedArtifactStore, DEFAULT_SHARDS};
+use hyppo_core::augment::{self, annotate_costs};
+use hyppo_core::executor::{execute_plan, ExecError, ExecMode};
+use hyppo_core::materialize::{MaterializeConfig, Materializer};
+use hyppo_core::monitor::record_outcome;
+use hyppo_core::optimizer::optimize;
+use hyppo_core::system::{Hyppo, HyppoConfig, RunReport, SubmitError};
+use hyppo_core::{ArtifactStore, CostEstimator, History};
+use hyppo_pipeline::{build_pipeline, ArtifactName, PipelineSpec};
+use hyppo_tensor::Dataset;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+/// How often a submission replans after losing a race with eviction.
+const MAX_REPLANS: usize = 2;
+
+/// Thread-safe HYPPO: shared history, estimator, and artifact store, with
+/// wavefront plan execution.
+#[derive(Debug)]
+pub struct SharedHyppo {
+    /// Configuration (shared read-only across sessions).
+    pub config: HyppoConfig,
+    history: RwLock<History>,
+    estimator: RwLock<CostEstimator>,
+    store: SharedArtifactStore,
+    cumulative_seconds: Mutex<f64>,
+    /// Wall-clock nanos spent waiting on the history/estimator locks.
+    lock_wait_nanos: AtomicU64,
+}
+
+/// What one session (a sequence of submissions on one thread) did.
+#[derive(Clone, Debug, Default)]
+pub struct SessionReport {
+    /// Session index (position in the submitted batch).
+    pub session: usize,
+    /// Per-submission reports, in submission order.
+    pub runs: Vec<RunReport>,
+    /// Wall-clock seconds the session took end to end.
+    pub wall_seconds: f64,
+    /// Summed per-task seconds across the session's plans.
+    pub task_seconds: f64,
+    /// Largest in-flight edge count any of the session's plans reached.
+    pub peak_concurrency: usize,
+}
+
+/// Aggregate observations across a concurrent batch of sessions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuntimeMetrics {
+    /// Sessions completed.
+    pub sessions: usize,
+    /// Hyperedges executed across all sessions.
+    pub tasks_executed: usize,
+    /// How many of them were loads (dataset or materialized artifact) —
+    /// the cache hits of cross-session reuse.
+    pub loads: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Summed per-task seconds — what one thread replaying every task
+    /// serially would accumulate.
+    pub task_seconds: f64,
+    /// Wall-clock seconds threads spent waiting on locks (store shards +
+    /// history/estimator).
+    pub lock_wait_seconds: f64,
+    /// Largest in-flight edge count any plan reached.
+    pub peak_concurrency: usize,
+}
+
+impl RuntimeMetrics {
+    /// `task_seconds / wall_seconds` — the batch's concurrency payoff.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.task_seconds / self.wall_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Everything a concurrent batch produced.
+#[derive(Clone, Debug, Default)]
+pub struct SessionsOutcome {
+    /// One report per session, in input order.
+    pub reports: Vec<SessionReport>,
+    /// Aggregate metrics.
+    pub metrics: RuntimeMetrics,
+}
+
+impl SharedHyppo {
+    /// Fresh shared system with [`DEFAULT_SHARDS`] store shards.
+    pub fn new(config: HyppoConfig) -> Self {
+        SharedHyppo::from_parts(
+            config,
+            History::new(),
+            CostEstimator::new(),
+            ArtifactStore::new(),
+            DEFAULT_SHARDS,
+        )
+    }
+
+    /// Wrap existing state (typically moved out of a serial [`Hyppo`]).
+    pub fn from_parts(
+        config: HyppoConfig,
+        history: History,
+        estimator: CostEstimator,
+        store: ArtifactStore,
+        n_shards: usize,
+    ) -> Self {
+        SharedHyppo {
+            config,
+            history: RwLock::new(history),
+            estimator: RwLock::new(estimator),
+            store: SharedArtifactStore::from_store(store, n_shards),
+            cumulative_seconds: Mutex::new(0.0),
+            lock_wait_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Tear down into `(history, estimator, store, cumulative_seconds)` —
+    /// the inverse of [`SharedHyppo::from_parts`].
+    pub fn into_parts(self) -> (History, CostEstimator, ArtifactStore, f64) {
+        let history = self.history.into_inner().unwrap_or_else(|e| e.into_inner());
+        let estimator = self.estimator.into_inner().unwrap_or_else(|e| e.into_inner());
+        let cumulative = *self.cumulative_seconds.lock().unwrap_or_else(|e| e.into_inner());
+        (history, estimator, self.store.into_store(), cumulative)
+    }
+
+    /// Register a raw dataset as loadable from the source.
+    pub fn register_dataset(&self, id: &str, dataset: Dataset) {
+        let size = dataset.size_bytes() as u64;
+        self.store.register_dataset(id, dataset);
+        self.locked_history().record_dataset(id, size);
+    }
+
+    /// Cumulative execution seconds across all submissions so far.
+    pub fn cumulative_seconds(&self) -> f64 {
+        *self.cumulative_seconds.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wall-clock seconds spent waiting on any lock (store shards plus
+    /// history/estimator).
+    pub fn lock_wait_seconds(&self) -> f64 {
+        self.store.lock_wait_seconds() + self.lock_wait_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    fn locked_history(&self) -> std::sync::RwLockWriteGuard<'_, History> {
+        let start = Instant::now();
+        let guard = self.history.write().unwrap_or_else(|e| e.into_inner());
+        self.record_wait(start);
+        guard
+    }
+
+    fn record_wait(&self, start: Instant) {
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.lock_wait_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Submit one pipeline, executing its plan on `workers` wavefront
+    /// threads. Safe to call from many threads at once.
+    pub fn submit_shared(
+        &self,
+        spec: PipelineSpec,
+        workers: usize,
+    ) -> Result<(RunReport, WavefrontMetrics), SubmitError> {
+        let pipeline = build_pipeline(spec);
+        let mut replans = 0;
+        loop {
+            let opt_start = Instant::now();
+
+            // Plan under read locks: history → estimator.
+            let (aug, costs) = {
+                let start = Instant::now();
+                let history = self.history.read().unwrap_or_else(|e| e.into_inner());
+                self.record_wait(start);
+                let start = Instant::now();
+                let estimator = self.estimator.read().unwrap_or_else(|e| e.into_inner());
+                self.record_wait(start);
+                let aug = augment::augment(
+                    &pipeline,
+                    &history,
+                    &self.config.dictionary,
+                    self.config.augment,
+                );
+                let costs = annotate_costs(&aug, &estimator, &self.store);
+                (aug, costs)
+            };
+            let plan = optimize(
+                &aug.graph,
+                &costs,
+                aug.source,
+                &aug.targets,
+                &aug.new_tasks,
+                self.config.search,
+            )
+            .ok_or(SubmitError::NoPlan)?;
+            let optimize_seconds = opt_start.elapsed().as_secs_f64();
+
+            // Execute without holding any coarse lock.
+            let executed = if self.config.mode == ExecMode::Real {
+                execute_plan_parallel(&aug, &plan.edges, &self.store, workers)
+            } else {
+                execute_plan(&aug, &plan.edges, &self.store, ExecMode::Simulated, &costs).map(
+                    |outcome| {
+                        let wave = WavefrontMetrics {
+                            workers: 1,
+                            dispatched: outcome.metrics.len(),
+                            peak_concurrency: 1,
+                            wall_seconds: outcome.total_seconds,
+                            task_seconds: outcome.total_seconds,
+                        };
+                        crate::executor::ParallelOutcome { outcome, metrics: wave }
+                    },
+                )
+            };
+            let parallel = match executed {
+                Ok(p) => p,
+                // Lost a race with another session's eviction: the
+                // artifact this plan meant to load is gone. Its history
+                // flag was cleared by the same eviction, so replanning
+                // routes around it.
+                Err(ExecError::MissingArtifact(_)) if replans < MAX_REPLANS => {
+                    replans += 1;
+                    continue;
+                }
+                Err(e) => return Err(SubmitError::Exec(e)),
+            };
+            let outcome = parallel.outcome;
+            let target_names: Vec<ArtifactName> =
+                aug.targets.iter().map(|&t| aug.graph.node(t).name).collect();
+
+            // Record + materialize under write locks: history → estimator.
+            let report_mat = {
+                let mut history = self.locked_history();
+                let start = Instant::now();
+                let mut estimator = self.estimator.write().unwrap_or_else(|e| e.into_inner());
+                self.record_wait(start);
+                record_outcome(&aug, &outcome, &target_names, &mut history, &mut estimator);
+                if self.config.budget_bytes > 0 {
+                    let materializer = Materializer::new(MaterializeConfig {
+                        budget_bytes: self.config.budget_bytes,
+                        locality: self.config.locality,
+                    });
+                    materializer.run(
+                        &mut history,
+                        &mut self.store.clone(),
+                        &estimator,
+                        &outcome.artifacts,
+                    )
+                } else {
+                    Default::default()
+                }
+            };
+
+            *self.cumulative_seconds.lock().unwrap_or_else(|e| e.into_inner()) +=
+                outcome.total_seconds;
+            let values: HashMap<ArtifactName, f64> =
+                target_names.iter().filter_map(|&n| outcome.value(n).map(|v| (n, v))).collect();
+            let report = RunReport {
+                planned_cost: plan.cost,
+                execution_seconds: outcome.total_seconds,
+                optimize_seconds,
+                tasks_executed: outcome.metrics.len(),
+                loads: outcome.metrics.iter().filter(|m| m.is_load).count(),
+                new_tasks: aug.new_tasks.len(),
+                expansions: plan.expansions,
+                stored: report_mat.stored.len(),
+                evicted: report_mat.evicted.len(),
+                values,
+            };
+            return Ok((report, parallel.metrics));
+        }
+    }
+
+    /// Run every session on its own thread against this shared state.
+    ///
+    /// Each session is a sequence of pipeline submissions executed in
+    /// order; sessions interleave freely, sharing history, estimator, and
+    /// materialized artifacts. Fails with the first session error, after
+    /// every session thread has finished.
+    pub fn run_sessions_concurrent(
+        &self,
+        sessions: Vec<Vec<PipelineSpec>>,
+        workers_per_plan: usize,
+    ) -> Result<SessionsOutcome, SubmitError> {
+        let lock_wait_before = self.lock_wait_seconds();
+        let start = Instant::now();
+        let results: Vec<Result<SessionReport, SubmitError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sessions
+                .into_iter()
+                .enumerate()
+                .map(|(session, specs)| {
+                    scope.spawn(move || {
+                        let session_start = Instant::now();
+                        let mut report = SessionReport { session, ..Default::default() };
+                        for spec in specs {
+                            let (run, wave) = self.submit_shared(spec, workers_per_plan)?;
+                            report.task_seconds += wave.task_seconds;
+                            report.peak_concurrency =
+                                report.peak_concurrency.max(wave.peak_concurrency);
+                            report.runs.push(run);
+                        }
+                        report.wall_seconds = session_start.elapsed().as_secs_f64();
+                        Ok(report)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("session thread panicked")).collect()
+        });
+        let wall_seconds = start.elapsed().as_secs_f64();
+
+        let mut reports = Vec::with_capacity(results.len());
+        for result in results {
+            reports.push(result?);
+        }
+        let metrics = RuntimeMetrics {
+            sessions: reports.len(),
+            tasks_executed: reports
+                .iter()
+                .flat_map(|r| r.runs.iter())
+                .map(|run| run.tasks_executed)
+                .sum(),
+            loads: reports.iter().flat_map(|r| r.runs.iter()).map(|run| run.loads).sum(),
+            wall_seconds,
+            task_seconds: reports.iter().map(|r| r.task_seconds).sum(),
+            lock_wait_seconds: self.lock_wait_seconds() - lock_wait_before,
+            peak_concurrency: reports.iter().map(|r| r.peak_concurrency).max().unwrap_or(0),
+        };
+        Ok(SessionsOutcome { reports, metrics })
+    }
+}
+
+/// Concurrent-session entry point for the serial [`Hyppo`] facade.
+///
+/// Moves the system's state into a [`SharedHyppo`], runs the batch, and
+/// moves the (updated) state back — so a notebook using the serial facade
+/// can fan out a batch of sessions and keep exploring serially afterwards.
+pub trait ConcurrentSessions {
+    /// Run `sessions` concurrently, each plan on `workers_per_plan`
+    /// wavefront workers.
+    fn run_sessions_concurrent(
+        &mut self,
+        sessions: Vec<Vec<PipelineSpec>>,
+        workers_per_plan: usize,
+    ) -> Result<SessionsOutcome, SubmitError>;
+}
+
+impl ConcurrentSessions for Hyppo {
+    fn run_sessions_concurrent(
+        &mut self,
+        sessions: Vec<Vec<PipelineSpec>>,
+        workers_per_plan: usize,
+    ) -> Result<SessionsOutcome, SubmitError> {
+        let history = std::mem::replace(&mut self.history, History::new());
+        let estimator = std::mem::replace(&mut self.estimator, CostEstimator::new());
+        let store = std::mem::replace(&mut self.store, ArtifactStore::new());
+        let shared =
+            SharedHyppo::from_parts(self.config.clone(), history, estimator, store, DEFAULT_SHARDS);
+        let result = shared.run_sessions_concurrent(sessions, workers_per_plan);
+        // State flows back whether the batch succeeded or not — completed
+        // sessions' history must never be lost.
+        let (history, estimator, store, executed_seconds) = shared.into_parts();
+        self.history = history;
+        self.estimator = estimator;
+        self.store = store;
+        self.cumulative_seconds += executed_seconds;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_workloads::ensemble_wl::wide_ensemble_spec;
+    use hyppo_workloads::taxi;
+
+    fn config(budget: u64) -> HyppoConfig {
+        HyppoConfig { budget_bytes: budget, ..Default::default() }
+    }
+
+    fn sessions(n: usize) -> Vec<Vec<PipelineSpec>> {
+        // Sessions share members (seeds overlap), so cross-session reuse
+        // has something to find.
+        (0..n).map(|i| vec![wide_ensemble_spec("taxi", 3 + i % 2, 7 + i as u64 % 2)]).collect()
+    }
+
+    #[test]
+    fn four_sessions_share_one_store_without_deadlock() {
+        let shared = SharedHyppo::new(config(64 * 1024 * 1024));
+        shared.register_dataset("taxi", taxi::generate(300, 5));
+        let outcome = shared.run_sessions_concurrent(sessions(4), 2).unwrap();
+        assert_eq!(outcome.metrics.sessions, 4);
+        assert_eq!(outcome.reports.len(), 4);
+        assert!(outcome.metrics.tasks_executed > 0);
+        assert!(outcome.metrics.wall_seconds > 0.0);
+        assert!(outcome.metrics.speedup() > 0.0);
+
+        // No lost materializations: every artifact the history believes is
+        // materialized must actually be in the store.
+        let (history, _, store, cumulative) = shared.into_parts();
+        for name in history.materialized() {
+            assert!(store.contains(name), "history says {name} is materialized; store disagrees");
+        }
+        assert!(cumulative > 0.0);
+    }
+
+    #[test]
+    fn budget_is_respected_under_concurrency() {
+        let budget = 32 * 1024;
+        let shared = SharedHyppo::new(config(budget));
+        shared.register_dataset("taxi", taxi::generate(200, 5));
+        shared.run_sessions_concurrent(sessions(4), 2).unwrap();
+        let (_, _, store, _) = shared.into_parts();
+        assert!(
+            store.used_bytes() <= budget,
+            "store uses {} > budget {budget}",
+            store.used_bytes()
+        );
+    }
+
+    #[test]
+    fn concurrent_sessions_feed_later_serial_reuse() {
+        let mut sys = Hyppo::new(config(64 * 1024 * 1024));
+        sys.register_dataset("taxi", taxi::generate(300, 5));
+        let outcome = sys.run_sessions_concurrent(sessions(4), 2).unwrap();
+        assert_eq!(outcome.metrics.sessions, 4);
+        // State moved back: the serial facade sees the concurrent history.
+        assert!(sys.history.artifact_count() > 0);
+        assert!(sys.cumulative_seconds > 0.0);
+        // A serial resubmission of a session's pipeline now reuses
+        // materialized artifacts.
+        let report = sys.submit(wide_ensemble_spec("taxi", 3, 7)).unwrap();
+        assert!(report.loads >= 1, "resubmission should load materialized artifacts");
+    }
+
+    #[test]
+    fn missing_dataset_fails_but_preserves_state() {
+        let mut sys = Hyppo::new(config(0));
+        sys.register_dataset("taxi", taxi::generate(100, 5));
+        let batch =
+            vec![vec![wide_ensemble_spec("taxi", 2, 1)], vec![wide_ensemble_spec("nope", 2, 1)]];
+        let err = sys.run_sessions_concurrent(batch, 2);
+        assert!(err.is_err());
+        // The failed batch must not have wiped the moved-out state.
+        assert!(sys.store.dataset("taxi").is_some());
+    }
+
+    #[test]
+    fn simulated_mode_runs_on_the_virtual_clock() {
+        let shared = SharedHyppo::new(HyppoConfig { mode: ExecMode::Simulated, ..config(0) });
+        shared.register_dataset("taxi", taxi::generate(100, 5));
+        let outcome = shared.run_sessions_concurrent(sessions(2), 4).unwrap();
+        assert_eq!(outcome.metrics.sessions, 2);
+        for report in &outcome.reports {
+            assert!(report.runs.iter().all(|r| r.values.is_empty()));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! HYPPO runtime: concurrent execution of optimized pipeline plans.
+//!
+//! The core crate plans and executes pipelines serially. This crate adds
+//! the concurrency layer on top — std-only (`std::thread` + channels +
+//! locks), in three pieces:
+//!
+//! - [`executor`] — the *wavefront scheduler*: dispatches every hyperedge
+//!   whose inputs are available onto a fixed worker pool, driven by the
+//!   hypergraph crate's [`InDegreeTracker`](hyppo_hypergraph::InDegreeTracker).
+//!   Artifacts come out bit-identical to serial execution (designated
+//!   producers pin which equivalent alternative publishes each node);
+//! - [`store`] — [`SharedArtifactStore`]: the core artifact store behind
+//!   sharded `RwLock`s, preserving the modelled IO-cost accounting exactly
+//!   while real lock waits are tracked separately;
+//! - [`driver`] — [`SharedHyppo`]: history + estimator behind locks and a
+//!   fixed acquisition order, running N exploratory sessions concurrently
+//!   against one shared state ([`SharedHyppo::run_sessions_concurrent`]);
+//!   the [`ConcurrentSessions`] extension gives the serial
+//!   [`Hyppo`](hyppo_core::Hyppo) facade the same entry point.
+
+pub mod driver;
+pub mod executor;
+pub mod store;
+
+pub use driver::{ConcurrentSessions, RuntimeMetrics, SessionReport, SessionsOutcome, SharedHyppo};
+pub use executor::{execute_plan_parallel, ParallelOutcome, WavefrontMetrics};
+pub use store::{SharedArtifactStore, DEFAULT_SHARDS};

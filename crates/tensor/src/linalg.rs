@@ -66,8 +66,8 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let mut y = vec![0.0; n];
     for i in 0..n {
         let mut sum = b[i];
-        for k in 0..i {
-            sum -= l.get(i, k) * y[k];
+        for (k, &yk) in y.iter().enumerate().take(i) {
+            sum -= l.get(i, k) * yk;
         }
         y[i] = sum / l.get(i, i);
     }
@@ -75,8 +75,8 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut sum = y[i];
-        for k in i + 1..n {
-            sum -= l.get(k, i) * x[k];
+        for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+            sum -= l.get(k, i) * xk;
         }
         x[i] = sum / l.get(i, i);
     }
@@ -101,8 +101,7 @@ pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize) -> Result<(Vec<f64>, Matrix),
             }
         }
         if off.sqrt() < 1e-12 {
-            let mut pairs: Vec<(f64, usize)> =
-                (0..n).map(|i| (m.get(i, i), i)).collect();
+            let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
             pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("eigenvalues are finite"));
             let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
             let order: Vec<usize> = pairs.iter().map(|p| p.1).collect();
@@ -149,11 +148,7 @@ pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize) -> Result<(Vec<f64>, Matrix),
 ///
 /// Much cheaper than [`jacobi_eigen`] when `k ≪ n`. `seed_basis` supplies the
 /// (random) starting basis as an `n × k` matrix.
-pub fn orthogonal_iteration(
-    a: &Matrix,
-    seed_basis: Matrix,
-    iters: usize,
-) -> (Vec<f64>, Matrix) {
+pub fn orthogonal_iteration(a: &Matrix, seed_basis: Matrix, iters: usize) -> (Vec<f64>, Matrix) {
     let n = a.rows();
     let k = seed_basis.cols();
     assert_eq!(seed_basis.rows(), n, "basis rows must match matrix size");

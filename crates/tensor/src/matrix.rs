@@ -210,11 +210,7 @@ impl Matrix {
 
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Select a subset of rows (by index) into a new matrix.
@@ -262,12 +258,7 @@ impl Matrix {
     /// Frobenius-norm distance to another matrix of the same shape.
     pub fn distance(&self, other: &Matrix) -> f64 {
         assert_eq!(self.shape(), other.shape());
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 
     /// Whether any element is NaN (a missing value).
@@ -363,7 +354,10 @@ mod tests {
     #[test]
     fn select_rows_and_cols() {
         let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
-        assert_eq!(a.select_rows(&[2, 0]), Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]]));
+        assert_eq!(
+            a.select_rows(&[2, 0]),
+            Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]])
+        );
         assert_eq!(a.select_cols(&[1]), Matrix::from_rows(&[&[2.0], &[5.0], &[8.0]]));
     }
 
@@ -372,10 +366,7 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
         let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
         assert_eq!(a.hstack(&b), Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
-        assert_eq!(
-            a.vstack(&b),
-            Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]])
-        );
+        assert_eq!(a.vstack(&b), Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]));
     }
 
     #[test]

@@ -1,45 +1,78 @@
 //! Seeded random generation helpers.
 //!
 //! All workload generation in the reproduction is deterministic given a
-//! seed, so every experiment is replayable. `rand` 0.8 ships only uniform
-//! sampling; the normal variates used by the dataset generators come from a
-//! Box–Muller transform implemented here.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! seed, so every experiment is replayable. The generator is a
+//! self-contained xoshiro256++ (seeded through splitmix64) — the build
+//! environment is offline, so no external `rand` crate — with the normal
+//! variates used by the dataset generators coming from a Box–Muller
+//! transform implemented here.
 
 /// A seeded RNG with the sampling helpers the workload generators need.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second Box–Muller variate.
     spare_normal: Option<f64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SeededRng {
     /// Deterministic RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeededRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        let mut s = seed;
+        SeededRng {
+            state: [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)],
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit value (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Derive an independent child RNG (stable given the parent's state).
     pub fn fork(&mut self) -> SeededRng {
-        SeededRng::new(self.inner.next_u64())
+        SeededRng::new(self.next_u64())
     }
 
     /// Uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        self.inner.gen_range(lo..hi)
+        lo + (hi - lo) * self.unit()
     }
 
     /// Uniform integer in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "index() needs a nonempty range");
+        (self.next_u64() % n as u64) as usize
     }
 
     /// Bernoulli trial with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.unit() < p.clamp(0.0, 1.0)
     }
 
     /// Standard normal variate via Box–Muller.
@@ -48,8 +81,8 @@ impl SeededRng {
             return z;
         }
         // Avoid u1 == 0 so ln() is finite.
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = 1.0 - self.unit();
+        let u2: f64 = self.unit();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare_normal = Some(r * theta.sin());
@@ -79,15 +112,10 @@ impl SeededRng {
     pub fn permutation(&mut self, n: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             idx.swap(i, j);
         }
         idx
-    }
-
-    /// Raw access to the underlying RNG.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
     }
 }
 
@@ -160,5 +188,16 @@ mod tests {
         let mut rng = SeededRng::new(5);
         assert!(!rng.chance(0.0));
         assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = SeededRng::new(13);
+        for _ in 0..1_000 {
+            let x = rng.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+            let i = rng.index(7);
+            assert!(i < 7);
+        }
     }
 }

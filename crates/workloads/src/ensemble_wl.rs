@@ -9,7 +9,7 @@
 //! reusable from the history) and then fits the ensemble over the member
 //! model artifacts.
 
-use crate::generator::PipelineTemplate;
+use crate::generator::{PipelineTemplate, UseCase};
 use hyppo_ml::{Config, LogicalOp};
 use hyppo_pipeline::PipelineSpec;
 use hyppo_tensor::SeededRng;
@@ -33,6 +33,27 @@ pub fn ensemble_spec(members: &[PipelineTemplate], kind: LogicalOp) -> PipelineS
     spec
 }
 
+/// A deliberately *wide* ensemble: `n_members` Ridge members that share
+/// the load/split/preprocessing prefix and differ only in regularization
+/// strength, voted together. After the shared prefix, the member fits are
+/// mutually independent — the plan fans out `n_members` ways, which is
+/// exactly the shape a concurrent wavefront executor can exploit.
+pub fn wide_ensemble_spec(dataset_id: &str, n_members: usize, seed: u64) -> PipelineSpec {
+    assert!(n_members >= 2, "an ensemble needs at least two members");
+    let mut rng = SeededRng::new(seed);
+    let members: Vec<PipelineTemplate> = (0..n_members)
+        .map(|i| {
+            let mut t = PipelineTemplate::base(UseCase::Taxi, dataset_id, 0);
+            // Distinct alphas give each member a distinct logical name, so
+            // the fits stay separate (equal configs would merge them).
+            let alpha = 0.1 + i as f64 * 0.4 + rng.uniform(0.0, 0.05);
+            t.model = (LogicalOp::Ridge, Config::new().with_f("alpha", alpha), 0);
+            t
+        })
+        .collect();
+    ensemble_spec(&members, LogicalOp::Voting)
+}
+
 /// Generate a Scenario-3 workload: `n` ensemble pipelines, each combining
 /// 2–3 randomly chosen members from the given past templates.
 pub fn generate_ensemble_workload(
@@ -52,8 +73,7 @@ pub fn generate_ensemble_workload(
                 picked.push(i);
             }
         }
-        let members: Vec<PipelineTemplate> =
-            picked.into_iter().map(|i| past[i].clone()).collect();
+        let members: Vec<PipelineTemplate> = picked.into_iter().map(|i| past[i].clone()).collect();
         let kind = if rng.chance(0.5) { LogicalOp::Voting } else { LogicalOp::Stacking };
         out.push(ensemble_spec(&members, kind));
     }
@@ -103,10 +123,7 @@ mod tests {
             .iter()
             .position(|s| s.task == TaskType::Fit && s.op == past[0].model.0)
             .unwrap();
-        assert_eq!(
-            solo_names[solo_model_step][0],
-            ens_names[h.model.step.0][h.model.output]
-        );
+        assert_eq!(solo_names[solo_model_step][0], ens_names[h.model.step.0][h.model.output]);
     }
 
     #[test]

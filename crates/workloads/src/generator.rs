@@ -64,11 +64,9 @@ impl PipelineTemplate {
     /// The base pipeline each sequence starts from.
     pub fn base(use_case: UseCase, dataset_id: &str, split_seed: i64) -> Self {
         let model = match use_case {
-            UseCase::Higgs => (
-                LogicalOp::LinearSvm,
-                Config::new().with_f("c", 1.0).with_i("epochs", 12),
-                0,
-            ),
+            UseCase::Higgs => {
+                (LogicalOp::LinearSvm, Config::new().with_f("c", 1.0).with_i("epochs", 12), 0)
+            }
             UseCase::Taxi => (LogicalOp::Ridge, Config::new().with_f("alpha", 1.0), 0),
         };
         let metric = match use_case {
@@ -94,8 +92,7 @@ impl PipelineTemplate {
     /// hypergraph construction).
     pub fn append(&self, spec: &mut PipelineSpec) -> TemplateHandles {
         let data = spec.load(&self.dataset_id);
-        let (train, test) =
-            spec.split(data, Config::new().with_i("seed", self.split_seed));
+        let (train, test) = spec.split(data, Config::new().with_i("seed", self.split_seed));
         // Imputation.
         let (imp_op, imp_impl) = self.imputer;
         let imp = spec.fit(imp_op, imp_impl, Config::new(), &[train]);
@@ -116,8 +113,10 @@ impl PipelineTemplate {
         // Optional polynomial expansion / PCA (HIGGS).
         if let Some(poly_impl) = self.poly {
             let st = spec.fit(LogicalOp::PolynomialFeatures, poly_impl, Config::new(), &[train]);
-            train = spec.transform(LogicalOp::PolynomialFeatures, poly_impl, Config::new(), st, train);
-            test = spec.transform(LogicalOp::PolynomialFeatures, poly_impl, Config::new(), st, test);
+            train =
+                spec.transform(LogicalOp::PolynomialFeatures, poly_impl, Config::new(), st, train);
+            test =
+                spec.transform(LogicalOp::PolynomialFeatures, poly_impl, Config::new(), st, test);
         }
         if let Some((k, pca_impl)) = self.pca {
             let cfg = Config::new().with_i("n_components", k).with_i("seed", 5);
@@ -168,11 +167,8 @@ impl PipelineTemplate {
                 self.scaler.1 = (self.scaler.1 + 1) % n;
             }
             4 => {
-                let scalers = [
-                    LogicalOp::StandardScaler,
-                    LogicalOp::MinMaxScaler,
-                    LogicalOp::RobustScaler,
-                ];
+                let scalers =
+                    [LogicalOp::StandardScaler, LogicalOp::MinMaxScaler, LogicalOp::RobustScaler];
                 self.scaler = (scalers[rng.index(3)], 0);
             }
             5 => {
@@ -187,11 +183,7 @@ impl PipelineTemplate {
                     if rng.chance(0.5) {
                         self.poly = if self.poly.is_some() { None } else { Some(0) };
                     } else {
-                        self.pca = if self.pca.is_some() {
-                            None
-                        } else {
-                            Some((10, rng.index(2)))
-                        };
+                        self.pca = if self.pca.is_some() { None } else { Some((10, rng.index(2))) };
                     }
                 }
                 UseCase::Taxi => {
@@ -262,9 +254,9 @@ fn random_model_config(op: LogicalOp, rng: &mut SeededRng) -> Config {
             .with_i("n_trees", [10, 20, 40][rng.index(3)])
             .with_i("max_depth", [6, 8][rng.index(2)])
             .with_i("seed", 1),
-        LogicalOp::GradientBoosting => Config::new()
-            .with_i("n_rounds", [10, 20, 40][rng.index(3)])
-            .with_i("max_depth", 3),
+        LogicalOp::GradientBoosting => {
+            Config::new().with_i("n_rounds", [10, 20, 40][rng.index(3)]).with_i("max_depth", 3)
+        }
         _ => Config::new(),
     }
 }
@@ -301,12 +293,7 @@ mod tests {
     use hyppo_ml::TaskType;
 
     fn cfg(use_case: UseCase, n: usize, seed: u64) -> SequenceConfig {
-        SequenceConfig {
-            use_case,
-            dataset_id: "d".to_string(),
-            n_pipelines: n,
-            seed,
-        }
+        SequenceConfig { use_case, dataset_id: "d".to_string(), n_pipelines: n, seed }
     }
 
     #[test]

@@ -37,10 +37,10 @@ pub fn generate_synthetic(n: usize, m: usize, seed: u64) -> SyntheticGraph {
     let mut nodes: Vec<NodeId> = Vec::with_capacity(n);
 
     let add_edge = |graph: &mut HyperGraph<u32, u32>,
-                        costs: &mut Vec<f64>,
-                        tail: Vec<NodeId>,
-                        head: Vec<NodeId>,
-                        rng: &mut SeededRng| {
+                    costs: &mut Vec<f64>,
+                    tail: Vec<NodeId>,
+                    head: Vec<NodeId>,
+                    rng: &mut SeededRng| {
         let e = graph.add_edge(tail, head, 0);
         costs.resize(e.index() + 1, 0.0);
         costs[e.index()] = rng.uniform(1.0, 10.0);

@@ -22,9 +22,9 @@ fn main() {
     let raw = Artifact::Data(higgs::generate(4000, 3));
     let cfg = Config::new();
     let imp = &execute(LogicalOp::ImputerMean, TaskType::Fit, 0, &cfg, &[&raw]).unwrap()[0];
-    let data =
-        execute(LogicalOp::ImputerMean, TaskType::Transform, 0, &cfg, &[imp, &raw]).unwrap()
-            .remove(0);
+    let data = execute(LogicalOp::ImputerMean, TaskType::Transform, 0, &cfg, &[imp, &raw])
+        .unwrap()
+        .remove(0);
 
     println!(
         "{:>20} {:>34} {:>34} {:>9} {:>6}",
@@ -59,11 +59,7 @@ fn main() {
         // Deterministic pairs are bitwise equal; approximate pairs (PCA,
         // SGD-based optimizers) agree only numerically — compare by
         // transforming/predicting where cheap, else report "approx".
-        let equal = if a == b {
-            "yes"
-        } else {
-            "approx"
-        };
+        let equal = if a == b { "yes" } else { "approx" };
         println!(
             "{:>20} {:>34} {:>34} {:>8.2}x {:>6}",
             op.name(),

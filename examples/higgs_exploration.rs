@@ -24,10 +24,8 @@ fn main() {
         seed: 99,
     });
 
-    let mut hyppo = HyppoMethod(Hyppo::new(HyppoConfig {
-        budget_bytes: budget,
-        ..Default::default()
-    }));
+    let mut hyppo =
+        HyppoMethod(Hyppo::new(HyppoConfig { budget_bytes: budget, ..Default::default() }));
     let mut noopt = NoOptimization::new();
     hyppo.register_dataset("higgs", dataset.clone());
     noopt.register_dataset("higgs", dataset);

@@ -31,17 +31,19 @@ fn classification_pipeline(impl_index: usize) -> PipelineSpec {
 
 fn main() {
     // A HYPPO system with a 16 MB artifact-storage budget.
-    let mut sys = Hyppo::new(HyppoConfig {
-        budget_bytes: 16 * 1024 * 1024,
-        ..Default::default()
-    });
+    let mut sys = Hyppo::new(HyppoConfig { budget_bytes: 16 * 1024 * 1024, ..Default::default() });
     sys.register_dataset("higgs", higgs::generate(4000, 42));
 
     // First submission: cold start — everything is computed, and the most
     // valuable artifacts are materialized afterwards.
     let first = sys.submit(classification_pipeline(0)).expect("pipeline runs");
-    println!("run 1: {:>8.1}ms, {} tasks, {} loads, stored {} artifacts",
-        first.execution_seconds * 1e3, first.tasks_executed, first.loads, first.stored);
+    println!(
+        "run 1: {:>8.1}ms, {} tasks, {} loads, stored {} artifacts",
+        first.execution_seconds * 1e3,
+        first.tasks_executed,
+        first.loads,
+        first.stored
+    );
     for (name, value) in &first.values {
         println!("        accuracy artifact {name} = {value:.3}");
     }
@@ -51,12 +53,19 @@ fn main() {
     // the artifacts collide, so the plan loads the materialized model
     // instead of re-fitting the forest.
     let second = sys.submit(classification_pipeline(1)).expect("pipeline runs");
-    println!("run 2: {:>8.1}ms, {} tasks, {} loads   (equivalent pipeline!)",
-        second.execution_seconds * 1e3, second.tasks_executed, second.loads);
+    println!(
+        "run 2: {:>8.1}ms, {} tasks, {} loads   (equivalent pipeline!)",
+        second.execution_seconds * 1e3,
+        second.tasks_executed,
+        second.loads
+    );
 
     let speedup = first.execution_seconds / second.execution_seconds.max(1e-9);
     println!("speedup from reuse+materialization+equivalence: {speedup:.1}x");
-    println!("history now records {} artifacts; store holds {} materialized ones",
-        sys.history.artifact_count(), sys.store.len());
+    println!(
+        "history now records {} artifacts; store holds {} materialized ones",
+        sys.history.artifact_count(),
+        sys.store.len()
+    );
     assert!(speedup > 1.5, "the optimized run should be clearly faster");
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI: format, lint, build, test — offline-friendly (no network,
+# vendored deps only). Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --workspace --release --offline
+
+echo "== cargo test =="
+cargo test --workspace --offline -q
+
+echo "CI OK"

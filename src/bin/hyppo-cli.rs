@@ -266,7 +266,14 @@ mod tests {
         assert_eq!(o.dataset, "higgs");
         assert_eq!(o.rows, 4000);
         let o = parse_options(&s(&[
-            "--dataset", "taxi", "--rows", "123", "--budget", "1024", "--catalog", "/tmp/c",
+            "--dataset",
+            "taxi",
+            "--rows",
+            "123",
+            "--budget",
+            "1024",
+            "--catalog",
+            "/tmp/c",
         ]))
         .unwrap();
         assert_eq!(o.dataset, "taxi");

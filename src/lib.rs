@@ -22,6 +22,8 @@
 //!   artifact naming;
 //! - [`core`] — the HYPPO system: history, augmenter, plan search,
 //!   cost model, materializer, executor;
+//! - [`runtime`] — concurrent wavefront plan execution, the sharded
+//!   thread-safe artifact store, and the multi-session driver;
 //! - [`baselines`] — NoOptimization, Sharing, Helix, Collab, Collab-E;
 //! - [`workloads`] — HIGGS/TAXI generators, iterative pipeline sequences,
 //!   synthetic hypergraphs.
@@ -45,11 +47,34 @@
 //! let report = sys.submit(spec).unwrap();
 //! assert!(report.execution_seconds > 0.0);
 //! ```
+//!
+//! ## Concurrent sessions
+//!
+//! N analysts exploring at once against one shared history and store —
+//! the runtime crate's wavefront executor runs each plan's independent
+//! branches in parallel, and materialized artifacts are reused across
+//! sessions:
+//!
+//! ```
+//! use hyppo::core::{Hyppo, HyppoConfig};
+//! use hyppo::runtime::ConcurrentSessions;
+//! use hyppo::workloads::ensemble_wl::wide_ensemble_spec;
+//! use hyppo::workloads::taxi;
+//!
+//! let mut sys = Hyppo::new(HyppoConfig { budget_bytes: 1 << 24, ..Default::default() });
+//! sys.register_dataset("taxi", taxi::generate(200, 5));
+//!
+//! let sessions = (0..4).map(|i| vec![wide_ensemble_spec("taxi", 3, i)]).collect();
+//! let outcome = sys.run_sessions_concurrent(sessions, 2).unwrap();
+//! assert_eq!(outcome.metrics.sessions, 4);
+//! assert!(outcome.metrics.speedup() > 0.0);
+//! ```
 
 pub use hyppo_baselines as baselines;
 pub use hyppo_core as core;
 pub use hyppo_hypergraph as hypergraph;
 pub use hyppo_ml as ml;
 pub use hyppo_pipeline as pipeline;
+pub use hyppo_runtime as runtime;
 pub use hyppo_tensor as tensor;
 pub use hyppo_workloads as workloads;

@@ -39,13 +39,9 @@ fn scenario1_ordering_hyppo_never_loses() {
         totals.push((method.name().to_string(), method.cumulative_seconds()));
     }
     let get = |name: &str| totals.iter().find(|(n, _)| n == name).unwrap().1;
-    let (noopt, collab, hyppo) = (get("NoOptimization"), get("Collab"), get("Helix").min(get("Collab")));
-    assert!(
-        get("HYPPO") < 0.9 * noopt,
-        "HYPPO {} must clearly beat NoOpt {}",
-        get("HYPPO"),
-        noopt
-    );
+    let (noopt, collab, hyppo) =
+        (get("NoOptimization"), get("Collab"), get("Helix").min(get("Collab")));
+    assert!(get("HYPPO") < 0.9 * noopt, "HYPPO {} must clearly beat NoOpt {}", get("HYPPO"), noopt);
     assert!(
         get("HYPPO") < collab * 1.1,
         "HYPPO {} must not lose to Collab {}",
@@ -195,10 +191,7 @@ fn all_methods_produce_equivalent_model_quality() {
             if name == "HYPPO" {
                 // HIGGS metrics are accuracies/F1 in [0,1]: equivalent
                 // implementations must land within a few points.
-                assert!(
-                    (a - b).abs() < 0.08,
-                    "{name} quality drifted too far: {a} vs {b}"
-                );
+                assert!((a - b).abs() < 0.08, "{name} quality drifted too far: {a} vs {b}");
             } else {
                 assert!((a - b).abs() < 1e-9, "{name} disagrees exactly: {a} vs {b}");
             }

@@ -40,8 +40,7 @@ fn helix_equals_exact_collab_no_better_on_real_histories() {
         // Materialize everything that fits (simple ample-budget policy).
         for (name, artifact) in &fresh {
             if state.history.node_of(*name).is_some()
-                && state.store.used_bytes() + artifact.size_bytes() as u64
-                    <= state.budget_bytes
+                && state.store.used_bytes() + artifact.size_bytes() as u64 <= state.budget_bytes
             {
                 state.store.put(*name, artifact);
                 state.history.materialize(*name);
@@ -57,19 +56,12 @@ fn helix_equals_exact_collab_no_better_on_real_histories() {
         .expect("plan exists");
     let hx = helix_plan(&aug, &costs, &targets).expect("helix plan exists");
     let hx_cost: f64 = hx.iter().map(|&e| costs[e.index()]).sum();
-    assert!(
-        (hx_cost - exact.cost).abs() < 1e-9,
-        "helix {hx_cost} vs exact {}",
-        exact.cost
-    );
+    assert!((hx_cost - exact.cost).abs() < 1e-9, "helix {hx_cost} vs exact {}", exact.cost);
     let cb = collab_plan(&aug, &costs, &targets).expect("collab plan exists");
     let cb_cost: f64 = cb.iter().map(|&e| costs[e.index()]).sum();
     assert!(cb_cost >= exact.cost - 1e-9, "heuristic can't beat the optimum");
     for plan in [&exact.edges, &hx, &cb] {
-        assert_eq!(
-            validate_plan(&aug.graph, plan, &[aug.source], &targets),
-            PlanValidity::Valid
-        );
+        assert_eq!(validate_plan(&aug.graph, plan, &[aug.source], &targets), PlanValidity::Valid);
     }
 }
 
@@ -98,8 +90,7 @@ fn collab_e_matches_both_exact_variants_on_synthetic_graphs() {
         )
         .expect("derivable");
         let (_, exhaustive) =
-            collab_e_plan(&g.graph, &g.costs, g.source, &g.targets, 1 << 22)
-                .expect("within cap");
+            collab_e_plan(&g.graph, &g.costs, g.source, &g.targets, 1 << 22).expect("within cap");
         assert!((stack.cost - priority.cost).abs() < 1e-9, "seed {seed}");
         assert!(
             (stack.cost - exhaustive).abs() < 1e-9,
@@ -117,15 +108,9 @@ fn greedy_effort_and_quality_tradeoff() {
     let mut worst_ratio = 1.0f64;
     for seed in 0..10 {
         let g = generate_synthetic(14, 3, 100 + seed);
-        let exact = optimize(
-            &g.graph,
-            &g.costs,
-            g.source,
-            &g.targets,
-            &[],
-            SearchOptions::default(),
-        )
-        .expect("derivable");
+        let exact =
+            optimize(&g.graph, &g.costs, g.source, &g.targets, &[], SearchOptions::default())
+                .expect("derivable");
         let greedy = optimize(
             &g.graph,
             &g.costs,

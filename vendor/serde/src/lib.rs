@@ -1,0 +1,379 @@
+//! Std-only stand-in for `serde`, built for an offline build environment.
+//!
+//! Instead of serde's visitor architecture, serialization goes through an
+//! owned [`Value`] tree: `Serialize` renders a value into a tree and
+//! `Deserialize` reads one back. The `#[derive(Serialize, Deserialize)]`
+//! macros (re-exported from the in-repo `serde_derive`) generate these
+//! impls for structs and enums. Formats (`serde_json`) then only need to
+//! print and parse `Value`.
+//!
+//! The encoding is self-consistent (everything the workspace serializes
+//! round-trips bit-for-bit through `serde_json`) but makes no promise of
+//! byte-compatibility with upstream serde formats.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically-typed serialization tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Absent/unit value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Array(Vec<Value>),
+    /// Key-value entries, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl Value {
+    /// Look up an object field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object field, or `Null` when absent — lets `Option` fields tolerate
+    /// missing keys while everything else reports a type error.
+    pub fn field_or_null(&self, name: &str) -> &Value {
+        self.field(name).unwrap_or(&NULL_VALUE)
+    }
+
+    /// Expect an array of exactly `n` elements.
+    pub fn expect_array(&self, n: usize, what: &str) -> Result<&[Value], DeError> {
+        match self {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => {
+                Err(DeError(format!("{what}: expected {n} elements, got {}", items.len())))
+            }
+            other => Err(DeError(format!("{what}: expected array, got {}", other.kind()))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "integer",
+            Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: type mismatch, missing field, unknown variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialize error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the dynamic tree representation.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the dynamic tree representation.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range")))?,
+                    other => {
+                        return Err(DeError(format!(
+                            "expected integer, got {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| DeError(format!("{wide} out of range")))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(n) => Value::I64(n),
+                    Err(_) => Value::U64(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: u64 = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) => u64::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range")))?,
+                    other => {
+                        return Err(DeError(format!(
+                            "expected integer, got {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| DeError(format!("{wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    // Non-finite floats travel as strings (JSON has no
+                    // literal for them).
+                    Value::Str(s) => match s.as_str() {
+                        "NaN" => Ok(<$t>::NAN),
+                        "Infinity" => Ok(<$t>::INFINITY),
+                        "-Infinity" => Ok(<$t>::NEG_INFINITY),
+                        _ => Err(DeError(format!("expected number, got string {s:?}"))),
+                    },
+                    other => Err(DeError(format!("expected number, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const N: usize = [$($idx),+].len();
+                let items = v.expect_array(N, "tuple")?;
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+}
+
+// Maps serialize as arrays of `[key, value]` pairs: keys here are often
+// structured (e.g. cost-model stat keys), which JSON objects can't hold.
+macro_rules! impl_map {
+    ($map:ident, $($bound:path),+) => {
+        impl<K: Serialize, V: Serialize> Serialize for std::collections::$map<K, V> {
+            fn to_value(&self) -> Value {
+                Value::Array(
+                    self.iter()
+                        .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                        .collect(),
+                )
+            }
+        }
+        impl<K: Deserialize $(+ $bound)+, V: Deserialize> Deserialize
+            for std::collections::$map<K, V>
+        {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => items
+                        .iter()
+                        .map(|entry| {
+                            let pair = entry.expect_array(2, "map entry")?;
+                            Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+                        })
+                        .collect(),
+                    other => Err(DeError(format!("expected map array, got {}", other.kind()))),
+                }
+            }
+        }
+    };
+}
+
+impl_map!(HashMap, std::cmp::Eq, std::hash::Hash);
+impl_map!(BTreeMap, std::cmp::Ord);
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::cmp::Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, HashMap};
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&(u64::MAX).to_value()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(usize::from_value(&42usize.to_value()).unwrap(), 42);
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<(String, u32)> = vec![("a".into(), 1), ("b".into(), 2)];
+        assert_eq!(Vec::<(String, u32)>::from_value(&v.to_value()).unwrap(), v);
+        let mut m = HashMap::new();
+        m.insert((1u32, 2u32), vec![1.5f64]);
+        assert_eq!(HashMap::<(u32, u32), Vec<f64>>::from_value(&m.to_value()).unwrap(), m);
+        let mut b = BTreeMap::new();
+        b.insert("k".to_string(), Some(3i64));
+        assert_eq!(BTreeMap::<String, Option<i64>>::from_value(&b.to_value()).unwrap(), b);
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_object_fields_read_as_null() {
+        let obj = Value::Object(vec![("present".into(), Value::I64(1))]);
+        assert_eq!(obj.field_or_null("absent"), &Value::Null);
+        assert_eq!(obj.field("present"), Some(&Value::I64(1)));
+    }
+}

@@ -1,0 +1,434 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! The build environment has no registry access, so this proc-macro is
+//! written against the compiler's own `proc_macro` API alone — no syn, no
+//! quote. It parses just enough of a `struct`/`enum` item to learn the
+//! type name, generic parameters, and field/variant shapes, then emits the
+//! impl as a formatted string parsed back into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! named structs, tuple/newtype structs, unit structs, and enums with
+//! unit, tuple, and struct variants; generic type and lifetime parameters
+//! (type parameters get a `Serialize`/`Deserialize` bound). Container
+//! attributes like `#[serde(...)]` are not interpreted — types needing
+//! custom behaviour write manual impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("derived Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("derived Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: Body, // Unit, Tuple, or Named only
+}
+
+struct Item {
+    name: String,
+    lifetimes: Vec<String>,
+    type_params: Vec<String>,
+    body: Body,
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip any number of `#[...]` attributes and a `pub`/`pub(...)` prefix.
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(tt) if is_punct(tt, '#') => {
+                iter.next();
+                // Outer attribute: bracket group follows.
+                iter.next();
+            }
+            Some(tt) if is_ident(tt, "pub") => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<...>` generic parameters (the leading `<` already peeked).
+/// Collects lifetime and type parameter names; bounds and defaults are
+/// skipped with depth tracking.
+fn parse_generics(iter: &mut TokenIter, lifetimes: &mut Vec<String>, types: &mut Vec<String>) {
+    iter.next(); // consume '<'
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    while let Some(tt) = iter.next() {
+        if is_punct(&tt, '<') {
+            depth += 1;
+        } else if is_punct(&tt, '>') {
+            depth -= 1;
+            if depth == 0 {
+                return;
+            }
+        } else if depth == 1 && is_punct(&tt, ',') {
+            expecting_param = true;
+        } else if depth == 1 && expecting_param {
+            if is_punct(&tt, '\'') {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    lifetimes.push(format!("'{name}"));
+                }
+                expecting_param = false;
+            } else if let TokenTree::Ident(name) = &tt {
+                if name.to_string() != "const" {
+                    types.push(name.to_string());
+                }
+                expecting_param = false;
+            }
+        }
+    }
+}
+
+/// Parse the fields of a named-field body `{ a: T, b: U }`.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut iter = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        fields.push(name);
+        // Skip `:` then the type, up to a top-level `,`.
+        let mut depth = 0usize;
+        for tt in iter.by_ref() {
+            if is_punct(&tt, '<') {
+                depth += 1;
+            } else if is_punct(&tt, '>') {
+                depth -= 1;
+            } else if depth == 0 && is_punct(&tt, ',') {
+                break;
+            }
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple body `(A, B, C)`.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for tt in group {
+        if is_punct(&tt, '<') {
+            depth += 1;
+        } else if is_punct(&tt, '>') {
+            depth -= 1;
+        } else if depth == 0 && is_punct(&tt, ',') {
+            if pending {
+                fields += 1;
+                pending = false;
+            }
+        } else {
+            pending = true;
+        }
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+/// Parse the variants of an enum body.
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut iter = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        let body = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Body::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Body::Named(parse_named_fields(g))
+            }
+            _ => Body::Unit,
+        };
+        variants.push(Variant { name, body });
+        // Skip to the next variant: discriminants (`= expr`) and the
+        // separating comma.
+        while let Some(tt) = iter.next_if(|tt| !is_punct(tt, ',')) {
+            let _ = tt;
+        }
+        iter.next(); // the ',' itself, if present
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let is_enum = match iter.next() {
+        Some(TokenTree::Ident(kw)) => match kw.to_string().as_str() {
+            "struct" => false,
+            "enum" => true,
+            other => panic!("derive expects struct or enum, found `{other}`"),
+        },
+        other => panic!("derive expects struct or enum, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    let mut lifetimes = Vec::new();
+    let mut type_params = Vec::new();
+    if matches!(iter.peek(), Some(tt) if is_punct(tt, '<')) {
+        parse_generics(&mut iter, &mut lifetimes, &mut type_params);
+    }
+    // Remaining tokens: optional where clause, then the body group (brace
+    // for named/enum, paren for tuple) or `;` for a unit struct.
+    let mut body = Body::Unit;
+    for tt in iter {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = if is_enum {
+                    Body::Enum(parse_variants(g.stream()))
+                } else {
+                    Body::Named(parse_named_fields(g.stream()))
+                };
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+                body = Body::Tuple(count_tuple_fields(g.stream()));
+                break;
+            }
+            tt if is_punct(&tt, ';') => break,
+            _ => {}
+        }
+    }
+    Item { name, lifetimes, type_params, body }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+
+/// `(impl_generics, ty_generics)` strings, e.g.
+/// `("<'a, N: ::serde::Serialize>", "<'a, N>")`.
+fn generics(item: &Item, bound: &str) -> (String, String) {
+    if item.lifetimes.is_empty() && item.type_params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut impl_parts: Vec<String> = item.lifetimes.clone();
+    impl_parts.extend(item.type_params.iter().map(|t| format!("{t}: {bound}")));
+    let mut ty_parts: Vec<String> = item.lifetimes.clone();
+    ty_parts.extend(item.type_params.iter().cloned());
+    (format!("<{}>", impl_parts.join(", ")), format!("<{}>", ty_parts.join(", ")))
+}
+
+fn named_to_value(fields: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
+                accessor(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", entries.join(" "))
+}
+
+fn tuple_to_value(exprs: &[String]) -> String {
+    match exprs.len() {
+        0 => "::serde::Value::Null".to_string(),
+        // Newtypes serialize transparently, as in real serde.
+        1 => format!("::serde::Serialize::to_value({})", exprs[0]),
+        _ => {
+            let items: Vec<String> =
+                exprs.iter().map(|e| format!("::serde::Serialize::to_value({e}),")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(" "))
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (ig, tg) = generics(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Named(fields) => named_to_value(fields, |f| format!("&self.{f}")),
+        Body::Tuple(n) => {
+            let exprs: Vec<String> = (0..*n).map(|i| format!("&self.{i}")).collect();
+            tuple_to_value(&exprs)
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        Body::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Body::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let inner = tuple_to_value(&binders);
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), {inner})]),",
+                                binders.join(", ")
+                            )
+                        }
+                        Body::Named(fields) => {
+                            let inner = named_to_value(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {} }} => \
+                                 ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), {inner})]),",
+                                fields.join(", ")
+                            )
+                        }
+                        Body::Enum(_) => unreachable!("variant body cannot be an enum"),
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{ig} ::serde::Serialize for {name}{tg} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn named_from_value(type_path: &str, fields: &[String], source: &str, what: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({source}.field_or_null(\"{f}\"))\
+                 .map_err(|e| ::serde::DeError(\
+                 ::std::format!(\"{what}.{f}: {{}}\", e.0)))?,"
+            )
+        })
+        .collect();
+    format!("::std::result::Result::Ok({type_path} {{ {} }})", inits.join(" "))
+}
+
+fn tuple_from_value(type_path: &str, n: usize, source: &str, what: &str) -> String {
+    match n {
+        0 => format!("::std::result::Result::Ok({type_path})"),
+        1 => format!(
+            "::std::result::Result::Ok({type_path}(\
+             ::serde::Deserialize::from_value({source})?))"
+        ),
+        _ => {
+            let inits: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "{{ let __items = {source}.expect_array({n}, \"{what}\")?; \
+                 ::std::result::Result::Ok({type_path}({})) }}",
+                inits.join(" ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    assert!(
+        item.lifetimes.is_empty(),
+        "cannot derive Deserialize for a type with lifetime parameters"
+    );
+    let (ig, tg) = generics(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Named(fields) => named_from_value(name, fields, "__v", name),
+        Body::Tuple(n) => tuple_from_value(name, *n, "__v", name),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, Body::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.body, Body::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    let path = format!("{name}::{vname}");
+                    let what = format!("{name}::{vname}");
+                    let build = match &v.body {
+                        Body::Tuple(n) => tuple_from_value(&path, *n, "__inner", &what),
+                        Body::Named(fields) => named_from_value(&path, fields, "__inner", &what),
+                        _ => unreachable!(),
+                    };
+                    format!("\"{vname}\" => {build},")
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                   {unit} \
+                   __other => ::std::result::Result::Err(::serde::DeError(\
+                     ::std::format!(\"unknown variant {{__other}} for {name}\"))), \
+                 }}, \
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{ \
+                   let (__tag, __inner) = &__entries[0]; \
+                   match __tag.as_str() {{ \
+                     {data} \
+                     __other => ::std::result::Result::Err(::serde::DeError(\
+                       ::std::format!(\"unknown variant {{__other}} for {name}\"))), \
+                   }} \
+                 }}, \
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                   ::std::format!(\"expected {name} value\"))), \
+                 }}",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{ig} ::serde::Deserialize for {name}{tg} {{ \
+         fn from_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ let _ = __v; {body} }} }}"
+    )
+}
