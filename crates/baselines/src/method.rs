@@ -148,6 +148,7 @@ impl BaselineState {
             loads: outcome.metrics.iter().filter(|m| m.is_load).count(),
             new_tasks: aug.new_tasks.len(),
             expansions: 0,
+            pops: 0,
             stored: 0,
             evicted: 0,
             values,

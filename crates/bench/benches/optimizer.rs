@@ -1,56 +1,162 @@
-//! Criterion micro-benchmarks of the plan search (OPTIMIZE stack/priority
-//! and the greedy variant) on synthetic augmentations — the kernel behind
-//! paper Fig. 10.
+//! Plan-search fast-path benchmark: A* lower bounds + state dedup vs the
+//! paper's plain enumeration, on the Fig. 10 synthetic workload.
+//!
+//! Run under `cargo bench --bench optimizer` for the full measurement,
+//! which writes `BENCH_optimizer.json` (per-instance expansions, pops,
+//! peak queue size, wall time, and cost parity between the two searches).
+//! Without `--bench` in the arguments a tiny workload runs and nothing is
+//! written.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hyppo_core::optimizer::{optimize, QueueKind, SearchOptions};
+use hyppo_core::optimizer::{optimize, Plan, QueueKind, SearchOptions};
 use hyppo_workloads::generate_synthetic;
-use std::hint::black_box;
+use serde::Serialize;
+use std::time::Instant;
 
-fn bench_vs_n(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optimize_vs_n_m2");
-    group.sample_size(20);
-    for n in [8usize, 16, 24] {
-        let g = generate_synthetic(n, 2, 42);
+#[derive(Serialize)]
+struct Side {
+    expansions: usize,
+    pops: usize,
+    peak_queue: usize,
+    wall_seconds: f64,
+    cost: f64,
+    optimal: bool,
+}
+
+#[derive(Serialize)]
+struct Instance {
+    n: usize,
+    m: usize,
+    seed: u64,
+    queue: &'static str,
+    /// Plain enumeration: `use_bounds = false`, `dedup_states = false` —
+    /// bit-identical to the pre-fast-path search.
+    baseline: Side,
+    /// Default options: admissible bounds + global state dedup.
+    fast: Side,
+    expansion_ratio: f64,
+    cost_match: bool,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    benchmark: String,
+    instances: Vec<Instance>,
+    min_expansion_ratio: f64,
+    geomean_expansion_ratio: f64,
+    total_baseline_wall_seconds: f64,
+    total_fast_wall_seconds: f64,
+    all_costs_match: bool,
+    all_baselines_optimal: bool,
+}
+
+fn run_side(g: &hyppo_workloads::SyntheticGraph, opts: SearchOptions, reps: usize) -> (Plan, f64) {
+    let mut wall = f64::INFINITY;
+    let mut plan = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        plan = Some(
+            optimize(&g.graph, &g.costs, g.source, &g.targets, &[], opts)
+                .expect("synthetic targets are derivable"),
+        );
+        wall = wall.min(start.elapsed().as_secs_f64());
+    }
+    (plan.expect("at least one rep"), wall)
+}
+
+fn side(plan: &Plan, wall: f64) -> Side {
+    Side {
+        expansions: plan.expansions,
+        pops: plan.pops,
+        peak_queue: plan.peak_queue,
+        wall_seconds: wall,
+        cost: plan.cost,
+        optimal: plan.optimal,
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--bench");
+    // (n artifacts, m alternatives) on the Fig. 10 synthetic generator;
+    // sizes chosen so the plain enumeration still completes un-truncated.
+    let shapes: &[(usize, usize)] = if full {
+        &[(20, 2), (24, 2), (28, 2), (32, 2), (36, 2), (16, 4), (14, 5)]
+    } else {
+        &[(8, 2), (6, 3)]
+    };
+    let reps = if full { 3 } else { 1 };
+
+    let mut report = BenchReport {
+        benchmark: "optimizer_fast_path_vs_plain_enumeration".to_string(),
+        instances: Vec::new(),
+        min_expansion_ratio: f64::INFINITY,
+        geomean_expansion_ratio: 0.0,
+        total_baseline_wall_seconds: 0.0,
+        total_fast_wall_seconds: 0.0,
+        all_costs_match: true,
+        all_baselines_optimal: true,
+    };
+    let mut log_ratio_sum = 0.0f64;
+
+    for &(n, m) in shapes {
+        let seed = 42;
+        let g = generate_synthetic(n, m, seed);
         for (label, queue) in [("stack", QueueKind::Stack), ("priority", QueueKind::Priority)] {
-            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
-                let opts = SearchOptions { queue, ..Default::default() };
-                b.iter(|| {
-                    optimize(
-                        black_box(&g.graph),
-                        black_box(&g.costs),
-                        g.source,
-                        &g.targets,
-                        &[],
-                        opts,
-                    )
-                })
+            let plain = SearchOptions {
+                queue,
+                use_bounds: false,
+                dedup_states: false,
+                max_expansions: 40_000_000,
+                ..Default::default()
+            };
+            let fast = SearchOptions { queue, max_expansions: 40_000_000, ..Default::default() };
+            let (base_plan, base_wall) = run_side(&g, plain, reps);
+            let (fast_plan, fast_wall) = run_side(&g, fast, reps);
+
+            let ratio = base_plan.expansions as f64 / (fast_plan.expansions.max(1)) as f64;
+            let cost_match = (base_plan.cost - fast_plan.cost).abs() < 1e-9;
+            println!(
+                "optimizer: n={n} m={m} {label}: {} -> {} expansions ({ratio:.1}x), \
+                 {base_wall:.4}s -> {fast_wall:.4}s, cost {} ({})",
+                base_plan.expansions,
+                fast_plan.expansions,
+                fast_plan.cost,
+                if cost_match { "match" } else { "MISMATCH" },
+            );
+            report.min_expansion_ratio = report.min_expansion_ratio.min(ratio);
+            log_ratio_sum += ratio.ln();
+            report.total_baseline_wall_seconds += base_wall;
+            report.total_fast_wall_seconds += fast_wall;
+            report.all_costs_match &= cost_match;
+            report.all_baselines_optimal &= base_plan.optimal;
+            report.instances.push(Instance {
+                n,
+                m,
+                seed,
+                queue: label,
+                baseline: side(&base_plan, base_wall),
+                fast: side(&fast_plan, fast_wall),
+                expansion_ratio: ratio,
+                cost_match,
             });
         }
-        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
-            let opts = SearchOptions { greedy: true, ..Default::default() };
-            b.iter(|| {
-                optimize(black_box(&g.graph), black_box(&g.costs), g.source, &g.targets, &[], opts)
-            })
-        });
     }
-    group.finish();
-}
+    report.geomean_expansion_ratio = (log_ratio_sum / report.instances.len() as f64).exp();
+    println!(
+        "optimizer: min ratio {:.1}x, geomean {:.1}x, wall {:.3}s -> {:.3}s, costs match: {}",
+        report.min_expansion_ratio,
+        report.geomean_expansion_ratio,
+        report.total_baseline_wall_seconds,
+        report.total_fast_wall_seconds,
+        report.all_costs_match,
+    );
+    assert!(report.all_costs_match, "fast path must stay exact");
+    assert!(report.all_baselines_optimal, "baseline truncated: shrink the instances");
 
-fn bench_vs_m(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optimize_vs_m_n10");
-    group.sample_size(20);
-    for m in [2usize, 3, 4] {
-        let g = generate_synthetic(10, m, 7);
-        group.bench_with_input(BenchmarkId::new("priority", m), &m, |b, _| {
-            let opts = SearchOptions { queue: QueueKind::Priority, ..Default::default() };
-            b.iter(|| {
-                optimize(black_box(&g.graph), black_box(&g.costs), g.source, &g.targets, &[], opts)
-            })
-        });
+    if full {
+        let json = serde_json::to_string_pretty(&report).expect("serialize report");
+        // Anchor at the workspace root regardless of cargo's bench CWD.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_optimizer.json");
+        std::fs::write(path, json).expect("write BENCH_optimizer.json");
+        println!("optimizer: wrote {path}");
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_vs_n, bench_vs_m);
-criterion_main!(benches);

@@ -20,15 +20,33 @@ use std::time::Instant;
 const COLLAB_E_CAP: u64 = 1 << 22;
 const SEEDS: u64 = 5;
 
+#[derive(Default)]
+struct Effort {
+    seconds: f64,
+    expansions: f64,
+    pops: f64,
+}
+
 struct Point {
     avg_len: f64,
-    stack: f64,
-    priority: f64,
+    stack: Effort,
+    priority: Effort,
     collab_e: Option<f64>,
 }
 
+/// `avg expansions / avg pops` — pops count pruned plans too, so search
+/// effort is no longer understated by the pruning `continue`.
+fn effort(e: &Effort) -> String {
+    format!("{:.0}/{:.0}", e.expansions, e.pops)
+}
+
 fn measure(n: usize, m: usize, base_seed: u64) -> Point {
-    let mut acc = Point { avg_len: 0.0, stack: 0.0, priority: 0.0, collab_e: Some(0.0) };
+    let mut acc = Point {
+        avg_len: 0.0,
+        stack: Effort::default(),
+        priority: Effort::default(),
+        collab_e: Some(0.0),
+    };
     for seed in 0..SEEDS {
         let g = generate_synthetic(n, m, base_seed + seed);
         acc.avg_len += g.max_path_len as f64 / SEEDS as f64;
@@ -40,7 +58,9 @@ fn measure(n: usize, m: usize, base_seed: u64) -> Point {
             let start = Instant::now();
             let plan = optimize(&g.graph, &g.costs, g.source, &g.targets, &[], opts)
                 .expect("synthetic targets are derivable");
-            *slot += start.elapsed().as_secs_f64() / SEEDS as f64;
+            slot.seconds += start.elapsed().as_secs_f64() / SEEDS as f64;
+            slot.expansions += plan.expansions as f64 / SEEDS as f64;
+            slot.pops += plan.pops as f64 / SEEDS as f64;
             assert!(plan.cost.is_finite());
         }
         let start = Instant::now();
@@ -61,7 +81,17 @@ pub fn run(_opts: &CliOptions) {
     // (a) vary n at m = 2.
     let mut a = Table::new(
         "Fig 10(a): optimizer runtime vs n (m=2); theoretical curves anchored at first point",
-        &["n", "avg ℓ", "HYPPO-STACK", "HYPPO-PRIORITY", "COLLAB-E", "O(m^n)", "O(m^{f·ℓ})"],
+        &[
+            "n",
+            "avg ℓ",
+            "HYPPO-STACK",
+            "exp/pops",
+            "HYPPO-PRIORITY",
+            "exp/pops",
+            "COLLAB-E",
+            "O(m^n)",
+            "O(m^{f·ℓ})",
+        ],
     );
     let ns = [4usize, 8, 12, 16, 20, 24];
     let mut anchors: Option<(f64, f64, f64, f64)> = None; // (collab_e@n0, 2^n0, stack@n0, 2^{f·l0})
@@ -71,8 +101,9 @@ pub fn run(_opts: &CliOptions) {
         let (theory_exh, theory_opt) = match anchors {
             None => {
                 let ce = p.collab_e.unwrap_or(1e-6);
-                anchors = Some((ce, 2f64.powi(n as i32), p.stack, 2f64.powf(f * p.avg_len)));
-                (ce, p.stack)
+                anchors =
+                    Some((ce, 2f64.powi(n as i32), p.stack.seconds, 2f64.powf(f * p.avg_len)));
+                (ce, p.stack.seconds)
             }
             Some((ce0, exp0, st0, opt0)) => {
                 (ce0 * 2f64.powi(n as i32) / exp0, st0 * 2f64.powf(f * p.avg_len) / opt0)
@@ -81,8 +112,10 @@ pub fn run(_opts: &CliOptions) {
         a.row(&[
             n.to_string(),
             format!("{:.1}", p.avg_len),
-            secs(p.stack),
-            secs(p.priority),
+            secs(p.stack.seconds),
+            effort(&p.stack),
+            secs(p.priority.seconds),
+            effort(&p.priority),
             p.collab_e.map(secs).unwrap_or_else(|| format!(">{COLLAB_E_CAP} combos")),
             secs(theory_exh),
             secs(theory_opt),
@@ -94,14 +127,16 @@ pub fn run(_opts: &CliOptions) {
     let fixed_n = 10usize;
     let mut b = Table::new(
         &format!("Fig 10(b): optimizer runtime vs m (n={fixed_n}; paper uses n=4 for its slower COLLAB-E)"),
-        &["m", "HYPPO-STACK", "HYPPO-PRIORITY", "COLLAB-E"],
+        &["m", "HYPPO-STACK", "exp/pops", "HYPPO-PRIORITY", "exp/pops", "COLLAB-E"],
     );
     for m in [2usize, 3, 4, 5, 6] {
         let p = measure(fixed_n, m, 2000);
         b.row(&[
             m.to_string(),
-            secs(p.stack),
-            secs(p.priority),
+            secs(p.stack.seconds),
+            effort(&p.stack),
+            secs(p.priority.seconds),
+            effort(&p.priority),
             p.collab_e.map(secs).unwrap_or_else(|| format!(">{COLLAB_E_CAP} combos")),
         ]);
     }

@@ -1,0 +1,174 @@
+//! Admissible completion bounds for the backward plan search.
+//!
+//! Precomputes two per-node tables from the search source:
+//!
+//! 1. `h(v)` — the Gallo–Longo–Pallottino shortest-hyperpath relaxation with
+//!    **max** aggregation over tails ([`hyppo_hypergraph::max_cost_distances`]):
+//!    a lower bound on the total cost of *any* edge set deriving `v` from the
+//!    source.
+//! 2. `share(v)` — the one-step shared-charge bound
+//!    `min over e ∈ bstar(v) of cost(e)/|head(e)|`
+//!    ([`hyppo_hypergraph::min_share_costs`]).
+//!
+//! [`PlannerBounds::completion_bound`] combines them into an admissible lower
+//! bound on the cost of the *cheapest complete plan extending* a partial `p`:
+//!
+//! ```text
+//! bound(p) = max( p.cost + Σ over frontier v≠s of share(v),
+//!                 max over frontier v of h(v) )
+//! ```
+//!
+//! Why not the textbook `p.cost + max over v of h(v)`? Because EXPAND shares
+//! sub-derivations through the visited set: a frontier node can be resolved by
+//! an edge whose cost the partial *already paid* (its head re-derives `v`
+//! almost for free through visited ancestors), so charging `h(v)` **on top of**
+//! `p.cost` over-estimates and would prune optimal branches. The two
+//! components above are each individually admissible:
+//!
+//! - *Shared-charge suffix.* Every non-source frontier node must eventually be
+//!   inserted into `visited`, which only happens when a paid edge has it in
+//!   its head; a paid edge `e` resolves at most `|head(e)|` frontier nodes, so
+//!   charging each node `share(v) ≤ cost(e)/|head(e)|` charges `e` at most
+//!   `cost(e)` in total — the suffix Σ share(v) never exceeds what completion
+//!   still has to pay *on top of* `p.cost`.
+//! - *Global anchor.* Any complete extension is a valid source-rooted
+//!   derivation of every node it visits — in particular of each current
+//!   frontier node `v` — so its **total** cost is at least `h(v)`. This term
+//!   is not added to `p.cost`; it bounds the final total directly.
+//!
+//! The max of two admissible lower bounds is admissible.
+
+use super::expand::Partial;
+use hyppo_hypergraph::{max_cost_distances, min_share_costs, HyperGraph, NodeId};
+
+/// Precomputed lower-bound tables for one `(graph, costs, source)` instance.
+#[derive(Clone, Debug)]
+pub struct PlannerBounds {
+    /// `h(v)`: min derivation cost of `v` from the source (max-aggregation
+    /// relaxation), indexed by [`NodeId::index`]. `∞` ⇒ not derivable.
+    pub h: Vec<f64>,
+    /// `share(v)`: cheapest per-head charge of any producer of `v`.
+    pub share: Vec<f64>,
+}
+
+impl PlannerBounds {
+    /// Run both relaxations once per search.
+    pub fn new<N, E>(graph: &HyperGraph<N, E>, costs: &[f64], source: NodeId) -> Self {
+        PlannerBounds {
+            h: max_cost_distances(graph, costs, &[source]),
+            share: min_share_costs(graph, costs),
+        }
+    }
+
+    /// Admissible lower bound on the cost of the best complete plan that
+    /// extends `partial` (see module docs for the admissibility argument).
+    pub fn completion_bound(&self, partial: &Partial, source: NodeId) -> f64 {
+        let mut suffix = 0.0f64;
+        let mut anchor = partial.cost;
+        for &v in &partial.frontier {
+            if v == source {
+                continue;
+            }
+            suffix += self.share[v.index()];
+            anchor = anchor.max(self.h[v.index()]);
+        }
+        (partial.cost + suffix).max(anchor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_hypergraph::EdgeId;
+
+    type G = HyperGraph<(), ()>;
+
+    fn add(g: &mut G, t: Vec<NodeId>, h: Vec<NodeId>, c: f64, costs: &mut Vec<f64>) -> EdgeId {
+        let e = g.add_edge(t, h, ());
+        costs.resize(e.index() + 1, 0.0);
+        costs[e.index()] = c;
+        e
+    }
+
+    #[test]
+    fn bound_of_the_seed_is_a_true_lower_bound() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let t = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![s], vec![a], 3.0, &mut costs);
+        add(&mut g, vec![a], vec![t], 4.0, &mut costs);
+        let b = PlannerBounds::new(&g, &costs, s);
+        let seed = Partial::new(g.node_bound(), &[t]);
+        // True optimum is 7; h(t) = 7 anchors the bound exactly.
+        assert_eq!(b.completion_bound(&seed, s), 7.0);
+    }
+
+    #[test]
+    fn visited_sharing_counterexample_is_not_over_bounded() {
+        // s -10-> a, a -1-> v, v -1-> u, {a,u} -1-> t, s -15-> t.
+        // The partial that paid s→a, a→v (cost 11, frontier {s, v-resolved…})
+        // — concretely: after choosing {a,u}→t and v→u the partial has cost
+        // 12, frontier {s, v}, and its cheapest completion re-uses the paid
+        // s→a via visited-sharing for a total of 13. The naive bound
+        // cost + h(v) = 12 + 11 = 23 would wrongly allow pruning against the
+        // alternative plan s→t of cost 15; ours must stay ≤ 13.
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let v = g.add_node(());
+        let u = g.add_node(());
+        let t = g.add_node(());
+        let mut costs = Vec::new();
+        let e_sa = add(&mut g, vec![s], vec![a], 10.0, &mut costs);
+        let e_av = add(&mut g, vec![a], vec![v], 1.0, &mut costs);
+        let e_vu = add(&mut g, vec![v], vec![u], 1.0, &mut costs);
+        let e_join = add(&mut g, vec![a, u], vec![t], 1.0, &mut costs);
+        add(&mut g, vec![s], vec![t], 15.0, &mut costs);
+        let b = PlannerBounds::new(&g, &costs, s);
+
+        let mut p = Partial::new(g.node_bound(), &[t]);
+        p.force_edge(&g, &costs, e_join); // frontier gains {a, u}
+        p.force_edge(&g, &costs, e_vu); // resolves u, frontier gains v
+        p.force_edge(&g, &costs, e_sa); // resolves a, frontier gains s
+        p.normalize_frontier(s);
+        assert_eq!(p.cost, 12.0);
+        assert_eq!(p.frontier, vec![s, v]);
+        // Cheapest completion: e_av at cost 1 (a already visited) ⇒ total 13.
+        let bound = b.completion_bound(&p, s);
+        assert!(bound <= 13.0 + 1e-12, "bound {bound} must stay admissible");
+        // And it is still informative (≥ cost so far + something for v).
+        assert!(bound >= 12.0, "bound {bound}");
+        let _ = e_av;
+    }
+
+    #[test]
+    fn infinite_h_marks_dead_frontier_nodes() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let orphan = g.add_node(());
+        let dead = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![orphan], vec![dead], 1.0, &mut costs);
+        let b = PlannerBounds::new(&g, &costs, s);
+        let p = Partial::new(g.node_bound(), &[dead]);
+        assert!(b.completion_bound(&p, s).is_infinite());
+    }
+
+    #[test]
+    fn complete_plan_bound_equals_its_cost_or_less() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        let mut costs = Vec::new();
+        let e = add(&mut g, vec![s], vec![t], 5.0, &mut costs);
+        let b = PlannerBounds::new(&g, &costs, s);
+        let mut p = Partial::new(g.node_bound(), &[t]);
+        p.force_edge(&g, &costs, e);
+        p.normalize_frontier(s);
+        assert!(p.is_complete(s));
+        // Frontier only holds the source ⇒ suffix 0, anchor ≤ cost.
+        assert_eq!(b.completion_bound(&p, s), 5.0);
+    }
+}

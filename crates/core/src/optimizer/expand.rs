@@ -1,7 +1,90 @@
 //! Incomplete plans and the EXPAND procedure (paper Algorithm 2).
+//!
+//! The hot-path representation is allocation-lean: chosen edges live in a
+//! persistent [`EdgeList`] (an `Arc`-spined cons list) so deriving a child
+//! plan shares the parent's edge history in O(1) instead of copying O(plan);
+//! moves are deduplicated by 64-bit signature instead of by materialized
+//! `Vec<EdgeId>` keys; and the odometer scratch buffers live in an
+//! [`ExpandScratch`] reused across expansions.
 
-use hyppo_hypergraph::{EdgeId, HyperGraph, NodeBitSet, NodeId};
+use hyppo_hypergraph::{mix64, EdgeId, HyperGraph, NodeBitSet, NodeId};
 use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Domain-separation salts so edge, frontier, and move signatures drawn from
+/// the same dense id space do not collide structurally.
+const EDGE_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+const FRONTIER_SALT: u64 = 0x6a09_e667_f3bc_c909;
+
+/// A persistent (shared-spine) list of chosen hyperedges.
+///
+/// `push` prepends in O(1); `clone` is O(1) and shares the spine via `Arc`.
+/// Iteration yields edges in reverse insertion order; [`EdgeList::to_vec`]
+/// restores insertion order for the final [`super::Plan`].
+#[derive(Clone, Debug, Default)]
+pub struct EdgeList {
+    head: Option<Arc<EdgeCell>>,
+}
+
+#[derive(Debug)]
+struct EdgeCell {
+    edge: EdgeId,
+    rest: Option<Arc<EdgeCell>>,
+}
+
+impl EdgeList {
+    /// The empty list.
+    pub fn new() -> Self {
+        EdgeList { head: None }
+    }
+
+    /// Prepend an edge in O(1).
+    pub fn push(&mut self, e: EdgeId) {
+        self.head = Some(Arc::new(EdgeCell { edge: e, rest: self.head.take() }));
+    }
+
+    /// Whether the list holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_none()
+    }
+
+    /// Iterate in reverse insertion order (most recent first).
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        let mut cur = self.head.as_deref();
+        std::iter::from_fn(move || {
+            let cell = cur?;
+            cur = cell.rest.as_deref();
+            Some(cell.edge)
+        })
+    }
+
+    /// Membership test (O(length) walk).
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.iter().any(|x| x == e)
+    }
+
+    /// Materialize in insertion order.
+    pub fn to_vec(&self) -> Vec<EdgeId> {
+        let mut v: Vec<EdgeId> = self.iter().collect();
+        v.reverse();
+        v
+    }
+}
+
+impl Drop for EdgeList {
+    fn drop(&mut self) {
+        // Iterative teardown: the default recursive drop would overflow the
+        // stack on long plans. Walk the spine while we hold the only
+        // reference; stop at the first shared cell (its owner drops it).
+        let mut cur = self.head.take();
+        while let Some(arc) = cur {
+            match Arc::try_unwrap(arc) {
+                Ok(mut cell) => cur = cell.rest.take(),
+                Err(_) => break,
+            }
+        }
+    }
+}
 
 /// An incomplete plan: a sub-hypergraph deriving the targets from the
 /// nodes in `frontier` (plus the source, once reached).
@@ -9,14 +92,21 @@ use std::collections::HashSet;
 pub struct Partial {
     /// Accumulated cost of the chosen hyperedges.
     pub cost: f64,
+    /// Admissible lower bound on the cost of the best completion of this
+    /// plan. Equals `cost` when lower-bound pruning is disabled; maintained
+    /// by the search driver, not by EXPAND.
+    pub bound: f64,
     /// Artifacts already derivable within the plan (cycle avoidance and
     /// shared-subplan cost deduplication).
     pub visited: NodeBitSet,
     /// Artifacts still to be derived, sorted ascending (the plan's current
     /// sources). May contain the search source node.
     pub frontier: Vec<NodeId>,
-    /// Chosen hyperedges.
-    pub edges: Vec<EdgeId>,
+    /// Chosen hyperedges (persistent list, newest first).
+    pub edges: EdgeList,
+    /// Order-independent Zobrist signature of the chosen edge set — a stable
+    /// tie-breaking key for equal-cost plans.
+    pub edge_sig: u64,
 }
 
 impl Partial {
@@ -27,9 +117,11 @@ impl Partial {
         frontier.dedup();
         Partial {
             cost: 0.0,
+            bound: 0.0,
             visited: NodeBitSet::with_bound(node_bound),
             frontier,
-            edges: Vec::new(),
+            edges: EdgeList::new(),
+            edge_sig: 0,
         }
     }
 
@@ -39,15 +131,35 @@ impl Partial {
         self.frontier.iter().all(|&v| v == source)
     }
 
+    /// Record a chosen hyperedge: persistent-list push + signature update.
+    #[inline]
+    pub fn push_edge(&mut self, e: EdgeId) {
+        self.edges.push(e);
+        self.edge_sig ^= mix64(e.index() as u64 ^ EDGE_SALT);
+    }
+
+    /// Canonical signature of the search state `(visited, frontier)`.
+    ///
+    /// Two partials with equal signatures expand identically forever — their
+    /// futures depend only on the visited set and the normalized frontier —
+    /// so the driver keeps only the cheapest (global state dominance).
+    pub fn state_sig(&self) -> u64 {
+        let mut h = self.visited.fingerprint();
+        for &v in &self.frontier {
+            h = mix64(h ^ mix64(v.index() as u64 ^ FRONTIER_SALT));
+        }
+        h
+    }
+
     /// Force a hyperedge into the plan (exploration-mode seeding, §IV-E):
     /// its heads become visited, its tails join the frontier, its cost is
     /// paid.
     pub fn force_edge<N, E>(&mut self, graph: &HyperGraph<N, E>, costs: &[f64], e: EdgeId) {
-        if self.edges.contains(&e) {
+        if self.edges.contains(e) {
             return;
         }
         self.cost += costs[e.index()];
-        self.edges.push(e);
+        self.push_edge(e);
         for &h in graph.head(e) {
             self.visited.insert(h);
         }
@@ -65,46 +177,82 @@ impl Partial {
     }
 }
 
-/// EXPAND (Algorithm 2): generate all single-move expansions of `partial`.
+/// Reusable scratch state for [`expand_into`]: move buffer, move-signature
+/// set, and odometer, allocated once per search instead of once per move.
+#[derive(Debug, Default)]
+pub struct ExpandScratch {
+    work: Vec<NodeId>,
+    indices: Vec<usize>,
+    move_buf: Vec<EdgeId>,
+    seen_moves: HashSet<u64>,
+}
+
+/// EXPAND (Algorithm 2): generate all single-move expansions of `partial`,
+/// appending them to `out`.
 ///
 /// A *move* selects exactly one hyperedge from the backward star of each
 /// non-source frontier node (the cross product of backward stars); moves
 /// that select the same multi-output hyperedge for several frontier nodes
-/// deduplicate to a single edge set. Returns one new incomplete plan per
-/// distinct move; a frontier node with an empty backward star kills the
-/// branch (no expansions).
-pub fn expand<N, E>(
+/// deduplicate to a single edge set, and identical edge sets produced by
+/// different selections deduplicate by 64-bit signature. A frontier node
+/// with an empty backward star kills the branch (no expansions), as does —
+/// when `h` is provided — a frontier node whose derivation lower bound is
+/// infinite (not B-connected to the source, or only derivable at infinite
+/// cost): its cross product would be enumerated in vain.
+pub fn expand_into<N, E>(
     graph: &HyperGraph<N, E>,
     costs: &[f64],
     partial: &Partial,
     source: NodeId,
-) -> Vec<Partial> {
-    let work: Vec<NodeId> = partial.frontier.iter().copied().filter(|&v| v != source).collect();
-    debug_assert!(!work.is_empty(), "expand called on a complete plan");
+    h: Option<&[f64]>,
+    scratch: &mut ExpandScratch,
+    out: &mut Vec<Partial>,
+) {
+    scratch.work.clear();
+    scratch.work.extend(partial.frontier.iter().copied().filter(|&v| v != source));
+    debug_assert!(!scratch.work.is_empty(), "expand called on a complete plan");
 
-    // Option sets (backward stars). Any empty star ⇒ dead branch.
-    let stars: Vec<&[EdgeId]> = work.iter().map(|&v| graph.bstar(v)).collect();
-    if stars.iter().any(|s| s.is_empty()) {
-        return Vec::new();
+    if let Some(h) = h {
+        // Dead-branch kill: a frontier node that cannot be derived from the
+        // source at finite cost makes every completion infinite.
+        if scratch.work.iter().any(|&v| h[v.index()].is_infinite()) {
+            return;
+        }
     }
 
-    let mut out = Vec::new();
-    let mut seen_moves: HashSet<Vec<EdgeId>> = HashSet::new();
-    let mut indices = vec![0usize; stars.len()];
-    loop {
-        // Materialize the move: one edge per frontier node, deduplicated.
-        let mut move_edges: Vec<EdgeId> = indices.iter().zip(&stars).map(|(&i, s)| s[i]).collect();
-        move_edges.sort_unstable();
-        move_edges.dedup();
+    // Option sets (backward stars). Any empty star ⇒ dead branch.
+    let stars: Vec<&[EdgeId]> = scratch.work.iter().map(|&v| graph.bstar(v)).collect();
+    if stars.iter().any(|s| s.is_empty()) {
+        return;
+    }
 
-        if seen_moves.insert(move_edges.clone()) {
+    scratch.indices.clear();
+    scratch.indices.resize(stars.len(), 0);
+    scratch.seen_moves.clear();
+    loop {
+        // Materialize the move into the reused buffer: one edge per frontier
+        // node, sorted + deduplicated to a canonical edge set.
+        scratch.move_buf.clear();
+        scratch.move_buf.extend(scratch.indices.iter().zip(&stars).map(|(&i, s)| s[i]));
+        scratch.move_buf.sort_unstable();
+        scratch.move_buf.dedup();
+
+        // Hashed move signature instead of a HashSet<Vec<EdgeId>> key: the
+        // buffer is canonical (sorted, distinct), so XOR of per-edge Zobrist
+        // keys identifies the edge set without allocating.
+        let move_sig =
+            scratch.move_buf.iter().fold(0u64, |s, &e| s ^ mix64(e.index() as u64 ^ EDGE_SALT));
+
+        if scratch.seen_moves.insert(move_sig) {
             let mut next = Partial {
                 cost: partial.cost,
+                bound: partial.cost,
                 visited: partial.visited.clone(),
-                frontier: Vec::new(),
+                frontier: Vec::with_capacity(scratch.move_buf.len() + 1),
                 edges: partial.edges.clone(),
+                edge_sig: partial.edge_sig,
             };
-            for &e in &move_edges {
+            for &e in &scratch.move_buf {
                 // newNodes = head(e) \ visited (Algorithm 2, line 8).
                 let mut produced_new = false;
                 for &h in graph.head(e) {
@@ -114,32 +262,44 @@ pub fn expand<N, E>(
                 }
                 if produced_new {
                     next.cost += costs[e.index()];
-                    next.edges.push(e);
-                    for &t in graph.tail(e) {
-                        next.frontier.push(t);
-                    }
+                    next.push_edge(e);
+                    next.frontier.extend_from_slice(graph.tail(e));
                 }
             }
             // Nodes of the old frontier are now visited heads; anything the
             // move's tails reference that is already derivable drops out.
             next.normalize_frontier(source);
+            next.bound = next.cost;
             out.push(next);
         }
 
         // Advance the cross-product odometer.
         let mut pos = 0;
         loop {
-            if pos == indices.len() {
-                return out;
+            if pos == scratch.indices.len() {
+                return;
             }
-            indices[pos] += 1;
-            if indices[pos] < stars[pos].len() {
+            scratch.indices[pos] += 1;
+            if scratch.indices[pos] < stars[pos].len() {
                 break;
             }
-            indices[pos] = 0;
+            scratch.indices[pos] = 0;
             pos += 1;
         }
     }
+}
+
+/// EXPAND returning a fresh vector (convenience wrapper over
+/// [`expand_into`], used by tests and one-shot callers).
+pub fn expand<N, E>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    partial: &Partial,
+    source: NodeId,
+) -> Vec<Partial> {
+    let mut out = Vec::new();
+    expand_into(graph, costs, partial, source, None, &mut ExpandScratch::default(), &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -198,7 +358,7 @@ mod tests {
         let expanded = expand(&g, &costs, &p, s);
         assert_eq!(expanded.len(), 1, "(split, split) dedupes to one move");
         assert_eq!(expanded[0].cost, 7.0, "cost paid once");
-        assert_eq!(expanded[0].edges, vec![split]);
+        assert_eq!(expanded[0].edges.to_vec(), vec![split]);
     }
 
     #[test]
@@ -208,6 +368,28 @@ mod tests {
         let v = g.add_node(()); // no producer
         let p = Partial::new(g.node_bound(), &[v]);
         assert!(expand(&g, &[], &p, s).is_empty());
+    }
+
+    #[test]
+    fn infinite_lower_bound_kills_branch_before_enumeration() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let dead = g.add_node(()); // producers exist but are not grounded
+        let orphan = g.add_node(());
+        let wide = g.add_node(()); // large star that must not be enumerated
+        g.add_edge(vec![orphan], vec![dead], ());
+        for _ in 0..8 {
+            g.add_edge(vec![s], vec![wide], ());
+        }
+        let costs = vec![1.0; 9];
+        let h = hyppo_hypergraph::max_cost_distances(&g, &costs, &[s]);
+        assert!(h[dead.index()].is_infinite());
+        let p = Partial::new(g.node_bound(), &[dead, wide]);
+        let mut out = Vec::new();
+        expand_into(&g, &costs, &p, s, Some(&h), &mut ExpandScratch::default(), &mut out);
+        assert!(out.is_empty(), "h = ∞ kills the branch before the cross product");
+        // Without h the branch enumerates the full 1 × 8 cross product.
+        assert_eq!(expand(&g, &costs, &p, s).len(), 8);
     }
 
     #[test]
@@ -228,7 +410,7 @@ mod tests {
         let expanded = expand(&g, &costs, &p, s);
         assert_eq!(expanded.len(), 1);
         assert_eq!(expanded[0].cost, 5.0);
-        assert_eq!(expanded[0].edges, vec![eb, ea]);
+        assert_eq!(expanded[0].edges.to_vec(), vec![eb, ea]);
     }
 
     #[test]
@@ -242,7 +424,7 @@ mod tests {
         p.force_edge(&g, &costs, e);
         p.force_edge(&g, &costs, e);
         assert_eq!(p.cost, 4.0);
-        assert_eq!(p.edges.len(), 1);
+        assert_eq!(p.edges.to_vec().len(), 1);
     }
 
     #[test]
@@ -256,5 +438,63 @@ mod tests {
         assert!(!p2.is_complete(s));
         let empty = Partial::new(g.node_bound(), &[]);
         assert!(empty.is_complete(s), "empty frontier is complete");
+    }
+
+    #[test]
+    fn edge_list_shares_spine_and_preserves_order() {
+        let e = |i| EdgeId::from_index(i);
+        let mut a = EdgeList::new();
+        a.push(e(0));
+        a.push(e(1));
+        let mut b = a.clone(); // O(1) shared spine
+        b.push(e(2));
+        a.push(e(3));
+        assert_eq!(a.to_vec(), vec![e(0), e(1), e(3)]);
+        assert_eq!(b.to_vec(), vec![e(0), e(1), e(2)]);
+        assert!(b.contains(e(2)) && !a.contains(e(2)));
+        assert!(!EdgeList::new().contains(e(0)));
+    }
+
+    #[test]
+    fn edge_list_drop_is_iterative_on_long_spines() {
+        // 200k cells would overflow the stack under recursive drop.
+        let mut l = EdgeList::new();
+        for i in 0..200_000 {
+            l.push(EdgeId::from_index(i));
+        }
+        let shared = l.clone();
+        drop(l);
+        assert_eq!(shared.iter().count(), 200_000);
+        drop(shared);
+    }
+
+    #[test]
+    fn state_sig_is_move_order_independent() {
+        let e = |i| EdgeId::from_index(i);
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(vec![s], vec![a], ());
+        g.add_edge(vec![s], vec![b], ());
+        let costs = vec![1.0, 1.0];
+        // Reach the same (visited, frontier) by forcing the two edges in
+        // both orders: state signatures must agree, edge sigs too (set
+        // semantics), while differing edge sets must disagree.
+        let mut p1 = Partial::new(g.node_bound(), &[a, b]);
+        p1.force_edge(&g, &costs, e(0));
+        p1.force_edge(&g, &costs, e(1));
+        p1.normalize_frontier(s);
+        let mut p2 = Partial::new(g.node_bound(), &[a, b]);
+        p2.force_edge(&g, &costs, e(1));
+        p2.force_edge(&g, &costs, e(0));
+        p2.normalize_frontier(s);
+        assert_eq!(p1.state_sig(), p2.state_sig());
+        assert_eq!(p1.edge_sig, p2.edge_sig);
+        let mut p3 = Partial::new(g.node_bound(), &[a, b]);
+        p3.force_edge(&g, &costs, e(0));
+        p3.normalize_frontier(s);
+        assert_ne!(p1.edge_sig, p3.edge_sig);
+        assert_ne!(p1.state_sig(), p3.state_sig());
     }
 }

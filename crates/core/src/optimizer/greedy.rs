@@ -56,14 +56,21 @@ pub fn greedy_plan<N, E>(
             }
             if produced_new {
                 plan.cost += costs[best.index()];
-                plan.edges.push(best);
+                plan.push_edge(best);
                 next_frontier.extend_from_slice(graph.tail(best));
             }
         }
         plan.frontier = next_frontier;
         plan.normalize_frontier(source);
     }
-    Some(Plan { edges: plan.edges, cost: plan.cost, optimal: false, expansions: steps })
+    Some(Plan {
+        edges: plan.edges.to_vec(),
+        cost: plan.cost,
+        optimal: false,
+        expansions: steps,
+        pops: 0,
+        peak_queue: 0,
+    })
 }
 
 #[cfg(test)]
@@ -127,6 +134,52 @@ mod tests {
         let s = g.add_node(());
         let orphan = g.add_node(());
         assert!(greedy_plan(&g, &[], s, &[orphan], &[], 0.0).is_none());
+    }
+
+    /// Property test: on random layered graphs the greedy plan is always
+    /// valid and never cheaper than the exact optimum.
+    #[test]
+    fn greedy_is_valid_and_never_beats_exact_on_random_graphs() {
+        use hyppo_hypergraph::NodeId;
+        use hyppo_tensor::SeededRng;
+        for seed in 0..50 {
+            let mut rng = SeededRng::new(seed);
+            let mut g = G::new();
+            let s = g.add_node(());
+            let mut nodes = vec![s];
+            let n_nodes = 3 + rng.index(5);
+            let mut costs = Vec::new();
+            for _ in 0..n_nodes {
+                let v = g.add_node(());
+                let n_alts = 1 + rng.index(2);
+                for _ in 0..n_alts {
+                    let n_tail = 1 + rng.index(2.min(nodes.len()));
+                    let mut tail: Vec<NodeId> =
+                        (0..n_tail).map(|_| nodes[rng.index(nodes.len())]).collect();
+                    tail.sort_unstable();
+                    tail.dedup();
+                    let e = g.add_edge(tail, vec![v], ());
+                    costs.resize(e.index() + 1, 0.0);
+                    costs[e.index()] = (1 + rng.index(20)) as f64;
+                }
+                nodes.push(v);
+            }
+            let target = *nodes.last().unwrap();
+            let greedy = greedy_plan(&g, &costs, s, &[target], &[], 0.0)
+                .unwrap_or_else(|| panic!("seed {seed}: all nodes have producers"));
+            assert_eq!(
+                validate_plan(&g, &greedy.edges, &[s], &[target]),
+                PlanValidity::Valid,
+                "seed {seed}: greedy plan must be executable"
+            );
+            let exact = optimize(&g, &costs, s, &[target], &[], SearchOptions::default()).unwrap();
+            assert!(
+                greedy.cost >= exact.cost - 1e-9,
+                "seed {seed}: greedy {} beat exact {}",
+                greedy.cost,
+                exact.cost
+            );
+        }
     }
 
     #[test]

@@ -10,31 +10,49 @@
 //!
 //! The queue discipline is pluggable ([`QueueKind`]): a LIFO stack
 //! (OPTIMIZE-STACK, dives to complete plans quickly, enabling aggressive
-//! cost pruning) or a priority queue keyed on partial cost
-//! (OPTIMIZE-PRIORITY, uniform-cost order). A linear-time greedy variant
-//! ([`greedy`]) trades optimality for speed, and the
+//! cost pruning) or a priority queue (OPTIMIZE-PRIORITY). A linear-time
+//! greedy variant ([`greedy`]) trades optimality for speed, and the
 //! exploration/exploitation knob `c_exp` (§IV-E) seeds the initial plan
 //! with new tasks so the system keeps learning.
+//!
+//! On top of the paper's enumeration the search runs an A*-grade fast path
+//! (both parts on by default, both provably exact — see [`bounds`] and
+//! `DESIGN.md` for the admissibility argument):
+//!
+//! - **Admissible lower bounds** ([`SearchOptions::use_bounds`]): a
+//!   shortest-hyperpath relaxation from the source yields a completion
+//!   bound per incomplete plan; the priority queue orders by bound (turning
+//!   uniform-cost search into A*), partials whose bound meets the best
+//!   known cost are pruned, and branches containing an underivable frontier
+//!   node (`h = ∞`) are killed before their cross product is enumerated.
+//! - **Global state dominance** ([`SearchOptions::dedup_states`]): two
+//!   partials with the same `(visited, frontier)` state expand identically
+//!   forever, so only the cheapest per state signature is kept.
 //!
 //! The optimizer is generic over node/edge labels: it needs only the
 //! hypergraph structure plus a per-edge cost vector, which is what lets the
 //! synthetic-hypergraph scalability study (paper Fig. 10) drive it
 //! directly.
 
+pub mod bounds;
 pub mod expand;
 pub mod greedy;
 pub mod queue;
 
-use expand::{expand, Partial};
+use bounds::PlannerBounds;
+use expand::{expand_into, ExpandScratch, Partial};
 use hyppo_hypergraph::{EdgeId, HyperGraph, NodeId};
 use queue::PlanQueue;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 /// Queue discipline for [`optimize`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueueKind {
     /// LIFO stack — the paper's OPTIMIZE-STACK.
     Stack,
-    /// Min-cost priority queue — the paper's OPTIMIZE-PRIORITY.
+    /// Min-bound priority queue — the paper's OPTIMIZE-PRIORITY (A* order
+    /// when lower bounds are enabled, uniform-cost otherwise).
     Priority,
 }
 
@@ -52,6 +70,12 @@ pub struct SearchOptions {
     /// Safety valve: abort after this many plan expansions and return the
     /// best plan found so far (`optimal = false`).
     pub max_expansions: usize,
+    /// Prune with admissible completion lower bounds (A* fast path). Exact;
+    /// disable only to measure the paper's plain enumeration.
+    pub use_bounds: bool,
+    /// Keep only the cheapest partial per `(visited, frontier)` state
+    /// signature. Exact; disable only to measure the plain enumeration.
+    pub dedup_states: bool,
 }
 
 impl Default for SearchOptions {
@@ -61,6 +85,8 @@ impl Default for SearchOptions {
             greedy: false,
             c_exp: 0.0,
             max_expansions: 2_000_000,
+            use_bounds: true,
+            dedup_states: true,
         }
     }
 }
@@ -76,8 +102,16 @@ pub struct Plan {
     /// Whether the search proved optimality (false when the expansion
     /// budget was exhausted or the greedy variant ran).
     pub optimal: bool,
-    /// Number of plan expansions performed (search effort metric).
+    /// Number of plan expansions performed (EXPAND calls — the paper's
+    /// search-effort metric).
     pub expansions: usize,
+    /// Number of queue pops, including plans pruned or deduplicated without
+    /// being expanded. `pops − expansions` is the pruning overhead the
+    /// expansion count alone would understate.
+    pub pops: usize,
+    /// Maximum number of incomplete plans queued at once (memory-pressure
+    /// metric).
+    pub peak_queue: usize,
 }
 
 /// Find a minimum-cost plan deriving `targets` from `source`.
@@ -85,6 +119,9 @@ pub struct Plan {
 /// `costs` is indexed by [`EdgeId::index`]; `new_tasks` are the edges the
 /// exploration mode may force into the plan. Returns `None` when the
 /// targets are not B-connected to the source.
+///
+/// Precondition: the hypergraph is acyclic (pipeline hypergraphs are DAGs)
+/// and costs are non-negative (`+∞` allowed to forbid an edge).
 pub fn optimize<N, E>(
     graph: &HyperGraph<N, E>,
     costs: &[f64],
@@ -97,22 +134,50 @@ pub fn optimize<N, E>(
         return greedy::greedy_plan(graph, costs, source, targets, new_tasks, opts.c_exp);
     }
 
-    let seed = initial_plan(graph, costs, source, targets, new_tasks, opts.c_exp)?;
+    let bounds = opts.use_bounds.then(|| PlannerBounds::new(graph, costs, source));
+    let h = bounds.as_ref().map(|b| b.h.as_slice());
+
+    let mut seed = initial_plan(graph, costs, source, targets, new_tasks, opts.c_exp)?;
+    seed.bound = bounds.as_ref().map_or(seed.cost, |b| b.completion_bound(&seed, source));
+
+    // Best known cost per (visited, frontier) state signature.
+    let mut state_best: HashMap<u64, f64> = HashMap::new();
+    if opts.dedup_states {
+        state_best.insert(seed.state_sig(), seed.cost);
+    }
+
     let mut q = PlanQueue::new(opts.queue);
     q.insert(seed);
 
     let mut best: Option<Partial> = None;
     let mut best_cost = f64::INFINITY;
     let mut expansions = 0usize;
+    let mut pops = 0usize;
+    let mut peak_queue = 1usize;
     let mut truncated = false;
+    let mut scratch = ExpandScratch::default();
+    let mut children: Vec<Partial> = Vec::new();
 
     while let Some(partial) = q.pop() {
-        if partial.cost >= best_cost {
-            continue; // pruned (Algorithm 1, line 6)
+        pops += 1;
+        if partial.bound >= best_cost {
+            continue; // pruned (Algorithm 1, line 6; bound == cost when disabled)
+        }
+        if opts.dedup_states {
+            if let Some(&c) = state_best.get(&partial.state_sig()) {
+                if c < partial.cost {
+                    continue; // a cheaper plan reached this state after we queued
+                }
+            }
         }
         if partial.is_complete(source) {
             best_cost = partial.cost;
             best = Some(partial);
+            if opts.use_bounds && opts.queue == QueueKind::Priority {
+                // A* order: every queued plan has bound ≥ this cost, and the
+                // bound is admissible, so no completion can improve on it.
+                break;
+            }
             continue;
         }
         if expansions >= opts.max_expansions {
@@ -120,14 +185,41 @@ pub fn optimize<N, E>(
             break;
         }
         expansions += 1;
-        for next in expand(graph, costs, &partial, source) {
-            if next.cost < best_cost {
-                q.insert(next);
+        children.clear();
+        expand_into(graph, costs, &partial, source, h, &mut scratch, &mut children);
+        for mut next in children.drain(..) {
+            if let Some(b) = &bounds {
+                next.bound = b.completion_bound(&next, source);
             }
+            if next.bound >= best_cost {
+                continue;
+            }
+            if opts.dedup_states {
+                match state_best.entry(next.state_sig()) {
+                    Entry::Occupied(mut o) => {
+                        if *o.get() <= next.cost {
+                            continue; // dominated: same state, no cheaper
+                        }
+                        o.insert(next.cost);
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert(next.cost);
+                    }
+                }
+            }
+            q.insert(next);
         }
+        peak_queue = peak_queue.max(q.len());
     }
 
-    best.map(|p| Plan { edges: p.edges, cost: p.cost, optimal: !truncated, expansions })
+    best.map(|p| Plan {
+        edges: p.edges.to_vec(),
+        cost: p.cost,
+        optimal: !truncated,
+        expansions,
+        pops,
+        peak_queue,
+    })
 }
 
 /// Build the initial incomplete plan, seeding exploration-mode new tasks
@@ -160,6 +252,7 @@ fn initial_plan<N, E>(
 mod tests {
     use super::*;
     use hyppo_hypergraph::{validate_plan, PlanValidity};
+    use hyppo_tensor::SeededRng;
 
     type G = HyperGraph<u32, ()>;
 
@@ -212,6 +305,53 @@ mod tests {
         add(&mut g, vec![s], vec![v34], 1.0, &mut costs); // l34 load state
         add(&mut g, vec![v34, v2], vec![v5], 3.0, &mut costs); // t3 transform
         (g, costs, s, vec![v5])
+    }
+
+    /// Random layered DAG with AND-tails, OR-alternatives, and multi-output
+    /// split edges — the shape the planner fast path must stay exact on.
+    fn random_instance(seed: u64) -> (G, Vec<f64>, NodeId, Vec<NodeId>) {
+        let mut rng = SeededRng::new(seed);
+        let mut g = G::new();
+        let s = g.add_node(0);
+        let mut nodes = vec![s];
+        let mut costs = Vec::new();
+        let mut add = |g: &mut G, t: Vec<NodeId>, h: Vec<NodeId>, c: f64| {
+            let e = g.add_edge(t, h, ());
+            costs.resize(e.index() + 1, 0.0);
+            costs[e.index()] = c;
+        };
+        let n_rounds = 3 + rng.index(4);
+        for i in 0..n_rounds {
+            let tail_from = |rng: &mut SeededRng, nodes: &[NodeId]| {
+                let n_tail = 1 + rng.index(2.min(nodes.len()));
+                let mut tail: Vec<NodeId> =
+                    (0..n_tail).map(|_| nodes[rng.index(nodes.len())]).collect();
+                tail.sort_unstable();
+                tail.dedup();
+                tail
+            };
+            let v = g.add_node(i as u32 + 1);
+            if rng.index(4) == 0 {
+                // Split edge producing a fresh sibling too (keeps the DAG
+                // property: heads are always new nodes).
+                let w = g.add_node(100 + i as u32);
+                let tail = tail_from(&mut rng, &nodes);
+                add(&mut g, tail, vec![v, w], (1 + rng.index(20)) as f64);
+                let tail = tail_from(&mut rng, &nodes);
+                add(&mut g, tail, vec![v], (1 + rng.index(20)) as f64);
+                nodes.push(v);
+                nodes.push(w);
+            } else {
+                let n_alts = 1 + rng.index(2);
+                for _ in 0..n_alts {
+                    let tail = tail_from(&mut rng, &nodes);
+                    add(&mut g, tail, vec![v], (1 + rng.index(20)) as f64);
+                }
+                nodes.push(v);
+            }
+        }
+        let target = *nodes.last().unwrap();
+        (g, costs, s, vec![target])
     }
 
     #[test]
@@ -326,7 +466,6 @@ mod tests {
     /// Random layered graphs: exact search must match brute force.
     #[test]
     fn random_graphs_match_brute_force() {
-        use hyppo_tensor::SeededRng;
         for seed in 0..30 {
             let mut rng = SeededRng::new(seed);
             let mut g = G::new();
@@ -375,6 +514,104 @@ mod tests {
                     other => panic!("seed {seed}: mismatch {other:?}"),
                 }
             }
+        }
+    }
+
+    /// The fast path (bounds + dedup) must return the same cost as the plain
+    /// enumeration on every instance, with never more — and at least once
+    /// strictly fewer — expansions.
+    #[test]
+    fn pruned_search_matches_unpruned_on_random_graphs() {
+        let mut checked = 0usize;
+        let mut strictly_fewer = 0usize;
+        for seed in 0..120 {
+            let (g, costs, s, t) = random_instance(seed);
+            let oracle = if g.edge_count() <= 14 { brute_force(&g, &costs, s, &t) } else { None };
+            for queue in [QueueKind::Stack, QueueKind::Priority] {
+                let plain = SearchOptions {
+                    queue,
+                    use_bounds: false,
+                    dedup_states: false,
+                    ..SearchOptions::default()
+                };
+                let fast = SearchOptions { queue, ..SearchOptions::default() };
+                let base = optimize(&g, &costs, s, &t, &[], plain);
+                let opt = optimize(&g, &costs, s, &t, &[], fast);
+                match (&base, &opt) {
+                    (Some(b), Some(f)) => {
+                        assert!(
+                            (b.cost - f.cost).abs() < 1e-9,
+                            "seed {seed} {queue:?}: fast {} vs plain {}",
+                            f.cost,
+                            b.cost
+                        );
+                        if let Some(exp) = oracle {
+                            assert!((f.cost - exp).abs() < 1e-9, "seed {seed} vs brute force");
+                        }
+                        assert_eq!(
+                            validate_plan(&g, &f.edges, &[s], &t),
+                            PlanValidity::Valid,
+                            "seed {seed} {queue:?}"
+                        );
+                        assert!(
+                            f.expansions <= b.expansions,
+                            "seed {seed} {queue:?}: fast path expanded more ({} > {})",
+                            f.expansions,
+                            b.expansions
+                        );
+                        if f.expansions < b.expansions {
+                            strictly_fewer += 1;
+                        }
+                        checked += 1;
+                    }
+                    (None, None) => {}
+                    other => panic!("seed {seed} {queue:?}: feasibility mismatch {other:?}"),
+                }
+            }
+        }
+        assert!(checked >= 100, "only {checked} instances checked");
+        assert!(strictly_fewer >= 1, "fast path never pruned anything");
+    }
+
+    /// Tie-breaking on the edge-set signature makes the returned plan — not
+    /// just its cost — deterministic across runs.
+    #[test]
+    fn repeated_runs_return_identical_plans() {
+        for seed in 0..40 {
+            let (g, costs, s, t) = random_instance(seed);
+            for queue in [QueueKind::Stack, QueueKind::Priority] {
+                let opts = SearchOptions { queue, ..SearchOptions::default() };
+                let a = optimize(&g, &costs, s, &t, &[], opts);
+                let b = optimize(&g, &costs, s, &t, &[], opts);
+                match (&a, &b) {
+                    (Some(pa), Some(pb)) => {
+                        assert_eq!(pa.edges, pb.edges, "seed {seed} {queue:?}");
+                        assert_eq!(pa.cost, pb.cost, "seed {seed} {queue:?}");
+                        assert_eq!(pa.expansions, pb.expansions, "seed {seed} {queue:?}");
+                        assert_eq!(pa.pops, pb.pops, "seed {seed} {queue:?}");
+                    }
+                    (None, None) => {}
+                    other => panic!("seed {seed} {queue:?}: mismatch {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// `pops` counts pruned/deduplicated pops too — complete-plan pops are
+    /// never expansions, so on any feasible instance `pops > expansions`.
+    #[test]
+    fn pops_exceed_expansions_when_plans_complete() {
+        let (g, costs, s, t) = figure1_like();
+        for queue in [QueueKind::Stack, QueueKind::Priority] {
+            let opts = SearchOptions { queue, ..SearchOptions::default() };
+            let plan = optimize(&g, &costs, s, &t, &[], opts).unwrap();
+            assert!(
+                plan.pops > plan.expansions,
+                "{queue:?}: pops {} expansions {}",
+                plan.pops,
+                plan.expansions
+            );
+            assert!(plan.peak_queue >= 1);
         }
     }
 }

@@ -1,4 +1,4 @@
-//! The queue `Q` of incomplete plans: LIFO stack or min-cost priority
+//! The queue `Q` of incomplete plans: LIFO stack or min-bound priority
 //! queue (paper §IV-E, "the data structure Q … defines the order in which
 //! plans are examined").
 
@@ -13,17 +13,30 @@ pub enum PlanQueue {
     /// LIFO (depth-first): dives to complete plans quickly, enabling early
     /// cost-bound pruning.
     Stack(Vec<Partial>),
-    /// Min-cost (uniform-cost search).
+    /// Min-bound (A* order; uniform-cost when bounds are disabled, since
+    /// then `bound == cost`).
     Priority(BinaryHeap<ByCost>),
 }
 
-/// Min-heap wrapper ordering partial plans by ascending cost.
+/// Min-heap wrapper ordering partial plans by ascending completion bound,
+/// then cost, then edge-set signature.
+///
+/// The signature tie-break makes heap order — and therefore which of several
+/// equal-cost optimal plans is returned — deterministic and independent of
+/// insertion order, which `BinaryHeap` does not otherwise guarantee.
 #[derive(Debug)]
 pub struct ByCost(pub Partial);
 
+impl ByCost {
+    #[inline]
+    fn key(&self) -> (f64, f64, u64) {
+        (self.0.bound, self.0.cost, self.0.edge_sig)
+    }
+}
+
 impl PartialEq for ByCost {
     fn eq(&self, other: &Self) -> bool {
-        self.0.cost == other.0.cost
+        self.cmp(other) == Ordering::Equal
     }
 }
 
@@ -37,8 +50,10 @@ impl PartialOrd for ByCost {
 
 impl Ord for ByCost {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want min-cost first.
-        other.0.cost.total_cmp(&self.0.cost)
+        // Reverse: BinaryHeap is a max-heap, we want min-bound first.
+        let (sb, sc, ss) = self.key();
+        let (ob, oc, os) = other.key();
+        ob.total_cmp(&sb).then_with(|| oc.total_cmp(&sc)).then_with(|| os.cmp(&ss))
     }
 }
 
@@ -83,11 +98,23 @@ impl PlanQueue {
 
 #[cfg(test)]
 mod tests {
+    use super::super::expand::EdgeList;
     use super::*;
     use hyppo_hypergraph::NodeBitSet;
 
     fn partial(cost: f64) -> Partial {
-        Partial { cost, visited: NodeBitSet::with_bound(0), frontier: vec![], edges: vec![] }
+        Partial {
+            cost,
+            bound: cost,
+            visited: NodeBitSet::with_bound(0),
+            frontier: vec![],
+            edges: EdgeList::new(),
+            edge_sig: 0,
+        }
+    }
+
+    fn partial_sig(cost: f64, bound: f64, edge_sig: u64) -> Partial {
+        Partial { bound, edge_sig, ..partial(cost) }
     }
 
     #[test]
@@ -114,12 +141,29 @@ mod tests {
     }
 
     #[test]
-    fn priority_handles_equal_costs() {
+    fn priority_orders_by_bound_before_cost() {
         let mut q = PlanQueue::new(QueueKind::Priority);
-        q.insert(partial(1.0));
-        q.insert(partial(1.0));
-        assert_eq!(q.len(), 2);
+        q.insert(partial_sig(1.0, 9.0, 0)); // cheap now, doomed later
+        q.insert(partial_sig(4.0, 4.0, 0));
+        assert_eq!(q.pop().unwrap().cost, 4.0, "lower bound wins over lower cost");
         assert_eq!(q.pop().unwrap().cost, 1.0);
-        assert_eq!(q.pop().unwrap().cost, 1.0);
+    }
+
+    #[test]
+    fn priority_breaks_cost_ties_by_signature_regardless_of_insertion_order() {
+        for flip in [false, true] {
+            let mut q = PlanQueue::new(QueueKind::Priority);
+            let a = partial_sig(1.0, 1.0, 7);
+            let b = partial_sig(1.0, 1.0, 42);
+            if flip {
+                q.insert(b.clone());
+                q.insert(a.clone());
+            } else {
+                q.insert(a.clone());
+                q.insert(b.clone());
+            }
+            assert_eq!(q.pop().unwrap().edge_sig, 7, "smaller signature first (flip={flip})");
+            assert_eq!(q.pop().unwrap().edge_sig, 42);
+        }
     }
 }

@@ -67,6 +67,10 @@ pub struct RunReport {
     pub new_tasks: usize,
     /// Plan-search expansions (search effort).
     pub expansions: usize,
+    /// Plan-search queue pops, including pruned/deduplicated plans popped
+    /// without being expanded (total search effort; `pops - expansions` is
+    /// the pruning overhead).
+    pub pops: usize,
     /// Artifacts stored / evicted by this round's materialization.
     pub stored: usize,
     /// Artifacts evicted by this round's materialization.
@@ -241,6 +245,7 @@ impl Hyppo {
             loads: outcome.metrics.iter().filter(|m| m.is_load).count(),
             new_tasks: aug.new_tasks.len(),
             expansions: plan.expansions,
+            pops: plan.pops,
             stored: report_mat.stored.len(),
             evicted: report_mat.evicted.len(),
             values,

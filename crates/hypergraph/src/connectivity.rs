@@ -41,9 +41,15 @@ impl NodeBitSet {
     }
 
     /// Insert `v`; returns `true` if it was not already present.
+    ///
+    /// Indices at or beyond the construction bound grow the set on demand
+    /// (amortized O(1)), mirroring the bound-safety of [`NodeBitSet::contains`].
     #[inline]
     pub fn insert(&mut self, v: NodeId) -> bool {
         let (w, b) = (v.index() / 64, v.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
         let mask = 1u64 << b;
         if self.words[w] & mask == 0 {
             self.words[w] |= mask;
@@ -54,13 +60,17 @@ impl NodeBitSet {
         }
     }
 
-    /// Remove `v`; returns `true` if it was present.
+    /// Remove `v`; returns `true` if it was present. Indices beyond the
+    /// current capacity are simply absent (no panic).
     #[inline]
     pub fn remove(&mut self, v: NodeId) -> bool {
         let (w, b) = (v.index() / 64, v.index() % 64);
+        let Some(word) = self.words.get_mut(w) else {
+            return false;
+        };
         let mask = 1u64 << b;
-        if self.words[w] & mask != 0 {
-            self.words[w] &= !mask;
+        if *word & mask != 0 {
+            *word &= !mask;
             self.len -= 1;
             true
         } else {
@@ -73,6 +83,19 @@ impl NodeBitSet {
     pub fn contains(&self, v: NodeId) -> bool {
         let (w, b) = (v.index() / 64, v.index() % 64);
         self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Order- and capacity-independent 64-bit signature of the member set:
+    /// two sets with equal members have equal fingerprints even if their
+    /// internal word vectors grew differently. O(words), no allocation.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                h = crate::ids::mix64(h ^ crate::ids::mix64(w ^ crate::ids::mix64(i as u64)));
+            }
+        }
+        h
     }
 
     /// Iterate over members in increasing id order.
@@ -315,6 +338,41 @@ mod tests {
         assert!(!s.remove(NodeId::from_index(64)));
         let members: Vec<usize> = s.iter().map(|v| v.index()).collect();
         assert_eq!(members, vec![0, 129]);
+    }
+
+    #[test]
+    fn bitset_insert_remove_grow_beyond_bound() {
+        // Regression: insert/remove used to panic past the construction
+        // bound while contains was bound-safe; they now grow / no-op.
+        let mut s = NodeBitSet::with_bound(4);
+        assert!(s.insert(NodeId::from_index(200)), "insert grows on demand");
+        assert!(s.contains(NodeId::from_index(200)));
+        assert_eq!(s.len(), 1);
+        assert!(!s.remove(NodeId::from_index(999)), "out-of-bound remove is absent, not a panic");
+        assert!(s.remove(NodeId::from_index(200)));
+        assert!(s.is_empty());
+        let empty = NodeBitSet::with_bound(0);
+        let mut grown = empty.clone();
+        assert!(!grown.remove(NodeId::from_index(0)));
+        assert!(grown.insert(NodeId::from_index(0)));
+    }
+
+    #[test]
+    fn bitset_fingerprint_is_capacity_independent() {
+        let mut a = NodeBitSet::with_bound(4);
+        let mut b = NodeBitSet::with_bound(1024);
+        for i in [1usize, 70, 300] {
+            a.insert(NodeId::from_index(i)); // grows on demand
+            b.insert(NodeId::from_index(i));
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal sets, different capacity");
+        b.remove(NodeId::from_index(300));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            NodeBitSet::with_bound(0).fingerprint(),
+            NodeBitSet::with_bound(512).fingerprint(),
+            "empty sets fingerprint equal regardless of capacity"
+        );
     }
 
     #[test]

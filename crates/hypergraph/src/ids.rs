@@ -43,6 +43,21 @@ impl EdgeId {
     }
 }
 
+/// SplitMix64 finalizer: a deterministic, well-mixed 64-bit hash of a 64-bit
+/// value.
+///
+/// Dense ids make Zobrist-style signatures attractive (hash each id once, XOR
+/// signatures together for order-independent set hashing); this is the mixer
+/// those signatures are built from. Stable across runs and platforms — safe
+/// to use for reproducible tie-breaking.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
 impl fmt::Debug for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "v{}", self.0)

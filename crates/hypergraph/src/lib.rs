@@ -23,6 +23,9 @@
 //! - [`frontier`]: per-edge in-degree tracking and the ready frontier, the
 //!   shared substrate of serial ordering and concurrent wavefront
 //!   scheduling;
+//! - [`shortest`]: Gallo–Longo–Pallottino SBT-style shortest-hyperpath
+//!   relaxation producing admissible per-node derivation-cost lower bounds
+//!   (the planner's A* heuristic substrate);
 //! - [`topo`]: execution (topological) ordering of hyperedges;
 //! - [`dot`]: Graphviz export for debugging and documentation.
 
@@ -31,12 +34,14 @@ pub mod dot;
 pub mod frontier;
 pub mod graph;
 pub mod ids;
+pub mod shortest;
 pub mod subgraph;
 pub mod topo;
 
 pub use connectivity::{b_closure, is_b_connected, NodeBitSet};
 pub use frontier::{ready_frontier, InDegreeTracker};
 pub use graph::{EdgeRef, HyperGraph, NodeRef};
-pub use ids::{EdgeId, NodeId};
+pub use ids::{mix64, EdgeId, NodeId};
+pub use shortest::{max_cost_distances, min_share_costs};
 pub use subgraph::{minimize_plan, validate_plan, PlanValidity, SubGraph};
 pub use topo::{execution_order, TopoError};

@@ -1,0 +1,269 @@
+//! Shortest-hyperpath lower bounds (Gallo–Longo–Pallottino SBT-style
+//! relaxation).
+//!
+//! [`max_cost_distances`] computes, for every node `v`, an *admissible lower
+//! bound* `h(v)` on the total cost of any edge set that derives `v` from the
+//! source set, via the Dijkstra-like "shortest B-tree" relaxation of Gallo,
+//! Longo & Pallottino (1993) with **max** aggregation over tail nodes:
+//!
+//! ```text
+//! h(s) = 0 for s ∈ sources
+//! h(v) = min over e ∈ bstar(v) of  cost(e) + max over t ∈ tail(e) of h(t)
+//! ```
+//!
+//! Using `max` (rather than `sum`) over the tail is what makes the bound
+//! admissible: any valid (acyclic) derivation `D` of `v` contains a producing
+//! edge `e` plus a derivation of *each* tail node of `e`, so
+//! `cost(D) ≥ cost(e) + max_t h(t) ≥ h(v)`. Summing over the tail would
+//! double-count shared sub-derivations and can *over*-estimate, which would
+//! break exactness when used to prune a branch-and-bound search.
+//!
+//! [`min_share_costs`] computes the complementary one-step bound
+//! `share(v) = min over e ∈ bstar(v) of cost(e) / |head(e)|`: every node that
+//! a search still has to derive needs at least one paid producing edge, and a
+//! single paid edge can resolve at most `|head(e)|` pending nodes, so the
+//! *sum* of `share(v)` over a set of pending nodes never exceeds the cost of
+//! the edges that resolve them.
+//!
+//! Preconditions: costs are non-negative (times/prices; Dijkstra ordering)
+//! and derivations are acyclic (pipeline hypergraphs are DAGs). Nodes with no
+//! finite-cost derivation get `h = ∞`.
+
+use crate::graph::HyperGraph;
+use crate::ids::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Min-heap entry ordered by ascending distance (ties on node id for
+/// deterministic settle order).
+struct Entry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest distance.
+        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Per-node lower bound on the cost of deriving the node from `sources`,
+/// indexed by [`NodeId::index`] (length [`HyperGraph::node_bound`]).
+///
+/// Runs the SBT relaxation with max-aggregation over tails in
+/// `O((|V| + Σ|e|) log |V|)`. Unreachable nodes (no derivation, or only
+/// derivations through an infinite-cost edge) get `f64::INFINITY`.
+pub fn max_cost_distances<N, E>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    sources: &[NodeId],
+) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; graph.node_bound()];
+    let mut settled = vec![false; graph.node_bound()];
+    // Per-edge: unsettled tail count and max distance among settled tails.
+    let mut remaining = vec![u32::MAX; graph.edge_bound()];
+    let mut tail_max = vec![0.0f64; graph.edge_bound()];
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+
+    let relax = |e_cost: f64,
+                 tail_d: f64,
+                 heads: &[NodeId],
+                 dist: &mut Vec<f64>,
+                 heap: &mut BinaryHeap<Entry>| {
+        debug_assert!(e_cost >= 0.0, "shortest-hyperpath relaxation requires non-negative costs");
+        let cand = e_cost + tail_d;
+        if !cand.is_finite() {
+            return; // infinite-cost edges never improve a bound
+        }
+        for &h in heads {
+            if cand < dist[h.index()] {
+                dist[h.index()] = cand;
+                heap.push(Entry { dist: cand, node: h });
+            }
+        }
+    };
+
+    for e in graph.edge_ids() {
+        remaining[e.index()] = graph.tail(e).len() as u32;
+        if graph.tail(e).is_empty() {
+            // Source tasks (empty tail) fire unconditionally.
+            relax(costs[e.index()], 0.0, graph.head(e), &mut dist, &mut heap);
+        }
+    }
+    for &s in sources {
+        if graph.contains_node(s) && dist[s.index()] > 0.0 {
+            dist[s.index()] = 0.0;
+            heap.push(Entry { dist: 0.0, node: s });
+        }
+    }
+
+    while let Some(Entry { dist: d, node: v }) = heap.pop() {
+        if settled[v.index()] {
+            continue; // stale heap entry
+        }
+        settled[v.index()] = true;
+        debug_assert_eq!(d, dist[v.index()]);
+        for &e in graph.fstar(v) {
+            let r = &mut remaining[e.index()];
+            debug_assert!(*r > 0, "edge fired more tail nodes than it has");
+            *r -= 1;
+            let tm = &mut tail_max[e.index()];
+            *tm = tm.max(d);
+            if *r == 0 {
+                relax(costs[e.index()], *tm, graph.head(e), &mut dist, &mut heap);
+            }
+        }
+    }
+    dist
+}
+
+/// Per-node one-step shared-charge bound `min over e ∈ bstar(v) of
+/// cost(e) / |head(e)|`, indexed by [`NodeId::index`].
+///
+/// Nodes with no producing edge get `f64::INFINITY`. Summing this quantity
+/// over any set of pending nodes lower-bounds the cost of the edges that
+/// eventually produce them (each paid edge `e` is charged at most
+/// `|head(e)| · cost(e)/|head(e)| = cost(e)`).
+pub fn min_share_costs<N, E>(graph: &HyperGraph<N, E>, costs: &[f64]) -> Vec<f64> {
+    let mut share = vec![f64::INFINITY; graph.node_bound()];
+    for e in graph.edge_ids() {
+        let per_head = costs[e.index()] / graph.head(e).len() as f64;
+        for &h in graph.head(e) {
+            let s = &mut share[h.index()];
+            *s = s.min(per_head);
+        }
+    }
+    share
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type G = HyperGraph<(), ()>;
+
+    fn add(g: &mut G, t: Vec<NodeId>, h: Vec<NodeId>, c: f64, costs: &mut Vec<f64>) {
+        let e = g.add_edge(t, h, ());
+        costs.resize(e.index() + 1, 0.0);
+        costs[e.index()] = c;
+    }
+
+    #[test]
+    fn chain_distances_accumulate() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![s], vec![a], 3.0, &mut costs);
+        add(&mut g, vec![a], vec![b], 4.0, &mut costs);
+        let d = max_cost_distances(&g, &costs, &[s]);
+        assert_eq!(d[s.index()], 0.0);
+        assert_eq!(d[a.index()], 3.0);
+        assert_eq!(d[b.index()], 7.0);
+    }
+
+    #[test]
+    fn alternatives_take_the_minimum() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![s], vec![a], 9.0, &mut costs);
+        add(&mut g, vec![s], vec![a], 2.0, &mut costs);
+        let d = max_cost_distances(&g, &costs, &[s]);
+        assert_eq!(d[a.index()], 2.0);
+    }
+
+    #[test]
+    fn joins_aggregate_with_max_not_sum() {
+        // s -1-> a, s -5-> b, {a, b} -2-> c: a true min derivation of c costs
+        // 1 + 5 + 2 = 8; the admissible max-bound is 2 + max(1, 5) = 7 < 8.
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![s], vec![a], 1.0, &mut costs);
+        add(&mut g, vec![s], vec![b], 5.0, &mut costs);
+        add(&mut g, vec![a, b], vec![c], 2.0, &mut costs);
+        let d = max_cost_distances(&g, &costs, &[s]);
+        assert_eq!(d[c.index()], 7.0, "max over tails, never sum");
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let orphan = g.add_node(());
+        let blocked = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![orphan], vec![blocked], 1.0, &mut costs);
+        let d = max_cost_distances(&g, &costs, &[s]);
+        assert!(d[orphan.index()].is_infinite(), "no producer");
+        assert!(d[blocked.index()].is_infinite(), "only producer has unreachable tail");
+    }
+
+    #[test]
+    fn infinite_cost_edges_do_not_relax() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![s], vec![a], f64::INFINITY, &mut costs);
+        let d = max_cost_distances(&g, &costs, &[s]);
+        assert!(d[a.index()].is_infinite());
+    }
+
+    #[test]
+    fn empty_tail_edges_fire_unconditionally() {
+        let mut g = G::new();
+        let a = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![], vec![a], 4.0, &mut costs);
+        let d = max_cost_distances(&g, &costs, &[]);
+        assert_eq!(d[a.index()], 4.0);
+    }
+
+    #[test]
+    fn multi_output_edges_bound_both_heads() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![s], vec![a, b], 6.0, &mut costs);
+        let d = max_cost_distances(&g, &costs, &[s]);
+        assert_eq!(d[a.index()], 6.0);
+        assert_eq!(d[b.index()], 6.0);
+        let share = min_share_costs(&g, &costs);
+        assert_eq!(share[a.index()], 3.0, "cost split across the two heads");
+        assert_eq!(share[b.index()], 3.0);
+        assert!(share[s.index()].is_infinite(), "source has no producer");
+    }
+
+    #[test]
+    fn share_takes_the_cheapest_producer() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![s], vec![a], 10.0, &mut costs);
+        add(&mut g, vec![s], vec![a], 4.0, &mut costs);
+        let share = min_share_costs(&g, &costs);
+        assert_eq!(share[a.index()], 4.0);
+    }
+}

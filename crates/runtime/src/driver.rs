@@ -290,6 +290,7 @@ impl SharedHyppo {
                 loads: outcome.metrics.iter().filter(|m| m.is_load).count(),
                 new_tasks: aug.new_tasks.len(),
                 expansions: plan.expansions,
+                pops: plan.pops,
                 stored: report_mat.stored.len(),
                 evicted: report_mat.evicted.len(),
                 values,

@@ -16,4 +16,7 @@ cargo build --workspace --release --offline
 echo "== cargo test =="
 cargo test --workspace --offline -q
 
+echo "== cargo bench --no-run (benches must compile) =="
+cargo bench --workspace --no-run --offline
+
 echo "CI OK"

@@ -146,13 +146,14 @@ fn cmd_run(spec: PipelineSpec, opts: &Options) -> Result<(), String> {
     let mut sys = build_system(opts)?;
     let report = sys.submit(spec).map_err(|e| e.to_string())?;
     println!(
-        "executed {} tasks ({} loads, {} new) in {:.2} ms; plan search: {:.2} ms, {} expansions",
+        "executed {} tasks ({} loads, {} new) in {:.2} ms; plan search: {:.2} ms, {} expansions ({} pops)",
         report.tasks_executed,
         report.loads,
         report.new_tasks,
         report.execution_seconds * 1e3,
         report.optimize_seconds * 1e3,
         report.expansions,
+        report.pops,
     );
     for (name, value) in &report.values {
         println!("  value {name} = {value:.6}");
