@@ -301,7 +301,7 @@ mod tests {
         // Construct an augmentation where two targets share an expensive
         // upstream: the heuristic double-counts it and wrongly prefers two
         // separate loads.
-        use hyppo_core::optimizer::{optimize, SearchOptions};
+        use hyppo_core::optimizer::{PlanRequest, Planner};
         use hyppo_pipeline::{EdgeLabel, NodeLabel};
         let mut graph = hyppo_hypergraph::HyperGraph::new();
         let s = graph.add_node(NodeLabel::source());
@@ -350,7 +350,7 @@ mod tests {
         assert!((plan_cost - 14.0).abs() < 1e-9, "heuristic picks the loads: {plan_cost}");
         // Optimal: compute shared once (10) + 1 + 1 = 12.
         let exact =
-            optimize(&aug.graph, &costs, s, &[t1, t2], &[], SearchOptions::default()).unwrap();
+            Planner::exact().plan(&aug.graph, PlanRequest::new(&costs, s, &[t1, t2])).unwrap();
         assert!((exact.cost - 12.0).abs() < 1e-9);
         assert!(plan_cost > exact.cost, "Collab is 'good enough', not optimal");
     }

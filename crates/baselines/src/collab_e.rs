@@ -96,7 +96,7 @@ pub fn collab_e_plan<N, E>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyppo_core::optimizer::{optimize, SearchOptions};
+    use hyppo_core::optimizer::{PlanRequest, Planner};
     use hyppo_tensor::SeededRng;
 
     type G = HyperGraph<u32, ()>;
@@ -121,7 +121,7 @@ mod tests {
             }
             let target = *nodes.last().unwrap();
             let (edges, cost) = collab_e_plan(&g, &costs, s, &[target], 1_000_000).unwrap();
-            let exact = optimize(&g, &costs, s, &[target], &[], SearchOptions::default()).unwrap();
+            let exact = Planner::exact().plan(&g, PlanRequest::new(&costs, s, &[target])).unwrap();
             assert!(
                 (cost - exact.cost).abs() < 1e-9,
                 "seed {seed}: collab-e {cost} vs exact {}",

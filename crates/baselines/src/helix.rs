@@ -223,7 +223,7 @@ impl Method for Helix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyppo_core::optimizer::{optimize, SearchOptions};
+    use hyppo_core::optimizer::{PlanRequest, Planner};
     use hyppo_hypergraph::{validate_plan, PlanValidity};
     use hyppo_ml::{Config, LogicalOp};
     use hyppo_tensor::{Matrix, SeededRng, TaskKind};
@@ -265,9 +265,9 @@ mod tests {
         let targets = aug.targets.clone();
         let cut_plan = helix_plan(&aug, &costs, &targets).unwrap();
         let cut_cost: f64 = cut_plan.iter().map(|&e| costs[e.index()]).sum();
-        let exact =
-            optimize(&aug.graph, &costs, aug.source, &targets, &[], SearchOptions::default())
-                .unwrap();
+        let exact = Planner::exact()
+            .plan(&aug.graph, PlanRequest::new(&costs, aug.source, &targets))
+            .unwrap();
         assert!((cut_cost - exact.cost).abs() < 1e-9, "min-cut {cut_cost} vs exact {}", exact.cost);
         assert_eq!(
             validate_plan(&aug.graph, &cut_plan, &[aug.source], &targets),

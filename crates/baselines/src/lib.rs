@@ -33,6 +33,8 @@ pub use collab_e::collab_e_plan;
 pub use helix::helix_plan;
 pub use helix::Helix;
 pub use maxflow::Dinic;
-pub use method::{ArtifactRequest, BaselineState, HyppoMethod, Method, MethodReport};
+pub use method::{
+    ArtifactRequest, BaselineState, HyppoMethod, Method, MethodReport, SessionMethod,
+};
 pub use no_opt::NoOptimization;
 pub use sharing::Sharing;

@@ -7,7 +7,7 @@ use hyppo_core::executor::{execute_plan, ExecMode};
 use hyppo_core::history::History;
 use hyppo_core::monitor::record_outcome;
 use hyppo_core::system::{Hyppo, RunReport, SubmitError};
-use hyppo_core::{ArtifactStore, CostEstimator, PriceModel};
+use hyppo_core::{ArtifactStore, CostEstimator, PriceModel, Session};
 use hyppo_hypergraph::{EdgeId, HyperGraph, NodeId};
 use hyppo_ml::Artifact;
 use hyppo_pipeline::{
@@ -189,13 +189,18 @@ pub fn unique_derivation_plan(
     Some(edges)
 }
 
-/// HYPPO itself behind the [`Method`] interface.
+/// Any [`Session`] backend behind the [`Method`] interface — logical naming,
+/// requests resolved to names before handing off to the session.
+///
+/// [`HyppoMethod`] is the serial instantiation; the `hyppo-runtime` crate's
+/// `SharedSession` slots in the same way, so experiment harnesses compare
+/// serial and concurrent backends without special-casing either.
 #[derive(Debug)]
-pub struct HyppoMethod(pub Hyppo);
+pub struct SessionMethod<S>(pub S);
 
-impl Method for HyppoMethod {
+impl<S: Session> Method for SessionMethod<S> {
     fn name(&self) -> &'static str {
-        "HYPPO"
+        self.0.backend_name()
     }
 
     fn register_dataset(&mut self, id: &str, dataset: Dataset) {
@@ -213,17 +218,20 @@ impl Method for HyppoMethod {
     }
 
     fn cumulative_seconds(&self) -> f64 {
-        self.0.cumulative_seconds
+        self.0.cumulative_seconds()
     }
 
     fn budget_bytes(&self) -> u64 {
-        self.0.config.budget_bytes
+        self.0.budget_bytes()
     }
 
     fn history_artifacts(&self) -> usize {
-        self.0.history.artifact_count()
+        self.0.history_artifacts()
     }
 }
+
+/// HYPPO itself behind the [`Method`] interface.
+pub type HyppoMethod = SessionMethod<Hyppo>;
 
 #[cfg(test)]
 mod tests {
@@ -284,7 +292,7 @@ mod tests {
 
     #[test]
     fn hyppo_method_roundtrip() {
-        let mut m = HyppoMethod(Hyppo::new(Default::default()));
+        let mut m = SessionMethod(Hyppo::new(Default::default()));
         m.register_dataset("data", dataset());
         assert_eq!(m.name(), "HYPPO");
         let report = m.submit(spec()).unwrap();

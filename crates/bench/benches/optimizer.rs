@@ -1,13 +1,18 @@
-//! Plan-search fast-path benchmark: A* lower bounds + state dedup vs the
-//! paper's plain enumeration, on the Fig. 10 synthetic workload.
+//! Plan-search benchmark: (1) the A* fast path (lower bounds + state dedup)
+//! vs the paper's plain enumeration, and (2) the K-worker parallel search vs
+//! the serial search, on the Fig. 10 synthetic workload.
 //!
 //! Run under `cargo bench --bench optimizer` for the full measurement,
 //! which writes `BENCH_optimizer.json` (per-instance expansions, pops,
-//! peak queue size, wall time, and cost parity between the two searches).
-//! Without `--bench` in the arguments a tiny workload runs and nothing is
-//! written.
+//! peak queue size, wall time, cost parity between the two searches, and
+//! serial-vs-parallel wall times with plan-identity checks). Without
+//! `--bench` in the arguments a tiny workload runs and nothing is written.
+//!
+//! Parallel speedup is reported, not asserted: it is a property of the
+//! hardware (`hardware_threads` records what this host offers), while
+//! plan identity is a property of the algorithm and is asserted always.
 
-use hyppo_core::optimizer::{optimize, Plan, QueueKind, SearchOptions};
+use hyppo_core::optimizer::{Plan, PlanRequest, Planner, QueueKind};
 use hyppo_workloads::generate_synthetic;
 use serde::Serialize;
 use std::time::Instant;
@@ -38,6 +43,20 @@ struct Instance {
 }
 
 #[derive(Serialize)]
+struct ParallelInstance {
+    n: usize,
+    m: usize,
+    seed: u64,
+    threads: usize,
+    expansions: usize,
+    wall_seconds: f64,
+    serial_wall_seconds: f64,
+    speedup_vs_serial: f64,
+    /// Same edges AND bit-identical cost as the one-thread search.
+    plan_identical: bool,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     benchmark: String,
     instances: Vec<Instance>,
@@ -47,15 +66,22 @@ struct BenchReport {
     total_fast_wall_seconds: f64,
     all_costs_match: bool,
     all_baselines_optimal: bool,
+    /// What this host offers — speedups below are bounded by it.
+    hardware_threads: usize,
+    parallel: Vec<ParallelInstance>,
+    all_parallel_plans_identical: bool,
+    total_serial_wall_seconds: f64,
+    total_parallel_wall_seconds: f64,
 }
 
-fn run_side(g: &hyppo_workloads::SyntheticGraph, opts: SearchOptions, reps: usize) -> (Plan, f64) {
+fn run_side(g: &hyppo_workloads::SyntheticGraph, planner: &Planner, reps: usize) -> (Plan, f64) {
     let mut wall = f64::INFINITY;
     let mut plan = None;
     for _ in 0..reps {
         let start = Instant::now();
         plan = Some(
-            optimize(&g.graph, &g.costs, g.source, &g.targets, &[], opts)
+            planner
+                .plan(&g.graph, PlanRequest::new(&g.costs, g.source, &g.targets))
                 .expect("synthetic targets are derivable"),
         );
         wall = wall.min(start.elapsed().as_secs_f64());
@@ -86,7 +112,7 @@ fn main() {
     let reps = if full { 3 } else { 1 };
 
     let mut report = BenchReport {
-        benchmark: "optimizer_fast_path_vs_plain_enumeration".to_string(),
+        benchmark: "optimizer_fast_path_and_parallel_search".to_string(),
         instances: Vec::new(),
         min_expansion_ratio: f64::INFINITY,
         geomean_expansion_ratio: 0.0,
@@ -94,6 +120,11 @@ fn main() {
         total_fast_wall_seconds: 0.0,
         all_costs_match: true,
         all_baselines_optimal: true,
+        hardware_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        parallel: Vec::new(),
+        all_parallel_plans_identical: true,
+        total_serial_wall_seconds: 0.0,
+        total_parallel_wall_seconds: 0.0,
     };
     let mut log_ratio_sum = 0.0f64;
 
@@ -101,16 +132,15 @@ fn main() {
         let seed = 42;
         let g = generate_synthetic(n, m, seed);
         for (label, queue) in [("stack", QueueKind::Stack), ("priority", QueueKind::Priority)] {
-            let plain = SearchOptions {
-                queue,
-                use_bounds: false,
-                dedup_states: false,
-                max_expansions: 40_000_000,
-                ..Default::default()
-            };
-            let fast = SearchOptions { queue, max_expansions: 40_000_000, ..Default::default() };
-            let (base_plan, base_wall) = run_side(&g, plain, reps);
-            let (fast_plan, fast_wall) = run_side(&g, fast, reps);
+            let plain = Planner::exact()
+                .threads(1)
+                .queue(queue)
+                .use_bounds(false)
+                .dedup_states(false)
+                .max_expansions(40_000_000);
+            let fast = Planner::exact().threads(1).queue(queue).max_expansions(40_000_000);
+            let (base_plan, base_wall) = run_side(&g, &plain, reps);
+            let (fast_plan, fast_wall) = run_side(&g, &fast, reps);
 
             let ratio = base_plan.expansions as f64 / (fast_plan.expansions.max(1)) as f64;
             let cost_match = (base_plan.cost - fast_plan.cost).abs() < 1e-9;
@@ -138,6 +168,41 @@ fn main() {
                 expansion_ratio: ratio,
                 cost_match,
             });
+
+            // Serial vs parallel on the fast path: the plan must be
+            // bit-identical at every worker count; wall time is hardware.
+            if queue == QueueKind::Priority {
+                let (serial_plan, serial_wall) = (&fast_plan, fast_wall);
+                for threads in [2usize, 4] {
+                    let planner =
+                        Planner::exact().threads(threads).queue(queue).max_expansions(40_000_000);
+                    let (par_plan, par_wall) = run_side(&g, &planner, reps);
+                    let identical = par_plan.edges == serial_plan.edges
+                        && par_plan.cost.to_bits() == serial_plan.cost.to_bits();
+                    println!(
+                        "optimizer: n={n} m={m} parallel x{threads}: {serial_wall:.4}s -> \
+                         {par_wall:.4}s ({:.2}x), plan {}",
+                        serial_wall / par_wall.max(1e-12),
+                        if identical { "identical" } else { "DIVERGED" },
+                    );
+                    report.all_parallel_plans_identical &= identical;
+                    if threads == 4 {
+                        report.total_serial_wall_seconds += serial_wall;
+                        report.total_parallel_wall_seconds += par_wall;
+                    }
+                    report.parallel.push(ParallelInstance {
+                        n,
+                        m,
+                        seed,
+                        threads,
+                        expansions: par_plan.expansions,
+                        wall_seconds: par_wall,
+                        serial_wall_seconds: serial_wall,
+                        speedup_vs_serial: serial_wall / par_wall.max(1e-12),
+                        plan_identical: identical,
+                    });
+                }
+            }
         }
     }
     report.geomean_expansion_ratio = (log_ratio_sum / report.instances.len() as f64).exp();
@@ -149,8 +214,17 @@ fn main() {
         report.total_fast_wall_seconds,
         report.all_costs_match,
     );
+    println!(
+        "optimizer: parallel x4 wall {:.3}s vs serial {:.3}s on {} hardware threads, \
+         plans identical: {}",
+        report.total_parallel_wall_seconds,
+        report.total_serial_wall_seconds,
+        report.hardware_threads,
+        report.all_parallel_plans_identical,
+    );
     assert!(report.all_costs_match, "fast path must stay exact");
     assert!(report.all_baselines_optimal, "baseline truncated: shrink the instances");
+    assert!(report.all_parallel_plans_identical, "parallel search must be bit-identical");
 
     if full {
         let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -16,7 +16,7 @@
 use crate::report::{secs, speedup, Table};
 use crate::setup::{CliOptions, ExperimentScale};
 use hyppo_core::materialize::PlanLocality;
-use hyppo_core::optimizer::QueueKind;
+use hyppo_core::optimizer::{Planner, QueueKind};
 use hyppo_core::{Hyppo, HyppoConfig};
 use hyppo_workloads::generator::{generate_sequence, SequenceConfig, UseCase};
 
@@ -24,12 +24,12 @@ fn variant(name: &str, budget: u64) -> (String, Hyppo) {
     let mut cfg = HyppoConfig { budget_bytes: budget, ..Default::default() };
     match name {
         "full" => {}
-        "stack" => cfg.search.queue = QueueKind::Stack,
-        "greedy" => cfg.search.greedy = true,
+        "stack" => cfg.search = cfg.search.clone().queue(QueueKind::Stack),
+        "greedy" => cfg.search = Planner::greedy(),
         "no-equivalence" => cfg.augment.dictionary_alternatives = false,
         "no-locality" => cfg.locality = PlanLocality::None,
         "exp-decay" => cfg.locality = PlanLocality::ExpDecay,
-        "explore" => cfg.search.c_exp = 1.0,
+        "explore" => cfg.search = cfg.search.clone().c_exp(1.0),
         other => panic!("unknown variant {other}"),
     }
     (name.to_string(), Hyppo::new(cfg))

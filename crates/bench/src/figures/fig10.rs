@@ -13,7 +13,7 @@
 use crate::report::{secs, Table};
 use crate::setup::CliOptions;
 use hyppo_baselines::collab_e_plan;
-use hyppo_core::optimizer::{optimize, QueueKind, SearchOptions};
+use hyppo_core::optimizer::{PlanRequest, Planner, QueueKind};
 use hyppo_workloads::generate_synthetic;
 use std::time::Instant;
 
@@ -31,8 +31,13 @@ struct Point {
     avg_len: f64,
     stack: Effort,
     priority: Effort,
+    /// Priority search on [`PARALLEL_THREADS`] planner workers.
+    parallel: Effort,
     collab_e: Option<f64>,
 }
+
+/// Worker count for the parallel-search column.
+const PARALLEL_THREADS: usize = 4;
 
 /// `avg expansions / avg pops` — pops count pruned plans too, so search
 /// effort is no longer understated by the pruning `continue`.
@@ -45,18 +50,21 @@ fn measure(n: usize, m: usize, base_seed: u64) -> Point {
         avg_len: 0.0,
         stack: Effort::default(),
         priority: Effort::default(),
+        parallel: Effort::default(),
         collab_e: Some(0.0),
     };
     for seed in 0..SEEDS {
         let g = generate_synthetic(n, m, base_seed + seed);
         acc.avg_len += g.max_path_len as f64 / SEEDS as f64;
-        for (kind, slot) in
-            [(QueueKind::Stack, &mut acc.stack), (QueueKind::Priority, &mut acc.priority)]
-        {
-            let opts =
-                SearchOptions { queue: kind, max_expansions: 40_000_000, ..Default::default() };
+        for (threads, kind, slot) in [
+            (1, QueueKind::Stack, &mut acc.stack),
+            (1, QueueKind::Priority, &mut acc.priority),
+            (PARALLEL_THREADS, QueueKind::Priority, &mut acc.parallel),
+        ] {
+            let planner = Planner::exact().threads(threads).queue(kind).max_expansions(40_000_000);
             let start = Instant::now();
-            let plan = optimize(&g.graph, &g.costs, g.source, &g.targets, &[], opts)
+            let plan = planner
+                .plan(&g.graph, PlanRequest::new(&g.costs, g.source, &g.targets))
                 .expect("synthetic targets are derivable");
             slot.seconds += start.elapsed().as_secs_f64() / SEEDS as f64;
             slot.expansions += plan.expansions as f64 / SEEDS as f64;
@@ -88,6 +96,7 @@ pub fn run(_opts: &CliOptions) {
             "exp/pops",
             "HYPPO-PRIORITY",
             "exp/pops",
+            "HYPPO-PAR×4",
             "COLLAB-E",
             "O(m^n)",
             "O(m^{f·ℓ})",
@@ -116,6 +125,7 @@ pub fn run(_opts: &CliOptions) {
             effort(&p.stack),
             secs(p.priority.seconds),
             effort(&p.priority),
+            secs(p.parallel.seconds),
             p.collab_e.map(secs).unwrap_or_else(|| format!(">{COLLAB_E_CAP} combos")),
             secs(theory_exh),
             secs(theory_opt),
@@ -127,7 +137,7 @@ pub fn run(_opts: &CliOptions) {
     let fixed_n = 10usize;
     let mut b = Table::new(
         &format!("Fig 10(b): optimizer runtime vs m (n={fixed_n}; paper uses n=4 for its slower COLLAB-E)"),
-        &["m", "HYPPO-STACK", "exp/pops", "HYPPO-PRIORITY", "exp/pops", "COLLAB-E"],
+        &["m", "HYPPO-STACK", "exp/pops", "HYPPO-PRIORITY", "exp/pops", "HYPPO-PAR×4", "COLLAB-E"],
     );
     for m in [2usize, 3, 4, 5, 6] {
         let p = measure(fixed_n, m, 2000);
@@ -137,6 +147,7 @@ pub fn run(_opts: &CliOptions) {
             effort(&p.stack),
             secs(p.priority.seconds),
             effort(&p.priority),
+            secs(p.parallel.seconds),
             p.collab_e.map(secs).unwrap_or_else(|| format!(">{COLLAB_E_CAP} combos")),
         ]);
     }

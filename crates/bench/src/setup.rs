@@ -1,6 +1,6 @@
 //! Method factories and experiment scale defaults.
 
-use hyppo_baselines::{Collab, Helix, HyppoMethod, Method, NoOptimization, Sharing};
+use hyppo_baselines::{Collab, Helix, Method, NoOptimization, SessionMethod, Sharing};
 use hyppo_core::{Hyppo, HyppoConfig};
 use hyppo_tensor::Dataset;
 use hyppo_workloads::{higgs, taxi, UseCase};
@@ -37,7 +37,7 @@ pub fn make_method(kind: MethodKind, budget_bytes: u64) -> Box<dyn Method> {
         MethodKind::Helix => Box::new(Helix::new(budget_bytes)),
         MethodKind::Collab => Box::new(Collab::new(budget_bytes)),
         MethodKind::Hyppo => {
-            Box::new(HyppoMethod(Hyppo::new(HyppoConfig { budget_bytes, ..Default::default() })))
+            Box::new(SessionMethod(Hyppo::new(HyppoConfig { budget_bytes, ..Default::default() })))
         }
     }
 }

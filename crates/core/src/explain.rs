@@ -7,7 +7,7 @@
 //! surprising ("why is it re-fitting instead of loading?").
 
 use crate::augment::{annotate_costs, augment, Augmentation};
-use crate::optimizer::{optimize, Plan};
+use crate::optimizer::{Plan, PlanRequest};
 use crate::system::{Hyppo, SubmitError};
 use hyppo_hypergraph::{execution_order, EdgeId};
 use hyppo_pipeline::{build_pipeline, PipelineSpec};
@@ -117,9 +117,14 @@ pub fn explain(sys: &Hyppo, spec: PipelineSpec) -> Result<Explanation, SubmitErr
     let aug = augment(&pipeline, &sys.history, &sys.config.dictionary, sys.config.augment);
     let costs = annotate_costs(&aug, &sys.estimator, &sys.store);
     let verbatim_cost: f64 = aug.pipeline_edges.iter().map(|&e| costs[e.index()]).sum();
-    let plan: Plan =
-        optimize(&aug.graph, &costs, aug.source, &aug.targets, &aug.new_tasks, sys.config.search)
-            .ok_or(SubmitError::NoPlan)?;
+    let plan: Plan = sys
+        .config
+        .search
+        .plan(
+            &aug.graph,
+            PlanRequest::new(&costs, aug.source, &aug.targets).with_new_tasks(&aug.new_tasks),
+        )
+        .ok_or(SubmitError::NoPlan)?;
     let order = execution_order(&aug.graph, &plan.edges, &[aug.source])
         .map_err(|e| SubmitError::Exec(e.into()))?;
     let steps = order

@@ -37,6 +37,7 @@ pub mod materialize;
 pub mod monitor;
 pub mod optimizer;
 pub mod persist;
+pub mod session;
 pub mod store;
 pub mod system;
 
@@ -47,6 +48,10 @@ pub use executor::{execute_plan, ExecMode, ExecOutcome};
 pub use explain::{explain, Explanation};
 pub use history::History;
 pub use materialize::{MaterializeConfig, Materializer, PlanLocality};
-pub use optimizer::{optimize, Plan, QueueKind, SearchOptions};
+pub use optimizer::bounds::PlannerBoundsCache;
+#[allow(deprecated)]
+pub use optimizer::{optimize, SearchOptions};
+pub use optimizer::{Plan, PlanRequest, Planner, QueueKind};
+pub use session::Session;
 pub use store::{ArtifactStorage, ArtifactStore};
 pub use system::{Hyppo, HyppoConfig, RunReport};

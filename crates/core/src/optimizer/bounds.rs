@@ -39,7 +39,10 @@
 //! The max of two admissible lower bounds is admissible.
 
 use super::expand::Partial;
-use hyppo_hypergraph::{max_cost_distances, min_share_costs, HyperGraph, NodeId};
+use hyppo_hypergraph::{max_cost_distances, min_share_costs, mix64, HyperGraph, NodeId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Precomputed lower-bound tables for one `(graph, costs, source)` instance.
 #[derive(Clone, Debug)]
@@ -74,6 +77,90 @@ impl PlannerBounds {
         }
         (partial.cost + suffix).max(anchor)
     }
+}
+
+/// Entries kept per cache; augmentation graphs recur per session, so a
+/// handful of keys covers the working set.
+const CACHE_CAPACITY: usize = 16;
+
+/// Cache key: `(graph structure fingerprint, cost fingerprint, source)`.
+type CacheKey = (u64, u64, u64);
+
+/// Concurrent memo of [`PlannerBounds`] keyed by graph structure, costs, and
+/// source.
+///
+/// Augmentation builds a *fresh* hypergraph per submission, so object
+/// identity and the mutation [`HyperGraph::version`] counter cannot key a
+/// cross-submission cache; the incremental [`HyperGraph::structure_sig`]
+/// fingerprint can — two independently built graphs with identical structure
+/// share it. Costs enter the key through a sequence hash of their bit
+/// patterns, so any pricing change (budget, locality, eviction) misses
+/// cleanly, and history growth changes the structure fingerprint, which is
+/// the "invalidate only when augmentation adds edges" rule in cheap
+/// fingerprint form. Eviction is FIFO at [`CACHE_CAPACITY`] entries.
+#[derive(Debug, Default)]
+pub struct PlannerBoundsCache {
+    inner: Mutex<CacheInner>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<CacheKey, Arc<PlannerBounds>>,
+    order: VecDeque<CacheKey>,
+}
+
+impl PlannerBoundsCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up the bounds for `(graph, costs, source)`, computing and
+    /// memoizing them on a miss.
+    pub fn get_or_compute<N, E>(
+        &self,
+        graph: &HyperGraph<N, E>,
+        costs: &[f64],
+        source: NodeId,
+    ) -> Arc<PlannerBounds> {
+        let key = (graph.structure_sig(), cost_fingerprint(costs), source.index() as u64);
+        if let Some(hit) = self.inner.lock().unwrap().map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock: relaxations are the expensive part.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let bounds = Arc::new(PlannerBounds::new(graph, costs, source));
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.map.contains_key(&key) {
+            if inner.map.len() >= CACHE_CAPACITY {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+            inner.map.insert(key, Arc::clone(&bounds));
+            inner.order.push_back(key);
+        }
+        bounds
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the relaxations.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Sequence hash of the cost vector's IEEE-754 bit patterns (position enters
+/// through the chaining).
+fn cost_fingerprint(costs: &[f64]) -> u64 {
+    costs.iter().fold(0x9ae1_6a3b_2f90_404f, |h, c| mix64(h ^ c.to_bits()))
 }
 
 #[cfg(test)]
@@ -170,5 +257,48 @@ mod tests {
         assert!(p.is_complete(s));
         // Frontier only holds the source ⇒ suffix 0, anchor ≤ cost.
         assert_eq!(b.completion_bound(&p, s), 5.0);
+    }
+
+    fn two_hop() -> (G, Vec<f64>, NodeId) {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let t = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![s], vec![a], 3.0, &mut costs);
+        add(&mut g, vec![a], vec![t], 4.0, &mut costs);
+        (g, costs, s)
+    }
+
+    #[test]
+    fn cache_hits_on_structurally_identical_rebuilds() {
+        let cache = PlannerBoundsCache::new();
+        let (g1, costs, s) = two_hop();
+        let (g2, _, _) = two_hop(); // independent rebuild, same structure
+        let a = cache.get_or_compute(&g1, &costs, s);
+        let b = cache.get_or_compute(&g2, &costs, s);
+        assert!(Arc::ptr_eq(&a, &b), "rebuilt graph must hit the cache");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn cache_invalidates_on_new_edges_or_new_costs() {
+        let cache = PlannerBoundsCache::new();
+        let (g, mut costs, s) = two_hop();
+        cache.get_or_compute(&g, &costs, s);
+
+        // Augmentation adds an edge: structure fingerprint changes ⇒ miss.
+        let mut grown = two_hop().0;
+        let mut grown_costs = costs.clone();
+        add(&mut grown, vec![s], vec![NodeId::from_index(2)], 1.0, &mut grown_costs);
+        cache.get_or_compute(&grown, &grown_costs, s);
+        assert_eq!(cache.misses(), 2);
+
+        // Re-pricing an edge changes the cost fingerprint ⇒ miss.
+        costs[1] = 7.0;
+        cache.get_or_compute(&g, &costs, s);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
     }
 }

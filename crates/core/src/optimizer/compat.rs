@@ -1,0 +1,72 @@
+//! Deprecated pre-`Planner` entry points, kept as thin shims for one PR.
+//!
+//! The free function [`optimize`] and the [`SearchOptions`] bag were
+//! replaced by the [`Planner`] builder; these shims forward to it with
+//! `threads = 1` (the historical behavior) and will be removed in the next
+//! PR. New code should write:
+//!
+//! ```ignore
+//! Planner::exact().queue(kind).plan(&graph, PlanRequest::new(&costs, s, &t))
+//! ```
+
+#![allow(deprecated)]
+
+use super::{Plan, PlanRequest, Planner, QueueKind};
+use hyppo_hypergraph::{EdgeId, HyperGraph, NodeId};
+
+/// Search options.
+#[deprecated(note = "use the `Planner` builder instead")]
+#[derive(Clone, Copy, Debug)]
+pub struct SearchOptions {
+    /// Queue discipline.
+    pub queue: QueueKind,
+    /// Use the linear-time greedy variant instead of exact search.
+    pub greedy: bool,
+    /// Exploration coefficient `c_exp ∈ [0, 1]`.
+    pub c_exp: f64,
+    /// Safety valve: abort after this many plan expansions.
+    pub max_expansions: usize,
+    /// Prune with admissible completion lower bounds (A* fast path).
+    pub use_bounds: bool,
+    /// Keep only the canonically smallest partial per state signature.
+    pub dedup_states: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            queue: QueueKind::Priority,
+            greedy: false,
+            c_exp: 0.0,
+            max_expansions: 2_000_000,
+            use_bounds: true,
+            dedup_states: true,
+        }
+    }
+}
+
+impl From<SearchOptions> for Planner {
+    fn from(opts: SearchOptions) -> Self {
+        let base = if opts.greedy { Planner::greedy() } else { Planner::exact() };
+        base.queue(opts.queue)
+            .threads(1)
+            .c_exp(opts.c_exp)
+            .max_expansions(opts.max_expansions)
+            .use_bounds(opts.use_bounds)
+            .dedup_states(opts.dedup_states)
+    }
+}
+
+/// Find a minimum-cost plan deriving `targets` from `source`.
+#[deprecated(note = "use `Planner::exact().plan(&graph, PlanRequest::new(...))` instead")]
+pub fn optimize<N: Sync, E: Sync>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    source: NodeId,
+    targets: &[NodeId],
+    new_tasks: &[EdgeId],
+    opts: SearchOptions,
+) -> Option<Plan> {
+    Planner::from(opts)
+        .plan(graph, PlanRequest::new(costs, source, targets).with_new_tasks(new_tasks))
+}

@@ -69,6 +69,14 @@ impl EdgeList {
         v.reverse();
         v
     }
+
+    /// Materialize as an ascending edge-id sequence — the canonical set form
+    /// behind the deterministic plan order (see [`super::cmp_edge_sets`]).
+    pub fn sorted_vec(&self) -> Vec<EdgeId> {
+        let mut v: Vec<EdgeId> = self.iter().collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 impl Drop for EdgeList {

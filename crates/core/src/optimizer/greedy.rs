@@ -76,7 +76,7 @@ pub fn greedy_plan<N, E>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimizer::{optimize, SearchOptions};
+    use crate::optimizer::{PlanRequest, Planner};
     use hyppo_hypergraph::{validate_plan, PlanValidity};
 
     type G = HyperGraph<(), ()>;
@@ -107,7 +107,7 @@ mod tests {
     fn greedy_can_be_suboptimal_but_never_beats_exact() {
         let (g, costs, s, t) = trap();
         let greedy = greedy_plan(&g, &costs, s, &[t], &[], 0.0).unwrap();
-        let exact = optimize(&g, &costs, s, &[t], &[], SearchOptions::default()).unwrap();
+        let exact = Planner::exact().plan(&g, PlanRequest::new(&costs, s, &[t])).unwrap();
         assert!((exact.cost - 5.0).abs() < 1e-12);
         assert!((greedy.cost - 101.0).abs() < 1e-12, "greedy walks into the trap");
         assert!(greedy.cost >= exact.cost);
@@ -172,7 +172,7 @@ mod tests {
                 PlanValidity::Valid,
                 "seed {seed}: greedy plan must be executable"
             );
-            let exact = optimize(&g, &costs, s, &[target], &[], SearchOptions::default()).unwrap();
+            let exact = Planner::exact().plan(&g, PlanRequest::new(&costs, s, &[target])).unwrap();
             assert!(
                 greedy.cost >= exact.cost - 1e-9,
                 "seed {seed}: greedy {} beat exact {}",

@@ -8,26 +8,45 @@
 //! one producing hyperedge per frontier node (the cross product of backward
 //! stars). A plan completes when its frontier reaches the source.
 //!
+//! The public entry point is the [`Planner`] builder:
+//!
+//! ```ignore
+//! let plan = Planner::exact()
+//!     .threads(4)
+//!     .queue(QueueKind::Priority)
+//!     .plan(&graph, PlanRequest::new(&costs, source, &targets));
+//! ```
+//!
 //! The queue discipline is pluggable ([`QueueKind`]): a LIFO stack
-//! (OPTIMIZE-STACK, dives to complete plans quickly, enabling aggressive
-//! cost pruning) or a priority queue (OPTIMIZE-PRIORITY). A linear-time
-//! greedy variant ([`greedy`]) trades optimality for speed, and the
+//! (OPTIMIZE-STACK) or a priority queue (OPTIMIZE-PRIORITY, A* order when
+//! lower bounds are enabled). A linear-time greedy variant
+//! ([`Planner::greedy`]) trades optimality for speed, and the
 //! exploration/exploitation knob `c_exp` (§IV-E) seeds the initial plan
 //! with new tasks so the system keeps learning.
 //!
 //! On top of the paper's enumeration the search runs an A*-grade fast path
 //! (both parts on by default, both provably exact — see [`bounds`] and
-//! `DESIGN.md` for the admissibility argument):
+//! `DESIGN.md` §8):
 //!
-//! - **Admissible lower bounds** ([`SearchOptions::use_bounds`]): a
+//! - **Admissible lower bounds** ([`Planner::use_bounds`]): a
 //!   shortest-hyperpath relaxation from the source yields a completion
 //!   bound per incomplete plan; the priority queue orders by bound (turning
-//!   uniform-cost search into A*), partials whose bound meets the best
+//!   uniform-cost search into A*), partials whose bound exceeds the best
 //!   known cost are pruned, and branches containing an underivable frontier
 //!   node (`h = ∞`) are killed before their cross product is enumerated.
-//! - **Global state dominance** ([`SearchOptions::dedup_states`]): two
-//!   partials with the same `(visited, frontier)` state expand identically
-//!   forever, so only the cheapest per state signature is kept.
+//! - **Global state dominance** ([`Planner::dedup_states`]): two partials
+//!   with the same `(visited, frontier)` state expand identically forever,
+//!   so only the canonically smallest per state signature is kept.
+//!
+//! **Determinism.** The search returns the *canonical optimum*: among all
+//! minimum-cost complete plans, the one whose ascending edge-id sequence is
+//! lexicographically smallest ([`cmp_edge_sets`]). Pruning is strict
+//! (`bound > best`), dominance keeps the canonically smallest partial per
+//! state, and complete plans fold into the incumbent under the same order —
+//! which makes the result independent of exploration order, so the LIFO
+//! stack, the A* queue, and the K-worker parallel search
+//! ([`Planner::threads`]) all return bit-identical plans (`DESIGN.md` §9
+//! has the argument).
 //!
 //! The optimizer is generic over node/edge labels: it needs only the
 //! hypergraph structure plus a per-edge cost vector, which is what lets the
@@ -35,18 +54,25 @@
 //! directly.
 
 pub mod bounds;
+pub mod compat;
 pub mod expand;
 pub mod greedy;
+pub mod parallel;
 pub mod queue;
 
-use bounds::PlannerBounds;
-use expand::{expand_into, ExpandScratch, Partial};
+#[allow(deprecated)]
+pub use compat::{optimize, SearchOptions};
+
+use bounds::{PlannerBounds, PlannerBoundsCache};
+use expand::{expand_into, EdgeList, ExpandScratch, Partial};
 use hyppo_hypergraph::{EdgeId, HyperGraph, NodeId};
 use queue::PlanQueue;
+use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Queue discipline for [`optimize`].
+/// Queue discipline for the exact search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueueKind {
     /// LIFO stack — the paper's OPTIMIZE-STACK.
@@ -56,46 +82,15 @@ pub enum QueueKind {
     Priority,
 }
 
-/// Search options.
-#[derive(Clone, Copy, Debug)]
-pub struct SearchOptions {
-    /// Queue discipline.
-    pub queue: QueueKind,
-    /// Use the linear-time greedy variant instead of exact search.
-    pub greedy: bool,
-    /// Exploration coefficient `c_exp ∈ [0, 1]`: the initial plan is seeded
-    /// with `⌈#new_tasks × c_exp⌉` of the new tasks, forcing their
-    /// execution (0 = pure exploitation, 1 = full exploration).
-    pub c_exp: f64,
-    /// Safety valve: abort after this many plan expansions and return the
-    /// best plan found so far (`optimal = false`).
-    pub max_expansions: usize,
-    /// Prune with admissible completion lower bounds (A* fast path). Exact;
-    /// disable only to measure the paper's plain enumeration.
-    pub use_bounds: bool,
-    /// Keep only the cheapest partial per `(visited, frontier)` state
-    /// signature. Exact; disable only to measure the plain enumeration.
-    pub dedup_states: bool,
-}
-
-impl Default for SearchOptions {
-    fn default() -> Self {
-        SearchOptions {
-            queue: QueueKind::Priority,
-            greedy: false,
-            c_exp: 0.0,
-            max_expansions: 2_000_000,
-            use_bounds: true,
-            dedup_states: true,
-        }
-    }
-}
+/// Environment variable read by [`Planner::exact`] for the default worker
+/// count (a positive integer; anything else falls back to 1).
+pub const PLANNER_THREADS_ENV: &str = "HYPPO_PLANNER_THREADS";
 
 /// A complete S-T plan.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Plan {
-    /// The plan's hyperedges (unordered; executable via
-    /// [`hyppo_hypergraph::execution_order`]).
+    /// The plan's hyperedges in ascending id order (a canonical set form;
+    /// executable via [`hyppo_hypergraph::execution_order`]).
     pub edges: Vec<EdgeId>,
     /// Total cost `Σ e.cost`.
     pub cost: f64,
@@ -103,54 +98,365 @@ pub struct Plan {
     /// budget was exhausted or the greedy variant ran).
     pub optimal: bool,
     /// Number of plan expansions performed (EXPAND calls — the paper's
-    /// search-effort metric).
+    /// search-effort metric). Deterministic for serial searches; an
+    /// aggregate, run-dependent count when `threads > 1`.
     pub expansions: usize,
     /// Number of queue pops, including plans pruned or deduplicated without
     /// being expanded. `pops − expansions` is the pruning overhead the
     /// expansion count alone would understate.
     pub pops: usize,
     /// Maximum number of incomplete plans queued at once (memory-pressure
-    /// metric).
+    /// metric; with `threads > 1`, sampled at batch boundaries).
     pub peak_queue: usize,
 }
 
-/// Find a minimum-cost plan deriving `targets` from `source`.
+/// One planning problem: what to derive, from where, at what cost.
 ///
-/// `costs` is indexed by [`EdgeId::index`]; `new_tasks` are the edges the
-/// exploration mode may force into the plan. Returns `None` when the
-/// targets are not B-connected to the source.
+/// Borrowed and `Copy` so call sites can build it inline:
+/// `planner.plan(&graph, PlanRequest::new(&costs, source, &targets))`.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanRequest<'a> {
+    /// Per-edge costs, indexed by [`EdgeId::index`]. Non-negative; `+∞`
+    /// forbids an edge.
+    pub costs: &'a [f64],
+    /// The search source (the paper's virtual start node `S`).
+    pub source: NodeId,
+    /// Artifacts to derive.
+    pub targets: &'a [NodeId],
+    /// Edges the exploration mode (`c_exp`) may force into the plan.
+    pub new_tasks: &'a [EdgeId],
+}
+
+impl<'a> PlanRequest<'a> {
+    /// Request with no exploration-mode new tasks.
+    pub fn new(costs: &'a [f64], source: NodeId, targets: &'a [NodeId]) -> Self {
+        PlanRequest { costs, source, targets, new_tasks: &[] }
+    }
+
+    /// Attach the new-task set for exploration-mode seeding (§IV-E).
+    pub fn with_new_tasks(mut self, new_tasks: &'a [EdgeId]) -> Self {
+        self.new_tasks = new_tasks;
+        self
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PlanMode {
+    Exact,
+    Greedy,
+}
+
+/// Builder-style plan search configuration — the one entry point to the
+/// optimizer.
 ///
-/// Precondition: the hypergraph is acyclic (pipeline hypergraphs are DAGs)
-/// and costs are non-negative (`+∞` allowed to forbid an edge).
-pub fn optimize<N, E>(
+/// Construct with [`Planner::exact`] (provably optimal search; the default)
+/// or [`Planner::greedy`] (linear-time, valid but possibly suboptimal),
+/// chain the knobs you care about, then call [`Planner::plan`]. The value is
+/// cheap to clone and reusable across calls; attach a shared
+/// [`PlannerBoundsCache`] with [`Planner::bounds_cache`] to amortize the
+/// lower-bound relaxations across repeated searches of structurally
+/// identical graphs.
+#[derive(Clone, Debug)]
+pub struct Planner {
+    mode: PlanMode,
+    queue: QueueKind,
+    threads: usize,
+    c_exp: f64,
+    max_expansions: usize,
+    use_bounds: bool,
+    dedup_states: bool,
+    cache: Option<Arc<PlannerBoundsCache>>,
+}
+
+impl Default for Planner {
+    /// Same as [`Planner::exact`].
+    fn default() -> Self {
+        Planner::exact()
+    }
+}
+
+impl Planner {
+    /// Exact search: A* priority queue, admissible bounds, state dominance,
+    /// pure exploitation. Worker count defaults to the
+    /// [`PLANNER_THREADS_ENV`] environment variable (1 when unset).
+    pub fn exact() -> Self {
+        Planner {
+            mode: PlanMode::Exact,
+            queue: QueueKind::Priority,
+            threads: env_threads(),
+            c_exp: 0.0,
+            max_expansions: 2_000_000,
+            use_bounds: true,
+            dedup_states: true,
+            cache: None,
+        }
+    }
+
+    /// Linear-time greedy search (valid plans, no optimality guarantee).
+    pub fn greedy() -> Self {
+        Planner { mode: PlanMode::Greedy, ..Planner::exact() }
+    }
+
+    /// Queue discipline for the exact search.
+    pub fn queue(mut self, kind: QueueKind) -> Self {
+        self.queue = kind;
+        self
+    }
+
+    /// Number of search workers (clamped to ≥ 1). `1` runs the serial
+    /// search; larger values run the K-worker search in
+    /// [`parallel`] — same plan, same cost, bit-identical tie-break.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Exploration coefficient `c_exp ∈ [0, 1]`: the initial plan is seeded
+    /// with `⌈#new_tasks × c_exp⌉` of the request's new tasks (0 = pure
+    /// exploitation, 1 = full exploration).
+    pub fn c_exp(mut self, c: f64) -> Self {
+        self.c_exp = c;
+        self
+    }
+
+    /// Safety valve: stop after this many expansions and return the best
+    /// plan found so far (`optimal = false`).
+    pub fn max_expansions(mut self, n: usize) -> Self {
+        self.max_expansions = n;
+        self
+    }
+
+    /// Prune with admissible completion lower bounds (A* fast path). Exact;
+    /// disable only to measure the paper's plain enumeration.
+    pub fn use_bounds(mut self, on: bool) -> Self {
+        self.use_bounds = on;
+        self
+    }
+
+    /// Keep only the canonically smallest partial per `(visited, frontier)`
+    /// state signature. Exact; disable only to measure the plain
+    /// enumeration.
+    pub fn dedup_states(mut self, on: bool) -> Self {
+        self.dedup_states = on;
+        self
+    }
+
+    /// Share a [`PlannerBoundsCache`] across searches: repeated plans over
+    /// structurally identical graphs (same [`HyperGraph::structure_sig`],
+    /// costs, and source) reuse the precomputed lower-bound tables instead
+    /// of re-running the SBT relaxations.
+    pub fn bounds_cache(mut self, cache: Arc<PlannerBoundsCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Configured worker count.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Configured queue discipline.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue
+    }
+
+    /// Whether this planner runs the greedy variant.
+    pub fn is_greedy(&self) -> bool {
+        self.mode == PlanMode::Greedy
+    }
+
+    /// Configured exploration coefficient.
+    pub fn c_exp_value(&self) -> f64 {
+        self.c_exp
+    }
+
+    /// Find a minimum-cost plan deriving `req.targets` from `req.source`.
+    ///
+    /// Returns `None` when the targets are not B-connected to the source.
+    /// Precondition: the hypergraph is acyclic (pipeline hypergraphs are
+    /// DAGs) and costs are non-negative (`+∞` allowed to forbid an edge).
+    pub fn plan<N: Sync, E: Sync>(
+        &self,
+        graph: &HyperGraph<N, E>,
+        req: PlanRequest<'_>,
+    ) -> Option<Plan> {
+        if self.mode == PlanMode::Greedy {
+            return greedy::greedy_plan(
+                graph,
+                req.costs,
+                req.source,
+                req.targets,
+                req.new_tasks,
+                self.c_exp,
+            );
+        }
+        let bounds: Option<Arc<PlannerBounds>> = self.use_bounds.then(|| match &self.cache {
+            Some(cache) => cache.get_or_compute(graph, req.costs, req.source),
+            None => Arc::new(PlannerBounds::new(graph, req.costs, req.source)),
+        });
+        let mut seed =
+            initial_plan(graph, req.costs, req.source, req.targets, req.new_tasks, self.c_exp)?;
+        seed.bound = bounds.as_ref().map_or(seed.cost, |b| b.completion_bound(&seed, req.source));
+        let params = ExactParams {
+            queue: self.queue,
+            max_expansions: self.max_expansions,
+            dedup_states: self.dedup_states,
+        };
+        if self.threads > 1 {
+            parallel::search_parallel(
+                graph,
+                req.costs,
+                req.source,
+                &params,
+                bounds.as_deref(),
+                seed,
+                self.threads,
+            )
+        } else {
+            search_serial(graph, req.costs, req.source, &params, bounds.as_deref(), seed)
+        }
+    }
+}
+
+fn env_threads() -> usize {
+    std::env::var(PLANNER_THREADS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Total order on canonical (ascending) edge-id sequences — the
+/// deterministic tie-break among equal-cost plans.
+///
+/// This is plain lexicographic order on the sorted id sequence, which is the
+/// property the schedule-independence argument needs (`DESIGN.md` §9): it is
+/// *suffix-monotone* — appending the same set of new edge ids (disjoint from
+/// both sides, as completion suffixes always are) to two sets preserves
+/// their order, because the symmetric difference, and hence its minimum
+/// element, is unchanged. The XOR Zobrist `edge_sig` does **not** have this
+/// property and is therefore only used as a fast equality check and a heap
+/// ordering heuristic, never as the correctness-bearing tie-break.
+pub fn cmp_edge_sets(a: &[EdgeId], b: &[EdgeId]) -> Ordering {
+    a.cmp(b)
+}
+
+/// Canonical order on candidate plans: `(cost, sorted edge-id sequence)`.
+/// Equal `edge_sig` short-circuits the lexicographic compare (equal XOR
+/// signatures at equal cost identify the same edge set).
+pub(crate) fn cmp_candidates(
+    cost_a: f64,
+    sig_a: u64,
+    edges_a: &EdgeList,
+    cost_b: f64,
+    sig_b: u64,
+    edges_b: &EdgeList,
+) -> Ordering {
+    cost_a.total_cmp(&cost_b).then_with(|| {
+        if sig_a == sig_b {
+            Ordering::Equal
+        } else {
+            cmp_edge_sets(&edges_a.sorted_vec(), &edges_b.sorted_vec())
+        }
+    })
+}
+
+/// The dominance-table record for one `(visited, frontier)` state: the
+/// canonically smallest `(cost, edge set)` seen so far. The `EdgeList` clone
+/// is O(1) (shared spine), so entries are cheap to store.
+#[derive(Debug, Clone)]
+pub(crate) struct DomEntry {
+    cost: f64,
+    edge_sig: u64,
+    edges: EdgeList,
+}
+
+impl DomEntry {
+    pub(crate) fn of(p: &Partial) -> Self {
+        DomEntry { cost: p.cost, edge_sig: p.edge_sig, edges: p.edges.clone() }
+    }
+
+    /// Canonical comparison of this entry against a candidate partial.
+    pub(crate) fn cmp_partial(&self, p: &Partial) -> Ordering {
+        cmp_candidates(self.cost, self.edge_sig, &self.edges, p.cost, p.edge_sig, &p.edges)
+    }
+}
+
+/// Resolved exact-search knobs shared by the serial and parallel drivers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExactParams {
+    pub queue: QueueKind,
+    pub max_expansions: usize,
+    pub dedup_states: bool,
+}
+
+/// The canonical incumbent: folds complete plans into the minimum under
+/// [`cmp_candidates`]. The final reduction point of both the serial loop and
+/// the parallel workers.
+#[derive(Debug, Default)]
+pub(crate) struct Incumbent {
+    best: Option<Partial>,
+}
+
+impl Incumbent {
+    /// Current upper bound for pruning (`∞` before the first complete plan).
+    pub(crate) fn cost(&self) -> f64 {
+        self.best.as_ref().map_or(f64::INFINITY, |p| p.cost)
+    }
+
+    /// Fold a complete plan into the canonical minimum.
+    pub(crate) fn offer(&mut self, p: Partial) {
+        let better = match &self.best {
+            None => true,
+            Some(b) => {
+                cmp_candidates(p.cost, p.edge_sig, &p.edges, b.cost, b.edge_sig, &b.edges)
+                    == Ordering::Less
+            }
+        };
+        if better {
+            self.best = Some(p);
+        }
+    }
+
+    pub(crate) fn into_plan(
+        self,
+        expansions: usize,
+        pops: usize,
+        peak_queue: usize,
+        truncated: bool,
+    ) -> Option<Plan> {
+        self.best.map(|p| Plan {
+            edges: p.edges.sorted_vec(),
+            cost: p.cost,
+            optimal: !truncated,
+            expansions,
+            pops,
+            peak_queue,
+        })
+    }
+}
+
+/// Single-threaded canonical search (Algorithm 1 + fast path).
+fn search_serial<N, E>(
     graph: &HyperGraph<N, E>,
     costs: &[f64],
     source: NodeId,
-    targets: &[NodeId],
-    new_tasks: &[EdgeId],
-    opts: SearchOptions,
+    params: &ExactParams,
+    bounds: Option<&PlannerBounds>,
+    seed: Partial,
 ) -> Option<Plan> {
-    if opts.greedy {
-        return greedy::greedy_plan(graph, costs, source, targets, new_tasks, opts.c_exp);
+    let h = bounds.map(|b| b.h.as_slice());
+
+    // Canonically smallest candidate per (visited, frontier) state signature.
+    let mut state_best: HashMap<u64, DomEntry> = HashMap::new();
+    if params.dedup_states {
+        state_best.insert(seed.state_sig(), DomEntry::of(&seed));
     }
 
-    let bounds = opts.use_bounds.then(|| PlannerBounds::new(graph, costs, source));
-    let h = bounds.as_ref().map(|b| b.h.as_slice());
-
-    let mut seed = initial_plan(graph, costs, source, targets, new_tasks, opts.c_exp)?;
-    seed.bound = bounds.as_ref().map_or(seed.cost, |b| b.completion_bound(&seed, source));
-
-    // Best known cost per (visited, frontier) state signature.
-    let mut state_best: HashMap<u64, f64> = HashMap::new();
-    if opts.dedup_states {
-        state_best.insert(seed.state_sig(), seed.cost);
-    }
-
-    let mut q = PlanQueue::new(opts.queue);
+    let mut q = PlanQueue::new(params.queue);
     q.insert(seed);
 
-    let mut best: Option<Partial> = None;
-    let mut best_cost = f64::INFINITY;
+    let mut incumbent = Incumbent::default();
     let mut expansions = 0usize;
     let mut pops = 0usize;
     let mut peak_queue = 1usize;
@@ -160,27 +466,31 @@ pub fn optimize<N, E>(
 
     while let Some(partial) = q.pop() {
         pops += 1;
-        if partial.bound >= best_cost {
-            continue; // pruned (Algorithm 1, line 6; bound == cost when disabled)
-        }
-        if opts.dedup_states {
-            if let Some(&c) = state_best.get(&partial.state_sig()) {
-                if c < partial.cost {
-                    continue; // a cheaper plan reached this state after we queued
-                }
-            }
-        }
-        if partial.is_complete(source) {
-            best_cost = partial.cost;
-            best = Some(partial);
-            if opts.use_bounds && opts.queue == QueueKind::Priority {
-                // A* order: every queued plan has bound ≥ this cost, and the
-                // bound is admissible, so no completion can improve on it.
+        // Strict prune (Algorithm 1, line 6): equal-bound partials survive so
+        // every equal-cost optimum reaches the incumbent reduction — the key
+        // to a schedule-independent tie-break. Non-finite bounds never lead
+        // to a returnable (finite-cost) plan.
+        if !partial.bound.is_finite() || partial.bound > incumbent.cost() {
+            if params.queue == QueueKind::Priority {
+                // Pops arrive in nondecreasing bound order; any child of a
+                // remaining partial has an admissible bound no smaller than
+                // its completion cost, which this prune already excludes.
                 break;
             }
             continue;
         }
-        if expansions >= opts.max_expansions {
+        if params.dedup_states {
+            if let Some(e) = state_best.get(&partial.state_sig()) {
+                if e.cmp_partial(&partial) == Ordering::Less {
+                    continue; // a canonically smaller plan reached this state
+                }
+            }
+        }
+        if partial.is_complete(source) {
+            incumbent.offer(partial);
+            continue;
+        }
+        if expansions >= params.max_expansions {
             truncated = true;
             break;
         }
@@ -188,22 +498,22 @@ pub fn optimize<N, E>(
         children.clear();
         expand_into(graph, costs, &partial, source, h, &mut scratch, &mut children);
         for mut next in children.drain(..) {
-            if let Some(b) = &bounds {
+            if let Some(b) = bounds {
                 next.bound = b.completion_bound(&next, source);
             }
-            if next.bound >= best_cost {
+            if !next.bound.is_finite() || next.bound > incumbent.cost() {
                 continue;
             }
-            if opts.dedup_states {
+            if params.dedup_states {
                 match state_best.entry(next.state_sig()) {
                     Entry::Occupied(mut o) => {
-                        if *o.get() <= next.cost {
-                            continue; // dominated: same state, no cheaper
+                        if o.get().cmp_partial(&next) != Ordering::Greater {
+                            continue; // dominated (or an exact duplicate)
                         }
-                        o.insert(next.cost);
+                        o.insert(DomEntry::of(&next));
                     }
                     Entry::Vacant(v) => {
-                        v.insert(next.cost);
+                        v.insert(DomEntry::of(&next));
                     }
                 }
             }
@@ -212,14 +522,7 @@ pub fn optimize<N, E>(
         peak_queue = peak_queue.max(q.len());
     }
 
-    best.map(|p| Plan {
-        edges: p.edges.to_vec(),
-        cost: p.cost,
-        optimal: !truncated,
-        expansions,
-        pops,
-        peak_queue,
-    })
+    incumbent.into_plan(expansions, pops, peak_queue, truncated)
 }
 
 /// Build the initial incomplete plan, seeding exploration-mode new tasks
@@ -357,7 +660,7 @@ mod tests {
     #[test]
     fn finds_the_materialization_plan() {
         let (g, costs, s, t) = figure1_like();
-        let plan = optimize(&g, &costs, s, &t, &[], SearchOptions::default()).unwrap();
+        let plan = Planner::exact().plan(&g, PlanRequest::new(&costs, s, &t)).unwrap();
         // Optimal: load state (1) + load test (2) + transform (3) = 6.
         assert!((plan.cost - 6.0).abs() < 1e-12, "cost {}", plan.cost);
         assert!(plan.optimal);
@@ -373,8 +676,8 @@ mod tests {
         let (g, costs, s, t) = figure1_like();
         let expected = brute_force(&g, &costs, s, &t).unwrap();
         for queue in [QueueKind::Stack, QueueKind::Priority] {
-            let opts = SearchOptions { queue, ..SearchOptions::default() };
-            let plan = optimize(&g, &costs, s, &t, &[], opts).unwrap();
+            let plan =
+                Planner::exact().queue(queue).plan(&g, PlanRequest::new(&costs, s, &t)).unwrap();
             assert!((plan.cost - expected).abs() < 1e-12, "{queue:?} found {}", plan.cost);
         }
     }
@@ -387,7 +690,7 @@ mod tests {
         costs[2] = f64::INFINITY; // l1
         costs[3] = f64::INFINITY; // l2
         costs[6] = f64::INFINITY; // l34
-        let plan = optimize(&g, &costs, s, &t, &[], SearchOptions::default()).unwrap();
+        let plan = Planner::exact().plan(&g, PlanRequest::new(&costs, s, &t)).unwrap();
         // Must compute: load raw (10) + split (20) + cheaper fit t7 (9) +
         // transform (3) = 42 — picking t7 over t2 is the equivalence win.
         assert!((plan.cost - 42.0).abs() < 1e-12, "cost {}", plan.cost);
@@ -404,7 +707,7 @@ mod tests {
         let e1 = g.add_edge(vec![a], vec![b], ());
         let e2 = g.add_edge(vec![a], vec![c], ());
         let costs = vec![5.0, 1.0, 1.0];
-        let plan = optimize(&g, &costs, s, &[b, c], &[], SearchOptions::default()).unwrap();
+        let plan = Planner::exact().plan(&g, PlanRequest::new(&costs, s, &[b, c])).unwrap();
         // The load of a is shared, not paid twice.
         assert!((plan.cost - 7.0).abs() < 1e-12);
         assert_eq!(plan.edges.len(), 3);
@@ -416,14 +719,14 @@ mod tests {
         let mut g = G::new();
         let s = g.add_node(0);
         let orphan = g.add_node(1);
-        assert!(optimize(&g, &[], s, &[orphan], &[], SearchOptions::default()).is_none());
+        assert!(Planner::exact().plan(&g, PlanRequest::new(&[], s, &[orphan])).is_none());
     }
 
     #[test]
     fn source_as_target_is_the_empty_plan() {
         let mut g = G::new();
         let s = g.add_node(0);
-        let plan = optimize(&g, &[], s, &[s], &[], SearchOptions::default()).unwrap();
+        let plan = Planner::exact().plan(&g, PlanRequest::new(&[], s, &[s])).unwrap();
         assert!(plan.edges.is_empty());
         assert_eq!(plan.cost, 0.0);
     }
@@ -434,8 +737,10 @@ mod tests {
         // t2 (edge index 4) is a new task; with c_exp = 1 it must appear in
         // the plan even though loading the state is far cheaper.
         let new_tasks = vec![EdgeId::from_index(4)];
-        let opts = SearchOptions { c_exp: 1.0, ..SearchOptions::default() };
-        let plan = optimize(&g, &costs, s, &t, &new_tasks, opts).unwrap();
+        let plan = Planner::exact()
+            .c_exp(1.0)
+            .plan(&g, PlanRequest::new(&costs, s, &t).with_new_tasks(&new_tasks))
+            .unwrap();
         assert!(plan.edges.contains(&EdgeId::from_index(4)), "new task must be executed");
         assert!(plan.cost > 6.0, "forced exploration costs more than pure exploitation");
     }
@@ -444,20 +749,18 @@ mod tests {
     fn exploitation_mode_ignores_new_tasks() {
         let (g, costs, s, t) = figure1_like();
         let new_tasks = vec![EdgeId::from_index(4)];
-        let opts = SearchOptions { c_exp: 0.0, ..SearchOptions::default() };
-        let plan = optimize(&g, &costs, s, &t, &new_tasks, opts).unwrap();
+        let plan = Planner::exact()
+            .c_exp(0.0)
+            .plan(&g, PlanRequest::new(&costs, s, &t).with_new_tasks(&new_tasks))
+            .unwrap();
         assert!((plan.cost - 6.0).abs() < 1e-12);
     }
 
     #[test]
     fn expansion_budget_degrades_gracefully() {
         let (g, costs, s, t) = figure1_like();
-        let opts = SearchOptions {
-            queue: QueueKind::Stack,
-            max_expansions: 1,
-            ..SearchOptions::default()
-        };
-        if let Some(plan) = optimize(&g, &costs, s, &t, &[], opts) {
+        let planner = Planner::exact().queue(QueueKind::Stack).max_expansions(1);
+        if let Some(plan) = planner.plan(&g, PlanRequest::new(&costs, s, &t)) {
             // Whatever is returned must still be a valid plan.
             assert_eq!(validate_plan(&g, &plan.edges, &[s], &t), PlanValidity::Valid);
         }
@@ -495,8 +798,8 @@ mod tests {
             let target = *nodes.last().unwrap();
             let expected = brute_force(&g, &costs, s, &[target]);
             for queue in [QueueKind::Stack, QueueKind::Priority] {
-                let opts = SearchOptions { queue, ..SearchOptions::default() };
-                let plan = optimize(&g, &costs, s, &[target], &[], opts);
+                let plan =
+                    Planner::exact().queue(queue).plan(&g, PlanRequest::new(&costs, s, &[target]));
                 match (expected, &plan) {
                     (Some(exp), Some(p)) => {
                         assert!(
@@ -528,15 +831,13 @@ mod tests {
             let (g, costs, s, t) = random_instance(seed);
             let oracle = if g.edge_count() <= 14 { brute_force(&g, &costs, s, &t) } else { None };
             for queue in [QueueKind::Stack, QueueKind::Priority] {
-                let plain = SearchOptions {
-                    queue,
-                    use_bounds: false,
-                    dedup_states: false,
-                    ..SearchOptions::default()
-                };
-                let fast = SearchOptions { queue, ..SearchOptions::default() };
-                let base = optimize(&g, &costs, s, &t, &[], plain);
-                let opt = optimize(&g, &costs, s, &t, &[], fast);
+                // Expansion-count comparisons need the serial search: pin
+                // one thread regardless of HYPPO_PLANNER_THREADS.
+                let plain =
+                    Planner::exact().threads(1).queue(queue).use_bounds(false).dedup_states(false);
+                let fast = Planner::exact().threads(1).queue(queue);
+                let base = plain.plan(&g, PlanRequest::new(&costs, s, &t));
+                let opt = fast.plan(&g, PlanRequest::new(&costs, s, &t));
                 match (&base, &opt) {
                     (Some(b), Some(f)) => {
                         assert!(
@@ -580,9 +881,11 @@ mod tests {
         for seed in 0..40 {
             let (g, costs, s, t) = random_instance(seed);
             for queue in [QueueKind::Stack, QueueKind::Priority] {
-                let opts = SearchOptions { queue, ..SearchOptions::default() };
-                let a = optimize(&g, &costs, s, &t, &[], opts);
-                let b = optimize(&g, &costs, s, &t, &[], opts);
+                // Counter equality holds only for the serial search; plan
+                // and cost equality hold for any thread count.
+                let planner = Planner::exact().threads(1).queue(queue);
+                let a = planner.plan(&g, PlanRequest::new(&costs, s, &t));
+                let b = planner.plan(&g, PlanRequest::new(&costs, s, &t));
                 match (&a, &b) {
                     (Some(pa), Some(pb)) => {
                         assert_eq!(pa.edges, pb.edges, "seed {seed} {queue:?}");
@@ -603,8 +906,11 @@ mod tests {
     fn pops_exceed_expansions_when_plans_complete() {
         let (g, costs, s, t) = figure1_like();
         for queue in [QueueKind::Stack, QueueKind::Priority] {
-            let opts = SearchOptions { queue, ..SearchOptions::default() };
-            let plan = optimize(&g, &costs, s, &t, &[], opts).unwrap();
+            let plan = Planner::exact()
+                .threads(1)
+                .queue(queue)
+                .plan(&g, PlanRequest::new(&costs, s, &t))
+                .unwrap();
             assert!(
                 plan.pops > plan.expansions,
                 "{queue:?}: pops {} expansions {}",

@@ -1,0 +1,334 @@
+//! K-worker exact plan search over a shared queue of incomplete plans.
+//!
+//! Workers pop batches from a mutex-protected [`PlanQueue`], expand them
+//! against a **racy-but-monotone** atomic best-cost upper bound, record
+//! states in a sharded concurrent dominance table, and fold complete plans
+//! into a shared canonical [`Incumbent`]. Because the serial search already
+//! uses schedule-independent rules — strict bound pruning, canonical
+//! `(cost, edge-set)` dominance, and a deterministic final reduction — the
+//! parallel search returns **bit-identical plans and costs** for any worker
+//! count and any interleaving (`DESIGN.md` §9 has the full argument; the
+//! short version: the upper bound only ever decreases, so a stale read
+//! prunes *less* than the serial search would, never more, and nothing on
+//! the canonical optimum's ancestor chain is ever pruned by either rule).
+//!
+//! Everything here is `std`-only: scoped threads, `Mutex` + `Condvar` for
+//! the queue and termination, and an `AtomicU64` carrying the bit pattern of
+//! the best cost (for non-negative floats the IEEE-754 bit order agrees
+//! with the numeric order, so `fetch_min` on bits is `fetch_min` on costs).
+//!
+//! Search-effort counters (`expansions`, `pops`, `peak_queue`) are
+//! aggregates over all workers and vary run to run; only the returned plan
+//! is deterministic.
+
+use super::bounds::PlannerBounds;
+use super::expand::{expand_into, ExpandScratch, Partial};
+use super::queue::PlanQueue;
+use super::{DomEntry, ExactParams, Incumbent, Plan};
+use hyppo_hypergraph::{HyperGraph, NodeId};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrder};
+use std::sync::{Condvar, Mutex};
+
+/// Partials a worker claims per queue lock — amortizes lock traffic without
+/// starving other workers of frontier diversity.
+const BATCH: usize = 8;
+
+/// Dominance-table shards (power of two; indexed by the low bits of the
+/// state signature, which is already well mixed).
+const DOM_SHARDS: usize = 64;
+
+struct QueueState {
+    queue: PlanQueue,
+    /// Queued partials plus partials currently held by workers. The search
+    /// is done when the queue is empty *and* nothing is in flight.
+    outstanding: usize,
+}
+
+struct SharedQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+/// The racy-but-monotone upper bound: bit pattern of the best complete-plan
+/// cost seen so far. Readers may observe a stale (higher) value — which only
+/// weakens pruning — never a lower one.
+struct BestCost(AtomicU64);
+
+impl BestCost {
+    fn new() -> Self {
+        BestCost(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(AtomicOrder::Relaxed))
+    }
+
+    fn lower_to(&self, cost: f64) {
+        // Non-negative IEEE-754 bit patterns sort like the floats they
+        // encode, so fetch_min on bits is a numeric fetch-min.
+        self.0.fetch_min(cost.to_bits(), AtomicOrder::Relaxed);
+    }
+}
+
+struct Search<'a, N, E> {
+    graph: &'a HyperGraph<N, E>,
+    costs: &'a [f64],
+    source: NodeId,
+    params: &'a ExactParams,
+    bounds: Option<&'a PlannerBounds>,
+    sq: SharedQueue,
+    dom: Vec<Mutex<HashMap<u64, DomEntry>>>,
+    best: BestCost,
+    incumbent: Mutex<Incumbent>,
+    expansions: AtomicUsize,
+    pops: AtomicUsize,
+    peak_queue: AtomicUsize,
+    truncated: AtomicBool,
+}
+
+/// Run the exact search with `threads` workers. Same contract — and same
+/// returned plan, bit for bit — as the serial search.
+pub(crate) fn search_parallel<N: Sync, E: Sync>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    source: NodeId,
+    params: &ExactParams,
+    bounds: Option<&PlannerBounds>,
+    seed: Partial,
+    threads: usize,
+) -> Option<Plan> {
+    let mut queue = PlanQueue::new(params.queue);
+    let dom: Vec<Mutex<HashMap<u64, DomEntry>>> =
+        (0..DOM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+    if params.dedup_states {
+        let sig = seed.state_sig();
+        dom[shard_of(sig)].lock().unwrap().insert(sig, DomEntry::of(&seed));
+    }
+    queue.insert(seed);
+
+    let search = Search {
+        graph,
+        costs,
+        source,
+        params,
+        bounds,
+        sq: SharedQueue {
+            state: Mutex::new(QueueState { queue, outstanding: 1 }),
+            cv: Condvar::new(),
+        },
+        dom,
+        best: BestCost::new(),
+        incumbent: Mutex::new(Incumbent::default()),
+        expansions: AtomicUsize::new(0),
+        pops: AtomicUsize::new(0),
+        peak_queue: AtomicUsize::new(1),
+        truncated: AtomicBool::new(false),
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| worker(&search));
+        }
+    });
+
+    search.incumbent.into_inner().unwrap().into_plan(
+        search.expansions.load(AtomicOrder::Relaxed),
+        search.pops.load(AtomicOrder::Relaxed),
+        search.peak_queue.load(AtomicOrder::Relaxed),
+        search.truncated.load(AtomicOrder::Relaxed),
+    )
+}
+
+fn shard_of(sig: u64) -> usize {
+    (sig as usize) & (DOM_SHARDS - 1)
+}
+
+fn worker<N, E>(s: &Search<'_, N, E>) {
+    let h = s.bounds.map(|b| b.h.as_slice());
+    let mut scratch = ExpandScratch::default();
+    let mut batch: Vec<Partial> = Vec::new();
+    let mut expanded: Vec<Partial> = Vec::new();
+    let mut survivors: Vec<Partial> = Vec::new();
+
+    loop {
+        // Claim a batch, or exit once the queue is drained with nothing in
+        // flight anywhere.
+        batch.clear();
+        {
+            let mut st = s.sq.state.lock().unwrap();
+            loop {
+                if !st.queue.is_empty() {
+                    break;
+                }
+                if st.outstanding == 0 {
+                    return;
+                }
+                st = s.sq.cv.wait(st).unwrap();
+            }
+            for _ in 0..BATCH {
+                match st.queue.pop() {
+                    Some(p) => batch.push(p),
+                    None => break,
+                }
+            }
+        }
+        let claimed = batch.len();
+        s.pops.fetch_add(claimed, AtomicOrder::Relaxed);
+
+        survivors.clear();
+        for partial in batch.drain(..) {
+            // A stale (too high) upper bound here only keeps a partial the
+            // serial search would have dropped — extra work, same answer.
+            if !partial.bound.is_finite() || partial.bound > s.best.get() {
+                continue;
+            }
+            if s.params.dedup_states && dominated_at_pop(s, &partial) {
+                continue;
+            }
+            if partial.is_complete(s.source) {
+                let mut inc = s.incumbent.lock().unwrap();
+                inc.offer(partial);
+                let cost = inc.cost();
+                drop(inc);
+                s.best.lower_to(cost);
+                continue;
+            }
+            if s.expansions.load(AtomicOrder::Relaxed) >= s.params.max_expansions {
+                // Keep draining (for termination) without expanding. The
+                // counter may overshoot by at most one batch per worker.
+                s.truncated.store(true, AtomicOrder::Relaxed);
+                continue;
+            }
+            s.expansions.fetch_add(1, AtomicOrder::Relaxed);
+            expanded.clear();
+            expand_into(s.graph, s.costs, &partial, s.source, h, &mut scratch, &mut expanded);
+            for mut next in expanded.drain(..) {
+                if let Some(b) = s.bounds {
+                    next.bound = b.completion_bound(&next, s.source);
+                }
+                if !next.bound.is_finite() || next.bound > s.best.get() {
+                    continue;
+                }
+                if s.params.dedup_states && !record_state(s, &next) {
+                    continue;
+                }
+                survivors.push(next);
+            }
+        }
+
+        // Publish children and settle the in-flight count under one lock.
+        let pushed = survivors.len();
+        let mut st = s.sq.state.lock().unwrap();
+        for c in survivors.drain(..) {
+            st.queue.insert(c);
+        }
+        st.outstanding = st.outstanding + pushed - claimed;
+        s.peak_queue.fetch_max(st.queue.len(), AtomicOrder::Relaxed);
+        let done = st.outstanding == 0;
+        drop(st);
+        if pushed > 0 || done {
+            s.sq.cv.notify_all();
+        }
+    }
+}
+
+/// Pop-time dominance recheck: skip the partial if a canonically smaller
+/// candidate reached its state after it was queued.
+fn dominated_at_pop<N, E>(s: &Search<'_, N, E>, partial: &Partial) -> bool {
+    let sig = partial.state_sig();
+    let shard = s.dom[shard_of(sig)].lock().unwrap();
+    matches!(shard.get(&sig), Some(e) if e.cmp_partial(partial) == Ordering::Less)
+}
+
+/// Insert-time dominance: atomically keep the canonically smallest candidate
+/// per state. Returns false when `next` is dominated (or duplicates the
+/// recorded entry) and should be dropped.
+fn record_state<N, E>(s: &Search<'_, N, E>, next: &Partial) -> bool {
+    let sig = next.state_sig();
+    let mut shard = s.dom[shard_of(sig)].lock().unwrap();
+    match shard.entry(sig) {
+        Entry::Occupied(mut o) => {
+            if o.get().cmp_partial(next) != Ordering::Greater {
+                return false;
+            }
+            o.insert(DomEntry::of(next));
+            true
+        }
+        Entry::Vacant(v) => {
+            v.insert(DomEntry::of(next));
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{PlanRequest, Planner, QueueKind};
+    use hyppo_hypergraph::HyperGraph;
+
+    type G = HyperGraph<(), ()>;
+
+    fn chain(n: usize) -> (G, Vec<f64>, hyppo_hypergraph::NodeId, hyppo_hypergraph::NodeId) {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let mut prev = s;
+        let mut costs = Vec::new();
+        for i in 0..n {
+            let v = g.add_node(());
+            // Two alternatives per hop with distinct costs.
+            for c in [2.0, 3.0] {
+                let e = g.add_edge(vec![prev], vec![v], ());
+                costs.resize(e.index() + 1, 0.0);
+                costs[e.index()] = c + i as f64 * 0.1;
+            }
+            prev = v;
+        }
+        (g, costs, s, prev)
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_a_chain() {
+        let (g, costs, s, t) = chain(12);
+        let req = PlanRequest::new(&costs, s, std::slice::from_ref(&t));
+        let serial = Planner::exact().threads(1).plan(&g, req).unwrap();
+        for threads in [2, 4] {
+            let par = Planner::exact().threads(threads).plan(&g, req).unwrap();
+            assert_eq!(par.edges, serial.edges, "threads={threads}");
+            assert_eq!(par.cost.to_bits(), serial.cost.to_bits(), "threads={threads}");
+            assert!(par.optimal);
+        }
+    }
+
+    #[test]
+    fn parallel_stack_discipline_also_matches() {
+        let (g, costs, s, t) = chain(8);
+        let req = PlanRequest::new(&costs, s, std::slice::from_ref(&t));
+        let serial = Planner::exact().queue(QueueKind::Stack).threads(1).plan(&g, req).unwrap();
+        let par = Planner::exact().queue(QueueKind::Stack).threads(4).plan(&g, req).unwrap();
+        assert_eq!(par.edges, serial.edges);
+        assert_eq!(par.cost.to_bits(), serial.cost.to_bits());
+    }
+
+    #[test]
+    fn parallel_returns_none_on_infeasible_instances() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let orphan = g.add_node(());
+        assert!(Planner::exact()
+            .threads(4)
+            .plan(&g, PlanRequest::new(&[], s, &[orphan]))
+            .is_none());
+    }
+
+    #[test]
+    fn parallel_truncation_degrades_gracefully() {
+        let (g, costs, s, t) = chain(10);
+        let req = PlanRequest::new(&costs, s, std::slice::from_ref(&t));
+        if let Some(plan) = Planner::exact().threads(4).max_expansions(1).plan(&g, req) {
+            assert!(!plan.optimal);
+        }
+    }
+}

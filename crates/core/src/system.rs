@@ -8,7 +8,8 @@ use crate::executor::{execute_plan, ExecError, ExecMode};
 use crate::history::History;
 use crate::materialize::{MaterializeConfig, Materializer, PlanLocality};
 use crate::monitor::record_outcome;
-use crate::optimizer::{optimize, SearchOptions};
+use crate::optimizer::bounds::PlannerBoundsCache;
+use crate::optimizer::{PlanRequest, Planner};
 use crate::store::ArtifactStore;
 use hyppo_pipeline::{build_pipeline, ArtifactName, Dictionary, PipelineSpec};
 use hyppo_tensor::Dataset;
@@ -20,8 +21,9 @@ use std::time::Instant;
 pub struct HyppoConfig {
     /// Storage budget in bytes (0 disables materialization).
     pub budget_bytes: u64,
-    /// Plan-search options (queue kind, greediness, exploration knob).
-    pub search: SearchOptions,
+    /// Plan-search configuration (queue kind, worker count, exploration
+    /// knob — see the [`Planner`] builder).
+    pub search: Planner,
     /// The operator dictionary.
     pub dictionary: Dictionary,
     /// Augmentation options.
@@ -38,7 +40,7 @@ impl Default for HyppoConfig {
     fn default() -> Self {
         HyppoConfig {
             budget_bytes: 0,
-            search: SearchOptions::default(),
+            search: Planner::exact(),
             dictionary: Dictionary::full(),
             augment: AugmentOptions::default(),
             locality: PlanLocality::PaperInverse,
@@ -119,6 +121,10 @@ pub struct Hyppo {
     pub store: ArtifactStore,
     /// Cumulative execution seconds across all submissions.
     pub cumulative_seconds: f64,
+    /// Memoized planner lower-bound tables, keyed by augmentation-graph
+    /// structure: repeated submissions over an unchanged history reuse the
+    /// SBT relaxations instead of recomputing them per plan call.
+    pub bounds_cache: std::sync::Arc<PlannerBoundsCache>,
 }
 
 impl Hyppo {
@@ -130,6 +136,7 @@ impl Hyppo {
             estimator: CostEstimator::new(),
             store: ArtifactStore::new(),
             cumulative_seconds: 0.0,
+            bounds_cache: std::sync::Arc::new(PlannerBoundsCache::new()),
         }
     }
 
@@ -202,15 +209,16 @@ impl Hyppo {
         opt_start: Instant,
     ) -> Result<RunReport, SubmitError> {
         let costs = annotate_costs(&aug, &self.estimator, &self.store);
-        let plan = optimize(
-            &aug.graph,
-            &costs,
-            aug.source,
-            &aug.targets,
-            &aug.new_tasks,
-            self.config.search,
-        )
-        .ok_or(SubmitError::NoPlan)?;
+        let plan = self
+            .config
+            .search
+            .clone()
+            .bounds_cache(std::sync::Arc::clone(&self.bounds_cache))
+            .plan(
+                &aug.graph,
+                PlanRequest::new(&costs, aug.source, &aug.targets).with_new_tasks(&aug.new_tasks),
+            )
+            .ok_or(SubmitError::NoPlan)?;
         let optimize_seconds = opt_start.elapsed().as_secs_f64();
 
         let outcome = execute_plan(&aug, &plan.edges, &self.store, self.config.mode, &costs)?;
@@ -382,7 +390,7 @@ mod tests {
     fn exploration_mode_executes_new_tasks() {
         let mut sys = system(64 * 1024 * 1024);
         sys.submit(svm_spec(0)).unwrap();
-        sys.config.search.c_exp = 1.0;
+        sys.config.search = sys.config.search.clone().c_exp(1.0);
         // A variant pipeline with a different model; exploration forces the
         // new fit even though much is reusable.
         let mut spec = PipelineSpec::new();
@@ -436,15 +444,11 @@ mod tests {
             sys.config.augment,
         );
         let costs = crate::augment::annotate_costs(&aug, &sys.estimator, &sys.store);
-        let plan = crate::optimizer::optimize(
-            &aug.graph,
-            &costs,
-            aug.source,
-            &aug.targets,
-            &[],
-            sys.config.search,
-        )
-        .unwrap();
+        let plan = sys
+            .config
+            .search
+            .plan(&aug.graph, PlanRequest::new(&costs, aug.source, &aug.targets))
+            .unwrap();
         let dot = aug.to_dot(&plan.edges);
         assert!(dot.contains("digraph"));
         assert!(dot.contains("style=bold"), "plan edges must be highlighted");

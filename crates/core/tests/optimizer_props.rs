@@ -2,7 +2,7 @@
 //! with alternatives, the exact variants agree with brute force and with
 //! each other, plans always validate, and greedy never beats exact.
 
-use hyppo_core::optimizer::{optimize, QueueKind, SearchOptions};
+use hyppo_core::optimizer::{PlanRequest, Planner, QueueKind};
 use hyppo_hypergraph::{connectivity, validate_plan, EdgeId, HyperGraph, NodeId, PlanValidity};
 use proptest::prelude::*;
 
@@ -84,9 +84,9 @@ proptest! {
             return Ok(());
         };
         for queue in [QueueKind::Stack, QueueKind::Priority] {
-            let opts = SearchOptions { queue, ..Default::default() };
-            let plan = optimize(
-                &inst.graph, &inst.costs, inst.source, &inst.targets, &[], opts,
+            let plan = Planner::exact().queue(queue).plan(
+                &inst.graph,
+                PlanRequest::new(&inst.costs, inst.source, &inst.targets),
             ).expect("brute force found a plan, search must too");
             prop_assert!(
                 (plan.cost - expected).abs() < 1e-9,
@@ -101,14 +101,9 @@ proptest! {
 
     #[test]
     fn greedy_is_valid_and_never_cheaper_than_exact(inst in arb_instance()) {
-        let exact = optimize(
-            &inst.graph, &inst.costs, inst.source, &inst.targets, &[],
-            SearchOptions::default(),
-        );
-        let greedy = optimize(
-            &inst.graph, &inst.costs, inst.source, &inst.targets, &[],
-            SearchOptions { greedy: true, ..Default::default() },
-        );
+        let req = PlanRequest::new(&inst.costs, inst.source, &inst.targets);
+        let exact = Planner::exact().plan(&inst.graph, req);
+        let greedy = Planner::greedy().plan(&inst.graph, req);
         match (exact, greedy) {
             (Some(e), Some(g)) => {
                 prop_assert!(g.cost >= e.cost - 1e-9, "greedy {} < exact {}", g.cost, e.cost);
@@ -126,9 +121,11 @@ proptest! {
     fn exploration_seeding_includes_forced_tasks(inst in arb_instance()) {
         // Force the first (non-load) edge as a "new task" under c_exp = 1.
         let Some(forced) = inst.graph.edge_ids().next() else { return Ok(()); };
-        let opts = SearchOptions { c_exp: 1.0, ..Default::default() };
-        if let Some(plan) = optimize(
-            &inst.graph, &inst.costs, inst.source, &inst.targets, &[forced], opts,
+        let forced_tasks = [forced];
+        if let Some(plan) = Planner::exact().c_exp(1.0).plan(
+            &inst.graph,
+            PlanRequest::new(&inst.costs, inst.source, &inst.targets)
+                .with_new_tasks(&forced_tasks),
         ) {
             prop_assert!(plan.edges.contains(&forced));
             // The plan with the forced edge still derives the targets.
@@ -143,9 +140,9 @@ proptest! {
 
     #[test]
     fn plan_cost_equals_sum_of_edge_costs(inst in arb_instance()) {
-        if let Some(plan) = optimize(
-            &inst.graph, &inst.costs, inst.source, &inst.targets, &[],
-            SearchOptions::default(),
+        if let Some(plan) = Planner::exact().plan(
+            &inst.graph,
+            PlanRequest::new(&inst.costs, inst.source, &inst.targets),
         ) {
             let sum: f64 = plan.edges.iter().map(|&e| inst.costs[e.index()]).sum();
             prop_assert!((plan.cost - sum).abs() < 1e-9);

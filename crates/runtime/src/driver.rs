@@ -25,18 +25,18 @@
 
 use crate::executor::{execute_plan_parallel, WavefrontMetrics};
 use crate::store::{SharedArtifactStore, DEFAULT_SHARDS};
-use hyppo_core::augment::{self, annotate_costs};
+use hyppo_core::augment::{self, annotate_costs, Augmentation};
 use hyppo_core::executor::{execute_plan, ExecError, ExecMode};
 use hyppo_core::materialize::{MaterializeConfig, Materializer};
 use hyppo_core::monitor::record_outcome;
-use hyppo_core::optimizer::optimize;
+use hyppo_core::optimizer::PlanRequest;
 use hyppo_core::system::{Hyppo, HyppoConfig, RunReport, SubmitError};
-use hyppo_core::{ArtifactStore, CostEstimator, History};
+use hyppo_core::{ArtifactStore, CostEstimator, History, PlannerBoundsCache, Session};
 use hyppo_pipeline::{build_pipeline, ArtifactName, PipelineSpec};
 use hyppo_tensor::Dataset;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// How often a submission replans after losing a race with eviction.
@@ -54,6 +54,10 @@ pub struct SharedHyppo {
     cumulative_seconds: Mutex<f64>,
     /// Wall-clock nanos spent waiting on the history/estimator locks.
     lock_wait_nanos: AtomicU64,
+    /// Planner heuristic-bounds cache, shared across sessions — concurrent
+    /// submissions over the same (unchanged) history reuse one bounds
+    /// computation instead of recomputing per plan.
+    bounds_cache: Arc<PlannerBoundsCache>,
 }
 
 /// What one session (a sequence of submissions on one thread) did.
@@ -140,6 +144,7 @@ impl SharedHyppo {
             store: SharedArtifactStore::from_store(store, n_shards),
             cumulative_seconds: Mutex::new(0.0),
             lock_wait_nanos: AtomicU64::new(0),
+            bounds_cache: Arc::new(PlannerBoundsCache::new()),
         }
     }
 
@@ -190,6 +195,33 @@ impl SharedHyppo {
         workers: usize,
     ) -> Result<(RunReport, WavefrontMetrics), SubmitError> {
         let pipeline = build_pipeline(spec);
+        self.run_shared(workers, |history| {
+            Some(augment::augment(&pipeline, history, &self.config.dictionary, self.config.augment))
+        })
+    }
+
+    /// Retrieve previously computed artifacts by name (paper Scenario 2),
+    /// planning over the shared history's alternatives only. Safe to call
+    /// from many threads at once.
+    pub fn retrieve_shared(
+        &self,
+        names: &[ArtifactName],
+        workers: usize,
+    ) -> Result<(RunReport, WavefrontMetrics), SubmitError> {
+        self.run_shared(workers, |history| augment::augment_request(history, names))
+    }
+
+    /// The shared plan → execute → record loop behind [`submit_shared`] and
+    /// [`retrieve_shared`]. `build` constructs the augmentation under the
+    /// history read lock (returning `None` when no plan can exist).
+    ///
+    /// [`submit_shared`]: SharedHyppo::submit_shared
+    /// [`retrieve_shared`]: SharedHyppo::retrieve_shared
+    fn run_shared(
+        &self,
+        workers: usize,
+        build: impl Fn(&History) -> Option<Augmentation>,
+    ) -> Result<(RunReport, WavefrontMetrics), SubmitError> {
         let mut replans = 0;
         loop {
             let opt_start = Instant::now();
@@ -202,24 +234,21 @@ impl SharedHyppo {
                 let start = Instant::now();
                 let estimator = self.estimator.read().unwrap_or_else(|e| e.into_inner());
                 self.record_wait(start);
-                let aug = augment::augment(
-                    &pipeline,
-                    &history,
-                    &self.config.dictionary,
-                    self.config.augment,
-                );
+                let aug = build(&history).ok_or(SubmitError::NoPlan)?;
                 let costs = annotate_costs(&aug, &estimator, &self.store);
                 (aug, costs)
             };
-            let plan = optimize(
-                &aug.graph,
-                &costs,
-                aug.source,
-                &aug.targets,
-                &aug.new_tasks,
-                self.config.search,
-            )
-            .ok_or(SubmitError::NoPlan)?;
+            let plan = self
+                .config
+                .search
+                .clone()
+                .bounds_cache(Arc::clone(&self.bounds_cache))
+                .plan(
+                    &aug.graph,
+                    PlanRequest::new(&costs, aug.source, &aug.targets)
+                        .with_new_tasks(&aug.new_tasks),
+                )
+                .ok_or(SubmitError::NoPlan)?;
             let optimize_seconds = opt_start.elapsed().as_secs_f64();
 
             // Execute without holding any coarse lock.
@@ -395,6 +424,67 @@ impl ConcurrentSessions for Hyppo {
     }
 }
 
+/// One analyst's session against a [`SharedHyppo`], behind the core
+/// [`Session`] trait — so harnesses written against `Session` (the baselines
+/// crate's `SessionMethod`, benches, examples) drive the concurrent backend
+/// exactly like the serial one.
+///
+/// Generic over how the backend is held: own it (`SharedSession<SharedHyppo>`,
+/// the default), or share it (`SharedSession<Arc<SharedHyppo>>`) so several
+/// sessions hit one state — the collaborative setting.
+#[derive(Debug)]
+pub struct SharedSession<T = SharedHyppo> {
+    backend: T,
+    workers: usize,
+}
+
+impl<T: std::borrow::Borrow<SharedHyppo>> SharedSession<T> {
+    /// Drive `backend`, executing each plan on `workers` wavefront threads.
+    pub fn new(backend: T, workers: usize) -> Self {
+        SharedSession { backend, workers: workers.max(1) }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &SharedHyppo {
+        self.backend.borrow()
+    }
+
+    /// Unwrap the backend.
+    pub fn into_inner(self) -> T {
+        self.backend
+    }
+}
+
+impl<T: std::borrow::Borrow<SharedHyppo>> Session for SharedSession<T> {
+    fn backend_name(&self) -> &'static str {
+        "HYPPO-shared"
+    }
+
+    fn register_dataset(&mut self, id: &str, dataset: Dataset) {
+        self.backend().register_dataset(id, dataset);
+    }
+
+    fn submit(&mut self, spec: PipelineSpec) -> Result<RunReport, SubmitError> {
+        self.backend().submit_shared(spec, self.workers).map(|(report, _)| report)
+    }
+
+    fn retrieve(&mut self, names: &[ArtifactName]) -> Result<RunReport, SubmitError> {
+        self.backend().retrieve_shared(names, self.workers).map(|(report, _)| report)
+    }
+
+    fn cumulative_seconds(&self) -> f64 {
+        self.backend().cumulative_seconds()
+    }
+
+    fn budget_bytes(&self) -> u64 {
+        self.backend().config.budget_bytes
+    }
+
+    fn history_artifacts(&self) -> usize {
+        self.backend().history.read().unwrap_or_else(|e| e.into_inner()).artifact_count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +560,47 @@ mod tests {
         assert!(err.is_err());
         // The failed batch must not have wiped the moved-out state.
         assert!(sys.store.dataset("taxi").is_some());
+    }
+
+    #[test]
+    fn shared_session_drives_the_concurrent_backend() {
+        let mut session = SharedSession::new(SharedHyppo::new(config(64 * 1024 * 1024)), 2);
+        session.register_dataset("taxi", taxi::generate(300, 5));
+        let report = session.submit(wide_ensemble_spec("taxi", 3, 7)).unwrap();
+        assert!(report.tasks_executed > 0);
+        assert_eq!(session.backend_name(), "HYPPO-shared");
+        assert!(session.cumulative_seconds() > 0.0);
+        assert!(session.history_artifacts() > 0);
+
+        // Scenario 2 against the shared backend: retrieve recorded value
+        // artifacts by name.
+        let names: Vec<ArtifactName> = {
+            let shared = session.backend();
+            let history = shared.history.read().unwrap();
+            let names: Vec<ArtifactName> = history
+                .artifact_names()
+                .filter(|&n| {
+                    let node = history.node_of(n).unwrap();
+                    history.graph.node(node).role == hyppo_pipeline::ArtifactRole::Value
+                })
+                .collect();
+            names
+        };
+        assert!(!names.is_empty());
+        let report = session.retrieve(&names).unwrap();
+        assert!(report.tasks_executed >= 1);
+        assert_eq!(report.values.len(), names.len());
+    }
+
+    #[test]
+    fn shared_sessions_can_share_one_backend_through_an_arc() {
+        let shared = Arc::new(SharedHyppo::new(config(64 * 1024 * 1024)));
+        shared.register_dataset("taxi", taxi::generate(300, 5));
+        let mut a = SharedSession::new(Arc::clone(&shared), 2);
+        let mut b = SharedSession::new(Arc::clone(&shared), 2);
+        a.submit(wide_ensemble_spec("taxi", 3, 7)).unwrap();
+        let report = b.submit(wide_ensemble_spec("taxi", 3, 7)).unwrap();
+        assert!(report.loads >= 1, "second session should reuse the first's artifacts");
     }
 
     #[test]

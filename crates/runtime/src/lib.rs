@@ -22,6 +22,8 @@ pub mod driver;
 pub mod executor;
 pub mod store;
 
-pub use driver::{ConcurrentSessions, RuntimeMetrics, SessionReport, SessionsOutcome, SharedHyppo};
+pub use driver::{
+    ConcurrentSessions, RuntimeMetrics, SessionReport, SessionsOutcome, SharedHyppo, SharedSession,
+};
 pub use executor::{execute_plan_parallel, ParallelOutcome, WavefrontMetrics};
 pub use store::{SharedArtifactStore, DEFAULT_SHARDS};

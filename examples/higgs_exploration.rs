@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example higgs_exploration`
 
-use hyppo::baselines::{HyppoMethod, Method, NoOptimization};
+use hyppo::baselines::{Method, NoOptimization, SessionMethod};
 use hyppo::core::{Hyppo, HyppoConfig};
 use hyppo::workloads::generator::{generate_sequence, SequenceConfig, UseCase};
 use hyppo::workloads::higgs;
@@ -25,7 +25,7 @@ fn main() {
     });
 
     let mut hyppo =
-        HyppoMethod(Hyppo::new(HyppoConfig { budget_bytes: budget, ..Default::default() }));
+        SessionMethod(Hyppo::new(HyppoConfig { budget_bytes: budget, ..Default::default() }));
     let mut noopt = NoOptimization::new();
     hyppo.register_dataset("higgs", dataset.clone());
     noopt.register_dataset("higgs", dataset);

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example taxi_ensembles`
 
-use hyppo::baselines::{Collab, HyppoMethod, Method, NoOptimization};
+use hyppo::baselines::{Collab, Method, NoOptimization, SessionMethod};
 use hyppo::core::{Hyppo, HyppoConfig};
 use hyppo::workloads::ensemble_wl::generate_ensemble_workload;
 use hyppo::workloads::generator::{generate_sequence, SequenceConfig, UseCase};
@@ -29,7 +29,7 @@ fn main() {
     let mut methods: Vec<Box<dyn Method>> = vec![
         Box::new(NoOptimization::new()),
         Box::new(Collab::new(budget)),
-        Box::new(HyppoMethod(Hyppo::new(HyppoConfig {
+        Box::new(SessionMethod(Hyppo::new(HyppoConfig {
             budget_bytes: budget,
             ..Default::default()
         }))),

@@ -16,6 +16,26 @@ cargo build --workspace --release --offline
 echo "== cargo test =="
 cargo test --workspace --offline -q
 
+echo "== parallel-planner equivalence suite (HYPPO_PLANNER_THREADS=4) =="
+HYPPO_PLANNER_THREADS=4 cargo test --offline -q --test planner_parallel_equivalence
+
+echo "== deprecated planner API stays quarantined in the shim =="
+# The free function optimize(...) and SearchOptions live on for one PR in
+# optimizer/compat.rs only; the sole other allowed user is the shim
+# regression test. Everything else must use the Planner builder.
+violations=$(grep -rn --include='*.rs' -E '\bSearchOptions\b|[^_.a-zA-Z]optimize\(' \
+    src crates tests examples \
+    | grep -v 'crates/core/src/optimizer/compat\.rs' \
+    | grep -v 'crates/core/src/optimizer/mod\.rs:.*pub use compat' \
+    | grep -v 'tests/planner_parallel_equivalence\.rs' \
+    | grep -v 'crates/core/src/lib\.rs:.*pub use optimizer' \
+    || true)
+if [ -n "$violations" ]; then
+    echo "deprecated optimize()/SearchOptions used outside the compat shim:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
 echo "== cargo bench --no-run (benches must compile) =="
 cargo bench --workspace --no-run --offline
 

@@ -12,6 +12,8 @@
 //!   --rows <n>               dataset rows (default 4000)
 //!   --budget <bytes>         storage budget (default 16777216)
 //!   --catalog <dir>          load the catalog from <dir> before, save after
+//!   --threads <n>            plan-search worker threads (default: the
+//!                            HYPPO_PLANNER_THREADS env var, else 1)
 //! ```
 //!
 //! Pipeline specs are the JSON serialization of
@@ -32,6 +34,7 @@ struct Options {
     budget: u64,
     catalog: Option<PathBuf>,
     emit_spec: bool,
+    threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -42,6 +45,7 @@ impl Default for Options {
             budget: 16 * 1024 * 1024,
             catalog: None,
             emit_spec: false,
+            threads: None,
         }
     }
 }
@@ -70,6 +74,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.catalog = Some(PathBuf::from(value(i)?));
                 i += 1;
             }
+            "--threads" => {
+                opts.threads = Some(value(i)?.parse().map_err(|e| format!("--threads: {e}"))?);
+                i += 1;
+            }
             "--emit-spec" => opts.emit_spec = true,
             other => return Err(format!("unknown option {other}")),
         }
@@ -80,6 +88,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn build_system(opts: &Options) -> Result<Hyppo, String> {
     let mut sys = Hyppo::new(HyppoConfig { budget_bytes: opts.budget, ..Default::default() });
+    if let Some(threads) = opts.threads {
+        sys.config.search = sys.config.search.clone().threads(threads);
+    }
     if let Some(dir) = &opts.catalog {
         if dir.join("catalog.json").exists() {
             sys.load_catalog(dir).map_err(|e| format!("loading catalog: {e}"))?;
@@ -186,15 +197,15 @@ fn cmd_dot(spec: PipelineSpec, opts: &Options) -> Result<(), String> {
         sys.config.augment,
     );
     let costs = hyppo::core::augment::annotate_costs(&aug, &sys.estimator, &sys.store);
-    let plan = hyppo::core::optimizer::optimize(
-        &aug.graph,
-        &costs,
-        aug.source,
-        &aug.targets,
-        &aug.new_tasks,
-        sys.config.search,
-    )
-    .ok_or("no executable plan")?;
+    let plan = sys
+        .config
+        .search
+        .plan(
+            &aug.graph,
+            hyppo::core::PlanRequest::new(&costs, aug.source, &aug.targets)
+                .with_new_tasks(&aug.new_tasks),
+        )
+        .ok_or("no executable plan")?;
     println!("{}", aug.to_dot(&plan.edges));
     Ok(())
 }
@@ -275,12 +286,23 @@ mod tests {
             "1024",
             "--catalog",
             "/tmp/c",
+            "--threads",
+            "4",
         ]))
         .unwrap();
         assert_eq!(o.dataset, "taxi");
         assert_eq!(o.rows, 123);
         assert_eq!(o.budget, 1024);
         assert_eq!(o.catalog.as_deref(), Some(std::path::Path::new("/tmp/c")));
+        assert_eq!(o.threads, Some(4));
+    }
+
+    #[test]
+    fn threads_option_configures_the_planner() {
+        let opts =
+            Options { dataset: "higgs".into(), rows: 64, threads: Some(3), ..Default::default() };
+        let sys = build_system(&opts).unwrap();
+        assert_eq!(sys.config.search.thread_count(), 3);
     }
 
     #[test]

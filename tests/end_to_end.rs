@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full submit → augment → optimize →
 //! execute → record → materialize loop, across methods.
 
-use hyppo::baselines::{Collab, Helix, HyppoMethod, Method, NoOptimization};
+use hyppo::baselines::{Collab, Helix, Method, NoOptimization, SessionMethod};
 use hyppo::core::{Hyppo, HyppoConfig};
 use hyppo::workloads::generator::{generate_sequence, SequenceConfig, UseCase};
 use hyppo::workloads::{higgs, taxi};
@@ -11,7 +11,7 @@ fn methods(budget: u64) -> Vec<Box<dyn Method>> {
         Box::new(NoOptimization::new()),
         Box::new(Helix::new(budget)),
         Box::new(Collab::new(budget)),
-        Box::new(HyppoMethod(Hyppo::new(HyppoConfig {
+        Box::new(SessionMethod(Hyppo::new(HyppoConfig {
             budget_bytes: budget,
             ..Default::default()
         }))),
@@ -116,7 +116,7 @@ fn exploration_mode_executes_new_tasks_at_extra_cost() {
     });
     let run = |c_exp: f64| -> f64 {
         let mut cfg = HyppoConfig { budget_bytes: budget, ..Default::default() };
-        cfg.search.c_exp = c_exp;
+        cfg.search = cfg.search.clone().c_exp(c_exp);
         let mut sys = Hyppo::new(cfg);
         sys.register_dataset("higgs", dataset.clone());
         for t in &session {

@@ -5,7 +5,7 @@
 //! synthetic hypergraphs.
 
 use hyppo::baselines::{collab_e_plan, collab_plan, helix_plan, BaselineState};
-use hyppo::core::optimizer::{optimize, QueueKind, SearchOptions};
+use hyppo::core::optimizer::{PlanRequest, Planner, QueueKind};
 use hyppo::hypergraph::{validate_plan, PlanValidity};
 use hyppo::ml::{Config, LogicalOp};
 use hyppo::pipeline::PipelineSpec;
@@ -52,7 +52,8 @@ fn helix_equals_exact_collab_no_better_on_real_histories() {
     let costs = state.costs(&aug);
     let targets = aug.targets.clone();
 
-    let exact = optimize(&aug.graph, &costs, aug.source, &targets, &[], SearchOptions::default())
+    let exact = Planner::exact()
+        .plan(&aug.graph, PlanRequest::new(&costs, aug.source, &targets))
         .expect("plan exists");
     let hx = helix_plan(&aug, &costs, &targets).expect("helix plan exists");
     let hx_cost: f64 = hx.iter().map(|&e| costs[e.index()]).sum();
@@ -71,24 +72,14 @@ fn helix_equals_exact_collab_no_better_on_real_histories() {
 fn collab_e_matches_both_exact_variants_on_synthetic_graphs() {
     for seed in 0..12 {
         let g = generate_synthetic(8, 2, seed);
-        let stack = optimize(
-            &g.graph,
-            &g.costs,
-            g.source,
-            &g.targets,
-            &[],
-            SearchOptions { queue: QueueKind::Stack, ..Default::default() },
-        )
-        .expect("derivable");
-        let priority = optimize(
-            &g.graph,
-            &g.costs,
-            g.source,
-            &g.targets,
-            &[],
-            SearchOptions { queue: QueueKind::Priority, ..Default::default() },
-        )
-        .expect("derivable");
+        let stack = Planner::exact()
+            .queue(QueueKind::Stack)
+            .plan(&g.graph, PlanRequest::new(&g.costs, g.source, &g.targets))
+            .expect("derivable");
+        let priority = Planner::exact()
+            .queue(QueueKind::Priority)
+            .plan(&g.graph, PlanRequest::new(&g.costs, g.source, &g.targets))
+            .expect("derivable");
         let (_, exhaustive) =
             collab_e_plan(&g.graph, &g.costs, g.source, &g.targets, 1 << 22).expect("within cap");
         assert!((stack.cost - priority.cost).abs() < 1e-9, "seed {seed}");
@@ -108,18 +99,12 @@ fn greedy_effort_and_quality_tradeoff() {
     let mut worst_ratio = 1.0f64;
     for seed in 0..10 {
         let g = generate_synthetic(14, 3, 100 + seed);
-        let exact =
-            optimize(&g.graph, &g.costs, g.source, &g.targets, &[], SearchOptions::default())
-                .expect("derivable");
-        let greedy = optimize(
-            &g.graph,
-            &g.costs,
-            g.source,
-            &g.targets,
-            &[],
-            SearchOptions { greedy: true, ..Default::default() },
-        )
-        .expect("derivable");
+        let exact = Planner::exact()
+            .plan(&g.graph, PlanRequest::new(&g.costs, g.source, &g.targets))
+            .expect("derivable");
+        let greedy = Planner::greedy()
+            .plan(&g.graph, PlanRequest::new(&g.costs, g.source, &g.targets))
+            .expect("derivable");
         assert!(greedy.cost >= exact.cost - 1e-9);
         worst_ratio = worst_ratio.max(greedy.cost / exact.cost);
     }

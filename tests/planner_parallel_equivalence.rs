@@ -1,0 +1,143 @@
+//! The parallel plan search's core contract: for any worker count, the
+//! returned plan — edges, cost bits, and the canonical tie-break — is
+//! identical to the serial search's. 240 random instances (120 seeds × both
+//! queue disciplines) at threads ∈ {1, 2, 4, 8}, plus a regression test
+//! that the deprecated free-function shim agrees with the builder.
+
+use hyppo::core::optimizer::{PlanRequest, Planner, QueueKind};
+use hyppo::hypergraph::{HyperGraph, NodeId};
+use hyppo::tensor::SeededRng;
+
+type G = HyperGraph<u32, ()>;
+
+/// Random layered DAG with AND-tails, OR-alternatives, and multi-output
+/// split edges — the same instance family the optimizer's internal fast-path
+/// tests exercise.
+fn random_instance(seed: u64) -> (G, Vec<f64>, NodeId, Vec<NodeId>) {
+    let mut rng = SeededRng::new(seed);
+    let mut g = G::new();
+    let s = g.add_node(0);
+    let mut nodes = vec![s];
+    let mut costs = Vec::new();
+    let mut add = |g: &mut G, t: Vec<NodeId>, h: Vec<NodeId>, c: f64| {
+        let e = g.add_edge(t, h, ());
+        costs.resize(e.index() + 1, 0.0);
+        costs[e.index()] = c;
+    };
+    let n_rounds = 3 + rng.index(4);
+    for i in 0..n_rounds {
+        let tail_from = |rng: &mut SeededRng, nodes: &[NodeId]| {
+            let n_tail = 1 + rng.index(2.min(nodes.len()));
+            let mut tail: Vec<NodeId> =
+                (0..n_tail).map(|_| nodes[rng.index(nodes.len())]).collect();
+            tail.sort_unstable();
+            tail.dedup();
+            tail
+        };
+        let v = g.add_node(i as u32 + 1);
+        if rng.index(4) == 0 {
+            let w = g.add_node(100 + i as u32);
+            let tail = tail_from(&mut rng, &nodes);
+            add(&mut g, tail, vec![v, w], (1 + rng.index(20)) as f64);
+            let tail = tail_from(&mut rng, &nodes);
+            add(&mut g, tail, vec![v], (1 + rng.index(20)) as f64);
+            nodes.push(v);
+            nodes.push(w);
+        } else {
+            let n_alts = 1 + rng.index(2);
+            for _ in 0..n_alts {
+                let tail = tail_from(&mut rng, &nodes);
+                add(&mut g, tail, vec![v], (1 + rng.index(20)) as f64);
+            }
+            nodes.push(v);
+        }
+    }
+    let target = *nodes.last().unwrap();
+    (g, costs, s, vec![target])
+}
+
+/// Every instance, every queue discipline, every worker count: the parallel
+/// search returns the serial search's plan bit for bit — same edge set in
+/// the same (ascending) order, same IEEE-754 cost bits, same feasibility.
+#[test]
+fn parallel_search_is_bit_identical_to_serial_on_240_instances() {
+    let mut feasible = 0usize;
+    for seed in 0..120u64 {
+        let (g, costs, s, t) = random_instance(seed);
+        for queue in [QueueKind::Stack, QueueKind::Priority] {
+            let req = PlanRequest::new(&costs, s, &t);
+            let serial = Planner::exact().threads(1).queue(queue).plan(&g, req);
+            for threads in [1usize, 2, 4, 8] {
+                let par = Planner::exact().threads(threads).queue(queue).plan(&g, req);
+                match (&serial, &par) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.edges, b.edges, "seed {seed} {queue:?} threads {threads}");
+                        assert_eq!(
+                            a.cost.to_bits(),
+                            b.cost.to_bits(),
+                            "seed {seed} {queue:?} threads {threads}: {} vs {}",
+                            a.cost,
+                            b.cost
+                        );
+                        assert_eq!(a.optimal, b.optimal, "seed {seed} {queue:?} threads {threads}");
+                    }
+                    (None, None) => {}
+                    other => {
+                        panic!("seed {seed} {queue:?} threads {threads}: feasibility {other:?}")
+                    }
+                }
+            }
+            if serial.is_some() {
+                feasible += 1;
+            }
+        }
+    }
+    assert!(feasible >= 200, "only {feasible}/240 instances were feasible");
+}
+
+/// The planner honors `HYPPO_PLANNER_THREADS` when no explicit thread count
+/// is set — and the parallel default still matches an explicit serial run.
+#[test]
+fn env_threads_default_matches_serial_plans() {
+    // Read-only check against whatever the environment says (ci.sh runs this
+    // suite under HYPPO_PLANNER_THREADS=4); setting env vars in-process is
+    // racy across test threads, so we only consume the value.
+    let (g, costs, s, t) = random_instance(7);
+    let req = PlanRequest::new(&costs, s, &t);
+    let serial = Planner::exact().threads(1).plan(&g, req).unwrap();
+    let defaulted = Planner::exact().plan(&g, req).unwrap();
+    assert_eq!(serial.edges, defaulted.edges);
+    assert_eq!(serial.cost.to_bits(), defaulted.cost.to_bits());
+}
+
+/// One-PR deprecation shim: the old free function must forward to the
+/// builder and return the identical plan.
+#[allow(deprecated)]
+#[test]
+fn deprecated_optimize_shim_agrees_with_the_builder() {
+    use hyppo::core::optimizer::{optimize, SearchOptions};
+    for seed in [1u64, 13, 31] {
+        let (g, costs, s, t) = random_instance(seed);
+        for queue in [QueueKind::Stack, QueueKind::Priority] {
+            let via_shim = optimize(
+                &g,
+                &costs,
+                s,
+                &t,
+                &[],
+                SearchOptions { queue, ..SearchOptions::default() },
+            );
+            let via_builder =
+                Planner::exact().threads(1).queue(queue).plan(&g, PlanRequest::new(&costs, s, &t));
+            match (&via_shim, &via_builder) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.edges, b.edges, "seed {seed} {queue:?}");
+                    assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "seed {seed} {queue:?}");
+                    assert_eq!(a.expansions, b.expansions, "seed {seed} {queue:?}");
+                }
+                (None, None) => {}
+                other => panic!("seed {seed} {queue:?}: {other:?}"),
+            }
+        }
+    }
+}
