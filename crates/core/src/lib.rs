@@ -49,8 +49,6 @@ pub use explain::{explain, Explanation};
 pub use history::History;
 pub use materialize::{MaterializeConfig, Materializer, PlanLocality};
 pub use optimizer::bounds::PlannerBoundsCache;
-#[allow(deprecated)]
-pub use optimizer::{optimize, SearchOptions};
 pub use optimizer::{Plan, PlanRequest, Planner, QueueKind};
 pub use session::Session;
 pub use store::{ArtifactStorage, ArtifactStore};

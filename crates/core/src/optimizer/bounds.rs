@@ -127,10 +127,14 @@ impl PlannerBoundsCache {
     ) -> Arc<PlannerBounds> {
         let key = (graph.structure_sig(), cost_fingerprint(costs), source.index() as u64);
         if let Some(hit) = self.inner.lock().unwrap().map.get(&key) {
+            // hyppo-lint: allow(relaxed-ordering-justified) hit/miss tallies are
+            // metrics-only and never feed a plan decision
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
         // Compute outside the lock: relaxations are the expensive part.
+        // hyppo-lint: allow(relaxed-ordering-justified) hit/miss tallies are
+        // metrics-only and never feed a plan decision
         self.misses.fetch_add(1, Ordering::Relaxed);
         let bounds = Arc::new(PlannerBounds::new(graph, costs, source));
         let mut inner = self.inner.lock().unwrap();
@@ -148,11 +152,13 @@ impl PlannerBoundsCache {
 
     /// Lookups served from the cache.
     pub fn hits(&self) -> usize {
+        // hyppo-lint: allow(relaxed-ordering-justified) metrics read; no ordering needed
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Lookups that had to run the relaxations.
     pub fn misses(&self) -> usize {
+        // hyppo-lint: allow(relaxed-ordering-justified) metrics read; no ordering needed
         self.misses.load(Ordering::Relaxed)
     }
 }

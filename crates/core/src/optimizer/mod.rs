@@ -54,14 +54,10 @@
 //! directly.
 
 pub mod bounds;
-pub mod compat;
 pub mod expand;
 pub mod greedy;
 pub mod parallel;
 pub mod queue;
-
-#[allow(deprecated)]
-pub use compat::{optimize, SearchOptions};
 
 use bounds::{PlannerBounds, PlannerBoundsCache};
 use expand::{expand_into, EdgeList, ExpandScratch, Partial};

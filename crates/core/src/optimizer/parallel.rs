@@ -1,6 +1,6 @@
 //! K-worker exact plan search over a shared queue of incomplete plans.
 //!
-//! Workers pop batches from a mutex-protected [`PlanQueue`], expand them
+//! Workers claim batches from a [`SharedPlanQueue`], expand them
 //! against a **racy-but-monotone** atomic best-cost upper bound, record
 //! states in a sharded concurrent dominance table, and fold complete plans
 //! into a shared canonical [`Incumbent`]. Because the serial search already
@@ -23,14 +23,14 @@
 
 use super::bounds::PlannerBounds;
 use super::expand::{expand_into, ExpandScratch, Partial};
-use super::queue::PlanQueue;
+use super::queue::SharedPlanQueue;
 use super::{DomEntry, ExactParams, Incumbent, Plan};
 use hyppo_hypergraph::{HyperGraph, NodeId};
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrder};
-use std::sync::{Condvar, Mutex};
+use std::sync::Mutex;
 
 /// Partials a worker claims per queue lock — amortizes lock traffic without
 /// starving other workers of frontier diversity.
@@ -39,18 +39,6 @@ const BATCH: usize = 8;
 /// Dominance-table shards (power of two; indexed by the low bits of the
 /// state signature, which is already well mixed).
 const DOM_SHARDS: usize = 64;
-
-struct QueueState {
-    queue: PlanQueue,
-    /// Queued partials plus partials currently held by workers. The search
-    /// is done when the queue is empty *and* nothing is in flight.
-    outstanding: usize,
-}
-
-struct SharedQueue {
-    state: Mutex<QueueState>,
-    cv: Condvar,
-}
 
 /// The racy-but-monotone upper bound: bit pattern of the best complete-plan
 /// cost seen so far. Readers may observe a stale (higher) value — which only
@@ -63,12 +51,16 @@ impl BestCost {
     }
 
     fn get(&self) -> f64 {
+        // hyppo-lint: allow(relaxed-ordering-justified) a stale (higher) bound
+        // only weakens pruning, never changes the returned plan (DESIGN.md §9)
         f64::from_bits(self.0.load(AtomicOrder::Relaxed))
     }
 
     fn lower_to(&self, cost: f64) {
         // Non-negative IEEE-754 bit patterns sort like the floats they
         // encode, so fetch_min on bits is a numeric fetch-min.
+        // hyppo-lint: allow(relaxed-ordering-justified) fetch_min is monotone;
+        // any interleaving yields the same final minimum (DESIGN.md §9)
         self.0.fetch_min(cost.to_bits(), AtomicOrder::Relaxed);
     }
 }
@@ -79,7 +71,7 @@ struct Search<'a, N, E> {
     source: NodeId,
     params: &'a ExactParams,
     bounds: Option<&'a PlannerBounds>,
-    sq: SharedQueue,
+    sq: SharedPlanQueue,
     dom: Vec<Mutex<HashMap<u64, DomEntry>>>,
     best: BestCost,
     incumbent: Mutex<Incumbent>,
@@ -100,14 +92,12 @@ pub(crate) fn search_parallel<N: Sync, E: Sync>(
     seed: Partial,
     threads: usize,
 ) -> Option<Plan> {
-    let mut queue = PlanQueue::new(params.queue);
     let dom: Vec<Mutex<HashMap<u64, DomEntry>>> =
         (0..DOM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
     if params.dedup_states {
         let sig = seed.state_sig();
         dom[shard_of(sig)].lock().unwrap().insert(sig, DomEntry::of(&seed));
     }
-    queue.insert(seed);
 
     let search = Search {
         graph,
@@ -115,10 +105,7 @@ pub(crate) fn search_parallel<N: Sync, E: Sync>(
         source,
         params,
         bounds,
-        sq: SharedQueue {
-            state: Mutex::new(QueueState { queue, outstanding: 1 }),
-            cv: Condvar::new(),
-        },
+        sq: SharedPlanQueue::new(params.queue, seed),
         dom,
         best: BestCost::new(),
         incumbent: Mutex::new(Incumbent::default()),
@@ -134,6 +121,8 @@ pub(crate) fn search_parallel<N: Sync, E: Sync>(
         }
     });
 
+    // hyppo-lint: allow(relaxed-ordering-justified) effort counters read after
+    // the scope join (a full barrier); values are metrics, not plan inputs
     search.incumbent.into_inner().unwrap().into_plan(
         search.expansions.load(AtomicOrder::Relaxed),
         search.pops.load(AtomicOrder::Relaxed),
@@ -156,26 +145,11 @@ fn worker<N, E>(s: &Search<'_, N, E>) {
     loop {
         // Claim a batch, or exit once the queue is drained with nothing in
         // flight anywhere.
-        batch.clear();
-        {
-            let mut st = s.sq.state.lock().unwrap();
-            loop {
-                if !st.queue.is_empty() {
-                    break;
-                }
-                if st.outstanding == 0 {
-                    return;
-                }
-                st = s.sq.cv.wait(st).unwrap();
-            }
-            for _ in 0..BATCH {
-                match st.queue.pop() {
-                    Some(p) => batch.push(p),
-                    None => break,
-                }
-            }
+        let claimed = s.sq.claim(&mut batch, BATCH);
+        if claimed == 0 {
+            return;
         }
-        let claimed = batch.len();
+        // hyppo-lint: allow(relaxed-ordering-justified) effort counter only
         s.pops.fetch_add(claimed, AtomicOrder::Relaxed);
 
         survivors.clear();
@@ -196,12 +170,17 @@ fn worker<N, E>(s: &Search<'_, N, E>) {
                 s.best.lower_to(cost);
                 continue;
             }
+            // hyppo-lint: allow(relaxed-ordering-justified) budget check is
+            // deliberately approximate; overshoot only delays truncation
             if s.expansions.load(AtomicOrder::Relaxed) >= s.params.max_expansions {
                 // Keep draining (for termination) without expanding. The
                 // counter may overshoot by at most one batch per worker.
+                // hyppo-lint: allow(relaxed-ordering-justified) truncated flag is
+                // read once after the scope join
                 s.truncated.store(true, AtomicOrder::Relaxed);
                 continue;
             }
+            // hyppo-lint: allow(relaxed-ordering-justified) effort counter only
             s.expansions.fetch_add(1, AtomicOrder::Relaxed);
             expanded.clear();
             expand_into(s.graph, s.costs, &partial, s.source, h, &mut scratch, &mut expanded);
@@ -220,18 +199,10 @@ fn worker<N, E>(s: &Search<'_, N, E>) {
         }
 
         // Publish children and settle the in-flight count under one lock.
-        let pushed = survivors.len();
-        let mut st = s.sq.state.lock().unwrap();
-        for c in survivors.drain(..) {
-            st.queue.insert(c);
-        }
-        st.outstanding = st.outstanding + pushed - claimed;
-        s.peak_queue.fetch_max(st.queue.len(), AtomicOrder::Relaxed);
-        let done = st.outstanding == 0;
-        drop(st);
-        if pushed > 0 || done {
-            s.sq.cv.notify_all();
-        }
+        let depth = s.sq.publish(&mut survivors, claimed);
+        // hyppo-lint: allow(relaxed-ordering-justified) fetch_max on a metrics
+        // gauge; monotone and read only after the scope join
+        s.peak_queue.fetch_max(depth, AtomicOrder::Relaxed);
     }
 }
 

@@ -1,0 +1,209 @@
+//! Per-site suppression annotations.
+//!
+//! Grammar (inside any comment):
+//!
+//! ```text
+//! hyppo-lint: allow(<rule>[, <rule>...]) <reason>
+//! ```
+//!
+//! The reason is **mandatory** — an allow without one is itself a violation
+//! (`malformed-allow`), as is an unknown rule name. A trailing annotation
+//! (code and comment on the same line) suppresses its own line; a standalone
+//! comment line suppresses the *next statement* (heuristically: from the
+//! next code line through balanced parentheses to the statement end), which
+//! covers multi-line calls with one annotation.
+
+use crate::scan::Line;
+use crate::{Finding, MALFORMED_ALLOW};
+
+/// Suppressed `(rule, line)` pairs for one file, plus any findings the
+/// annotations themselves produced.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    /// `(rule id, 1-based line)` pairs that are allowed.
+    allowed: Vec<(String, usize)>,
+    /// Malformed-annotation findings (missing reason, unknown rule).
+    pub findings: Vec<Finding>,
+}
+
+impl Suppressions {
+    /// Whether `rule` is suppressed at `line` (1-based).
+    pub fn allows(&self, rule: &str, line: usize) -> bool {
+        self.allowed.iter().any(|(r, l)| r == rule && *l == line)
+    }
+
+    fn allow_range(&mut self, rule: &str, lines: std::ops::RangeInclusive<usize>) {
+        for l in lines {
+            self.allowed.push((rule.to_string(), l));
+        }
+    }
+}
+
+/// Parse every annotation in `lines` (1-based line numbers in findings).
+pub fn collect(rel_path: &str, lines: &[Line], known_rules: &[&str]) -> Suppressions {
+    let mut sup = Suppressions::default();
+    for (idx, line) in lines.iter().enumerate() {
+        // Doc comments (`///`, `//!`, `/** */`) document the grammar; only
+        // plain comments carry live suppressions.
+        let doc = matches!(line.comment.trim_start().chars().next(), Some('/' | '!' | '*'));
+        if doc {
+            continue;
+        }
+        let Some(at) = line.comment.find("hyppo-lint:") else { continue };
+        let lineno = idx + 1;
+        let rest = line.comment[at + "hyppo-lint:".len()..].trim_start();
+        match parse_allow(rest) {
+            Err(why) => sup.findings.push(Finding {
+                rule: MALFORMED_ALLOW,
+                file: rel_path.to_string(),
+                line: lineno,
+                message: format!("malformed suppression annotation: {why}"),
+            }),
+            Ok((rules, _reason)) => {
+                let mut ok = true;
+                for rule in &rules {
+                    if !known_rules.contains(&rule.as_str()) {
+                        sup.findings.push(Finding {
+                            rule: MALFORMED_ALLOW,
+                            file: rel_path.to_string(),
+                            line: lineno,
+                            message: format!("allow() names unknown rule `{rule}`"),
+                        });
+                        ok = false;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let span = if line.code.trim().is_empty() {
+                    statement_span(lines, idx + 1)
+                } else {
+                    lineno..=lineno
+                };
+                for rule in &rules {
+                    sup.allow_range(rule, span.clone());
+                }
+            }
+        }
+    }
+    sup
+}
+
+/// Parse `allow(<rules>) <reason>`; the reason must be non-empty.
+fn parse_allow(text: &str) -> Result<(Vec<String>, String), &'static str> {
+    let body = text.strip_prefix("allow").ok_or("expected `allow(<rule>) <reason>`")?;
+    let body = body.trim_start();
+    let body = body.strip_prefix('(').ok_or("expected `(` after `allow`")?;
+    let close = body.find(')').ok_or("unclosed `allow(`")?;
+    let rules: Vec<String> =
+        body[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return Err("allow() lists no rules");
+    }
+    let reason = body[close + 1..].trim();
+    if reason.is_empty() {
+        return Err("a reason is mandatory after allow(...)");
+    }
+    Ok((rules, reason.to_string()))
+}
+
+/// The statement starting at the first code line at or after `from`
+/// (0-based), extended through balanced parentheses/brackets. Returns
+/// 1-based inclusive line numbers, capped at 30 lines.
+fn statement_span(lines: &[Line], from: usize) -> std::ops::RangeInclusive<usize> {
+    let mut start = from;
+    while start < lines.len() && lines[start].code.trim().is_empty() {
+        start += 1;
+    }
+    if start >= lines.len() {
+        return from + 1..=from + 1;
+    }
+    let mut depth: i32 = 0;
+    let mut end = start;
+    for (off, line) in lines[start..].iter().take(30).enumerate() {
+        end = start + off;
+        let code = &line.code;
+        for c in code.chars() {
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 && code.contains([';', ')', '{', '}']) {
+            break;
+        }
+        if depth <= 0 && !code.trim().is_empty() && off > 0 {
+            break;
+        }
+    }
+    start + 1..=end + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    const RULES: &[&str] = &["rule-a", "rule-b"];
+
+    #[test]
+    fn trailing_annotation_covers_its_own_line() {
+        let lines = scan("do_it(); // hyppo-lint: allow(rule-a) because reasons\n");
+        let sup = collect("f.rs", &lines, RULES);
+        assert!(sup.findings.is_empty());
+        assert!(sup.allows("rule-a", 1));
+        assert!(!sup.allows("rule-b", 1));
+    }
+
+    #[test]
+    fn standalone_annotation_covers_the_next_statement() {
+        let src = "\
+// hyppo-lint: allow(rule-a) spans the whole call
+foo(
+    bar,
+    baz,
+);
+next();
+";
+        let lines = scan(src);
+        let sup = collect("f.rs", &lines, RULES);
+        assert!(sup.findings.is_empty());
+        for l in 2..=5 {
+            assert!(sup.allows("rule-a", l), "line {l}");
+        }
+        assert!(!sup.allows("rule-a", 6));
+    }
+
+    #[test]
+    fn missing_reason_is_a_finding() {
+        let lines = scan("x(); // hyppo-lint: allow(rule-a)\n");
+        let sup = collect("f.rs", &lines, RULES);
+        assert_eq!(sup.findings.len(), 1);
+        assert_eq!(sup.findings[0].rule, MALFORMED_ALLOW);
+        assert!(!sup.allows("rule-a", 1));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_finding() {
+        let lines = scan("x(); // hyppo-lint: allow(nope) some reason\n");
+        let sup = collect("f.rs", &lines, RULES);
+        assert_eq!(sup.findings.len(), 1);
+        assert!(sup.findings[0].message.contains("nope"));
+    }
+
+    #[test]
+    fn doc_comments_are_not_parsed_as_annotations() {
+        let lines = scan("//! hyppo-lint: allow(<rule>) grammar example\nx();\n");
+        let sup = collect("f.rs", &lines, RULES);
+        assert!(sup.findings.is_empty());
+        assert!(!sup.allows("rule-a", 2));
+    }
+
+    #[test]
+    fn multiple_rules_share_one_annotation() {
+        let lines = scan("x(); // hyppo-lint: allow(rule-a, rule-b) shared reason\n");
+        let sup = collect("f.rs", &lines, RULES);
+        assert!(sup.allows("rule-a", 1) && sup.allows("rule-b", 1));
+    }
+}

@@ -1,0 +1,216 @@
+//! `hyppo-lint`: determinism & concurrency static analysis for the HYPPO
+//! workspace.
+//!
+//! The repo's headline guarantee — *bit-identical plans and artifacts under
+//! any thread count* — is a property one stray `HashMap` iteration,
+//! wall-clock read, or unjustified `Ordering::Relaxed` silently destroys,
+//! and one that `clippy` cannot check because the invariants are
+//! HYPPO-specific. This crate is the program-level gate: a self-contained,
+//! dependency-free pass over every `.rs` file under `src/`, `crates/`,
+//! `tests/`, and `examples/` (vendored crates and lint fixtures excluded),
+//! with per-site suppression via
+//!
+//! ```text
+//! // hyppo-lint: allow(<rule>) <mandatory reason>
+//! ```
+//!
+//! Rules (see `DESIGN.md` §10 for the invariant each protects):
+//!
+//! | rule | flags |
+//! |------|-------|
+//! | `nondeterministic-iteration` | `HashMap`/`HashSet` iteration in planner/runtime/hypergraph code |
+//! | `wall-clock-in-planner` | `Instant::now`/`SystemTime::now` in plan-decision code |
+//! | `relaxed-ordering-justified` | weak/RMW atomic orderings without a written justification |
+//! | `unsafe-needs-safety-comment` | `unsafe` without an adjacent `// SAFETY:` comment |
+//! | `nested-lock-acquire` | a lock acquired while another guard is plausibly live |
+//! | `no-deprecated-planner-api` | `SearchOptions` / free-function `optimize(` |
+//! | `malformed-allow` | `allow(...)` without a reason, or naming an unknown rule |
+
+mod annot;
+mod rules;
+mod scan;
+
+pub use rules::{
+    DEPRECATED_API, NESTED_LOCK, NONDET_ITERATION, RELAXED_ORDERING, RULE_IDS, UNSAFE_COMMENT,
+    WALL_CLOCK,
+};
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Meta rule: a suppression annotation that is itself invalid.
+pub const MALFORMED_ALLOW: &str = "malformed-allow";
+
+/// Workspace directories the lint walks (relative to the root).
+pub const SCAN_ROOTS: &[&str] = &["src", "crates", "tests", "examples"];
+
+/// Directory names skipped anywhere in the walk: build output, vendored
+/// std-only crate stand-ins, and the lint's own deliberately-violating
+/// fixture snippets.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git"];
+
+/// One rule violation at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id.
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Lint one source text as if it lived at `rel_path` (forward slashes,
+/// relative to the workspace root — the path decides which rules apply).
+/// Findings come back sorted by line, then rule.
+pub fn lint_source(rel_path: &str, text: &str) -> Vec<Finding> {
+    let lines = scan::scan(text);
+    let mut sup = annot::collect(rel_path, &lines, rules::RULE_IDS);
+    let mut findings = rules::check_file(rel_path, &lines, &sup);
+    findings.append(&mut sup.findings);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Lint every `.rs` file under the workspace `root`'s [`SCAN_ROOTS`].
+/// Findings come back sorted by `(file, line, rule)` — the lint is about
+/// determinism, so its own output is deterministic too.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        let path = root.join(dir);
+        if path.is_dir() {
+            collect_rs_files(&path, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let text = fs::read_to_string(file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        findings.extend(lint_source(&rel, &text));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Render findings the way a compiler would.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "error[{}]: {}", f.rule, f.message);
+        let _ = writeln!(out, "  --> {}:{}", f.file, f.line);
+    }
+    if findings.is_empty() {
+        out.push_str("hyppo-lint: no violations\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "hyppo-lint: {} violation{} (suppress a site with \
+             `// hyppo-lint: allow(<rule>) <reason>` — the reason is mandatory)",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+    }
+    out
+}
+
+/// Render findings as a single JSON object (machine output for CI).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"tool\":\"hyppo-lint\",\"version\":1,\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        );
+    }
+    let _ = write!(out, "],\"total\":{}}}", findings.len());
+    out.push('\n');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_output_is_well_formed_for_tricky_messages() {
+        let findings = vec![Finding {
+            rule: MALFORMED_ALLOW,
+            file: "a/b.rs".into(),
+            line: 3,
+            message: "quote \" backslash \\ newline \n done".into(),
+        }];
+        let json = render_json(&findings);
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\\n"));
+        assert!(json.ends_with("\"total\":1}\n"));
+    }
+
+    #[test]
+    fn clean_source_yields_no_findings() {
+        let src = "pub fn add(a: u32, b: u32) -> u32 { a + b }\n";
+        assert!(lint_source("crates/core/src/optimizer/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_skip_scoped_rules_but_not_global_ones() {
+        // Wall-clock is fine outside the planner; SearchOptions never is.
+        let src = "fn f() { let t = Instant::now(); let o = SearchOptions::default(); }\n";
+        let findings = lint_source("crates/bench/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, DEPRECATED_API);
+    }
+}

@@ -1,0 +1,88 @@
+//! `hyppo-lint` CLI.
+//!
+//! ```text
+//! hyppo-lint [--json] [--root <path>]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+//! Without `--root`, the workspace root is found by ascending from the
+//! current directory to the first `Cargo.toml` containing `[workspace]`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("hyppo-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: hyppo-lint [--json] [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("hyppo-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(discover_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "hyppo-lint: could not find a workspace root (no ancestor \
+                 Cargo.toml with [workspace]); pass --root <path>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match hyppo_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hyppo-lint: failed to read sources under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", hyppo_lint::render_json(&findings));
+    } else {
+        print!("{}", hyppo_lint::render_human(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Nearest ancestor of the current directory whose `Cargo.toml` declares a
+/// `[workspace]` section.
+fn discover_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if has_workspace_manifest(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn has_workspace_manifest(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|t| t.lines().any(|l| l.trim() == "[workspace]"))
+        .unwrap_or(false)
+}

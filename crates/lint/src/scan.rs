@@ -1,0 +1,272 @@
+//! A comment- and string-literal-aware line model of a Rust source file.
+//!
+//! The scanner is not a parser: it walks the character stream once, tracking
+//! just enough lexical state (line comments, nested block comments, string /
+//! raw-string / char literals) to split every line into
+//!
+//! - `code` — the line's source text with comment text removed and literal
+//!   *contents* blanked to spaces (delimiters are kept), so rule patterns
+//!   never match inside a comment or a string, and
+//! - `comment` — the comment text carried by the line, which is where
+//!   suppression annotations (`hyppo-lint: allow(...)`) and `SAFETY:`
+//!   comments live.
+//!
+//! Blanking (rather than deleting) literal contents keeps brace/paren
+//! counting over `code` meaningful for the textual scope heuristics.
+
+/// One source line, split into rule-visible code and comment text.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Source text with comments stripped and literal contents blanked.
+    pub code: String,
+    /// Comment text on this line (line comments and block-comment parts).
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comments: Rust allows `/* /* */ */`.
+    BlockComment(u32),
+    Str,
+    /// Raw string with this many `#`s in its delimiter.
+    RawStr(u32),
+}
+
+/// Split `text` into [`Line`]s. Infallible: unterminated literals or
+/// comments simply run to end of file in their current state.
+pub fn scan(text: &str) -> Vec<Line> {
+    let cs: Vec<char> = text.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    let at = |j: usize| cs.get(j).copied().unwrap_or('\0');
+
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut line));
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && at(i + 1) == '/' {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && at(i + 1) == '*' {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if let Some((prefix_len, hashes)) = raw_string_start(&cs, i) {
+                    for k in 0..prefix_len {
+                        line.code.push(cs[i + k]);
+                    }
+                    state = State::RawStr(hashes);
+                    i += prefix_len;
+                } else if c == '\'' {
+                    i = consume_char_or_lifetime(&cs, i, &mut line.code);
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && at(i + 1) == '/' {
+                    state = if depth > 1 { State::BlockComment(depth - 1) } else { State::Code };
+                    i += 2;
+                } else if c == '/' && at(i + 1) == '*' {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    line.code.push(' ');
+                    if at(i + 1) != '\n' {
+                        line.code.push(' ');
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && (0..hashes as usize).all(|k| at(i + 1 + k) == '#') {
+                    line.code.push('"');
+                    for _ in 0..hashes {
+                        line.code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+/// `r"`, `r#"`, `br"`, `b"`-free raw-string opener at `i`: returns
+/// `(prefix length up to and including the quote, hash count)`.
+fn raw_string_start(cs: &[char], i: usize) -> Option<(usize, u32)> {
+    // Must not be the tail of an identifier (`var"` cannot occur, but `xr`
+    // followed by `#` could in macros — be conservative).
+    if i > 0 && is_word_char(cs[i - 1]) {
+        return None;
+    }
+    let mut j = i;
+    if cs[j] == 'b' && cs.get(j + 1) == Some(&'r') {
+        j += 2;
+    } else if cs[j] == 'r' {
+        j += 1;
+    } else {
+        return None;
+    }
+    let mut hashes = 0u32;
+    while cs.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if cs.get(j) == Some(&'"') {
+        Some((j + 1 - i, hashes))
+    } else {
+        None
+    }
+}
+
+/// At a `'`: either a char literal (contents blanked) or a lifetime (kept).
+/// Returns the index after whatever was consumed.
+fn consume_char_or_lifetime(cs: &[char], i: usize, code: &mut String) -> usize {
+    let next = cs.get(i + 1).copied().unwrap_or('\0');
+    let is_char_lit = next == '\\' || cs.get(i + 2) == Some(&'\'');
+    if !is_char_lit {
+        code.push('\'');
+        return i + 1;
+    }
+    code.push('\'');
+    let mut j = i + 1;
+    while j < cs.len() && cs[j] != '\n' {
+        if cs[j] == '\\' {
+            code.push(' ');
+            code.push(' ');
+            j += 2;
+            continue;
+        }
+        if cs[j] == '\'' {
+            code.push('\'');
+            return j + 1;
+        }
+        code.push(' ');
+        j += 1;
+    }
+    j
+}
+
+/// Identifier character (`_`, letters, digits).
+pub fn is_word_char(c: char) -> bool {
+    c == '_' || c.is_ascii_alphanumeric()
+}
+
+/// Byte offsets of `word` in `code` with identifier boundaries on both
+/// sides. `word` must itself be identifier-shaped.
+pub fn word_occurrences(code: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find(word) {
+        let pos = from + rel;
+        let before_ok = pos == 0 || !is_word_char(code[..pos].chars().next_back().unwrap_or(' '));
+        let after = code[pos + word.len()..].chars().next().unwrap_or(' ');
+        if before_ok && !is_word_char(after) {
+            out.push(pos);
+        }
+        from = pos + word.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped_from_code() {
+        let lines = scan("let x = 1; // HashMap here\n/* SystemTime::now */ let y = 2;\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap"));
+        assert!(!lines[1].code.contains("SystemTime"));
+        assert!(lines[1].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_delimiters_kept() {
+        let lines = scan("let s = \"optimize( unsafe { }\";\n");
+        assert!(!lines[0].code.contains("optimize"));
+        assert!(!lines[0].code.contains('{'));
+        assert_eq!(lines[0].code.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_bytes_are_blanked() {
+        let lines = scan("let s = r#\"SearchOptions \"quoted\"\"#; let b = b\"unsafe\";\n");
+        assert!(!lines[0].code.contains("SearchOptions"));
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("let b ="));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lines = scan("/* a /* b */ c */ let z = 3;\n");
+        assert!(lines[0].code.contains("let z = 3;"));
+        assert!(lines[0].comment.contains('b'));
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let lines = scan("let s = \"first\nHashMap second\";\nlet t = 1;\n");
+        assert!(!lines[1].code.contains("HashMap"));
+        assert!(lines[2].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let lines = scan("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; }\n");
+        assert!(lines[0].code.contains("<'a>"));
+        // The brace inside the char literal must not unbalance the line.
+        let opens = lines[0].code.matches('{').count();
+        let closes = lines[0].code.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn word_occurrences_respect_boundaries() {
+        assert_eq!(word_occurrences("unsafe_fn unsafe x_unsafe", "unsafe").len(), 1);
+        assert_eq!(word_occurrences("Relaxed, AtomicOrder::Relaxed", "Relaxed").len(), 2);
+    }
+}

@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn bump(counter: &AtomicUsize) -> usize {
+    // hyppo-lint: allow(relaxed-ordering-justified)
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,4 @@
+fn plan_with_old_api() {
+    let opts = SearchOptions::default();
+    let _ = optimize(&graph, &costs, source, &targets, &[], opts);
+}

@@ -1,0 +1,4 @@
+fn plan_with_builder() {
+    let _ = Planner::exact().queue(QueueKind::Priority).plan(&graph, req);
+    let _normalized = self.expr_optimizer.optimize(input);
+}

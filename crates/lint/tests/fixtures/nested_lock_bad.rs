@@ -1,0 +1,10 @@
+use std::sync::Mutex;
+
+fn drain(a: &Mutex<Vec<u64>>, b: &Mutex<Vec<u64>>) -> Vec<u64> {
+    let mut out = Vec::new();
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    out.extend(ga.iter().copied());
+    out.extend(gb.iter().copied());
+    out
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+fn totals(by_edge: &HashMap<u64, f64>) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (_, v) in by_edge.iter() {
+        out.push(*v);
+    }
+    out
+}

@@ -1,0 +1,9 @@
+use std::collections::{BTreeMap, HashMap};
+
+fn stats(by_edge: &HashMap<u64, f64>) -> (usize, bool) {
+    (by_edge.len(), by_edge.values().all(|v| *v >= 0.0))
+}
+
+fn canonical(by_edge: &HashMap<u64, f64>) -> BTreeMap<u64, f64> {
+    by_edge.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>()
+}

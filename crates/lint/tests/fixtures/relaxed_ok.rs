@@ -1,0 +1,11 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn bump(counter: &AtomicUsize) -> usize {
+    // hyppo-lint: allow(relaxed-ordering-justified) metrics counter; the value
+    // never feeds a plan decision
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+fn bump_strict(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::SeqCst)
+}

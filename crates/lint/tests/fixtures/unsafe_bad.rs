@@ -1,0 +1,3 @@
+fn head(xs: &[u64]) -> u64 {
+    unsafe { *xs.get_unchecked(0) }
+}

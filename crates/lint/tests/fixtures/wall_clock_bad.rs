@@ -1,0 +1,5 @@
+use std::time::Instant;
+
+fn tie_break_seed() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,3 @@
+fn tie_break_seed(counter: u64) -> u64 {
+    counter.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

@@ -1,0 +1,74 @@
+//! End-to-end scans: the real workspace must be clean (the lint passes on
+//! its own repo), every violating fixture must fail a scan when planted in
+//! a scoped location, and the binary's exit codes must match.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+/// Sweeping the workspace clean is part of the lint's contract: a scan of
+/// this repository must produce zero findings.
+#[test]
+fn the_workspace_itself_is_clean() {
+    let findings = hyppo_lint::lint_workspace(&repo_root()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "workspace has lint violations:\n{}",
+        hyppo_lint::render_human(&findings)
+    );
+}
+
+/// Plant each violating fixture in a synthetic workspace at a path where
+/// its rule applies; the scan must report it (and the binary exits 1).
+#[test]
+fn each_violating_fixture_fails_a_workspace_scan() {
+    let bad = [
+        "nondet_iteration_bad.rs",
+        "wall_clock_bad.rs",
+        "relaxed_bad.rs",
+        "unsafe_bad.rs",
+        "nested_lock_bad.rs",
+        "deprecated_api_bad.rs",
+        "allow_missing_reason.rs",
+    ];
+    for name in bad {
+        let ws = synthetic_workspace(name);
+        let findings = hyppo_lint::lint_workspace(&ws).unwrap();
+        assert!(!findings.is_empty(), "{name}: expected findings from a planted fixture");
+    }
+}
+
+#[test]
+fn binary_exit_codes_and_json_output() {
+    let exe = env!("CARGO_BIN_EXE_hyppo-lint");
+
+    let dirty = synthetic_workspace("relaxed_bad.rs");
+    let out = Command::new(exe).args(["--json", "--root"]).arg(&dirty).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"rule\":\"relaxed-ordering-justified\""), "got: {json}");
+    assert!(json.contains("\"total\":1"), "got: {json}");
+
+    let clean = synthetic_workspace("relaxed_ok.rs");
+    let out = Command::new(exe).arg("--root").arg(&clean).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "clean tree must exit 0");
+
+    let out = Command::new(exe).arg("--nonsense").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "bad usage must exit 2");
+}
+
+/// A throwaway workspace containing just `fixture` at
+/// `crates/core/src/optimizer/planted.rs` (in scope for every rule).
+fn synthetic_workspace(fixture: &str) -> PathBuf {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_ws").join(fixture);
+    let dir = base.join("crates/core/src/optimizer");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(base.join("Cargo.toml"), "[workspace]\n").unwrap();
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(fixture);
+    fs::copy(src, dir.join("planted.rs")).unwrap();
+    base
+}

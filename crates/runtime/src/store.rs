@@ -126,6 +126,8 @@ impl SharedArtifactStore {
     /// the real synchronization overhead, kept apart from the modelled IO
     /// costs.
     pub fn lock_wait_seconds(&self) -> f64 {
+        // hyppo-lint: allow(relaxed-ordering-justified) contention gauge; a torn
+        // sum across in-flight adds is acceptable for metrics
         self.inner.lock_wait_nanos.load(Ordering::Relaxed) as f64 * 1e-9
     }
 
@@ -145,6 +147,7 @@ impl SharedArtifactStore {
 
     fn record_wait(&self, start: Instant) {
         let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        // hyppo-lint: allow(relaxed-ordering-justified) contention gauge only
         self.inner.lock_wait_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 

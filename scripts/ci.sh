@@ -19,20 +19,17 @@ cargo test --workspace --offline -q
 echo "== parallel-planner equivalence suite (HYPPO_PLANNER_THREADS=4) =="
 HYPPO_PLANNER_THREADS=4 cargo test --offline -q --test planner_parallel_equivalence
 
-echo "== deprecated planner API stays quarantined in the shim =="
-# The free function optimize(...) and SearchOptions live on for one PR in
-# optimizer/compat.rs only; the sole other allowed user is the shim
-# regression test. Everything else must use the Planner builder.
-violations=$(grep -rn --include='*.rs' -E '\bSearchOptions\b|[^_.a-zA-Z]optimize\(' \
-    src crates tests examples \
-    | grep -v 'crates/core/src/optimizer/compat\.rs' \
-    | grep -v 'crates/core/src/optimizer/mod\.rs:.*pub use compat' \
-    | grep -v 'tests/planner_parallel_equivalence\.rs' \
-    | grep -v 'crates/core/src/lib\.rs:.*pub use optimizer' \
-    || true)
-if [ -n "$violations" ]; then
-    echo "deprecated optimize()/SearchOptions used outside the compat shim:" >&2
-    echo "$violations" >&2
+echo "== hyppo-lint =="
+# Determinism & concurrency static analysis (crates/lint): nondeterministic
+# hash iteration, wall-clock in plan decisions, unjustified relaxed atomics,
+# undocumented unsafe, nested lock acquisition, and any reappearance of the
+# removed pre-Planner API. The JSON artifact is kept so failures print
+# structured findings.
+mkdir -p target
+if ! cargo run -q -p hyppo-lint --offline -- --json > target/hyppo-lint.json; then
+    echo "hyppo-lint found violations:" >&2
+    cat target/hyppo-lint.json >&2
+    cargo run -q -p hyppo-lint --offline >&2 || true
     exit 1
 fi
 

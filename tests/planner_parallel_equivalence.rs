@@ -1,8 +1,7 @@
 //! The parallel plan search's core contract: for any worker count, the
 //! returned plan — edges, cost bits, and the canonical tie-break — is
 //! identical to the serial search's. 240 random instances (120 seeds × both
-//! queue disciplines) at threads ∈ {1, 2, 4, 8}, plus a regression test
-//! that the deprecated free-function shim agrees with the builder.
+//! queue disciplines) at threads ∈ {1, 2, 4, 8}.
 
 use hyppo::core::optimizer::{PlanRequest, Planner, QueueKind};
 use hyppo::hypergraph::{HyperGraph, NodeId};
@@ -108,36 +107,4 @@ fn env_threads_default_matches_serial_plans() {
     let defaulted = Planner::exact().plan(&g, req).unwrap();
     assert_eq!(serial.edges, defaulted.edges);
     assert_eq!(serial.cost.to_bits(), defaulted.cost.to_bits());
-}
-
-/// One-PR deprecation shim: the old free function must forward to the
-/// builder and return the identical plan.
-#[allow(deprecated)]
-#[test]
-fn deprecated_optimize_shim_agrees_with_the_builder() {
-    use hyppo::core::optimizer::{optimize, SearchOptions};
-    for seed in [1u64, 13, 31] {
-        let (g, costs, s, t) = random_instance(seed);
-        for queue in [QueueKind::Stack, QueueKind::Priority] {
-            let via_shim = optimize(
-                &g,
-                &costs,
-                s,
-                &t,
-                &[],
-                SearchOptions { queue, ..SearchOptions::default() },
-            );
-            let via_builder =
-                Planner::exact().threads(1).queue(queue).plan(&g, PlanRequest::new(&costs, s, &t));
-            match (&via_shim, &via_builder) {
-                (Some(a), Some(b)) => {
-                    assert_eq!(a.edges, b.edges, "seed {seed} {queue:?}");
-                    assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "seed {seed} {queue:?}");
-                    assert_eq!(a.expansions, b.expansions, "seed {seed} {queue:?}");
-                }
-                (None, None) => {}
-                other => panic!("seed {seed} {queue:?}: {other:?}"),
-            }
-        }
-    }
 }
