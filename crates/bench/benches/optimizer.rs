@@ -13,6 +13,9 @@
 //! plan identity is a property of the algorithm and is asserted always.
 
 use hyppo_core::optimizer::{Plan, PlanRequest, Planner, QueueKind};
+use hyppo_core::PlannerBounds;
+use hyppo_hypergraph::NodeId;
+use hyppo_tensor::SeededRng;
 use hyppo_workloads::generate_synthetic;
 use serde::Serialize;
 use std::time::Instant;
@@ -57,6 +60,22 @@ struct ParallelInstance {
 }
 
 #[derive(Serialize)]
+struct GrowthStepTiming {
+    n: usize,
+    /// Live edges before this insertion batch.
+    base_edges: usize,
+    /// Edges the batch inserted (the repair delta).
+    inserted_edges: usize,
+    /// Patching the previous bounds forward through the journal delta.
+    repair_wall_seconds: f64,
+    /// Re-running both relaxations from scratch on the grown graph.
+    recompute_wall_seconds: f64,
+    speedup: f64,
+    /// Repaired tables match the from-scratch tables bit for bit.
+    bounds_identical: bool,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     benchmark: String,
     instances: Vec<Instance>,
@@ -72,6 +91,14 @@ struct BenchReport {
     all_parallel_plans_identical: bool,
     total_serial_wall_seconds: f64,
     total_parallel_wall_seconds: f64,
+    /// Growing-history scenario: per-batch bound repair vs full recompute.
+    growing_history: Vec<GrowthStepTiming>,
+    total_repair_wall_seconds: f64,
+    total_recompute_wall_seconds: f64,
+    /// Aggregate recompute/repair wall ratio (reported, not asserted:
+    /// wall time is a property of the host).
+    repair_speedup: f64,
+    all_repaired_bounds_identical: bool,
 }
 
 fn run_side(g: &hyppo_workloads::SyntheticGraph, planner: &Planner, reps: usize) -> (Plan, f64) {
@@ -100,6 +127,101 @@ fn side(plan: &Plan, wall: f64) -> Side {
     }
 }
 
+/// Growing-history scenario: a large synthetic history absorbs small
+/// insertion batches (one per "submission"); per batch we time patching the
+/// previous SBT solution forward through the journal against recomputing
+/// both relaxations from scratch, and assert the tables match bit for bit.
+fn bench_growing_history(report: &mut BenchReport, full: bool) {
+    let sizes: &[usize] = if full { &[500, 2000, 8000] } else { &[60] };
+    let batches = if full { 16 } else { 3 };
+    let reps = if full { 5 } else { 1 };
+    for &n in sizes {
+        let mut inst = generate_synthetic(n, 2, 7);
+        let mut rng = SeededRng::new(0x9e0 ^ n as u64);
+        // Creation order is a topological order of the synthetic pipeline;
+        // drawing tails from strictly earlier nodes keeps the graph a DAG.
+        let mut nodes: Vec<NodeId> = inst.graph.node_ids().collect();
+        let mut bounds = PlannerBounds::new(&inst.graph, &inst.costs, inst.source);
+        for _ in 0..batches {
+            let base_edges = inst.graph.edge_bound();
+            let n_inserts = 1 + rng.index(4);
+            for _ in 0..n_inserts {
+                let cost = rng.uniform(1.0, 10.0);
+                let pick_tail = |rng: &mut SeededRng, upstream: &[NodeId]| {
+                    let n_tail = 1 + rng.index(2.min(upstream.len()));
+                    let mut tail: Vec<NodeId> =
+                        (0..n_tail).map(|_| upstream[rng.index(upstream.len())]).collect();
+                    tail.sort_unstable();
+                    tail.dedup();
+                    tail
+                };
+                if rng.index(2) == 0 {
+                    // New artifact (a recorded task output) with one producer.
+                    let tail = pick_tail(&mut rng, &nodes);
+                    let v = inst.graph.add_node(u32::MAX);
+                    let e = inst.graph.add_edge(tail, vec![v], 0);
+                    inst.costs.resize(e.index() + 1, cost);
+                    nodes.push(v);
+                } else {
+                    // Alternative producer for an existing artifact.
+                    let i = 1 + rng.index(nodes.len() - 1);
+                    let tail = pick_tail(&mut rng, &nodes[..i]);
+                    let e = inst.graph.add_edge(tail, vec![nodes[i]], 0);
+                    inst.costs.resize(e.index() + 1, cost);
+                }
+            }
+            let inserted = inst.graph.edge_bound() - base_edges;
+
+            let mut repair_wall = f64::INFINITY;
+            let mut repaired = None;
+            for _ in 0..reps {
+                let start = Instant::now();
+                repaired = Some(bounds.repaired(&inst.graph, &inst.costs, base_edges));
+                repair_wall = repair_wall.min(start.elapsed().as_secs_f64());
+            }
+            let repaired = repaired.expect("at least one rep");
+
+            let mut recompute_wall = f64::INFINITY;
+            let mut scratch = None;
+            for _ in 0..reps {
+                let start = Instant::now();
+                scratch = Some(PlannerBounds::new(&inst.graph, &inst.costs, inst.source));
+                recompute_wall = recompute_wall.min(start.elapsed().as_secs_f64());
+            }
+            let scratch = scratch.expect("at least one rep");
+
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            let identical = bits(&repaired.h) == bits(&scratch.h)
+                && bits(&repaired.share) == bits(&scratch.share);
+            report.all_repaired_bounds_identical &= identical;
+            report.total_repair_wall_seconds += repair_wall;
+            report.total_recompute_wall_seconds += recompute_wall;
+            report.growing_history.push(GrowthStepTiming {
+                n,
+                base_edges,
+                inserted_edges: inserted,
+                repair_wall_seconds: repair_wall,
+                recompute_wall_seconds: recompute_wall,
+                speedup: recompute_wall / repair_wall.max(1e-12),
+                bounds_identical: identical,
+            });
+            bounds = repaired;
+        }
+        let per_n: Vec<&GrowthStepTiming> =
+            report.growing_history.iter().filter(|t| t.n == n).collect();
+        let rep: f64 = per_n.iter().map(|t| t.repair_wall_seconds).sum();
+        let rec: f64 = per_n.iter().map(|t| t.recompute_wall_seconds).sum();
+        println!(
+            "optimizer: growing-history n={n}: {} batches, repair {rep:.6}s vs \
+             recompute {rec:.6}s ({:.1}x)",
+            per_n.len(),
+            rec / rep.max(1e-12),
+        );
+    }
+    report.repair_speedup =
+        report.total_recompute_wall_seconds / report.total_repair_wall_seconds.max(1e-12);
+}
+
 fn main() {
     let full = std::env::args().any(|a| a == "--bench");
     // (n artifacts, m alternatives) on the Fig. 10 synthetic generator;
@@ -125,6 +247,11 @@ fn main() {
         all_parallel_plans_identical: true,
         total_serial_wall_seconds: 0.0,
         total_parallel_wall_seconds: 0.0,
+        growing_history: Vec::new(),
+        total_repair_wall_seconds: 0.0,
+        total_recompute_wall_seconds: 0.0,
+        repair_speedup: 0.0,
+        all_repaired_bounds_identical: true,
     };
     let mut log_ratio_sum = 0.0f64;
 
@@ -222,9 +349,20 @@ fn main() {
         report.hardware_threads,
         report.all_parallel_plans_identical,
     );
+    bench_growing_history(&mut report, full);
+    println!(
+        "optimizer: growing-history total repair {:.6}s vs recompute {:.6}s ({:.1}x), \
+         bounds identical: {}",
+        report.total_repair_wall_seconds,
+        report.total_recompute_wall_seconds,
+        report.repair_speedup,
+        report.all_repaired_bounds_identical,
+    );
+
     assert!(report.all_costs_match, "fast path must stay exact");
     assert!(report.all_baselines_optimal, "baseline truncated: shrink the instances");
     assert!(report.all_parallel_plans_identical, "parallel search must be bit-identical");
+    assert!(report.all_repaired_bounds_identical, "repair must be bit-identical to recompute");
 
     if full {
         let json = serde_json::to_string_pretty(&report).expect("serialize report");

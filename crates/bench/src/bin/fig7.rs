@@ -1,4 +1,4 @@
-//! Regenerates the paper's fig7 output. Options: --scale <f> --pipelines <n> --seqs <n> --seed <n>.
+//! Regenerates the paper's fig7 output. Options: `--scale <f>` `--pipelines <n>` `--seqs <n>` `--seed <n>`.
 fn main() {
     let opts = hyppo_bench::setup::parse_cli();
     hyppo_bench::figures::fig7::run(&opts);

@@ -1,5 +1,5 @@
 //! Regenerates every table and figure in sequence.
-//! Options: --scale <f> --pipelines <n> --seqs <n> --seed <n>.
+//! Options: `--scale <f>` `--pipelines <n>` `--seqs <n>` `--seed <n>`.
 fn main() {
     let opts = hyppo_bench::setup::parse_cli();
     let t0 = std::time::Instant::now();

@@ -527,6 +527,59 @@ mod tests {
         assert!(a.graph.bstar(train_node).iter().any(|&e| a.graph.edge(e).is_load()));
     }
 
+    /// Cross-submission prefix stability: augmentation is deterministic and
+    /// appends history enrichment *after* the pipeline + dictionary edges,
+    /// so re-augmenting the same pipeline against a history that grew
+    /// (append-only) yields a graph whose growth journal passes through the
+    /// previous augmentation's final state. That is exactly the property the
+    /// `PlannerBoundsCache` repair path keys on.
+    #[test]
+    fn growing_history_augmentations_chain_in_the_growth_journal() {
+        let p = small_pipeline();
+        let dict = Dictionary::full();
+        let first = augment(&p, &History::new(), &dict, AugmentOptions::default());
+
+        // "Execute" the split and record it; the next submission's
+        // augmentation sees a grown history.
+        let mut h = History::new();
+        h.record_dataset("higgs", 100 * 5 * 8);
+        let raw = naming::dataset_name("higgs");
+        let cfg = Config::new().with_i("seed", 0);
+        let train =
+            naming::output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg, &[raw], 0);
+        let test = naming::output_name(LogicalOp::TrainTestSplit, TaskType::Split, &cfg, &[raw], 1);
+        let mk = |name: ArtifactName, role: ArtifactRole, size: u64| ProducedArtifact {
+            name,
+            label: NodeLabel {
+                name,
+                kind: ArtifactKind::Data,
+                role,
+                hint: "x".into(),
+                size_bytes: Some(size),
+            },
+            size_bytes: size,
+        };
+        h.record_task(
+            LogicalOp::TrainTestSplit,
+            TaskType::Split,
+            0,
+            &cfg,
+            &[raw],
+            &[mk(train, ArtifactRole::Train, 3000), mk(test, ArtifactRole::Test, 1000)],
+            0.2,
+        );
+        h.materialize(train);
+        let second = augment(&p, &h, &dict, AugmentOptions::default());
+
+        let delta = second
+            .graph
+            .growth_since(first.graph.structure_sig(), usize::MAX)
+            .expect("second augmentation must pass through the first's structure");
+        assert_eq!(delta.base_nodes, first.graph.node_bound());
+        assert_eq!(delta.base_edges, first.graph.edge_bound());
+        assert!(second.graph.edge_bound() > delta.base_edges, "history enrichment appended");
+    }
+
     #[test]
     fn pipeline_is_subhypergraph_of_augmentation() {
         let p = small_pipeline();

@@ -4,7 +4,7 @@
 //! the ML substrate (Real mode) or against the cost annotations (Simulated
 //! mode — a virtual clock for scalability studies where only costs
 //! matter). Real mode measures each task's wall-clock cost; load edges pull
-//! from the [`ArtifactStore`] with its modelled IO cost.
+//! from the [`crate::store::ArtifactStore`] with its modelled IO cost.
 
 use crate::augment::Augmentation;
 use crate::codec::CodecError;

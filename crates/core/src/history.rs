@@ -89,6 +89,14 @@ impl History {
         self.node_by_name.len()
     }
 
+    /// Monotone insertion generation of the underlying hypergraph: grows on
+    /// every recorded node or task, never on eviction. A cheap "has the
+    /// history grown since I last looked?" stamp for bound-repair callers
+    /// (see [`HyperGraph::structure_generation`]).
+    pub fn generation(&self) -> u64 {
+        self.graph.structure_generation()
+    }
+
     /// Statistics of an artifact.
     pub fn stats_of(&self, name: ArtifactName) -> ArtifactStats {
         self.stats.get(&name).copied().unwrap_or_default()

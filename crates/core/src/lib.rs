@@ -6,7 +6,7 @@
 //! - [`history`] — the history hypergraph `H`, a *dual cache* archiving
 //!   every task and artifact observed across pipeline executions, with
 //!   pointers to materialized copies;
-//! - [`augment`] — the augmenter, which enriches a submitted pipeline `P`
+//! - [`mod@augment`] — the augmenter, which enriches a submitted pipeline `P`
 //!   with the equivalent alternatives recorded in `H` (and with the
 //!   dictionary's alternative physical implementations), yielding the
 //!   augmentation `A`;
@@ -25,6 +25,8 @@
 //!   bandwidth-modelled load cost;
 //! - [`system`] — the [`system::Hyppo`] facade tying everything together:
 //!   `submit(spec) → augment → optimize → execute → record → materialize`.
+
+#![deny(missing_docs)]
 
 pub mod augment;
 pub mod codec;
@@ -48,7 +50,7 @@ pub use executor::{execute_plan, ExecMode, ExecOutcome};
 pub use explain::{explain, Explanation};
 pub use history::History;
 pub use materialize::{MaterializeConfig, Materializer, PlanLocality};
-pub use optimizer::bounds::PlannerBoundsCache;
+pub use optimizer::bounds::{BoundsCacheStats, PlannerBounds, PlannerBoundsCache};
 pub use optimizer::{Plan, PlanRequest, Planner, QueueKind};
 pub use session::Session;
 pub use store::{ArtifactStorage, ArtifactStore};

@@ -39,7 +39,10 @@
 //! The max of two admissible lower bounds is admissible.
 
 use super::expand::Partial;
-use hyppo_hypergraph::{max_cost_distances, min_share_costs, mix64, HyperGraph, NodeId};
+use hyppo_hypergraph::{
+    max_cost_distances, min_share_costs, mix64, repair_max_cost_distances, repair_min_share_costs,
+    EdgeId, HyperGraph, NodeId,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -63,6 +66,27 @@ impl PlannerBounds {
         }
     }
 
+    /// Patch this solution forward onto a graph that grew from the state it
+    /// was computed on: edges `base_edges..graph.edge_bound()` (and any nodes
+    /// past `self.h.len()`) were inserted since, with no interleaved removal
+    /// — exactly what a [`HyperGraph::growth_since`] match certifies. Costs
+    /// must agree bitwise on every old edge. The result is bit-identical to
+    /// recomputing from scratch on the grown graph (DESIGN.md §11).
+    pub fn repaired<N, E>(
+        &self,
+        graph: &HyperGraph<N, E>,
+        costs: &[f64],
+        base_edges: usize,
+    ) -> Self {
+        let inserted: Vec<EdgeId> =
+            (base_edges..graph.edge_bound()).map(EdgeId::from_index).collect();
+        let mut h = self.h.clone();
+        let mut share = self.share.clone();
+        repair_max_cost_distances(graph, costs, &mut h, &inserted);
+        repair_min_share_costs(graph, costs, &mut share, &inserted);
+        PlannerBounds { h, share }
+    }
+
     /// Admissible lower bound on the cost of the best complete plan that
     /// extends `partial` (see module docs for the admissibility argument).
     pub fn completion_bound(&self, partial: &Partial, source: NodeId) -> f64 {
@@ -83,26 +107,45 @@ impl PlannerBounds {
 /// handful of keys covers the working set.
 const CACHE_CAPACITY: usize = 16;
 
+/// Growth-journal steps scanned (newest first) when looking for a cached
+/// *base* to patch forward. Each step is one insertion, so this doubles as
+/// the "delta is large" fallback: a base more than this many insertions
+/// stale misses and the relaxations rerun from scratch — at that distance
+/// the repair wave approaches full-fixpoint work anyway.
+const MAX_REPAIR_SCAN: usize = 128;
+
 /// Cache key: `(graph structure fingerprint, cost fingerprint, source)`.
 type CacheKey = (u64, u64, u64);
 
 /// Concurrent memo of [`PlannerBounds`] keyed by graph structure, costs, and
-/// source.
+/// source — with *patch-forward repair* when the graph grew.
 ///
 /// Augmentation builds a *fresh* hypergraph per submission, so object
 /// identity and the mutation [`HyperGraph::version`] counter cannot key a
 /// cross-submission cache; the incremental [`HyperGraph::structure_sig`]
 /// fingerprint can — two independently built graphs with identical structure
 /// share it. Costs enter the key through a sequence hash of their bit
-/// patterns, so any pricing change (budget, locality, eviction) misses
-/// cleanly, and history growth changes the structure fingerprint, which is
-/// the "invalidate only when augmentation adds edges" rule in cheap
-/// fingerprint form. Eviction is FIFO at [`CACHE_CAPACITY`] entries.
+/// patterns (truncated to the priced edge range), so any pricing change
+/// (budget, locality, eviction) misses cleanly.
+///
+/// On an exact-key miss the cache walks the graph's growth journal
+/// ([`HyperGraph::growth_log`]) newest-first: if some recent construction
+/// state — identified by `(sig_after, prefix cost fingerprint, source)` — is
+/// cached, that entry's tables are cloned and the inserted edge suffix is
+/// replayed through the decrease-only repair wave
+/// ([`PlannerBounds::repaired`]) instead of re-running the full relaxations.
+/// Repaired bounds are bit-identical to from-scratch bounds (DESIGN.md §11),
+/// so everything downstream — pruning, plan costs, parallel determinism —
+/// is unaffected. Repricing an old edge breaks the prefix fingerprint and a
+/// base staler than `MAX_REPAIR_SCAN` (128) insertions is out of scan range;
+/// both fall back to full recompute. Eviction is FIFO at
+/// `CACHE_CAPACITY` (16) entries.
 #[derive(Debug, Default)]
 pub struct PlannerBoundsCache {
     inner: Mutex<CacheInner>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    repairs: AtomicUsize,
 }
 
 #[derive(Debug, Default)]
@@ -117,26 +160,92 @@ impl PlannerBoundsCache {
         Self::default()
     }
 
-    /// Look up the bounds for `(graph, costs, source)`, computing and
-    /// memoizing them on a miss.
+    /// Look up the bounds for `(graph, costs, source)`: exact hit, else
+    /// patch-forward repair from a cached construction-prefix state, else
+    /// full recompute. All outcomes memoize under the exact key.
     pub fn get_or_compute<N, E>(
         &self,
         graph: &HyperGraph<N, E>,
         costs: &[f64],
         source: NodeId,
     ) -> Arc<PlannerBounds> {
-        let key = (graph.structure_sig(), cost_fingerprint(costs), source.index() as u64);
-        if let Some(hit) = self.inner.lock().unwrap().map.get(&key) {
-            // hyppo-lint: allow(relaxed-ordering-justified) hit/miss tallies are
-            // metrics-only and never feed a plan decision
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+        // Fingerprint only the priced range: prefix fingerprints of the same
+        // fold are then directly comparable against base-entry keys.
+        let priced = &costs[..costs.len().min(graph.edge_bound())];
+        let key = (graph.structure_sig(), cost_fingerprint(priced), source.index() as u64);
+        // Candidate base keys from the growth journal, computed before
+        // taking the lock (one bounded pass over the journal + costs).
+        let candidates = self.base_candidates(graph, costs, source);
+        {
+            let inner = self.inner.lock().unwrap();
+            if let Some(hit) = inner.map.get(&key) {
+                // hyppo-lint: allow(relaxed-ordering-justified) hit/miss tallies are
+                // metrics-only and never feed a plan decision
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+            for &(base_key, base_edges) in &candidates {
+                if let Some(base) = inner.map.get(&base_key) {
+                    let base = Arc::clone(base);
+                    drop(inner);
+                    // Repair outside the lock: the wave is the expensive part.
+                    // hyppo-lint: allow(relaxed-ordering-justified) hit/miss tallies
+                    // are metrics-only and never feed a plan decision
+                    self.repairs.fetch_add(1, Ordering::Relaxed);
+                    let bounds = Arc::new(base.repaired(graph, costs, base_edges));
+                    self.insert(key, &bounds);
+                    return bounds;
+                }
+            }
         }
         // Compute outside the lock: relaxations are the expensive part.
         // hyppo-lint: allow(relaxed-ordering-justified) hit/miss tallies are
         // metrics-only and never feed a plan decision
         self.misses.fetch_add(1, Ordering::Relaxed);
         let bounds = Arc::new(PlannerBounds::new(graph, costs, source));
+        self.insert(key, &bounds);
+        bounds
+    }
+
+    /// Keys under which a usable repair base might be cached, newest state
+    /// first, paired with the base's exclusive edge bound. A base is usable
+    /// when the current graph passed through it while growing (journal match)
+    /// and the current costs agree bitwise on its edge prefix (prefix
+    /// fingerprint); both are encoded in the key itself, so presence in the
+    /// map is the whole check.
+    fn base_candidates<N, E>(
+        &self,
+        graph: &HyperGraph<N, E>,
+        costs: &[f64],
+        source: NodeId,
+    ) -> Vec<(CacheKey, usize)> {
+        if costs.len() < graph.edge_bound() {
+            return Vec::new(); // inserted edges would be unpriced
+        }
+        let log = graph.growth_log();
+        let scan = &log[log.len().saturating_sub(MAX_REPAIR_SCAN)..];
+        // One forward pass over the shared cost prefix yields every scanned
+        // step's fingerprint (the fold is sequential, bounds are monotone).
+        let mut fp = COST_FP_SEED;
+        let mut next = 0usize;
+        let current_sig = graph.structure_sig();
+        let mut out = Vec::with_capacity(scan.len());
+        for step in scan {
+            let bound = step.edge_bound as usize;
+            while next < bound {
+                fp = mix64(fp ^ costs[next].to_bits());
+                next += 1;
+            }
+            if step.sig_after != current_sig {
+                out.push(((step.sig_after, fp, source.index() as u64), bound));
+            }
+        }
+        out.reverse(); // newest (least repair work) first
+        out
+    }
+
+    /// Memoize `bounds` under `key` unless a racing thread beat us to it.
+    fn insert(&self, key: CacheKey, bounds: &Arc<PlannerBounds>) {
         let mut inner = self.inner.lock().unwrap();
         if !inner.map.contains_key(&key) {
             if inner.map.len() >= CACHE_CAPACITY {
@@ -144,10 +253,9 @@ impl PlannerBoundsCache {
                     inner.map.remove(&old);
                 }
             }
-            inner.map.insert(key, Arc::clone(&bounds));
+            inner.map.insert(key, Arc::clone(bounds));
             inner.order.push_back(key);
         }
-        bounds
     }
 
     /// Lookups served from the cache.
@@ -156,17 +264,51 @@ impl PlannerBoundsCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lookups that had to run the relaxations.
+    /// Lookups that had to run the relaxations from scratch.
     pub fn misses(&self) -> usize {
         // hyppo-lint: allow(relaxed-ordering-justified) metrics read; no ordering needed
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Lookups served by patching a cached base forward through the growth
+    /// journal instead of recomputing (neither a hit nor a miss; total
+    /// lookups = hits + misses + repairs).
+    pub fn repairs(&self) -> usize {
+        // hyppo-lint: allow(relaxed-ordering-justified) metrics read; no ordering needed
+        self.repairs.load(Ordering::Relaxed)
+    }
+
+    /// One-shot snapshot of all three counters.
+    pub fn stats(&self) -> BoundsCacheStats {
+        BoundsCacheStats { hits: self.hits(), misses: self.misses(), repairs: self.repairs() }
+    }
 }
 
+/// Counter snapshot of a [`PlannerBoundsCache`]: every lookup lands in
+/// exactly one bucket, so `hits + misses + repairs` is the lookup total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoundsCacheStats {
+    /// Lookups served verbatim from a memoized entry.
+    pub hits: usize,
+    /// Lookups that ran the full relaxations from scratch.
+    pub misses: usize,
+    /// Lookups served by patching a cached base forward through the graph's
+    /// growth journal.
+    pub repairs: usize,
+}
+
+/// Chaining seed of [`cost_fingerprint`]'s sequential fold. Exposed as a
+/// constant so repair-base matching can resume the same fold at arbitrary
+/// prefix lengths.
+const COST_FP_SEED: u64 = 0x9ae1_6a3b_2f90_404f;
+
 /// Sequence hash of the cost vector's IEEE-754 bit patterns (position enters
-/// through the chaining).
+/// through the chaining). Because the fold is sequential, the fingerprint of
+/// any prefix is an intermediate state of the full fold — which is what lets
+/// the cache compare a grown graph's cost prefix against a base entry's key
+/// in one pass.
 fn cost_fingerprint(costs: &[f64]) -> u64 {
-    costs.iter().fold(0x9ae1_6a3b_2f90_404f, |h, c| mix64(h ^ c.to_bits()))
+    costs.iter().fold(COST_FP_SEED, |h, c| mix64(h ^ c.to_bits()))
 }
 
 #[cfg(test)]
@@ -289,22 +431,75 @@ mod tests {
     }
 
     #[test]
-    fn cache_invalidates_on_new_edges_or_new_costs() {
+    fn cache_repairs_forward_when_augmentation_adds_edges() {
+        let cache = PlannerBoundsCache::new();
+        let (g, costs, s) = two_hop();
+        cache.get_or_compute(&g, &costs, s);
+        assert_eq!(cache.misses(), 1);
+
+        // An independently rebuilt graph that *grew past* the cached state:
+        // its journal contains the cached structure fingerprint, and costs
+        // agree on the old edge prefix ⇒ served by patch-forward repair.
+        let (mut grown, mut grown_costs, _) = two_hop();
+        let t = NodeId::from_index(2);
+        let fresh = grown.add_node(());
+        add(&mut grown, vec![t], vec![fresh], 1.0, &mut grown_costs);
+        add(&mut grown, vec![s], vec![fresh], 9.0, &mut grown_costs);
+        let repaired = cache.get_or_compute(&grown, &grown_costs, s);
+        assert_eq!(cache.misses(), 1, "must not recompute from scratch");
+        assert_eq!(cache.repairs(), 1);
+
+        // Repaired tables are bit-identical to a from-scratch computation.
+        let scratch = PlannerBounds::new(&grown, &grown_costs, s);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&repaired.h), bits(&scratch.h));
+        assert_eq!(bits(&repaired.share), bits(&scratch.share));
+
+        // And the repaired entry is memoized under its own exact key.
+        cache.get_or_compute(&grown, &grown_costs, s);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn cache_invalidates_on_new_costs_and_divergent_structure() {
         let cache = PlannerBoundsCache::new();
         let (g, mut costs, s) = two_hop();
         cache.get_or_compute(&g, &costs, s);
 
-        // Augmentation adds an edge: structure fingerprint changes ⇒ miss.
-        let mut grown = two_hop().0;
-        let mut grown_costs = costs.clone();
-        add(&mut grown, vec![s], vec![NodeId::from_index(2)], 1.0, &mut grown_costs);
+        // Re-pricing an *old* edge breaks the prefix fingerprint: even a
+        // grown graph whose journal matches must recompute from scratch.
+        let (mut grown, mut grown_costs, _) = two_hop();
+        let t = NodeId::from_index(2);
+        add(&mut grown, vec![s], vec![t], 1.0, &mut grown_costs);
+        grown_costs[1] = 7.0;
         cache.get_or_compute(&grown, &grown_costs, s);
         assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.repairs(), 0);
 
-        // Re-pricing an edge changes the cost fingerprint ⇒ miss.
+        // Re-pricing on the *same* structure changes the key ⇒ miss.
         costs[1] = 7.0;
         cache.get_or_compute(&g, &costs, s);
         assert_eq!(cache.misses(), 3);
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn repair_base_out_of_scan_range_falls_back_to_recompute() {
+        let cache = PlannerBoundsCache::new();
+        let (g, costs, s) = two_hop();
+        cache.get_or_compute(&g, &costs, s);
+
+        // Push the cached base more than MAX_REPAIR_SCAN insertions into the
+        // past: the journal scan window no longer reaches it.
+        let (mut grown, mut grown_costs, _) = two_hop();
+        let mut prev = NodeId::from_index(2);
+        for _ in 0..super::MAX_REPAIR_SCAN {
+            let next = grown.add_node(());
+            add(&mut grown, vec![prev], vec![next], 1.0, &mut grown_costs);
+            prev = next;
+        }
+        cache.get_or_compute(&grown, &grown_costs, s);
+        assert_eq!(cache.repairs(), 0, "stale base must not be patched");
+        assert_eq!(cache.misses(), 2);
     }
 }

@@ -13,6 +13,14 @@ use hyppo_hypergraph::{EdgeId, HyperGraph, NodeId};
 
 /// Build a plan by always following the locally cheapest alternative.
 /// Returns `None` if some required artifact has no producer.
+///
+/// `h` optionally supplies the per-node admissible lower bounds of
+/// [`super::bounds::PlannerBounds`]: a producer with an underivable tail
+/// (`h = ∞`) is then skipped instead of walked into, so greedy no longer
+/// fails on instances where the locally cheapest alternative is a dead end
+/// but a viable one exists. The [`super::Planner`] passes bounds only when a
+/// bounds cache is attached — without one, computing `h` would cost more
+/// than the linear-time greedy pass it guards.
 pub fn greedy_plan<N, E>(
     graph: &HyperGraph<N, E>,
     costs: &[f64],
@@ -20,6 +28,7 @@ pub fn greedy_plan<N, E>(
     targets: &[NodeId],
     new_tasks: &[EdgeId],
     c_exp: f64,
+    h: Option<&[f64]>,
 ) -> Option<Plan> {
     let mut plan = Partial::new(graph.node_bound(), targets);
     let mo = (new_tasks.len() as f64 * c_exp.clamp(0.0, 1.0)).ceil() as usize;
@@ -42,11 +51,15 @@ pub fn greedy_plan<N, E>(
             if plan.visited.contains(v) {
                 continue; // produced by an earlier pick this round
             }
-            // Minimum-cost producing hyperedge.
+            // Minimum-cost producing hyperedge whose tail is derivable.
             let best = graph
                 .bstar(v)
                 .iter()
                 .copied()
+                .filter(|&e| match h {
+                    Some(h) => graph.tail(e).iter().all(|t| h[t.index()].is_finite()),
+                    None => true,
+                })
                 .min_by(|&a, &b| costs[a.index()].total_cmp(&costs[b.index()]))?;
             let mut produced_new = false;
             for &h in graph.head(best) {
@@ -98,7 +111,7 @@ mod tests {
     #[test]
     fn greedy_returns_valid_plan() {
         let (g, costs, s, t) = trap();
-        let plan = greedy_plan(&g, &costs, s, &[t], &[], 0.0).unwrap();
+        let plan = greedy_plan(&g, &costs, s, &[t], &[], 0.0, None).unwrap();
         assert_eq!(validate_plan(&g, &plan.edges, &[s], &[t]), PlanValidity::Valid);
         assert!(!plan.optimal);
     }
@@ -106,7 +119,7 @@ mod tests {
     #[test]
     fn greedy_can_be_suboptimal_but_never_beats_exact() {
         let (g, costs, s, t) = trap();
-        let greedy = greedy_plan(&g, &costs, s, &[t], &[], 0.0).unwrap();
+        let greedy = greedy_plan(&g, &costs, s, &[t], &[], 0.0, None).unwrap();
         let exact = Planner::exact().plan(&g, PlanRequest::new(&costs, s, &[t])).unwrap();
         assert!((exact.cost - 5.0).abs() < 1e-12);
         assert!((greedy.cost - 101.0).abs() < 1e-12, "greedy walks into the trap");
@@ -123,9 +136,28 @@ mod tests {
         g.add_edge(vec![s], vec![a, b], ()); // split: 4
         g.add_edge(vec![a, b], vec![c], ()); // join: 2
         let costs = vec![4.0, 2.0];
-        let plan = greedy_plan(&g, &costs, s, &[c], &[], 0.0).unwrap();
+        let plan = greedy_plan(&g, &costs, s, &[c], &[], 0.0, None).unwrap();
         assert!((plan.cost - 6.0).abs() < 1e-12, "split paid once: {}", plan.cost);
         assert_eq!(validate_plan(&g, &plan.edges, &[s], &[c]), PlanValidity::Valid);
+    }
+
+    #[test]
+    fn greedy_with_bounds_avoids_dead_end_alternatives() {
+        // t has two producers: a cheap one via `pit` (underivable from s)
+        // and a pricier direct load. Blind greedy picks the dead end and
+        // fails; with h it skips the ∞-tail alternative and succeeds.
+        let mut g = G::new();
+        let s = g.add_node(());
+        let pit = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(vec![pit], vec![t], ()); // cheap: 1, but pit is orphaned
+        g.add_edge(vec![s], vec![t], ()); // viable: 5
+        let costs = vec![1.0, 5.0];
+        assert!(greedy_plan(&g, &costs, s, &[t], &[], 0.0, None).is_none());
+        let h = hyppo_hypergraph::max_cost_distances(&g, &costs, &[s]);
+        let plan = greedy_plan(&g, &costs, s, &[t], &[], 0.0, Some(&h)).unwrap();
+        assert!((plan.cost - 5.0).abs() < 1e-12);
+        assert_eq!(validate_plan(&g, &plan.edges, &[s], &[t]), PlanValidity::Valid);
     }
 
     #[test]
@@ -133,7 +165,7 @@ mod tests {
         let mut g = G::new();
         let s = g.add_node(());
         let orphan = g.add_node(());
-        assert!(greedy_plan(&g, &[], s, &[orphan], &[], 0.0).is_none());
+        assert!(greedy_plan(&g, &[], s, &[orphan], &[], 0.0, None).is_none());
     }
 
     /// Property test: on random layered graphs the greedy plan is always
@@ -165,7 +197,7 @@ mod tests {
                 nodes.push(v);
             }
             let target = *nodes.last().unwrap();
-            let greedy = greedy_plan(&g, &costs, s, &[target], &[], 0.0)
+            let greedy = greedy_plan(&g, &costs, s, &[target], &[], 0.0, None)
                 .unwrap_or_else(|| panic!("seed {seed}: all nodes have producers"));
             assert_eq!(
                 validate_plan(&g, &greedy.edges, &[s], &[target]),
@@ -187,7 +219,7 @@ mod tests {
         let (g, costs, s, t) = trap();
         // Force the expensive path as a "new task".
         let forced = hyppo_hypergraph::EdgeId::from_index(0);
-        let plan = greedy_plan(&g, &costs, s, &[t], &[forced], 1.0).unwrap();
+        let plan = greedy_plan(&g, &costs, s, &[t], &[forced], 1.0, None).unwrap();
         assert!(plan.edges.contains(&forced));
     }
 }

@@ -10,11 +10,25 @@
 //!
 //! The public entry point is the [`Planner`] builder:
 //!
-//! ```ignore
+//! ```
+//! use hyppo_core::optimizer::{PlanRequest, Planner, QueueKind};
+//! use hyppo_hypergraph::HyperGraph;
+//!
+//! // s ─1─► a ─2─► t, plus a costlier direct alternative s ─9─► t.
+//! let mut g: HyperGraph<&str, ()> = HyperGraph::new();
+//! let (s, a, t) = (g.add_node("s"), g.add_node("a"), g.add_node("t"));
+//! g.add_edge(vec![s], vec![a], ());
+//! g.add_edge(vec![a], vec![t], ());
+//! g.add_edge(vec![s], vec![t], ());
+//! let costs = [1.0, 2.0, 9.0];
+//!
 //! let plan = Planner::exact()
-//!     .threads(4)
+//!     .threads(2)
 //!     .queue(QueueKind::Priority)
-//!     .plan(&graph, PlanRequest::new(&costs, source, &targets));
+//!     .plan(&g, PlanRequest::new(&costs, s, &[t]))
+//!     .expect("t is derivable from s");
+//! assert_eq!(plan.cost, 3.0);
+//! assert!(plan.optimal);
 //! ```
 //!
 //! The queue discipline is pluggable ([`QueueKind`]): a LIFO stack
@@ -240,7 +254,11 @@ impl Planner {
     /// Share a [`PlannerBoundsCache`] across searches: repeated plans over
     /// structurally identical graphs (same [`HyperGraph::structure_sig`],
     /// costs, and source) reuse the precomputed lower-bound tables instead
-    /// of re-running the SBT relaxations.
+    /// of re-running the SBT relaxations, and graphs that *grew* from a
+    /// cached state are patched forward through the growth journal instead
+    /// of recomputed (bit-identical to from-scratch; DESIGN.md §11). In
+    /// greedy mode the cached `h` table additionally steers the pass away
+    /// from underivable alternatives.
     pub fn bounds_cache(mut self, cache: Arc<PlannerBoundsCache>) -> Self {
         self.cache = Some(cache);
         self
@@ -277,6 +295,13 @@ impl Planner {
         req: PlanRequest<'_>,
     ) -> Option<Plan> {
         if self.mode == PlanMode::Greedy {
+            // With a cache attached the lower-bound tables are (amortized)
+            // free — hit or journal-repair — so greedy gets `h` for dead-end
+            // avoidance. Without one, computing bounds would dominate the
+            // linear-time pass, so greedy stays blind (its historical
+            // behavior).
+            let bounds =
+                self.cache.as_ref().map(|cache| cache.get_or_compute(graph, req.costs, req.source));
             return greedy::greedy_plan(
                 graph,
                 req.costs,
@@ -284,6 +309,7 @@ impl Planner {
                 req.targets,
                 req.new_tasks,
                 self.c_exp,
+                bounds.as_ref().map(|b| b.h.as_slice()),
             );
         }
         let bounds: Option<Arc<PlannerBounds>> = self.use_bounds.then(|| match &self.cache {

@@ -3,7 +3,7 @@
 //! Workers claim batches from a [`SharedPlanQueue`], expand them
 //! against a **racy-but-monotone** atomic best-cost upper bound, record
 //! states in a sharded concurrent dominance table, and fold complete plans
-//! into a shared canonical [`Incumbent`]. Because the serial search already
+//! into a shared canonical `Incumbent`. Because the serial search already
 //! uses schedule-independent rules — strict bound pruning, canonical
 //! `(cost, edge-set)` dominance, and a deterministic final reduction — the
 //! parallel search returns **bit-identical plans and costs** for any worker

@@ -152,6 +152,12 @@ impl Hyppo {
         self.config.price.price(self.cumulative_seconds, self.config.budget_bytes)
     }
 
+    /// Bounds-cache counters: hits, from-scratch recomputes, and
+    /// journal-repaired patch-forwards across all submissions so far.
+    pub fn bounds_stats(&self) -> crate::optimizer::bounds::BoundsCacheStats {
+        self.bounds_cache.stats()
+    }
+
     /// Persist the catalog (history + learned statistics) and spill the
     /// materialized artifacts under `dir`, so a later session can resume
     /// with full across-experiment reuse.

@@ -11,6 +11,50 @@
 use crate::ids::{EdgeId, NodeId};
 use serde::{Deserialize, Serialize};
 
+/// One recorded insertion (node or edge) in a graph's growth journal: the
+/// structure fingerprint and index bounds *after* the insertion.
+///
+/// A sequence of growth steps is a verifiable construction trace: any graph
+/// whose journal contains a step with `sig_after == S` passed through a state
+/// structurally identical (up to hash collision) to every other graph that
+/// ever fingerprinted to `S` — including independently built ones. Because
+/// ids are dense and the journal only records insertions, the *delta* between
+/// that state and the present is exactly the id ranges
+/// `node_bound..current_node_bound` and `edge_bound..current_edge_bound`,
+/// which is what lets derived solutions (e.g. planner lower bounds) be
+/// patched forward edge-by-edge instead of recomputed (see
+/// [`crate::shortest::repair_max_cost_distances`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrowthStep {
+    /// Structure fingerprint after this insertion
+    /// (what [`HyperGraph::structure_sig`] returned at that moment).
+    pub sig_after: u64,
+    /// Exclusive node-index bound after this insertion.
+    pub node_bound: u32,
+    /// Exclusive edge-index bound after this insertion.
+    pub edge_bound: u32,
+}
+
+/// Result of matching a past structure fingerprint against a graph's growth
+/// journal (see [`HyperGraph::growth_since`]): the index bounds at the
+/// matched state. Everything at or above these bounds was inserted *after*
+/// the matched state, in dense-id order, with no interleaved removal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GrowthDelta {
+    /// Exclusive node-index bound at the matched state: nodes
+    /// `base_nodes..node_bound()` were inserted since.
+    pub base_nodes: usize,
+    /// Exclusive edge-index bound at the matched state: edges
+    /// `base_edges..edge_bound()` were inserted since.
+    pub base_edges: usize,
+}
+
+/// Journal entries retained per graph; older steps are discarded in bulk
+/// once the journal doubles this size. Matching is only attempted against
+/// retained steps, so an extremely stale base simply misses (callers fall
+/// back to recomputing from scratch).
+const GROWTH_LOG_CAPACITY: usize = 4096;
+
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct NodeEntry<N> {
     data: N,
@@ -50,6 +94,15 @@ pub struct HyperGraph<N, E> {
     /// what lets caches key on structure across independently rebuilt graphs
     /// (e.g. per-submission augmentations). Labels are not hashed.
     sig: u64,
+    /// Monotone insertion counter: bumped by node/edge insertions only,
+    /// never by removals. Distinguishes "the graph grew" from "the graph
+    /// changed" — the quantity bound repair cares about.
+    generation: u64,
+    /// Growth journal: one [`GrowthStep`] per insertion since the last
+    /// removal (removals clear it — the suffix after a matched step must be
+    /// pure insertions for delta repair to be sound). Bounded by
+    /// [`GROWTH_LOG_CAPACITY`] with bulk front-discard.
+    growth: Vec<GrowthStep>,
 }
 
 /// Domain-separation salts for the structural fingerprint.
@@ -115,6 +168,8 @@ impl<N, E> HyperGraph<N, E> {
             live_edges: 0,
             version: 0,
             sig: 0,
+            generation: 0,
+            growth: Vec::new(),
         }
     }
 
@@ -127,6 +182,8 @@ impl<N, E> HyperGraph<N, E> {
             live_edges: 0,
             version: 0,
             sig: 0,
+            generation: 0,
+            growth: Vec::new(),
         }
     }
 
@@ -143,6 +200,60 @@ impl<N, E> HyperGraph<N, E> {
     /// mutation.
     pub fn structure_sig(&self) -> u64 {
         self.sig
+    }
+
+    /// Monotone *structure generation*: the number of node/edge insertions
+    /// ever performed on this graph object. Unlike [`HyperGraph::version`]
+    /// it does not advance on removals — two generations `g0 < g1` with an
+    /// intact growth journal between them certify that the graph only
+    /// *grew* over that interval, the precondition for repairing derived
+    /// solutions instead of recomputing them.
+    pub fn structure_generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The growth journal: one [`GrowthStep`] per insertion since the last
+    /// removal (newest last). Bounded; older steps are discarded in bulk.
+    pub fn growth_log(&self) -> &[GrowthStep] {
+        &self.growth
+    }
+
+    /// Search the growth journal (newest first, at most `max_scan` steps)
+    /// for a past state whose structure fingerprint was `sig`, returning the
+    /// index bounds at that state.
+    ///
+    /// A `Some(delta)` certifies — up to fingerprint collision — that this
+    /// graph is the matched structure plus the pure-insertion suffix of
+    /// nodes `delta.base_nodes..node_bound()` and edges
+    /// `delta.base_edges..edge_bound()` (all alive: any removal would have
+    /// cleared the journal). `sig == structure_sig()` returns the empty
+    /// delta without scanning.
+    pub fn growth_since(&self, sig: u64, max_scan: usize) -> Option<GrowthDelta> {
+        if sig == self.sig {
+            return Some(GrowthDelta {
+                base_nodes: self.node_bound(),
+                base_edges: self.edge_bound(),
+            });
+        }
+        self.growth.iter().rev().take(max_scan).find(|step| step.sig_after == sig).map(|step| {
+            GrowthDelta {
+                base_nodes: step.node_bound as usize,
+                base_edges: step.edge_bound as usize,
+            }
+        })
+    }
+
+    /// Append a growth step for the insertion that just happened.
+    fn record_growth(&mut self) {
+        self.generation += 1;
+        if self.growth.len() >= 2 * GROWTH_LOG_CAPACITY {
+            self.growth.drain(..GROWTH_LOG_CAPACITY);
+        }
+        self.growth.push(GrowthStep {
+            sig_after: self.sig,
+            node_bound: self.nodes.len() as u32,
+            edge_bound: self.edges.len() as u32,
+        });
     }
 
     /// Number of live (non-removed) nodes.
@@ -174,6 +285,7 @@ impl<N, E> HyperGraph<N, E> {
         self.live_nodes += 1;
         self.version += 1;
         self.sig ^= node_token(id);
+        self.record_growth();
         id
     }
 
@@ -198,6 +310,7 @@ impl<N, E> HyperGraph<N, E> {
         self.sig ^= edge_token(id, &tail, &head);
         self.edges.push(EdgeEntry { data, tail, head, alive: true });
         self.live_edges += 1;
+        self.record_growth();
         id
     }
 
@@ -213,6 +326,9 @@ impl<N, E> HyperGraph<N, E> {
         self.live_edges -= 1;
         self.version += 1;
         self.sig ^= edge_token(e, &entry.tail, &entry.head);
+        // A removal breaks the pure-insertion property every retained step
+        // relies on: discard the journal (generation keeps counting).
+        self.growth.clear();
         let (tail, head) = (std::mem::take(&mut entry.tail), std::mem::take(&mut entry.head));
         for v in tail {
             self.nodes[v.index()].fstar.retain(|&x| x != e);
@@ -237,6 +353,7 @@ impl<N, E> HyperGraph<N, E> {
         self.live_nodes -= 1;
         self.version += 1;
         self.sig ^= node_token(v);
+        self.growth.clear();
     }
 
     /// Whether `v` refers to a live node.
@@ -503,6 +620,50 @@ mod tests {
         h.remove_edge(e[1]);
         assert_eq!(g.structure_sig(), h.structure_sig());
         let _ = n;
+    }
+
+    #[test]
+    fn growth_journal_matches_prefix_states_across_independent_builds() {
+        let (a, _, _) = diamond();
+        // An independent rebuild that then grows: the journal must contain
+        // a step whose fingerprint equals `a`'s final one.
+        let (mut b, n, _) = diamond();
+        let base_sig = a.structure_sig();
+        assert_eq!(
+            b.growth_since(base_sig, usize::MAX),
+            Some(GrowthDelta { base_nodes: 5, base_edges: 3 }),
+            "current state matches without scanning"
+        );
+        let extra = b.add_node("extra");
+        b.add_edge(vec![n[4]], vec![extra], "grow");
+        let delta = b.growth_since(base_sig, usize::MAX).expect("prefix state retained");
+        assert_eq!(delta, GrowthDelta { base_nodes: 5, base_edges: 3 });
+        assert_eq!(b.node_bound(), 6);
+        assert_eq!(b.edge_bound(), 4);
+        // An unknown fingerprint misses.
+        assert_eq!(b.growth_since(0xdead_beef, usize::MAX), None);
+        // A zero scan budget only matches the current state.
+        assert_eq!(b.growth_since(base_sig, 0), None);
+        assert!(b.growth_since(b.structure_sig(), 0).is_some());
+    }
+
+    #[test]
+    fn generation_counts_insertions_only_and_removal_clears_the_journal() {
+        let (mut g, _, e) = diamond(); // 5 nodes + 3 edges
+        assert_eq!(g.structure_generation(), 8);
+        assert_eq!(g.growth_log().len(), 8);
+        let sig_before = g.structure_sig();
+        g.remove_edge(e[0]);
+        assert_eq!(g.structure_generation(), 8, "removal does not advance the generation");
+        assert!(g.growth_log().is_empty(), "removal clears the journal");
+        assert_eq!(g.growth_since(sig_before, usize::MAX), None);
+        // Growth after a removal journals again from the post-removal state.
+        let v = g.add_node("post");
+        let w = g.add_node("post2");
+        assert_eq!(g.structure_generation(), 10);
+        let mid_sig = g.structure_sig();
+        g.add_edge(vec![v], vec![w], "regrow");
+        assert!(g.growth_since(mid_sig, usize::MAX).is_some());
     }
 
     #[test]

@@ -29,6 +29,8 @@
 //! - [`topo`]: execution (topological) ordering of hyperedges;
 //! - [`dot`]: Graphviz export for debugging and documentation.
 
+#![deny(missing_docs)]
+
 pub mod connectivity;
 pub mod dot;
 pub mod frontier;
@@ -40,8 +42,10 @@ pub mod topo;
 
 pub use connectivity::{b_closure, is_b_connected, NodeBitSet};
 pub use frontier::{ready_frontier, InDegreeTracker};
-pub use graph::{EdgeRef, HyperGraph, NodeRef};
+pub use graph::{EdgeRef, GrowthDelta, GrowthStep, HyperGraph, NodeRef};
 pub use ids::{mix64, EdgeId, NodeId};
-pub use shortest::{max_cost_distances, min_share_costs};
+pub use shortest::{
+    max_cost_distances, min_share_costs, repair_max_cost_distances, repair_min_share_costs,
+};
 pub use subgraph::{minimize_plan, validate_plan, PlanValidity, SubGraph};
 pub use topo::{execution_order, TopoError};

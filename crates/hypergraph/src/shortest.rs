@@ -30,7 +30,7 @@
 //! finite-cost derivation get `h = ∞`.
 
 use crate::graph::HyperGraph;
-use crate::ids::NodeId;
+use crate::ids::{EdgeId, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -127,6 +127,94 @@ pub fn max_cost_distances<N, E>(
         }
     }
     dist
+}
+
+/// Repair an existing [`max_cost_distances`] solution after the graph grew.
+///
+/// `dist` must be the exact SBT fixpoint of a *past state* of `graph`
+/// (same sources, and a cost vector that agrees on every old edge), and
+/// `inserted` the hyperedges added since — with any nodes added since
+/// occupying the index range `dist.len()..graph.node_bound()` (dense ids;
+/// see [`HyperGraph::growth_since`](crate::graph::HyperGraph::growth_since)).
+/// On return `dist` equals what [`max_cost_distances`] would compute from
+/// scratch on the current graph, bit for bit (DESIGN.md §11 has the proof).
+///
+/// Adding edges can only *lower* values of the relaxation
+/// `h(v) = min over e ∈ bstar(v) of cost(e) + max over t ∈ tail(e) of h(t)`,
+/// so the repair is a decrease-only Dijkstra wave seeded at each inserted
+/// edge's head set: new nodes start at `∞`, each inserted edge is relaxed
+/// once against the current tail values, and every improvement re-relaxes
+/// the improved node's forward star. Cost: `O((|Δ| + touched) log touched)`
+/// where `touched` is the set of nodes whose bound actually drops — for
+/// small growth deltas this is far below the full `O((|V| + Σ|e|) log |V|)`
+/// fixpoint.
+pub fn repair_max_cost_distances<N, E>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    dist: &mut Vec<f64>,
+    inserted: &[EdgeId],
+) {
+    dist.resize(graph.node_bound(), f64::INFINITY);
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+
+    // Candidate value of edge `e` under the current labels: `∞`-tailed edges
+    // cannot fire (some input is underivable so far).
+    let tail_value = |e: EdgeId, dist: &[f64]| -> f64 {
+        graph.tail(e).iter().map(|t| dist[t.index()]).fold(0.0f64, f64::max)
+    };
+    let relax = |e: EdgeId, dist: &mut Vec<f64>, heap: &mut BinaryHeap<Entry>| {
+        debug_assert!(
+            costs[e.index()] >= 0.0,
+            "shortest-hyperpath relaxation requires non-negative costs"
+        );
+        let cand = costs[e.index()] + tail_value(e, dist);
+        if !cand.is_finite() {
+            return;
+        }
+        for &h in graph.head(e) {
+            if cand < dist[h.index()] {
+                dist[h.index()] = cand;
+                heap.push(Entry { dist: cand, node: h });
+            }
+        }
+    };
+
+    for &e in inserted {
+        if graph.contains_edge(e) {
+            relax(e, dist, &mut heap);
+        }
+    }
+    while let Some(Entry { dist: d, node: v }) = heap.pop() {
+        if d > dist[v.index()] {
+            continue; // stale: a cheaper improvement already propagated
+        }
+        for &e in graph.fstar(v) {
+            relax(e, dist, &mut heap);
+        }
+    }
+}
+
+/// Repair an existing [`min_share_costs`] solution after the graph grew:
+/// extend with `∞` for nodes added since, then fold each inserted edge's
+/// per-head charge in. Exactly equivalent to recomputing from scratch
+/// (the bound is a per-edge minimum, so insertion order is irrelevant).
+pub fn repair_min_share_costs<N, E>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    share: &mut Vec<f64>,
+    inserted: &[EdgeId],
+) {
+    share.resize(graph.node_bound(), f64::INFINITY);
+    for &e in inserted {
+        if !graph.contains_edge(e) {
+            continue;
+        }
+        let per_head = costs[e.index()] / graph.head(e).len() as f64;
+        for &h in graph.head(e) {
+            let s = &mut share[h.index()];
+            *s = s.min(per_head);
+        }
+    }
 }
 
 /// Per-node one-step shared-charge bound `min over e ∈ bstar(v) of
@@ -265,5 +353,89 @@ mod tests {
         add(&mut g, vec![s], vec![a], 4.0, &mut costs);
         let share = min_share_costs(&g, &costs);
         assert_eq!(share[a.index()], 4.0);
+    }
+
+    /// Grow a graph edge-by-edge, repairing after each insertion, and check
+    /// both bounds stay bit-identical to from-scratch recomputation.
+    #[test]
+    fn repair_matches_scratch_after_every_insertion() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![s], vec![a], 3.0, &mut costs);
+        add(&mut g, vec![a], vec![b], 4.0, &mut costs);
+
+        let mut dist = max_cost_distances(&g, &costs, &[s]);
+        let mut share = min_share_costs(&g, &costs);
+
+        // Batches exercising: a join tail, a cheaper alternative that must
+        // propagate downstream, new nodes, and a multi-head edge.
+        let steps: Vec<(Vec<NodeId>, Vec<NodeId>, f64)> = vec![
+            (vec![a, b], vec![c], 2.0),
+            (vec![s], vec![b], 1.0), // cheaper b => c must drop too
+            (vec![s], vec![a, c], 0.5),
+        ];
+        for (tail, head, cost) in steps {
+            let base_edges = g.edge_bound();
+            add(&mut g, tail, head, cost, &mut costs);
+            let inserted: Vec<EdgeId> = g.edge_ids().filter(|e| e.index() >= base_edges).collect();
+            repair_max_cost_distances(&g, &costs, &mut dist, &inserted);
+            repair_min_share_costs(&g, &costs, &mut share, &inserted);
+            let scratch_d = max_cost_distances(&g, &costs, &[s]);
+            let scratch_s = min_share_costs(&g, &costs);
+            assert_eq!(to_bits(&dist), to_bits(&scratch_d), "h must match bitwise");
+            assert_eq!(to_bits(&share), to_bits(&scratch_s), "share must match bitwise");
+        }
+    }
+
+    #[test]
+    fn repair_extends_over_nodes_added_after_the_snapshot() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![s], vec![a], 2.0, &mut costs);
+        let mut dist = max_cost_distances(&g, &costs, &[s]);
+        let mut share = min_share_costs(&g, &costs);
+
+        // New nodes occupy indices past the old snapshot; one stays orphaned.
+        let fresh = g.add_node(());
+        let orphan = g.add_node(());
+        let base_edges = g.edge_bound();
+        add(&mut g, vec![a], vec![fresh], 1.5, &mut costs);
+        let inserted: Vec<EdgeId> = g.edge_ids().filter(|e| e.index() >= base_edges).collect();
+        repair_max_cost_distances(&g, &costs, &mut dist, &inserted);
+        repair_min_share_costs(&g, &costs, &mut share, &inserted);
+        assert_eq!(dist[fresh.index()], 3.5);
+        assert!(dist[orphan.index()].is_infinite());
+        assert_eq!(to_bits(&dist), to_bits(&max_cost_distances(&g, &costs, &[s])));
+        assert_eq!(to_bits(&share), to_bits(&min_share_costs(&g, &costs)));
+    }
+
+    #[test]
+    fn repair_with_empty_tail_edge_reaches_previously_unreachable_region() {
+        let mut g = G::new();
+        let s = g.add_node(());
+        let x = g.add_node(());
+        let y = g.add_node(());
+        let mut costs = Vec::new();
+        add(&mut g, vec![x], vec![y], 1.0, &mut costs); // x unreachable from s
+        let mut dist = max_cost_distances(&g, &costs, &[s]);
+        assert!(dist[x.index()].is_infinite() && dist[y.index()].is_infinite());
+
+        let base_edges = g.edge_bound();
+        add(&mut g, vec![], vec![x], 2.0, &mut costs); // materialized input
+        let inserted: Vec<EdgeId> = g.edge_ids().filter(|e| e.index() >= base_edges).collect();
+        repair_max_cost_distances(&g, &costs, &mut dist, &inserted);
+        assert_eq!(dist[x.index()], 2.0);
+        assert_eq!(dist[y.index()], 3.0, "wave must propagate through the old edge");
+        assert_eq!(to_bits(&dist), to_bits(&max_cost_distances(&g, &costs, &[s])));
+    }
+
+    fn to_bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
     }
 }

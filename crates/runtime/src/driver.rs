@@ -169,6 +169,12 @@ impl SharedHyppo {
         *self.cumulative_seconds.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Bounds-cache counters across all sessions sharing this system:
+    /// hits, from-scratch recomputes, and journal-repaired patch-forwards.
+    pub fn bounds_stats(&self) -> hyppo_core::BoundsCacheStats {
+        self.bounds_cache.stats()
+    }
+
     /// Wall-clock seconds spent waiting on any lock (store shards plus
     /// history/estimator).
     pub fn lock_wait_seconds(&self) -> f64 {
@@ -607,6 +613,24 @@ mod tests {
         a.submit(wide_ensemble_spec("taxi", 3, 7)).unwrap();
         let report = b.submit(wide_ensemble_spec("taxi", 3, 7)).unwrap();
         assert!(report.loads >= 1, "second session should reuse the first's artifacts");
+    }
+
+    #[test]
+    fn bounds_cache_is_shared_and_counters_account_for_every_lookup() {
+        let shared = Arc::new(SharedHyppo::new(config(64 * 1024 * 1024)));
+        shared.register_dataset("taxi", taxi::generate(300, 5));
+        let mut a = SharedSession::new(Arc::clone(&shared), 2);
+        let mut b = SharedSession::new(Arc::clone(&shared), 2);
+        a.submit(wide_ensemble_spec("taxi", 3, 7)).unwrap();
+        b.submit(wide_ensemble_spec("taxi", 3, 7)).unwrap();
+        let stats = shared.bounds_stats();
+        // Every plan call consulted the shared cache: at least one lookup
+        // ran the relaxations, and each lookup landed in exactly one bucket
+        // (an identical resubmission over an unchanged history hits; a grown
+        // history with unchanged costs on the old prefix repairs; estimator
+        // drift recomputes — all three are legitimate here).
+        assert!(stats.misses >= 1);
+        assert!(stats.hits + stats.misses + stats.repairs >= 2);
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! The wrapper preserves the core store's *modelled* cost accounting
 //! exactly: every load/store cost reported to callers is the inner store's
 //! measured-codec-plus-modelled-IO figure. Real lock contention is
-//! accounted separately, as wall-clock [`lock_wait_seconds`]
-//! (`SharedArtifactStore::lock_wait_seconds`), so the simulated IO model
+//! accounted separately, as wall-clock
+//! [`SharedArtifactStore::lock_wait_seconds`], so the simulated IO model
 //! and the real synchronization overhead never mix.
 
 use hyppo_core::codec::CodecError;

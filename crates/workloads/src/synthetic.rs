@@ -16,7 +16,7 @@ use hyppo_tensor::SeededRng;
 pub struct SyntheticGraph {
     /// The hypergraph (unit labels; only structure and costs matter).
     pub graph: HyperGraph<u32, u32>,
-    /// Edge costs indexed by [`EdgeId::index`].
+    /// Edge costs indexed by [`hyppo_hypergraph::EdgeId::index`].
     pub costs: Vec<f64>,
     /// The source node.
     pub source: NodeId,

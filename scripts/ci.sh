@@ -33,6 +33,12 @@ if ! cargo run -q -p hyppo-lint --offline -- --json > target/hyppo-lint.json; th
     exit 1
 fi
 
+echo "== cargo doc (deny rustdoc warnings) =="
+# Missing or broken docs fail the build: crates/hypergraph and crates/core
+# carry #![deny(missing_docs)], and -D warnings promotes broken intra-doc
+# links and the rest of rustdoc's lints everywhere else.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 echo "== cargo bench --no-run (benches must compile) =="
 cargo bench --workspace --no-run --offline
 

@@ -69,6 +69,33 @@
 //! assert_eq!(outcome.metrics.sessions, 4);
 //! assert!(outcome.metrics.speedup() > 0.0);
 //! ```
+//!
+//! ## The Planner builder
+//!
+//! Plan search is configured through [`core::Planner`] (the README's
+//! quickstart, kept compiling here). It is generic over node/edge labels —
+//! any directed hypergraph plus a per-edge cost vector will do:
+//!
+//! ```
+//! use hyppo::core::{PlanRequest, Planner, QueueKind};
+//! use hyppo::hypergraph::HyperGraph;
+//!
+//! // s ─1─► a ─2─► t, plus a costlier direct alternative s ─9─► t.
+//! let mut g: HyperGraph<&str, ()> = HyperGraph::new();
+//! let (s, a, t) = (g.add_node("s"), g.add_node("a"), g.add_node("t"));
+//! g.add_edge(vec![s], vec![a], ());
+//! g.add_edge(vec![a], vec![t], ());
+//! g.add_edge(vec![s], vec![t], ());
+//! let costs = [1.0, 2.0, 9.0];
+//!
+//! let plan = Planner::exact()            // or Planner::greedy()
+//!     .queue(QueueKind::Priority)        // Stack | Priority
+//!     .threads(2)                        // K-worker search; bit-identical to serial
+//!     .plan(&g, PlanRequest::new(&costs, s, &[t]))
+//!     .expect("t is derivable from s");
+//! assert_eq!(plan.cost, 3.0);
+//! assert!(plan.optimal);
+//! ```
 
 pub use hyppo_baselines as baselines;
 pub use hyppo_core as core;

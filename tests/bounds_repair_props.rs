@@ -1,0 +1,194 @@
+//! The bound-repair contract, end to end: for random augmentation sequences
+//! (a base graph plus batches of edge/node insertions), repairing the SBT
+//! lower bounds through the growth journal is bit-identical to recomputing
+//! them from scratch after *every* insertion batch — and a planner wired to
+//! the repairing `PlannerBoundsCache` returns the exact same plan (edges and
+//! IEEE-754 cost bits) as a cache-less planner, serial and 4-threaded.
+//!
+//! 200 seeds × 3 growth batches each = 600 repaired states checked.
+
+use hyppo::core::optimizer::{PlanRequest, Planner};
+use hyppo::core::{PlannerBounds, PlannerBoundsCache};
+use hyppo::hypergraph::{
+    max_cost_distances, min_share_costs, repair_max_cost_distances, repair_min_share_costs, EdgeId,
+    HyperGraph, NodeId,
+};
+use hyppo::tensor::SeededRng;
+use std::sync::Arc;
+
+type G = HyperGraph<u32, ()>;
+
+const SEEDS: u64 = 200;
+const BATCHES: usize = 3;
+
+fn add(g: &mut G, costs: &mut Vec<f64>, t: Vec<NodeId>, h: Vec<NodeId>, c: f64) {
+    let e = g.add_edge(t, h, ());
+    costs.resize(e.index() + 1, 0.0);
+    costs[e.index()] = c;
+}
+
+fn random_tail(rng: &mut SeededRng, nodes: &[NodeId]) -> Vec<NodeId> {
+    let n_tail = 1 + rng.index(2.min(nodes.len()));
+    let mut tail: Vec<NodeId> = (0..n_tail).map(|_| nodes[rng.index(nodes.len())]).collect();
+    tail.sort_unstable();
+    tail.dedup();
+    tail
+}
+
+/// Base instance: random layered DAG with AND-tails and OR-alternatives
+/// (same family as the parallel-equivalence suite).
+fn base_instance(rng: &mut SeededRng) -> (G, Vec<f64>, NodeId, Vec<NodeId>) {
+    let mut g = G::new();
+    let s = g.add_node(0);
+    let mut nodes = vec![s];
+    let mut costs = Vec::new();
+    let n_rounds = 3 + rng.index(4);
+    for i in 0..n_rounds {
+        let v = g.add_node(i as u32 + 1);
+        let n_alts = 1 + rng.index(2);
+        for _ in 0..n_alts {
+            let tail = random_tail(rng, &nodes);
+            add(&mut g, &mut costs, tail, vec![v], (1 + rng.index(20)) as f64);
+        }
+        nodes.push(v);
+    }
+    (g, costs, s, nodes)
+}
+
+/// One augmentation-style growth batch: a mix of brand-new artifacts with
+/// producers, extra alternatives for existing artifacts, and the occasional
+/// multi-head split — everything history enrichment appends in practice.
+///
+/// `nodes` is kept in a topological order (every edge's tail precedes all of
+/// its heads), preserving the planner's acyclicity precondition — pipeline
+/// hypergraphs are DAGs, and so is every augmentation of one.
+fn grow(rng: &mut SeededRng, g: &mut G, costs: &mut Vec<f64>, nodes: &mut Vec<NodeId>) {
+    let n_inserts = 1 + rng.index(4);
+    for _ in 0..n_inserts {
+        match rng.index(3) {
+            0 => {
+                // New artifact with one producer.
+                let v = g.add_node(1000);
+                let tail = random_tail(rng, nodes);
+                add(g, costs, tail, vec![v], (1 + rng.index(20)) as f64);
+                nodes.push(v);
+            }
+            1 => {
+                // Extra (possibly cheaper) alternative for an existing node,
+                // with tails drawn from strictly upstream of it: forces the
+                // decrease wave to propagate downstream.
+                let i = 1 + rng.index(nodes.len() - 1);
+                let v = nodes[i];
+                let tail = random_tail(rng, &nodes[..i]);
+                add(g, costs, tail, vec![v], (1 + rng.index(20)) as f64);
+            }
+            _ => {
+                // Multi-head split onto one new and one existing node; tails
+                // come from upstream of the existing head.
+                let j = 1 + rng.index(nodes.len() - 1);
+                let w = nodes[j];
+                let tail = random_tail(rng, &nodes[..j]);
+                let v = g.add_node(2000);
+                add(g, costs, tail, vec![v, w], (1 + rng.index(20)) as f64);
+                nodes.push(v);
+            }
+        }
+    }
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// After every insertion batch: journal-based repair ≡ from-scratch, both
+/// for the raw relaxations and through the `PlannerBoundsCache`.
+#[test]
+fn repaired_bounds_are_bit_identical_after_every_insertion_batch() {
+    let mut repaired_states = 0usize;
+    for seed in 0..SEEDS {
+        let mut rng = SeededRng::new(0x5eed ^ seed);
+        let (mut g, mut costs, s, mut nodes) = base_instance(&mut rng);
+        let cache = PlannerBoundsCache::new();
+        cache.get_or_compute(&g, &costs, s);
+        assert_eq!(cache.misses(), 1, "seed {seed}: base must compute");
+
+        let mut dist = max_cost_distances(&g, &costs, &[s]);
+        let mut share = min_share_costs(&g, &costs);
+        for batch in 0..BATCHES {
+            let sig_before = g.structure_sig();
+            grow(&mut rng, &mut g, &mut costs, &mut nodes);
+
+            // Raw repair from the immediately-previous state.
+            let delta = g
+                .growth_since(sig_before, usize::MAX)
+                .unwrap_or_else(|| panic!("seed {seed} batch {batch}: journal must match"));
+            let inserted: Vec<EdgeId> =
+                (delta.base_edges..g.edge_bound()).map(EdgeId::from_index).collect();
+            repair_max_cost_distances(&g, &costs, &mut dist, &inserted);
+            repair_min_share_costs(&g, &costs, &mut share, &inserted);
+            let scratch_h = max_cost_distances(&g, &costs, &[s]);
+            let scratch_share = min_share_costs(&g, &costs);
+            assert_eq!(bits(&dist), bits(&scratch_h), "seed {seed} batch {batch}: h");
+            assert_eq!(bits(&share), bits(&scratch_share), "seed {seed} batch {batch}: share");
+
+            // Cache-level repair (base entry is the previous batch's state).
+            let repairs_before = cache.repairs();
+            let via_cache = cache.get_or_compute(&g, &costs, s);
+            assert_eq!(
+                cache.repairs(),
+                repairs_before + 1,
+                "seed {seed} batch {batch}: lookup must be served by repair"
+            );
+            assert_eq!(bits(&via_cache.h), bits(&scratch_h), "seed {seed} batch {batch}");
+            assert_eq!(bits(&via_cache.share), bits(&scratch_share), "seed {seed} batch {batch}");
+            let scratch_bounds = PlannerBounds::new(&g, &costs, s);
+            assert_eq!(bits(&via_cache.h), bits(&scratch_bounds.h), "seed {seed} batch {batch}");
+            repaired_states += 1;
+        }
+    }
+    assert_eq!(repaired_states, SEEDS as usize * BATCHES);
+}
+
+/// Plans produced *through* repaired bounds are the plans: serial and
+/// 4-thread planners with a repairing cache attached return bit-identical
+/// edges and cost to a cache-less serial planner, after every batch.
+#[test]
+fn planner_with_repairing_cache_matches_cacheless_plans() {
+    for seed in 0..SEEDS {
+        let mut rng = SeededRng::new(0x91a7 ^ seed);
+        let (mut g, mut costs, s, mut nodes) = base_instance(&mut rng);
+        let cache = Arc::new(PlannerBoundsCache::new());
+        for batch in 0..=BATCHES {
+            if batch > 0 {
+                grow(&mut rng, &mut g, &mut costs, &mut nodes);
+            }
+            let target = vec![*nodes.last().unwrap()];
+            let req = PlanRequest::new(&costs, s, &target);
+            let reference = Planner::exact().threads(1).plan(&g, req);
+            for threads in [1usize, 4] {
+                let cached = Planner::exact()
+                    .threads(threads)
+                    .bounds_cache(Arc::clone(&cache))
+                    .plan(&g, req);
+                match (&reference, &cached) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.edges, b.edges, "seed {seed} batch {batch} threads {threads}");
+                        assert_eq!(
+                            a.cost.to_bits(),
+                            b.cost.to_bits(),
+                            "seed {seed} batch {batch} threads {threads}"
+                        );
+                    }
+                    (None, None) => {}
+                    other => {
+                        panic!("seed {seed} batch {batch} threads {threads}: feasibility {other:?}")
+                    }
+                }
+            }
+        }
+        // The second thread-count pass hits what the first memoized; growth
+        // batches repair it forward. The cache must never have recomputed
+        // more than the one base entry.
+        assert_eq!(cache.misses(), 1, "seed {seed}: only the base state may miss");
+    }
+}
