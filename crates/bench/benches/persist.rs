@@ -1,0 +1,247 @@
+//! Durability-layer measurements: WAL append throughput, recovery wall
+//! time as the history grows, and cold-vs-warm artifact loads from the
+//! disk-backed store.
+//!
+//! Run under `cargo bench --bench persist` for the full measurement, which
+//! writes `BENCH_persist.json` (schema documented in EXPERIMENTS.md).
+//! Without `--bench` in the arguments a tiny smoke workload runs and
+//! nothing is written.
+
+use bytes::Bytes;
+use hyppo_core::HyppoConfig;
+use hyppo_ml::{Config, LogicalOp};
+use hyppo_persist::{read_wal, DiskArtifactStorage, DurableHyppo, WalWriter};
+use hyppo_pipeline::{ArtifactName, PipelineSpec};
+use hyppo_tensor::{Dataset, Matrix, SeededRng, TaskKind};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct WalAppend {
+    batches: usize,
+    events: usize,
+    bytes: u64,
+    wall_seconds: f64,
+    events_per_second: f64,
+    mib_per_second: f64,
+}
+
+#[derive(Serialize)]
+struct RecoveryPoint {
+    wal_events: usize,
+    wal_bytes: u64,
+    artifacts: usize,
+    wall_seconds: f64,
+}
+
+#[derive(Serialize)]
+struct ArtifactLoad {
+    artifacts: usize,
+    payload_bytes: u64,
+    cold_wall_seconds: f64,
+    warm_wall_seconds: f64,
+    warm_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    benchmark: String,
+    wal_append: WalAppend,
+    recovery: Vec<RecoveryPoint>,
+    artifact_load: ArtifactLoad,
+}
+
+fn dataset(rows: usize) -> Dataset {
+    let mut rng = SeededRng::new(7);
+    let cols = 4;
+    let mut x = Matrix::zeros(rows, cols);
+    let mut y = Vec::with_capacity(rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            x.set(r, c, rng.uniform(-1.0, 1.0));
+        }
+        y.push(if x.get(r, 0) + x.get(r, 3) > 0.0 { 1.0 } else { 0.0 });
+    }
+    Dataset::new(x, y, (0..cols).map(|i| format!("f{i}")).collect(), TaskKind::Classification)
+}
+
+fn spec(seed: i64) -> PipelineSpec {
+    let mut spec = PipelineSpec::new();
+    let d = spec.load("data");
+    let (train, test) = spec.split(d, Config::new().with_i("seed", seed));
+    let scaler = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+    let train_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, train);
+    let test_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
+    let model = spec.fit(LogicalOp::LinearSvm, 0, Config::new(), &[train_s]);
+    let preds = spec.predict(LogicalOp::LinearSvm, 0, Config::new(), model, test_s);
+    spec.evaluate(LogicalOp::Accuracy, preds, test_s);
+    spec
+}
+
+fn config() -> HyppoConfig {
+    HyppoConfig { budget_bytes: 256 * 1024 * 1024, ..Default::default() }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hyppo_bench_persist_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Grow a durable session until its WAL holds at least `min_events`.
+fn grow_session(dir: &Path, min_events: usize) -> usize {
+    let (mut session, _) = DurableHyppo::open(dir, config()).expect("open session");
+    session.register_dataset("data", dataset(120));
+    let mut seed = 0i64;
+    loop {
+        session.submit(spec(seed)).expect("submit");
+        seed += 1;
+        let events = read_wal(&dir.join("wal.log")).expect("read wal").events.len();
+        if events >= min_events {
+            return events;
+        }
+    }
+}
+
+fn measure_wal_append(sample_dir: &Path, batches: usize) -> WalAppend {
+    // Re-append a realistic event stream (harvested from a real session)
+    // batch by batch, one fsync per batch — the exact write pattern a
+    // submission produces.
+    let events = read_wal(&sample_dir.join("wal.log")).expect("read wal").events;
+    assert!(!events.is_empty(), "sample session produced no events");
+    let dir = scratch("wal_append");
+    std::fs::create_dir_all(&dir).expect("create scratch");
+    let (mut writer, _) = WalWriter::open(&dir.join("wal.log")).expect("open wal");
+    let start = Instant::now();
+    for _ in 0..batches {
+        writer.append(&events).expect("append");
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let bytes = writer.len_bytes();
+    let total_events = batches * events.len();
+    let _ = std::fs::remove_dir_all(&dir);
+    WalAppend {
+        batches,
+        events: total_events,
+        bytes,
+        wall_seconds: wall,
+        events_per_second: total_events as f64 / wall.max(1e-12),
+        mib_per_second: bytes as f64 / (1024.0 * 1024.0) / wall.max(1e-12),
+    }
+}
+
+fn measure_recovery(min_events: usize) -> RecoveryPoint {
+    let dir = scratch(&format!("recovery_{min_events}"));
+    let wal_events = grow_session(&dir, min_events);
+    let wal_bytes = std::fs::metadata(dir.join("wal.log")).expect("wal metadata").len();
+    let start = Instant::now();
+    let (session, report) = DurableHyppo::open(&dir, config()).expect("recover");
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(report.replayed_events, wal_events);
+    let artifacts = report.artifacts_loaded;
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryPoint { wal_events, wal_bytes, artifacts, wall_seconds: wall }
+}
+
+fn measure_artifact_load(artifacts: usize, payload_len: usize) -> ArtifactLoad {
+    let dir = scratch("artifact_load");
+    std::fs::create_dir_all(&dir).expect("create scratch");
+    let mut store = DiskArtifactStorage::open(&dir, 0).expect("open store");
+    let mut rng = SeededRng::new(41);
+    let names: Vec<ArtifactName> = (0..artifacts)
+        .map(|i| {
+            let name = ArtifactName(0x9000_0000_0000_0000u64 + i as u64);
+            let payload: Vec<u8> =
+                (0..payload_len).map(|_| rng.uniform(0.0, 255.0) as u8).collect();
+            store.put_raw(name, &Bytes::from(payload)).expect("put");
+            name
+        })
+        .collect();
+
+    store.clear_cache();
+    let start = Instant::now();
+    let mut total = 0u64;
+    for &name in &names {
+        total += store.raw(name).expect("cold read").expect("present").len() as u64;
+    }
+    let cold = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for &name in &names {
+        total += store.raw(name).expect("warm read").expect("present").len() as u64;
+    }
+    let warm = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    ArtifactLoad {
+        artifacts,
+        payload_bytes: total / 2,
+        cold_wall_seconds: cold,
+        warm_wall_seconds: warm,
+        warm_speedup: cold / warm.max(1e-12),
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--bench");
+    let (append_batches, recovery_sizes, load_artifacts, load_len): (
+        usize,
+        Vec<usize>,
+        usize,
+        usize,
+    ) = if full {
+        (200, vec![100, 1000, 5000], 64, 256 * 1024)
+    } else {
+        (3, vec![30], 4, 4 * 1024)
+    };
+
+    // One small real session supplies a representative event stream for
+    // the append measurement.
+    let sample_dir = scratch("sample");
+    grow_session(&sample_dir, 20);
+
+    let wal_append = measure_wal_append(&sample_dir, append_batches);
+    println!(
+        "persist: wal append {} events in {:.3}s ({:.0} events/s, {:.1} MiB/s)",
+        wal_append.events,
+        wal_append.wall_seconds,
+        wal_append.events_per_second,
+        wal_append.mib_per_second
+    );
+    let _ = std::fs::remove_dir_all(&sample_dir);
+
+    let mut recovery = Vec::new();
+    for size in recovery_sizes {
+        let point = measure_recovery(size);
+        println!(
+            "persist: recovery of {} events / {} artifacts in {:.4}s",
+            point.wal_events, point.artifacts, point.wall_seconds
+        );
+        recovery.push(point);
+    }
+
+    let artifact_load = measure_artifact_load(load_artifacts, load_len);
+    println!(
+        "persist: {} artifacts cold {:.4}s warm {:.4}s ({:.1}x)",
+        artifact_load.artifacts,
+        artifact_load.cold_wall_seconds,
+        artifact_load.warm_wall_seconds,
+        artifact_load.warm_speedup
+    );
+
+    if full {
+        let report = BenchReport {
+            benchmark: "persist_durability".to_string(),
+            wal_append,
+            recovery,
+            artifact_load,
+        };
+        let json = serde_json::to_string_pretty(&report).expect("serialize report");
+        // Anchor at the workspace root regardless of cargo's bench CWD.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_persist.json");
+        std::fs::write(path, json).expect("write BENCH_persist.json");
+        println!("persist: wrote {path}");
+    }
+}

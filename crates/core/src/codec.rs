@@ -26,6 +26,38 @@ impl std::error::Error for CodecError {}
 
 type Result<T> = std::result::Result<T, CodecError>;
 
+/// Version marker byte prefixed to CRC-framed (v1) encodings. Legacy (v0)
+/// encodings start with an artifact tag in `0..=3`, so the marker byte is
+/// unambiguous and old spilled bytes still decode.
+pub const FRAME_V1: u8 = 0xA5;
+
+/// CRC-32 (IEEE 802.3 polynomial) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3) checksum of a byte slice. Shared by the v1 artifact
+/// framing here and the `hyppo-persist` write-ahead log.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
 fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
     if buf.remaining() < n {
         return Err(CodecError(format!("truncated buffer reading {what}")));
@@ -308,8 +340,21 @@ pub fn encoded_size(artifact: &Artifact) -> u64 {
     encode(artifact).len() as u64
 }
 
-/// Serialize an artifact to bytes.
+/// Serialize an artifact to bytes, CRC-framed:
+/// `[FRAME_V1][crc32(body): u32 le][body]`. [`decode`] verifies the
+/// checksum, so bit rot in a spilled `.art` file or a torn store write is
+/// detected instead of trusted.
 pub fn encode(artifact: &Artifact) -> Bytes {
+    let body = encode_body(artifact);
+    let mut out = BytesMut::with_capacity(body.len() + 5);
+    out.put_u8(FRAME_V1);
+    out.put_slice(&crc32(&body).to_le_bytes());
+    out.put_slice(&body);
+    out.freeze()
+}
+
+/// Serialize an artifact's unframed (v0) body.
+fn encode_body(artifact: &Artifact) -> BytesMut {
     let mut out = BytesMut::with_capacity(artifact.size_bytes() + 64);
     match artifact {
         Artifact::Data(d) => {
@@ -338,12 +383,35 @@ pub fn encode(artifact: &Artifact) -> Bytes {
             put_state(&mut out, s);
         }
     }
-    out.freeze()
+    out
 }
 
 /// Deserialize an artifact from a borrowed byte slice (a `&Bytes` view
 /// coerces via `Deref`, so callers never clone the backing buffer).
+///
+/// Version-dispatched: a leading [`FRAME_V1`] byte selects the CRC-checked
+/// v1 framing; any other first byte is a legacy v0 body (artifact tags are
+/// `0..=3`), kept decodable so stores spilled before the framing change
+/// still load.
 pub fn decode(mut buf: &[u8]) -> Result<Artifact> {
+    need(&buf, 1, "artifact tag")?;
+    if buf[0] == FRAME_V1 {
+        buf.advance(1);
+        need(&buf, 4, "frame checksum")?;
+        let stored = u32::from_le_bytes(buf[..4].try_into().expect("length checked"));
+        buf.advance(4);
+        let computed = crc32(buf);
+        if stored != computed {
+            return Err(CodecError(format!(
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
+    }
+    decode_body(buf)
+}
+
+/// Deserialize an unframed (v0) artifact body.
+fn decode_body(mut buf: &[u8]) -> Result<Artifact> {
     need(&buf, 1, "artifact tag")?;
     let artifact = match buf.get_u8() {
         0 => {
@@ -469,6 +537,40 @@ mod tests {
         let mut raw = BytesMut::new();
         raw.put_u8(200);
         assert!(decode(&raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The IEEE 802.3 check value for the standard test string.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_is_marker_plus_checksum() {
+        let a = Artifact::Value(2.5);
+        let framed = encode(&a);
+        let body = encode_body(&a);
+        assert_eq!(framed.len(), body.len() + 5);
+        assert_eq!(framed[0], FRAME_V1);
+        assert_eq!(&framed[5..], &body[..]);
+    }
+
+    #[test]
+    fn legacy_unframed_bytes_still_decode() {
+        let a = Artifact::Predictions(vec![1.0, -2.0]);
+        let legacy = encode_body(&a).freeze();
+        assert_ne!(legacy[0], FRAME_V1, "legacy bodies start with an artifact tag");
+        assert_eq!(decode(&legacy).unwrap(), a);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut raw = encode(&Artifact::Predictions(vec![1.0, 2.0, 3.0])).to_vec();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x40;
+        let err = decode(&raw).unwrap_err();
+        assert!(err.0.contains("checksum"), "got: {}", err.0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ impl PriceModel {
 /// Input sizes are bucketed by the base-2 logarithm of the total input cell
 /// count, giving the paper's "crude estimate buckets rather than specific
 /// values" (§IV-G).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct StatKey {
     /// Logical operator.
     pub op: LogicalOp,
@@ -90,7 +90,14 @@ impl Deserialize for CostStats {
 
 impl From<CostStats> for CostStatsSerde {
     fn from(s: CostStats) -> Self {
-        CostStatsSerde(s.entries.into_iter().map(|(k, (c, m))| (k, c, m)).collect())
+        // Canonical key order: two estimators holding the same statistics
+        // must serialize to the same bytes regardless of hash-map history,
+        // or the persistence layer's bit-identity checks (recovered catalog
+        // JSON == live catalog JSON) would fail spuriously.
+        let mut entries: Vec<(StatKey, u64, f64)> =
+            s.entries.into_iter().map(|(k, (c, m))| (k, c, m)).collect();
+        entries.sort_by_key(|e| e.0);
+        CostStatsSerde(entries)
     }
 }
 
@@ -217,6 +224,29 @@ mod tests {
         let mut stats = CostStats::new();
         stats.record(StatKey::new(LogicalOp::Pca, TaskType::Fit, 0, 1000), 5.0);
         assert!(stats.lookup_nearest(key(1000)).is_none());
+    }
+
+    #[test]
+    fn serialization_is_canonical_across_insertion_orders() {
+        let keys = [
+            StatKey::new(LogicalOp::Ridge, TaskType::Fit, 0, 10),
+            StatKey::new(LogicalOp::Pca, TaskType::Fit, 1, 5000),
+            StatKey::new(LogicalOp::Ridge, TaskType::Predict, 0, 10),
+            StatKey::new(LogicalOp::KMeans, TaskType::Fit, 2, 1 << 20),
+        ];
+        let mut fwd = CostStats::new();
+        for k in keys {
+            fwd.record(k, 1.0);
+        }
+        let mut rev = CostStats::new();
+        for k in keys.iter().rev() {
+            rev.record(*k, 1.0);
+        }
+        assert_eq!(
+            serde_json::to_string(&fwd).unwrap(),
+            serde_json::to_string(&rev).unwrap(),
+            "entry order must not depend on hash-map iteration"
+        );
     }
 
     #[test]

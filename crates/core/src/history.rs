@@ -8,6 +8,7 @@
 //! node and its computational edges stay (§IV-H). Per-artifact statistics
 //! (access frequency, production cost, size) feed the materializer.
 
+use crate::durable::DurableEvent;
 use hyppo_hypergraph::{EdgeId, HyperGraph, NodeId};
 use hyppo_ml::{Config, LogicalOp, TaskType};
 use hyppo_pipeline::{naming, ArtifactName, EdgeLabel, NodeLabel};
@@ -28,7 +29,7 @@ pub struct ArtifactStats {
 }
 
 /// Description of one produced artifact when recording a task execution.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ProducedArtifact {
     /// Logical name.
     pub name: ArtifactName,
@@ -50,6 +51,8 @@ pub struct History {
     load_edge: HashMap<ArtifactName, EdgeId>,
     stats: HashMap<ArtifactName, ArtifactStats>,
     clock: u64,
+    journal_enabled: bool,
+    journal: Vec<DurableEvent>,
 }
 
 impl Default for History {
@@ -71,6 +74,38 @@ impl History {
             load_edge: HashMap::new(),
             stats: HashMap::new(),
             clock: 0,
+            journal_enabled: false,
+            journal: Vec::new(),
+        }
+    }
+
+    /// Start journaling every mutation as a [`DurableEvent`]. The journal
+    /// accumulates the *call* sequence; [`History::take_events`] drains it.
+    /// Enable only on the state the durable base (empty history or restored
+    /// snapshot) corresponds to — replaying the drained events onto that
+    /// base rebuilds this history exactly.
+    pub fn enable_event_journal(&mut self) {
+        self.journal_enabled = true;
+    }
+
+    /// Whether mutations are currently journaled.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal_enabled
+    }
+
+    /// Drain the events journaled since the last call (empty when the
+    /// journal is disabled).
+    pub fn take_events(&mut self) -> Vec<DurableEvent> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// Append an event to the journal without applying it. No-op while the
+    /// journal is disabled. The system facade routes estimator observations
+    /// through here so one ordered stream carries both history mutations
+    /// and cost observations.
+    pub fn journal_event(&mut self, event: DurableEvent) {
+        if self.journal_enabled {
+            self.journal.push(event);
         }
     }
 
@@ -104,6 +139,7 @@ impl History {
 
     /// Overwrite an artifact's statistics (catalog restore path).
     pub fn set_stats(&mut self, name: ArtifactName, stats: ArtifactStats) {
+        self.journal_event(DurableEvent::SetStats { name, stats });
         self.clock = self.clock.max(stats.last_access);
         self.stats.insert(name, stats);
     }
@@ -111,6 +147,7 @@ impl History {
     /// Record that an artifact was required by a pipeline (frequency and
     /// recency bookkeeping for the materializer).
     pub fn touch(&mut self, name: ArtifactName) {
+        self.journal_event(DurableEvent::Touch { name });
         self.clock += 1;
         let clock = self.clock;
         let entry = self.stats.entry(name).or_default();
@@ -129,6 +166,7 @@ impl History {
 
     /// Record a raw dataset as loadable from the source. Idempotent.
     pub fn record_dataset(&mut self, dataset_id: &str, size_bytes: u64) -> NodeId {
+        self.journal_event(DurableEvent::Dataset { id: dataset_id.to_string(), size_bytes });
         let name = naming::dataset_name(dataset_id);
         let node = self.ensure_node(name, || NodeLabel {
             name,
@@ -164,6 +202,17 @@ impl History {
         outputs: &[ProducedArtifact],
         cost_seconds: f64,
     ) -> EdgeId {
+        if self.journal_enabled {
+            self.journal.push(DurableEvent::Task {
+                op,
+                task,
+                impl_index,
+                config: config.clone(),
+                inputs: input_names.to_vec(),
+                outputs: outputs.to_vec(),
+                cost_seconds,
+            });
+        }
         // Inputs must exist (execution is topological); be defensive anyway.
         let tail: Vec<NodeId> = input_names
             .iter()
@@ -206,6 +255,7 @@ impl History {
     /// Idempotent; panics if the artifact is unknown.
     pub fn materialize(&mut self, name: ArtifactName) {
         let node = self.node_of(name).expect("cannot materialize unknown artifact");
+        self.journal_event(DurableEvent::Materialize { name });
         if self.load_edge.contains_key(&name) {
             return;
         }
@@ -223,6 +273,7 @@ impl History {
     /// Evict a materialized artifact: remove its `load` hyperedge. The node
     /// and every computational hyperedge stay in the history.
     pub fn evict(&mut self, name: ArtifactName) {
+        self.journal_event(DurableEvent::Evict { name });
         if let Some(e) = self.load_edge.remove(&name) {
             self.graph.remove_edge(e);
         }
@@ -236,6 +287,17 @@ impl History {
     /// Names of all currently materialized artifacts.
     pub fn materialized(&self) -> impl Iterator<Item = ArtifactName> + '_ {
         self.load_edge.keys().copied()
+    }
+
+    /// Materialized artifacts in load-edge insertion order. This is the
+    /// canonical order snapshots record: re-materializing in this order
+    /// re-creates the load hyperedges with the same dense edge ids, which
+    /// the durability layer's bit-identical-recovery invariant relies on.
+    pub fn materialized_in_load_order(&self) -> Vec<ArtifactName> {
+        let mut by_edge: Vec<(EdgeId, ArtifactName)> =
+            self.load_edge.iter().map(|(&n, &e)| (e, n)).collect();
+        by_edge.sort_unstable_by_key(|&(e, _)| e);
+        by_edge.into_iter().map(|(_, n)| n).collect()
     }
 
     /// Iterate over all recorded artifact names.

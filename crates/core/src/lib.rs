@@ -23,6 +23,8 @@
 //!   `pl(v) × gain(v)` under a storage budget, with eviction;
 //! - [`store`] — the artifact store backing materialization, with a
 //!   bandwidth-modelled load cost;
+//! - [`durable`] — the durable event vocabulary and [`durable::DurabilityHook`]
+//!   trait behind the `hyppo-persist` write-ahead log;
 //! - [`system`] — the [`system::Hyppo`] facade tying everything together:
 //!   `submit(spec) → augment → optimize → execute → record → materialize`.
 
@@ -31,6 +33,7 @@
 pub mod augment;
 pub mod codec;
 pub mod cost;
+pub mod durable;
 pub mod estimator;
 pub mod executor;
 pub mod explain;
@@ -45,6 +48,7 @@ pub mod system;
 
 pub use augment::{augment, Augmentation};
 pub use cost::PriceModel;
+pub use durable::{replay_event, replay_events, DurabilityHook, DurableEvent};
 pub use estimator::CostEstimator;
 pub use executor::{execute_plan, ExecMode, ExecOutcome};
 pub use explain::{explain, Explanation};
@@ -52,6 +56,7 @@ pub use history::History;
 pub use materialize::{MaterializeConfig, Materializer, PlanLocality};
 pub use optimizer::bounds::{BoundsCacheStats, PlannerBounds, PlannerBoundsCache};
 pub use optimizer::{Plan, PlanRequest, Planner, QueueKind};
+pub use persist::{atomic_write, StoreLoadError, StoreLoadReport};
 pub use session::Session;
 pub use store::{ArtifactStorage, ArtifactStore};
 pub use system::{Hyppo, HyppoConfig, RunReport};

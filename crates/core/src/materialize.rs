@@ -84,6 +84,18 @@ pub struct Materializer {
     pub config: MaterializeConfig,
 }
 
+/// The paper's savings benefit `gain(v) = freq(v) · cost(v) / load(v)`
+/// (§IV-H): expected recompute seconds saved per unit of load cost. Exposed
+/// as a free function so byte-budgeted eviction policies elsewhere (e.g.
+/// the disk-backed store in `hyppo-persist`) rank artifacts by exactly the
+/// quantity the materializer uses.
+pub fn gain(freq: u64, compute_cost_seconds: f64, load_cost_seconds: f64) -> f64 {
+    let freq = freq.max(1) as f64;
+    let cost = compute_cost_seconds.max(1e-9);
+    let load = load_cost_seconds.max(1e-12);
+    freq * cost / load
+}
+
 impl Materializer {
     /// Create a materializer.
     pub fn new(config: MaterializeConfig) -> Self {
@@ -100,12 +112,9 @@ impl Materializer {
         size: u64,
     ) -> f64 {
         let stats = history.stats_of(name);
-        let freq = stats.freq.max(1) as f64;
-        let cost = stats.compute_cost.max(1e-9);
-        let load = estimator.load_cost(size).max(1e-12);
-        let gain = freq * cost / load;
         let depth = depths.get(&name).copied().unwrap_or(1.0);
-        self.config.locality.coefficient(depth) * gain
+        self.config.locality.coefficient(depth)
+            * gain(stats.freq, stats.compute_cost, estimator.load_cost(size))
     }
 
     /// Run one materialization round after a plan execution.

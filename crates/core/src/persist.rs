@@ -9,6 +9,7 @@
 //! startup.
 
 use crate::estimator::CostEstimator;
+use crate::executor::ExecError;
 use crate::history::{ArtifactStats, History};
 use crate::store::ArtifactStore;
 use hyppo_hypergraph::NodeId;
@@ -56,8 +57,19 @@ pub fn snapshot(history: &History) -> HistorySnapshot {
             )
         })
         .collect();
-    let stats = history.artifact_names().map(|n| (n, history.stats_of(n))).collect();
-    let materialized = history.materialized().collect();
+    // Canonical name order: `artifact_names()`/`materialized()` iterate
+    // hash maps, whose order varies per instance. Two histories holding the
+    // same state must snapshot to the same bytes — the durability layer's
+    // recovery proof compares snapshot JSON for bitwise equality.
+    let mut stats: Vec<(ArtifactName, ArtifactStats)> =
+        history.artifact_names().map(|n| (n, history.stats_of(n))).collect();
+    stats.sort_by_key(|&(n, _)| n);
+    // Materialized names are ordered by load-edge id, not name: `restore`
+    // re-materializes in this order, re-creating the load edges with the
+    // same dense ids the live history assigned. (Insertion order is a
+    // deterministic function of the recorded call sequence, so this stays
+    // canonical across instances.)
+    let materialized = history.materialized_in_load_order();
     HistorySnapshot { nodes, edges, stats, materialized }
 }
 
@@ -77,7 +89,19 @@ pub fn restore(snap: &HistorySnapshot) -> History {
                     let size = label_of(head[0]).and_then(|l| l.size_bytes).unwrap_or(0);
                     history.record_dataset(id, size);
                 }
-                None => { /* artifact load edges re-added below */ }
+                None => {
+                    // Artifact load edge: re-materialize *in place* so the
+                    // load edge is re-created at the same position in the
+                    // edge sequence the live history had (bit-identical
+                    // recovery depends on edge order). The producing task
+                    // edge always precedes the load edge, so the artifact
+                    // is already known here.
+                    if let Some(&name) = head.first() {
+                        if history.contains(name) {
+                            history.materialize(name);
+                        }
+                    }
+                }
             }
             continue;
         }
@@ -122,6 +146,8 @@ pub fn restore(snap: &HistorySnapshot) -> History {
             history.set_stats(*name, *stats);
         }
     }
+    // Backstop for the `materialized` list (idempotent: the in-place pass
+    // above has normally re-created every load edge already).
     for &name in &snap.materialized {
         if history.contains(name) {
             history.materialize(name);
@@ -152,9 +178,36 @@ pub fn catalog_from_json(json: &str) -> Result<(History, CostEstimator), serde_j
     Ok((restore(&c.history), c.estimator))
 }
 
+/// Write `bytes` to `path` atomically: write a sibling `.tmp` file, fsync
+/// it, rename it over the target, then fsync the parent directory. A crash
+/// at any point leaves either the old contents or the new — never a
+/// truncated file. Every durable write in this module and in
+/// `Hyppo::save_catalog` goes through here.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let tmp = path.with_extension("tmp");
+    {
+        // hyppo-lint: allow(direct-fs-write-outside-persist) this is the atomic-write primitive the rule funnels callers into
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    // hyppo-lint: allow(direct-fs-write-outside-persist) publishing the fsynced tmp file is the atomic commit point
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Durability of the rename itself (best effort: directory fsync is
+        // not supported on every platform).
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 /// Spill every materialized artifact to `dir` (one file per artifact,
-/// hex-named). Returns the number of files written.
+/// hex-named, written atomically). Returns the number of files written.
 pub fn save_store(store: &ArtifactStore, dir: &Path) -> std::io::Result<usize> {
+    // hyppo-lint: allow(direct-fs-write-outside-persist) legacy snapshot helper: directory creation is idempotent and carries no payload
     std::fs::create_dir_all(dir)?;
     let mut written = 0;
     for name in store.names().collect::<Vec<_>>() {
@@ -163,29 +216,102 @@ pub fn save_store(store: &ArtifactStore, dir: &Path) -> std::io::Result<usize> {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         if let Some((artifact, _)) = loaded {
             let bytes = crate::codec::encode(&artifact);
-            std::fs::write(dir.join(format!("{name}.art")), &bytes)?;
+            atomic_write(&dir.join(format!("{name}.art")), &bytes)?;
             written += 1;
         }
     }
     Ok(written)
 }
 
-/// Reload artifacts spilled by [`save_store`] into the store. Returns the
-/// number of artifacts loaded.
-pub fn load_store(store: &mut ArtifactStore, dir: &Path) -> std::io::Result<usize> {
-    let mut loaded = 0;
+/// Outcome of [`load_store`]: what was reloaded and which directory entries
+/// were skipped as non-spill files.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StoreLoadReport {
+    /// Number of artifacts decoded and inserted into the store.
+    pub loaded: usize,
+    /// Directory entries skipped because they do not look like `a{hex}.art`
+    /// spill files (stray files, interrupted `.tmp` writes,
+    /// subdirectories), in name order.
+    pub skipped: Vec<String>,
+}
+
+/// Failure reloading a spilled store.
+#[derive(Debug)]
+pub enum StoreLoadError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A spill file failed to decode; carries [`ExecError::Corrupt`] with
+    /// the artifact name and the codec error.
+    Corrupt(ExecError),
+}
+
+impl std::fmt::Display for StoreLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreLoadError::Io(e) => write!(f, "store load failed: {e}"),
+            StoreLoadError::Corrupt(e) => write!(f, "store load failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreLoadError {}
+
+impl From<std::io::Error> for StoreLoadError {
+    fn from(e: std::io::Error) -> Self {
+        StoreLoadError::Io(e)
+    }
+}
+
+impl From<StoreLoadError> for std::io::Error {
+    fn from(e: StoreLoadError) -> Self {
+        match e {
+            StoreLoadError::Io(io) => io,
+            StoreLoadError::Corrupt(exec) => {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, exec)
+            }
+        }
+    }
+}
+
+/// Artifact name encoded in a spill file name (`a{hex}.art`), if any.
+fn spill_file_name(file: &str) -> Option<ArtifactName> {
+    let stem = file.strip_suffix(".art")?;
+    let hex = stem.strip_prefix('a')?;
+    u64::from_str_radix(hex, 16).ok().map(ArtifactName)
+}
+
+/// Reload artifacts spilled by [`save_store`] into the store.
+///
+/// Non-spill entries are not silently dropped: they come back in
+/// [`StoreLoadReport::skipped`] so callers can see exactly what was
+/// ignored. A spill file that fails to decode aborts the load with
+/// [`StoreLoadError::Corrupt`] instead of being skipped — a corrupt
+/// artifact store is an error to surface, not a partial success.
+pub fn load_store(
+    store: &mut ArtifactStore,
+    dir: &Path,
+) -> Result<StoreLoadReport, StoreLoadError> {
+    let mut report = StoreLoadReport::default();
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
     for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else { continue };
-        let Some(hex) = stem.strip_prefix('a') else { continue };
-        let Ok(raw) = u64::from_str_radix(hex, 16) else { continue };
+        paths.push(entry?.path());
+    }
+    // Name order: deterministic load order and stable skip reports.
+    paths.sort();
+    for path in paths {
+        let file = path.file_name().map(|f| f.to_string_lossy().into_owned()).unwrap_or_default();
+        let name = if path.is_file() { spill_file_name(&file) } else { None };
+        let Some(name) = name else {
+            report.skipped.push(file);
+            continue;
+        };
         let bytes = std::fs::read(&path)?;
         let artifact = crate::codec::decode(&bytes)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        store.put(ArtifactName(raw), &artifact);
-        loaded += 1;
+            .map_err(|e| StoreLoadError::Corrupt(ExecError::Corrupt(name, e)))?;
+        store.put(name, &artifact);
+        report.loaded += 1;
     }
-    Ok(loaded)
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -282,21 +408,77 @@ mod tests {
         let written = save_store(&store, &dir).unwrap();
         assert_eq!(written, 1);
         let mut store2 = ArtifactStore::new();
-        let loaded = load_store(&mut store2, &dir).unwrap();
-        assert_eq!(loaded, 1);
+        let report = load_store(&mut store2, &dir).unwrap();
+        assert_eq!(report.loaded, 1);
+        assert!(report.skipped.is_empty());
         let (artifact, _) = store2.load(name).unwrap().unwrap();
         assert_eq!(artifact, Artifact::Predictions(vec![1.0, 2.0, 3.0]));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn corrupt_spill_file_is_an_error() {
+    fn corrupt_spill_file_is_a_corrupt_error() {
         let dir = std::env::temp_dir().join(format!("hyppo_store_bad_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("a00000000000000ff.art"), b"garbage").unwrap();
         let mut store = ArtifactStore::new();
-        assert!(load_store(&mut store, &dir).is_err());
+        let err = load_store(&mut store, &dir).unwrap_err();
+        match err {
+            StoreLoadError::Corrupt(crate::executor::ExecError::Corrupt(name, _)) => {
+                assert_eq!(name, ArtifactName(0xff));
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_spill_entries_are_reported_not_dropped() {
+        let dir = std::env::temp_dir().join(format!("hyppo_store_skip_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ArtifactStore::new();
+        store.put(naming::dataset_name("x"), &Artifact::Value(1.0));
+        save_store(&store, &dir).unwrap();
+        // Stray files a crash or a user could leave behind.
+        std::fs::write(dir.join("README.txt"), b"notes").unwrap();
+        std::fs::write(dir.join("a12.tmp"), b"torn tmp write").unwrap();
+        std::fs::write(dir.join("zz.art"), b"not hex-named").unwrap();
+        std::fs::create_dir_all(dir.join("subdir")).unwrap();
+        let mut store2 = ArtifactStore::new();
+        let report = load_store(&mut store2, &dir).unwrap();
+        assert_eq!(report.loaded, 1);
+        assert_eq!(report.skipped, vec!["README.txt", "a12.tmp", "subdir", "zz.art"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("hyppo_atomic_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(leftovers, vec!["catalog.json"], "no tmp file may remain");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_json_is_canonical_across_instances() {
+        // Two identically-built histories still hold differently-seeded
+        // hash maps (std's per-instance RandomState), so this fails if the
+        // snapshot leans on hash iteration order anywhere.
+        let est = CostEstimator::new();
+        assert_eq!(
+            catalog_to_json(&sample_history(), &est),
+            catalog_to_json(&sample_history(), &est)
+        );
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::augment::{self, annotate_costs, AugmentOptions, Augmentation};
 use crate::cost::PriceModel;
+use crate::durable::{DurabilityHook, DurableEvent};
 use crate::estimator::CostEstimator;
 use crate::executor::{execute_plan, ExecError, ExecMode};
 use crate::history::History;
@@ -89,6 +90,11 @@ pub enum SubmitError {
     NoPlan,
     /// Plan execution failed.
     Exec(ExecError),
+    /// The submission executed but its events could not be made durable
+    /// (the attached [`DurabilityHook`] failed). In-memory state is
+    /// updated; a crash before the next successful append loses this
+    /// submission's history.
+    Durability(std::io::Error),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -96,6 +102,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::NoPlan => write!(f, "no executable plan for the requested targets"),
             SubmitError::Exec(e) => write!(f, "execution failed: {e}"),
+            SubmitError::Durability(e) => write!(f, "durability hook failed: {e}"),
         }
     }
 }
@@ -125,6 +132,7 @@ pub struct Hyppo {
     /// structure: repeated submissions over an unchanged history reuse the
     /// SBT relaxations instead of recomputing them per plan call.
     pub bounds_cache: std::sync::Arc<PlannerBoundsCache>,
+    durability: Option<Box<dyn DurabilityHook>>,
 }
 
 impl Hyppo {
@@ -137,7 +145,42 @@ impl Hyppo {
             store: ArtifactStore::new(),
             cumulative_seconds: 0.0,
             bounds_cache: std::sync::Arc::new(PlannerBoundsCache::new()),
+            durability: None,
         }
+    }
+
+    /// Attach a durability hook and start journaling history mutations and
+    /// estimator observations. Events drain into the hook at the end of
+    /// every submission (and on [`Hyppo::flush_durability`]). Attach while
+    /// the state matches the hook's durable base: a fresh system for an
+    /// empty log, or right after recovery for an existing one.
+    pub fn attach_durability(&mut self, hook: Box<dyn DurabilityHook>) {
+        self.history.enable_event_journal();
+        self.durability = Some(hook);
+    }
+
+    /// Detach and return the durability hook, if any. Journaled events not
+    /// yet flushed stay queued in the history journal.
+    pub fn detach_durability(&mut self) -> Option<Box<dyn DurabilityHook>> {
+        self.durability.take()
+    }
+
+    /// Whether a durability hook is attached.
+    pub fn has_durability(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Drain journaled events into the attached durability hook. No-op
+    /// without a hook or without pending events.
+    pub fn flush_durability(&mut self) -> std::io::Result<()> {
+        let Some(hook) = self.durability.as_mut() else {
+            return Ok(());
+        };
+        let events = self.history.take_events();
+        if events.is_empty() {
+            return Ok(());
+        }
+        hook.append(&events)
     }
 
     /// Register a raw dataset as loadable from the source.
@@ -162,22 +205,34 @@ impl Hyppo {
     /// materialized artifacts under `dir`, so a later session can resume
     /// with full across-experiment reuse.
     pub fn save_catalog(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        // hyppo-lint: allow(direct-fs-write-outside-persist) legacy snapshot helper: directory creation is idempotent and carries no payload
         std::fs::create_dir_all(dir)?;
         let json = crate::persist::catalog_to_json(&self.history, &self.estimator);
-        std::fs::write(dir.join("catalog.json"), json)?;
+        crate::persist::atomic_write(&dir.join("catalog.json"), json.as_bytes())?;
         crate::persist::save_store(&self.store, &dir.join("artifacts"))?;
         Ok(())
     }
 
     /// Restore a catalog previously written by [`Hyppo::save_catalog`].
     /// Raw datasets are not persisted — re-register them after loading.
-    pub fn load_catalog(&mut self, dir: &std::path::Path) -> std::io::Result<()> {
+    /// Returns the artifact-store load report (skipped directory entries).
+    pub fn load_catalog(
+        &mut self,
+        dir: &std::path::Path,
+    ) -> std::io::Result<crate::persist::StoreLoadReport> {
         let json = std::fs::read_to_string(dir.join("catalog.json"))?;
         let (history, estimator) = crate::persist::catalog_from_json(&json)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let journaled = self.history.journal_enabled();
         self.history = history;
         self.estimator = estimator;
-        crate::persist::load_store(&mut self.store, &dir.join("artifacts"))?;
+        // The restored history replaced the journaled one wholesale; keep
+        // journaling if a durability hook expects the event stream.
+        if journaled || self.durability.is_some() {
+            self.history.enable_event_journal();
+        }
+        let report = crate::persist::load_store(&mut self.store, &dir.join("artifacts"))
+            .map_err(std::io::Error::from)?;
         // Drop materialization flags for artifacts whose payloads did not
         // survive the round trip (defensive consistency).
         for name in self.history.materialized().collect::<Vec<_>>() {
@@ -185,7 +240,7 @@ impl Hyppo {
                 self.history.evict(name);
             }
         }
-        Ok(())
+        Ok(report)
     }
 
     /// Submit a pipeline: augment, optimize, execute, record, materialize.
@@ -231,6 +286,23 @@ impl Hyppo {
         let target_names: Vec<ArtifactName> =
             aug.targets.iter().map(|&t| aug.graph.node(t).name).collect();
         record_outcome(&aug, &outcome, &target_names, &mut self.history, &mut self.estimator);
+        // Mirror the estimator observations into the durable event stream:
+        // the history journals its own mutations, but estimator state lives
+        // outside it. Ordering relative to the history events is free —
+        // the two replay into disjoint state.
+        if self.history.journal_enabled() {
+            for m in &outcome.metrics {
+                if !m.is_load {
+                    self.history.journal_event(DurableEvent::Observe {
+                        op: m.op,
+                        task: m.task,
+                        impl_index: m.impl_index,
+                        input_cells: m.input_cells,
+                        seconds: m.cost_seconds,
+                    });
+                }
+            }
+        }
 
         // Materialize under the budget.
         let report_mat = if self.config.budget_bytes > 0 {
@@ -249,6 +321,7 @@ impl Hyppo {
         };
 
         self.cumulative_seconds += outcome.total_seconds;
+        self.flush_durability().map_err(SubmitError::Durability)?;
         let values: HashMap<ArtifactName, f64> =
             target_names.iter().filter_map(|&n| outcome.value(n).map(|v| (n, v))).collect();
         Ok(RunReport {

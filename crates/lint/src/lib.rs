@@ -24,6 +24,7 @@
 //! | `unsafe-needs-safety-comment` | `unsafe` without an adjacent `// SAFETY:` comment |
 //! | `nested-lock-acquire` | a lock acquired while another guard is plausibly live |
 //! | `no-deprecated-planner-api` | `SearchOptions` / free-function `optimize(` |
+//! | `direct-fs-write-outside-persist` | raw filesystem mutation in durability-critical crates |
 //! | `malformed-allow` | `allow(...)` without a reason, or naming an unknown rule |
 
 mod annot;
@@ -31,8 +32,8 @@ mod rules;
 mod scan;
 
 pub use rules::{
-    DEPRECATED_API, NESTED_LOCK, NONDET_ITERATION, RELAXED_ORDERING, RULE_IDS, UNSAFE_COMMENT,
-    WALL_CLOCK,
+    DEPRECATED_API, DIRECT_FS_WRITE, NESTED_LOCK, NONDET_ITERATION, RELAXED_ORDERING, RULE_IDS,
+    UNSAFE_COMMENT, WALL_CLOCK,
 };
 
 use std::fmt::Write as _;

@@ -1,4 +1,4 @@
-//! The six HYPPO-specific rules.
+//! The seven HYPPO-specific rules.
 //!
 //! Every rule is a textual heuristic over the blanked [`Line`] model — no
 //! type information, no macro expansion. That is deliberate: the rules
@@ -25,10 +25,19 @@ pub const UNSAFE_COMMENT: &str = "unsafe-needs-safety-comment";
 pub const NESTED_LOCK: &str = "nested-lock-acquire";
 /// Rule: the removed pre-`Planner` API must not come back.
 pub const DEPRECATED_API: &str = "no-deprecated-planner-api";
+/// Rule: raw filesystem mutation in durability-critical crates.
+pub const DIRECT_FS_WRITE: &str = "direct-fs-write-outside-persist";
 
 /// All non-meta rule ids (the meta rule `malformed-allow` lives in lib.rs).
-pub const RULE_IDS: &[&str] =
-    &[NONDET_ITERATION, WALL_CLOCK, RELAXED_ORDERING, UNSAFE_COMMENT, NESTED_LOCK, DEPRECATED_API];
+pub const RULE_IDS: &[&str] = &[
+    NONDET_ITERATION,
+    WALL_CLOCK,
+    RELAXED_ORDERING,
+    UNSAFE_COMMENT,
+    NESTED_LOCK,
+    DEPRECATED_API,
+    DIRECT_FS_WRITE,
+];
 
 /// Directories whose code must produce bit-identical results under any
 /// thread count: the planner, the runtime, and the hypergraph kernels.
@@ -41,6 +50,13 @@ const PLANNER_SCOPE: &[&str] = &["crates/core/src/optimizer/", "crates/hypergrap
 
 /// Concurrency-audited code: atomics and lock nesting carry justifications.
 const CONCURRENCY_SCOPE: &[&str] = &["crates/core/src/optimizer/", "crates/runtime/src/"];
+
+/// Durability-audited code: the core system and the runtime hold state the
+/// WAL and snapshot recovery must be able to rebuild, so raw filesystem
+/// mutation there either goes through `core::persist::atomic_write` /
+/// `hyppo-persist` or carries a written justification. The persist crate
+/// itself is where such writes belong and is deliberately out of scope.
+const DURABILITY_SCOPE: &[&str] = &["crates/core/src/", "crates/runtime/src/"];
 
 fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
     scope.iter().any(|p| rel_path.starts_with(p))
@@ -63,6 +79,9 @@ pub fn check_file(rel_path: &str, lines: &[Line], sup: &Suppressions) -> Vec<Fin
     if in_scope(rel_path, CONCURRENCY_SCOPE) {
         relaxed_ordering(lines, &mut emit);
         nested_lock(lines, &mut emit);
+    }
+    if in_scope(rel_path, DURABILITY_SCOPE) {
+        direct_fs_write(lines, &mut emit);
     }
     unsafe_comment(lines, &mut emit);
     deprecated_api(lines, &mut emit);
@@ -400,6 +419,50 @@ fn drop_target(stmt: &str) -> Option<String> {
     let rest = stmt[pos + 4..].trim_start().strip_prefix('(')?;
     let name: String = rest.trim_start().chars().take_while(|&c| is_word_char(c)).collect();
     (!name.is_empty()).then_some(name)
+}
+
+// ---------------------------------------------------------------------------
+// direct-fs-write-outside-persist
+// ---------------------------------------------------------------------------
+
+/// Filesystem-mutation call patterns. Reads (`fs::read*`, `File::open`) are
+/// fine — only mutations can desynchronize disk state from the WAL.
+const FS_WRITE_PATTERNS: &[&str] = &[
+    "fs::write(",
+    "File::create(",
+    "OpenOptions::new",
+    "fs::rename(",
+    "fs::copy(",
+    "fs::create_dir",
+    "fs::remove_file(",
+    "fs::remove_dir",
+];
+
+/// Flag raw filesystem mutations in durability-critical code. Scanning
+/// stops at the first `#[cfg(test)]` line: tests scribble in temp dirs by
+/// design and hold no recoverable state.
+fn direct_fs_write(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, String)) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.code.contains("#[cfg(test)]") {
+            break;
+        }
+        for pat in FS_WRITE_PATTERNS {
+            if line.code.contains(pat) {
+                emit(
+                    DIRECT_FS_WRITE,
+                    idx + 1,
+                    format!(
+                        "`{pat}..)` mutates the filesystem in durability-critical code — \
+                         recoverable state must reach disk through `core::persist::atomic_write` \
+                         or the `hyppo-persist` WAL/store so crash recovery stays sound; route \
+                         the write through those, or annotate why it cannot desynchronize \
+                         recoverable state"
+                    ),
+                );
+                break;
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -8,8 +8,8 @@
 //! so these deliberately-violating snippets never fail a real scan.
 
 use hyppo_lint::{
-    lint_source, DEPRECATED_API, MALFORMED_ALLOW, NESTED_LOCK, NONDET_ITERATION, RELAXED_ORDERING,
-    UNSAFE_COMMENT, WALL_CLOCK,
+    lint_source, DEPRECATED_API, DIRECT_FS_WRITE, MALFORMED_ALLOW, NESTED_LOCK, NONDET_ITERATION,
+    RELAXED_ORDERING, UNSAFE_COMMENT, WALL_CLOCK,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -64,6 +64,24 @@ fn deprecated_api_fixture_pair() {
         vec![(DEPRECATED_API, 2), (DEPRECATED_API, 3)]
     );
     assert_eq!(lint_fixture("deprecated_api_ok.rs"), vec![]);
+}
+
+/// The clean fixture routes its snapshot through `atomic_write`, justifies
+/// a non-recoverable scratch-file delete with an annotation, and confines
+/// raw writes to `#[cfg(test)]` code — all three escapes must hold.
+#[test]
+fn direct_fs_write_fixture_pair() {
+    assert_eq!(lint_fixture("direct_fs_bad.rs"), vec![(DIRECT_FS_WRITE, 4)]);
+    assert_eq!(lint_fixture("direct_fs_ok.rs"), vec![]);
+}
+
+/// The durability rule scopes to `core`/`runtime`: the persist crate *is*
+/// the sanctioned write path, and bench code owns its own output files.
+#[test]
+fn direct_fs_write_stays_out_of_the_persist_crate() {
+    let text = fs::read_to_string(fixture_path("direct_fs_bad.rs")).unwrap();
+    assert!(lint_source("crates/persist/src/x.rs", &text).is_empty());
+    assert!(lint_source("crates/bench/src/x.rs", &text).is_empty());
 }
 
 /// An `allow(...)` with no reason is itself a violation — and the broken

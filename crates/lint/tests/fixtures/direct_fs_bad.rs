@@ -1,0 +1,5 @@
+use std::fs;
+
+fn checkpoint(json: &str) -> std::io::Result<()> {
+    fs::write("snapshot.json", json)
+}

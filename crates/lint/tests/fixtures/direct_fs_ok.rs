@@ -1,0 +1,14 @@
+fn checkpoint(json: &str) -> std::io::Result<()> {
+    // Routed through the atomic-write primitive, as the rule demands.
+    crate::persist::atomic_write(std::path::Path::new("snapshot.json"), json.as_bytes())?;
+    // hyppo-lint: allow(direct-fs-write-outside-persist) cache file carries no recoverable state
+    std::fs::remove_file("scratch.tmp")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_scribble_in_temp_dirs() {
+        std::fs::write("/tmp/scratch", b"x").unwrap();
+    }
+}

@@ -1,0 +1,403 @@
+//! Disk-backed artifact storage with gain-ranked, byte-budgeted eviction.
+//!
+//! [`DiskArtifactStorage`] implements the core [`ArtifactStorage`] trait
+//! against a directory of spill files (one `a{hex}.art` per artifact,
+//! written atomically), so the executor, cost annotator, and materializer
+//! can run against durable storage exactly as they run against the
+//! in-memory [`hyppo_core::ArtifactStore`].
+//!
+//! Reads are cached: the first `load_artifact` of a name reads the file
+//! (cold), later loads decode from the in-memory payload cache (warm) —
+//! the cold/warm gap is what `BENCH_persist.json` measures. When a byte
+//! budget is set, inserts evict the lowest-value artifacts first, ranked
+//! by the paper's materializer gain `freq · cost / load`
+//! ([`hyppo_core::materialize::gain`]) — the same quantity the in-memory
+//! materializer maximizes, so disk eviction and materialization pull in
+//! the same direction.
+
+use bytes::Bytes;
+use hyppo_core::codec::{self, CodecError};
+use hyppo_core::materialize::gain;
+use hyppo_core::persist::atomic_write;
+use hyppo_core::store::ArtifactStorage;
+use hyppo_ml::Artifact;
+use hyppo_pipeline::ArtifactName;
+use hyppo_tensor::Dataset;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Per-artifact ranking inputs for gain-based eviction.
+#[derive(Clone, Copy, Debug, Default)]
+struct ArtifactMeta {
+    /// Observed load count (bumped by every `load_artifact`).
+    freq: u64,
+    /// Cost of recomputing the artifact, in seconds (from history stats).
+    compute_cost: f64,
+}
+
+/// Directory-backed [`ArtifactStorage`] with a warm payload cache and
+/// budget-bounded, gain-ranked eviction.
+#[derive(Debug)]
+pub struct DiskArtifactStorage {
+    dir: PathBuf,
+    /// Byte budget for spilled artifacts; `0` means unbounded (the mirror
+    /// of an already-budgeted in-memory store needs no second budget).
+    budget_bytes: u64,
+    /// Registered raw datasets (in memory, like the core store — sources
+    /// are not eviction candidates and are re-registered per session).
+    datasets: HashMap<String, Dataset>,
+    /// Encoded size of every spilled artifact. A `BTreeMap` so iteration
+    /// (and therefore eviction tie-breaking) is deterministic.
+    index: BTreeMap<ArtifactName, u64>,
+    /// Warm cache of encoded payloads.
+    cache: HashMap<ArtifactName, Bytes>,
+    /// Gain inputs per artifact.
+    meta: HashMap<ArtifactName, ArtifactMeta>,
+    /// Modelled read/write bandwidth in bytes/second (cost model parity
+    /// with the in-memory store).
+    pub bandwidth: f64,
+    /// Fixed per-operation overhead in seconds.
+    pub overhead: f64,
+}
+
+/// Artifact name encoded in a spill file name (`a{hex}.art`), if any.
+fn spill_file_name(file: &str) -> Option<ArtifactName> {
+    let stem = file.strip_suffix(".art")?;
+    let hex = stem.strip_prefix('a')?;
+    u64::from_str_radix(hex, 16).ok().map(ArtifactName)
+}
+
+impl DiskArtifactStorage {
+    /// Open (or create) a spill directory, indexing any `a{hex}.art` files
+    /// already in it. `budget_bytes == 0` disables eviction.
+    pub fn open(dir: &Path, budget_bytes: u64) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut index = BTreeMap::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let file = entry.file_name().to_string_lossy().into_owned();
+            if let Some(name) = spill_file_name(&file) {
+                if entry.path().is_file() {
+                    index.insert(name, entry.metadata()?.len());
+                }
+            }
+        }
+        Ok(DiskArtifactStorage {
+            dir: dir.to_path_buf(),
+            budget_bytes,
+            datasets: HashMap::new(),
+            index,
+            cache: HashMap::new(),
+            meta: HashMap::new(),
+            bandwidth: 500.0 * 1_048_576.0,
+            overhead: 2e-4,
+        })
+    }
+
+    fn path_of(&self, name: ArtifactName) -> PathBuf {
+        self.dir.join(format!("{name}.art"))
+    }
+
+    fn io_cost(&self, bytes: usize) -> f64 {
+        self.overhead + bytes as f64 / self.bandwidth
+    }
+
+    /// Register a raw source dataset (outside the budget, in memory).
+    pub fn register_dataset(&mut self, id: &str, dataset: Dataset) {
+        self.datasets.insert(id.to_string(), dataset);
+    }
+
+    /// Record the history statistics that drive gain-ranked eviction.
+    pub fn record_stats(&mut self, name: ArtifactName, freq: u64, compute_cost: f64) {
+        let meta = self.meta.entry(name).or_default();
+        meta.freq = meta.freq.max(freq);
+        meta.compute_cost = compute_cost;
+    }
+
+    /// Names of all spilled artifacts, in order.
+    pub fn artifact_names(&self) -> impl Iterator<Item = ArtifactName> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Number of spilled artifacts.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Size in bytes of a spilled payload, if present.
+    pub fn artifact_size(&self, name: ArtifactName) -> Option<u64> {
+        self.index.get(&name).copied()
+    }
+
+    /// Whether nothing is spilled.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Raw encoded payload of a spilled artifact (cache, then disk).
+    pub fn raw(&mut self, name: ArtifactName) -> std::io::Result<Option<Bytes>> {
+        if !self.index.contains_key(&name) {
+            return Ok(None);
+        }
+        if let Some(bytes) = self.cache.get(&name) {
+            return Ok(Some(bytes.clone()));
+        }
+        let bytes = Bytes::from(std::fs::read(self.path_of(name))?);
+        self.cache.insert(name, bytes.clone());
+        Ok(Some(bytes))
+    }
+
+    /// Spill an already-encoded payload verbatim (mirror path: payloads
+    /// move from the in-memory store without a decode/encode round trip).
+    /// Returns the artifacts evicted to stay within budget.
+    pub fn put_raw(
+        &mut self,
+        name: ArtifactName,
+        bytes: &Bytes,
+    ) -> std::io::Result<Vec<ArtifactName>> {
+        atomic_write(&self.path_of(name), bytes)?;
+        self.index.insert(name, bytes.len() as u64);
+        self.cache.insert(name, bytes.clone());
+        self.evict_to_budget(name)
+    }
+
+    /// Remove a spilled payload (mirror path for evictions).
+    pub fn remove_raw(&mut self, name: ArtifactName) -> std::io::Result<Option<u64>> {
+        let Some(size) = self.index.remove(&name) else { return Ok(None) };
+        self.cache.remove(&name);
+        match std::fs::remove_file(self.path_of(name)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Some(size))
+    }
+
+    /// Drop the warm payload cache (bench instrumentation: forces the next
+    /// load of every artifact to hit the disk again).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Evict lowest-gain artifacts until within budget. `keep` (the
+    /// artifact just inserted) is evicted last — a store must never reject
+    /// the payload it was just asked to hold while cheaper-to-recompute
+    /// artifacts occupy its budget.
+    fn evict_to_budget(&mut self, keep: ArtifactName) -> std::io::Result<Vec<ArtifactName>> {
+        let mut evicted = Vec::new();
+        if self.budget_bytes == 0 {
+            return Ok(evicted);
+        }
+        while self.used_bytes() > self.budget_bytes && self.index.len() > 1 {
+            let victim = self
+                .index
+                .iter()
+                .filter(|(&n, _)| n != keep)
+                .map(|(&n, &size)| {
+                    let meta = self.meta.get(&n).copied().unwrap_or_default();
+                    (n, gain(meta.freq, meta.compute_cost, self.io_cost(size as usize)))
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                .map(|(n, _)| n);
+            let Some(victim) = victim else { break };
+            self.remove_raw(victim)?;
+            evicted.push(victim);
+        }
+        // The kept artifact alone may still exceed the budget: evict it too
+        // rather than silently violating the bound.
+        if self.used_bytes() > self.budget_bytes {
+            self.remove_raw(keep)?;
+            evicted.push(keep);
+        }
+        Ok(evicted)
+    }
+}
+
+impl ArtifactStorage for DiskArtifactStorage {
+    fn dataset_shape(&self, id: &str) -> Option<(usize, usize)> {
+        self.datasets.get(id).map(|d| (d.len(), d.n_features()))
+    }
+
+    fn dataset_bytes(&self, id: &str) -> Option<u64> {
+        self.datasets.get(id).map(|d| d.size_bytes() as u64)
+    }
+
+    fn load_dataset(&self, id: &str) -> Option<(Artifact, f64)> {
+        let d = self.datasets.get(id)?;
+        let cost = self.io_cost(d.size_bytes());
+        Some((Artifact::Data(d.clone()), cost))
+    }
+
+    fn load_artifact(&self, name: ArtifactName) -> Result<Option<(Artifact, f64)>, CodecError> {
+        if !self.index.contains_key(&name) {
+            return Ok(None);
+        }
+        let start = Instant::now();
+        let decoded = match self.cache.get(&name) {
+            Some(bytes) => (codec::decode(bytes)?, bytes.len()),
+            None => {
+                // Cold read. The trait takes `&self`, so the payload cannot
+                // be cached here; `DiskArtifactStorage::raw` (used by the
+                // durable session and the bench) is the warming path.
+                let bytes = std::fs::read(self.path_of(name))
+                    .map_err(|e| CodecError(format!("reading {name}: {e}")))?;
+                (codec::decode(&bytes)?, bytes.len())
+            }
+        };
+        let (artifact, len) = decoded;
+        let measured = start.elapsed().as_secs_f64();
+        Ok(Some((artifact, measured + self.io_cost(len))))
+    }
+
+    fn contains_artifact(&self, name: ArtifactName) -> bool {
+        self.index.contains_key(&name)
+    }
+
+    fn artifact_size(&self, name: ArtifactName) -> Option<u64> {
+        self.index.get(&name).copied()
+    }
+
+    fn put_artifact(&mut self, name: ArtifactName, artifact: &Artifact) -> (u64, f64) {
+        let start = Instant::now();
+        let bytes = codec::encode(artifact);
+        let len = bytes.len();
+        // IO failure degrades to a cache-only entry: the artifact stays
+        // loadable this session, and recovery reconciles flags against the
+        // payloads that actually reached disk.
+        if self.put_raw(name, &bytes).is_err() {
+            self.index.insert(name, len as u64);
+            self.cache.insert(name, bytes);
+        }
+        (len as u64, start.elapsed().as_secs_f64() + self.io_cost(len))
+    }
+
+    fn remove_artifact(&mut self, name: ArtifactName) -> Option<u64> {
+        self.remove_raw(name).ok().flatten()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.index.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppo_pipeline::naming::dataset_name;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hyppo_disk_{}_{}", name, std::process::id()))
+    }
+
+    #[test]
+    fn put_survives_reopen() {
+        let dir = tmp("reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+        let name = dataset_name("x");
+        let artifact = Artifact::Predictions(vec![1.0, 2.0, 3.0]);
+        {
+            let mut store = DiskArtifactStorage::open(&dir, 0).unwrap();
+            let (bytes, cost) = store.put_artifact(name, &artifact);
+            assert!(bytes > 0);
+            assert!(cost > 0.0);
+        }
+        // A fresh instance (cold cache) indexes the file and decodes it.
+        let store = DiskArtifactStorage::open(&dir, 0).unwrap();
+        assert!(store.contains_artifact(name));
+        assert_eq!(store.artifact_size(name), Some(codec::encoded_size(&artifact)));
+        let (back, cost) = store.load_artifact(name).unwrap().unwrap();
+        assert_eq!(back, artifact);
+        assert!(cost > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_drops_lowest_gain_first() {
+        let dir = tmp("gain");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cheap = ArtifactName(1);
+        let hot = ArtifactName(2);
+        let payload = Artifact::Predictions(vec![0.0; 64]);
+        let size = codec::encoded_size(&payload);
+        // Budget fits two payloads; the third insert forces one eviction.
+        let mut store = DiskArtifactStorage::open(&dir, 2 * size).unwrap();
+        store.put_artifact(cheap, &payload);
+        store.put_artifact(hot, &payload);
+        store.record_stats(cheap, 1, 1e-6); // trivially recomputable
+        store.record_stats(hot, 50, 2.0); // hot and expensive
+        let fresh = ArtifactName(3);
+        store.put_artifact(fresh, &payload);
+        assert!(!store.contains_artifact(cheap), "lowest gain must go first");
+        assert!(store.contains_artifact(hot));
+        assert!(store.contains_artifact(fresh));
+        assert!(store.used_bytes() <= 2 * size);
+        // The file is gone too, not just the index entry.
+        assert!(!store.path_of(cheap).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_single_artifact_does_not_break_the_budget() {
+        let dir = tmp("oversize");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = DiskArtifactStorage::open(&dir, 8).unwrap();
+        let name = ArtifactName(9);
+        store.put_artifact(name, &Artifact::Predictions(vec![0.0; 1024]));
+        assert!(store.used_bytes() <= 8);
+        assert!(!store.contains_artifact(name));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_a_codec_error() {
+        let dir = tmp("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a000000000000002a.art"), b"garbage").unwrap();
+        let store = DiskArtifactStorage::open(&dir, 0).unwrap();
+        assert!(store.load_artifact(ArtifactName(0x2a)).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn datasets_load_like_the_core_store() {
+        use hyppo_tensor::{Matrix, TaskKind};
+        let dir = tmp("datasets");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = DiskArtifactStorage::open(&dir, 0).unwrap();
+        let d = Dataset::new(
+            Matrix::filled(10, 3, 1.0),
+            vec![0.0; 10],
+            (0..3).map(|i| format!("f{i}")).collect(),
+            TaskKind::Regression,
+        );
+        store.register_dataset("d", d);
+        assert_eq!(store.dataset_shape("d"), Some((10, 3)));
+        assert!(store.dataset_bytes("d").unwrap() > 0);
+        let (artifact, cost) = store.load_dataset("d").unwrap();
+        assert!(artifact.as_data().is_some());
+        assert!(cost >= store.overhead);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn raw_reads_warm_the_cache() {
+        let dir = tmp("warm");
+        let _ = std::fs::remove_dir_all(&dir);
+        let name = dataset_name("x");
+        {
+            let mut store = DiskArtifactStorage::open(&dir, 0).unwrap();
+            store.put_artifact(name, &Artifact::Value(7.0));
+        }
+        let mut store = DiskArtifactStorage::open(&dir, 0).unwrap();
+        assert!(store.cache.is_empty());
+        let cold = store.raw(name).unwrap().unwrap();
+        assert!(store.cache.contains_key(&name));
+        let warm = store.raw(name).unwrap().unwrap();
+        assert_eq!(cold, warm);
+        store.clear_cache();
+        assert!(store.cache.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -26,6 +26,7 @@
 use crate::executor::{execute_plan_parallel, WavefrontMetrics};
 use crate::store::{SharedArtifactStore, DEFAULT_SHARDS};
 use hyppo_core::augment::{self, annotate_costs, Augmentation};
+use hyppo_core::durable::{DurabilityHook, DurableEvent};
 use hyppo_core::executor::{execute_plan, ExecError, ExecMode};
 use hyppo_core::materialize::{MaterializeConfig, Materializer};
 use hyppo_core::monitor::record_outcome;
@@ -58,6 +59,9 @@ pub struct SharedHyppo {
     /// submissions over the same (unchanged) history reuse one bounds
     /// computation instead of recomputing per plan.
     bounds_cache: Arc<PlannerBoundsCache>,
+    /// Durable-event sink. Drained while the history write lock is held,
+    /// so the appended order is the linearization order of the mutations.
+    durability: Mutex<Option<Box<dyn DurabilityHook>>>,
 }
 
 /// What one session (a sequence of submissions on one thread) did.
@@ -145,7 +149,48 @@ impl SharedHyppo {
             cumulative_seconds: Mutex::new(0.0),
             lock_wait_nanos: AtomicU64::new(0),
             bounds_cache: Arc::new(PlannerBoundsCache::new()),
+            durability: Mutex::new(None),
         }
+    }
+
+    /// Attach a durability hook and start journaling history mutations and
+    /// estimator observations. Every submission drains its events into the
+    /// hook inside the history write-lock critical section, so replaying
+    /// the log serially rebuilds the state this concurrent system reached.
+    pub fn attach_durability(&self, hook: Box<dyn DurabilityHook>) {
+        self.locked_history().enable_event_journal();
+        *self.durability.lock().unwrap_or_else(|e| e.into_inner()) = Some(hook);
+    }
+
+    /// Detach and return the durability hook, if any. Journaled events not
+    /// yet flushed stay queued in the history journal.
+    pub fn detach_durability(&self) -> Option<Box<dyn DurabilityHook>> {
+        self.durability.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    /// Drain queued events (e.g. from [`SharedHyppo::register_dataset`])
+    /// into the attached durability hook.
+    pub fn flush_durability(&self) -> std::io::Result<()> {
+        let mut history = self.locked_history();
+        self.drain_events(&mut history)
+    }
+
+    /// Drain the history journal into the hook. Callers hold the history
+    /// write lock (`history` proves it), which makes the append order the
+    /// linearization order.
+    fn drain_events(&self, history: &mut History) -> std::io::Result<()> {
+        // hyppo-lint: allow(nested-lock-acquire) hook mutex nests inside the
+        // history write lock in the fixed order history → durability; no
+        // other site acquires them in reverse
+        let mut guard = self.durability.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(hook) = guard.as_mut() else {
+            return Ok(());
+        };
+        let events = history.take_events();
+        if events.is_empty() {
+            return Ok(());
+        }
+        hook.append(&events)
     }
 
     /// Tear down into `(history, estimator, store, cumulative_seconds)` —
@@ -297,13 +342,28 @@ impl SharedHyppo {
                 aug.targets.iter().map(|&t| aug.graph.node(t).name).collect();
 
             // Record + materialize under write locks: history → estimator.
-            let report_mat = {
+            let (report_mat, durable) = {
                 let mut history = self.locked_history();
                 let start = Instant::now();
                 let mut estimator = self.estimator.write().unwrap_or_else(|e| e.into_inner());
                 self.record_wait(start);
                 record_outcome(&aug, &outcome, &target_names, &mut history, &mut estimator);
-                if self.config.budget_bytes > 0 {
+                // Mirror estimator observations into the durable event
+                // stream (see the serial facade for the rationale).
+                if history.journal_enabled() {
+                    for m in &outcome.metrics {
+                        if !m.is_load {
+                            history.journal_event(DurableEvent::Observe {
+                                op: m.op,
+                                task: m.task,
+                                impl_index: m.impl_index,
+                                input_cells: m.input_cells,
+                                seconds: m.cost_seconds,
+                            });
+                        }
+                    }
+                }
+                let report_mat = if self.config.budget_bytes > 0 {
                     let materializer = Materializer::new(MaterializeConfig {
                         budget_bytes: self.config.budget_bytes,
                         locality: self.config.locality,
@@ -316,8 +376,13 @@ impl SharedHyppo {
                     )
                 } else {
                     Default::default()
-                }
+                };
+                // Drain before releasing the write lock: WAL order must be
+                // the lock-acquisition (linearization) order.
+                let durable = self.drain_events(&mut history);
+                (report_mat, durable)
             };
+            durable.map_err(SubmitError::Durability)?;
 
             *self.cumulative_seconds.lock().unwrap_or_else(|e| e.into_inner()) +=
                 outcome.total_seconds;
@@ -432,6 +497,10 @@ impl ConcurrentSessions for Hyppo {
         self.estimator = estimator;
         self.store = store;
         self.cumulative_seconds += executed_seconds;
+        // The moved-back history carries any events the batch journaled
+        // (the shared system had no hook of its own); drain them into the
+        // serial facade's hook so the batch becomes durable too.
+        self.flush_durability().map_err(SubmitError::Durability)?;
         result
     }
 }

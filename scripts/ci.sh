@@ -19,12 +19,22 @@ cargo test --workspace --offline -q
 echo "== parallel-planner equivalence suite (HYPPO_PLANNER_THREADS=4) =="
 HYPPO_PLANNER_THREADS=4 cargo test --offline -q --test planner_parallel_equivalence
 
+echo "== persist: crash-recovery property suite =="
+# Durability gate (crates/persist, DESIGN.md §12): recovery must be
+# bit-identical across 100+ seeded sessions, at every WAL record boundary,
+# and after mid-record torn tails. (The persist bench itself runs its
+# quick smoke pass under the `cargo bench --no-run`-compiled binaries and
+# rewrites BENCH_persist.json only when invoked as a dedicated target.)
+cargo test --offline -q -p hyppo-persist
+cargo test --offline -q --test persist_recovery_props
+
 echo "== hyppo-lint =="
 # Determinism & concurrency static analysis (crates/lint): nondeterministic
 # hash iteration, wall-clock in plan decisions, unjustified relaxed atomics,
-# undocumented unsafe, nested lock acquisition, and any reappearance of the
-# removed pre-Planner API. The JSON artifact is kept so failures print
-# structured findings.
+# undocumented unsafe, nested lock acquisition, any reappearance of the
+# removed pre-Planner API, and raw filesystem writes in durability-critical
+# crates that bypass atomic_write / the hyppo-persist WAL. The JSON
+# artifact is kept so failures print structured findings.
 mkdir -p target
 if ! cargo run -q -p hyppo-lint --offline -- --json > target/hyppo-lint.json; then
     echo "hyppo-lint found violations:" >&2

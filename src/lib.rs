@@ -24,6 +24,9 @@
 //!   cost model, materializer, executor;
 //! - [`runtime`] — concurrent wavefront plan execution, the sharded
 //!   thread-safe artifact store, and the multi-session driver;
+//! - [`persist`] — durability: write-ahead-logged crash-recoverable
+//!   history, disk-backed artifact store, the [`persist::DurableHyppo`]
+//!   session facade;
 //! - [`baselines`] — NoOptimization, Sharing, Helix, Collab, Collab-E;
 //! - [`workloads`] — HIGGS/TAXI generators, iterative pipeline sequences,
 //!   synthetic hypergraphs.
@@ -101,6 +104,7 @@ pub use hyppo_baselines as baselines;
 pub use hyppo_core as core;
 pub use hyppo_hypergraph as hypergraph;
 pub use hyppo_ml as ml;
+pub use hyppo_persist as persist;
 pub use hyppo_pipeline as pipeline;
 pub use hyppo_runtime as runtime;
 pub use hyppo_tensor as tensor;

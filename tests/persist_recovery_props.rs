@@ -1,0 +1,242 @@
+//! Crash-recovery property suite for `hyppo-persist` (DESIGN.md §12).
+//!
+//! The durability invariant under test: at any crash point, recovery
+//! rebuilds exactly the state whose events reached the WAL —
+//! *bit-identically*, meaning the canonical catalog JSON and the planner's
+//! output bytes on a fixed request both match the live session. The suite
+//! checks this three ways:
+//!
+//! 1. 100+ seeded sessions recovered from their full WAL must match the
+//!    live session byte for byte (catalog JSON and plan bytes).
+//! 2. For a set of sessions, the WAL is truncated at *every* record
+//!    boundary and at mid-record cut points; recovery must equal a
+//!    reference built by replaying exactly that event prefix (plus the
+//!    payload reconciliation recovery performs).
+//! 3. A session recovered from a torn WAL must be able to continue — and
+//!    the continuation itself recovers cleanly.
+
+use hyppo::core::augment::{annotate_costs, augment_request};
+use hyppo::core::durable::replay_events;
+use hyppo::core::optimizer::{PlanRequest, Planner};
+use hyppo::core::persist::catalog_to_json;
+use hyppo::core::{CostEstimator, History, Hyppo, HyppoConfig};
+use hyppo::ml::{Config, LogicalOp};
+use hyppo::persist::{read_wal, DiskArtifactStorage, DurableHyppo};
+use hyppo::pipeline::{ArtifactName, ArtifactRole, PipelineSpec};
+use hyppo::tensor::{Dataset, Matrix, SeededRng, TaskKind};
+use std::path::{Path, PathBuf};
+
+fn dataset(seed: u64, rows: usize) -> Dataset {
+    let mut rng = SeededRng::new(seed.wrapping_add(11));
+    let cols = 4;
+    let mut x = Matrix::zeros(rows, cols);
+    let mut y = Vec::with_capacity(rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            x.set(r, c, rng.uniform(-1.0, 1.0));
+        }
+        y.push(if x.get(r, 0) - x.get(r, 2) > 0.0 { 1.0 } else { 0.0 });
+    }
+    Dataset::new(x, y, (0..cols).map(|i| format!("f{i}")).collect(), TaskKind::Classification)
+}
+
+fn spec(seed: i64) -> PipelineSpec {
+    let mut spec = PipelineSpec::new();
+    let d = spec.load("data");
+    let (train, test) = spec.split(d, Config::new().with_i("seed", seed));
+    let scaler = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+    let train_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, train);
+    let test_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
+    let model = spec.fit(LogicalOp::LinearSvm, 0, Config::new(), &[train_s]);
+    let preds = spec.predict(LogicalOp::LinearSvm, 0, Config::new(), model, test_s);
+    spec.evaluate(LogicalOp::Accuracy, preds, test_s);
+    spec
+}
+
+fn config() -> HyppoConfig {
+    HyppoConfig { budget_bytes: 64 * 1024 * 1024, ..Default::default() }
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    // Prefer a tmpfs: the suite performs thousands of fsyncs (every WAL
+    // append and artifact mirror), which dominate its runtime on a real
+    // disk without changing what is being tested.
+    let shm = Path::new("/dev/shm");
+    let base = if shm.is_dir() { shm.to_path_buf() } else { std::env::temp_dir() };
+    base.join(format!("hyppo_recovery_props_{}_{tag}", std::process::id()))
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+fn truncate_file(path: &Path, len: u64) {
+    let f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+    f.set_len(len).unwrap();
+}
+
+/// The planner-output witness: plan every Value artifact the history knows
+/// (a fixed, order-independent retrieval request — the paper's Scenario 2)
+/// and render the chosen edge ids plus the exact cost bits. The search
+/// still weighs every load-vs-recompute alternative upstream of the
+/// values, so any drift in edge ids, costs, or tie-breaking shows up.
+fn plan_bytes(sys: &Hyppo) -> String {
+    let mut targets: Vec<ArtifactName> = sys
+        .history
+        .artifact_names()
+        .filter(|&n| {
+            sys.history
+                .node_of(n)
+                .is_some_and(|v| sys.history.graph.node(v).role == ArtifactRole::Value)
+        })
+        .collect();
+    targets.sort();
+    if targets.is_empty() {
+        return "<empty>".to_string();
+    }
+    let aug = augment_request(&sys.history, &targets).expect("targets come from the history");
+    let costs = annotate_costs(&aug, &sys.estimator, &sys.store);
+    let plan = Planner::exact()
+        .plan(&aug.graph, PlanRequest::new(&costs, aug.source, &aug.targets))
+        .expect("the full history is always derivable");
+    format!("{:?}|{:016x}", plan.edges, plan.cost.to_bits())
+}
+
+/// Run a seeded session to completion, returning its live witnesses.
+fn run_live(dir: &Path, seed: i64) -> (String, String) {
+    let (mut session, _) = DurableHyppo::open(dir, config()).unwrap();
+    session.register_dataset("data", dataset(seed as u64, 60 + (seed as usize % 5) * 12));
+    session.submit(spec(seed)).unwrap();
+    session.submit(spec(seed + 1)).unwrap();
+    let witnesses = (session.snapshot_json(), plan_bytes(session.system()));
+    witnesses
+}
+
+#[test]
+fn full_wal_recovery_is_bit_identical_across_100_seeds() {
+    for seed in 0..104i64 {
+        let dir = tmp(&format!("full_{seed}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (live_json, live_plan) = run_live(&dir, seed);
+
+        let (mut recovered, report) = DurableHyppo::open(&dir, config()).unwrap();
+        assert_eq!(report.torn_bytes, 0, "seed {seed}: clean shutdown leaves no torn tail");
+        assert!(report.artifacts_dropped.is_empty(), "seed {seed}");
+        assert_eq!(recovered.snapshot_json(), live_json, "seed {seed}: catalog JSON differs");
+        // Datasets are not persisted; the planner sizes dataset-derived
+        // shapes from the registered copy, so re-register before planning
+        // (the documented recovery contract).
+        recovered.register_dataset("data", dataset(seed as u64, 60 + (seed as usize % 5) * 12));
+        assert_eq!(
+            plan_bytes(recovered.system()),
+            live_plan,
+            "seed {seed}: planner output differs after recovery"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn every_wal_prefix_recovers_to_exactly_that_event_prefix() {
+    for seed in [0i64, 17, 41] {
+        let dir = tmp(&format!("prefix_{seed}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        run_live(&dir, seed);
+
+        let wal = read_wal(&dir.join("wal.log")).unwrap();
+        assert!(wal.events.len() > 20, "seed {seed}: session too small to exercise prefixes");
+        assert_eq!(wal.boundaries.len(), wal.events.len() + 1);
+        let payloads: Vec<ArtifactName> = DiskArtifactStorage::open(&dir.join("artifacts"), 0)
+            .unwrap()
+            .artifact_names()
+            .collect();
+
+        for k in 0..=wal.events.len() {
+            // Cut exactly at the boundary, one byte into the next record,
+            // and mid-record — the latter two must recover identically to
+            // the boundary cut (the partial record is a torn tail).
+            let boundary = wal.boundaries[k];
+            let mut cuts = vec![boundary];
+            if k < wal.events.len() {
+                let next = wal.boundaries[k + 1];
+                cuts.push(boundary + 1);
+                if next > boundary + 2 {
+                    cuts.push(boundary + (next - boundary) / 2);
+                }
+            }
+            for &cut in &cuts {
+                let case = tmp(&format!("prefix_{seed}_{k}_{cut}"));
+                let _ = std::fs::remove_dir_all(&case);
+                copy_dir(&dir, &case);
+                truncate_file(&case.join("wal.log"), cut);
+
+                let (recovered, report) = DurableHyppo::open(&case, config()).unwrap();
+                assert_eq!(
+                    report.replayed_events, k,
+                    "seed {seed} cut {cut}: wrong event prefix recovered"
+                );
+                assert_eq!(report.torn_bytes, cut - boundary, "seed {seed} cut {cut}");
+
+                // Reference: replay exactly k events into a fresh system,
+                // then reconcile flags against the payloads on disk the
+                // same way recovery does.
+                let mut history = History::new();
+                let mut estimator = CostEstimator::new();
+                replay_events(&wal.events[..k], &mut history, &mut estimator);
+                let mut flagged: Vec<ArtifactName> = history.materialized().collect();
+                flagged.sort();
+                for name in flagged {
+                    if !payloads.contains(&name) {
+                        history.evict(name);
+                    }
+                }
+                assert_eq!(
+                    recovered.snapshot_json(),
+                    catalog_to_json(&history, &estimator),
+                    "seed {seed} cut {cut}: recovered state is not the replayed prefix"
+                );
+                let _ = std::fs::remove_dir_all(&case);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_recovery_continues_and_recovers_again() {
+    let seed = 5i64;
+    let dir = tmp("continue");
+    let _ = std::fs::remove_dir_all(&dir);
+    run_live(&dir, seed);
+
+    // Tear the log mid-record (halfway into the last record).
+    let wal = read_wal(&dir.join("wal.log")).unwrap();
+    let n = wal.events.len();
+    let cut = wal.boundaries[n - 1] + (wal.boundaries[n] - wal.boundaries[n - 1]) / 2;
+    truncate_file(&dir.join("wal.log"), cut);
+
+    let continued_json = {
+        let (mut session, report) = DurableHyppo::open(&dir, config()).unwrap();
+        assert_eq!(report.replayed_events, n - 1);
+        assert!(report.torn_bytes > 0);
+        // The truncation must be physical: the writer appends after the
+        // valid prefix, so a later read sees no torn bytes.
+        session.register_dataset("data", dataset(seed as u64, 60));
+        session.submit(spec(seed + 2)).unwrap();
+        session.snapshot_json()
+    };
+
+    let (recovered, report) = DurableHyppo::open(&dir, config()).unwrap();
+    assert_eq!(report.torn_bytes, 0, "continuation must have healed the log");
+    assert_eq!(recovered.snapshot_json(), continued_json);
+    let _ = std::fs::remove_dir_all(&dir);
+}
