@@ -12,12 +12,17 @@
 //! hardware (`hardware_threads` records what this host offers), while
 //! plan identity is a property of the algorithm and is asserted always.
 
+use hyppo_core::augment::{annotate_costs, augment, AugmentOptions};
 use hyppo_core::optimizer::{Plan, PlanRequest, Planner, QueueKind};
-use hyppo_core::PlannerBounds;
+use hyppo_core::{
+    ArtifactStore, BatchItem, CostEstimator, History, PlannerBounds, PlannerBoundsCache,
+};
 use hyppo_hypergraph::NodeId;
+use hyppo_pipeline::{build_pipeline, Dictionary};
 use hyppo_tensor::SeededRng;
-use hyppo_workloads::generate_synthetic;
+use hyppo_workloads::{generate_synthetic, higgs, sweep_specs, SweepConfig, UseCase};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -76,6 +81,41 @@ struct GrowthStepTiming {
 }
 
 #[derive(Serialize)]
+struct SweepInstance {
+    use_case: &'static str,
+    /// Number of sweep configurations submitted.
+    k: usize,
+    /// Distinct planning problems after batch dedup.
+    groups: usize,
+    /// Items served by cloning another item's plan.
+    deduped: usize,
+    /// Shared-prefix bound tables computed (once per distinct prefix).
+    shared_prefixes: usize,
+    /// Groups that reused an already-computed prefix table.
+    batch_shared_hits: usize,
+    /// Per-leaf journal repairs patching a prefix table forward.
+    batch_leaf_repairs: usize,
+    /// Total search expansions across K sequential plan calls.
+    sequential_expansions: usize,
+    /// Total search expansions across the batch (each group searched once).
+    batch_expansions: usize,
+    /// Full bound relaxation runs (cache misses) in the sequential loop.
+    sequential_bounds_computes: usize,
+    /// Full bound relaxation runs in the batch path.
+    batch_bounds_computes: usize,
+    sequential_wall_seconds: f64,
+    batch_wall_seconds: f64,
+    /// Summed planned cost across the sweep (identical on both paths).
+    total_cost: f64,
+    /// Every per-pipeline plan bit-identical (edges + IEEE-754 cost bits).
+    plans_identical: bool,
+    /// Batch used strictly fewer total expansions than sequential.
+    fewer_expansions: bool,
+    /// Batch ran ≤ half the sequential bound computations.
+    bounds_amortized_2x: bool,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     benchmark: String,
     instances: Vec<Instance>,
@@ -99,6 +139,12 @@ struct BenchReport {
     /// wall time is a property of the host).
     repair_speedup: f64,
     all_repaired_bounds_identical: bool,
+    /// Tuning-sweep scenario: K-config batch planning vs K sequential
+    /// plan calls over the same augmentations.
+    sweep: Vec<SweepInstance>,
+    all_sweep_plans_identical: bool,
+    all_sweep_fewer_expansions: bool,
+    all_sweep_bounds_amortized_2x: bool,
 }
 
 fn run_side(g: &hyppo_workloads::SyntheticGraph, planner: &Planner, reps: usize) -> (Plan, f64) {
@@ -222,6 +268,118 @@ fn bench_growing_history(report: &mut BenchReport, full: bool) {
         report.total_recompute_wall_seconds / report.total_repair_wall_seconds.max(1e-12);
 }
 
+/// Tuning-sweep scenario: K pipeline configs differing only in the model
+/// stage, planned sequentially (one `plan()` per config, shared bounds
+/// cache) vs jointly (`plan_batch`, its own fresh cache). Plans must be
+/// bit-identical; the batch must spend strictly fewer total expansions and
+/// at most half the full bound computations.
+fn bench_sweep(report: &mut BenchReport, full: bool) {
+    let ks: &[usize] = if full { &[32, 64, 128, 256] } else { &[8] };
+    let dictionary = Dictionary::full();
+    let options = AugmentOptions::default();
+    for &k in ks {
+        let mut history = History::new();
+        let mut store = ArtifactStore::new();
+        let estimator = CostEstimator::new();
+        let dataset = higgs::generate(400, 7);
+        history.record_dataset("higgs", dataset.size_bytes() as u64);
+        store.register_dataset("higgs", dataset);
+        let specs = sweep_specs(&SweepConfig {
+            use_case: UseCase::Higgs,
+            dataset_id: "higgs".to_string(),
+            k,
+            seed: 0,
+        });
+        let pipelines: Vec<_> = specs.into_iter().map(build_pipeline).collect();
+        let augs: Vec<_> =
+            pipelines.iter().map(|p| augment(p, &history, &dictionary, options)).collect();
+        let costs: Vec<Vec<f64>> =
+            augs.iter().map(|a| annotate_costs(a, &estimator, &store)).collect();
+
+        // Sequential submission: one plan call per config.
+        let seq_cache = Arc::new(PlannerBoundsCache::new());
+        let seq_planner = Planner::exact().threads(1).bounds_cache(Arc::clone(&seq_cache));
+        let start = Instant::now();
+        let seq_plans: Vec<Plan> = augs
+            .iter()
+            .zip(&costs)
+            .map(|(a, c)| {
+                seq_planner
+                    .plan(
+                        &a.graph,
+                        PlanRequest::new(c, a.source, &a.targets).with_new_tasks(&a.new_tasks),
+                    )
+                    .expect("sweep configs are plannable")
+            })
+            .collect();
+        let sequential_wall_seconds = start.elapsed().as_secs_f64();
+
+        // Batch submission: one joint plan_batch call.
+        let batch_cache = Arc::new(PlannerBoundsCache::new());
+        let batch_planner = Planner::exact().threads(1).bounds_cache(Arc::clone(&batch_cache));
+        let items: Vec<BatchItem<'_, _, _>> = augs
+            .iter()
+            .zip(&costs)
+            .map(|(a, c)| {
+                BatchItem::new(
+                    &a.graph,
+                    PlanRequest::new(c, a.source, &a.targets).with_new_tasks(&a.new_tasks),
+                )
+            })
+            .collect();
+        let start = Instant::now();
+        let batch = batch_planner.plan_batch(&items);
+        let batch_wall_seconds = start.elapsed().as_secs_f64();
+
+        let mut plans_identical = true;
+        let mut total_cost = 0.0;
+        for (b, q) in batch.plans.iter().zip(&seq_plans) {
+            let b = b.as_ref().expect("batch must plan what sequential planned");
+            plans_identical &= b.edges == q.edges && b.cost.to_bits() == q.cost.to_bits();
+            total_cost += b.cost;
+        }
+        let sequential_expansions: usize = seq_plans.iter().map(|p| p.expansions).sum();
+        let sequential_bounds_computes = seq_cache.misses();
+        let batch_bounds_computes = batch_cache.misses();
+        let fewer_expansions = batch.stats.search_expansions < sequential_expansions;
+        let bounds_amortized_2x = 2 * batch_bounds_computes <= sequential_bounds_computes;
+        println!(
+            "optimizer: sweep k={k}: {} groups ({} deduped), expansions {} -> {}, \
+             bounds computes {} -> {}, wall {sequential_wall_seconds:.4}s -> \
+             {batch_wall_seconds:.4}s, plans {}",
+            batch.stats.groups,
+            batch.stats.deduped,
+            sequential_expansions,
+            batch.stats.search_expansions,
+            sequential_bounds_computes,
+            batch_bounds_computes,
+            if plans_identical { "identical" } else { "DIVERGED" },
+        );
+        report.all_sweep_plans_identical &= plans_identical;
+        report.all_sweep_fewer_expansions &= fewer_expansions;
+        report.all_sweep_bounds_amortized_2x &= bounds_amortized_2x;
+        report.sweep.push(SweepInstance {
+            use_case: "higgs",
+            k,
+            groups: batch.stats.groups,
+            deduped: batch.stats.deduped,
+            shared_prefixes: batch.stats.shared_prefixes,
+            batch_shared_hits: batch.stats.shared_hits,
+            batch_leaf_repairs: batch.stats.leaf_repairs,
+            sequential_expansions,
+            batch_expansions: batch.stats.search_expansions,
+            sequential_bounds_computes,
+            batch_bounds_computes,
+            sequential_wall_seconds,
+            batch_wall_seconds,
+            total_cost,
+            plans_identical,
+            fewer_expansions,
+            bounds_amortized_2x,
+        });
+    }
+}
+
 fn main() {
     let full = std::env::args().any(|a| a == "--bench");
     // (n artifacts, m alternatives) on the Fig. 10 synthetic generator;
@@ -252,6 +410,10 @@ fn main() {
         total_recompute_wall_seconds: 0.0,
         repair_speedup: 0.0,
         all_repaired_bounds_identical: true,
+        sweep: Vec::new(),
+        all_sweep_plans_identical: true,
+        all_sweep_fewer_expansions: true,
+        all_sweep_bounds_amortized_2x: true,
     };
     let mut log_ratio_sum = 0.0f64;
 
@@ -359,10 +521,15 @@ fn main() {
         report.all_repaired_bounds_identical,
     );
 
+    bench_sweep(&mut report, full);
+
     assert!(report.all_costs_match, "fast path must stay exact");
     assert!(report.all_baselines_optimal, "baseline truncated: shrink the instances");
     assert!(report.all_parallel_plans_identical, "parallel search must be bit-identical");
     assert!(report.all_repaired_bounds_identical, "repair must be bit-identical to recompute");
+    assert!(report.all_sweep_plans_identical, "batch planning must be bit-identical");
+    assert!(report.all_sweep_fewer_expansions, "batch planning must save expansions");
+    assert!(report.all_sweep_bounds_amortized_2x, "batch planning must amortize bounds >= 2x");
 
     if full {
         let json = serde_json::to_string_pretty(&report).expect("serialize report");

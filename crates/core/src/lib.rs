@@ -54,9 +54,10 @@ pub use executor::{execute_plan, ExecMode, ExecOutcome};
 pub use explain::{explain, Explanation};
 pub use history::History;
 pub use materialize::{MaterializeConfig, Materializer, PlanLocality};
+pub use optimizer::batch::{BatchItem, BatchPlan, BatchPlanStats};
 pub use optimizer::bounds::{BoundsCacheStats, PlannerBounds, PlannerBoundsCache};
 pub use optimizer::{Plan, PlanRequest, Planner, QueueKind};
 pub use persist::{atomic_write, StoreLoadError, StoreLoadReport};
 pub use session::Session;
 pub use store::{ArtifactStorage, ArtifactStore};
-pub use system::{Hyppo, HyppoConfig, RunReport};
+pub use system::{BatchRunReport, Hyppo, HyppoConfig, RunReport};

@@ -1,0 +1,573 @@
+//! Multi-query batch planning: prefix-merged stage trees and amortized
+//! bounds for tuning sweeps.
+//!
+//! A hyperparameter sweep submits K pipelines that differ only in
+//! late-stage operator configs; their augmentation hypergraphs share long
+//! construction prefixes (the paper's stage-tree observation). Sequential
+//! [`Planner::plan`] calls recompute the SBT/share lower-bound relaxations
+//! and re-search that shared structure K times. [`Planner::plan_batch`]
+//! plans the K pending submissions jointly in three amortization layers:
+//!
+//! 1. **Problem dedup.** Items whose planning problems are bit-identical —
+//!    same structure fingerprint, same cost bits, same source/targets/new
+//!    tasks — form one *group*; the search runs once per group and every
+//!    duplicate receives a clone of the representative's plan. (Sweep axes
+//!    the cost model ignores, e.g. an SVM's regularization constant,
+//!    produce exactly such duplicates.)
+//! 2. **Stage-tree prefix merge.** Each group's graph carries a growth
+//!    journal of its construction states. The states of all groups are
+//!    merged into a stage tree keyed by
+//!    `(structure sig, cost-prefix fingerprint, source)` — the same key
+//!    vocabulary as the [`PlannerBoundsCache`](super::bounds::PlannerBoundsCache) — and each group picks its
+//!    deepest state shared with at least one other group as its *base*.
+//! 3. **Bounds once per shared structure.** Per distinct base, the
+//!    lower-bound tables are computed once — on the owning group's graph
+//!    with every post-base edge priced `+∞`, then truncated to the base's
+//!    node bound, which yields bitwise the tables a from-scratch run on the
+//!    base prefix graph would (an `∞`-priced hyperedge can never relax
+//!    anything, and no pre-base edge heads a post-base node). Every other
+//!    group sharing the base patches those tables forward through its own
+//!    insertion suffix via the growth-journal repair wave
+//!    ([`PlannerBounds::repaired`]) — bit-identical to recomputing
+//!    (`DESIGN.md` §11/§13).
+//!
+//! **Equivalence invariant.** The tables each group searches under are
+//! bitwise equal to what `Planner::resolve_bounds` would have produced,
+//! and the search itself is untouched — so every emitted plan is
+//! bit-identical (edges, cost, and, for serial searches, expansion/pop
+//! counters) to what sequential [`Planner::plan`] calls would return, under
+//! the same canonical `(cost, sorted-lex edge-id sequence)` tie-break.
+//! `tests/batch_planning_props.rs` pins this across seeds, K, and thread
+//! counts.
+//!
+//! When a [`PlannerBoundsCache`](super::bounds::PlannerBoundsCache) is attached, the batch also *seeds* it:
+//! prefix tables under their stage-tree key and every leaf's tables under
+//! its exact key, so later sequential submissions hit verbatim and later
+//! batches patch forward from this batch's states.
+//!
+//! ```
+//! use hyppo_core::optimizer::batch::BatchItem;
+//! use hyppo_core::optimizer::{PlanRequest, Planner};
+//! use hyppo_hypergraph::HyperGraph;
+//!
+//! // A shared two-edge prefix, grown two different ways (clone keeps the
+//! // growth journal, so the batch can prove the shared construction state).
+//! let mut base: HyperGraph<&str, ()> = HyperGraph::new();
+//! let (s, a) = (base.add_node("s"), base.add_node("a"));
+//! base.add_edge(vec![s], vec![a], ());
+//! let (mut g1, mut g2) = (base.clone(), base.clone());
+//! let t1 = g1.add_node("t1");
+//! g1.add_edge(vec![a], vec![t1], ());
+//! let t2 = g2.add_node("t2");
+//! g2.add_edge(vec![a], vec![t2], ());
+//! let (c1, c2) = ([1.0, 2.0], [1.0, 5.0]);
+//!
+//! let planner = Planner::exact();
+//! let batch = planner.plan_batch(&[
+//!     BatchItem::new(&g1, PlanRequest::new(&c1, s, &[t1])),
+//!     BatchItem::new(&g2, PlanRequest::new(&c2, s, &[t2])),
+//! ]);
+//! let p1 = batch.plans[0].as_ref().unwrap();
+//! assert_eq!(p1.cost, 3.0);
+//! // Bit-identical to the sequential path.
+//! let seq = planner.plan(&g1, PlanRequest::new(&c1, s, &[t1])).unwrap();
+//! assert_eq!(p1.edges, seq.edges);
+//! assert_eq!(batch.stats.shared_prefixes, 1);
+//! ```
+
+use super::bounds::{cost_fingerprint, CacheKey, PlannerBounds, COST_FP_SEED, MAX_REPAIR_SCAN};
+use super::{Plan, PlanMode, PlanRequest, Planner};
+use hyppo_hypergraph::{mix64, EdgeId, HyperGraph, NodeId};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One pending planning problem in a batch: a graph plus the request that
+/// would otherwise go to [`Planner::plan`].
+pub struct BatchItem<'a, N, E> {
+    /// The (augmentation) hypergraph the plan searches over.
+    pub graph: &'a HyperGraph<N, E>,
+    /// What to derive, from where, at what cost.
+    pub request: PlanRequest<'a>,
+}
+
+impl<'a, N, E> BatchItem<'a, N, E> {
+    /// Bundle a graph with its planning request.
+    pub fn new(graph: &'a HyperGraph<N, E>, request: PlanRequest<'a>) -> Self {
+        BatchItem { graph, request }
+    }
+}
+
+/// Amortization accounting for one [`Planner::plan_batch`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchPlanStats {
+    /// Items in the batch.
+    pub items: usize,
+    /// Distinct planning problems actually searched.
+    pub groups: usize,
+    /// Items served by cloning another item's plan (`items - groups`).
+    pub deduped: usize,
+    /// Distinct shared construction prefixes whose bound tables were
+    /// computed once for the batch.
+    pub shared_prefixes: usize,
+    /// Groups whose bound tables were reused from a prefix another group
+    /// already paid for.
+    pub shared_hits: usize,
+    /// Growth-journal patch-forwards specializing a shared prefix to one
+    /// group's full graph.
+    pub leaf_repairs: usize,
+    /// Full bound relaxation runs this call performed itself (shared-prefix
+    /// computes plus cache-less fallbacks). Cache-mediated lookups for
+    /// groups outside any shared prefix are visible in the cache's own
+    /// counters instead.
+    pub bounds_computes: usize,
+    /// Search expansions actually performed (duplicates excluded), summed
+    /// over the per-group searches.
+    pub search_expansions: usize,
+    /// Search queue pops actually performed (duplicates excluded).
+    pub search_pops: usize,
+}
+
+/// What [`Planner::plan_batch`] returns.
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    /// One entry per input item, in input order; `None` where the targets
+    /// are not derivable (exactly when [`Planner::plan`] returns `None`).
+    pub plans: Vec<Option<Plan>>,
+    /// The shared materialization decision: edges of the batch-wide common
+    /// construction prefix that at least two emitted plans execute,
+    /// ascending. Within that prefix, edge ids refer to the *same*
+    /// construction step in every member graph, so these are the artifacts
+    /// whose materialization one batch member funds and the rest reuse.
+    pub shared_edges: Vec<EdgeId>,
+    /// Per-batch amortization counters.
+    pub stats: BatchPlanStats,
+}
+
+/// One construction state out of a graph's growth journal (or the full
+/// graph itself), addressed by the bounds-cache key vocabulary.
+#[derive(Clone, Copy)]
+struct StateRef {
+    key: CacheKey,
+    edge_bound: usize,
+    node_bound: usize,
+    /// Whether this state *is* the group's current graph (no repair needed).
+    is_full: bool,
+}
+
+/// The full identity of one planning problem: two items with equal keys are
+/// served by the same search verbatim (the planner sees only structure,
+/// cost bits, and ids — never labels).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ProblemKey {
+    sig: u64,
+    cost_fp: u64,
+    source: NodeId,
+    targets: Vec<NodeId>,
+    new_tasks: Vec<EdgeId>,
+}
+
+fn problem_key<N, E>(item: &BatchItem<'_, N, E>) -> ProblemKey {
+    let req = &item.request;
+    let priced = &req.costs[..req.costs.len().min(item.graph.edge_bound())];
+    ProblemKey {
+        sig: item.graph.structure_sig(),
+        cost_fp: cost_fingerprint(priced),
+        source: req.source,
+        targets: req.targets.to_vec(),
+        new_tasks: req.new_tasks.to_vec(),
+    }
+}
+
+/// Enumerate the group's recent construction states, shallowest first, the
+/// full current state last. Empty when the cost vector does not price every
+/// edge (no state can be keyed). Mirrors the bounds cache's
+/// `base_candidates` walk: one bounded journal scan, one forward
+/// fingerprint fold over the cost prefix.
+fn candidate_states<N, E>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    source: NodeId,
+) -> Vec<StateRef> {
+    if costs.len() < graph.edge_bound() {
+        return Vec::new();
+    }
+    let log = graph.growth_log();
+    let scan = &log[log.len().saturating_sub(MAX_REPAIR_SCAN)..];
+    let current_sig = graph.structure_sig();
+    let mut fp = COST_FP_SEED;
+    let mut next = 0usize;
+    let mut out = Vec::with_capacity(scan.len() + 1);
+    for step in scan {
+        let bound = step.edge_bound as usize;
+        while next < bound {
+            fp = mix64(fp ^ costs[next].to_bits());
+            next += 1;
+        }
+        if step.sig_after != current_sig {
+            out.push(StateRef {
+                key: (step.sig_after, fp, source.index() as u64),
+                edge_bound: bound,
+                node_bound: step.node_bound as usize,
+                is_full: false,
+            });
+        }
+    }
+    while next < graph.edge_bound() {
+        fp = mix64(fp ^ costs[next].to_bits());
+        next += 1;
+    }
+    out.push(StateRef {
+        key: (current_sig, fp, source.index() as u64),
+        edge_bound: graph.edge_bound(),
+        node_bound: graph.node_bound(),
+        is_full: true,
+    });
+    out
+}
+
+/// Bound tables of the construction-prefix state `state`, computed on a
+/// graph that grew through it: post-prefix edges are priced `+∞` (a
+/// non-finite candidate never relaxes, so they contribute exactly nothing)
+/// and the tables are truncated to the prefix node bound (no prefix edge
+/// heads a later node, so the dropped entries are all `∞`). The result is
+/// bitwise what [`PlannerBounds::new`] on the prefix graph itself returns.
+fn prefix_bounds<N, E>(
+    graph: &HyperGraph<N, E>,
+    costs: &[f64],
+    source: NodeId,
+    state: &StateRef,
+) -> PlannerBounds {
+    let mut priced: Vec<f64> = costs[..graph.edge_bound()].to_vec();
+    for c in priced.iter_mut().skip(state.edge_bound) {
+        *c = f64::INFINITY;
+    }
+    let mut b = PlannerBounds::new(graph, &priced, source);
+    b.h.truncate(state.node_bound);
+    b.share.truncate(state.node_bound);
+    b
+}
+
+impl Planner {
+    /// Plan `items` jointly: deduplicate bit-identical problems, merge the
+    /// graphs' construction states into a shared-prefix stage tree, compute
+    /// the lower-bound tables once per shared prefix and patch them forward
+    /// per leaf, then search each distinct problem exactly once.
+    ///
+    /// Every emitted plan is bit-identical to what a sequential
+    /// [`Planner::plan`] call on that item would return (module docs state
+    /// the argument); `None` entries appear exactly where `plan` would
+    /// return `None`. The amortization applies to the exact mode with
+    /// bounds enabled; greedy or bounds-off batches still deduplicate.
+    ///
+    /// The returned [`BatchPlan::shared_edges`] is the batch's shared
+    /// materialization decision: common-prefix edges at least two plans
+    /// execute.
+    pub fn plan_batch<N: Sync, E: Sync>(&self, items: &[BatchItem<'_, N, E>]) -> BatchPlan {
+        let mut stats = BatchPlanStats { items: items.len(), ..Default::default() };
+
+        // Layer 1: group bit-identical problems, first occurrence fixing
+        // the group order (the map is only ever probed by key — iteration
+        // order never matters).
+        let mut group_of: HashMap<ProblemKey, usize> = HashMap::new();
+        let mut reps: Vec<usize> = Vec::new(); // group -> representative item
+        let mut item_group: Vec<usize> = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            match group_of.entry(problem_key(item)) {
+                Entry::Occupied(o) => item_group.push(*o.get()),
+                Entry::Vacant(v) => {
+                    v.insert(reps.len());
+                    item_group.push(reps.len());
+                    reps.push(i);
+                }
+            }
+        }
+        stats.groups = reps.len();
+        stats.deduped = items.len() - reps.len();
+
+        // Layer 2: the stage tree. Count, per construction state, how many
+        // groups pass through it; a state on ≥ 2 groups' construction paths
+        // is a shared prefix worth paying bounds for once.
+        let amortize = self.mode == PlanMode::Exact && self.use_bounds;
+        let mut group_states: Vec<Vec<StateRef>> = Vec::with_capacity(reps.len());
+        let mut membership: HashMap<CacheKey, usize> = HashMap::new();
+        for &rep in &reps {
+            let item = &items[rep];
+            let states = if amortize {
+                candidate_states(item.graph, item.request.costs, item.request.source)
+            } else {
+                Vec::new()
+            };
+            for state in &states {
+                *membership.entry(state.key).or_insert(0) += 1;
+            }
+            group_states.push(states);
+        }
+
+        // Layer 3: per group, resolve bounds through the deepest shared
+        // state (compute once, repair per leaf), then search. Prefix tables
+        // live in a local map for the batch's duration, so bounded cache
+        // eviction can never silently degrade a running batch.
+        let mut prefix_tables: HashMap<CacheKey, Arc<PlannerBounds>> = HashMap::new();
+        let mut group_plans: Vec<Option<Plan>> = Vec::with_capacity(reps.len());
+        for (gi, &rep) in reps.iter().enumerate() {
+            let item = &items[rep];
+            let base = group_states[gi]
+                .iter()
+                .rev()
+                .find(|s| membership.get(&s.key).copied().unwrap_or(0) >= 2);
+            let bounds = match base {
+                Some(state) if amortize => {
+                    let table = match prefix_tables.entry(state.key) {
+                        Entry::Occupied(o) => {
+                            stats.shared_hits += 1;
+                            if let Some(cache) = &self.cache {
+                                cache.note_batch_shared_hit();
+                            }
+                            Arc::clone(o.get())
+                        }
+                        Entry::Vacant(v) => {
+                            stats.shared_prefixes += 1;
+                            stats.bounds_computes += 1;
+                            let table = Arc::new(prefix_bounds(
+                                item.graph,
+                                item.request.costs,
+                                item.request.source,
+                                state,
+                            ));
+                            if let Some(cache) = &self.cache {
+                                cache.note_batch_prefix_compute();
+                                cache.seed(state.key.0, state.key.1, item.request.source, &table);
+                            }
+                            Arc::clone(v.insert(table))
+                        }
+                    };
+                    let leaf = if state.is_full {
+                        table
+                    } else {
+                        stats.leaf_repairs += 1;
+                        if let Some(cache) = &self.cache {
+                            cache.note_batch_leaf_repair();
+                        }
+                        Arc::new(table.repaired(item.graph, item.request.costs, state.edge_bound))
+                    };
+                    if let Some(cache) = &self.cache {
+                        // The group's own full state is always the last
+                        // candidate, so its key is the leaf's exact key.
+                        let full = group_states[gi].last().expect("full state always present");
+                        cache.seed(full.key.0, full.key.1, item.request.source, &leaf);
+                    }
+                    Some(leaf)
+                }
+                _ => {
+                    if !amortize || self.cache.is_none() {
+                        stats.bounds_computes += usize::from(amortize);
+                    }
+                    self.resolve_bounds(item.graph, item.request)
+                }
+            };
+            let plan = self.plan_with_bounds(item.graph, item.request, bounds);
+            if let Some(p) = &plan {
+                stats.search_expansions += p.expansions;
+                stats.search_pops += p.pops;
+            }
+            group_plans.push(plan);
+        }
+
+        // Emit per-item plans (duplicates clone their representative's —
+        // the serial search is deterministic, so this is what a sequential
+        // call would have produced, counters included).
+        let plans: Vec<Option<Plan>> = item_group.iter().map(|&g| group_plans[g].clone()).collect();
+
+        // Shared materialization decision: the deepest state every group's
+        // construction passed through bounds the region where edge ids mean
+        // the same step in every graph; within it, edges executed by ≥ 2
+        // plans are the batch's shared artifacts.
+        let shared_bound = group_states
+            .first()
+            .and_then(|states| {
+                states
+                    .iter()
+                    .rev()
+                    .find(|s| membership.get(&s.key).copied().unwrap_or(0) == reps.len())
+            })
+            .map_or(0, |s| s.edge_bound);
+        let mut use_counts = vec![0usize; shared_bound];
+        for plan in plans.iter().flatten() {
+            for e in &plan.edges {
+                if e.index() < shared_bound {
+                    use_counts[e.index()] += 1;
+                }
+            }
+        }
+        let shared_edges: Vec<EdgeId> = use_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= 2)
+            .map(|(i, _)| EdgeId::from_index(i))
+            .collect();
+
+        BatchPlan { plans, shared_edges, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::bounds::PlannerBoundsCache;
+
+    type G = HyperGraph<u32, ()>;
+
+    /// A 3-edge chain s → a → b with an expensive shortcut — the shared
+    /// construction prefix of every test graph.
+    fn base() -> (G, Vec<f64>, NodeId, NodeId) {
+        let mut g = G::new();
+        let s = g.add_node(0);
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        g.add_edge(vec![s], vec![a], ());
+        g.add_edge(vec![a], vec![b], ());
+        g.add_edge(vec![s], vec![b], ());
+        (g, vec![1.0, 2.0, 9.0], s, b)
+    }
+
+    /// Grow `g` with a model-stage suffix: one new target node, two
+    /// alternative producers.
+    fn grow(g: &mut G, costs: &mut Vec<f64>, from: NodeId, c1: f64, c2: f64) -> NodeId {
+        let root = g.node_ids().next().unwrap();
+        let t = g.add_node(99);
+        g.add_edge(vec![from], vec![t], ());
+        g.add_edge(vec![root], vec![t], ());
+        costs.push(c1);
+        costs.push(c2);
+        t
+    }
+
+    fn sweep_like(k: usize) -> Vec<(G, Vec<f64>, NodeId, Vec<NodeId>)> {
+        let (base, base_costs, s, b) = base();
+        (0..k)
+            .map(|i| {
+                let mut g = base.clone();
+                let mut costs = base_costs.clone();
+                let t = grow(&mut g, &mut costs, b, 1.0 + i as f64, 20.0);
+                (g, costs, s, vec![t])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_plans_match_sequential_bitwise() {
+        let data = sweep_like(4);
+        let planner = Planner::exact().threads(1);
+        let items: Vec<BatchItem<'_, u32, ()>> =
+            data.iter().map(|(g, c, s, t)| BatchItem::new(g, PlanRequest::new(c, *s, t))).collect();
+        let batch = planner.plan_batch(&items);
+        for (i, (g, c, s, t)) in data.iter().enumerate() {
+            let seq = planner.plan(g, PlanRequest::new(c, *s, t)).unwrap();
+            let got = batch.plans[i].as_ref().unwrap();
+            assert_eq!(got.edges, seq.edges, "item {i}");
+            assert_eq!(got.cost.to_bits(), seq.cost.to_bits(), "item {i}");
+            assert_eq!(got.expansions, seq.expansions, "item {i}");
+            assert_eq!(got.pops, seq.pops, "item {i}");
+        }
+        // All four graphs share the 3-edge base prefix: one compute, three
+        // shared hits, four leaf repairs (every group's base is a proper
+        // prefix).
+        assert_eq!(batch.stats.groups, 4);
+        assert_eq!(batch.stats.shared_prefixes, 1);
+        assert_eq!(batch.stats.shared_hits, 3);
+        assert_eq!(batch.stats.leaf_repairs, 4);
+        assert_eq!(batch.stats.bounds_computes, 1);
+    }
+
+    #[test]
+    fn duplicate_problems_are_planned_once() {
+        let one = sweep_like(1).remove(0);
+        let (g, c, s, t) = &one;
+        let items: Vec<BatchItem<'_, u32, ()>> =
+            (0..3).map(|_| BatchItem::new(g, PlanRequest::new(c, *s, t))).collect();
+        let planner = Planner::exact().threads(1);
+        let batch = planner.plan_batch(&items);
+        assert_eq!(batch.stats.items, 3);
+        assert_eq!(batch.stats.groups, 1);
+        assert_eq!(batch.stats.deduped, 2);
+        let seq = planner.plan(g, PlanRequest::new(c, *s, t)).unwrap();
+        for plan in &batch.plans {
+            assert_eq!(plan.as_ref().unwrap(), &seq);
+        }
+        // Identical plans over ≥ 2 items make the whole plan shared.
+        assert_eq!(batch.shared_edges, seq.edges);
+        // The one group expanded once; the duplicates added nothing.
+        assert_eq!(batch.stats.search_expansions, seq.expansions);
+    }
+
+    #[test]
+    fn shared_edges_are_common_prefix_edges_used_twice() {
+        let data = sweep_like(3);
+        let planner = Planner::exact().threads(1);
+        let items: Vec<BatchItem<'_, u32, ()>> =
+            data.iter().map(|(g, c, s, t)| BatchItem::new(g, PlanRequest::new(c, *s, t))).collect();
+        let batch = planner.plan_batch(&items);
+        // Every plan routes s → a → b (edges 0, 1) then its own suffix; the
+        // suffix edges are outside the common prefix and must not appear.
+        assert_eq!(batch.shared_edges, vec![EdgeId::from_index(0), EdgeId::from_index(1)]);
+    }
+
+    #[test]
+    fn unplannable_items_yield_none_like_sequential() {
+        let (g, costs, s, b) = base();
+        let mut g2 = g.clone();
+        let orphan = g2.add_node(7);
+        let costs2 = costs.clone();
+        let planner = Planner::exact().threads(1);
+        let items = vec![
+            BatchItem::new(&g2, PlanRequest::new(&costs2, s, std::slice::from_ref(&orphan))),
+            BatchItem::new(&g, PlanRequest::new(&costs, s, std::slice::from_ref(&b))),
+        ];
+        let batch = planner.plan_batch(&items);
+        assert!(batch.plans[0].is_none(), "orphan has no producer");
+        assert!(
+            planner.plan(&g2, PlanRequest::new(&costs2, s, &[orphan])).is_none(),
+            "sequential agrees"
+        );
+        assert!(batch.plans[1].is_some(), "the feasible item is unaffected");
+    }
+
+    #[test]
+    fn batch_seeds_the_attached_cache_for_later_lookups() {
+        let data = sweep_like(2);
+        let cache = Arc::new(PlannerBoundsCache::new());
+        let planner = Planner::exact().threads(1).bounds_cache(Arc::clone(&cache));
+        let items: Vec<BatchItem<'_, u32, ()>> =
+            data.iter().map(|(g, c, s, t)| BatchItem::new(g, PlanRequest::new(c, *s, t))).collect();
+        planner.plan_batch(&items);
+        let after_batch = cache.stats();
+        assert_eq!(after_batch.misses, 1, "one shared-prefix compute, no other relaxation");
+        assert_eq!(after_batch.batch_shared_hits, 1);
+        assert_eq!(after_batch.batch_leaf_repairs, 2);
+        // A sequential resubmission of a batch member hits the seeded exact
+        // key: no new relaxation, no repair.
+        let (g, c, s, t) = &data[0];
+        planner.plan(g, PlanRequest::new(c, *s, t)).unwrap();
+        let after_seq = cache.stats();
+        let delta = after_seq.delta_since(&after_batch);
+        assert_eq!(delta.hits, 1);
+        assert_eq!(delta.misses, 0);
+        assert_eq!(delta.repairs, 0);
+    }
+
+    #[test]
+    fn greedy_batches_dedup_but_skip_prefix_machinery() {
+        let data = sweep_like(2);
+        let planner = Planner::greedy().threads(1);
+        let items: Vec<BatchItem<'_, u32, ()>> =
+            data.iter().map(|(g, c, s, t)| BatchItem::new(g, PlanRequest::new(c, *s, t))).collect();
+        let batch = planner.plan_batch(&items);
+        assert_eq!(batch.stats.shared_prefixes, 0);
+        assert_eq!(batch.stats.bounds_computes, 0);
+        for (i, (g, c, s, t)) in data.iter().enumerate() {
+            let seq = planner.plan(g, PlanRequest::new(c, *s, t)).unwrap();
+            assert_eq!(batch.plans[i].as_ref().unwrap().edges, seq.edges, "item {i}");
+        }
+    }
+}

@@ -111,11 +111,13 @@ const CACHE_CAPACITY: usize = 16;
 /// *base* to patch forward. Each step is one insertion, so this doubles as
 /// the "delta is large" fallback: a base more than this many insertions
 /// stale misses and the relaxations rerun from scratch — at that distance
-/// the repair wave approaches full-fixpoint work anyway.
-const MAX_REPAIR_SCAN: usize = 128;
+/// the repair wave approaches full-fixpoint work anyway. Batch planning
+/// (`optimizer::batch`) scans the same window when looking for shared
+/// construction prefixes, so the two agree on what "recent" means.
+pub(crate) const MAX_REPAIR_SCAN: usize = 128;
 
 /// Cache key: `(graph structure fingerprint, cost fingerprint, source)`.
-type CacheKey = (u64, u64, u64);
+pub(crate) type CacheKey = (u64, u64, u64);
 
 /// Concurrent memo of [`PlannerBounds`] keyed by graph structure, costs, and
 /// source — with *patch-forward repair* when the graph grew.
@@ -146,6 +148,8 @@ pub struct PlannerBoundsCache {
     hits: AtomicUsize,
     misses: AtomicUsize,
     repairs: AtomicUsize,
+    batch_shared_hits: AtomicUsize,
+    batch_leaf_repairs: AtomicUsize,
 }
 
 #[derive(Debug, Default)]
@@ -244,6 +248,40 @@ impl PlannerBoundsCache {
         out
     }
 
+    /// Memoize already-computed `bounds` under the exact key of
+    /// `(sig, cost_fp, source)` without counting a lookup. Batch planning
+    /// uses this to publish its prefix tables and leaf repairs, so later
+    /// sequential submissions of a batch member hit verbatim and later
+    /// batches can patch forward from this batch's states.
+    pub(crate) fn seed(&self, sig: u64, cost_fp: u64, source: NodeId, bounds: &Arc<PlannerBounds>) {
+        self.insert((sig, cost_fp, source.index() as u64), bounds);
+    }
+
+    /// Count one full relaxation run performed by batch planning (a shared
+    /// prefix computed once per batch). Lands in `misses` so that counter
+    /// keeps meaning "from-scratch relaxation runs" across both paths.
+    pub(crate) fn note_batch_prefix_compute(&self) {
+        // hyppo-lint: allow(relaxed-ordering-justified) metrics-only tally;
+        // never feeds a plan decision
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one batch-planning group whose bounds came from a prefix
+    /// shared with other groups in the same batch.
+    pub(crate) fn note_batch_shared_hit(&self) {
+        // hyppo-lint: allow(relaxed-ordering-justified) metrics-only tally;
+        // never feeds a plan decision
+        self.batch_shared_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one journal patch-forward specializing a shared prefix to a
+    /// single batch leaf.
+    pub(crate) fn note_batch_leaf_repair(&self) {
+        // hyppo-lint: allow(relaxed-ordering-justified) metrics-only tally;
+        // never feeds a plan decision
+        self.batch_leaf_repairs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Memoize `bounds` under `key` unless a racing thread beat us to it.
     fn insert(&self, key: CacheKey, bounds: &Arc<PlannerBounds>) {
         let mut inner = self.inner.lock().unwrap();
@@ -264,7 +302,8 @@ impl PlannerBoundsCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lookups that had to run the relaxations from scratch.
+    /// Full relaxation runs: lookups that computed from scratch, plus
+    /// shared-prefix computations performed by batch planning.
     pub fn misses(&self) -> usize {
         // hyppo-lint: allow(relaxed-ordering-justified) metrics read; no ordering needed
         self.misses.load(Ordering::Relaxed)
@@ -272,42 +311,96 @@ impl PlannerBoundsCache {
 
     /// Lookups served by patching a cached base forward through the growth
     /// journal instead of recomputing (neither a hit nor a miss; total
-    /// lookups = hits + misses + repairs).
+    /// lookups ≤ hits + misses + repairs, with equality when no batch
+    /// planning ran — batch prefix computes land in `misses` without a
+    /// lookup).
     pub fn repairs(&self) -> usize {
         // hyppo-lint: allow(relaxed-ordering-justified) metrics read; no ordering needed
         self.repairs.load(Ordering::Relaxed)
     }
 
-    /// One-shot snapshot of all three counters.
+    /// Batch-planning groups served from a prefix shared within their batch.
+    pub fn batch_shared_hits(&self) -> usize {
+        // hyppo-lint: allow(relaxed-ordering-justified) metrics read; no ordering needed
+        self.batch_shared_hits.load(Ordering::Relaxed)
+    }
+
+    /// Journal patch-forwards specializing a batch-shared prefix to a leaf.
+    pub fn batch_leaf_repairs(&self) -> usize {
+        // hyppo-lint: allow(relaxed-ordering-justified) metrics read; no ordering needed
+        self.batch_leaf_repairs.load(Ordering::Relaxed)
+    }
+
+    /// One-shot snapshot of all counters.
     pub fn stats(&self) -> BoundsCacheStats {
-        BoundsCacheStats { hits: self.hits(), misses: self.misses(), repairs: self.repairs() }
+        BoundsCacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            repairs: self.repairs(),
+            batch_shared_hits: self.batch_shared_hits(),
+            batch_leaf_repairs: self.batch_leaf_repairs(),
+        }
     }
 }
 
-/// Counter snapshot of a [`PlannerBoundsCache`]: every lookup lands in
-/// exactly one bucket, so `hits + misses + repairs` is the lookup total.
+/// Counter snapshot of a [`PlannerBoundsCache`].
+///
+/// Every *lookup* lands in exactly one of the first three buckets, so
+/// `hits + misses + repairs ≥ lookups`; the inequality is strict only when
+/// batch planning ran (its shared-prefix computations count into `misses`
+/// without going through a lookup, keeping `misses` = "full relaxation
+/// runs" across both paths).
+///
+/// Counters are cumulative over the cache's lifetime. For the per-batch
+/// view, snapshot before, snapshot after, and subtract with
+/// [`BoundsCacheStats::delta_since`] — `Hyppo::submit_batch` and
+/// `SharedHyppo::submit_batch_shared` do exactly that and report the delta
+/// in their `BatchRunReport`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BoundsCacheStats {
     /// Lookups served verbatim from a memoized entry.
     pub hits: usize,
-    /// Lookups that ran the full relaxations from scratch.
+    /// Full relaxation runs (lookup misses + batch shared-prefix computes).
     pub misses: usize,
     /// Lookups served by patching a cached base forward through the graph's
     /// growth journal.
     pub repairs: usize,
+    /// Batch-planning groups whose bounds came from a prefix shared with
+    /// other groups in the same batch (amortization events).
+    pub batch_shared_hits: usize,
+    /// Journal patch-forwards specializing a batch-shared prefix to one
+    /// leaf graph.
+    pub batch_leaf_repairs: usize,
+}
+
+impl BoundsCacheStats {
+    /// Per-interval counters: this snapshot minus an `earlier` one
+    /// (saturating, so a stale "earlier" from another cache never
+    /// underflows). This is how per-batch deltas are derived from the
+    /// cumulative totals.
+    pub fn delta_since(&self, earlier: &BoundsCacheStats) -> BoundsCacheStats {
+        BoundsCacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            repairs: self.repairs.saturating_sub(earlier.repairs),
+            batch_shared_hits: self.batch_shared_hits.saturating_sub(earlier.batch_shared_hits),
+            batch_leaf_repairs: self.batch_leaf_repairs.saturating_sub(earlier.batch_leaf_repairs),
+        }
+    }
 }
 
 /// Chaining seed of [`cost_fingerprint`]'s sequential fold. Exposed as a
 /// constant so repair-base matching can resume the same fold at arbitrary
 /// prefix lengths.
-const COST_FP_SEED: u64 = 0x9ae1_6a3b_2f90_404f;
+pub(crate) const COST_FP_SEED: u64 = 0x9ae1_6a3b_2f90_404f;
 
 /// Sequence hash of the cost vector's IEEE-754 bit patterns (position enters
 /// through the chaining). Because the fold is sequential, the fingerprint of
 /// any prefix is an intermediate state of the full fold — which is what lets
 /// the cache compare a grown graph's cost prefix against a base entry's key
-/// in one pass.
-fn cost_fingerprint(costs: &[f64]) -> u64 {
+/// in one pass. Batch planning reuses the same fold so its shared-prefix
+/// state keys are interchangeable with this cache's keys.
+pub(crate) fn cost_fingerprint(costs: &[f64]) -> u64 {
     costs.iter().fold(COST_FP_SEED, |h, c| mix64(h ^ c.to_bits()))
 }
 

@@ -67,6 +67,7 @@
 //! synthetic-hypergraph scalability study (paper Fig. 10) drive it
 //! directly.
 
+pub mod batch;
 pub mod bounds;
 pub mod expand;
 pub mod greedy;
@@ -294,14 +295,47 @@ impl Planner {
         graph: &HyperGraph<N, E>,
         req: PlanRequest<'_>,
     ) -> Option<Plan> {
+        let bounds = self.resolve_bounds(graph, req);
+        self.plan_with_bounds(graph, req, bounds)
+    }
+
+    /// The bounds tables [`Planner::plan`] would search under, resolved
+    /// through the attached cache (or computed fresh). Split out so batch
+    /// planning ([`Planner::plan_batch`]) can substitute tables it derived
+    /// from a shared prefix — which are bit-identical, so the search cannot
+    /// tell the difference.
+    pub(crate) fn resolve_bounds<N, E>(
+        &self,
+        graph: &HyperGraph<N, E>,
+        req: PlanRequest<'_>,
+    ) -> Option<Arc<PlannerBounds>> {
         if self.mode == PlanMode::Greedy {
             // With a cache attached the lower-bound tables are (amortized)
             // free — hit or journal-repair — so greedy gets `h` for dead-end
             // avoidance. Without one, computing bounds would dominate the
             // linear-time pass, so greedy stays blind (its historical
             // behavior).
-            let bounds =
-                self.cache.as_ref().map(|cache| cache.get_or_compute(graph, req.costs, req.source));
+            return self
+                .cache
+                .as_ref()
+                .map(|cache| cache.get_or_compute(graph, req.costs, req.source));
+        }
+        self.use_bounds.then(|| match &self.cache {
+            Some(cache) => cache.get_or_compute(graph, req.costs, req.source),
+            None => Arc::new(PlannerBounds::new(graph, req.costs, req.source)),
+        })
+    }
+
+    /// Run the search with externally supplied bounds tables. Callers must
+    /// pass exactly what [`Planner::resolve_bounds`] would return (or tables
+    /// bitwise equal to them) for the plan to match a [`Planner::plan`] call.
+    pub(crate) fn plan_with_bounds<N: Sync, E: Sync>(
+        &self,
+        graph: &HyperGraph<N, E>,
+        req: PlanRequest<'_>,
+        bounds: Option<Arc<PlannerBounds>>,
+    ) -> Option<Plan> {
+        if self.mode == PlanMode::Greedy {
             return greedy::greedy_plan(
                 graph,
                 req.costs,
@@ -312,10 +346,6 @@ impl Planner {
                 bounds.as_ref().map(|b| b.h.as_slice()),
             );
         }
-        let bounds: Option<Arc<PlannerBounds>> = self.use_bounds.then(|| match &self.cache {
-            Some(cache) => cache.get_or_compute(graph, req.costs, req.source),
-            None => Arc::new(PlannerBounds::new(graph, req.costs, req.source)),
-        });
         let mut seed =
             initial_plan(graph, req.costs, req.source, req.targets, req.new_tasks, self.c_exp)?;
         seed.bound = bounds.as_ref().map_or(seed.cost, |b| b.completion_bound(&seed, req.source));

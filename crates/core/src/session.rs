@@ -26,6 +26,15 @@ pub trait Session {
     /// record, materialize.
     fn submit(&mut self, spec: PipelineSpec) -> Result<RunReport, SubmitError>;
 
+    /// Execute K pipelines as one batch. Backends with a joint planner
+    /// (e.g. [`Hyppo::submit_batch`]) plan the batch together, amortizing
+    /// bound computation over shared structure; the default implementation
+    /// degrades to sequential [`Session::submit`] calls, which by the
+    /// batch-planner's bit-identity invariant yields the same plans.
+    fn submit_batch(&mut self, specs: Vec<PipelineSpec>) -> Result<Vec<RunReport>, SubmitError> {
+        specs.into_iter().map(|s| self.submit(s)).collect()
+    }
+
     /// Retrieve previously computed artifacts by name (paper Scenario 2):
     /// plan over the history's alternatives only.
     fn retrieve(&mut self, names: &[ArtifactName]) -> Result<RunReport, SubmitError>;
@@ -48,6 +57,10 @@ impl Session for Hyppo {
 
     fn submit(&mut self, spec: PipelineSpec) -> Result<RunReport, SubmitError> {
         Hyppo::submit(self, spec)
+    }
+
+    fn submit_batch(&mut self, specs: Vec<PipelineSpec>) -> Result<Vec<RunReport>, SubmitError> {
+        Hyppo::submit_batch(self, specs).map(|b| b.reports)
     }
 
     fn retrieve(&mut self, names: &[ArtifactName]) -> Result<RunReport, SubmitError> {

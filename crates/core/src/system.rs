@@ -9,8 +9,9 @@ use crate::executor::{execute_plan, ExecError, ExecMode};
 use crate::history::History;
 use crate::materialize::{MaterializeConfig, Materializer, PlanLocality};
 use crate::monitor::record_outcome;
-use crate::optimizer::bounds::PlannerBoundsCache;
-use crate::optimizer::{PlanRequest, Planner};
+use crate::optimizer::batch::{BatchItem, BatchPlanStats};
+use crate::optimizer::bounds::{BoundsCacheStats, PlannerBoundsCache};
+use crate::optimizer::{Plan, PlanRequest, Planner};
 use crate::store::ArtifactStore;
 use hyppo_pipeline::{build_pipeline, ArtifactName, Dictionary, PipelineSpec};
 use hyppo_tensor::Dataset;
@@ -80,6 +81,29 @@ pub struct RunReport {
     pub evicted: usize,
     /// Scalar evaluation results, by artifact name.
     pub values: HashMap<ArtifactName, f64>,
+}
+
+/// What one *batch* submission cost and did, beyond the per-pipeline
+/// [`RunReport`]s.
+#[derive(Clone, Debug, Default)]
+pub struct BatchRunReport {
+    /// Per-pipeline reports, in submission order.
+    pub reports: Vec<RunReport>,
+    /// Planner-side batch statistics: dedup groups, shared-prefix bound
+    /// computations, leaf repairs, total search effort.
+    pub batch: BatchPlanStats,
+    /// Bounds-cache counter *delta* attributable to this batch (computed
+    /// via [`BoundsCacheStats::delta_since`] around the call), so callers
+    /// see per-batch amortization rather than only cumulative totals.
+    pub bounds_delta: BoundsCacheStats,
+    /// Artifacts the batch planner identified as shared across plans — the
+    /// joint materialization decision: heads of plan edges used by two or
+    /// more of the batch's plans.
+    pub shared_artifacts: Vec<ArtifactName>,
+    /// Items that fell back to a full sequential re-submission because the
+    /// store changed under them (e.g. an earlier item's materialization
+    /// evicted an artifact their plan wanted to load).
+    pub replans: usize,
 }
 
 /// Submission failure.
@@ -264,6 +288,99 @@ impl Hyppo {
         self.run_augmentation(aug, opt_start)
     }
 
+    /// Submit K pipelines as one batch: augment all against the current
+    /// history snapshot, plan them jointly via
+    /// [`Planner::plan_batch`](crate::optimizer::Planner::plan_batch)
+    /// (deduplicating indistinguishable problems and amortizing lower-bound
+    /// computation over shared prefixes), then execute and record each item
+    /// in submission order.
+    ///
+    /// Each emitted plan is bit-identical to what a sequential
+    /// [`Hyppo::submit`] would have planned *against the same snapshot*; the
+    /// batch differs from K sequential submits only in that later items'
+    /// augmentations do not see earlier items' recorded runs (that is the
+    /// point — shared work is planned once, not rediscovered K times).
+    ///
+    /// Planning is all-or-nothing: if any item is unplannable the batch
+    /// fails with [`SubmitError::NoPlan`] before anything executes. During
+    /// execution, an item whose plan references an artifact the store no
+    /// longer holds (an earlier item's materialization evicted it) falls
+    /// back to a full sequential re-submission, counted in
+    /// [`BatchRunReport::replans`].
+    pub fn submit_batch(
+        &mut self,
+        specs: Vec<PipelineSpec>,
+    ) -> Result<BatchRunReport, SubmitError> {
+        if specs.is_empty() {
+            return Ok(BatchRunReport::default());
+        }
+        let stats_before = self.bounds_stats();
+        let opt_start = Instant::now();
+        let pipelines: Vec<_> = specs.into_iter().map(build_pipeline).collect();
+        let augs: Vec<Augmentation> = pipelines
+            .iter()
+            .map(|p| {
+                augment::augment(p, &self.history, &self.config.dictionary, self.config.augment)
+            })
+            .collect();
+        let costs: Vec<Vec<f64>> =
+            augs.iter().map(|a| annotate_costs(a, &self.estimator, &self.store)).collect();
+        let planner =
+            self.config.search.clone().bounds_cache(std::sync::Arc::clone(&self.bounds_cache));
+        let items: Vec<BatchItem<'_, _, _>> = augs
+            .iter()
+            .zip(&costs)
+            .map(|(a, c)| {
+                BatchItem::new(
+                    &a.graph,
+                    PlanRequest::new(c, a.source, &a.targets).with_new_tasks(&a.new_tasks),
+                )
+            })
+            .collect();
+        let batch = planner.plan_batch(&items);
+        drop(items);
+        let plans: Vec<Plan> = batch
+            .plans
+            .iter()
+            .map(|p| p.clone().ok_or(SubmitError::NoPlan))
+            .collect::<Result<_, _>>()?;
+        // The joint materialization decision: artifacts produced by plan
+        // edges two or more plans share.
+        let shared_artifacts: Vec<ArtifactName> = batch
+            .shared_edges
+            .iter()
+            .filter(|e| e.index() < augs[0].graph.edge_bound())
+            .flat_map(|&e| augs[0].graph.edge_ref(e).head.iter())
+            .map(|&n| augs[0].graph.node(n).name)
+            .collect();
+        let optimize_share = opt_start.elapsed().as_secs_f64() / augs.len() as f64;
+
+        let mut reports = Vec::with_capacity(augs.len());
+        let mut replans = 0usize;
+        for (i, (aug, plan)) in augs.iter().zip(&plans).enumerate() {
+            match self.finish_submission(aug, &costs[i], plan, optimize_share) {
+                Ok(report) => reports.push(report),
+                Err(SubmitError::Exec(ExecError::MissingArtifact(_))) => {
+                    // The store changed under this item (an earlier item's
+                    // materialization evicted something its plan loads).
+                    // Re-submit it sequentially against the current state.
+                    replans += 1;
+                    let restart = Instant::now();
+                    let aug = augment::augment(
+                        &pipelines[i],
+                        &self.history,
+                        &self.config.dictionary,
+                        self.config.augment,
+                    );
+                    reports.push(self.run_augmentation(aug, restart)?);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let bounds_delta = self.bounds_stats().delta_since(&stats_before);
+        Ok(BatchRunReport { reports, batch: batch.stats, bounds_delta, shared_artifacts, replans })
+    }
+
     fn run_augmentation(
         &mut self,
         aug: Augmentation,
@@ -281,11 +398,26 @@ impl Hyppo {
             )
             .ok_or(SubmitError::NoPlan)?;
         let optimize_seconds = opt_start.elapsed().as_secs_f64();
+        self.finish_submission(&aug, &costs, &plan, optimize_seconds)
+    }
 
-        let outcome = execute_plan(&aug, &plan.edges, &self.store, self.config.mode, &costs)?;
+    /// Execute a planned augmentation and absorb the outcome: run the plan,
+    /// record into history/estimator, journal durable events, materialize
+    /// under the budget, and assemble the [`RunReport`]. Shared by the
+    /// sequential path ([`Hyppo::submit`]/[`Hyppo::retrieve`]) and the batch
+    /// path ([`Hyppo::submit_batch`]), which plans up front and finishes each
+    /// item in submission order.
+    fn finish_submission(
+        &mut self,
+        aug: &Augmentation,
+        costs: &[f64],
+        plan: &Plan,
+        optimize_seconds: f64,
+    ) -> Result<RunReport, SubmitError> {
+        let outcome = execute_plan(aug, &plan.edges, &self.store, self.config.mode, costs)?;
         let target_names: Vec<ArtifactName> =
             aug.targets.iter().map(|&t| aug.graph.node(t).name).collect();
-        record_outcome(&aug, &outcome, &target_names, &mut self.history, &mut self.estimator);
+        record_outcome(aug, &outcome, &target_names, &mut self.history, &mut self.estimator);
         // Mirror the estimator observations into the durable event stream:
         // the history journals its own mutations, but estimator state lives
         // outside it. Ordering relative to the history events is free —
@@ -532,6 +664,125 @@ mod tests {
         assert!(dot.contains("digraph"));
         assert!(dot.contains("style=bold"), "plan edges must be highlighted");
         let _ = sys.submit(svm_spec(0));
+    }
+
+    /// `svm_spec` with a configurable model hyperparameter — a sweep axis
+    /// the cost model distinguishes (`epochs` scales the LinearSvm fit).
+    fn svm_sweep_spec(epochs: i64) -> PipelineSpec {
+        let mut spec = PipelineSpec::new();
+        let d = spec.load("data");
+        let (train, test) = spec.split(d, Config::new().with_i("seed", 0));
+        let scaler = spec.fit(LogicalOp::StandardScaler, 0, Config::new(), &[train]);
+        let train_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, train);
+        let test_s = spec.transform(LogicalOp::StandardScaler, 0, Config::new(), scaler, test);
+        let cfg = Config::new().with_f("c", 1.0).with_i("epochs", epochs);
+        let model = spec.fit(LogicalOp::LinearSvm, 0, cfg.clone(), &[train_s]);
+        let preds = spec.predict(LogicalOp::LinearSvm, 0, cfg, model, test_s);
+        spec.evaluate(LogicalOp::Accuracy, preds, test_s);
+        spec
+    }
+
+    #[test]
+    fn submit_batch_plans_match_sequential_and_amortize_bounds() {
+        let specs: Vec<PipelineSpec> = [8, 12, 16, 24].iter().map(|&e| svm_sweep_spec(e)).collect();
+
+        // Sequential reference: plan each spec against the same initial
+        // snapshot (fresh systems), collecting planned costs.
+        let seq_costs: Vec<f64> =
+            specs.iter().map(|s| system(0).submit(s.clone()).unwrap().planned_cost).collect();
+
+        let mut sys = system(0);
+        let before = sys.bounds_stats();
+        let batch = sys.submit_batch(specs).unwrap();
+        assert_eq!(batch.reports.len(), 4);
+        for (r, seq) in batch.reports.iter().zip(&seq_costs) {
+            assert_eq!(r.planned_cost.to_bits(), seq.to_bits(), "bit-identical planned cost");
+            assert!(r.execution_seconds > 0.0);
+            assert_eq!(r.values.len(), 1);
+        }
+        assert_eq!(batch.replans, 0);
+        assert_eq!(batch.batch.items, 4);
+        assert_eq!(batch.batch.groups, 4, "epochs axis is cost-distinguishable");
+        assert!(
+            batch.batch.shared_prefixes >= 1 || batch.batch.shared_hits == 0,
+            "fresh systems share no journal prefix; sanity only"
+        );
+        // Per-batch delta is well-formed and reflects this call only.
+        let after = sys.bounds_stats();
+        assert_eq!(after.delta_since(&before).misses, batch.bounds_delta.misses);
+        assert_eq!(batch.bounds_delta.batch_leaf_repairs, sys.bounds_stats().batch_leaf_repairs);
+    }
+
+    #[test]
+    fn submit_batch_dedups_cost_identical_configs() {
+        // The estimator ignores LinearSvm `c`, so these three specs are
+        // indistinguishable planning problems: one group, two clones.
+        let specs: Vec<PipelineSpec> = [0.1, 1.0, 10.0]
+            .iter()
+            .map(|&c| {
+                let mut spec = PipelineSpec::new();
+                let d = spec.load("data");
+                let (train, test) = spec.split(d, Config::new().with_i("seed", 0));
+                let cfg = Config::new().with_f("c", c).with_i("epochs", 12);
+                let model = spec.fit(LogicalOp::LinearSvm, 0, cfg.clone(), &[train]);
+                let preds = spec.predict(LogicalOp::LinearSvm, 0, cfg, model, test);
+                spec.evaluate(LogicalOp::Accuracy, preds, test);
+                spec
+            })
+            .collect();
+        let mut sys = system(0);
+        let batch = sys.submit_batch(specs).unwrap();
+        assert_eq!(batch.batch.items, 3);
+        assert_eq!(batch.batch.groups, 1);
+        assert_eq!(batch.batch.deduped, 2);
+        let costs: Vec<u64> = batch.reports.iter().map(|r| r.planned_cost.to_bits()).collect();
+        assert_eq!(costs[0], costs[1]);
+        assert_eq!(costs[1], costs[2]);
+        // All three executed and recorded.
+        for r in &batch.reports {
+            assert_eq!(r.values.len(), 1);
+        }
+    }
+
+    #[test]
+    fn submit_batch_reports_shared_artifacts() {
+        // Identical specs: every plan edge is shared, so the joint
+        // materialization decision covers the common prefix artifacts.
+        let specs = vec![svm_sweep_spec(12), svm_sweep_spec(12)];
+        let mut sys = system(0);
+        let batch = sys.submit_batch(specs).unwrap();
+        assert!(!batch.shared_artifacts.is_empty(), "identical plans must share artifacts");
+    }
+
+    #[test]
+    fn submit_batch_propagates_mid_batch_execution_failure() {
+        // An unregistered dataset still *plans* (the load edge exists);
+        // the failure surfaces at execution and aborts the batch there.
+        let mut sys = system(0);
+        let mut bad = PipelineSpec::new();
+        bad.load("no-such-dataset");
+        let specs = vec![svm_sweep_spec(12), bad];
+        let err = sys.submit_batch(specs).unwrap_err();
+        assert!(matches!(err, SubmitError::Exec(ExecError::MissingDataset(_))), "{err}");
+        assert!(sys.cumulative_seconds > 0.0, "the first item had already executed");
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut sys = system(0);
+        let batch = sys.submit_batch(Vec::new()).unwrap();
+        assert!(batch.reports.is_empty());
+        assert_eq!(batch.batch.items, 0);
+    }
+
+    #[test]
+    fn session_submit_batch_delegates_to_the_joint_planner() {
+        use crate::session::Session;
+        let mut sys = system(0);
+        let reports =
+            Session::submit_batch(&mut sys, vec![svm_sweep_spec(8), svm_sweep_spec(12)]).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.execution_seconds > 0.0));
     }
 
     #[test]

@@ -33,6 +33,15 @@ fn nondet_iteration_fixture_pair() {
     assert_eq!(lint_fixture("nondet_iteration_ok.rs"), vec![]);
 }
 
+/// The batch planner's stage-tree merge (`optimizer/batch.rs`) collects
+/// groups into hash-keyed membership maps; this pair pins the rule that
+/// guards its emission order against hash-seed nondeterminism.
+#[test]
+fn batch_merge_fixture_pair() {
+    assert_eq!(lint_fixture("batch_merge_bad.rs"), vec![(NONDET_ITERATION, 7)]);
+    assert_eq!(lint_fixture("batch_merge_ok.rs"), vec![]);
+}
+
 #[test]
 fn wall_clock_fixture_pair() {
     assert_eq!(lint_fixture("wall_clock_bad.rs"), vec![(WALL_CLOCK, 4)]);

@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+// Stage-tree merge emitting shared-prefix groups in hash-map order: the
+// group order (and so the batch's plan order) would vary run to run.
+fn emit_groups(tree: &HashMap<u64, Vec<usize>>) -> Vec<usize> {
+    let mut reps = Vec::new();
+    for (_, members) in tree.iter() {
+        reps.push(members[0]);
+    }
+    reps
+}

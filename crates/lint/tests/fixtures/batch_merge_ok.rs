@@ -1,0 +1,12 @@
+use std::collections::{BTreeMap, HashMap};
+
+// Stage-tree merge done deterministically: membership is consulted only by
+// keyed lookup, and group emission canonicalizes through a BTreeMap so the
+// order is the sorted group-key order regardless of hash seeding.
+fn shared_base(membership: &HashMap<u64, usize>, states: &[u64]) -> Option<u64> {
+    states.iter().rev().find(|s| membership.get(s).copied().unwrap_or(0) >= 2).copied()
+}
+
+fn emit_groups(tree: &HashMap<u64, Vec<usize>>) -> Vec<usize> {
+    tree.iter().map(|(k, m)| (*k, m[0])).collect::<BTreeMap<_, _>>().into_values().collect()
+}

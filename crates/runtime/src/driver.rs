@@ -30,8 +30,9 @@ use hyppo_core::durable::{DurabilityHook, DurableEvent};
 use hyppo_core::executor::{execute_plan, ExecError, ExecMode};
 use hyppo_core::materialize::{MaterializeConfig, Materializer};
 use hyppo_core::monitor::record_outcome;
-use hyppo_core::optimizer::PlanRequest;
-use hyppo_core::system::{Hyppo, HyppoConfig, RunReport, SubmitError};
+use hyppo_core::optimizer::batch::BatchItem;
+use hyppo_core::optimizer::{Plan, PlanRequest};
+use hyppo_core::system::{BatchRunReport, Hyppo, HyppoConfig, RunReport, SubmitError};
 use hyppo_core::{ArtifactStore, CostEstimator, History, PlannerBoundsCache, Session};
 use hyppo_pipeline::{build_pipeline, ArtifactName, PipelineSpec};
 use hyppo_tensor::Dataset;
@@ -308,101 +309,218 @@ impl SharedHyppo {
                 .ok_or(SubmitError::NoPlan)?;
             let optimize_seconds = opt_start.elapsed().as_secs_f64();
 
-            // Execute without holding any coarse lock.
-            let executed = if self.config.mode == ExecMode::Real {
-                execute_plan_parallel(&aug, &plan.edges, &self.store, workers)
-            } else {
-                execute_plan(&aug, &plan.edges, &self.store, ExecMode::Simulated, &costs).map(
-                    |outcome| {
-                        let wave = WavefrontMetrics {
-                            workers: 1,
-                            dispatched: outcome.metrics.len(),
-                            peak_concurrency: 1,
-                            wall_seconds: outcome.total_seconds,
-                            task_seconds: outcome.total_seconds,
-                        };
-                        crate::executor::ParallelOutcome { outcome, metrics: wave }
-                    },
-                )
-            };
-            let parallel = match executed {
-                Ok(p) => p,
+            match self.execute_and_record(&aug, &costs, &plan, workers, optimize_seconds) {
                 // Lost a race with another session's eviction: the
                 // artifact this plan meant to load is gone. Its history
                 // flag was cleared by the same eviction, so replanning
                 // routes around it.
-                Err(ExecError::MissingArtifact(_)) if replans < MAX_REPLANS => {
+                Err(SubmitError::Exec(ExecError::MissingArtifact(_))) if replans < MAX_REPLANS => {
                     replans += 1;
                     continue;
                 }
-                Err(e) => return Err(SubmitError::Exec(e)),
-            };
-            let outcome = parallel.outcome;
-            let target_names: Vec<ArtifactName> =
-                aug.targets.iter().map(|&t| aug.graph.node(t).name).collect();
+                other => return other,
+            }
+        }
+    }
 
-            // Record + materialize under write locks: history → estimator.
-            let (report_mat, durable) = {
-                let mut history = self.locked_history();
-                let start = Instant::now();
-                let mut estimator = self.estimator.write().unwrap_or_else(|e| e.into_inner());
-                self.record_wait(start);
-                record_outcome(&aug, &outcome, &target_names, &mut history, &mut estimator);
-                // Mirror estimator observations into the durable event
-                // stream (see the serial facade for the rationale).
-                if history.journal_enabled() {
-                    for m in &outcome.metrics {
-                        if !m.is_load {
-                            history.journal_event(DurableEvent::Observe {
-                                op: m.op,
-                                task: m.task,
-                                impl_index: m.impl_index,
-                                input_cells: m.input_cells,
-                                seconds: m.cost_seconds,
-                            });
-                        }
+    /// Execute a planned augmentation and absorb its outcome: run the plan
+    /// on the wavefront executor (or the virtual clock), record into
+    /// history/estimator, journal durable events, and materialize — all
+    /// under the fixed history → estimator write-lock order. Shared by
+    /// [`run_shared`](SharedHyppo::run_shared) (which wraps it in the
+    /// eviction-race replan loop) and
+    /// [`submit_batch_shared`](SharedHyppo::submit_batch_shared) (which
+    /// plans the whole batch up front and finishes items in order).
+    fn execute_and_record(
+        &self,
+        aug: &Augmentation,
+        costs: &[f64],
+        plan: &Plan,
+        workers: usize,
+        optimize_seconds: f64,
+    ) -> Result<(RunReport, WavefrontMetrics), SubmitError> {
+        // Execute without holding any coarse lock.
+        let executed = if self.config.mode == ExecMode::Real {
+            execute_plan_parallel(aug, &plan.edges, &self.store, workers)
+        } else {
+            execute_plan(aug, &plan.edges, &self.store, ExecMode::Simulated, costs).map(|outcome| {
+                let wave = WavefrontMetrics {
+                    workers: 1,
+                    dispatched: outcome.metrics.len(),
+                    peak_concurrency: 1,
+                    wall_seconds: outcome.total_seconds,
+                    task_seconds: outcome.total_seconds,
+                };
+                crate::executor::ParallelOutcome { outcome, metrics: wave }
+            })
+        };
+        let parallel = executed.map_err(SubmitError::Exec)?;
+        let outcome = parallel.outcome;
+        let target_names: Vec<ArtifactName> =
+            aug.targets.iter().map(|&t| aug.graph.node(t).name).collect();
+
+        // Record + materialize under write locks: history → estimator.
+        let (report_mat, durable) = {
+            let mut history = self.locked_history();
+            let start = Instant::now();
+            let mut estimator = self.estimator.write().unwrap_or_else(|e| e.into_inner());
+            self.record_wait(start);
+            record_outcome(aug, &outcome, &target_names, &mut history, &mut estimator);
+            // Mirror estimator observations into the durable event
+            // stream (see the serial facade for the rationale).
+            if history.journal_enabled() {
+                for m in &outcome.metrics {
+                    if !m.is_load {
+                        history.journal_event(DurableEvent::Observe {
+                            op: m.op,
+                            task: m.task,
+                            impl_index: m.impl_index,
+                            input_cells: m.input_cells,
+                            seconds: m.cost_seconds,
+                        });
                     }
                 }
-                let report_mat = if self.config.budget_bytes > 0 {
-                    let materializer = Materializer::new(MaterializeConfig {
-                        budget_bytes: self.config.budget_bytes,
-                        locality: self.config.locality,
-                    });
-                    materializer.run(
-                        &mut history,
-                        &mut self.store.clone(),
-                        &estimator,
-                        &outcome.artifacts,
-                    )
-                } else {
-                    Default::default()
-                };
-                // Drain before releasing the write lock: WAL order must be
-                // the lock-acquisition (linearization) order.
-                let durable = self.drain_events(&mut history);
-                (report_mat, durable)
+            }
+            let report_mat = if self.config.budget_bytes > 0 {
+                let materializer = Materializer::new(MaterializeConfig {
+                    budget_bytes: self.config.budget_bytes,
+                    locality: self.config.locality,
+                });
+                materializer.run(
+                    &mut history,
+                    &mut self.store.clone(),
+                    &estimator,
+                    &outcome.artifacts,
+                )
+            } else {
+                Default::default()
             };
-            durable.map_err(SubmitError::Durability)?;
+            // Drain before releasing the write lock: WAL order must be
+            // the lock-acquisition (linearization) order.
+            let durable = self.drain_events(&mut history);
+            (report_mat, durable)
+        };
+        durable.map_err(SubmitError::Durability)?;
 
-            *self.cumulative_seconds.lock().unwrap_or_else(|e| e.into_inner()) +=
-                outcome.total_seconds;
-            let values: HashMap<ArtifactName, f64> =
-                target_names.iter().filter_map(|&n| outcome.value(n).map(|v| (n, v))).collect();
-            let report = RunReport {
-                planned_cost: plan.cost,
-                execution_seconds: outcome.total_seconds,
-                optimize_seconds,
-                tasks_executed: outcome.metrics.len(),
-                loads: outcome.metrics.iter().filter(|m| m.is_load).count(),
-                new_tasks: aug.new_tasks.len(),
-                expansions: plan.expansions,
-                pops: plan.pops,
-                stored: report_mat.stored.len(),
-                evicted: report_mat.evicted.len(),
-                values,
-            };
-            return Ok((report, parallel.metrics));
+        *self.cumulative_seconds.lock().unwrap_or_else(|e| e.into_inner()) += outcome.total_seconds;
+        let values: HashMap<ArtifactName, f64> =
+            target_names.iter().filter_map(|&n| outcome.value(n).map(|v| (n, v))).collect();
+        let report = RunReport {
+            planned_cost: plan.cost,
+            execution_seconds: outcome.total_seconds,
+            optimize_seconds,
+            tasks_executed: outcome.metrics.len(),
+            loads: outcome.metrics.iter().filter(|m| m.is_load).count(),
+            new_tasks: aug.new_tasks.len(),
+            expansions: plan.expansions,
+            pops: plan.pops,
+            stored: report_mat.stored.len(),
+            evicted: report_mat.evicted.len(),
+            values,
+        };
+        Ok((report, parallel.metrics))
+    }
+
+    /// Submit K pipelines as one jointly planned batch (the concurrent
+    /// counterpart of [`Hyppo::submit_batch`]): augment and cost-annotate
+    /// all K against one history/estimator read-lock snapshot, plan them
+    /// together via
+    /// [`Planner::plan_batch`](hyppo_core::optimizer::Planner::plan_batch)
+    /// (dedup + shared-prefix bound amortization through the shared bounds
+    /// cache), then execute and record each item in order on `workers`
+    /// wavefront threads.
+    ///
+    /// Planning is all-or-nothing ([`SubmitError::NoPlan`] before anything
+    /// executes). An item that loses a race with eviction — its own batch's
+    /// materialization or a concurrent session's — falls back to a full
+    /// [`submit_shared`](SharedHyppo::submit_shared) replan, counted in
+    /// [`BatchRunReport::replans`].
+    pub fn submit_batch_shared(
+        &self,
+        specs: Vec<PipelineSpec>,
+        workers: usize,
+    ) -> Result<BatchRunReport, SubmitError> {
+        if specs.is_empty() {
+            return Ok(BatchRunReport::default());
         }
+        let stats_before = self.bounds_stats();
+        let opt_start = Instant::now();
+        let pipelines: Vec<_> = specs.into_iter().map(build_pipeline).collect();
+
+        // Augment + annotate every item against ONE snapshot, under the
+        // fixed read-lock order history → estimator.
+        let (augs, costs) = {
+            let start = Instant::now();
+            let history = self.history.read().unwrap_or_else(|e| e.into_inner());
+            self.record_wait(start);
+            let start = Instant::now();
+            // hyppo-lint: allow(nested-lock-acquire) intentional nesting in
+            // the fixed global order history → estimator; every acquisition
+            // site follows it, so no cycle is possible
+            let estimator = self.estimator.read().unwrap_or_else(|e| e.into_inner());
+            self.record_wait(start);
+            let augs: Vec<Augmentation> = pipelines
+                .iter()
+                .map(|p| {
+                    augment::augment(p, &history, &self.config.dictionary, self.config.augment)
+                })
+                .collect();
+            let costs: Vec<Vec<f64>> =
+                augs.iter().map(|a| annotate_costs(a, &estimator, &self.store)).collect();
+            (augs, costs)
+        };
+        let planner = self.config.search.clone().bounds_cache(Arc::clone(&self.bounds_cache));
+        let items: Vec<BatchItem<'_, _, _>> = augs
+            .iter()
+            .zip(&costs)
+            .map(|(a, c)| {
+                BatchItem::new(
+                    &a.graph,
+                    PlanRequest::new(c, a.source, &a.targets).with_new_tasks(&a.new_tasks),
+                )
+            })
+            .collect();
+        let batch = planner.plan_batch(&items);
+        drop(items);
+        let plans: Vec<Plan> = batch
+            .plans
+            .iter()
+            .map(|p| p.clone().ok_or(SubmitError::NoPlan))
+            .collect::<Result<_, _>>()?;
+        let shared_artifacts: Vec<ArtifactName> = batch
+            .shared_edges
+            .iter()
+            .filter(|e| e.index() < augs[0].graph.edge_bound())
+            .flat_map(|&e| augs[0].graph.edge_ref(e).head.iter())
+            .map(|&n| augs[0].graph.node(n).name)
+            .collect();
+        let optimize_share = opt_start.elapsed().as_secs_f64() / augs.len() as f64;
+
+        let mut reports = Vec::with_capacity(augs.len());
+        let mut replans = 0usize;
+        for (i, (aug, plan)) in augs.iter().zip(&plans).enumerate() {
+            match self.execute_and_record(aug, &costs[i], plan, workers, optimize_share) {
+                Ok((report, _)) => reports.push(report),
+                Err(SubmitError::Exec(ExecError::MissingArtifact(_))) => {
+                    // Eviction (this batch's own materialization or a
+                    // concurrent session's) invalidated the snapshot plan;
+                    // fall back to the full replan loop.
+                    replans += 1;
+                    let (report, _) = self.run_shared(workers, |history| {
+                        Some(augment::augment(
+                            &pipelines[i],
+                            history,
+                            &self.config.dictionary,
+                            self.config.augment,
+                        ))
+                    })?;
+                    reports.push(report);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let bounds_delta = self.bounds_stats().delta_since(&stats_before);
+        Ok(BatchRunReport { reports, batch: batch.stats, bounds_delta, shared_artifacts, replans })
     }
 
     /// Run every session on its own thread against this shared state.
@@ -547,6 +665,10 @@ impl<T: std::borrow::Borrow<SharedHyppo>> Session for SharedSession<T> {
 
     fn submit(&mut self, spec: PipelineSpec) -> Result<RunReport, SubmitError> {
         self.backend().submit_shared(spec, self.workers).map(|(report, _)| report)
+    }
+
+    fn submit_batch(&mut self, specs: Vec<PipelineSpec>) -> Result<Vec<RunReport>, SubmitError> {
+        self.backend().submit_batch_shared(specs, self.workers).map(|b| b.reports)
     }
 
     fn retrieve(&mut self, names: &[ArtifactName]) -> Result<RunReport, SubmitError> {
@@ -700,6 +822,58 @@ mod tests {
         // drift recomputes — all three are legitimate here).
         assert!(stats.misses >= 1);
         assert!(stats.hits + stats.misses + stats.repairs >= 2);
+    }
+
+    #[test]
+    fn batch_submission_plans_jointly_and_executes_in_order() {
+        let shared = SharedHyppo::new(config(64 * 1024 * 1024));
+        shared.register_dataset("taxi", taxi::generate(300, 5));
+        // Duplicates in the batch: items 0 and 2 are the same spec, so the
+        // joint planner collapses them into one group.
+        let specs = vec![
+            wide_ensemble_spec("taxi", 3, 7),
+            wide_ensemble_spec("taxi", 4, 8),
+            wide_ensemble_spec("taxi", 3, 7),
+        ];
+        let batch = shared.submit_batch_shared(specs, 2).unwrap();
+        assert_eq!(batch.reports.len(), 3);
+        assert_eq!(batch.batch.items, 3);
+        assert_eq!(batch.batch.groups, 2, "duplicate specs dedup into one group");
+        assert_eq!(batch.batch.deduped, 1);
+        assert_eq!(
+            batch.reports[0].planned_cost.to_bits(),
+            batch.reports[2].planned_cost.to_bits(),
+            "deduped items carry the identical plan"
+        );
+        assert!(batch.reports.iter().all(|r| r.tasks_executed > 0));
+        // The per-batch delta never exceeds the cumulative counters.
+        let total = shared.bounds_stats();
+        assert!(batch.bounds_delta.misses <= total.misses);
+        assert!(batch.bounds_delta.batch_leaf_repairs <= total.batch_leaf_repairs);
+    }
+
+    #[test]
+    fn shared_session_batch_submission_matches_sequential_plans() {
+        // Same specs through both paths, against equally fresh backends:
+        // planner bit-identity lifts to identical planned costs.
+        let specs = || vec![wide_ensemble_spec("taxi", 3, 7), wide_ensemble_spec("taxi", 4, 8)];
+        let mut sequential = SharedSession::new(SharedHyppo::new(config(0)), 2);
+        sequential.register_dataset("taxi", taxi::generate(300, 5));
+        let seq: Vec<f64> = specs()
+            .into_iter()
+            .map(|s| {
+                let fresh = SharedSession::new(SharedHyppo::new(config(0)), 2);
+                fresh.backend().register_dataset("taxi", taxi::generate(300, 5));
+                fresh.backend().submit_shared(s, 2).unwrap().0.planned_cost
+            })
+            .collect();
+        let mut batched = SharedSession::new(SharedHyppo::new(config(0)), 2);
+        batched.register_dataset("taxi", taxi::generate(300, 5));
+        let reports = Session::submit_batch(&mut batched, specs()).unwrap();
+        assert_eq!(reports.len(), 2);
+        for (r, s) in reports.iter().zip(&seq) {
+            assert_eq!(r.planned_cost.to_bits(), s.to_bits());
+        }
     }
 
     #[test]

@@ -14,13 +14,17 @@
 //! - [`ensemble_wl`] — Scenario-3 workloads extending past TAXI pipelines
 //!   with voting/stacking ensembles over previously trained models;
 //! - [`synthetic`] — the synthetic hypergraph generator of the scalability
-//!   study (§V-B5: parameters `n` = #artifacts and `m` = #alternatives).
+//!   study (§V-B5: parameters `n` = #artifacts and `m` = #alternatives);
+//! - [`sweep`] — the hyperparameter-sweep generator: K pipelines varying
+//!   only the model stage over a fixed grid, the batch-planning workload.
 
 pub mod ensemble_wl;
 pub mod generator;
 pub mod higgs;
+pub mod sweep;
 pub mod synthetic;
 pub mod taxi;
 
 pub use generator::{PipelineTemplate, SequenceConfig, UseCase};
+pub use sweep::{generate_sweep, sweep_specs, SweepConfig};
 pub use synthetic::{generate_synthetic, SyntheticGraph};

@@ -1,0 +1,193 @@
+//! Hyperparameter-sweep workload generator.
+//!
+//! A sweep is the batch-planning stress case: K pipelines produced from one
+//! base template by varying only the *model stage* configuration, so every
+//! pipeline shares the full preprocessing prefix (load → split → impute →
+//! feature engineering → scale) and differs only in the final fit / predict /
+//! evaluate tail. Submitted together through `Planner::plan_batch`, the
+//! shared prefix is planned once and each leaf is patched forward.
+//!
+//! The grid is fixed and ordered so that the first points include
+//! configurations the cost model cannot distinguish (e.g. `LinearSvm` with
+//! different `c`, `Ridge`/`Lasso` with different `alpha`) — deliberate
+//! duplicates from the planner's point of view, exercising batch dedup the
+//! way real sweeps do. `seed` rotates the starting offset into the grid and
+//! fixes the shared split seed; `k` larger than the grid wraps around,
+//! producing exact template duplicates.
+
+use crate::generator::{PipelineTemplate, UseCase};
+use hyppo_ml::{Config, LogicalOp};
+use hyppo_pipeline::PipelineSpec;
+
+/// Sweep-generation parameters.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Use case (decides the base template and the model grid).
+    pub use_case: UseCase,
+    /// Dataset id in the store.
+    pub dataset_id: String,
+    /// Number of configurations in the sweep.
+    pub k: usize,
+    /// Seed: fixes the shared split seed and rotates the grid offset.
+    pub seed: u64,
+}
+
+/// The fixed model-stage grid for a use case: `(op, config, impl)` points.
+fn model_grid(use_case: UseCase) -> Vec<(LogicalOp, Config, usize)> {
+    match use_case {
+        UseCase::Higgs => {
+            let mut grid = Vec::new();
+            // Cost-identical trio first: the estimator's LinearSvm formula
+            // ignores `c`, so these three plan identically and batch dedup
+            // collapses them.
+            for c in [0.1, 1.0, 10.0] {
+                let cfg = Config::new().with_f("c", c).with_i("epochs", 12);
+                grid.push((LogicalOp::LinearSvm, cfg, 0));
+            }
+            grid.push((
+                LogicalOp::LinearSvm,
+                Config::new().with_f("c", 1.0).with_i("epochs", 8),
+                0,
+            ));
+            for iters in [8i64, 12] {
+                let cfg = Config::new().with_i("iters", iters).with_i("epochs", 25);
+                grid.push((LogicalOp::LogisticRegression, cfg, 0));
+            }
+            for n_trees in [10i64, 20, 40] {
+                for max_depth in [6i64, 8] {
+                    let cfg = Config::new()
+                        .with_i("n_trees", n_trees)
+                        .with_i("max_depth", max_depth)
+                        .with_i("seed", 1);
+                    grid.push((LogicalOp::RandomForest, cfg, 0));
+                }
+            }
+            for n_rounds in [10i64, 20, 40] {
+                let cfg = Config::new().with_i("n_rounds", n_rounds).with_i("max_depth", 3);
+                grid.push((LogicalOp::GradientBoosting, cfg, 0));
+            }
+            grid
+        }
+        UseCase::Taxi => {
+            let mut grid = Vec::new();
+            // Cost-identical trios first: Ridge/Lasso cost formulas ignore
+            // `alpha`.
+            for alpha in [0.1, 1.0, 75.0] {
+                grid.push((LogicalOp::Ridge, Config::new().with_f("alpha", alpha), 0));
+            }
+            for alpha in [0.1, 1.0, 75.0] {
+                grid.push((LogicalOp::Lasso, Config::new().with_f("alpha", alpha), 0));
+            }
+            grid.push((LogicalOp::LinearRegression, Config::new(), 0));
+            for n_trees in [10i64, 20, 40] {
+                for max_depth in [6i64, 8] {
+                    let cfg = Config::new()
+                        .with_i("n_trees", n_trees)
+                        .with_i("max_depth", max_depth)
+                        .with_i("seed", 1);
+                    grid.push((LogicalOp::RandomForest, cfg, 0));
+                }
+            }
+            for n_rounds in [10i64, 20, 40] {
+                let cfg = Config::new().with_i("n_rounds", n_rounds).with_i("max_depth", 3);
+                grid.push((LogicalOp::GradientBoosting, cfg, 0));
+            }
+            grid
+        }
+    }
+}
+
+/// Generate the K templates of a sweep.
+///
+/// All templates share the base preprocessing prefix and split seed; only the
+/// model stage varies, cycling through the fixed grid starting at an offset
+/// derived from `seed`. `k` beyond the grid size wraps, yielding exact
+/// duplicates (as real sweep tooling resubmitting a refined grid would).
+pub fn generate_sweep(cfg: &SweepConfig) -> Vec<PipelineTemplate> {
+    let base = PipelineTemplate::base(cfg.use_case, &cfg.dataset_id, (cfg.seed % 1000) as i64);
+    let grid = model_grid(cfg.use_case);
+    let offset = (cfg.seed as usize) % grid.len();
+    (0..cfg.k)
+        .map(|i| {
+            let mut t = base.clone();
+            t.model = grid[(offset + i) % grid.len()].clone();
+            t
+        })
+        .collect()
+}
+
+/// Convenience: generate the sweep and build each template's spec.
+pub fn sweep_specs(cfg: &SweepConfig) -> Vec<PipelineSpec> {
+    generate_sweep(cfg).iter().map(PipelineTemplate::to_spec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(use_case: UseCase, k: usize, seed: u64) -> SweepConfig {
+        SweepConfig { use_case, dataset_id: "d".to_string(), k, seed }
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_and_seed_rotated() {
+        let a = generate_sweep(&cfg(UseCase::Higgs, 16, 0));
+        let b = generate_sweep(&cfg(UseCase::Higgs, 16, 0));
+        let c = generate_sweep(&cfg(UseCase::Higgs, 16, 1));
+        assert_eq!(a, b);
+        assert_ne!(a[0], c[0], "seed rotates the grid offset");
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn sweep_varies_only_the_model_stage() {
+        for use_case in [UseCase::Higgs, UseCase::Taxi] {
+            let sweep = generate_sweep(&cfg(use_case, 12, 7));
+            for t in &sweep {
+                assert_eq!(t.split_seed, sweep[0].split_seed);
+                assert_eq!(t.imputer, sweep[0].imputer);
+                assert_eq!(t.scaler, sweep[0].scaler);
+                assert_eq!(t.poly, sweep[0].poly);
+                assert_eq!(t.pca, sweep[0].pca);
+            }
+            let models: std::collections::BTreeSet<String> =
+                sweep.iter().map(|t| format!("{:?}", t.model)).collect();
+            assert!(models.len() > 1, "models must actually vary");
+        }
+    }
+
+    #[test]
+    fn oversized_sweeps_wrap_with_exact_duplicates() {
+        let sweep = generate_sweep(&cfg(UseCase::Taxi, 40, 0));
+        let distinct: std::collections::BTreeSet<String> =
+            sweep.iter().map(|t| format!("{t:?}")).collect();
+        assert!(distinct.len() < sweep.len(), "k beyond the grid must wrap");
+        // Wrap-around repeats the grid in order: one full cycle later the
+        // same template reappears.
+        assert_eq!(sweep[0], sweep[distinct.len()]);
+    }
+
+    #[test]
+    fn seed_zero_sweep_opens_with_cost_identical_configs() {
+        // The estimator ignores LinearSvm `c` and Ridge `alpha`, so the
+        // leading trio of each grid is indistinguishable to the planner —
+        // the dedup path in `plan_batch` relies on such groups existing.
+        let higgs = generate_sweep(&cfg(UseCase::Higgs, 3, 0));
+        for t in &higgs {
+            assert_eq!(t.model.0, LogicalOp::LinearSvm);
+        }
+        let taxi = generate_sweep(&cfg(UseCase::Taxi, 3, 0));
+        for t in &taxi {
+            assert_eq!(t.model.0, LogicalOp::Ridge);
+        }
+    }
+
+    #[test]
+    fn sweep_specs_build_and_share_prefix_names() {
+        let specs = sweep_specs(&cfg(UseCase::Higgs, 4, 0));
+        assert_eq!(specs.len(), 4);
+        for s in &specs {
+            assert!(s.len() >= 11);
+        }
+    }
+}

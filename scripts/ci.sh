@@ -19,6 +19,13 @@ cargo test --workspace --offline -q
 echo "== parallel-planner equivalence suite (HYPPO_PLANNER_THREADS=4) =="
 HYPPO_PLANNER_THREADS=4 cargo test --offline -q --test planner_parallel_equivalence
 
+echo "== sweep == batch-planning equivalence suite (HYPPO_PLANNER_THREADS=4)"
+# Batch-vs-sequential bit-identity (tests/batch_planning_props.rs): jointly
+# planned sweeps must emit exactly the plans sequential submission would,
+# while amortizing bound computation — checked with the env-default planner
+# forced to 4 workers on top of the suite's own {1, 4} thread matrix.
+HYPPO_PLANNER_THREADS=4 cargo test --offline -q --test batch_planning_props
+
 echo "== persist: crash-recovery property suite =="
 # Durability gate (crates/persist, DESIGN.md §12): recovery must be
 # bit-identical across 100+ seeded sessions, at every WAL record boundary,

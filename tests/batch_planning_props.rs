@@ -1,0 +1,303 @@
+//! The batch-planning contract, end to end: for random sweep-like batches
+//! (K graphs grown differently from one shared base, with deliberate exact
+//! duplicates), `Planner::plan_batch` emits per-item plans bit-identical to
+//! what sequential `plan()` calls produce — at planner threads 1 and 4, with
+//! and without an attached `PlannerBoundsCache` — while performing strictly
+//! fewer full bound computations than sequential submission.
+//!
+//! K ∈ {2, 8, 32} × 34 seeds each = 102 random batches checked per thread
+//! count.
+
+use hyppo::core::optimizer::{PlanRequest, Planner};
+use hyppo::core::{BatchItem, PlannerBoundsCache};
+use hyppo::hypergraph::{HyperGraph, NodeId};
+use hyppo::tensor::SeededRng;
+use std::sync::Arc;
+
+type G = HyperGraph<u32, ()>;
+/// One batch member: its grown graph, edge costs, and plan targets.
+type Instance = (G, Vec<f64>, Vec<NodeId>);
+
+const SEEDS_PER_K: u64 = 34;
+const KS: [usize; 3] = [2, 8, 32];
+
+fn add(g: &mut G, costs: &mut Vec<f64>, t: Vec<NodeId>, h: Vec<NodeId>, c: f64) {
+    let e = g.add_edge(t, h, ());
+    costs.resize(e.index() + 1, 0.0);
+    costs[e.index()] = c;
+}
+
+fn random_tail(rng: &mut SeededRng, nodes: &[NodeId]) -> Vec<NodeId> {
+    let n_tail = 1 + rng.index(2.min(nodes.len()));
+    let mut tail: Vec<NodeId> = (0..n_tail).map(|_| nodes[rng.index(nodes.len())]).collect();
+    tail.sort_unstable();
+    tail.dedup();
+    tail
+}
+
+/// Shared base: random layered DAG with AND-tails and OR-alternatives (same
+/// family as the bound-repair and parallel-equivalence suites).
+fn base_instance(rng: &mut SeededRng) -> (G, Vec<f64>, NodeId, Vec<NodeId>) {
+    let mut g = G::new();
+    let s = g.add_node(0);
+    let mut nodes = vec![s];
+    let mut costs = Vec::new();
+    let n_rounds = 3 + rng.index(4);
+    for i in 0..n_rounds {
+        let v = g.add_node(i as u32 + 1);
+        let n_alts = 1 + rng.index(2);
+        for _ in 0..n_alts {
+            let tail = random_tail(rng, &nodes);
+            add(&mut g, &mut costs, tail, vec![v], (1 + rng.index(20)) as f64);
+        }
+        nodes.push(v);
+    }
+    (g, costs, s, nodes)
+}
+
+/// One sweep leaf: grow a clone of the base with a seeded suffix (new
+/// artifacts, extra alternatives), the way a sweep config appends its model
+/// stage after the shared preprocessing prefix.
+fn grow(seed: u64, g: &mut G, costs: &mut Vec<f64>, nodes: &mut Vec<NodeId>) {
+    let mut rng = SeededRng::new(0xba7c ^ seed);
+    let n_inserts = 1 + rng.index(4);
+    for _ in 0..n_inserts {
+        match rng.index(3) {
+            0 => {
+                let v = g.add_node(1000);
+                let tail = random_tail(&mut rng, nodes);
+                add(g, costs, tail, vec![v], (1 + rng.index(20)) as f64);
+                nodes.push(v);
+            }
+            1 => {
+                let i = 1 + rng.index(nodes.len() - 1);
+                let v = nodes[i];
+                let tail = random_tail(&mut rng, &nodes[..i]);
+                add(g, costs, tail, vec![v], (1 + rng.index(20)) as f64);
+            }
+            _ => {
+                let j = 1 + rng.index(nodes.len() - 1);
+                let w = nodes[j];
+                let tail = random_tail(&mut rng, &nodes[..j]);
+                let v = g.add_node(2000);
+                add(g, costs, tail, vec![v, w], (1 + rng.index(20)) as f64);
+            }
+        }
+    }
+}
+
+/// A sweep-like batch: K clones of one base, each grown with its own seed —
+/// except every 4th item, which reuses the previous item's growth seed and
+/// is therefore an exact duplicate planning problem (identical structure
+/// signature, costs, and target), exercising batch dedup the way repeated
+/// grid points do.
+fn sweep_batch(seed: u64, k: usize) -> (NodeId, Vec<Instance>) {
+    let mut rng = SeededRng::new(0x5eed ^ seed);
+    let (base, base_costs, s, base_nodes) = base_instance(&mut rng);
+    let items = (0..k)
+        .map(|i| {
+            let growth_seed =
+                if i % 4 == 3 { seed * 1000 + i as u64 - 1 } else { seed * 1000 + i as u64 };
+            let mut g = base.clone();
+            let mut costs = base_costs.clone();
+            let mut nodes = base_nodes.clone();
+            grow(growth_seed, &mut g, &mut costs, &mut nodes);
+            let target = vec![*nodes.last().unwrap()];
+            (g, costs, target)
+        })
+        .collect();
+    (s, items)
+}
+
+/// Batch plans ≡ sequential plans — bit-identical edges and IEEE-754 cost
+/// bits for K ∈ {2, 8, 32} across 34 seeds each, at threads 1 and 4. At one
+/// thread the search counters (expansions, pops) must match too: the batch
+/// path runs the *same* serial search over the same bounds.
+#[test]
+fn batch_plans_are_bit_identical_to_sequential_plans() {
+    let mut batches = 0usize;
+    for k in KS {
+        for seed in 0..SEEDS_PER_K {
+            let (s, instances) = sweep_batch(seed, k);
+            for threads in [1usize, 4] {
+                let planner = Planner::exact().threads(threads);
+                let items: Vec<BatchItem<'_, u32, ()>> = instances
+                    .iter()
+                    .map(|(g, costs, target)| BatchItem::new(g, PlanRequest::new(costs, s, target)))
+                    .collect();
+                let batch = planner.plan_batch(&items);
+                assert_eq!(batch.stats.items, k);
+                for (i, (g, costs, target)) in instances.iter().enumerate() {
+                    let seq = planner.plan(g, PlanRequest::new(costs, s, target));
+                    match (&batch.plans[i], &seq) {
+                        (Some(b), Some(q)) => {
+                            assert_eq!(
+                                b.edges, q.edges,
+                                "seed {seed} k {k} item {i} threads {threads}"
+                            );
+                            assert_eq!(
+                                b.cost.to_bits(),
+                                q.cost.to_bits(),
+                                "seed {seed} k {k} item {i} threads {threads}"
+                            );
+                            if threads == 1 {
+                                assert_eq!(
+                                    (b.expansions, b.pops),
+                                    (q.expansions, q.pops),
+                                    "seed {seed} k {k} item {i}: serial search effort"
+                                );
+                            }
+                        }
+                        (None, None) => {}
+                        other => panic!(
+                            "seed {seed} k {k} item {i} threads {threads}: feasibility {other:?}"
+                        ),
+                    }
+                }
+                // Every 4th item is a deliberate duplicate of its
+                // predecessor; dedup must find at least those.
+                assert!(
+                    batch.stats.deduped >= k / 4,
+                    "seed {seed} k {k} threads {threads}: deduped {} < {}",
+                    batch.stats.deduped,
+                    k / 4
+                );
+            }
+            batches += 1;
+        }
+    }
+    assert_eq!(batches, KS.len() * SEEDS_PER_K as usize);
+}
+
+/// Default-threaded planners (the ones `HYPPO_PLANNER_THREADS` steers — the
+/// CI sweep stage runs this suite under that env var set to 4) agree with
+/// the serial reference through the batch path.
+#[test]
+fn batch_plans_honor_the_thread_env_default() {
+    for seed in 0..SEEDS_PER_K {
+        let (s, instances) = sweep_batch(seed, 8);
+        let planner = Planner::exact();
+        let items: Vec<BatchItem<'_, u32, ()>> = instances
+            .iter()
+            .map(|(g, costs, target)| BatchItem::new(g, PlanRequest::new(costs, s, target)))
+            .collect();
+        let batch = planner.plan_batch(&items);
+        let reference = Planner::exact().threads(1);
+        for (i, (g, costs, target)) in instances.iter().enumerate() {
+            let seq = reference.plan(g, PlanRequest::new(costs, s, target));
+            match (&batch.plans[i], &seq) {
+                (Some(b), Some(q)) => {
+                    assert_eq!(b.edges, q.edges, "seed {seed} item {i}");
+                    assert_eq!(b.cost.to_bits(), q.cost.to_bits(), "seed {seed} item {i}");
+                }
+                (None, None) => {}
+                other => panic!("seed {seed} item {i}: feasibility {other:?}"),
+            }
+        }
+    }
+}
+
+/// Amortization: with a bounds cache attached, planning the batch jointly
+/// performs at most as many full bound computations (cache misses) as
+/// sequential submission with an identical fresh cache — and strictly fewer
+/// whenever the batch holds several distinct problems sharing the base
+/// prefix. This is the counter-level statement of the "compute the shared
+/// bounds once, patch per leaf" design.
+#[test]
+fn batch_planning_amortizes_bound_computations() {
+    let mut strict = 0usize;
+    for k in KS {
+        for seed in 0..SEEDS_PER_K {
+            let (s, instances) = sweep_batch(seed, k);
+
+            let seq_cache = Arc::new(PlannerBoundsCache::new());
+            let seq_planner = Planner::exact().threads(1).bounds_cache(Arc::clone(&seq_cache));
+            for (g, costs, target) in &instances {
+                seq_planner.plan(g, PlanRequest::new(costs, s, target));
+            }
+
+            let batch_cache = Arc::new(PlannerBoundsCache::new());
+            let batch_planner = Planner::exact().threads(1).bounds_cache(Arc::clone(&batch_cache));
+            let items: Vec<BatchItem<'_, u32, ()>> = instances
+                .iter()
+                .map(|(g, costs, target)| BatchItem::new(g, PlanRequest::new(costs, s, target)))
+                .collect();
+            let batch = batch_planner.plan_batch(&items);
+
+            assert!(
+                batch_cache.misses() <= seq_cache.misses(),
+                "seed {seed} k {k}: batch misses {} > sequential {}",
+                batch_cache.misses(),
+                seq_cache.misses()
+            );
+            if batch.stats.groups >= 2 && batch.stats.shared_hits > 0 {
+                assert!(
+                    batch_cache.misses() < seq_cache.misses(),
+                    "seed {seed} k {k}: shared prefixes must amortize"
+                );
+                strict += 1;
+            }
+            // Batch counters are mirrored into the cache.
+            assert_eq!(batch_cache.batch_shared_hits(), batch.stats.shared_hits);
+            assert_eq!(batch_cache.batch_leaf_repairs(), batch.stats.leaf_repairs);
+        }
+    }
+    assert!(strict > 0, "no batch ever shared a prefix — generator broken");
+}
+
+/// A batch with a cache attached seeds it: later sequential lookups of the
+/// same problems hit without recomputing or repairing. K = 8 stays inside
+/// the cache capacity so every leaf's entry survives.
+#[test]
+fn batch_seeds_the_cache_for_later_sequential_submissions() {
+    for seed in 0..10u64 {
+        let (s, instances) = sweep_batch(seed, 8);
+        let cache = Arc::new(PlannerBoundsCache::new());
+        let planner = Planner::exact().threads(1).bounds_cache(Arc::clone(&cache));
+        let items: Vec<BatchItem<'_, u32, ()>> = instances
+            .iter()
+            .map(|(g, costs, target)| BatchItem::new(g, PlanRequest::new(costs, s, target)))
+            .collect();
+        planner.plan_batch(&items);
+
+        let before = cache.stats();
+        for (g, costs, target) in &instances {
+            planner.plan(g, PlanRequest::new(costs, s, target));
+        }
+        let delta = cache.stats().delta_since(&before);
+        assert_eq!(delta.misses, 0, "seed {seed}: resubmission must not recompute");
+        assert_eq!(delta.repairs, 0, "seed {seed}: resubmission must not repair");
+        assert_eq!(delta.hits, instances.len(), "seed {seed}: every lookup hits");
+    }
+}
+
+/// Regression: `PlannerBoundsCache` hit counts across identical-structure
+/// resubmissions are pinned. Independently rebuilding the same instance R
+/// times (fresh graph objects, same construction sequence) must produce one
+/// miss and R−1 exact hits — zero repairs. Guards against cache-key drift
+/// (structure signature, cost fingerprint, or source index changing shape)
+/// silently reintroducing per-submission bound recomputation.
+#[test]
+fn identical_structure_resubmissions_pin_cache_hit_counts() {
+    const REBUILDS: usize = 5;
+    for seed in 0..20u64 {
+        let cache = Arc::new(PlannerBoundsCache::new());
+        let planner = Planner::exact().threads(1).bounds_cache(Arc::clone(&cache));
+        let mut reference: Option<(Vec<hyppo::hypergraph::EdgeId>, u64)> = None;
+        for rebuild in 0..REBUILDS {
+            // Rebuild from scratch each time: new ids, same structure.
+            let mut rng = SeededRng::new(0xf17e ^ seed);
+            let (g, costs, s, nodes) = base_instance(&mut rng);
+            let target = vec![*nodes.last().unwrap()];
+            let plan = planner.plan(&g, PlanRequest::new(&costs, s, &target)).unwrap();
+            let key = (plan.edges.clone(), plan.cost.to_bits());
+            match &reference {
+                None => reference = Some(key),
+                Some(r) => assert_eq!(r, &key, "seed {seed} rebuild {rebuild}"),
+            }
+        }
+        assert_eq!(cache.misses(), 1, "seed {seed}: exactly one compute");
+        assert_eq!(cache.hits(), REBUILDS - 1, "seed {seed}: every rebuild hits");
+        assert_eq!(cache.repairs(), 0, "seed {seed}: nothing to repair");
+    }
+}
