@@ -37,7 +37,11 @@ pub struct TaskMetric {
     pub impl_index: usize,
     /// Measured (Real) or estimated (Simulated) cost in seconds.
     pub cost_seconds: f64,
-    /// Total input cells (statistics bucket key).
+    /// Total input cells (statistics bucket key), or **0 in Simulated
+    /// mode**: a virtual-clock cost is the estimator's own prediction, and
+    /// feeding it back as an observation — in whatever bucket — would make
+    /// the estimator learn from itself. The monitor skips `input_cells == 0`
+    /// metrics when updating cost statistics.
     pub input_cells: u64,
     /// Whether this was a load edge.
     pub is_load: bool,
@@ -134,7 +138,7 @@ pub fn execute_plan(
                 task: label.task,
                 impl_index: label.impl_index,
                 cost_seconds: cost,
-                input_cells: 1,
+                input_cells: 0,
                 is_load: label.is_load(),
             });
             outcome.total_seconds += cost;

@@ -47,13 +47,22 @@ pub fn record_outcome(
             }
             continue;
         }
-        estimator.observe(
-            metric.op,
-            metric.task,
-            metric.impl_index,
-            metric.input_cells,
-            metric.cost_seconds,
-        );
+        // Simulated executions report `input_cells == 0`: their "cost" is
+        // the estimator's own prediction on a virtual clock. Recording it
+        // would bucket the observation at size 1 while planning looks up
+        // the task's true bucket, so every later estimate gets scaled up
+        // by the bucket distance, re-observed, and scaled again — learned
+        // costs then diverge exponentially (to `inf` after a few hundred
+        // submissions) and the planner starts returning `NoPlan`.
+        if metric.input_cells > 0 {
+            estimator.observe(
+                metric.op,
+                metric.task,
+                metric.impl_index,
+                metric.input_cells,
+                metric.cost_seconds,
+            );
+        }
         // Merge the task and its products into the history.
         let input_names: Vec<ArtifactName> =
             aug.graph.tail(e).iter().map(|&v| aug.graph.node(v).name).collect();
@@ -158,5 +167,25 @@ mod tests {
         record_outcome(&a, &outcome, &[], &mut history, &mut estimator);
         assert_eq!(history.graph.node_count(), nodes);
         assert_eq!(history.graph.edge_count(), edges);
+    }
+
+    #[test]
+    fn simulated_metrics_update_history_but_never_the_estimator() {
+        // A virtual-clock cost is the estimator's own prediction; feeding
+        // it back would bucket every observation at size 1 and each later
+        // lookup would scale it up by the bucket distance — learned costs
+        // then diverge exponentially over long simulated sessions.
+        let (a, store) = setup();
+        let plan: Vec<EdgeId> = a.graph.edge_ids().collect();
+        let costs = vec![0.25; a.graph.edge_bound()];
+        let outcome = execute_plan(&a, &plan, &store, ExecMode::Simulated, &costs).unwrap();
+        let mut history = History::new();
+        let mut estimator = CostEstimator::new();
+        let report = record_outcome(&a, &outcome, &[], &mut history, &mut estimator);
+        assert_eq!(report.tasks_recorded, 2, "history still records the tasks");
+        assert!(
+            estimator.stats.is_empty(),
+            "virtual-clock costs must not become learned statistics"
+        );
     }
 }

@@ -119,6 +119,11 @@ pub enum SubmitError {
     /// updated; a crash before the next successful append loses this
     /// submission's history.
     Durability(std::io::Error),
+    /// A serving-layer failure outside the submission itself — admission
+    /// rejection, cancellation, or runtime shutdown. Produced by
+    /// `hyppo-serve` clients driving a backend through the
+    /// [`Session`](crate::Session) trait.
+    Serving(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -127,6 +132,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::NoPlan => write!(f, "no executable plan for the requested targets"),
             SubmitError::Exec(e) => write!(f, "execution failed: {e}"),
             SubmitError::Durability(e) => write!(f, "durability hook failed: {e}"),
+            SubmitError::Serving(e) => write!(f, "serving layer failed: {e}"),
         }
     }
 }

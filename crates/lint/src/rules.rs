@@ -40,23 +40,29 @@ pub const RULE_IDS: &[&str] = &[
 ];
 
 /// Directories whose code must produce bit-identical results under any
-/// thread count: the planner, the runtime, and the hypergraph kernels.
-const DETERMINISM_SCOPE: &[&str] =
-    &["crates/core/src/optimizer/", "crates/runtime/src/", "crates/hypergraph/src/"];
+/// thread count: the planner, the runtime, the serving layer, and the
+/// hypergraph kernels.
+const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/core/src/optimizer/",
+    "crates/runtime/src/",
+    "crates/serve/src/",
+    "crates/hypergraph/src/",
+];
 
 /// Plan-decision code: costs and tie-breaks may never depend on the clock.
 /// (`monitor.rs`, benches, and `RunReport` timing are outside this scope.)
 const PLANNER_SCOPE: &[&str] = &["crates/core/src/optimizer/", "crates/hypergraph/src/"];
 
 /// Concurrency-audited code: atomics and lock nesting carry justifications.
-const CONCURRENCY_SCOPE: &[&str] = &["crates/core/src/optimizer/", "crates/runtime/src/"];
+const CONCURRENCY_SCOPE: &[&str] =
+    &["crates/core/src/optimizer/", "crates/runtime/src/", "crates/serve/src/"];
 
 /// Durability-audited code: the core system and the runtime hold state the
 /// WAL and snapshot recovery must be able to rebuild, so raw filesystem
 /// mutation there either goes through `core::persist::atomic_write` /
 /// `hyppo-persist` or carries a written justification. The persist crate
 /// itself is where such writes belong and is deliberately out of scope.
-const DURABILITY_SCOPE: &[&str] = &["crates/core/src/", "crates/runtime/src/"];
+const DURABILITY_SCOPE: &[&str] = &["crates/core/src/", "crates/runtime/src/", "crates/serve/src/"];
 
 fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
     scope.iter().any(|p| rel_path.starts_with(p))

@@ -12,6 +12,11 @@
 //!   runtime facade) and fsyncs each submission's events before the
 //!   submission returns. Torn or corrupt tails are detected by CRC and
 //!   physically truncated on open.
+//! - [`group`] — [`GroupCommitWal`], the serving-layer variant of the
+//!   hook: concurrent sessions' drained events buffer in commit (epoch)
+//!   order and [`GroupCommitWal::flush_group`] writes each commit group as
+//!   one framed batch — one fsync per group boundary instead of one per
+//!   submission.
 //! - [`store`] — [`DiskArtifactStorage`], a disk-backed
 //!   [`hyppo_core::store::ArtifactStorage`] with byte-budgeted eviction
 //!   ranked by the paper's materializer gain function
@@ -31,10 +36,12 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod group;
 pub mod session;
 pub mod store;
 pub mod wal;
 
+pub use group::{GroupCommitStats, GroupCommitWal};
 pub use session::{DurableHyppo, RecoveryReport};
 pub use store::DiskArtifactStorage;
 pub use wal::{read_wal, WalContents, WalHook, WalWriter, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION};

@@ -1,27 +1,38 @@
 //! Concurrent exploratory sessions over one shared HYPPO state.
 //!
 //! [`SharedHyppo`] is the thread-safe counterpart of the core
-//! [`Hyppo`] facade: history and cost estimator live behind [`RwLock`]s,
-//! artifacts in a sharded [`SharedArtifactStore`], and every submission
-//! runs its plan on the wavefront executor. [`SharedHyppo::run_sessions_concurrent`]
-//! drives N exploratory sessions — each a sequence of pipeline submissions —
-//! on N threads against that single shared state, so one analyst's
-//! materialized artifacts immediately benefit everyone else's plans (the
-//! paper's collaborative-notebook setting).
+//! [`Hyppo`](hyppo_core::Hyppo) facade. The catalog (history hypergraph + learned cost
+//! estimator) lives behind an **epoch-versioned copy-on-write cell**:
+//! every committed submission produces a new immutable
+//! [`CatalogVersion`] with a monotonically increasing epoch, and planners
+//! read through [`SharedHyppo::snapshot`] — a cheap `Arc` clone taken
+//! under a briefly held lock. A planner holding the epoch-`E` snapshot
+//! is **unaffected by commits with epoch > E** (DESIGN.md §14 states and
+//! proves the invariant): concurrent tenants commit augmentations while
+//! other tenants plan, with no reader/writer blocking across the whole
+//! plan search.
 //!
-//! # Locking protocol
+//! Artifacts live in a sharded [`SharedArtifactStore`], and every
+//! submission runs its plan on the wavefront executor. The serving layer
+//! (`hyppo-serve`) drives many tenant sessions against one `SharedHyppo`
+//! through mailbox actors; this crate remains the embedded backend.
 //!
-//! Planning takes the history and estimator *read* locks; recording and
-//! materialization take both *write* locks, always acquiring history before
-//! estimator — one fixed order, no deadlock. Materialization runs inside
-//! that critical section so budget accounting (`used_bytes` vs budget)
-//! is never interleaved between sessions.
+//! # Commit protocol
+//!
+//! Planning touches no lock beyond the snapshot grab. A commit takes the
+//! catalog write lock, clones the current version only if snapshots are
+//! still outstanding (`Arc::make_mut`), applies the mutation
+//! (record + materialize), bumps the epoch, and drains journaled durable
+//! events into the attached [`DurabilityHook`] **inside the write-lock
+//! critical section** — so WAL append order is the commit (epoch) order,
+//! and the epoch boundary is the WAL linearization point.
 //!
 //! Concurrent eviction can still invalidate a plan *between* planning and
 //! execution: session A plans a load of an artifact that session B evicts
 //! first. The executor surfaces this as a missing-artifact error and the
-//! driver simply replans — the eviction already cleared the history flag,
-//! so the new plan routes around the evicted artifact.
+//! driver simply replans from a fresh snapshot — the eviction already
+//! cleared the history flag, so the new plan routes around the evicted
+//! artifact.
 
 use crate::executor::{execute_plan_parallel, WavefrontMetrics};
 use crate::store::{SharedArtifactStore, DEFAULT_SHARDS};
@@ -32,8 +43,8 @@ use hyppo_core::materialize::{MaterializeConfig, Materializer};
 use hyppo_core::monitor::record_outcome;
 use hyppo_core::optimizer::batch::BatchItem;
 use hyppo_core::optimizer::{Plan, PlanRequest};
-use hyppo_core::system::{BatchRunReport, Hyppo, HyppoConfig, RunReport, SubmitError};
-use hyppo_core::{ArtifactStore, CostEstimator, History, PlannerBoundsCache, Session};
+use hyppo_core::system::{BatchRunReport, HyppoConfig, RunReport, SubmitError};
+use hyppo_core::{ArtifactStore, CostEstimator, History, PlannerBoundsCache};
 use hyppo_pipeline::{build_pipeline, ArtifactName, PipelineSpec};
 use hyppo_tensor::Dataset;
 use std::collections::HashMap;
@@ -44,82 +55,82 @@ use std::time::Instant;
 /// How often a submission replans after losing a race with eviction.
 const MAX_REPLANS: usize = 2;
 
-/// Thread-safe HYPPO: shared history, estimator, and artifact store, with
+/// One immutable committed version of the catalog.
+///
+/// Versions are produced by [`SharedHyppo`] commits and handed to readers
+/// as `Arc<CatalogVersion>` snapshots. Once a version with a higher epoch
+/// exists, this value never changes again — the commit path clones before
+/// mutating whenever a snapshot is still held ([`Arc::make_mut`]), which
+/// is exactly the copy-on-write discipline DESIGN.md §14's consistency
+/// proof rests on.
+#[derive(Clone, Debug)]
+pub struct CatalogVersion {
+    /// Commit epoch: the number of catalog mutations committed before and
+    /// including this version. Strictly monotone across versions.
+    pub epoch: u64,
+    /// The history hypergraph `H` as of this epoch.
+    pub history: History,
+    /// The learned cost estimator as of this epoch.
+    pub estimator: CostEstimator,
+}
+
+/// Snapshot/commit epochs of one submission through [`SharedHyppo`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStamp {
+    /// Epoch of the catalog snapshot the submission planned against.
+    pub snapshot: u64,
+    /// Epoch its commit produced.
+    pub commit: u64,
+}
+
+impl EpochStamp {
+    /// How many *other* commits landed between this submission's snapshot
+    /// and its own commit — the snapshot-staleness gauge. Zero means the
+    /// planner saw the latest state at commit time.
+    pub fn lag(&self) -> u64 {
+        self.commit.saturating_sub(self.snapshot).saturating_sub(1)
+    }
+}
+
+/// Everything one shared submission produced.
+#[derive(Clone, Debug)]
+pub struct SharedRun {
+    /// The submission report (same shape as the serial facade's).
+    pub report: RunReport,
+    /// What the wavefront executor saw.
+    pub wave: WavefrontMetrics,
+    /// Snapshot/commit epochs (staleness via [`EpochStamp::lag`]).
+    pub epochs: EpochStamp,
+}
+
+/// Everything one shared *batch* submission produced.
+#[derive(Clone, Debug)]
+pub struct SharedBatchRun {
+    /// The joint-planning batch report.
+    pub batch: BatchRunReport,
+    /// Snapshot epoch all items planned against, and the last item's
+    /// commit epoch (each item commits its own epoch in order).
+    pub epochs: EpochStamp,
+}
+
+/// Thread-safe HYPPO: epoch-versioned catalog, shared artifact store, and
 /// wavefront plan execution.
 #[derive(Debug)]
 pub struct SharedHyppo {
     /// Configuration (shared read-only across sessions).
     pub config: HyppoConfig,
-    history: RwLock<History>,
-    estimator: RwLock<CostEstimator>,
+    catalog: RwLock<Arc<CatalogVersion>>,
     store: SharedArtifactStore,
     cumulative_seconds: Mutex<f64>,
-    /// Wall-clock nanos spent waiting on the history/estimator locks.
+    /// Wall-clock nanos spent waiting on the catalog lock.
     lock_wait_nanos: AtomicU64,
     /// Planner heuristic-bounds cache, shared across sessions — concurrent
     /// submissions over the same (unchanged) history reuse one bounds
     /// computation instead of recomputing per plan.
     bounds_cache: Arc<PlannerBoundsCache>,
-    /// Durable-event sink. Drained while the history write lock is held,
-    /// so the appended order is the linearization order of the mutations.
+    /// Durable-event sink. Drained while the catalog write lock is held,
+    /// so the appended order is the commit (epoch) order.
     durability: Mutex<Option<Box<dyn DurabilityHook>>>,
-}
-
-/// What one session (a sequence of submissions on one thread) did.
-#[derive(Clone, Debug, Default)]
-pub struct SessionReport {
-    /// Session index (position in the submitted batch).
-    pub session: usize,
-    /// Per-submission reports, in submission order.
-    pub runs: Vec<RunReport>,
-    /// Wall-clock seconds the session took end to end.
-    pub wall_seconds: f64,
-    /// Summed per-task seconds across the session's plans.
-    pub task_seconds: f64,
-    /// Largest in-flight edge count any of the session's plans reached.
-    pub peak_concurrency: usize,
-}
-
-/// Aggregate observations across a concurrent batch of sessions.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct RuntimeMetrics {
-    /// Sessions completed.
-    pub sessions: usize,
-    /// Hyperedges executed across all sessions.
-    pub tasks_executed: usize,
-    /// How many of them were loads (dataset or materialized artifact) —
-    /// the cache hits of cross-session reuse.
-    pub loads: usize,
-    /// Wall-clock seconds for the whole batch.
-    pub wall_seconds: f64,
-    /// Summed per-task seconds — what one thread replaying every task
-    /// serially would accumulate.
-    pub task_seconds: f64,
-    /// Wall-clock seconds threads spent waiting on locks (store shards +
-    /// history/estimator).
-    pub lock_wait_seconds: f64,
-    /// Largest in-flight edge count any plan reached.
-    pub peak_concurrency: usize,
-}
-
-impl RuntimeMetrics {
-    /// `task_seconds / wall_seconds` — the batch's concurrency payoff.
-    pub fn speedup(&self) -> f64 {
-        if self.wall_seconds > 0.0 {
-            self.task_seconds / self.wall_seconds
-        } else {
-            1.0
-        }
-    }
-}
-
-/// Everything a concurrent batch produced.
-#[derive(Clone, Debug, Default)]
-pub struct SessionsOutcome {
-    /// One report per session, in input order.
-    pub reports: Vec<SessionReport>,
-    /// Aggregate metrics.
-    pub metrics: RuntimeMetrics,
 }
 
 impl SharedHyppo {
@@ -134,7 +145,7 @@ impl SharedHyppo {
         )
     }
 
-    /// Wrap existing state (typically moved out of a serial [`Hyppo`]).
+    /// Wrap existing state (typically moved out of a serial [`Hyppo`](hyppo_core::Hyppo)).
     pub fn from_parts(
         config: HyppoConfig,
         history: History,
@@ -144,8 +155,7 @@ impl SharedHyppo {
     ) -> Self {
         SharedHyppo {
             config,
-            history: RwLock::new(history),
-            estimator: RwLock::new(estimator),
+            catalog: RwLock::new(Arc::new(CatalogVersion { epoch: 0, history, estimator })),
             store: SharedArtifactStore::from_store(store, n_shards),
             cumulative_seconds: Mutex::new(0.0),
             lock_wait_nanos: AtomicU64::new(0),
@@ -154,13 +164,51 @@ impl SharedHyppo {
         }
     }
 
+    /// The current catalog version — an immutable epoch-stamped snapshot.
+    ///
+    /// The lock is held only for the `Arc` clone; planning against the
+    /// returned version proceeds with **no** lock held, and commits with a
+    /// higher epoch never mutate it (copy-on-write).
+    pub fn snapshot(&self) -> Arc<CatalogVersion> {
+        let start = Instant::now();
+        let snap = Arc::clone(&self.catalog.read().unwrap_or_else(|e| e.into_inner()));
+        self.record_wait(start);
+        snap
+    }
+
+    /// The latest committed epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Commit one catalog mutation: clone-on-write the current version,
+    /// apply `mutate`, bump the epoch, and drain journaled events into the
+    /// attached durability hook while the write lock is still held (WAL
+    /// order = epoch order). Returns the mutation's result, the new epoch,
+    /// and the durability outcome.
+    fn commit<R>(
+        &self,
+        mutate: impl FnOnce(&mut History, &mut CostEstimator) -> R,
+    ) -> (R, u64, std::io::Result<()>) {
+        let start = Instant::now();
+        let mut guard = self.catalog.write().unwrap_or_else(|e| e.into_inner());
+        self.record_wait(start);
+        let version = Arc::make_mut(&mut guard);
+        let result = mutate(&mut version.history, &mut version.estimator);
+        version.epoch += 1;
+        let epoch = version.epoch;
+        let durable = self.drain_events(&mut version.history);
+        (result, epoch, durable)
+    }
+
     /// Attach a durability hook and start journaling history mutations and
-    /// estimator observations. Every submission drains its events into the
-    /// hook inside the history write-lock critical section, so replaying
+    /// estimator observations. Every commit drains its events into the
+    /// hook inside the catalog write-lock critical section, so replaying
     /// the log serially rebuilds the state this concurrent system reached.
     pub fn attach_durability(&self, hook: Box<dyn DurabilityHook>) {
-        self.locked_history().enable_event_journal();
         *self.durability.lock().unwrap_or_else(|e| e.into_inner()) = Some(hook);
+        let (_, _, durable) = self.commit(|history, _| history.enable_event_journal());
+        debug_assert!(durable.is_ok(), "journal enablement emits no events");
     }
 
     /// Detach and return the durability hook, if any. Journaled events not
@@ -172,16 +220,19 @@ impl SharedHyppo {
     /// Drain queued events (e.g. from [`SharedHyppo::register_dataset`])
     /// into the attached durability hook.
     pub fn flush_durability(&self) -> std::io::Result<()> {
-        let mut history = self.locked_history();
-        self.drain_events(&mut history)
+        let start = Instant::now();
+        let mut guard = self.catalog.write().unwrap_or_else(|e| e.into_inner());
+        self.record_wait(start);
+        let version = Arc::make_mut(&mut guard);
+        self.drain_events(&mut version.history)
     }
 
-    /// Drain the history journal into the hook. Callers hold the history
+    /// Drain the history journal into the hook. Callers hold the catalog
     /// write lock (`history` proves it), which makes the append order the
-    /// linearization order.
+    /// commit order.
     fn drain_events(&self, history: &mut History) -> std::io::Result<()> {
         // hyppo-lint: allow(nested-lock-acquire) hook mutex nests inside the
-        // history write lock in the fixed order history → durability; no
+        // catalog write lock in the fixed order catalog → durability; no
         // other site acquires them in reverse
         let mut guard = self.durability.lock().unwrap_or_else(|e| e.into_inner());
         let Some(hook) = guard.as_mut() else {
@@ -197,17 +248,20 @@ impl SharedHyppo {
     /// Tear down into `(history, estimator, store, cumulative_seconds)` —
     /// the inverse of [`SharedHyppo::from_parts`].
     pub fn into_parts(self) -> (History, CostEstimator, ArtifactStore, f64) {
-        let history = self.history.into_inner().unwrap_or_else(|e| e.into_inner());
-        let estimator = self.estimator.into_inner().unwrap_or_else(|e| e.into_inner());
+        let version = self.catalog.into_inner().unwrap_or_else(|e| e.into_inner());
+        let version = Arc::try_unwrap(version).unwrap_or_else(|arc| (*arc).clone());
         let cumulative = *self.cumulative_seconds.lock().unwrap_or_else(|e| e.into_inner());
-        (history, estimator, self.store.into_store(), cumulative)
+        (version.history, version.estimator, self.store.into_store(), cumulative)
     }
 
     /// Register a raw dataset as loadable from the source.
     pub fn register_dataset(&self, id: &str, dataset: Dataset) {
         let size = dataset.size_bytes() as u64;
         self.store.register_dataset(id, dataset);
-        self.locked_history().record_dataset(id, size);
+        let (_, _, durable) = self.commit(|history, _| history.record_dataset(id, size));
+        // Registration events stay queued on hook failure; the next
+        // successful submission re-drains them.
+        let _ = durable;
     }
 
     /// Cumulative execution seconds across all submissions so far.
@@ -221,19 +275,12 @@ impl SharedHyppo {
         self.bounds_cache.stats()
     }
 
-    /// Wall-clock seconds spent waiting on any lock (store shards plus
-    /// history/estimator).
+    /// Wall-clock seconds spent waiting on any lock (store shards plus the
+    /// catalog cell).
     pub fn lock_wait_seconds(&self) -> f64 {
         // hyppo-lint: allow(relaxed-ordering-justified) contention gauge; a torn
         // sum across in-flight adds is acceptable for metrics
         self.store.lock_wait_seconds() + self.lock_wait_nanos.load(Ordering::Relaxed) as f64 * 1e-9
-    }
-
-    fn locked_history(&self) -> std::sync::RwLockWriteGuard<'_, History> {
-        let start = Instant::now();
-        let guard = self.history.write().unwrap_or_else(|e| e.into_inner());
-        self.record_wait(start);
-        guard
     }
 
     fn record_wait(&self, start: Instant) {
@@ -248,7 +295,7 @@ impl SharedHyppo {
         &self,
         spec: PipelineSpec,
         workers: usize,
-    ) -> Result<(RunReport, WavefrontMetrics), SubmitError> {
+    ) -> Result<SharedRun, SubmitError> {
         let pipeline = build_pipeline(spec);
         self.run_shared(workers, |history| {
             Some(augment::augment(&pipeline, history, &self.config.dictionary, self.config.augment))
@@ -262,13 +309,13 @@ impl SharedHyppo {
         &self,
         names: &[ArtifactName],
         workers: usize,
-    ) -> Result<(RunReport, WavefrontMetrics), SubmitError> {
+    ) -> Result<SharedRun, SubmitError> {
         self.run_shared(workers, |history| augment::augment_request(history, names))
     }
 
-    /// The shared plan → execute → record loop behind [`submit_shared`] and
-    /// [`retrieve_shared`]. `build` constructs the augmentation under the
-    /// history read lock (returning `None` when no plan can exist).
+    /// The shared plan → execute → commit loop behind [`submit_shared`] and
+    /// [`retrieve_shared`]. `build` constructs the augmentation against an
+    /// epoch snapshot (returning `None` when no plan can exist).
     ///
     /// [`submit_shared`]: SharedHyppo::submit_shared
     /// [`retrieve_shared`]: SharedHyppo::retrieve_shared
@@ -276,26 +323,16 @@ impl SharedHyppo {
         &self,
         workers: usize,
         build: impl Fn(&History) -> Option<Augmentation>,
-    ) -> Result<(RunReport, WavefrontMetrics), SubmitError> {
+    ) -> Result<SharedRun, SubmitError> {
         let mut replans = 0;
         loop {
             let opt_start = Instant::now();
 
-            // Plan under read locks: history → estimator.
-            let (aug, costs) = {
-                let start = Instant::now();
-                let history = self.history.read().unwrap_or_else(|e| e.into_inner());
-                self.record_wait(start);
-                let start = Instant::now();
-                // hyppo-lint: allow(nested-lock-acquire) intentional nesting in
-                // the fixed global order history → estimator; every acquisition
-                // site follows it, so no cycle is possible
-                let estimator = self.estimator.read().unwrap_or_else(|e| e.into_inner());
-                self.record_wait(start);
-                let aug = build(&history).ok_or(SubmitError::NoPlan)?;
-                let costs = annotate_costs(&aug, &estimator, &self.store);
-                (aug, costs)
-            };
+            // Plan against an immutable snapshot: no lock held past the
+            // Arc clone, commits from other tenants proceed concurrently.
+            let snap = self.snapshot();
+            let aug = build(&snap.history).ok_or(SubmitError::NoPlan)?;
+            let costs = annotate_costs(&aug, &snap.estimator, &self.store);
             let plan = self
                 .config
                 .search
@@ -309,36 +346,45 @@ impl SharedHyppo {
                 .ok_or(SubmitError::NoPlan)?;
             let optimize_seconds = opt_start.elapsed().as_secs_f64();
 
-            match self.execute_and_record(&aug, &costs, &plan, workers, optimize_seconds) {
+            match self.execute_and_commit(&aug, &costs, &plan, workers, optimize_seconds) {
                 // Lost a race with another session's eviction: the
                 // artifact this plan meant to load is gone. Its history
                 // flag was cleared by the same eviction, so replanning
-                // routes around it.
+                // from a fresh snapshot routes around it.
                 Err(SubmitError::Exec(ExecError::MissingArtifact(_))) if replans < MAX_REPLANS => {
                     replans += 1;
                     continue;
                 }
-                other => return other,
+                Ok((report, wave, commit)) => {
+                    return Ok(SharedRun {
+                        report,
+                        wave,
+                        epochs: EpochStamp { snapshot: snap.epoch, commit },
+                    })
+                }
+                Err(e) => return Err(e),
             }
         }
     }
 
-    /// Execute a planned augmentation and absorb its outcome: run the plan
-    /// on the wavefront executor (or the virtual clock), record into
-    /// history/estimator, journal durable events, and materialize — all
-    /// under the fixed history → estimator write-lock order. Shared by
+    /// Execute a planned augmentation and commit its outcome: run the plan
+    /// on the wavefront executor (or the virtual clock) with no lock held,
+    /// then commit one catalog epoch — record into history/estimator,
+    /// journal durable events, and materialize, all inside the catalog
+    /// write-lock critical section so budget accounting is never
+    /// interleaved between sessions. Shared by
     /// [`run_shared`](SharedHyppo::run_shared) (which wraps it in the
     /// eviction-race replan loop) and
     /// [`submit_batch_shared`](SharedHyppo::submit_batch_shared) (which
     /// plans the whole batch up front and finishes items in order).
-    fn execute_and_record(
+    fn execute_and_commit(
         &self,
         aug: &Augmentation,
         costs: &[f64],
         plan: &Plan,
         workers: usize,
         optimize_seconds: f64,
-    ) -> Result<(RunReport, WavefrontMetrics), SubmitError> {
+    ) -> Result<(RunReport, WavefrontMetrics, u64), SubmitError> {
         // Execute without holding any coarse lock.
         let executed = if self.config.mode == ExecMode::Real {
             execute_plan_parallel(aug, &plan.edges, &self.store, workers)
@@ -359,13 +405,9 @@ impl SharedHyppo {
         let target_names: Vec<ArtifactName> =
             aug.targets.iter().map(|&t| aug.graph.node(t).name).collect();
 
-        // Record + materialize under write locks: history → estimator.
-        let (report_mat, durable) = {
-            let mut history = self.locked_history();
-            let start = Instant::now();
-            let mut estimator = self.estimator.write().unwrap_or_else(|e| e.into_inner());
-            self.record_wait(start);
-            record_outcome(aug, &outcome, &target_names, &mut history, &mut estimator);
+        // Record + materialize as one committed epoch.
+        let (report_mat, commit_epoch, durable) = self.commit(|history, estimator| {
+            record_outcome(aug, &outcome, &target_names, history, estimator);
             // Mirror estimator observations into the durable event
             // stream (see the serial facade for the rationale).
             if history.journal_enabled() {
@@ -381,25 +423,16 @@ impl SharedHyppo {
                     }
                 }
             }
-            let report_mat = if self.config.budget_bytes > 0 {
+            if self.config.budget_bytes > 0 {
                 let materializer = Materializer::new(MaterializeConfig {
                     budget_bytes: self.config.budget_bytes,
                     locality: self.config.locality,
                 });
-                materializer.run(
-                    &mut history,
-                    &mut self.store.clone(),
-                    &estimator,
-                    &outcome.artifacts,
-                )
+                materializer.run(history, &mut self.store.clone(), estimator, &outcome.artifacts)
             } else {
                 Default::default()
-            };
-            // Drain before releasing the write lock: WAL order must be
-            // the lock-acquisition (linearization) order.
-            let durable = self.drain_events(&mut history);
-            (report_mat, durable)
-        };
+            }
+        });
         durable.map_err(SubmitError::Durability)?;
 
         *self.cumulative_seconds.lock().unwrap_or_else(|e| e.into_inner()) += outcome.total_seconds;
@@ -418,16 +451,15 @@ impl SharedHyppo {
             evicted: report_mat.evicted.len(),
             values,
         };
-        Ok((report, parallel.metrics))
+        Ok((report, parallel.metrics, commit_epoch))
     }
 
     /// Submit K pipelines as one jointly planned batch (the concurrent
-    /// counterpart of [`Hyppo::submit_batch`]): augment and cost-annotate
-    /// all K against one history/estimator read-lock snapshot, plan them
-    /// together via
+    /// counterpart of [`Hyppo::submit_batch`](hyppo_core::Hyppo::submit_batch)): augment and cost-annotate
+    /// all K against one epoch snapshot, plan them together via
     /// [`Planner::plan_batch`](hyppo_core::optimizer::Planner::plan_batch)
     /// (dedup + shared-prefix bound amortization through the shared bounds
-    /// cache), then execute and record each item in order on `workers`
+    /// cache), then execute and commit each item in order on `workers`
     /// wavefront threads.
     ///
     /// Planning is all-or-nothing ([`SubmitError::NoPlan`] before anything
@@ -439,36 +471,28 @@ impl SharedHyppo {
         &self,
         specs: Vec<PipelineSpec>,
         workers: usize,
-    ) -> Result<BatchRunReport, SubmitError> {
+    ) -> Result<SharedBatchRun, SubmitError> {
         if specs.is_empty() {
-            return Ok(BatchRunReport::default());
+            let epoch = self.current_epoch();
+            return Ok(SharedBatchRun {
+                batch: BatchRunReport::default(),
+                epochs: EpochStamp { snapshot: epoch, commit: epoch },
+            });
         }
         let stats_before = self.bounds_stats();
         let opt_start = Instant::now();
         let pipelines: Vec<_> = specs.into_iter().map(build_pipeline).collect();
 
-        // Augment + annotate every item against ONE snapshot, under the
-        // fixed read-lock order history → estimator.
-        let (augs, costs) = {
-            let start = Instant::now();
-            let history = self.history.read().unwrap_or_else(|e| e.into_inner());
-            self.record_wait(start);
-            let start = Instant::now();
-            // hyppo-lint: allow(nested-lock-acquire) intentional nesting in
-            // the fixed global order history → estimator; every acquisition
-            // site follows it, so no cycle is possible
-            let estimator = self.estimator.read().unwrap_or_else(|e| e.into_inner());
-            self.record_wait(start);
-            let augs: Vec<Augmentation> = pipelines
-                .iter()
-                .map(|p| {
-                    augment::augment(p, &history, &self.config.dictionary, self.config.augment)
-                })
-                .collect();
-            let costs: Vec<Vec<f64>> =
-                augs.iter().map(|a| annotate_costs(a, &estimator, &self.store)).collect();
-            (augs, costs)
-        };
+        // Augment + annotate every item against ONE epoch snapshot.
+        let snap = self.snapshot();
+        let augs: Vec<Augmentation> = pipelines
+            .iter()
+            .map(|p| {
+                augment::augment(p, &snap.history, &self.config.dictionary, self.config.augment)
+            })
+            .collect();
+        let costs: Vec<Vec<f64>> =
+            augs.iter().map(|a| annotate_costs(a, &snap.estimator, &self.store)).collect();
         let planner = self.config.search.clone().bounds_cache(Arc::clone(&self.bounds_cache));
         let items: Vec<BatchItem<'_, _, _>> = augs
             .iter()
@@ -498,15 +522,19 @@ impl SharedHyppo {
 
         let mut reports = Vec::with_capacity(augs.len());
         let mut replans = 0usize;
+        let mut last_commit = snap.epoch;
         for (i, (aug, plan)) in augs.iter().zip(&plans).enumerate() {
-            match self.execute_and_record(aug, &costs[i], plan, workers, optimize_share) {
-                Ok((report, _)) => reports.push(report),
+            match self.execute_and_commit(aug, &costs[i], plan, workers, optimize_share) {
+                Ok((report, _, commit)) => {
+                    last_commit = commit;
+                    reports.push(report);
+                }
                 Err(SubmitError::Exec(ExecError::MissingArtifact(_))) => {
                     // Eviction (this batch's own materialization or a
                     // concurrent session's) invalidated the snapshot plan;
                     // fall back to the full replan loop.
                     replans += 1;
-                    let (report, _) = self.run_shared(workers, |history| {
+                    let run = self.run_shared(workers, |history| {
                         Some(augment::augment(
                             &pipelines[i],
                             history,
@@ -514,123 +542,36 @@ impl SharedHyppo {
                             self.config.augment,
                         ))
                     })?;
-                    reports.push(report);
+                    last_commit = run.epochs.commit;
+                    reports.push(run.report);
                 }
                 Err(e) => return Err(e),
             }
         }
         let bounds_delta = self.bounds_stats().delta_since(&stats_before);
-        Ok(BatchRunReport { reports, batch: batch.stats, bounds_delta, shared_artifacts, replans })
-    }
-
-    /// Run every session on its own thread against this shared state.
-    ///
-    /// Each session is a sequence of pipeline submissions executed in
-    /// order; sessions interleave freely, sharing history, estimator, and
-    /// materialized artifacts. Fails with the first session error, after
-    /// every session thread has finished.
-    pub fn run_sessions_concurrent(
-        &self,
-        sessions: Vec<Vec<PipelineSpec>>,
-        workers_per_plan: usize,
-    ) -> Result<SessionsOutcome, SubmitError> {
-        let lock_wait_before = self.lock_wait_seconds();
-        let start = Instant::now();
-        let results: Vec<Result<SessionReport, SubmitError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = sessions
-                .into_iter()
-                .enumerate()
-                .map(|(session, specs)| {
-                    scope.spawn(move || {
-                        let session_start = Instant::now();
-                        let mut report = SessionReport { session, ..Default::default() };
-                        for spec in specs {
-                            let (run, wave) = self.submit_shared(spec, workers_per_plan)?;
-                            report.task_seconds += wave.task_seconds;
-                            report.peak_concurrency =
-                                report.peak_concurrency.max(wave.peak_concurrency);
-                            report.runs.push(run);
-                        }
-                        report.wall_seconds = session_start.elapsed().as_secs_f64();
-                        Ok(report)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("session thread panicked")).collect()
-        });
-        let wall_seconds = start.elapsed().as_secs_f64();
-
-        let mut reports = Vec::with_capacity(results.len());
-        for result in results {
-            reports.push(result?);
-        }
-        let metrics = RuntimeMetrics {
-            sessions: reports.len(),
-            tasks_executed: reports
-                .iter()
-                .flat_map(|r| r.runs.iter())
-                .map(|run| run.tasks_executed)
-                .sum(),
-            loads: reports.iter().flat_map(|r| r.runs.iter()).map(|run| run.loads).sum(),
-            wall_seconds,
-            task_seconds: reports.iter().map(|r| r.task_seconds).sum(),
-            lock_wait_seconds: self.lock_wait_seconds() - lock_wait_before,
-            peak_concurrency: reports.iter().map(|r| r.peak_concurrency).max().unwrap_or(0),
-        };
-        Ok(SessionsOutcome { reports, metrics })
-    }
-}
-
-/// Concurrent-session entry point for the serial [`Hyppo`] facade.
-///
-/// Moves the system's state into a [`SharedHyppo`], runs the batch, and
-/// moves the (updated) state back — so a notebook using the serial facade
-/// can fan out a batch of sessions and keep exploring serially afterwards.
-pub trait ConcurrentSessions {
-    /// Run `sessions` concurrently, each plan on `workers_per_plan`
-    /// wavefront workers.
-    fn run_sessions_concurrent(
-        &mut self,
-        sessions: Vec<Vec<PipelineSpec>>,
-        workers_per_plan: usize,
-    ) -> Result<SessionsOutcome, SubmitError>;
-}
-
-impl ConcurrentSessions for Hyppo {
-    fn run_sessions_concurrent(
-        &mut self,
-        sessions: Vec<Vec<PipelineSpec>>,
-        workers_per_plan: usize,
-    ) -> Result<SessionsOutcome, SubmitError> {
-        let history = std::mem::replace(&mut self.history, History::new());
-        let estimator = std::mem::replace(&mut self.estimator, CostEstimator::new());
-        let store = std::mem::replace(&mut self.store, ArtifactStore::new());
-        let shared =
-            SharedHyppo::from_parts(self.config.clone(), history, estimator, store, DEFAULT_SHARDS);
-        let result = shared.run_sessions_concurrent(sessions, workers_per_plan);
-        // State flows back whether the batch succeeded or not — completed
-        // sessions' history must never be lost.
-        let (history, estimator, store, executed_seconds) = shared.into_parts();
-        self.history = history;
-        self.estimator = estimator;
-        self.store = store;
-        self.cumulative_seconds += executed_seconds;
-        // The moved-back history carries any events the batch journaled
-        // (the shared system had no hook of its own); drain them into the
-        // serial facade's hook so the batch becomes durable too.
-        self.flush_durability().map_err(SubmitError::Durability)?;
-        result
+        Ok(SharedBatchRun {
+            batch: BatchRunReport {
+                reports,
+                batch: batch.stats,
+                bounds_delta,
+                shared_artifacts,
+                replans,
+            },
+            epochs: EpochStamp { snapshot: snap.epoch, commit: last_commit },
+        })
     }
 }
 
 /// One analyst's session against a [`SharedHyppo`], behind the core
-/// [`Session`] trait — so harnesses written against `Session` (the baselines
-/// crate's `SessionMethod`, benches, examples) drive the concurrent backend
-/// exactly like the serial one.
+/// [`Session`](hyppo_core::Session) trait — so harnesses written against
+/// `Session` (the baselines crate's `SessionMethod`, benches, examples)
+/// drive the concurrent backend exactly like the serial one.
 ///
 /// Generic over how the backend is held: own it (`SharedSession<SharedHyppo>`,
 /// the default), or share it (`SharedSession<Arc<SharedHyppo>>`) so several
-/// sessions hit one state — the collaborative setting.
+/// sessions hit one state — the collaborative setting. For multi-tenant
+/// serving with admission control and mailbox actors, use `hyppo-serve`'s
+/// `Client` instead.
 #[derive(Debug)]
 pub struct SharedSession<T = SharedHyppo> {
     backend: T,
@@ -654,7 +595,7 @@ impl<T: std::borrow::Borrow<SharedHyppo>> SharedSession<T> {
     }
 }
 
-impl<T: std::borrow::Borrow<SharedHyppo>> Session for SharedSession<T> {
+impl<T: std::borrow::Borrow<SharedHyppo>> hyppo_core::Session for SharedSession<T> {
     fn backend_name(&self) -> &'static str {
         "HYPPO-shared"
     }
@@ -664,15 +605,15 @@ impl<T: std::borrow::Borrow<SharedHyppo>> Session for SharedSession<T> {
     }
 
     fn submit(&mut self, spec: PipelineSpec) -> Result<RunReport, SubmitError> {
-        self.backend().submit_shared(spec, self.workers).map(|(report, _)| report)
+        self.backend().submit_shared(spec, self.workers).map(|run| run.report)
     }
 
     fn submit_batch(&mut self, specs: Vec<PipelineSpec>) -> Result<Vec<RunReport>, SubmitError> {
-        self.backend().submit_batch_shared(specs, self.workers).map(|b| b.reports)
+        self.backend().submit_batch_shared(specs, self.workers).map(|b| b.batch.reports)
     }
 
     fn retrieve(&mut self, names: &[ArtifactName]) -> Result<RunReport, SubmitError> {
-        self.backend().retrieve_shared(names, self.workers).map(|(report, _)| report)
+        self.backend().retrieve_shared(names, self.workers).map(|run| run.report)
     }
 
     fn cumulative_seconds(&self) -> f64 {
@@ -684,13 +625,14 @@ impl<T: std::borrow::Borrow<SharedHyppo>> Session for SharedSession<T> {
     }
 
     fn history_artifacts(&self) -> usize {
-        self.backend().history.read().unwrap_or_else(|e| e.into_inner()).artifact_count()
+        self.backend().snapshot().history.artifact_count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hyppo_core::Session;
     use hyppo_workloads::ensemble_wl::wide_ensemble_spec;
     use hyppo_workloads::taxi;
 
@@ -698,25 +640,65 @@ mod tests {
         HyppoConfig { budget_bytes: budget, ..Default::default() }
     }
 
-    fn sessions(n: usize) -> Vec<Vec<PipelineSpec>> {
-        // Sessions share members (seeds overlap), so cross-session reuse
-        // has something to find.
-        (0..n).map(|i| vec![wide_ensemble_spec("taxi", 3 + i % 2, 7 + i as u64 % 2)]).collect()
+    #[test]
+    fn snapshots_are_epoch_stamped_and_immutable_under_commits() {
+        let shared = SharedHyppo::new(config(64 * 1024 * 1024));
+        shared.register_dataset("taxi", taxi::generate(200, 5));
+        let before = shared.snapshot();
+        let artifacts_before = before.history.artifact_count();
+
+        let run = shared.submit_shared(wide_ensemble_spec("taxi", 3, 7), 2).unwrap();
+        assert!(run.report.tasks_executed > 0);
+        assert!(run.epochs.commit > before.epoch, "commit must bump the epoch");
+        assert_eq!(run.epochs.snapshot, before.epoch, "planned against the old snapshot");
+        assert_eq!(run.epochs.lag(), 0, "no other tenant committed in between");
+
+        // The old snapshot is frozen: the commit went into a new version.
+        assert_eq!(before.history.artifact_count(), artifacts_before);
+        let after = shared.snapshot();
+        assert!(after.history.artifact_count() > artifacts_before);
+        assert_eq!(after.epoch, run.epochs.commit);
     }
 
     #[test]
-    fn four_sessions_share_one_store_without_deadlock() {
-        let shared = SharedHyppo::new(config(64 * 1024 * 1024));
+    fn concurrent_submissions_interleave_and_observe_lag() {
+        let shared = Arc::new(SharedHyppo::new(config(64 * 1024 * 1024)));
         shared.register_dataset("taxi", taxi::generate(300, 5));
-        let outcome = shared.run_sessions_concurrent(sessions(4), 2).unwrap();
-        assert_eq!(outcome.metrics.sessions, 4);
-        assert_eq!(outcome.reports.len(), 4);
-        assert!(outcome.metrics.tasks_executed > 0);
-        assert!(outcome.metrics.wall_seconds > 0.0);
-        assert!(outcome.metrics.speedup() > 0.0);
+        let runs: Vec<SharedRun> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        shared
+                            .submit_shared(
+                                wide_ensemble_spec("taxi", 3 + i % 2, 7 + i as u64 % 2),
+                                2,
+                            )
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("submission panicked")).collect()
+        });
+        // Commit epochs are distinct (one commit each) and lag accounts for
+        // exactly the commits that landed in between.
+        let mut commits: Vec<u64> = runs.iter().map(|r| r.epochs.commit).collect();
+        commits.sort_unstable();
+        commits.dedup();
+        assert_eq!(commits.len(), 4, "every submission commits its own epoch");
+        for run in &runs {
+            assert_eq!(
+                run.epochs.lag(),
+                runs.iter()
+                    .filter(|o| o.epochs.commit > run.epochs.snapshot
+                        && o.epochs.commit < run.epochs.commit)
+                    .count() as u64
+            );
+        }
 
         // No lost materializations: every artifact the history believes is
         // materialized must actually be in the store.
+        let shared = Arc::try_unwrap(shared).expect("all threads joined");
         let (history, _, store, cumulative) = shared.into_parts();
         for name in history.materialized() {
             assert!(store.contains(name), "history says {name} is materialized; store disagrees");
@@ -727,42 +709,25 @@ mod tests {
     #[test]
     fn budget_is_respected_under_concurrency() {
         let budget = 32 * 1024;
-        let shared = SharedHyppo::new(config(budget));
+        let shared = Arc::new(SharedHyppo::new(config(budget)));
         shared.register_dataset("taxi", taxi::generate(200, 5));
-        shared.run_sessions_concurrent(sessions(4), 2).unwrap();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    shared
+                        .submit_shared(wide_ensemble_spec("taxi", 3 + i % 2, 7 + i as u64 % 2), 2)
+                        .unwrap();
+                });
+            }
+        });
+        let shared = Arc::try_unwrap(shared).expect("all threads joined");
         let (_, _, store, _) = shared.into_parts();
         assert!(
             store.used_bytes() <= budget,
             "store uses {} > budget {budget}",
             store.used_bytes()
         );
-    }
-
-    #[test]
-    fn concurrent_sessions_feed_later_serial_reuse() {
-        let mut sys = Hyppo::new(config(64 * 1024 * 1024));
-        sys.register_dataset("taxi", taxi::generate(300, 5));
-        let outcome = sys.run_sessions_concurrent(sessions(4), 2).unwrap();
-        assert_eq!(outcome.metrics.sessions, 4);
-        // State moved back: the serial facade sees the concurrent history.
-        assert!(sys.history.artifact_count() > 0);
-        assert!(sys.cumulative_seconds > 0.0);
-        // A serial resubmission of a session's pipeline now reuses
-        // materialized artifacts.
-        let report = sys.submit(wide_ensemble_spec("taxi", 3, 7)).unwrap();
-        assert!(report.loads >= 1, "resubmission should load materialized artifacts");
-    }
-
-    #[test]
-    fn missing_dataset_fails_but_preserves_state() {
-        let mut sys = Hyppo::new(config(0));
-        sys.register_dataset("taxi", taxi::generate(100, 5));
-        let batch =
-            vec![vec![wide_ensemble_spec("taxi", 2, 1)], vec![wide_ensemble_spec("nope", 2, 1)]];
-        let err = sys.run_sessions_concurrent(batch, 2);
-        assert!(err.is_err());
-        // The failed batch must not have wiped the moved-out state.
-        assert!(sys.store.dataset("taxi").is_some());
     }
 
     #[test]
@@ -778,16 +743,14 @@ mod tests {
         // Scenario 2 against the shared backend: retrieve recorded value
         // artifacts by name.
         let names: Vec<ArtifactName> = {
-            let shared = session.backend();
-            let history = shared.history.read().unwrap();
-            let names: Vec<ArtifactName> = history
+            let snap = session.backend().snapshot();
+            snap.history
                 .artifact_names()
                 .filter(|&n| {
-                    let node = history.node_of(n).unwrap();
-                    history.graph.node(node).role == hyppo_pipeline::ArtifactRole::Value
+                    let node = snap.history.node_of(n).unwrap();
+                    snap.history.graph.node(node).role == hyppo_pipeline::ArtifactRole::Value
                 })
-                .collect();
-            names
+                .collect()
         };
         assert!(!names.is_empty());
         let report = session.retrieve(&names).unwrap();
@@ -835,7 +798,9 @@ mod tests {
             wide_ensemble_spec("taxi", 4, 8),
             wide_ensemble_spec("taxi", 3, 7),
         ];
-        let batch = shared.submit_batch_shared(specs, 2).unwrap();
+        let snapshot_before = shared.current_epoch();
+        let run = shared.submit_batch_shared(specs, 2).unwrap();
+        let batch = run.batch;
         assert_eq!(batch.reports.len(), 3);
         assert_eq!(batch.batch.items, 3);
         assert_eq!(batch.batch.groups, 2, "duplicate specs dedup into one group");
@@ -846,6 +811,9 @@ mod tests {
             "deduped items carry the identical plan"
         );
         assert!(batch.reports.iter().all(|r| r.tasks_executed > 0));
+        // Each item committed one epoch, in order, from one snapshot.
+        assert_eq!(run.epochs.snapshot, snapshot_before);
+        assert_eq!(run.epochs.commit, snapshot_before + 3);
         // The per-batch delta never exceeds the cumulative counters.
         let total = shared.bounds_stats();
         assert!(batch.bounds_delta.misses <= total.misses);
@@ -864,7 +832,7 @@ mod tests {
             .map(|s| {
                 let fresh = SharedSession::new(SharedHyppo::new(config(0)), 2);
                 fresh.backend().register_dataset("taxi", taxi::generate(300, 5));
-                fresh.backend().submit_shared(s, 2).unwrap().0.planned_cost
+                fresh.backend().submit_shared(s, 2).unwrap().report.planned_cost
             })
             .collect();
         let mut batched = SharedSession::new(SharedHyppo::new(config(0)), 2);
@@ -880,10 +848,8 @@ mod tests {
     fn simulated_mode_runs_on_the_virtual_clock() {
         let shared = SharedHyppo::new(HyppoConfig { mode: ExecMode::Simulated, ..config(0) });
         shared.register_dataset("taxi", taxi::generate(100, 5));
-        let outcome = shared.run_sessions_concurrent(sessions(2), 4).unwrap();
-        assert_eq!(outcome.metrics.sessions, 2);
-        for report in &outcome.reports {
-            assert!(report.runs.iter().all(|r| r.values.is_empty()));
-        }
+        let run = shared.submit_shared(wide_ensemble_spec("taxi", 3, 7), 4).unwrap();
+        assert!(run.report.values.is_empty());
+        assert!(run.report.execution_seconds > 0.0);
     }
 }

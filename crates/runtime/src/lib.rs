@@ -12,18 +12,22 @@
 //! - [`store`] — [`SharedArtifactStore`]: the core artifact store behind
 //!   sharded `RwLock`s, preserving the modelled IO-cost accounting exactly
 //!   while real lock waits are tracked separately;
-//! - [`driver`] — [`SharedHyppo`]: history + estimator behind locks and a
-//!   fixed acquisition order, running N exploratory sessions concurrently
-//!   against one shared state ([`SharedHyppo::run_sessions_concurrent`]);
-//!   the [`ConcurrentSessions`] extension gives the serial
-//!   [`Hyppo`](hyppo_core::Hyppo) facade the same entry point.
+//! - [`driver`] — [`SharedHyppo`]: the catalog (history + estimator) as an
+//!   epoch-versioned copy-on-write cell ([`CatalogVersion`]) — planners
+//!   read immutable [`SharedHyppo::snapshot`]s while other tenants commit,
+//!   and every submission comes back stamped with its snapshot/commit
+//!   epochs ([`EpochStamp`]).
+//!
+//! Multi-tenant serving (mailbox actors, admission control, the `Client`
+//! API) lives one layer up in `hyppo-serve`, which drives this crate's
+//! [`SharedHyppo`] as its embedded backend.
 
 pub mod driver;
 pub mod executor;
 pub mod store;
 
 pub use driver::{
-    ConcurrentSessions, RuntimeMetrics, SessionReport, SessionsOutcome, SharedHyppo, SharedSession,
+    CatalogVersion, EpochStamp, SharedBatchRun, SharedHyppo, SharedRun, SharedSession,
 };
 pub use executor::{execute_plan_parallel, ParallelOutcome, WavefrontMetrics};
 pub use store::{SharedArtifactStore, DEFAULT_SHARDS};

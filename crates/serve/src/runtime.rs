@@ -1,0 +1,700 @@
+//! The actor runtime: tenant mailboxes, a thread-pool scheduler, bounded
+//! admission, and group-committed durability.
+//!
+//! Each tenant session is an **actor**: a FIFO mailbox of submission
+//! tickets that at most one worker drains at a time, so a tenant's
+//! submissions execute in exactly the order they were admitted no matter
+//! how many workers the pool has. Workers pull *runnable* tenants (not
+//! running, mail waiting) from a shared queue; planning happens against
+//! the backend's epoch snapshots, so tenants only serialize at the
+//! commit point — never across plan search.
+//!
+//! Admission is bounded per tenant: a full mailbox either rejects new
+//! submissions with [`ServeError::Busy`] ([`AdmissionPolicy::Reject`]) or
+//! blocks the submitter until a slot frees ([`AdmissionPolicy::Block`]).
+//!
+//! Scheduler invariant: a tenant index is in the runnable queue **iff**
+//! it is not currently running and its mailbox is non-empty. Enqueue adds
+//! the tenant when its mailbox transitions empty → non-empty while idle;
+//! a worker re-adds it after a message if mail remains. This gives each
+//! tenant at-most-one in-flight message (per-tenant FIFO) and round-robin
+//! fairness across tenants.
+
+use hyppo_core::system::SubmitError;
+use hyppo_persist::GroupCommitWal;
+use hyppo_pipeline::{ArtifactName, PipelineSpec};
+use hyppo_runtime::{SharedBatchRun, SharedHyppo, SharedRun};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// What a tenant's full mailbox does to new submissions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Fail fast: `submit` returns [`ServeError::Busy`] and the rejection
+    /// is counted in [`ServeMetrics::rejected`].
+    Reject,
+    /// Backpressure: `submit` blocks until a mailbox slot frees (or the
+    /// runtime shuts down).
+    #[default]
+    Block,
+}
+
+/// Serving-layer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining tenant mailboxes.
+    pub workers: usize,
+    /// Wavefront executor threads per plan.
+    pub plan_workers: usize,
+    /// Per-tenant mailbox capacity (admission bound).
+    pub mailbox_capacity: usize,
+    /// Full-mailbox behavior.
+    pub admission: AdmissionPolicy,
+    /// Flush the attached group-commit WAL after this many commits (an
+    /// idle runtime flushes whatever is pending regardless). `1` degrades
+    /// to per-submission fsync.
+    pub commit_group: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            plan_workers: 2,
+            mailbox_capacity: 64,
+            admission: AdmissionPolicy::Block,
+            commit_group: 8,
+        }
+    }
+}
+
+/// Serving-layer failure. `Clone` so every handle to a shared ticket can
+/// observe the same outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission rejected the submission: the tenant's mailbox is full
+    /// under [`AdmissionPolicy::Reject`].
+    Busy,
+    /// The submission was cancelled before it began executing.
+    Cancelled,
+    /// The runtime is shutting down (or already shut down).
+    ShutDown,
+    /// The backend found no executable plan.
+    NoPlan,
+    /// Plan execution failed (stringified [`ExecError`](hyppo_core::executor::ExecError)).
+    Exec(String),
+    /// The submission executed but the durability hook failed.
+    Durability(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Busy => write!(f, "admission queue full"),
+            ServeError::Cancelled => write!(f, "submission cancelled"),
+            ServeError::ShutDown => write!(f, "serving runtime is shut down"),
+            ServeError::NoPlan => write!(f, "no executable plan for the requested targets"),
+            ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+            ServeError::Durability(e) => write!(f, "durability failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SubmitError> for ServeError {
+    fn from(e: SubmitError) -> Self {
+        match e {
+            SubmitError::NoPlan => ServeError::NoPlan,
+            SubmitError::Exec(e) => ServeError::Exec(e.to_string()),
+            SubmitError::Durability(e) => ServeError::Durability(e.to_string()),
+            SubmitError::Serving(e) => ServeError::Exec(e),
+        }
+    }
+}
+
+impl From<ServeError> for SubmitError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::NoPlan => SubmitError::NoPlan,
+            other => SubmitError::Serving(other.to_string()),
+        }
+    }
+}
+
+/// One unit of tenant work.
+#[derive(Debug)]
+pub(crate) enum Request {
+    /// `submit`: one pipeline.
+    Submit(PipelineSpec),
+    /// `submit_batch`: jointly planned pipelines.
+    Batch(Vec<PipelineSpec>),
+    /// `retrieve`: previously computed artifacts by name.
+    Retrieve(Vec<ArtifactName>),
+}
+
+/// What a finished request produced.
+#[derive(Clone, Debug)]
+pub(crate) enum Response {
+    /// A single submission or retrieval.
+    One(SharedRun),
+    /// A batch submission.
+    Many(SharedBatchRun),
+}
+
+/// Per-ticket timing and staleness, filled in as the ticket progresses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TicketStats {
+    /// Seconds the ticket sat in the mailbox before a worker picked it up.
+    pub mailbox_wait_seconds: f64,
+    /// Seconds the backend spent serving it (plan + execute + commit).
+    pub service_seconds: f64,
+    /// End-to-end seconds from admission to completion.
+    pub latency_seconds: f64,
+    /// Snapshot-staleness of its commit ([`EpochStamp::lag`]): how many
+    /// other tenants' commits landed between its snapshot and its commit.
+    ///
+    /// [`EpochStamp::lag`]: hyppo_runtime::EpochStamp::lag
+    pub epoch_lag: u64,
+}
+
+#[derive(Debug)]
+pub(crate) enum TicketState {
+    Queued,
+    Running,
+    Done(Result<Response, ServeError>),
+}
+
+/// The shared state behind one submission: handles wait on it, workers
+/// resolve it, `cancel` races both.
+#[derive(Debug)]
+pub(crate) struct Ticket {
+    state: Mutex<TicketState>,
+    done: Condvar,
+    enqueued_at: Instant,
+    stats: Mutex<TicketStats>,
+}
+
+impl Ticket {
+    fn new() -> Arc<Self> {
+        Arc::new(Ticket {
+            state: Mutex::new(TicketState::Queued),
+            done: Condvar::new(),
+            enqueued_at: Instant::now(),
+            stats: Mutex::new(TicketStats::default()),
+        })
+    }
+
+    /// Queued → Running, the execute-once gate: exactly one of
+    /// `begin_execution` and a queued-state `cancel` wins, so a ticket is
+    /// never both executed and cancelled, and never executed twice.
+    fn begin_execution(&self) -> bool {
+        let mut state = self.lock_state();
+        match *state {
+            TicketState::Queued => {
+                *state = TicketState::Running;
+                true
+            }
+            // Cancelled while queued (already resolved) — skip.
+            _ => false,
+        }
+    }
+
+    fn finish(&self, result: Result<Response, ServeError>) {
+        *self.lock_state() = TicketState::Done(result);
+        self.done.notify_all();
+    }
+
+    pub(crate) fn cancel(&self) -> bool {
+        let mut state = self.lock_state();
+        if matches!(*state, TicketState::Queued) {
+            *state = TicketState::Done(Err(ServeError::Cancelled));
+            self.done.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn wait(&self) -> Result<Response, ServeError> {
+        let mut state = self.lock_state();
+        loop {
+            if let TicketState::Done(result) = &*state {
+                return result.clone();
+            }
+            state = self.done.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub(crate) fn try_result(&self) -> Option<Result<Response, ServeError>> {
+        match &*self.lock_state() {
+            TicketState::Done(result) => Some(result.clone()),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn stats(&self) -> TicketStats {
+        *self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, TicketState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[derive(Debug)]
+struct Mail {
+    ticket: Arc<Ticket>,
+    request: Request,
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    mailbox: VecDeque<Mail>,
+    /// A worker is currently processing one of this tenant's messages.
+    running: bool,
+}
+
+#[derive(Debug, Default)]
+struct Sched {
+    tenants: Vec<TenantState>,
+    /// Tenants with mail and no in-flight message, in fairness order.
+    runnable: VecDeque<usize>,
+    /// Workers currently processing a message.
+    active: usize,
+    /// Total queued messages across all mailboxes.
+    queued: usize,
+    shutdown: bool,
+}
+
+/// Atomic gauges. All loads/stores are `Relaxed`: these are monitoring
+/// counters read through snapshots, never used for synchronization — the
+/// scheduler mutex orders everything that matters.
+#[derive(Debug, Default)]
+struct Gauges {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    peak_queue_depth: AtomicUsize,
+    mailbox_wait_nanos: AtomicU64,
+    service_nanos: AtomicU64,
+    latency_nanos: AtomicU64,
+    epoch_lag_sum: AtomicU64,
+    epoch_lag_max: AtomicU64,
+    commits_since_flush: AtomicUsize,
+    group_flushes: AtomicU64,
+}
+
+/// A point-in-time snapshot of the serving runtime's health gauges,
+/// returned by `Client::metrics()` and `ServeRuntime::metrics()`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeMetrics {
+    /// Submissions admitted (including still-queued and cancelled ones).
+    pub submitted: u64,
+    /// Submissions that finished executing.
+    pub completed: u64,
+    /// Submissions turned away by a full mailbox under
+    /// [`AdmissionPolicy::Reject`].
+    pub rejected: u64,
+    /// Submissions cancelled before execution began.
+    pub cancelled: u64,
+    /// Messages currently queued across all tenant mailboxes.
+    pub queue_depth: usize,
+    /// Largest `queue_depth` observed since the runtime started.
+    pub peak_queue_depth: usize,
+    /// Total seconds completed submissions spent waiting in mailboxes.
+    pub mailbox_wait_seconds: f64,
+    /// Total seconds the backend spent serving completed submissions.
+    pub service_seconds: f64,
+    /// Total admission-to-completion seconds of completed submissions.
+    pub latency_seconds: f64,
+    /// Mean snapshot-staleness (commits by other tenants between a
+    /// submission's snapshot and its commit) across completed submissions.
+    pub epoch_lag_mean: f64,
+    /// Worst snapshot-staleness observed.
+    pub epoch_lag_max: u64,
+    /// Group-commit WAL flushes (each one fsync, covering every commit
+    /// since the previous flush). Zero when no durability is attached.
+    pub group_flushes: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) backend: Arc<SharedHyppo>,
+    pub(crate) config: ServeConfig,
+    sched: Mutex<Sched>,
+    /// Signals workers: runnable work exists, or shutdown.
+    work_cv: Condvar,
+    /// Signals blocked submitters: a mailbox slot freed, or shutdown.
+    admit_cv: Condvar,
+    durability: Mutex<Option<GroupCommitWal>>,
+    gauges: Gauges,
+}
+
+impl Shared {
+    fn lock_sched(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register a new tenant actor; returns its index.
+    pub(crate) fn add_tenant(&self) -> usize {
+        let mut sched = self.lock_sched();
+        sched.tenants.push(TenantState::default());
+        sched.tenants.len() - 1
+    }
+
+    /// Admit one request into `tenant`'s mailbox, applying the configured
+    /// backpressure. Returns the ticket future handles wait on.
+    pub(crate) fn enqueue(
+        &self,
+        tenant: usize,
+        request: Request,
+    ) -> Result<Arc<Ticket>, ServeError> {
+        let mut sched = self.lock_sched();
+        if sched.shutdown {
+            return Err(ServeError::ShutDown);
+        }
+        while sched.tenants[tenant].mailbox.len() >= self.config.mailbox_capacity {
+            match self.config.admission {
+                AdmissionPolicy::Reject => {
+                    // hyppo-lint: allow(relaxed-ordering-justified) monitoring
+                    // counter; the Err return itself carries the decision
+                    self.gauges.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Busy);
+                }
+                AdmissionPolicy::Block => {
+                    sched = self.admit_cv.wait(sched).unwrap_or_else(|e| e.into_inner());
+                    if sched.shutdown {
+                        return Err(ServeError::ShutDown);
+                    }
+                }
+            }
+        }
+        let ticket = Ticket::new();
+        let was_empty = sched.tenants[tenant].mailbox.is_empty();
+        sched.tenants[tenant].mailbox.push_back(Mail { ticket: Arc::clone(&ticket), request });
+        sched.queued += 1;
+        if was_empty && !sched.tenants[tenant].running {
+            sched.runnable.push_back(tenant);
+        }
+        let depth = sched.queued;
+        drop(sched);
+        // hyppo-lint: allow(relaxed-ordering-justified) monitoring gauges;
+        // `depth` was computed under the scheduler lock, the atomics only
+        // publish it to metrics readers
+        self.gauges.submitted.fetch_add(1, Ordering::Relaxed);
+        // hyppo-lint: allow(relaxed-ordering-justified) peak-depth gauge; `depth` was computed under the scheduler lock
+        self.gauges.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        self.work_cv.notify_one();
+        Ok(ticket)
+    }
+
+    /// Worker main loop: drain runnable tenants until shutdown completes.
+    fn worker_loop(&self) {
+        loop {
+            let mut sched = self.lock_sched();
+            loop {
+                if let Some(tenant) = sched.runnable.pop_front() {
+                    let mail = sched.tenants[tenant]
+                        .mailbox
+                        .pop_front()
+                        .expect("runnable invariant: mailbox non-empty");
+                    sched.tenants[tenant].running = true;
+                    sched.active += 1;
+                    sched.queued -= 1;
+                    drop(sched);
+                    // A slot freed: wake one blocked submitter.
+                    self.admit_cv.notify_one();
+
+                    self.process(mail);
+
+                    let mut sched = self.lock_sched();
+                    sched.tenants[tenant].running = false;
+                    sched.active -= 1;
+                    if !sched.tenants[tenant].mailbox.is_empty() {
+                        sched.runnable.push_back(tenant);
+                        self.work_cv.notify_one();
+                    }
+                    if sched.shutdown && sched.runnable.is_empty() && sched.active == 0 {
+                        // Last one out wakes the others so they observe
+                        // the drained state and exit.
+                        self.work_cv.notify_all();
+                    }
+                    drop(sched);
+                    break; // re-enter the outer loop with a fresh guard
+                }
+                if sched.shutdown && sched.active == 0 {
+                    // Drained: no runnable tenant, nothing in flight (an
+                    // in-flight message could still re-enqueue its tenant).
+                    drop(sched);
+                    // Idle + shutdown: make everything pending durable.
+                    let _ = self.flush_durability();
+                    return;
+                }
+                if sched.queued == 0 && sched.active == 0 {
+                    // Fully idle: opportunistically flush the commit group
+                    // so durability never waits on future traffic.
+                    drop(sched);
+                    let _ = self.flush_durability();
+                    sched = self.lock_sched();
+                    if sched.queued > 0 || (sched.shutdown && sched.active == 0) {
+                        continue;
+                    }
+                }
+                sched = self.work_cv.wait(sched).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Execute one mailbox message and resolve its ticket.
+    fn process(&self, mail: Mail) {
+        let Mail { ticket, request } = mail;
+        if !ticket.begin_execution() {
+            // Cancelled while queued; already resolved.
+            // hyppo-lint: allow(relaxed-ordering-justified) monitoring counter
+            self.gauges.cancelled.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mailbox_wait = ticket.enqueued_at.elapsed();
+        let service_start = Instant::now();
+        let backend = &*self.backend;
+        let workers = self.config.plan_workers;
+        let (result, commits, lag) = match request {
+            Request::Submit(spec) => match backend.submit_shared(spec, workers) {
+                Ok(run) => {
+                    let lag = run.epochs.lag();
+                    (Ok(Response::One(run)), 1, lag)
+                }
+                Err(e) => (Err(ServeError::from(e)), 0, 0),
+            },
+            Request::Batch(specs) => {
+                let items = specs.len();
+                match backend.submit_batch_shared(specs, workers) {
+                    Ok(run) => {
+                        let lag = run.epochs.lag();
+                        (Ok(Response::Many(run)), items, lag)
+                    }
+                    Err(e) => (Err(ServeError::from(e)), 0, 0),
+                }
+            }
+            Request::Retrieve(names) => match backend.retrieve_shared(&names, workers) {
+                Ok(run) => {
+                    let lag = run.epochs.lag();
+                    (Ok(Response::One(run)), 1, lag)
+                }
+                Err(e) => (Err(ServeError::from(e)), 0, 0),
+            },
+        };
+        let service = service_start.elapsed();
+        let latency = ticket.enqueued_at.elapsed();
+
+        // Group-commit boundary: the backend drained this commit's events
+        // into the (buffering) hook; flush once per `commit_group` commits.
+        let result = if commits > 0 { self.after_commits(commits, result) } else { result };
+
+        {
+            let mut stats = ticket.stats.lock().unwrap_or_else(|e| e.into_inner());
+            *stats = TicketStats {
+                mailbox_wait_seconds: mailbox_wait.as_secs_f64(),
+                service_seconds: service.as_secs_f64(),
+                latency_seconds: latency.as_secs_f64(),
+                epoch_lag: lag,
+            };
+        }
+        // Gauges before `finish`: a waiter woken by the ticket must see
+        // its own completion reflected in `metrics()`.
+        // hyppo-lint: allow(relaxed-ordering-justified) monitoring gauges
+        // only; the ticket condvar below is the synchronization point
+        let g = &self.gauges;
+        // hyppo-lint: allow(relaxed-ordering-justified) completion tallies are monitoring gauges; the ticket condvar below is the synchronization point
+        g.completed.fetch_add(1, Ordering::Relaxed);
+        // hyppo-lint: allow(relaxed-ordering-justified) monitoring gauge only (see above)
+        g.mailbox_wait_nanos.fetch_add(mailbox_wait.as_nanos() as u64, Ordering::Relaxed);
+        // hyppo-lint: allow(relaxed-ordering-justified) monitoring gauge only (see above)
+        g.service_nanos.fetch_add(service.as_nanos() as u64, Ordering::Relaxed);
+        // hyppo-lint: allow(relaxed-ordering-justified) monitoring gauge only (see above)
+        g.latency_nanos.fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        // hyppo-lint: allow(relaxed-ordering-justified) monitoring gauge only (see above)
+        g.epoch_lag_sum.fetch_add(lag, Ordering::Relaxed);
+        // hyppo-lint: allow(relaxed-ordering-justified) monitoring gauge only (see above)
+        g.epoch_lag_max.fetch_max(lag, Ordering::Relaxed);
+        ticket.finish(result);
+    }
+
+    /// Count `commits` toward the current group; flush when the group is
+    /// full. A flush failure is surfaced on the triggering ticket (its
+    /// in-memory submission already succeeded — same contract as
+    /// [`SubmitError::Durability`]).
+    fn after_commits(
+        &self,
+        commits: usize,
+        result: Result<Response, ServeError>,
+    ) -> Result<Response, ServeError> {
+        // hyppo-lint: allow(relaxed-ordering-justified) group sizing is a
+        // heuristic trigger; the WAL itself orders events under its own lock
+        let since = self.gauges.commits_since_flush.fetch_add(commits, Ordering::Relaxed) + commits;
+        if since >= self.config.commit_group {
+            // hyppo-lint: allow(relaxed-ordering-justified) group-counter reset is a heuristic trigger; the WAL orders events under its own lock
+            self.gauges.commits_since_flush.store(0, Ordering::Relaxed);
+            if let Err(e) = self.flush_durability() {
+                return result.and(Err(ServeError::Durability(e.to_string())));
+            }
+        }
+        result
+    }
+
+    /// Flush the attached group-commit WAL, if any: one fsync covering
+    /// every commit since the previous flush.
+    pub(crate) fn flush_durability(&self) -> std::io::Result<()> {
+        let wal = self.durability.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        if let Some(wal) = wal {
+            if wal.flush_group()? > 0 {
+                // hyppo-lint: allow(relaxed-ordering-justified) monitoring counter
+                self.gauges.group_flushes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn metrics(&self) -> ServeMetrics {
+        let queue_depth = self.lock_sched().queued;
+        // hyppo-lint: allow(relaxed-ordering-justified) monitoring snapshot;
+        // tearing across concurrent updates is acceptable for metrics
+        let g = &self.gauges;
+        // hyppo-lint: allow(relaxed-ordering-justified) metrics snapshot read; tearing across concurrent updates is acceptable
+        let completed = g.completed.load(Ordering::Relaxed);
+        ServeMetrics {
+            // hyppo-lint: allow(relaxed-ordering-justified) metrics read (see above)
+            submitted: g.submitted.load(Ordering::Relaxed),
+            completed,
+            // hyppo-lint: allow(relaxed-ordering-justified) metrics read (see above)
+            rejected: g.rejected.load(Ordering::Relaxed),
+            // hyppo-lint: allow(relaxed-ordering-justified) metrics read (see above)
+            cancelled: g.cancelled.load(Ordering::Relaxed),
+            queue_depth,
+            // hyppo-lint: allow(relaxed-ordering-justified) metrics read (see above)
+            peak_queue_depth: g.peak_queue_depth.load(Ordering::Relaxed),
+            // hyppo-lint: allow(relaxed-ordering-justified) metrics read (see above)
+            mailbox_wait_seconds: g.mailbox_wait_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            // hyppo-lint: allow(relaxed-ordering-justified) metrics read (see above)
+            service_seconds: g.service_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            // hyppo-lint: allow(relaxed-ordering-justified) metrics read (see above)
+            latency_seconds: g.latency_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            epoch_lag_mean: if completed == 0 {
+                0.0
+            } else {
+                // hyppo-lint: allow(relaxed-ordering-justified) metrics read (see above)
+                g.epoch_lag_sum.load(Ordering::Relaxed) as f64 / completed as f64
+            },
+            // hyppo-lint: allow(relaxed-ordering-justified) metrics read (see above)
+            epoch_lag_max: g.epoch_lag_max.load(Ordering::Relaxed),
+            // hyppo-lint: allow(relaxed-ordering-justified) metrics read (see above)
+            group_flushes: g.group_flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The serving runtime: worker threads over one shared backend.
+///
+/// Create with [`ServeRuntime::new`], hand out per-tenant [`Client`]s via
+/// [`ServeRuntime::client`], and tear down with [`ServeRuntime::shutdown`]
+/// — which drains every mailbox, flushes durability, and returns the
+/// backend.
+///
+/// [`Client`]: crate::Client
+#[derive(Debug)]
+pub struct ServeRuntime {
+    pub(crate) shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServeRuntime {
+    /// Start `config.workers` actor workers over `backend`.
+    pub fn new(backend: SharedHyppo, config: ServeConfig) -> Self {
+        ServeRuntime::over(Arc::new(backend), config)
+    }
+
+    /// Start the runtime over an already-shared backend (e.g. one that
+    /// embedded code also reads through [`SharedHyppo::snapshot`]).
+    pub fn over(backend: Arc<SharedHyppo>, config: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            backend,
+            config,
+            sched: Mutex::new(Sched::default()),
+            work_cv: Condvar::new(),
+            admit_cv: Condvar::new(),
+            durability: Mutex::new(None),
+            gauges: Gauges::default(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hyppo-serve-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServeRuntime { shared, workers }
+    }
+
+    /// The embedded backend.
+    pub fn backend(&self) -> &SharedHyppo {
+        &self.shared.backend
+    }
+
+    /// Attach a group-commit WAL: the backend's commits buffer into it (in
+    /// epoch order) and the runtime flushes one fsync per commit group and
+    /// whenever it drains idle.
+    pub fn attach_durability(&self, wal: GroupCommitWal) {
+        self.shared.backend.attach_durability(Box::new(wal.clone()));
+        *self.shared.durability.lock().unwrap_or_else(|e| e.into_inner()) = Some(wal);
+    }
+
+    /// Open a new tenant session.
+    pub fn client(&self) -> crate::Client {
+        crate::Client::new(Arc::clone(&self.shared), self.shared.add_tenant())
+    }
+
+    /// Runtime-wide gauges.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.shared.metrics()
+    }
+
+    /// Graceful shutdown: refuse new submissions, drain every mailbox,
+    /// flush durability, join the workers, and return the backend (the
+    /// sole `Arc` if every client/handle was dropped).
+    pub fn shutdown(mut self) -> Result<Arc<SharedHyppo>, ServeError> {
+        self.begin_shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Workers flushed on drain, but cover the no-worker edge and any
+        // events a final `flush_durability` race left behind.
+        self.shared.flush_durability().map_err(|e| ServeError::Durability(e.to_string()))?;
+        Ok(Arc::clone(&self.shared.backend))
+    }
+
+    fn begin_shutdown(&self) {
+        let mut sched = self.shared.lock_sched();
+        sched.shutdown = true;
+        drop(sched);
+        self.shared.work_cv.notify_all();
+        self.shared.admit_cv.notify_all();
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.begin_shutdown();
+            for worker in self.workers.drain(..) {
+                let _ = worker.join();
+            }
+            let _ = self.shared.flush_durability();
+        }
+    }
+}

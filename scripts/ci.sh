@@ -26,6 +26,15 @@ echo "== sweep == batch-planning equivalence suite (HYPPO_PLANNER_THREADS=4)"
 # forced to 4 workers on top of the suite's own {1, 4} thread matrix.
 HYPPO_PLANNER_THREADS=4 cargo test --offline -q --test batch_planning_props
 
+echo "== serve == multi-tenant serving suite (HYPPO_PLANNER_THREADS=4)"
+# Serving gate (crates/serve, DESIGN.md §14): actor-mailbox FIFO order,
+# bounded-admission execute-once properties under rejection/cancel races,
+# and per-tenant bit-identity to isolated replay across 50+ seeds — all
+# re-run with the env-default planner forced to 4 workers so the parallel
+# search interleaves with the serving layer's own worker pool.
+HYPPO_PLANNER_THREADS=4 cargo test --offline -q -p hyppo-serve
+HYPPO_PLANNER_THREADS=4 cargo test --offline -q --test group_commit_crash
+
 echo "== persist: crash-recovery property suite =="
 # Durability gate (crates/persist, DESIGN.md §12): recovery must be
 # bit-identical across 100+ seeded sessions, at every WAL record boundary,

@@ -23,7 +23,10 @@
 //! - [`core`] — the HYPPO system: history, augmenter, plan search,
 //!   cost model, materializer, executor;
 //! - [`runtime`] — concurrent wavefront plan execution, the sharded
-//!   thread-safe artifact store, and the multi-session driver;
+//!   thread-safe artifact store, and the epoch-snapshot shared backend;
+//! - [`serve`] — the multi-tenant serving layer: per-tenant actor
+//!   mailboxes over a worker pool, bounded admission, the
+//!   [`serve::Client`]/[`serve::SubmissionHandle`] API;
 //! - [`persist`] — durability: write-ahead-logged crash-recoverable
 //!   history, disk-backed artifact store, the [`persist::DurableHyppo`]
 //!   session facade;
@@ -51,16 +54,41 @@
 //! assert!(report.execution_seconds > 0.0);
 //! ```
 //!
-//! ## Concurrent sessions
+//! ## Serving many tenants
 //!
 //! N analysts exploring at once against one shared history and store —
-//! the runtime crate's wavefront executor runs each plan's independent
-//! branches in parallel, and materialized artifacts are reused across
-//! sessions:
+//! each tenant gets a [`serve::Client`] whose submissions run FIFO under
+//! its own actor mailbox, interleaved on a worker pool; plans read
+//! immutable epoch snapshots of the shared history, and materialized
+//! artifacts are reused across tenants:
+//!
+//! ```
+//! use hyppo::core::HyppoConfig;
+//! use hyppo::runtime::SharedHyppo;
+//! use hyppo::serve::{ServeConfig, ServeRuntime};
+//! use hyppo::workloads::ensemble_wl::wide_ensemble_spec;
+//! use hyppo::workloads::taxi;
+//!
+//! let runtime = ServeRuntime::new(
+//!     SharedHyppo::new(HyppoConfig { budget_bytes: 1 << 24, ..Default::default() }),
+//!     ServeConfig::default(),
+//! );
+//! let client = runtime.client();
+//! client.register_dataset("taxi", taxi::generate(200, 5));
+//!
+//! let handle = client.submit(wide_ensemble_spec("taxi", 3, 7)).unwrap();
+//! let report = handle.wait().unwrap();
+//! assert!(report.tasks_executed > 0);
+//! assert_eq!(client.metrics().completed, 1);
+//! runtime.shutdown().unwrap();
+//! ```
+//!
+//! Scripted multi-session batches keep their one-call entry point — now
+//! over the actor runtime (each session becomes a tenant):
 //!
 //! ```
 //! use hyppo::core::{Hyppo, HyppoConfig};
-//! use hyppo::runtime::ConcurrentSessions;
+//! use hyppo::serve::ConcurrentSessions;
 //! use hyppo::workloads::ensemble_wl::wide_ensemble_spec;
 //! use hyppo::workloads::taxi;
 //!
@@ -107,5 +135,6 @@ pub use hyppo_ml as ml;
 pub use hyppo_persist as persist;
 pub use hyppo_pipeline as pipeline;
 pub use hyppo_runtime as runtime;
+pub use hyppo_serve as serve;
 pub use hyppo_tensor as tensor;
 pub use hyppo_workloads as workloads;
