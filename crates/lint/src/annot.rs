@@ -12,30 +12,79 @@
 //! comment line suppresses the *next statement* (heuristically: from the
 //! next code line through balanced parentheses to the statement end), which
 //! covers multi-line calls with one annotation.
+//!
+//! Every well-formed annotation also tracks whether it ever matched a
+//! finding: a workspace run reports the ones that did not as
+//! `unused-suppression`, so stale annotations cannot silently accumulate
+//! and mask future regressions. `unused-suppression` is deliberately not
+//! itself suppressible — a stale annotation is deleted, not allowed.
 
+use std::cell::Cell;
+
+use crate::rules::UNUSED_SUPPRESSION;
 use crate::scan::Line;
 use crate::{Finding, MALFORMED_ALLOW};
 
-/// Suppressed `(rule, line)` pairs for one file, plus any findings the
-/// annotations themselves produced.
+/// One well-formed `allow(...)` annotation.
+#[derive(Debug)]
+struct Annot {
+    /// Rules this annotation suppresses.
+    rules: Vec<String>,
+    /// Covered lines, 1-based inclusive.
+    first: usize,
+    last: usize,
+    /// The annotation's own line (for `unused-suppression` reports).
+    line: usize,
+    /// Whether any finding matched this annotation.
+    used: Cell<bool>,
+}
+
+/// Suppressions for one file, plus any findings the annotations themselves
+/// produced.
 #[derive(Debug, Default)]
 pub struct Suppressions {
-    /// `(rule id, 1-based line)` pairs that are allowed.
-    allowed: Vec<(String, usize)>,
+    annots: Vec<Annot>,
     /// Malformed-annotation findings (missing reason, unknown rule).
     pub findings: Vec<Finding>,
 }
 
 impl Suppressions {
-    /// Whether `rule` is suppressed at `line` (1-based).
+    /// Whether `rule` is suppressed at `line` (1-based). Every matching
+    /// annotation is marked used.
     pub fn allows(&self, rule: &str, line: usize) -> bool {
-        self.allowed.iter().any(|(r, l)| r == rule && *l == line)
+        let mut hit = false;
+        for a in &self.annots {
+            if line >= a.first && line <= a.last && a.rules.iter().any(|r| r == rule) {
+                a.used.set(true);
+                hit = true;
+            }
+        }
+        hit
     }
 
-    fn allow_range(&mut self, rule: &str, lines: std::ops::RangeInclusive<usize>) {
-        for l in lines {
-            self.allowed.push((rule.to_string(), l));
-        }
+    /// `(total, used)` annotation counts.
+    pub fn counts(&self) -> (usize, usize) {
+        let used = self.annots.iter().filter(|a| a.used.get()).count();
+        (self.annots.len(), used)
+    }
+
+    /// One `unused-suppression` finding per annotation no finding matched.
+    pub fn unused_findings(&self, rel_path: &str) -> Vec<Finding> {
+        self.annots
+            .iter()
+            .filter(|a| !a.used.get())
+            .map(|a| Finding {
+                rule: UNUSED_SUPPRESSION,
+                file: rel_path.to_string(),
+                line: a.line,
+                column: 1,
+                message: format!(
+                    "suppression `allow({})` matched no finding — stale annotations mask \
+                     future regressions; delete it (or fix the rule name/placement)",
+                    a.rules.join(", ")
+                ),
+            })
+            .collect()
     }
 }
 
@@ -57,6 +106,7 @@ pub fn collect(rel_path: &str, lines: &[Line], known_rules: &[&str]) -> Suppress
                 rule: MALFORMED_ALLOW,
                 file: rel_path.to_string(),
                 line: lineno,
+                column: 1,
                 message: format!("malformed suppression annotation: {why}"),
             }),
             Ok((rules, _reason)) => {
@@ -67,6 +117,7 @@ pub fn collect(rel_path: &str, lines: &[Line], known_rules: &[&str]) -> Suppress
                             rule: MALFORMED_ALLOW,
                             file: rel_path.to_string(),
                             line: lineno,
+                            column: 1,
                             message: format!("allow() names unknown rule `{rule}`"),
                         });
                         ok = false;
@@ -80,9 +131,13 @@ pub fn collect(rel_path: &str, lines: &[Line], known_rules: &[&str]) -> Suppress
                 } else {
                     lineno..=lineno
                 };
-                for rule in &rules {
-                    sup.allow_range(rule, span.clone());
-                }
+                sup.annots.push(Annot {
+                    rules,
+                    first: *span.start(),
+                    last: *span.end(),
+                    line: lineno,
+                    used: Cell::new(false),
+                });
             }
         }
     }
@@ -205,5 +260,28 @@ next();
         let lines = scan("x(); // hyppo-lint: allow(rule-a, rule-b) shared reason\n");
         let sup = collect("f.rs", &lines, RULES);
         assert!(sup.allows("rule-a", 1) && sup.allows("rule-b", 1));
+    }
+
+    #[test]
+    fn unmatched_annotations_are_reported_as_unused() {
+        let lines = scan("x(); // hyppo-lint: allow(rule-a) looked needed once\ny();\n");
+        let sup = collect("f.rs", &lines, RULES);
+        assert_eq!(sup.counts(), (1, 0));
+        let unused = sup.unused_findings("f.rs");
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, UNUSED_SUPPRESSION);
+        assert_eq!(unused[0].line, 1);
+        // Once a finding matches, the annotation is used.
+        assert!(sup.allows("rule-a", 1));
+        assert_eq!(sup.counts(), (1, 1));
+        assert!(sup.unused_findings("f.rs").is_empty());
+    }
+
+    #[test]
+    fn malformed_annotations_are_not_tracked_as_unused() {
+        let lines = scan("x(); // hyppo-lint: allow(rule-a)\n");
+        let sup = collect("f.rs", &lines, RULES);
+        assert_eq!(sup.counts(), (0, 0));
+        assert!(sup.unused_findings("f.rs").is_empty());
     }
 }

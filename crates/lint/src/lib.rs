@@ -14,28 +14,39 @@
 //! // hyppo-lint: allow(<rule>) <mandatory reason>
 //! ```
 //!
-//! Rules (see `DESIGN.md` §10 for the invariant each protects):
+//! Per-file rules scan each file's blanked line model; the interprocedural
+//! rules additionally parse every library source into a lightweight program
+//! model (`model`), resolve a call graph by name + receiver heuristics
+//! (`callgraph`), and analyze the static lock-acquisition graph
+//! (`lockgraph`). See `DESIGN.md` §10 and §15.
 //!
-//! | rule | flags |
-//! |------|-------|
-//! | `nondeterministic-iteration` | `HashMap`/`HashSet` iteration in planner/runtime/hypergraph code |
-//! | `wall-clock-in-planner` | `Instant::now`/`SystemTime::now` in plan-decision code |
-//! | `relaxed-ordering-justified` | weak/RMW atomic orderings without a written justification |
-//! | `unsafe-needs-safety-comment` | `unsafe` without an adjacent `// SAFETY:` comment |
-//! | `nested-lock-acquire` | a lock acquired while another guard is plausibly live |
-//! | `no-deprecated-planner-api` | `SearchOptions` / free-function `optimize(` |
-//! | `direct-fs-write-outside-persist` | raw filesystem mutation in durability-critical crates |
-//! | `malformed-allow` | `allow(...)` without a reason, or naming an unknown rule |
+//! | rule | family | flags |
+//! |------|--------|-------|
+//! | `nondeterministic-iteration` | determinism | `HashMap`/`HashSet` iteration in planner/runtime/hypergraph code |
+//! | `wall-clock-in-planner` | determinism | `Instant::now`/`SystemTime::now` in plan-decision code |
+//! | `relaxed-ordering-justified` | concurrency | weak/RMW atomic orderings without a written justification |
+//! | `nested-lock-acquire` | concurrency | a lock acquired while another guard is plausibly live (same fn) |
+//! | `lock-order-cycle` | concurrency | a cycle in the workspace lock-acquisition graph (interprocedural) |
+//! | `blocking-in-critical-section` | concurrency | a blocking call reachable while a guard is held (interprocedural) |
+//! | `unsafe-needs-safety-comment` | safety | `unsafe` without an adjacent `// SAFETY:` comment |
+//! | `no-deprecated-planner-api` | api | `SearchOptions` / free-function `optimize(` |
+//! | `direct-fs-write-outside-persist` | durability | raw filesystem mutation in durability-critical crates |
+//! | `malformed-allow` | suppression | `allow(...)` without a reason, or naming an unknown rule |
+//! | `unused-suppression` | suppression | a well-formed `allow(...)` that matched no finding (workspace runs) |
 
 mod annot;
+mod callgraph;
+mod lockgraph;
+mod model;
 mod rules;
 mod scan;
 
 pub use rules::{
-    DEPRECATED_API, DIRECT_FS_WRITE, NESTED_LOCK, NONDET_ITERATION, RELAXED_ORDERING, RULE_IDS,
-    UNSAFE_COMMENT, WALL_CLOCK,
+    rule_family, BLOCKING_CRITICAL, DEPRECATED_API, DIRECT_FS_WRITE, LOCK_ORDER_CYCLE, NESTED_LOCK,
+    NONDET_ITERATION, RELAXED_ORDERING, RULE_IDS, UNSAFE_COMMENT, UNUSED_SUPPRESSION, WALL_CLOCK,
 };
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -52,7 +63,7 @@ pub const SCAN_ROOTS: &[&str] = &["src", "crates", "tests", "examples"];
 /// fixture snippets.
 const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git"];
 
-/// One rule violation at a file/line.
+/// One rule violation at a file/line/column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule id.
@@ -61,36 +72,68 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column (best-effort within the blanked line model).
+    pub column: usize,
     /// Human-readable explanation.
     pub message: String,
 }
 
+/// Aggregate statistics for one lint run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Finding counts keyed by rule id (only rules that fired).
+    pub findings_per_rule: BTreeMap<String, usize>,
+    /// Well-formed suppression annotations seen.
+    pub suppressions_total: usize,
+    /// Annotations that matched at least one finding.
+    pub suppressions_used: usize,
+    /// Annotations that matched none (each also reported as
+    /// `unused-suppression` in workspace runs).
+    pub suppressions_unused: usize,
+}
+
+/// A full lint run: findings plus summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, sorted by `(file, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Aggregate statistics.
+    pub summary: Summary,
+}
+
 /// Lint one source text as if it lived at `rel_path` (forward slashes,
 /// relative to the workspace root — the path decides which rules apply).
+/// Runs the per-file rules *and* the interprocedural passes over this one
+/// file, but — unlike workspace runs — does not report unused suppressions
+/// (a lone file legitimately lacks its cross-file finding sources).
 /// Findings come back sorted by line, then rule.
 pub fn lint_source(rel_path: &str, text: &str) -> Vec<Finding> {
-    let lines = scan::scan(text);
-    let mut sup = annot::collect(rel_path, &lines, rules::RULE_IDS);
-    let mut findings = rules::check_file(rel_path, &lines, &sup);
-    findings.append(&mut sup.findings);
+    let files = vec![(rel_path.to_string(), text.to_string())];
+    let mut findings = run(&files, false).findings;
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
+}
+
+/// Lint an explicit set of `(rel_path, text)` files as one workspace,
+/// including the interprocedural passes and unused-suppression reporting.
+pub fn lint_files(files: &[(String, String)]) -> Report {
+    run(files, true)
 }
 
 /// Lint every `.rs` file under the workspace `root`'s [`SCAN_ROOTS`].
 /// Findings come back sorted by `(file, line, rule)` — the lint is about
 /// determinism, so its own output is deterministic too.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut files = Vec::new();
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut paths = Vec::new();
     for dir in SCAN_ROOTS {
         let path = root.join(dir);
         if path.is_dir() {
-            collect_rs_files(&path, &mut files)?;
+            collect_rs_files(&path, &mut paths)?;
         }
     }
-    files.sort();
-    let mut findings = Vec::new();
-    for file in &files {
+    paths.sort();
+    let mut files = Vec::new();
+    for file in &paths {
         let text = fs::read_to_string(file)?;
         let rel = file
             .strip_prefix(root)
@@ -99,10 +142,85 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        findings.extend(lint_source(&rel, &text));
+        files.push((rel, text));
     }
+    Ok(run(&files, true))
+}
+
+/// The full pipeline: per-file rules, then the interprocedural passes, then
+/// (for workspace runs) unused-suppression accounting.
+fn run(files: &[(String, String)], report_unused: bool) -> Report {
+    let mut scanned: Vec<(usize, Vec<scan::Line>)> = Vec::new(); // (file idx, lines)
+    let mut order: Vec<usize> = (0..files.len()).collect();
+    order.sort_by(|&a, &b| files[a].0.cmp(&files[b].0));
+    for &i in &order {
+        scanned.push((i, scan::scan(&files[i].1)));
+    }
+
+    let mut sups = Vec::new();
+    let mut findings = Vec::new();
+    for (i, lines) in &scanned {
+        let rel = &files[*i].0;
+        let sup = annot::collect(rel, lines, rules::RULE_IDS);
+        findings.extend(rules::check_file(rel, lines, &sup));
+        sups.push(sup);
+    }
+
+    // Interprocedural passes over the library sources: two-phase model build
+    // (guard-returning helpers first), call graph, lock graph.
+    let modeled: Vec<(usize, &Vec<scan::Line>)> = scanned
+        .iter()
+        .filter(|(i, _)| model::in_model_scope(&files[*i].0))
+        .map(|(i, l)| (*i, l))
+        .collect();
+    let mut fns = Vec::new();
+    for (i, lines) in &modeled {
+        fns.extend(model::file_models(&files[*i].0, lines, &[]));
+    }
+    let helpers = model::guard_helpers(&fns);
+    let mut fns = Vec::new();
+    for (i, lines) in &modeled {
+        fns.extend(model::file_models(&files[*i].0, lines, &helpers));
+    }
+    let ws = callgraph::Workspace::new(fns);
+    for f in lockgraph::analyze(&ws) {
+        let allowed = scanned
+            .iter()
+            .position(|(i, _)| files[*i].0 == f.file)
+            .is_some_and(|k| sups[k].allows(f.rule, f.line));
+        if !allowed {
+            findings.push(f);
+        }
+    }
+
+    // Annotation meta-findings last: malformed always, unused only for
+    // workspace runs — and only after every rule had its chance to match.
+    let mut suppressions_total = 0;
+    let mut suppressions_used = 0;
+    for (k, (i, _)) in scanned.iter().enumerate() {
+        let (total, used) = sups[k].counts();
+        suppressions_total += total;
+        suppressions_used += used;
+        findings.append(&mut sups[k].findings);
+        if report_unused {
+            findings.extend(sups[k].unused_findings(&files[*i].0));
+        }
+    }
+
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(findings)
+    let mut findings_per_rule: BTreeMap<String, usize> = BTreeMap::new();
+    for f in &findings {
+        *findings_per_rule.entry(f.rule.to_string()).or_insert(0) += 1;
+    }
+    Report {
+        summary: Summary {
+            findings_per_rule,
+            suppressions_total,
+            suppressions_used,
+            suppressions_unused: suppressions_total - suppressions_used,
+        },
+        findings,
+    }
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -122,44 +240,76 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Render findings the way a compiler would.
-pub fn render_human(findings: &[Finding]) -> String {
+/// Render a report the way a compiler would.
+pub fn render_human(report: &Report) -> String {
     let mut out = String::new();
-    for f in findings {
+    for f in &report.findings {
         let _ = writeln!(out, "error[{}]: {}", f.rule, f.message);
-        let _ = writeln!(out, "  --> {}:{}", f.file, f.line);
+        let _ = writeln!(out, "  --> {}:{}:{}", f.file, f.line, f.column);
     }
-    if findings.is_empty() {
-        out.push_str("hyppo-lint: no violations\n");
+    if report.findings.is_empty() {
+        let _ = writeln!(
+            out,
+            "hyppo-lint: no violations ({} suppression{} in use)",
+            report.summary.suppressions_used,
+            if report.summary.suppressions_used == 1 { "" } else { "s" }
+        );
     } else {
         let _ = writeln!(
             out,
             "hyppo-lint: {} violation{} (suppress a site with \
              `// hyppo-lint: allow(<rule>) <reason>` — the reason is mandatory)",
-            findings.len(),
-            if findings.len() == 1 { "" } else { "s" }
+            report.findings.len(),
+            if report.findings.len() == 1 { "" } else { "s" }
         );
     }
     out
 }
 
-/// Render findings as a single JSON object (machine output for CI).
-pub fn render_json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\"tool\":\"hyppo-lint\",\"version\":1,\"findings\":[");
-    for (i, f) in findings.iter().enumerate() {
+/// Render a report as a single JSON object (machine output for CI).
+///
+/// Schema (version 2, pinned by `tests/json_golden.rs`):
+///
+/// ```text
+/// {"tool":"hyppo-lint","version":2,
+///  "findings":[{"rule","rule_family","file","line","column","message"}...],
+///  "total":N,
+///  "summary":{"findings_per_rule":{"<rule>":N,...},
+///             "suppressions":{"total":N,"used":N,"unused":N}}}
+/// ```
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\"tool\":\"hyppo-lint\",\"version\":2,\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let _ = write!(
             out,
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"rule_family\":\"{}\",\"file\":\"{}\",\"line\":{},\
+             \"column\":{},\"message\":\"{}\"}}",
             json_escape(f.rule),
+            json_escape(rules::rule_family(f.rule)),
             json_escape(&f.file),
             f.line,
+            f.column,
             json_escape(&f.message)
         );
     }
-    let _ = write!(out, "],\"total\":{}}}", findings.len());
+    let _ = write!(out, "],\"total\":{}", report.findings.len());
+    out.push_str(",\"summary\":{\"findings_per_rule\":{");
+    for (i, (rule, n)) in report.summary.findings_per_rule.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(rule), n);
+    }
+    let _ = write!(
+        out,
+        "}},\"suppressions\":{{\"total\":{},\"used\":{},\"unused\":{}}}}}}}",
+        report.summary.suppressions_total,
+        report.summary.suppressions_used,
+        report.summary.suppressions_unused
+    );
     out.push('\n');
     out
 }
@@ -185,19 +335,40 @@ fn json_escape(s: &str) -> String {
 mod tests {
     use super::*;
 
+    fn report_of(findings: Vec<Finding>) -> Report {
+        let mut findings_per_rule = BTreeMap::new();
+        for f in &findings {
+            *findings_per_rule.entry(f.rule.to_string()).or_insert(0) += 1;
+        }
+        Report {
+            findings,
+            summary: Summary {
+                findings_per_rule,
+                suppressions_total: 2,
+                suppressions_used: 1,
+                suppressions_unused: 1,
+            },
+        }
+    }
+
     #[test]
     fn json_output_is_well_formed_for_tricky_messages() {
-        let findings = vec![Finding {
+        let report = report_of(vec![Finding {
             rule: MALFORMED_ALLOW,
             file: "a/b.rs".into(),
             line: 3,
+            column: 7,
             message: "quote \" backslash \\ newline \n done".into(),
-        }];
-        let json = render_json(&findings);
+        }]);
+        let json = render_json(&report);
         assert!(json.contains("\\\""));
         assert!(json.contains("\\\\"));
         assert!(json.contains("\\n"));
-        assert!(json.ends_with("\"total\":1}\n"));
+        assert!(json.contains("\"version\":2"));
+        assert!(json.contains("\"rule_family\":\"suppression\""));
+        assert!(json.contains("\"column\":7"));
+        assert!(json.contains("\"total\":1,\"summary\":{"));
+        assert!(json.contains("\"suppressions\":{\"total\":2,\"used\":1,\"unused\":1}"));
     }
 
     #[test]
@@ -213,5 +384,34 @@ mod tests {
         let findings = lint_source("crates/bench/src/x.rs", src);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, DEPRECATED_API);
+    }
+
+    #[test]
+    fn lint_source_does_not_report_unused_suppressions_but_lint_files_does() {
+        let src = "fn f() {} // hyppo-lint: allow(wall-clock-in-planner) not actually needed\n";
+        let rel = "crates/core/src/optimizer/x.rs";
+        assert!(lint_source(rel, src).is_empty());
+        let report = lint_files(&[(rel.to_string(), src.to_string())]);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, UNUSED_SUPPRESSION);
+        assert_eq!(report.summary.suppressions_total, 1);
+        assert_eq!(report.summary.suppressions_unused, 1);
+    }
+
+    #[test]
+    fn interprocedural_findings_honor_suppressions_and_mark_them_used() {
+        let src = "\
+impl S {
+    fn f(&self) {
+        let g = self.m.lock().unwrap();
+        // hyppo-lint: allow(blocking-in-critical-section) intentional drain under guard
+        self.file.sync_all().unwrap();
+    }
+}
+";
+        let rel = "crates/persist/src/x.rs";
+        let report = lint_files(&[(rel.to_string(), src.to_string())]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.summary.suppressions_used, 1);
     }
 }

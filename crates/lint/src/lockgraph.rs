@@ -1,0 +1,397 @@
+//! The static lock-acquisition graph and the two interprocedural rules.
+//!
+//! Edges: `A → B` when some function acquires lock `B` (directly or through
+//! any resolvable callee chain) while `A` is statically held. A cycle in
+//! this graph is a potential deadlock — two threads entering the cycle at
+//! different points can each hold the lock the other wants — and is
+//! reported as `lock-order-cycle` with a full witness path per edge.
+//!
+//! `blocking-in-critical-section` fires wherever a known blocking operation
+//! (fsync, `write_all`, `recv`, `join`, `Condvar::wait` on a *different*
+//! lock, sleep) is reachable while any guard is held, anchored at the
+//! statement in the guard-holding frame so a suppression there documents
+//! the intent (the WAL drain inside `SharedHyppo::commit` being the
+//! canonical justified site, DESIGN.md §14).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{reachability, Reach, Step, Workspace};
+use crate::model::EventKind;
+use crate::rules::{BLOCKING_CRITICAL, LOCK_ORDER_CYCLE};
+use crate::Finding;
+
+/// Witness for one lock-order edge `from → to`.
+#[derive(Debug, Clone)]
+struct EdgeWitness {
+    /// Function whose frame holds `from` at the acquisition point.
+    holder: String,
+    /// Site of the acquisition (or of the call that reaches it).
+    file: String,
+    line: usize,
+    col: usize,
+    /// Call path from the holder to the acquiring frame (empty if direct).
+    via: Vec<Step>,
+}
+
+/// Run both interprocedural rules; returns findings not yet filtered by
+/// suppressions, sorted by `(file, line, rule)`.
+pub fn analyze(ws: &Workspace) -> Vec<Finding> {
+    let reach = reachability(ws);
+    let mut findings = Vec::new();
+    let edges = collect_edges(ws, &reach);
+    findings.extend(cycle_findings(&edges));
+    findings.extend(blocking_findings(ws, &reach));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// All lock-order edges with one deterministic witness each: first writer
+/// wins, and functions/events are walked in deterministic order.
+fn collect_edges(ws: &Workspace, reach: &[Reach]) -> BTreeMap<(String, String), EdgeWitness> {
+    let mut edges: BTreeMap<(String, String), EdgeWitness> = BTreeMap::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        for ev in &f.events {
+            if ev.held.is_empty() {
+                continue;
+            }
+            match &ev.kind {
+                EventKind::Acquire { lock } => {
+                    for held in &ev.held {
+                        if held != lock {
+                            edges.entry((held.clone(), lock.clone())).or_insert_with(|| {
+                                EdgeWitness {
+                                    holder: f.qualified(),
+                                    file: f.file.clone(),
+                                    line: ev.line,
+                                    col: ev.col,
+                                    via: Vec::new(),
+                                }
+                            });
+                        }
+                    }
+                }
+                EventKind::Call { name, recv } => {
+                    for j in ws.resolve(i, name, recv) {
+                        for (lock, w) in &reach[j].acquires {
+                            for held in &ev.held {
+                                if held == lock || ev.held.contains(lock) {
+                                    continue;
+                                }
+                                edges.entry((held.clone(), lock.clone())).or_insert_with(|| {
+                                    let mut via = vec![Step {
+                                        callee: ws.fns[j].qualified(),
+                                        file: f.file.clone(),
+                                        line: ev.line,
+                                    }];
+                                    via.extend(w.path.iter().cloned());
+                                    EdgeWitness {
+                                        holder: f.qualified(),
+                                        file: f.file.clone(),
+                                        line: ev.line,
+                                        col: ev.col,
+                                        via,
+                                    }
+                                });
+                            }
+                        }
+                    }
+                }
+                EventKind::Block { .. } => {}
+            }
+        }
+    }
+    edges
+}
+
+/// One `lock-order-cycle` finding per strongly connected component of the
+/// edge graph, anchored at the witness of the component's smallest edge.
+fn cycle_findings(edges: &BTreeMap<(String, String), EdgeWitness>) -> Vec<Finding> {
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    let mut succ: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        nodes.insert(from);
+        nodes.insert(to);
+        succ.entry(from).or_default().push(to);
+    }
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for &start in &nodes {
+        if reported.contains(start) {
+            continue;
+        }
+        let Some(cycle) = shortest_cycle(start, &succ) else { continue };
+        // Report each component once, from its lexicographically smallest
+        // member; skip if a smaller member will (or did) report it.
+        if cycle.iter().any(|n| n.as_str() < start) || cycle.iter().any(|n| reported.contains(n)) {
+            continue;
+        }
+        for n in &cycle {
+            reported.insert(n.clone());
+        }
+        let mut desc = String::new();
+        for win in cycle.windows(2) {
+            let key = (win[0].clone(), win[1].clone());
+            let w = &edges[&key];
+            if !desc.is_empty() {
+                desc.push_str("; ");
+            }
+            desc.push_str(&format!(
+                "`{}` held while acquiring `{}` in `{}` at {}:{}{}",
+                win[0],
+                win[1],
+                w.holder,
+                w.file,
+                w.line,
+                render_via(&w.via)
+            ));
+        }
+        let first = &edges[&(cycle[0].clone(), cycle[1].clone())];
+        let ring = cycle.join(" -> ");
+        findings.push(Finding {
+            rule: LOCK_ORDER_CYCLE,
+            file: first.file.clone(),
+            line: first.line,
+            column: first.col,
+            message: format!(
+                "lock-order cycle {ring}: {desc} — two threads entering this ring at \
+                 different points can deadlock; impose a single acquisition order or \
+                 annotate why the orders can never interleave"
+            ),
+        });
+    }
+    findings
+}
+
+/// Shortest cycle through `start`, as `[start, ..., start]`, via BFS over
+/// the nodes reachable from `start` until an edge returns to it.
+fn shortest_cycle(start: &str, succ: &BTreeMap<&str, Vec<&str>>) -> Option<Vec<String>> {
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue: std::collections::VecDeque<&str> = std::collections::VecDeque::new();
+    for &n in succ.get(start)? {
+        if n == start {
+            return Some(vec![start.to_string(), start.to_string()]);
+        }
+        if !parent.contains_key(n) {
+            parent.insert(n, start);
+            queue.push_back(n);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for &m in succ.get(n).map(|v| v.as_slice()).unwrap_or(&[]) {
+            if m == start {
+                // Rebuild start -> ... -> n -> start by retracing parents.
+                let mut rev = vec![start.to_string(), n.to_string()];
+                let mut cur = n;
+                while cur != start {
+                    cur = parent[cur];
+                    rev.push(cur.to_string());
+                }
+                rev.reverse();
+                return Some(rev);
+            }
+            if !parent.contains_key(m) {
+                parent.insert(m, n);
+                queue.push_back(m);
+            }
+        }
+    }
+    None
+}
+
+/// `blocking-in-critical-section`: direct blocking events under a guard,
+/// plus calls under a guard whose callee may transitively block. One
+/// finding per `(file, line)`.
+fn blocking_findings(ws: &Workspace, reach: &[Reach]) -> Vec<Finding> {
+    let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+    let mut findings = Vec::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        for ev in &f.events {
+            if ev.held.is_empty() {
+                continue;
+            }
+            let held = ev.held.join("`, `");
+            match &ev.kind {
+                EventKind::Block { what } => {
+                    if seen.insert((f.file.clone(), ev.line)) {
+                        findings.push(Finding {
+                            rule: BLOCKING_CRITICAL,
+                            file: f.file.clone(),
+                            line: ev.line,
+                            column: ev.col,
+                            message: format!(
+                                "blocking `{what}` in `{}` while holding `{held}` — a \
+                                 blocked critical section stalls every waiter; move the \
+                                 operation outside the guard or annotate why blocking \
+                                 here is intended",
+                                f.qualified()
+                            ),
+                        });
+                    }
+                }
+                EventKind::Call { name, recv } => {
+                    let mut witness: Option<(&str, String)> = None;
+                    for j in ws.resolve(i, name, recv) {
+                        if let Some(b) = &reach[j].block {
+                            let mut via = vec![Step {
+                                callee: ws.fns[j].qualified(),
+                                file: f.file.clone(),
+                                line: ev.line,
+                            }];
+                            via.extend(b.path.iter().cloned());
+                            let chain = via
+                                .iter()
+                                .map(|s| format!("`{}`", s.callee))
+                                .collect::<Vec<_>>()
+                                .join(" -> ");
+                            witness =
+                                Some((b.what.as_str(), format!("{chain} ({}:{})", b.file, b.line)));
+                            break; // deterministic: first resolved callee wins
+                        }
+                    }
+                    if let Some((what, via)) = witness {
+                        if seen.insert((f.file.clone(), ev.line)) {
+                            findings.push(Finding {
+                                rule: BLOCKING_CRITICAL,
+                                file: f.file.clone(),
+                                line: ev.line,
+                                column: ev.col,
+                                message: format!(
+                                    "call in `{}` while holding `{held}` may reach blocking \
+                                     `{what}` via {via} — move the call outside the guard or \
+                                     annotate why blocking here is intended",
+                                    f.qualified()
+                                ),
+                            });
+                        }
+                    }
+                }
+                EventKind::Acquire { .. } => {}
+            }
+        }
+    }
+    findings
+}
+
+fn render_via(via: &[Step]) -> String {
+    if via.is_empty() {
+        return String::new();
+    }
+    let chain = via
+        .iter()
+        .map(|s| format!("`{}` ({}:{})", s.callee, s.file, s.line))
+        .collect::<Vec<_>>()
+        .join(" -> ");
+    format!(" via {chain}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{file_models, guard_helpers};
+    use crate::scan::scan;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lines = scan(src);
+        let first = file_models("crates/x/src/lib.rs", &lines, &[]);
+        let helpers = guard_helpers(&first);
+        let ws = Workspace::new(file_models("crates/x/src/lib.rs", &lines, &helpers));
+        analyze(&ws)
+    }
+
+    #[test]
+    fn two_lock_inversion_is_a_cycle() {
+        let f = run("impl S {\n\
+                 fn ab(&self) {\n\
+                     let a = self.a.lock().unwrap();\n\
+                     let b = self.b.lock().unwrap();\n\
+                 }\n\
+                 fn ba(&self) {\n\
+                     let b = self.b.lock().unwrap();\n\
+                     let a = self.a.lock().unwrap();\n\
+                 }\n\
+             }\n");
+        let cycles: Vec<&Finding> = f.iter().filter(|x| x.rule == LOCK_ORDER_CYCLE).collect();
+        assert_eq!(cycles.len(), 1, "{f:?}");
+        assert!(cycles[0].message.contains("S::a"));
+        assert!(cycles[0].message.contains("S::b"));
+    }
+
+    #[test]
+    fn consistent_order_is_not_a_cycle() {
+        let f = run("impl S {\n\
+                 fn ab(&self) {\n\
+                     let a = self.a.lock().unwrap();\n\
+                     let b = self.b.lock().unwrap();\n\
+                 }\n\
+                 fn also_ab(&self) {\n\
+                     let a = self.a.lock().unwrap();\n\
+                     let b = self.b.lock().unwrap();\n\
+                 }\n\
+             }\n");
+        assert!(f.iter().all(|x| x.rule != LOCK_ORDER_CYCLE), "{f:?}");
+    }
+
+    #[test]
+    fn cycle_through_a_callee_is_found_with_a_via_path() {
+        let f = run("impl S {\n\
+                 fn ab(&self) {\n\
+                     let a = self.a.lock().unwrap();\n\
+                     self.take_b();\n\
+                 }\n\
+                 fn take_b(&self) {\n\
+                     let b = self.b.lock().unwrap();\n\
+                 }\n\
+                 fn ba(&self) {\n\
+                     let b = self.b.lock().unwrap();\n\
+                     let a = self.a.lock().unwrap();\n\
+                 }\n\
+             }\n");
+        let cycle = f.iter().find(|x| x.rule == LOCK_ORDER_CYCLE).expect("cycle");
+        assert!(cycle.message.contains("via `S::take_b`"), "{}", cycle.message);
+    }
+
+    #[test]
+    fn blocking_under_guard_direct_and_via_callee() {
+        let f = run("impl S {\n\
+                 fn direct(&self) {\n\
+                     let g = self.m.lock().unwrap();\n\
+                     self.file.sync_all().unwrap();\n\
+                 }\n\
+                 fn indirect(&self) {\n\
+                     let g = self.m.lock().unwrap();\n\
+                     self.flush();\n\
+                 }\n\
+                 fn flush(&self) {\n\
+                     self.file.sync_all().unwrap();\n\
+                 }\n\
+             }\n");
+        let blocks: Vec<usize> =
+            f.iter().filter(|x| x.rule == BLOCKING_CRITICAL).map(|x| x.line).collect();
+        assert_eq!(blocks, vec![4, 8], "{f:?}");
+        let via = f.iter().find(|x| x.line == 8).unwrap();
+        assert!(via.message.contains("`S::flush`"), "{}", via.message);
+    }
+
+    #[test]
+    fn condvar_wait_on_own_lock_is_not_flagged() {
+        let f = run("impl S {\n\
+                 fn waiter(&self) {\n\
+                     let mut st = self.state.lock().unwrap();\n\
+                     st = self.cv.wait(st).unwrap();\n\
+                 }\n\
+             }\n");
+        assert!(f.iter().all(|x| x.rule != BLOCKING_CRITICAL), "{f:?}");
+    }
+
+    #[test]
+    fn condvar_wait_under_a_second_lock_is_flagged() {
+        let f = run("impl S {\n\
+                 fn waiter(&self) {\n\
+                     let outer = self.other.lock().unwrap();\n\
+                     let mut st = self.state.lock().unwrap();\n\
+                     st = self.cv.wait(st).unwrap();\n\
+                 }\n\
+             }\n");
+        assert!(f.iter().any(|x| x.rule == BLOCKING_CRITICAL), "{f:?}");
+    }
+}

@@ -47,8 +47,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match hyppo_lint::lint_workspace(&root) {
-        Ok(f) => f,
+    let report = match hyppo_lint::lint_workspace(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("hyppo-lint: failed to read sources under {}: {e}", root.display());
             return ExitCode::from(2);
@@ -56,11 +56,11 @@ fn main() -> ExitCode {
     };
 
     if json {
-        print!("{}", hyppo_lint::render_json(&findings));
+        print!("{}", hyppo_lint::render_json(&report));
     } else {
-        print!("{}", hyppo_lint::render_human(&findings));
+        print!("{}", hyppo_lint::render_human(&report));
     }
-    if findings.is_empty() {
+    if report.findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -1,0 +1,1057 @@
+//! The lightweight program model behind the interprocedural passes.
+//!
+//! [`file_models`] parses one file's blanked [`Line`]s into [`FnModel`]s: per
+//! function, the ordered list of [`Event`]s the concurrency rules care about —
+//! lock-guard acquisitions by lock *identity* (`self.catalog.write()` inside
+//! `impl SharedHyppo` becomes `SharedHyppo::catalog`), calls with a receiver
+//! classification for name resolution, and known blocking operations
+//! (`sync_all`, `write_all`, `File::create`, `Condvar::wait`, `recv`, `join`,
+//! `sleep`). Every event carries the set of lock identities statically held at
+//! that point, tracked by a brace-depth-aware guard-liveness walk: a let-bound
+//! acquire whose trailing chain is only guard-preserving adapters (`unwrap`,
+//! `expect`, `unwrap_or_else`) stays live until its block closes or `drop(g)`;
+//! anything else (`.clone()`, `.take()`, a call chained onto the guard) is a
+//! temporary held only for the rest of its statement.
+//!
+//! This is a heuristic model, not a compiler: names are resolved textually,
+//! generics are never instantiated, and closures inherit their enclosing
+//! function's guards (see `DESIGN.md` §15 for the soundness caveats). The
+//! model errs toward *flagging*, and every finding site can carry a justified
+//! suppression — the audit trail the rules exist to create.
+
+use crate::scan::{is_word_char, word_occurrences, Line};
+
+/// One function (or method) definition in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnModel {
+    /// Bare function name (no path).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, if this is a method.
+    pub self_ty: Option<String>,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` item.
+    pub line: usize,
+    /// Ordered events extracted from the body.
+    pub events: Vec<Event>,
+    /// Lock identity this function acquires and returns as a live guard
+    /// (`fn lock_sched(&self) -> MutexGuard<..>` helpers).
+    pub returns_guard: Option<String>,
+}
+
+impl FnModel {
+    /// `Type::name` or bare `name` — for witness paths in messages.
+    pub fn qualified(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One model-relevant site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based column (within the blanked code model).
+    pub col: usize,
+    /// Lock identities statically held when this event runs (sorted, deduped).
+    pub held: Vec<String>,
+}
+
+/// Event classification.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A lock/read/write guard acquisition of `lock`.
+    Acquire {
+        /// Normalized lock identity.
+        lock: String,
+    },
+    /// A call that may resolve to a workspace function.
+    Call {
+        /// Bare callee name.
+        name: String,
+        /// Receiver classification used by the resolver.
+        recv: Recv,
+    },
+    /// A known blocking operation.
+    Block {
+        /// Human-readable operation name (`sync_all`, `recv`, ...).
+        what: &'static str,
+    },
+}
+
+/// Receiver classification for call resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// `self.name(...)` — resolve within the enclosing impl type.
+    SelfDot,
+    /// `Type::name(...)` — resolve against that type's methods/associated fns.
+    Path(String),
+    /// `expr.name(...)` with an unknown receiver — resolve against every
+    /// workspace method of that name.
+    Expr,
+    /// `name(...)` — resolve against free functions.
+    Free,
+}
+
+/// A guard-returning helper (`fn lock_sched(&self) -> MutexGuard<..>`):
+/// calling it is an acquisition of `lock` at the call site.
+#[derive(Debug, Clone)]
+pub struct GuardHelper {
+    /// Helper function name.
+    pub name: String,
+    /// Enclosing impl type, if a method.
+    pub self_ty: Option<String>,
+    /// The lock identity the helper acquires.
+    pub lock: String,
+}
+
+/// Build the guard-helper table for a set of already-built models: any
+/// function whose signature mentions a guard return type and whose body's
+/// first event is an acquisition.
+pub fn guard_helpers(models: &[FnModel]) -> Vec<GuardHelper> {
+    let mut out = Vec::new();
+    for m in models {
+        if let Some(lock) = &m.returns_guard {
+            if !lock.is_empty() {
+                out.push(GuardHelper {
+                    name: m.name.clone(),
+                    self_ty: m.self_ty.clone(),
+                    lock: lock.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Blocking-call patterns over a statement's glued text. `(needle,
+/// empty_args_only, label)`: when `empty_args_only` the pattern only counts
+/// with a bare `()` (so `handle.join()` flags but `path.join("x")` does not).
+const BLOCKING: &[(&str, bool, &str)] = &[
+    (".sync_all(", false, "sync_all"),
+    (".sync_data(", false, "sync_data"),
+    (".write_all(", false, "write_all"),
+    ("fs::write(", false, "fs::write"),
+    ("File::create(", false, "File::create"),
+    (".recv(", true, "recv"),
+    (".recv_timeout(", false, "recv_timeout"),
+    (".join(", true, "join"),
+    ("::sleep(", false, "sleep"),
+];
+
+/// Guard-preserving adapters: a chain of only these after an acquire still
+/// yields the guard itself, so a let binding keeps the lock held.
+const GUARD_ADAPTERS: &[&str] = &[".unwrap()", ".expect(", ".unwrap_or_else("];
+
+/// Rust keywords that look like calls (`if (..)`, `while (..)`, ...).
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "else", "move", "in", "as",
+    "break", "continue", "unsafe", "where", "impl", "dyn", "ref", "mut", "pub", "use", "type",
+];
+
+/// Parse one file into function models. `helpers` is the guard-helper table
+/// from a first pass (pass `&[]` for that first pass). Scanning stops at the
+/// first `#[cfg(test)]` line: test code holds no production lock invariants.
+pub fn file_models(rel_path: &str, lines: &[Line], helpers: &[GuardHelper]) -> Vec<FnModel> {
+    Builder::new(rel_path, helpers).run(lines)
+}
+
+/// Whether interprocedural passes model this path: library sources only
+/// (`src/` and `crates/*/src/`), never tests, benches, or examples.
+pub fn in_model_scope(rel_path: &str) -> bool {
+    if rel_path.starts_with("src/") {
+        return true;
+    }
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        if let Some((_, tail)) = rest.split_once('/') {
+            return tail.starts_with("src/");
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// statement walker
+// ---------------------------------------------------------------------------
+
+/// A live lock guard inside the current function.
+#[derive(Debug)]
+struct LiveGuard {
+    var: Option<String>,
+    lock: String,
+    /// Brace depth of the guard's scope; retired when depth drops below.
+    depth: i32,
+}
+
+enum Ctx {
+    /// Plain block (loop body, closure, module, ...): events keep flowing to
+    /// the innermost enclosing function.
+    Block,
+    /// `impl Type` / `trait Name` block: methods inside get this self type.
+    Impl(Option<String>),
+    /// A function body; index into the output models.
+    Fn(usize),
+}
+
+struct OpenCtx {
+    ctx: Ctx,
+    /// Depth after this context's opening brace.
+    depth: i32,
+}
+
+struct Builder<'a> {
+    rel_path: &'a str,
+    helpers: &'a [GuardHelper],
+    depth: i32,
+    stack: Vec<OpenCtx>,
+    /// Guard sets parallel to the `Ctx::Fn` entries in `stack`.
+    guard_stacks: Vec<Vec<LiveGuard>>,
+    out: Vec<FnModel>,
+}
+
+/// One statement: text glued across lines (rustfmt-style leading-`.` chain
+/// continuations concatenate seamlessly) plus a byte → (line, col) map.
+struct Stmt {
+    text: String,
+    /// `(1-based line, 1-based col)` per byte of `text`; `(0, 0)` for glue.
+    pos: Vec<(usize, usize)>,
+}
+
+impl Stmt {
+    fn at(&self, byte: usize) -> (usize, usize) {
+        self.pos
+            .get(byte)
+            .copied()
+            .filter(|&p| p != (0, 0))
+            .unwrap_or_else(|| self.pos.iter().copied().find(|&p| p != (0, 0)).unwrap_or((1, 1)))
+    }
+}
+
+impl<'a> Builder<'a> {
+    fn new(rel_path: &'a str, helpers: &'a [GuardHelper]) -> Self {
+        Builder {
+            rel_path,
+            helpers,
+            depth: 0,
+            stack: Vec::new(),
+            guard_stacks: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    fn run(mut self, lines: &[Line]) -> Vec<FnModel> {
+        let mut stmt = Stmt { text: String::new(), pos: Vec::new() };
+        'outer: for (idx, line) in lines.iter().enumerate() {
+            if line.code.contains("#[cfg(test)]") {
+                break 'outer;
+            }
+            let trimmed_start = line.code.len() - line.code.trim_start().len();
+            // Glue chain continuations (`.method()`) directly; otherwise
+            // separate lines with one space so keywords never fuse.
+            let first = line.code.trim_start().chars().next();
+            if !stmt.text.is_empty() && !matches!(first, Some('.' | ')' | ']' | '?')) {
+                stmt.text.push(' ');
+                stmt.pos.push((0, 0));
+            }
+            for (ci, c) in line.code.chars().enumerate() {
+                if ci < trimmed_start && c.is_whitespace() {
+                    continue;
+                }
+                match c {
+                    '{' | '}' | ';' => {
+                        self.end_stmt(&stmt, idx + 1, c);
+                        stmt.text.clear();
+                        stmt.pos.clear();
+                    }
+                    _ => {
+                        stmt.text.push(c);
+                        for _ in 0..c.len_utf8() {
+                            stmt.pos.push((idx + 1, ci + 1));
+                        }
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Innermost enclosing function context, if any.
+    fn fn_ctx(&self) -> Option<usize> {
+        self.stack.iter().rev().find_map(|o| match o.ctx {
+            Ctx::Fn(i) => Some(i),
+            _ => None,
+        })
+    }
+
+    fn enclosing_self_ty(&self) -> Option<String> {
+        self.stack.iter().rev().find_map(|o| match &o.ctx {
+            Ctx::Impl(t) => t.clone(),
+            _ => None,
+        })
+    }
+
+    fn end_stmt(&mut self, stmt: &Stmt, line_no: usize, term: char) {
+        let text = stmt.text.trim();
+        if term == '{' {
+            // Classify the new context before processing events: `fn`/`impl`
+            // headers carry no events. The `fn` check comes first — a
+            // signature may mention `impl Trait` in argument position
+            // (`fn commit<R>(.., f: impl FnOnce(..) -> R)`), but an
+            // `impl`/`trait` header never contains the word `fn`.
+            if let Some(name) = fn_item_name(&stmt.text) {
+                let self_ty = self.enclosing_self_ty();
+                let returns_guard_hint =
+                    stmt.text.split_once("->").is_some_and(|(_, ret)| ret.contains("Guard"));
+                self.out.push(FnModel {
+                    name,
+                    self_ty,
+                    file: self.rel_path.to_string(),
+                    line: first_line(stmt, line_no),
+                    events: Vec::new(),
+                    returns_guard: returns_guard_hint.then_some(String::new()),
+                });
+                self.depth += 1;
+                self.stack.push(OpenCtx { ctx: Ctx::Fn(self.out.len() - 1), depth: self.depth });
+                self.guard_stacks.push(Vec::new());
+                return;
+            }
+            if !word_occurrences(&stmt.text, "impl").is_empty()
+                || !word_occurrences(&stmt.text, "trait").is_empty()
+            {
+                self.depth += 1;
+                self.stack.push(OpenCtx { ctx: Ctx::Impl(impl_type(text)), depth: self.depth });
+                return;
+            }
+        }
+        if self.fn_ctx().is_some() && !text.is_empty() {
+            self.process(stmt, line_no, term);
+        }
+        match term {
+            '{' => {
+                self.depth += 1;
+                self.stack.push(OpenCtx { ctx: Ctx::Block, depth: self.depth });
+            }
+            '}' => {
+                self.depth -= 1;
+                while self.stack.last().is_some_and(|o| o.depth > self.depth) {
+                    if matches!(self.stack.pop().map(|o| o.ctx), Some(Ctx::Fn(_))) {
+                        self.guard_stacks.pop();
+                    }
+                }
+                if let Some(guards) = self.guard_stacks.last_mut() {
+                    guards.retain(|g| g.depth <= self.depth);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Extract events from one statement inside a function.
+    fn process(&mut self, stmt: &Stmt, line_no: usize, term: char) {
+        let fn_idx = self.fn_ctx().expect("checked by caller");
+        let occs = self.occurrences(stmt, fn_idx);
+        let binding = binding_name(&stmt.text);
+        let mut stmt_locks: Vec<String> = Vec::new();
+        let mut first_acquire: Option<(String, usize)> = None;
+        let mut acquire_count = 0usize;
+
+        for occ in &occs {
+            let held = self.held_set(&stmt_locks);
+            let (line, col) = stmt.at(occ.pos);
+            let line = if line == 0 { line_no } else { line };
+            match &occ.kind {
+                Occ::Acquire { lock, end } => {
+                    acquire_count += 1;
+                    if first_acquire.is_none() {
+                        first_acquire = Some((lock.clone(), *end));
+                    }
+                    self.push_event(
+                        fn_idx,
+                        EventKind::Acquire { lock: lock.clone() },
+                        line,
+                        col,
+                        held,
+                    );
+                    stmt_locks.push(lock.clone());
+                }
+                Occ::Call { name, recv } => {
+                    self.push_event(
+                        fn_idx,
+                        EventKind::Call { name: name.clone(), recv: recv.clone() },
+                        line,
+                        col,
+                        held,
+                    );
+                }
+                Occ::Block { what } => {
+                    self.push_event(fn_idx, EventKind::Block { what }, line, col, held);
+                }
+                Occ::Wait { guard_var } => {
+                    // Condvar wait releases the guard passed to it: exempt
+                    // that lock, flag only if anything else is still held.
+                    let mut held = held;
+                    if let Some(var) = guard_var {
+                        if let Some(guards) = self.guard_stacks.last() {
+                            if let Some(g) =
+                                guards.iter().find(|g| g.var.as_deref() == Some(var.as_str()))
+                            {
+                                held.retain(|l| *l != g.lock);
+                            }
+                        }
+                    }
+                    self.push_event(
+                        fn_idx,
+                        EventKind::Block { what: "Condvar::wait" },
+                        line,
+                        col,
+                        held,
+                    );
+                }
+                Occ::Drop { var } => {
+                    if let Some(guards) = self.guard_stacks.last_mut() {
+                        guards.retain(|g| g.var.as_deref() != Some(var.as_str()));
+                    }
+                }
+            }
+        }
+
+        // Guard liveness: a single acquire whose trailing chain is only
+        // guard-preserving adapters, bound by `let`/assignment or a
+        // scrutinee block, stays held past the statement.
+        if acquire_count == 1 {
+            let (lock, end) = first_acquire.clone().expect("count == 1");
+            let scrutinee = term == '{';
+            let kept = guard_preserving_tail(&stmt.text[end..], scrutinee);
+            if kept {
+                let var = binding
+                    .clone()
+                    .or_else(|| scrutinee.then(|| pattern_binding(&stmt.text)).flatten());
+                if binding.is_some() || scrutinee {
+                    let depth = if term == '{' { self.depth + 1 } else { self.depth };
+                    if let Some(guards) = self.guard_stacks.last_mut() {
+                        // Rebinding a name replaces its previous guard.
+                        if let Some(v) = &var {
+                            guards.retain(|g| g.var.as_deref() != Some(v.as_str()));
+                        }
+                        guards.push(LiveGuard { var, lock, depth });
+                    }
+                }
+            }
+        }
+
+        // Record whether this function is a guard-returning helper: its
+        // last statement is a bare acquisition expression (no `;`).
+        if term == '}' && acquire_count == 1 && binding.is_none() {
+            if let Some((lock, end)) = first_acquire {
+                if guard_preserving_tail(&stmt.text[end..], false) {
+                    if let Some(m) = self.out.get_mut(fn_idx) {
+                        if matches!(&m.returns_guard, Some(s) if s.is_empty()) {
+                            m.returns_guard = Some(lock);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_event(
+        &mut self,
+        fn_idx: usize,
+        kind: EventKind,
+        line: usize,
+        col: usize,
+        held: Vec<String>,
+    ) {
+        if let Some(m) = self.out.get_mut(fn_idx) {
+            m.events.push(Event { kind, line, col, held });
+        }
+    }
+
+    /// Locks held right now: live guards plus same-statement acquisitions.
+    fn held_set(&self, stmt_locks: &[String]) -> Vec<String> {
+        let mut held: Vec<String> = self
+            .guard_stacks
+            .last()
+            .map(|gs| gs.iter().map(|g| g.lock.clone()).collect())
+            .unwrap_or_default();
+        held.extend(stmt_locks.iter().cloned());
+        held.sort();
+        held.dedup();
+        held
+    }
+
+    /// All pattern occurrences in the statement, sorted by position.
+    fn occurrences(&self, stmt: &Stmt, fn_idx: usize) -> Vec<PosOcc> {
+        let text = &stmt.text;
+        let mut occs: Vec<PosOcc> = Vec::new();
+        let mut claimed: Vec<(usize, usize)> = Vec::new(); // byte ranges taken
+
+        // 1. Direct acquisitions: `.lock()`, `.read()`, `.write()`.
+        for pat in [".lock()", ".read()", ".write()"] {
+            let mut from = 0;
+            while let Some(rel) = text[from..].find(pat) {
+                let pos = from + rel;
+                let recv = receiver_chain(text, pos);
+                let lock = self.lock_id(&recv, fn_idx, stmt, pos);
+                occs.push(PosOcc { pos, kind: Occ::Acquire { lock, end: pos + pat.len() } });
+                claimed.push((pos, pos + pat.len()));
+                from = pos + pat.len();
+            }
+        }
+
+        // 2. Guard-returning helper calls: `self.lock_sched()` etc.
+        for h in self.helpers {
+            let needle = format!("{}()", h.name);
+            for p in word_occurrences(text, &h.name) {
+                if !text[p..].starts_with(&needle) {
+                    continue;
+                }
+                let is_method = text[..p].ends_with('.');
+                let recv = if is_method { receiver_chain(text, p - 1) } else { String::new() };
+                // A `self.helper()` call only matches a helper of the
+                // enclosing type; any other receiver could be of the
+                // helper's type, so it matches (over-approximation).
+                let matches_ty = match (&h.self_ty, is_method) {
+                    (Some(_), true) => recv != "self" || h.self_ty == self.out[fn_idx].self_ty,
+                    (None, false) => true,
+                    _ => false,
+                };
+                if !matches_ty {
+                    continue;
+                }
+                occs.push(PosOcc {
+                    pos: p,
+                    kind: Occ::Acquire { lock: h.lock.clone(), end: p + needle.len() },
+                });
+                claimed.push((p, p + needle.len()));
+            }
+        }
+
+        // 3. Blocking operations.
+        for (pat, empty_only, label) in BLOCKING {
+            let mut from = 0;
+            while let Some(rel) = text[from..].find(pat) {
+                let pos = from + rel;
+                let after = &text[pos + pat.len()..];
+                let effective = !empty_only || after.starts_with(')');
+                if effective {
+                    occs.push(PosOcc { pos, kind: Occ::Block { what: label } });
+                    claimed.push((pos, pos + pat.len()));
+                }
+                from = pos + pat.len();
+            }
+        }
+
+        // 4. Condvar-style waits: `.wait(g)` / `.wait_timeout(g, ..)` release
+        //    their own guard; `.wait()` with no argument is a plain block.
+        for pat in [".wait(", ".wait_timeout(", ".wait_while("] {
+            let mut from = 0;
+            while let Some(rel) = text[from..].find(pat) {
+                let pos = from + rel;
+                let arg: String =
+                    text[pos + pat.len()..].chars().take_while(|&c| is_word_char(c)).collect();
+                let kind = if arg.is_empty() && text[pos + pat.len()..].starts_with(')') {
+                    Occ::Block { what: "wait" }
+                } else {
+                    Occ::Wait { guard_var: (!arg.is_empty()).then_some(arg) }
+                };
+                occs.push(PosOcc { pos, kind });
+                claimed.push((pos, pos + pat.len()));
+                from = pos + pat.len();
+            }
+        }
+
+        // 5. `drop(g)` releases.
+        for p in word_occurrences(text, "drop") {
+            if let Some(rest) = text[p + 4..].strip_prefix('(') {
+                let var: String =
+                    rest.trim_start().chars().take_while(|&c| is_word_char(c)).collect();
+                if !var.is_empty() {
+                    occs.push(PosOcc { pos: p, kind: Occ::Drop { var } });
+                    claimed.push((p, p + 4));
+                }
+            }
+        }
+
+        // 6. Generic calls: `ident(`, skipping everything claimed above,
+        //    keywords, and macros.
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if !is_word_char(bytes[i] as char) {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < bytes.len() && is_word_char(bytes[i] as char) {
+                i += 1;
+            }
+            let word = &text[start..i];
+            if i >= bytes.len() || bytes[i] != b'(' {
+                continue;
+            }
+            if claimed.iter().any(|&(a, b)| start < b && a < i + 1) {
+                continue;
+            }
+            if word.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            if CALL_KEYWORDS.contains(&word) {
+                continue;
+            }
+            let before = text[..start].chars().next_back();
+            if before == Some('!') {
+                continue; // macro name ended with `!`? (never: `!` precedes `(`)
+            }
+            // Macro invocation: `name!(`.
+            if bytes.get(i).copied() == Some(b'(') && text[start..].starts_with(&format!("{word}!"))
+            {
+                continue;
+            }
+            let recv = match before {
+                Some('.') => {
+                    let chain = receiver_chain(text, start - 1);
+                    if chain == "self" {
+                        Recv::SelfDot
+                    } else {
+                        Recv::Expr
+                    }
+                }
+                Some(':') => {
+                    let qual = path_qualifier(text, start);
+                    match qual {
+                        Some(q) => Recv::Path(q),
+                        None => Recv::Free,
+                    }
+                }
+                Some(c) if is_word_char(c) => continue, // mid-identifier (defensive)
+                _ => Recv::Free,
+            };
+            occs.push(PosOcc { pos: start, kind: Occ::Call { name: word.to_string(), recv } });
+        }
+
+        occs.sort_by_key(|o| o.pos);
+        occs
+    }
+
+    /// Normalize a receiver chain into a lock identity.
+    fn lock_id(&self, recv: &str, fn_idx: usize, stmt: &Stmt, pos: usize) -> String {
+        let self_ty = self.out[fn_idx].self_ty.as_deref();
+        if recv.is_empty() {
+            let (line, col) = stmt.at(pos);
+            return format!("<expr {}:{line}:{col}>", self.rel_path);
+        }
+        if let Some(rest) = recv.strip_prefix("self.") {
+            return match self_ty {
+                Some(t) => format!("{t}::{rest}"),
+                None => rest.to_string(),
+            };
+        }
+        if recv == "self" {
+            return match self_ty {
+                Some(t) => format!("{t}::self"),
+                None => "self".to_string(),
+            };
+        }
+        match recv.split_once('.') {
+            // `s.dom` through a local alias: identity is the field path.
+            Some((_, rest)) => rest.to_string(),
+            None => recv.to_string(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PosOcc {
+    pos: usize,
+    kind: Occ,
+}
+
+#[derive(Debug)]
+enum Occ {
+    Acquire { lock: String, end: usize },
+    Call { name: String, recv: Recv },
+    Block { what: &'static str },
+    Wait { guard_var: Option<String> },
+    Drop { var: String },
+}
+
+/// The receiver chain ending just before the `.` at `dot`: identifiers and
+/// dots, with `[index]` groups elided, stopping at anything else.
+fn receiver_chain(text: &str, dot: usize) -> String {
+    let bytes = text.as_bytes();
+    let mut i = dot; // exclusive end; walk left
+    let mut out: Vec<u8> = Vec::new();
+    while i > 0 {
+        let c = bytes[i - 1] as char;
+        if is_word_char(c) || c == '.' {
+            out.push(bytes[i - 1]);
+            i -= 1;
+        } else if c == ']' {
+            // Skip the whole `[...]` group.
+            let mut depth = 0i32;
+            while i > 0 {
+                match bytes[i - 1] {
+                    b']' => depth += 1,
+                    b'[' => {
+                        depth -= 1;
+                        i -= 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                i -= 1;
+            }
+            if depth != 0 {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    out.reverse();
+    let s = String::from_utf8_lossy(&out).to_string();
+    s.trim_matches('.').to_string()
+}
+
+/// The path qualifier before `Type::name(` at `start` (`start` points at
+/// `name`): the last `::` segment, or `None` for bare `::name`.
+fn path_qualifier(text: &str, start: usize) -> Option<String> {
+    let before = &text[..start];
+    let before = before.strip_suffix("::")?;
+    let seg: String = before
+        .chars()
+        .rev()
+        .take_while(|&c| is_word_char(c))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    (!seg.is_empty()).then_some(seg)
+}
+
+/// Whether the chain after an acquisition keeps yielding the guard: only
+/// `unwrap`/`expect`/`unwrap_or_else` adapters up to the statement end.
+/// Scrutinee positions (`if let Ok(g) = m.lock()`) accept an empty tail too.
+fn guard_preserving_tail(tail: &str, _scrutinee: bool) -> bool {
+    let mut t = tail.trim();
+    loop {
+        let mut advanced = false;
+        for pat in GUARD_ADAPTERS {
+            if let Some(rest) = t.strip_prefix(pat) {
+                if pat.ends_with('(') {
+                    // Skip to the matching close paren.
+                    let mut depth = 1i32;
+                    let mut end = rest.len();
+                    for (i, c) in rest.char_indices() {
+                        match c {
+                            '(' => depth += 1,
+                            ')' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = i + 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    t = rest[end.min(rest.len())..].trim_start();
+                } else {
+                    t = rest.trim_start();
+                }
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    t.is_empty() || t == "?"
+}
+
+/// The `let`/assignment binding target of a statement, if any.
+fn binding_name(text: &str) -> Option<String> {
+    let t = text.trim_start();
+    if let Some(rest) = t.strip_prefix("let ") {
+        let rest = rest.trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let name: String = rest.chars().take_while(|&c| is_word_char(c)).collect();
+        let after = rest[name.len()..].trim_start();
+        // `let Ok(g) = ...` patterns are handled by `pattern_binding`.
+        if !name.is_empty() && (after.starts_with('=') || after.starts_with(':')) {
+            return Some(name);
+        }
+        return None;
+    }
+    // Plain re-assignment: `sched = self.lock_sched();`
+    let name: String = t.chars().take_while(|&c| is_word_char(c)).collect();
+    if !name.is_empty() && !CALL_KEYWORDS.contains(&name.as_str()) {
+        let after = t[name.len()..].trim_start();
+        if after.starts_with('=') && !after.starts_with("==") {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// The inner binding of a scrutinee pattern: `if let Ok(g) = ...` → `g`.
+fn pattern_binding(text: &str) -> Option<String> {
+    let let_pos = word_occurrences(text, "let").first().copied()?;
+    let rest = text[let_pos + 3..].trim_start();
+    let open = rest.find('(')?;
+    let eq = rest.find('=')?;
+    if open > eq {
+        return None;
+    }
+    let inner: String =
+        rest[open + 1..].trim_start().chars().take_while(|&c| is_word_char(c)).collect();
+    (!inner.is_empty()).then_some(inner)
+}
+
+/// The name of a `fn` item declared by this statement, if it is one.
+fn fn_item_name(text: &str) -> Option<String> {
+    let pos = word_occurrences(text, "fn").first().copied()?;
+    let rest = text[pos + 2..].trim_start();
+    let name: String = rest.chars().take_while(|&c| is_word_char(c)).collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// The `impl`/`trait` block's subject type: the word before `for`'s target,
+/// or the first type name after the keyword.
+fn impl_type(text: &str) -> Option<String> {
+    let tail = if let Some(f) = word_occurrences(text, "for").first() {
+        &text[f + 3..]
+    } else if let Some(i) = word_occurrences(text, "impl").first() {
+        let after = &text[i + 4..];
+        // Skip a generics list: `impl<T> Foo<T>`.
+        match after.trim_start().strip_prefix('<') {
+            Some(rest) => match rest.find('>') {
+                Some(gt) => &rest[gt + 1..],
+                None => rest,
+            },
+            None => after,
+        }
+    } else if let Some(t) = word_occurrences(text, "trait").first() {
+        &text[t + 5..]
+    } else {
+        return None;
+    };
+    let name: String = tail.trim_start().chars().take_while(|&c| is_word_char(c)).collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// First real source line of a statement (1-based), falling back to the
+/// terminator's line.
+fn first_line(stmt: &Stmt, fallback: usize) -> usize {
+    stmt.pos.iter().copied().find(|&p| p != (0, 0)).map(|(l, _)| l).unwrap_or(fallback)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn models(src: &str) -> Vec<FnModel> {
+        let lines = scan(src);
+        let first = file_models("crates/x/src/lib.rs", &lines, &[]);
+        let helpers = guard_helpers(&first);
+        file_models("crates/x/src/lib.rs", &lines, &helpers)
+    }
+
+    #[test]
+    fn methods_get_their_impl_type_and_lock_identity() {
+        let ms = models(
+            "struct S { m: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+                 fn a(&self) -> u32 {\n\
+                     let g = self.m.lock().unwrap();\n\
+                     *g\n\
+                 }\n\
+             }\n",
+        );
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].name, "a");
+        assert_eq!(ms[0].self_ty.as_deref(), Some("S"));
+        let acquire = ms[0]
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::Acquire { lock } => Some(lock.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(acquire, "S::m");
+    }
+
+    #[test]
+    fn calls_after_an_acquire_carry_the_held_lock() {
+        let ms = models(
+            "impl S {\n\
+                 fn a(&self) {\n\
+                     let g = self.m.lock().unwrap();\n\
+                     self.helper(*g);\n\
+                 }\n\
+             }\n",
+        );
+        let call = ms[0]
+            .events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "helper"))
+            .unwrap();
+        assert_eq!(call.held, vec!["S::m".to_string()]);
+    }
+
+    #[test]
+    fn temporaries_do_not_hold_past_their_statement() {
+        let ms = models(
+            "impl S {\n\
+                 fn a(&self) {\n\
+                     let v = self.m.lock().unwrap().clone();\n\
+                     self.helper(v);\n\
+                 }\n\
+             }\n",
+        );
+        let call = ms[0]
+            .events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "helper"))
+            .unwrap();
+        assert!(call.held.is_empty(), "clone() drops the guard at statement end");
+    }
+
+    #[test]
+    fn drop_releases_and_adjacent_functions_are_independent() {
+        let ms = models(
+            "impl S {\n\
+                 fn a(&self) {\n\
+                     let g = self.m.lock().unwrap();\n\
+                     drop(g);\n\
+                     self.helper(1);\n\
+                 }\n\
+                 fn b(&self) {\n\
+                     self.helper(2);\n\
+                 }\n\
+             }\n",
+        );
+        for m in &ms {
+            let call = m
+                .events
+                .iter()
+                .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "helper"))
+                .unwrap();
+            assert!(call.held.is_empty(), "{}: nothing held", m.name);
+        }
+    }
+
+    #[test]
+    fn condvar_wait_releases_its_own_guard() {
+        let ms = models(
+            "impl S {\n\
+                 fn a(&self) {\n\
+                     let mut st = self.state.lock().unwrap();\n\
+                     st = self.cv.wait(st).unwrap();\n\
+                     drop(st);\n\
+                 }\n\
+             }\n",
+        );
+        let wait = ms[0]
+            .events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Block { what } if *what == "Condvar::wait"))
+            .unwrap();
+        assert!(wait.held.is_empty(), "own guard exempted: {:?}", wait.held);
+    }
+
+    #[test]
+    fn guard_returning_helpers_acquire_at_the_call_site() {
+        let ms = models(
+            "impl S {\n\
+                 fn lock_sched(&self) -> std::sync::MutexGuard<'_, u32> {\n\
+                     self.sched.lock().unwrap()\n\
+                 }\n\
+                 fn work(&self) {\n\
+                     let sched = self.lock_sched();\n\
+                     self.helper(*sched);\n\
+                 }\n\
+             }\n",
+        );
+        let helper = ms.iter().find(|m| m.name == "lock_sched").unwrap();
+        assert_eq!(helper.returns_guard.as_deref(), Some("S::sched"));
+        let work = ms.iter().find(|m| m.name == "work").unwrap();
+        let call = work
+            .events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "helper"))
+            .unwrap();
+        assert_eq!(call.held, vec!["S::sched".to_string()]);
+    }
+
+    #[test]
+    fn blocking_patterns_and_receiver_kinds_classify() {
+        let ms = models(
+            "fn free_fn(file: &mut std::fs::File) {\n\
+                 file.sync_all().unwrap();\n\
+                 Helper::assoc();\n\
+                 other(1);\n\
+             }\n",
+        );
+        let kinds: Vec<String> = ms[0]
+            .events
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::Block { what } => format!("block:{what}"),
+                EventKind::Call { name, recv } => format!("call:{name}:{recv:?}"),
+                EventKind::Acquire { lock } => format!("acq:{lock}"),
+            })
+            .collect();
+        assert!(kinds.contains(&"block:sync_all".to_string()), "{kinds:?}");
+        assert!(kinds.iter().any(|k| k.starts_with("call:assoc:Path")), "{kinds:?}");
+        assert!(kinds.iter().any(|k| k.starts_with("call:other:Free")), "{kinds:?}");
+    }
+
+    #[test]
+    fn path_join_is_not_a_thread_join() {
+        let ms = models(
+            "fn f(p: &std::path::Path, h: std::thread::JoinHandle<()>) {\n\
+                 let q = p.join(\"x\");\n\
+                 h.join().unwrap();\n\
+             }\n",
+        );
+        let joins: Vec<usize> = ms[0]
+            .events
+            .iter()
+            .filter(|e| matches!(&e.kind, EventKind::Block { what } if *what == "join"))
+            .map(|e| e.line)
+            .collect();
+        assert_eq!(joins, vec![3]);
+    }
+
+    #[test]
+    fn test_modules_are_not_modeled() {
+        let ms = models(
+            "fn real() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn fake(m: &std::sync::Mutex<u32>) { let g = m.lock().unwrap(); }\n\
+             }\n",
+        );
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].name, "real");
+    }
+
+    #[test]
+    fn model_scope_covers_library_sources_only() {
+        assert!(in_model_scope("crates/core/src/optimizer/parallel.rs"));
+        assert!(in_model_scope("src/main.rs"));
+        assert!(!in_model_scope("crates/core/tests/props.rs"));
+        assert!(!in_model_scope("tests/integration.rs"));
+        assert!(!in_model_scope("examples/demo.rs"));
+    }
+}

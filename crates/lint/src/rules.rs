@@ -1,4 +1,4 @@
-//! The seven HYPPO-specific rules.
+//! The per-file HYPPO-specific rules, rule-id registry, and rule families.
 //!
 //! Every rule is a textual heuristic over the blanked [`Line`] model — no
 //! type information, no macro expansion. That is deliberate: the rules
@@ -27,8 +27,16 @@ pub const NESTED_LOCK: &str = "nested-lock-acquire";
 pub const DEPRECATED_API: &str = "no-deprecated-planner-api";
 /// Rule: raw filesystem mutation in durability-critical crates.
 pub const DIRECT_FS_WRITE: &str = "direct-fs-write-outside-persist";
+/// Rule (interprocedural): a cycle in the static lock-acquisition graph.
+pub const LOCK_ORDER_CYCLE: &str = "lock-order-cycle";
+/// Rule (interprocedural): a blocking operation reachable under a guard.
+pub const BLOCKING_CRITICAL: &str = "blocking-in-critical-section";
+/// Meta rule: a well-formed suppression that matched no finding. Not in
+/// [`RULE_IDS`]: stale suppressions are deleted, never themselves allowed.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
 
-/// All non-meta rule ids (the meta rule `malformed-allow` lives in lib.rs).
+/// All suppressible rule ids (the meta rules `malformed-allow` and
+/// `unused-suppression` are deliberately absent).
 pub const RULE_IDS: &[&str] = &[
     NONDET_ITERATION,
     WALL_CLOCK,
@@ -37,7 +45,21 @@ pub const RULE_IDS: &[&str] = &[
     NESTED_LOCK,
     DEPRECATED_API,
     DIRECT_FS_WRITE,
+    LOCK_ORDER_CYCLE,
+    BLOCKING_CRITICAL,
 ];
+
+/// The family a rule belongs to (grouping for `--json` consumers).
+pub fn rule_family(rule: &str) -> &'static str {
+    match rule {
+        NONDET_ITERATION | WALL_CLOCK => "determinism",
+        RELAXED_ORDERING | NESTED_LOCK | LOCK_ORDER_CYCLE | BLOCKING_CRITICAL => "concurrency",
+        UNSAFE_COMMENT => "safety",
+        DIRECT_FS_WRITE => "durability",
+        DEPRECATED_API => "api",
+        _ => "suppression", // malformed-allow, unused-suppression
+    }
+}
 
 /// Directories whose code must produce bit-identical results under any
 /// thread count: the planner, the runtime, the serving layer, and the
@@ -54,8 +76,14 @@ const DETERMINISM_SCOPE: &[&str] = &[
 const PLANNER_SCOPE: &[&str] = &["crates/core/src/optimizer/", "crates/hypergraph/src/"];
 
 /// Concurrency-audited code: atomics and lock nesting carry justifications.
-const CONCURRENCY_SCOPE: &[&str] =
-    &["crates/core/src/optimizer/", "crates/runtime/src/", "crates/serve/src/"];
+/// `crates/persist` joined the scope with `GroupCommitWal` — the WAL mutexes
+/// and fsync-absorption counters are as concurrency-critical as the runtime.
+const CONCURRENCY_SCOPE: &[&str] = &[
+    "crates/core/src/optimizer/",
+    "crates/runtime/src/",
+    "crates/serve/src/",
+    "crates/persist/src/",
+];
 
 /// Durability-audited code: the core system and the runtime hold state the
 /// WAL and snapshot recovery must be able to rebuild, so raw filesystem
@@ -68,12 +96,13 @@ fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
     scope.iter().any(|p| rel_path.starts_with(p))
 }
 
-/// Run every rule applicable to `rel_path` over `lines`.
+/// Run every per-file rule applicable to `rel_path` over `lines`. (The
+/// interprocedural rules run afterwards over the whole-workspace model.)
 pub fn check_file(rel_path: &str, lines: &[Line], sup: &Suppressions) -> Vec<Finding> {
     let mut out = Vec::new();
-    let mut emit = |rule: &'static str, line: usize, message: String| {
+    let mut emit = |rule: &'static str, line: usize, column: usize, message: String| {
         if !sup.allows(rule, line) {
-            out.push(Finding { rule, file: rel_path.to_string(), line, message });
+            out.push(Finding { rule, file: rel_path.to_string(), line, column, message });
         }
     };
     if in_scope(rel_path, DETERMINISM_SCOPE) {
@@ -104,7 +133,7 @@ pub fn check_file(rel_path: &str, lines: &[Line], sup: &Suppressions) -> Vec<Fin
 /// `.values()`, `.drain()`, `.into_iter()`) whose statement does not
 /// immediately impose an order (`sort`/`BTree*`) or fold order-independently
 /// (`count`/`len`/`all`/`any`/`min`/`max`).
-fn nondet_iteration(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, String)) {
+fn nondet_iteration(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, usize, String)) {
     let vars = hash_typed_idents(lines);
     if vars.is_empty() {
         return;
@@ -112,12 +141,12 @@ fn nondet_iteration(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, S
     for (idx, line) in lines.iter().enumerate() {
         let code = &line.code;
         for var in &vars {
-            let mut hit: Option<&str> = None;
+            let mut hit: Option<(&str, usize)> = None;
             'occ: for pos in word_occurrences(code, var) {
                 let after = &code[pos + var.len()..];
                 for method in [".iter()", ".keys()", ".values()", ".into_iter()", ".drain("] {
                     if after.starts_with(method) {
-                        hit = Some(method);
+                        hit = Some((method, pos + 1));
                         break 'occ;
                     }
                 }
@@ -125,17 +154,18 @@ fn nondet_iteration(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, S
             if hit.is_none() {
                 if let Some(expr) = for_loop_expr(code) {
                     if receiver_is(&expr, var) {
-                        hit = Some("for .. in");
+                        hit = Some(("for .. in", 1));
                     }
                 }
             }
-            let Some(how) = hit else { continue };
+            let Some((how, col)) = hit else { continue };
             if how != "for .. in" && statement_imposes_order(lines, idx) {
                 continue;
             }
             emit(
                 NONDET_ITERATION,
                 idx + 1,
+                col,
                 format!(
                     "iteration over hash-ordered `{var}` ({how}) — hash iteration order is \
                      nondeterministic and breaks parallel-vs-serial bit-identity; sort the \
@@ -271,13 +301,14 @@ fn statement_imposes_order(lines: &[Line], idx: usize) -> bool {
 // wall-clock-in-planner
 // ---------------------------------------------------------------------------
 
-fn wall_clock(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, String)) {
+fn wall_clock(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, usize, String)) {
     for (idx, line) in lines.iter().enumerate() {
         for pat in ["Instant::now", "SystemTime::now"] {
-            if line.code.contains(pat) {
+            if let Some(pos) = line.code.find(pat) {
                 emit(
                     WALL_CLOCK,
                     idx + 1,
+                    pos + 1,
                     format!(
                         "`{pat}` in plan-decision code — costs and tie-breaks must never \
                          depend on the clock (timing belongs in monitor.rs, benches, or \
@@ -293,16 +324,17 @@ fn wall_clock(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, String)
 // relaxed-ordering-justified
 // ---------------------------------------------------------------------------
 
-fn relaxed_ordering(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, String)) {
+fn relaxed_ordering(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, usize, String)) {
     for (idx, line) in lines.iter().enumerate() {
         let code = &line.code;
-        let relaxed = !word_occurrences(code, "Relaxed").is_empty();
+        let relaxed = word_occurrences(code, "Relaxed").first().copied();
         let rmw =
-            [".fetch_min(", ".fetch_max(", ".compare_exchange"].iter().any(|p| code.contains(p));
-        if relaxed || rmw {
+            [".fetch_min(", ".fetch_max(", ".compare_exchange"].iter().find_map(|p| code.find(p));
+        if let Some(pos) = relaxed.or(rmw) {
             emit(
                 RELAXED_ORDERING,
                 idx + 1,
+                pos + 1,
                 "atomic with a weak/RMW ordering must carry an \
                  `allow(relaxed-ordering-justified)` annotation explaining why the \
                  ordering is safe"
@@ -316,17 +348,16 @@ fn relaxed_ordering(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, S
 // unsafe-needs-safety-comment
 // ---------------------------------------------------------------------------
 
-fn unsafe_comment(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, String)) {
+fn unsafe_comment(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, usize, String)) {
     for (idx, line) in lines.iter().enumerate() {
-        if word_occurrences(&line.code, "unsafe").is_empty() {
-            continue;
-        }
+        let Some(pos) = word_occurrences(&line.code, "unsafe").first().copied() else { continue };
         let documented = (idx.saturating_sub(3)..=idx)
             .any(|j| lines.get(j).is_some_and(|l| l.comment.contains("SAFETY:")));
         if !documented {
             emit(
                 UNSAFE_COMMENT,
                 idx + 1,
+                pos + 1,
                 "`unsafe` without an adjacent `// SAFETY:` comment — state the invariant \
                  that makes this sound"
                     .to_string(),
@@ -353,8 +384,17 @@ struct Guard {
 /// guard live until its block closes (or an explicit `drop(g)`), and any
 /// further acquisition while a guard is live — or two acquisitions in one
 /// statement — is flagged. Annotate with the lock-order rationale.
-fn nested_lock(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, String)) {
-    const ACQUIRE: &[&str] = &[".lock(", ".read(", ".write("];
+///
+/// Guard liveness resets at every `fn` item boundary: a guard can never
+/// outlive the function that bound it, so even if brace tracking was thrown
+/// off (strings are blanked, but macros can still unbalance the model), a
+/// stale guard cannot leak into the *next* function and flag its first
+/// acquisition.
+fn nested_lock(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, usize, String)) {
+    // Empty-argument forms only: `Mutex::lock`/`RwLock::read`/`RwLock::write`
+    // take no arguments, while `io::Read::read(&mut buf)` and the
+    // `OpenOptions` builder's `.read(true)`/`.write(true)` do.
+    const ACQUIRE: &[&str] = &[".lock()", ".read()", ".write()"];
     let mut depth: i32 = 0;
     let mut guards: Vec<Guard> = Vec::new();
     let mut stmt = String::new();
@@ -367,13 +407,27 @@ fn nested_lock(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, String
             }
             match c {
                 '{' | '}' | ';' => {
+                    if c == '{' && !word_occurrences(&stmt, "fn").is_empty() {
+                        // Entering a new `fn` item: no guard crosses a
+                        // function boundary.
+                        guards.clear();
+                        stmt.clear();
+                        depth += 1;
+                        continue;
+                    }
                     let acqs: usize = ACQUIRE.iter().map(|p| stmt.matches(p).count()).sum();
                     if acqs > 0 {
                         let live: Vec<usize> = guards.iter().map(|g| g.line + 1).collect();
                         if !live.is_empty() || acqs > 1 {
+                            let col = ACQUIRE
+                                .iter()
+                                .filter_map(|p| stmt.find(p))
+                                .min()
+                                .map_or(1, |p| p + 1);
                             emit(
                                 NESTED_LOCK,
                                 stmt_start + 1,
+                                col,
                                 format!(
                                     "lock acquired while {} plausibly live (guard(s) from \
                                      line(s) {:?}) — annotate with the acquisition-order \
@@ -447,16 +501,17 @@ const FS_WRITE_PATTERNS: &[&str] = &[
 /// Flag raw filesystem mutations in durability-critical code. Scanning
 /// stops at the first `#[cfg(test)]` line: tests scribble in temp dirs by
 /// design and hold no recoverable state.
-fn direct_fs_write(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, String)) {
+fn direct_fs_write(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, usize, String)) {
     for (idx, line) in lines.iter().enumerate() {
         if line.code.contains("#[cfg(test)]") {
             break;
         }
         for pat in FS_WRITE_PATTERNS {
-            if line.code.contains(pat) {
+            if let Some(pos) = line.code.find(pat) {
                 emit(
                     DIRECT_FS_WRITE,
                     idx + 1,
+                    pos + 1,
                     format!(
                         "`{pat}..)` mutates the filesystem in durability-critical code — \
                          recoverable state must reach disk through `core::persist::atomic_write` \
@@ -475,25 +530,26 @@ fn direct_fs_write(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, St
 // no-deprecated-planner-api
 // ---------------------------------------------------------------------------
 
-fn deprecated_api(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, String)) {
+fn deprecated_api(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, usize, String)) {
     for (idx, line) in lines.iter().enumerate() {
         let code = &line.code;
-        let mut flag = |what: &str| {
+        let mut flag = |what: &str, pos: usize| {
             emit(
                 DEPRECATED_API,
                 idx + 1,
+                pos + 1,
                 format!(
                     "`{what}` is the removed pre-Planner API — use \
                      `Planner::exact()/greedy()` with `PlanRequest` instead"
                 ),
             )
         };
-        if !word_occurrences(code, "SearchOptions").is_empty() {
-            flag("SearchOptions");
+        if let Some(pos) = word_occurrences(code, "SearchOptions").first().copied() {
+            flag("SearchOptions", pos);
         }
         for pos in word_occurrences(code, "optimize") {
             if code[pos + "optimize".len()..].starts_with('(') && !code[..pos].ends_with('.') {
-                flag("optimize(");
+                flag("optimize(", pos);
                 break;
             }
         }

@@ -66,6 +66,13 @@ fn nested_lock_fixture_pair() {
     assert_eq!(lint_fixture("nested_lock_ok.rs"), vec![]);
 }
 
+/// Regression: guard liveness resets at function boundaries. Two adjacent
+/// functions each taking one lock are NOT a nested acquisition.
+#[test]
+fn nested_lock_does_not_leak_across_function_boundaries() {
+    assert_eq!(lint_fixture("nested_lock_adjacent_fns_ok.rs"), vec![]);
+}
+
 #[test]
 fn deprecated_api_fixture_pair() {
     assert_eq!(

@@ -1,0 +1,43 @@
+// Deliberately violating fixture workspace (never scanned by real runs:
+// the `fixtures` directory is on the walker's skip list). Seeds a
+// three-lock cross-crate cycle Alpha::a -> Beta::b -> Gamma::c -> Alpha::a
+// and an fsync reachable under a guard only through a callee.
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+pub struct Alpha {
+    a: Mutex<Vec<u64>>,
+    beta: Beta,
+    log: PathBuf,
+}
+
+impl Alpha {
+    /// Holds `Alpha::a` while calling into `Beta::step`.
+    pub fn entry(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        self.beta.step() + ga.len() as u64
+    }
+
+    /// Closes the cycle: reached from `Gamma::deep` with `Gamma::c` held.
+    pub fn reenter(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        ga.iter().sum()
+    }
+
+    /// Blocking reachable only through a callee: `flush_to_disk` creates
+    /// and fsyncs a file while `Alpha::a` is still held here.
+    pub fn persist(&self) -> std::io::Result<()> {
+        let ga = self.a.lock().unwrap();
+        flush_to_disk(&self.log, &ga)
+    }
+}
+
+fn flush_to_disk(path: &Path, items: &[u64]) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    for i in items {
+        f.write_all(&i.to_le_bytes())?;
+    }
+    f.sync_all()
+}

@@ -1,0 +1,26 @@
+use std::sync::Mutex;
+
+/// Periodic maintenance hook, implemented by `Beta`, so the call graph
+/// has a trait-method receiver to resolve.
+pub trait Tick {
+    fn tick(&self) -> u64;
+}
+
+pub struct Beta {
+    b: Mutex<Vec<u64>>,
+    gamma: Gamma,
+}
+
+impl Beta {
+    /// Holds `Beta::b` while calling into `Gamma::deep`.
+    pub fn step(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        self.gamma.deep() + gb.len() as u64
+    }
+}
+
+impl Tick for Beta {
+    fn tick(&self) -> u64 {
+        self.step()
+    }
+}

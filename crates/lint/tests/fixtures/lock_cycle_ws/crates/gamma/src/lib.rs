@@ -1,0 +1,22 @@
+use std::sync::Mutex;
+
+pub struct Gamma {
+    c: Mutex<Vec<u64>>,
+    alpha: Alpha,
+    ticker: Beta,
+}
+
+impl Gamma {
+    /// Holds `Gamma::c` while calling back into `Alpha::reenter` —
+    /// closing the Alpha::a -> Beta::b -> Gamma::c -> Alpha::a cycle.
+    pub fn deep(&self) -> u64 {
+        let gc = self.c.lock().unwrap();
+        self.alpha.reenter() + gc.len() as u64
+    }
+
+    /// Trait-method receiver: resolves by name to `<Beta as Tick>::tick`.
+    /// No guard is held here, so this adds call edges but no lock edges.
+    pub fn maintain(&self) -> u64 {
+        self.ticker.tick()
+    }
+}

@@ -1,0 +1,47 @@
+// Clean twin of `lock_cycle_ws`: same call structure, but every guard is
+// released (scope ends) before the cross-crate call, so the lock graph is
+// edge-free and the fsync happens with nothing held.
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+pub struct Alpha {
+    a: Mutex<Vec<u64>>,
+    beta: Beta,
+    log: PathBuf,
+}
+
+impl Alpha {
+    /// Releases `Alpha::a` before calling into `Beta::step`.
+    pub fn entry(&self) -> u64 {
+        let n = {
+            let ga = self.a.lock().unwrap();
+            ga.len() as u64
+        };
+        self.beta.step() + n
+    }
+
+    /// Single acquisition; reached from `Gamma::deep` with nothing held.
+    pub fn reenter(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        ga.iter().sum()
+    }
+
+    /// The snapshot is cloned out under the guard; the IO happens after.
+    pub fn persist(&self) -> std::io::Result<()> {
+        let items = {
+            let ga = self.a.lock().unwrap();
+            ga.clone()
+        };
+        flush_to_disk(&self.log, &items)
+    }
+}
+
+fn flush_to_disk(path: &Path, items: &[u64]) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    for i in items {
+        f.write_all(&i.to_le_bytes())?;
+    }
+    f.sync_all()
+}

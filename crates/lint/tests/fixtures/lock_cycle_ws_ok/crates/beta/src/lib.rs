@@ -1,0 +1,29 @@
+use std::sync::Mutex;
+
+/// Periodic maintenance hook, implemented by `Beta`, so the call graph
+/// has a trait-method receiver to resolve.
+pub trait Tick {
+    fn tick(&self) -> u64;
+}
+
+pub struct Beta {
+    b: Mutex<Vec<u64>>,
+    gamma: Gamma,
+}
+
+impl Beta {
+    /// Releases `Beta::b` before calling into `Gamma::deep`.
+    pub fn step(&self) -> u64 {
+        let n = {
+            let gb = self.b.lock().unwrap();
+            gb.len() as u64
+        };
+        self.gamma.deep() + n
+    }
+}
+
+impl Tick for Beta {
+    fn tick(&self) -> u64 {
+        self.step()
+    }
+}

@@ -1,0 +1,24 @@
+use std::sync::Mutex;
+
+pub struct Gamma {
+    c: Mutex<Vec<u64>>,
+    alpha: Alpha,
+    ticker: Beta,
+}
+
+impl Gamma {
+    /// Releases `Gamma::c` before calling back into `Alpha::reenter`, so
+    /// no cycle edge Gamma::c -> Alpha::a exists here.
+    pub fn deep(&self) -> u64 {
+        let n = {
+            let gc = self.c.lock().unwrap();
+            gc.len() as u64
+        };
+        self.alpha.reenter() + n
+    }
+
+    /// Trait-method receiver: resolves by name to `<Beta as Tick>::tick`.
+    pub fn maintain(&self) -> u64 {
+        self.ticker.tick()
+    }
+}

@@ -1,0 +1,15 @@
+// Regression: a guard must not be considered live across a function
+// boundary. `first` and `second` each take ONE lock; before the
+// fn-boundary reset in the nested-lock walker, `first`'s guard leaked
+// into `second` and flagged its single acquisition as nested.
+use std::sync::Mutex;
+
+fn first(a: &Mutex<Vec<u64>>) -> usize {
+    let ga = a.lock().unwrap();
+    ga.len()
+}
+
+fn second(b: &Mutex<Vec<u64>>) -> usize {
+    let gb = b.lock().unwrap();
+    gb.len()
+}

@@ -1,0 +1,47 @@
+//! Pins the `--json` schema (version 2) byte-for-byte against a golden
+//! file. The golden is the lint's own output over the violating fixture
+//! workspace `tests/fixtures/lock_cycle_ws`, so this locks down the field
+//! set (`rule`, `rule_family`, `file`, `line`, `column`, `message`), the
+//! top-level `summary` block, key ordering, and the witness-path message
+//! rendering all at once. Regenerate deliberately with
+//!
+//! ```text
+//! cargo run -p hyppo-lint --bin hyppo-lint -- --json \
+//!   --root crates/lint/tests/fixtures/lock_cycle_ws \
+//!   > crates/lint/tests/fixtures/lock_cycle_ws.golden.json
+//! ```
+
+use std::path::Path;
+
+#[test]
+fn json_output_matches_the_golden_file_byte_for_byte() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let report = hyppo_lint::lint_workspace(&fixtures.join("lock_cycle_ws")).unwrap();
+    let rendered = hyppo_lint::render_json(&report);
+    let golden = std::fs::read_to_string(fixtures.join("lock_cycle_ws.golden.json")).unwrap();
+    assert_eq!(
+        rendered, golden,
+        "JSON schema drift: if intentional, bump `version` and regenerate \
+         the golden file (see module docs)"
+    );
+}
+
+/// Structural guarantees a byte-diff alone would bury: the consumer-facing
+/// invariants CI's `jq`-free grep relies on.
+#[test]
+fn json_schema_invariants() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let report = hyppo_lint::lint_workspace(&fixtures.join("lock_cycle_ws")).unwrap();
+    let json = hyppo_lint::render_json(&report);
+    assert!(json.starts_with("{\"tool\":\"hyppo-lint\",\"version\":2,"));
+    assert!(json.ends_with("}\n"), "single line terminated by a newline");
+    assert_eq!(json.lines().count(), 1);
+    assert!(json.contains("\"summary\":{\"findings_per_rule\":{"));
+    assert!(json.contains("\"suppressions\":{\"total\":0,\"used\":0,\"unused\":0}"));
+
+    // A clean tree still renders the full envelope.
+    let clean = hyppo_lint::lint_workspace(&fixtures.join("lock_cycle_ws_ok")).unwrap();
+    let json = hyppo_lint::render_json(&clean);
+    assert!(json.contains("\"findings\":[],\"total\":0"));
+    assert!(json.contains("\"findings_per_rule\":{}"));
+}

@@ -14,11 +14,15 @@ fn repo_root() -> PathBuf {
 /// this repository must produce zero findings.
 #[test]
 fn the_workspace_itself_is_clean() {
-    let findings = hyppo_lint::lint_workspace(&repo_root()).unwrap();
+    let report = hyppo_lint::lint_workspace(&repo_root()).unwrap();
     assert!(
-        findings.is_empty(),
+        report.findings.is_empty(),
         "workspace has lint violations:\n{}",
-        hyppo_lint::render_human(&findings)
+        hyppo_lint::render_human(&report)
+    );
+    assert_eq!(
+        report.summary.suppressions_unused, 0,
+        "every suppression in the workspace must still be earning its keep"
     );
 }
 
@@ -37,8 +41,8 @@ fn each_violating_fixture_fails_a_workspace_scan() {
     ];
     for name in bad {
         let ws = synthetic_workspace(name);
-        let findings = hyppo_lint::lint_workspace(&ws).unwrap();
-        assert!(!findings.is_empty(), "{name}: expected findings from a planted fixture");
+        let report = hyppo_lint::lint_workspace(&ws).unwrap();
+        assert!(!report.findings.is_empty(), "{name}: expected findings from a planted fixture");
     }
 }
 

@@ -186,6 +186,9 @@ impl DurableHyppo {
         self.system.flush_durability()?;
         let json = catalog_to_json(&self.system.history, &self.system.estimator);
         atomic_write(&self.dir.join("snapshot.json"), json.as_bytes())?;
+        // hyppo-lint: allow(blocking-in-critical-section) the WAL mutex must
+        // pin the log across truncate+fsync so no append lands between the
+        // durable snapshot and the reset
         self.wal.lock().unwrap_or_else(|e| e.into_inner()).reset()
     }
 

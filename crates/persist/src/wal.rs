@@ -211,6 +211,9 @@ impl WalHook {
 
 impl DurabilityHook for WalHook {
     fn append(&mut self, events: &[DurableEvent]) -> std::io::Result<()> {
+        // hyppo-lint: allow(blocking-in-critical-section) the writer mutex
+        // exists to serialize append+fsync (DESIGN.md §12); holding it across
+        // the IO is the durability contract, not an accident
         self.writer.lock().unwrap_or_else(|e| e.into_inner()).append(events)
     }
 }

@@ -197,6 +197,9 @@ impl SharedHyppo {
         let result = mutate(&mut version.history, &mut version.estimator);
         version.epoch += 1;
         let epoch = version.epoch;
+        // hyppo-lint: allow(blocking-in-critical-section) draining the WAL
+        // inside the commit critical section is what makes WAL order equal
+        // epoch order (DESIGN.md §14); moving it outside would reorder
         let durable = self.drain_events(&mut version.history);
         (result, epoch, durable)
     }
@@ -224,6 +227,9 @@ impl SharedHyppo {
         let mut guard = self.catalog.write().unwrap_or_else(|e| e.into_inner());
         self.record_wait(start);
         let version = Arc::make_mut(&mut guard);
+        // hyppo-lint: allow(blocking-in-critical-section) same invariant as
+        // `commit`: the drain must happen under the catalog write lock so
+        // the append order is the commit order
         self.drain_events(&mut version.history)
     }
 
@@ -231,9 +237,6 @@ impl SharedHyppo {
     /// write lock (`history` proves it), which makes the append order the
     /// commit order.
     fn drain_events(&self, history: &mut History) -> std::io::Result<()> {
-        // hyppo-lint: allow(nested-lock-acquire) hook mutex nests inside the
-        // catalog write lock in the fixed order catalog → durability; no
-        // other site acquires them in reverse
         let mut guard = self.durability.lock().unwrap_or_else(|e| e.into_inner());
         let Some(hook) = guard.as_mut() else {
             return Ok(());
@@ -242,6 +245,9 @@ impl SharedHyppo {
         if events.is_empty() {
             return Ok(());
         }
+        // hyppo-lint: allow(blocking-in-critical-section) appends must retire
+        // in commit order, which the durability mutex guarantees; the hook's
+        // IO (buffer or fsync) is the point of holding it
         hook.append(&events)
     }
 

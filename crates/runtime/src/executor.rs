@@ -161,6 +161,9 @@ pub fn execute_plan_parallel<S: ArtifactStorage + Sync>(
             scope.spawn(move || loop {
                 // Hold the receiver lock only while dequeuing, not while
                 // computing, so siblings can pull the next job.
+                // hyppo-lint: allow(blocking-in-critical-section) shared-
+                // receiver worker pattern: exactly one idle worker parks in
+                // `recv` under the mutex; computation happens after release
                 let job = { job_rx.lock().unwrap_or_else(|e| e.into_inner()).recv() };
                 let Ok(job) = job else { break };
                 let result = run_edge(aug, job.edge, &job.inputs, store);

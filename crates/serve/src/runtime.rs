@@ -506,8 +506,6 @@ impl Shared {
         }
         // Gauges before `finish`: a waiter woken by the ticket must see
         // its own completion reflected in `metrics()`.
-        // hyppo-lint: allow(relaxed-ordering-justified) monitoring gauges
-        // only; the ticket condvar below is the synchronization point
         let g = &self.gauges;
         // hyppo-lint: allow(relaxed-ordering-justified) completion tallies are monitoring gauges; the ticket condvar below is the synchronization point
         g.completed.fetch_add(1, Ordering::Relaxed);
@@ -561,8 +559,6 @@ impl Shared {
 
     pub(crate) fn metrics(&self) -> ServeMetrics {
         let queue_depth = self.lock_sched().queued;
-        // hyppo-lint: allow(relaxed-ordering-justified) monitoring snapshot;
-        // tearing across concurrent updates is acceptable for metrics
         let g = &self.gauges;
         // hyppo-lint: allow(relaxed-ordering-justified) metrics snapshot read; tearing across concurrent updates is acceptable
         let completed = g.completed.load(Ordering::Relaxed);

@@ -45,17 +45,36 @@ cargo test --offline -q -p hyppo-persist
 cargo test --offline -q --test persist_recovery_props
 
 echo "== hyppo-lint =="
-# Determinism & concurrency static analysis (crates/lint): nondeterministic
-# hash iteration, wall-clock in plan decisions, unjustified relaxed atomics,
-# undocumented unsafe, nested lock acquisition, any reappearance of the
-# removed pre-Planner API, and raw filesystem writes in durability-critical
-# crates that bypass atomic_write / the hyppo-persist WAL. The JSON
-# artifact is kept so failures print structured findings.
+# Determinism & concurrency static analysis (crates/lint): per-file rules
+# (nondeterministic hash iteration, wall-clock in plan decisions,
+# unjustified relaxed atomics, undocumented unsafe, nested lock
+# acquisition, the removed pre-Planner API, raw filesystem writes in
+# durability-critical crates) plus the interprocedural passes over the
+# workspace call graph: lock-order cycles and blocking calls reachable
+# inside critical sections (DESIGN.md §15). The enriched JSON artifact
+# (findings + summary block) is archived so failures print structured
+# findings and dashboards can diff suppression counts across commits.
 mkdir -p target
 if ! cargo run -q -p hyppo-lint --offline -- --json > target/hyppo-lint.json; then
     echo "hyppo-lint found violations:" >&2
     cat target/hyppo-lint.json >&2
     cargo run -q -p hyppo-lint --offline >&2 || true
+    exit 1
+fi
+# Suppression hygiene: a clean run must also carry zero unused
+# suppressions — every `hyppo-lint: allow(...)` in the tree still matches
+# a live finding, or it gets deleted.
+if ! grep -q '"unused":0' target/hyppo-lint.json; then
+    echo "hyppo-lint: stale suppressions (unused != 0):" >&2
+    cat target/hyppo-lint.json >&2
+    exit 1
+fi
+# Negative self-test: the lint must still *find* things. The violating
+# fixture workspace seeds a cross-crate lock-order cycle and an
+# fsync-under-guard; a zero exit here means the analysis went blind.
+if cargo run -q -p hyppo-lint --offline -- \
+        --root crates/lint/tests/fixtures/lock_cycle_ws > /dev/null 2>&1; then
+    echo "hyppo-lint: negative self-test failed — violating fixture workspace passed" >&2
     exit 1
 fi
 
