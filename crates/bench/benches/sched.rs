@@ -1,0 +1,157 @@
+//! Work-stealing scheduler spawn/drain throughput and contention profile.
+//!
+//! Run under `cargo bench --bench sched` for the full measurement, which
+//! writes `BENCH_sched.json` (tasks/second plus the full `SchedStats`
+//! counter set per worker count × deque capacity). Without `--bench` in
+//! the arguments (e.g. when `cargo test` smoke-runs harness-less bench
+//! targets) a tiny tree runs and nothing is written.
+//!
+//! The container pins one core, so wall-clock speedup is not the signal
+//! here — the numbers that matter are the *contention counters*: how much
+//! work moved over the lock-free local-pop path versus the injector and
+//! sibling steals, and how often deques spilled. The two-slot capacity row
+//! deliberately recreates the steal-heavy schedule the determinism suite
+//! (`tests/sched_determinism.rs`) asserts bit-identity under; these
+//! numbers are reported, never asserted (DESIGN.md §16).
+
+use hyppo_sched::{SchedStats, Scheduler, DEFAULT_DEQUE_CAPACITY};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct StatsOut {
+    spawned: u64,
+    injected: u64,
+    completed: u64,
+    local_pops: u64,
+    injector_claims: u64,
+    steals: u64,
+    steal_batches: u64,
+    empty_scans: u64,
+    spills: u64,
+    parks: u64,
+}
+
+impl From<SchedStats> for StatsOut {
+    fn from(s: SchedStats) -> Self {
+        StatsOut {
+            spawned: s.spawned,
+            injected: s.injected,
+            completed: s.completed,
+            local_pops: s.local_pops,
+            injector_claims: s.injector_claims,
+            steals: s.steals,
+            steal_batches: s.steal_batches,
+            empty_scans: s.empty_scans,
+            spills: s.spills,
+            parks: s.parks,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct RunResult {
+    workers: usize,
+    deque_capacity: usize,
+    wall_seconds: f64,
+    tasks_per_second: f64,
+    /// Fraction of claims served by the owner's own deque (no shared state).
+    local_claim_fraction: f64,
+    stats: StatsOut,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    benchmark: String,
+    host_cpus: usize,
+    fanout: usize,
+    depth: usize,
+    tasks_per_run: u64,
+    runs: Vec<RunResult>,
+}
+
+/// One task: remaining depth. Each task at depth > 0 spawns `fanout`
+/// children, so a seed at depth `d` drains exactly
+/// `(fanout^(d+1) - 1) / (fanout - 1)` tasks.
+fn drain_tree(sched: &Scheduler<u32>, fanout: usize, checksum: &AtomicU64) {
+    sched.run_scoped(|mut w| {
+        while let Some(depth) = w.next() {
+            if depth > 0 {
+                for _ in 0..fanout {
+                    w.spawn(depth - 1);
+                }
+            }
+            // A touch of real work per task so claims do not degenerate
+            // into pure counter traffic.
+            checksum.fetch_add(u64::from(depth) + 1, Ordering::Relaxed);
+        }
+    });
+}
+
+fn tree_size(fanout: u64, depth: u32) -> u64 {
+    (fanout.pow(depth + 1) - 1) / (fanout - 1)
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--bench");
+    let (fanout, depth, reps) = if full { (4usize, 8u32, 3) } else { (3, 3, 1) };
+    let expected = tree_size(fanout as u64, depth);
+
+    let mut report = BenchReport {
+        benchmark: "work_stealing_scheduler".to_string(),
+        host_cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        fanout,
+        depth: depth as usize,
+        tasks_per_run: expected,
+        runs: Vec::new(),
+    };
+
+    for capacity in [DEFAULT_DEQUE_CAPACITY, 2] {
+        for workers in [1usize, 2, 4] {
+            let mut wall = f64::INFINITY;
+            let mut stats = SchedStats::default();
+            for _ in 0..reps {
+                let sched: Scheduler<u32> = Scheduler::with_capacity(workers, capacity);
+                let checksum = AtomicU64::new(0);
+                sched.inject(depth);
+                let start = Instant::now();
+                drain_tree(&sched, fanout, &checksum);
+                let elapsed = start.elapsed().as_secs_f64();
+                let s = sched.stats();
+                assert_eq!(s.completed, expected, "tree drained short");
+                if elapsed < wall {
+                    wall = elapsed;
+                    stats = s;
+                }
+            }
+            let claims = stats.local_pops + stats.injector_claims + stats.steals;
+            let local_fraction =
+                if claims == 0 { 0.0 } else { stats.local_pops as f64 / claims as f64 };
+            println!(
+                "sched: {workers} workers cap {capacity}: {:.0} tasks/s (local {:.0}%, \
+                 steals {}, spills {})",
+                expected as f64 / wall,
+                local_fraction * 100.0,
+                stats.steals,
+                stats.spills
+            );
+            report.runs.push(RunResult {
+                workers,
+                deque_capacity: capacity,
+                wall_seconds: wall,
+                tasks_per_second: expected as f64 / wall,
+                local_claim_fraction: local_fraction,
+                stats: stats.into(),
+            });
+        }
+    }
+
+    if full {
+        let json = serde_json::to_string_pretty(&report).expect("serialize report");
+        // Anchor at the workspace root regardless of cargo's bench CWD.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+        std::fs::write(path, json).expect("write BENCH_sched.json");
+        println!("sched: wrote {path}");
+    }
+}

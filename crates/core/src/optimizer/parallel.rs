@@ -1,21 +1,28 @@
-//! K-worker exact plan search over a shared queue of incomplete plans.
+//! K-worker exact plan search over the shared work-stealing scheduler.
 //!
-//! Workers claim batches from a [`SharedPlanQueue`], expand them
-//! against a **racy-but-monotone** atomic best-cost upper bound, record
-//! states in a sharded concurrent dominance table, and fold complete plans
-//! into a shared canonical `Incumbent`. Because the serial search already
-//! uses schedule-independent rules — strict bound pruning, canonical
-//! `(cost, edge-set)` dominance, and a deterministic final reduction — the
-//! parallel search returns **bit-identical plans and costs** for any worker
-//! count and any interleaving (`DESIGN.md` §9 has the full argument; the
-//! short version: the upper bound only ever decreases, so a stale read
-//! prunes *less* than the serial search would, never more, and nothing on
-//! the canonical optimum's ancestor chain is ever pruned by either rule).
+//! Workers claim batches of incomplete plans from a
+//! [`hyppo_sched::Scheduler`] — own Chase–Lev deque first (lock-free),
+//! then the injector, then batch steals from siblings — examine each batch
+//! in canonical [`PlanQueue`] order, expand survivors against a
+//! **racy-but-monotone** atomic best-cost upper bound, record states in a
+//! sharded concurrent dominance table, and fold complete plans into a
+//! shared canonical `Incumbent`. The old `SharedPlanQueue`'s central
+//! Mutex+Condvar drain is gone from the hot path; [`PlanQueue`] survives
+//! as the *ordering oracle* that decides which claimed plan is examined
+//! first. Because the search uses schedule-independent rules — strict
+//! bound pruning, canonical `(cost, edge-set)` dominance, and a
+//! deterministic final reduction — it returns **bit-identical plans and
+//! costs** for any worker count, deque capacity, and steal schedule
+//! (`DESIGN.md` §9 and §16 have the full argument; the short version: the
+//! upper bound only ever decreases, so a stale read prunes *less* than the
+//! serial search would, never more, and nothing on the canonical optimum's
+//! ancestor chain is ever pruned by either rule).
 //!
-//! Everything here is `std`-only: scoped threads, `Mutex` + `Condvar` for
-//! the queue and termination, and an `AtomicU64` carrying the bit pattern of
-//! the best cost (for non-negative floats the IEEE-754 bit order agrees
-//! with the numeric order, so `fetch_min` on bits is `fetch_min` on costs).
+//! Everything here is `std`-only: the scheduler's scoped drain-mode
+//! workers, sharded `Mutex` dominance tables, and an `AtomicU64` carrying
+//! the bit pattern of the best cost (for non-negative floats the IEEE-754
+//! bit order agrees with the numeric order, so `fetch_min` on bits is
+//! `fetch_min` on costs).
 //!
 //! Search-effort counters (`expansions`, `pops`, `peak_queue`) are
 //! aggregates over all workers and vary run to run; only the returned plan
@@ -23,17 +30,18 @@
 
 use super::bounds::PlannerBounds;
 use super::expand::{expand_into, ExpandScratch, Partial};
-use super::queue::SharedPlanQueue;
+use super::queue::PlanQueue;
 use super::{DomEntry, ExactParams, Incumbent, Plan};
 use hyppo_hypergraph::{HyperGraph, NodeId};
+use hyppo_sched::{Scheduler, Worker};
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrder};
 use std::sync::Mutex;
 
-/// Partials a worker claims per queue lock — amortizes lock traffic without
-/// starving other workers of frontier diversity.
+/// Partials a worker claims per scheduler round — amortizes claim traffic
+/// without starving other workers of frontier diversity.
 const BATCH: usize = 8;
 
 /// Dominance-table shards (power of two; indexed by the low bits of the
@@ -71,7 +79,6 @@ struct Search<'a, N, E> {
     source: NodeId,
     params: &'a ExactParams,
     bounds: Option<&'a PlannerBounds>,
-    sq: SharedPlanQueue,
     dom: Vec<Mutex<HashMap<u64, DomEntry>>>,
     best: BestCost,
     incumbent: Mutex<Incumbent>,
@@ -105,7 +112,6 @@ pub(crate) fn search_parallel<N: Sync, E: Sync>(
         source,
         params,
         bounds,
-        sq: SharedPlanQueue::new(params.queue, seed),
         dom,
         best: BestCost::new(),
         incumbent: Mutex::new(Incumbent::default()),
@@ -115,11 +121,13 @@ pub(crate) fn search_parallel<N: Sync, E: Sync>(
         truncated: AtomicBool::new(false),
     };
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| worker(&search));
-        }
-    });
+    // Drain mode: the seed enters through the injector, workers spawn
+    // children onto their own deques, and `next_batch() == 0` is the
+    // queue-empty-and-nothing-in-flight termination the old claim/publish
+    // protocol provided.
+    let sched: Scheduler<Partial> = Scheduler::new(threads);
+    sched.inject(seed);
+    sched.run_scoped(|w| worker(&search, w));
 
     // hyppo-lint: allow(relaxed-ordering-justified) effort counters read after
     // the scope join (a full barrier); values are metrics, not plan inputs
@@ -135,25 +143,32 @@ fn shard_of(sig: u64) -> usize {
     (sig as usize) & (DOM_SHARDS - 1)
 }
 
-fn worker<N, E>(s: &Search<'_, N, E>) {
+fn worker<N, E>(s: &Search<'_, N, E>, mut w: Worker<'_, Partial>) {
     let h = s.bounds.map(|b| b.h.as_slice());
     let mut scratch = ExpandScratch::default();
     let mut batch: Vec<Partial> = Vec::new();
     let mut expanded: Vec<Partial> = Vec::new();
-    let mut survivors: Vec<Partial> = Vec::new();
+    // The canonical ordering oracle: claimed plans are examined in queue-
+    // discipline order (min-bound first under Priority, LIFO under Stack)
+    // regardless of the deque/steal order they arrived in.
+    let mut oracle = PlanQueue::new(s.params.queue);
 
     loop {
-        // Claim a batch, or exit once the queue is drained with nothing in
-        // flight anywhere.
-        let claimed = s.sq.claim(&mut batch, BATCH);
+        // Claim a batch — own deque, then injector, then steals — or exit
+        // once the frontier is drained with nothing in flight anywhere.
+        // The batch claimed last round is retired by this call, after its
+        // children were already spawned (claim/publish invariant).
+        let claimed = w.next_batch(&mut batch, BATCH);
         if claimed == 0 {
             return;
         }
         // hyppo-lint: allow(relaxed-ordering-justified) effort counter only
         s.pops.fetch_add(claimed, AtomicOrder::Relaxed);
 
-        survivors.clear();
-        for partial in batch.drain(..) {
+        for p in batch.drain(..) {
+            oracle.insert(p);
+        }
+        while let Some(partial) = oracle.pop() {
             // A stale (too high) upper bound here only keeps a partial the
             // serial search would have dropped — extra work, same answer.
             if !partial.bound.is_finite() || partial.bound > s.best.get() {
@@ -194,15 +209,16 @@ fn worker<N, E>(s: &Search<'_, N, E>) {
                 if s.params.dedup_states && !record_state(s, &next) {
                     continue;
                 }
-                survivors.push(next);
+                // Publish the child: own deque, spilling to the injector
+                // when full. Spawning before the next claim keeps the
+                // outstanding count from dipping to zero early.
+                w.spawn(next);
             }
         }
 
-        // Publish children and settle the in-flight count under one lock.
-        let depth = s.sq.publish(&mut survivors, claimed);
         // hyppo-lint: allow(relaxed-ordering-justified) fetch_max on a metrics
-        // gauge; monotone and read only after the scope join
-        s.peak_queue.fetch_max(depth, AtomicOrder::Relaxed);
+        // gauge; monotone, sampled at batch boundaries, read after the join
+        s.peak_queue.fetch_max(w.scheduler().outstanding(), AtomicOrder::Relaxed);
     }
 }
 

@@ -1,13 +1,19 @@
 //! The queue `Q` of incomplete plans: LIFO stack or min-bound priority
 //! queue (paper §IV-E, "the data structure Q … defines the order in which
-//! plans are examined"), plus [`SharedPlanQueue`], the Mutex+Condvar
-//! wrapper the K-worker parallel search claims batches from.
+//! plans are examined").
+//!
+//! The serial search uses [`PlanQueue`] as its frontier. The K-worker
+//! parallel search distributes the frontier over `hyppo-sched`'s
+//! work-stealing deques and uses [`PlanQueue`] as the *canonical ordering
+//! oracle*: each claimed batch is examined in queue-discipline order, so
+//! the discipline's exploration heuristics survive the move off the old
+//! central-lock `SharedPlanQueue` (whose shutdown/drain stress tests now
+//! live in `crates/sched`).
 
 use super::expand::Partial;
 use super::QueueKind;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex};
 
 /// Queue of incomplete plans under a pluggable discipline.
 #[derive(Debug)]
@@ -98,90 +104,6 @@ impl PlanQueue {
     }
 }
 
-#[derive(Debug)]
-struct SharedState {
-    queue: PlanQueue,
-    /// Queued partials plus partials currently claimed by workers. The
-    /// search is done when the queue is empty *and* nothing is in flight.
-    outstanding: usize,
-}
-
-/// A [`PlanQueue`] shared by the K-worker parallel search: a `Mutex` around
-/// the queue plus the in-flight count, and a `Condvar` for workers waiting
-/// on new work or termination.
-///
-/// The protocol is claim/publish: a worker [`claim`](Self::claim)s a batch
-/// (blocking while the queue is empty but work is still in flight
-/// elsewhere), processes it without holding the lock, then
-/// [`publish`](Self::publish)es the surviving children and settles the
-/// in-flight count in one lock acquisition. A claim that returns `0` means
-/// the search is globally done — the queue is empty and nothing is
-/// outstanding — and the worker must exit.
-#[derive(Debug)]
-pub struct SharedPlanQueue {
-    state: Mutex<SharedState>,
-    cv: Condvar,
-}
-
-impl SharedPlanQueue {
-    /// Queue holding just `seed`, with an in-flight count of 1 (the seed).
-    pub fn new(kind: QueueKind, seed: Partial) -> Self {
-        let mut queue = PlanQueue::new(kind);
-        queue.insert(seed);
-        SharedPlanQueue {
-            state: Mutex::new(SharedState { queue, outstanding: 1 }),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Pop up to `max` partials into `out` (cleared first), blocking while
-    /// the queue is empty but other workers still hold claimed partials.
-    /// Returns how many were claimed; `0` means shutdown — the queue is
-    /// drained and nothing is in flight, so no work can ever appear again.
-    pub fn claim(&self, out: &mut Vec<Partial>, max: usize) -> usize {
-        out.clear();
-        let mut st = self.state.lock().unwrap();
-        loop {
-            if !st.queue.is_empty() {
-                break;
-            }
-            if st.outstanding == 0 {
-                return 0;
-            }
-            st = self.cv.wait(st).unwrap();
-        }
-        for _ in 0..max {
-            match st.queue.pop() {
-                Some(p) => out.push(p),
-                None => break,
-            }
-        }
-        out.len()
-    }
-
-    /// Push `children` (drained) and retire `claimed` previously-claimed
-    /// partials, under one lock acquisition. Wakes waiting workers when new
-    /// work arrived or the search just terminated. Returns the queue length
-    /// after the push (for peak-depth accounting).
-    pub fn publish(&self, children: &mut Vec<Partial>, claimed: usize) -> usize {
-        let pushed = children.len();
-        let mut st = self.state.lock().unwrap();
-        for c in children.drain(..) {
-            st.queue.insert(c);
-        }
-        st.outstanding = st.outstanding + pushed - claimed;
-        let len = st.queue.len();
-        let done = st.outstanding == 0;
-        drop(st);
-        if pushed > 0 || done {
-            // notify_all, not notify_one: termination must wake every
-            // sleeper, and a batch of children may feed several workers.
-            self.cv.notify_all();
-        }
-        len
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::super::expand::EdgeList;
@@ -253,92 +175,16 @@ mod tests {
         }
     }
 
+    /// A claimed batch examined through the oracle comes out in discipline
+    /// order no matter how the scheduler delivered it — the property the
+    /// parallel workers rely on after steals shuffle arrival order.
     #[test]
-    fn shared_claim_caps_at_max() {
-        let sq = SharedPlanQueue::new(QueueKind::Stack, partial(0.0));
-        let mut out = Vec::new();
-        assert_eq!(sq.claim(&mut out, 8), 1, "only the seed is queued");
-        let mut children: Vec<Partial> = (0..5).map(|i| partial(i as f64)).collect();
-        sq.publish(&mut children, 1);
-        assert_eq!(sq.claim(&mut out, 2), 2);
-        assert_eq!(sq.claim(&mut out, 8), 3, "the rest");
-    }
-
-    /// Eight workers, one seed, no children: seven workers park on the
-    /// condvar with nothing to do while the eighth holds the seed. When it
-    /// publishes zero children the in-flight count hits zero and every
-    /// sleeper must wake and exit via `claim() == 0` — the
-    /// shutdown-while-waiting path. The brief hold gives the other workers
-    /// time to actually reach the wait.
-    #[test]
-    fn shared_queue_shutdown_wakes_all_waiting_workers() {
-        use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrder};
-        let sq = SharedPlanQueue::new(QueueKind::Priority, partial(1.0));
-        let processed = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..8 {
-                scope.spawn(|| {
-                    let mut buf = Vec::new();
-                    loop {
-                        let claimed = sq.claim(&mut buf, 4);
-                        if claimed == 0 {
-                            return;
-                        }
-                        processed.fetch_add(claimed, AtomicOrder::SeqCst);
-                        std::thread::sleep(std::time::Duration::from_millis(20));
-                        sq.publish(&mut Vec::new(), claimed);
-                    }
-                });
-            }
-        });
-        assert_eq!(processed.load(AtomicOrder::SeqCst), 1);
-    }
-
-    /// Deterministic synthetic workload: each partial's `edge_sig` is a
-    /// remaining depth; processing a partial with depth > 0 publishes
-    /// `fanout` children at depth − 1. Whatever the interleaving, batching,
-    /// or queue discipline, 8 workers must process exactly the tree size
-    /// `Σ fanout^k for k in 0..=depth` — dropping a wakeup would hang the
-    /// drain, and double-claiming or losing a publish would skew the count.
-    #[test]
-    fn shared_queue_drains_exact_tree_under_contention() {
-        use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrder};
-        for (fanout, depth) in [(2u64, 10u32), (3, 7), (5, 4)] {
-            let expected: u64 = (0..=depth).map(|k| fanout.pow(k)).sum();
-            for kind in [QueueKind::Stack, QueueKind::Priority] {
-                let sq = SharedPlanQueue::new(kind, partial_sig(depth as f64, 0.0, depth as u64));
-                let processed = AtomicUsize::new(0);
-                std::thread::scope(|scope| {
-                    for _ in 0..8 {
-                        scope.spawn(|| {
-                            let mut buf = Vec::new();
-                            let mut kids = Vec::new();
-                            loop {
-                                let claimed = sq.claim(&mut buf, 4);
-                                if claimed == 0 {
-                                    return;
-                                }
-                                processed.fetch_add(claimed, AtomicOrder::SeqCst);
-                                kids.clear();
-                                for p in buf.drain(..) {
-                                    let d = p.edge_sig;
-                                    if d > 0 {
-                                        for _ in 0..fanout {
-                                            kids.push(partial_sig(d as f64 - 1.0, 0.0, d - 1));
-                                        }
-                                    }
-                                }
-                                sq.publish(&mut kids, claimed);
-                            }
-                        });
-                    }
-                });
-                assert_eq!(
-                    processed.load(AtomicOrder::SeqCst) as u64,
-                    expected,
-                    "fanout {fanout} depth {depth} {kind:?}"
-                );
-            }
+    fn oracle_reorders_a_claimed_batch_canonically() {
+        let mut oracle = PlanQueue::new(QueueKind::Priority);
+        for p in [partial_sig(3.0, 3.0, 3), partial_sig(1.0, 1.0, 1), partial_sig(2.0, 2.0, 2)] {
+            oracle.insert(p);
         }
+        let costs: Vec<f64> = std::iter::from_fn(|| oracle.pop()).map(|p| p.cost).collect();
+        assert_eq!(costs, vec![1.0, 2.0, 3.0]);
     }
 }

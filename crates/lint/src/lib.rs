@@ -28,6 +28,7 @@
 //! | `nested-lock-acquire` | concurrency | a lock acquired while another guard is plausibly live (same fn) |
 //! | `lock-order-cycle` | concurrency | a cycle in the workspace lock-acquisition graph (interprocedural) |
 //! | `blocking-in-critical-section` | concurrency | a blocking call reachable while a guard is held (interprocedural) |
+//! | `thread-spawn-outside-sched` | concurrency | raw `thread::spawn`/`thread::Builder` outside the `hyppo-sched` crate |
 //! | `unsafe-needs-safety-comment` | safety | `unsafe` without an adjacent `// SAFETY:` comment |
 //! | `no-deprecated-planner-api` | api | `SearchOptions` / free-function `optimize(` |
 //! | `direct-fs-write-outside-persist` | durability | raw filesystem mutation in durability-critical crates |
@@ -43,7 +44,8 @@ mod scan;
 
 pub use rules::{
     rule_family, BLOCKING_CRITICAL, DEPRECATED_API, DIRECT_FS_WRITE, LOCK_ORDER_CYCLE, NESTED_LOCK,
-    NONDET_ITERATION, RELAXED_ORDERING, RULE_IDS, UNSAFE_COMMENT, UNUSED_SUPPRESSION, WALL_CLOCK,
+    NONDET_ITERATION, RELAXED_ORDERING, RULE_IDS, THREAD_SPAWN, UNSAFE_COMMENT, UNUSED_SUPPRESSION,
+    WALL_CLOCK,
 };
 
 use std::collections::BTreeMap;

@@ -31,6 +31,8 @@ pub const DIRECT_FS_WRITE: &str = "direct-fs-write-outside-persist";
 pub const LOCK_ORDER_CYCLE: &str = "lock-order-cycle";
 /// Rule (interprocedural): a blocking operation reachable under a guard.
 pub const BLOCKING_CRITICAL: &str = "blocking-in-critical-section";
+/// Rule: raw OS-thread creation outside the scheduler crate.
+pub const THREAD_SPAWN: &str = "thread-spawn-outside-sched";
 /// Meta rule: a well-formed suppression that matched no finding. Not in
 /// [`RULE_IDS`]: stale suppressions are deleted, never themselves allowed.
 pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
@@ -47,13 +49,16 @@ pub const RULE_IDS: &[&str] = &[
     DIRECT_FS_WRITE,
     LOCK_ORDER_CYCLE,
     BLOCKING_CRITICAL,
+    THREAD_SPAWN,
 ];
 
 /// The family a rule belongs to (grouping for `--json` consumers).
 pub fn rule_family(rule: &str) -> &'static str {
     match rule {
         NONDET_ITERATION | WALL_CLOCK => "determinism",
-        RELAXED_ORDERING | NESTED_LOCK | LOCK_ORDER_CYCLE | BLOCKING_CRITICAL => "concurrency",
+        RELAXED_ORDERING | NESTED_LOCK | LOCK_ORDER_CYCLE | BLOCKING_CRITICAL | THREAD_SPAWN => {
+            "concurrency"
+        }
         UNSAFE_COMMENT => "safety",
         DIRECT_FS_WRITE => "durability",
         DEPRECATED_API => "api",
@@ -83,7 +88,14 @@ const CONCURRENCY_SCOPE: &[&str] = &[
     "crates/runtime/src/",
     "crates/serve/src/",
     "crates/persist/src/",
+    "crates/sched/src/",
 ];
+
+/// The one crate allowed to create OS threads: the work-stealing scheduler
+/// owns parking, stealing, and shutdown, so every pool in the workspace must
+/// be built from its `run_scoped`/`run_with_driver`/`spawn_pool` primitives.
+/// Benches and tests that truly need a raw thread annotate why.
+const SCHED_CRATE: &str = "crates/sched/";
 
 /// Durability-audited code: the core system and the runtime hold state the
 /// WAL and snapshot recovery must be able to rebuild, so raw filesystem
@@ -117,6 +129,9 @@ pub fn check_file(rel_path: &str, lines: &[Line], sup: &Suppressions) -> Vec<Fin
     }
     if in_scope(rel_path, DURABILITY_SCOPE) {
         direct_fs_write(lines, &mut emit);
+    }
+    if !rel_path.starts_with(SCHED_CRATE) {
+        thread_spawn(lines, &mut emit);
     }
     unsafe_comment(lines, &mut emit);
     deprecated_api(lines, &mut emit);
@@ -340,6 +355,37 @@ fn relaxed_ordering(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, u
                  ordering is safe"
                     .to_string(),
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread-spawn-outside-sched
+// ---------------------------------------------------------------------------
+
+/// Flag raw OS-thread creation (`thread::spawn` / `thread::Builder`)
+/// anywhere outside `crates/sched/`. Scoped `scope.spawn(..)` closures are
+/// deliberately not matched: `std::thread::scope` blocks until its threads
+/// finish, so a scoped spawn cannot leak a thread past its caller — the
+/// hazard this rule exists for is detached pools with ad-hoc parking and
+/// shutdown, which belong in the scheduler.
+fn thread_spawn(lines: &[Line], emit: &mut impl FnMut(&'static str, usize, usize, String)) {
+    for (idx, line) in lines.iter().enumerate() {
+        for pat in ["thread::spawn(", "thread::Builder"] {
+            if let Some(pos) = line.code.find(pat) {
+                emit(
+                    THREAD_SPAWN,
+                    idx + 1,
+                    pos + 1,
+                    format!(
+                        "`{pat}..` creates a raw OS thread outside `crates/sched` — worker \
+                         pools go through `hyppo-sched` (`run_scoped`, `run_with_driver`, \
+                         `spawn_pool`) so parking, stealing, and shutdown stay centralized; \
+                         annotate benches/tests that truly need a bare thread"
+                    ),
+                );
+                break;
+            }
         }
     }
 }

@@ -9,7 +9,7 @@
 
 use hyppo_lint::{
     lint_source, DEPRECATED_API, DIRECT_FS_WRITE, MALFORMED_ALLOW, NESTED_LOCK, NONDET_ITERATION,
-    RELAXED_ORDERING, UNSAFE_COMMENT, WALL_CLOCK,
+    RELAXED_ORDERING, THREAD_SPAWN, UNSAFE_COMMENT, WALL_CLOCK,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -98,6 +98,23 @@ fn direct_fs_write_stays_out_of_the_persist_crate() {
     let text = fs::read_to_string(fixture_path("direct_fs_bad.rs")).unwrap();
     assert!(lint_source("crates/persist/src/x.rs", &text).is_empty());
     assert!(lint_source("crates/bench/src/x.rs", &text).is_empty());
+}
+
+/// The clean fixture exercises all three sanctioned escapes: pools built
+/// from `hyppo-sched`, `std::thread::scope` (which cannot leak a detached
+/// thread), and an annotated bench-only bare thread.
+#[test]
+fn thread_spawn_fixture_pair() {
+    assert_eq!(lint_fixture("thread_spawn_bad.rs"), vec![(THREAD_SPAWN, 4), (THREAD_SPAWN, 8)]);
+    assert_eq!(lint_fixture("thread_spawn_ok.rs"), vec![]);
+}
+
+/// The scheduler crate is the one place raw thread creation is legal: the
+/// same violating fixture is clean when it lives under `crates/sched/`.
+#[test]
+fn thread_spawn_is_legal_inside_the_sched_crate() {
+    let text = fs::read_to_string(fixture_path("thread_spawn_bad.rs")).unwrap();
+    assert!(lint_source("crates/sched/src/pool.rs", &text).is_empty());
 }
 
 /// An `allow(...)` with no reason is itself a violation — and the broken

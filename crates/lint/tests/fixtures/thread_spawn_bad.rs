@@ -1,0 +1,9 @@
+use std::thread;
+
+fn start_pool(n: usize) -> Vec<thread::JoinHandle<()>> {
+    (0..n).map(|_| thread::spawn(|| {})).collect()
+}
+
+fn start_named() -> std::io::Result<thread::JoinHandle<()>> {
+    thread::Builder::new().name("rogue".into()).spawn(|| {})
+}

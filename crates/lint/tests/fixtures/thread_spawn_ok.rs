@@ -1,0 +1,17 @@
+fn run_to_completion(sched: &hyppo_sched::Scheduler<u64>) {
+    // Scoped workers come from the scheduler, which owns parking and
+    // shutdown; no raw thread ever outlives this call.
+    sched.run_scoped(|mut w| while w.next().is_some() {});
+}
+
+fn scoped_helpers(items: &[u64]) -> u64 {
+    // `std::thread::scope` blocks until its threads finish, so scoped
+    // spawns cannot leak a detached pool — the rule leaves them alone.
+    std::thread::scope(|s| s.spawn(|| items.iter().sum()).join().unwrap())
+}
+
+fn bench_only_thread() {
+    // hyppo-lint: allow(thread-spawn-outside-sched) bench harness needs one bare timer thread
+    let t = std::thread::spawn(|| {});
+    t.join().unwrap();
+}

@@ -1,11 +1,14 @@
 //! Concurrent wavefront plan execution.
 //!
-//! [`execute_plan_parallel`] runs a plan's hyperedges on a fixed pool of
-//! worker threads, dispatching every edge whose inputs are available — the
-//! *ready frontier* of [`InDegreeTracker`] — instead of firing edges one at
-//! a time. Independent branches of a plan (e.g. the member fits of an
-//! ensemble) execute concurrently; joins wait for all their inputs, exactly
-//! as B-connectivity prescribes.
+//! [`execute_plan_parallel`] runs a plan's hyperedges on a pool of
+//! `hyppo-sched` service-mode workers, dispatching every edge whose inputs
+//! are available — the *ready frontier* of [`InDegreeTracker`] — instead
+//! of firing edges one at a time. The coordinator (on the calling thread)
+//! injects each wave as a batch; workers pull jobs from the scheduler —
+//! injector first, then batch steals between siblings — run them, and send
+//! results back over a channel. Independent branches of a plan (e.g. the
+//! member fits of an ensemble) execute concurrently; joins wait for all
+//! their inputs, exactly as B-connectivity prescribes.
 //!
 //! # Determinism
 //!
@@ -24,16 +27,19 @@
 //! tails precedes that edge in the serial order, so the earliest incomplete
 //! edge always becomes dispatchable. Completion order still varies between
 //! runs — only metric *ordering* (sorted by serial position) and artifact
-//! *contents* are pinned.
+//! *contents* are pinned. Which *worker* runs an edge is irrelevant to all
+//! of this, which is why work stealing cannot perturb the outcome
+//! (`DESIGN.md` §16).
 
 use hyppo_core::augment::Augmentation;
 use hyppo_core::executor::{ExecError, ExecOutcome, TaskMetric};
 use hyppo_core::ArtifactStorage;
 use hyppo_hypergraph::{execution_order, EdgeId, InDegreeTracker, NodeId};
 use hyppo_ml::Artifact;
+use hyppo_sched::{Scheduler, Step};
 use std::collections::HashMap;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What the wavefront scheduler observed while executing one plan.
@@ -149,101 +155,101 @@ pub fn execute_plan_parallel<S: ArtifactStorage + Sync>(
     let mut outcome = ExecOutcome::default();
     let mut wave = WavefrontMetrics { workers, ..Default::default() };
 
-    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let sched: Scheduler<Job> = Scheduler::new(workers);
     let (done_tx, done_rx) = mpsc::channel::<(EdgeId, TaskResult)>();
-    let job_rx = Mutex::new(job_rx);
 
     let mut first_err: Option<ExecError> = None;
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let job_rx = &job_rx;
-            let done_tx = done_tx.clone();
-            scope.spawn(move || loop {
-                // Hold the receiver lock only while dequeuing, not while
-                // computing, so siblings can pull the next job.
-                // hyppo-lint: allow(blocking-in-critical-section) shared-
-                // receiver worker pattern: exactly one idle worker parks in
-                // `recv` under the mutex; computation happens after release
-                let job = { job_rx.lock().unwrap_or_else(|e| e.into_inner()).recv() };
-                let Ok(job) = job else { break };
-                let result = run_edge(aug, job.edge, &job.inputs, store);
-                if done_tx.send((job.edge, result)).is_err() {
+    sched.run_with_driver(
+        // Coordinator, on the calling thread. An edge is dispatchable when
+        // the tracker says it is ready AND every tail artifact has been
+        // published by its designated producer (loads draw on the store,
+        // not on published artifacts). Each round's dispatchable edges are
+        // injected as one batch; workers spread them by stealing.
+        || {
+            let mut waiting: Vec<EdgeId> = tracker.ready();
+            let mut jobs: Vec<Job> = Vec::new();
+            let mut in_flight = 0usize;
+            loop {
+                if first_err.is_none() {
+                    let mut deferred = Vec::new();
+                    for e in waiting.drain(..) {
+                        let publishable = aug.graph.edge(e).is_load()
+                            || aug.graph.tail(e).iter().all(|v| produced.contains_key(v));
+                        if publishable {
+                            let inputs: Vec<Arc<Artifact>> = if aug.graph.edge(e).is_load() {
+                                Vec::new()
+                            } else {
+                                aug.graph.tail(e).iter().map(|v| produced[v].clone()).collect()
+                            };
+                            jobs.push(Job { edge: e, inputs });
+                        } else {
+                            deferred.push(e);
+                        }
+                    }
+                    waiting = deferred;
+                    in_flight += jobs.len();
+                    wave.dispatched += jobs.len();
+                    wave.peak_concurrency = wave.peak_concurrency.max(in_flight);
+                    sched.inject_batch(jobs.drain(..));
+                }
+                if in_flight == 0 {
                     break;
                 }
-            });
-        }
-        drop(done_tx); // workers hold the remaining clones
-
-        // An edge is dispatchable when the tracker says it is ready AND
-        // every tail artifact has been published by its designated
-        // producer (loads draw on the store, not on published artifacts).
-        let mut waiting: Vec<EdgeId> = tracker.ready();
-        let mut in_flight = 0usize;
-        loop {
-            if first_err.is_none() {
-                let mut deferred = Vec::new();
-                for e in waiting.drain(..) {
-                    let publishable = aug.graph.edge(e).is_load()
-                        || aug.graph.tail(e).iter().all(|v| produced.contains_key(v));
-                    if publishable {
-                        let inputs: Vec<Arc<Artifact>> = if aug.graph.edge(e).is_load() {
-                            Vec::new()
-                        } else {
-                            aug.graph.tail(e).iter().map(|v| produced[v].clone()).collect()
-                        };
-                        if job_tx.send(Job { edge: e, inputs }).is_ok() {
-                            in_flight += 1;
-                            wave.dispatched += 1;
-                            wave.peak_concurrency = wave.peak_concurrency.max(in_flight);
+                let Ok((e, result)) = done_rx.recv() else { break };
+                in_flight -= 1;
+                match result {
+                    Err(err) => {
+                        // Remember the first failure, stop dispatching, and
+                        // drain what is already running.
+                        first_err.get_or_insert(err);
+                    }
+                    Ok((outputs, cost_seconds, input_cells)) => {
+                        for (artifact, &head) in outputs.into_iter().zip(aug.graph.head(e)) {
+                            if designated.get(&head) == Some(&e) {
+                                let name = aug.graph.node(head).name;
+                                let artifact = Arc::new(artifact);
+                                outcome
+                                    .artifacts
+                                    .entry(name)
+                                    .or_insert_with(|| artifact.as_ref().clone());
+                                produced.insert(head, artifact);
+                            }
                         }
-                    } else {
-                        deferred.push(e);
+                        let label = aug.graph.edge(e);
+                        indexed_metrics.push((
+                            serial_pos[&e],
+                            TaskMetric {
+                                edge: e,
+                                op: label.op,
+                                task: label.task,
+                                impl_index: label.impl_index,
+                                cost_seconds,
+                                input_cells,
+                                is_load: label.is_load(),
+                            },
+                        ));
+                        waiting.extend(tracker.complete(&aug.graph, e));
                     }
                 }
-                waiting = deferred;
             }
-            if in_flight == 0 {
-                break;
-            }
-            let Ok((e, result)) = done_rx.recv() else { break };
-            in_flight -= 1;
-            match result {
-                Err(err) => {
-                    // Remember the first failure, stop dispatching, and
-                    // drain what is already running.
-                    first_err.get_or_insert(err);
-                }
-                Ok((outputs, cost_seconds, input_cells)) => {
-                    for (artifact, &head) in outputs.into_iter().zip(aug.graph.head(e)) {
-                        if designated.get(&head) == Some(&e) {
-                            let name = aug.graph.node(head).name;
-                            let artifact = Arc::new(artifact);
-                            outcome
-                                .artifacts
-                                .entry(name)
-                                .or_insert_with(|| artifact.as_ref().clone());
-                            produced.insert(head, artifact);
-                        }
+            // run_with_driver shuts the scheduler down on return (also on
+            // unwind), releasing any parked worker.
+        },
+        // Service-mode worker: run jobs until shutdown; results flow back
+        // over the channel (`Sender` is `Sync`, shared by reference).
+        |mut w| loop {
+            match w.next_step() {
+                Step::Task(job) => {
+                    let result = run_edge(aug, job.edge, &job.inputs, store);
+                    if done_tx.send((job.edge, result)).is_err() {
+                        return;
                     }
-                    let label = aug.graph.edge(e);
-                    indexed_metrics.push((
-                        serial_pos[&e],
-                        TaskMetric {
-                            edge: e,
-                            op: label.op,
-                            task: label.task,
-                            impl_index: label.impl_index,
-                            cost_seconds,
-                            input_cells,
-                            is_load: label.is_load(),
-                        },
-                    ));
-                    waiting.extend(tracker.complete(&aug.graph, e));
                 }
+                Step::Idle(token) => w.park(token),
+                Step::Shutdown => return,
             }
-        }
-        drop(job_tx); // closes the queue; idle workers exit
-    });
+        },
+    );
 
     if let Some(err) = first_err {
         return Err(err);

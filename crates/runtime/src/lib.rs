@@ -22,6 +22,8 @@
 //! API) lives one layer up in `hyppo-serve`, which drives this crate's
 //! [`SharedHyppo`] as its embedded backend.
 
+#![deny(missing_docs)]
+
 pub mod driver;
 pub mod executor;
 pub mod store;

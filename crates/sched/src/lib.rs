@@ -1,0 +1,609 @@
+//! `hyppo-sched` — the one work-stealing scheduler behind HYPPO's three
+//! concurrent subsystems: the parallel A* plan search (`hyppo-core`), the
+//! wavefront plan executor (`hyppo-runtime`), and the multi-tenant serving
+//! actors (`hyppo-serve`).
+//!
+//! # Shape
+//!
+//! Work items of type `T` flow through two tiers:
+//!
+//! * **Per-worker deques** ([Chase–Lev](crate::Scheduler)-style, fixed
+//!   capacity): the owner pushes and pops at the bottom — LIFO, lock-free,
+//!   cache-hot — while idle workers *steal batches* (up to half) from the
+//!   top via a single CAS. This is the hot path; no lock is touched.
+//! * **A global injector** (`Mutex<VecDeque>`): the cold path. External
+//!   threads [`inject`](Scheduler::inject) here, and a worker whose deque
+//!   is full *spills* overflow here instead of growing the ring.
+//!
+//! An idle worker scans in order: own deque → injector → steal from each
+//! sibling round-robin. Only when a full scan comes up empty does it park
+//! on a condvar, guarded by a generation counter so a wakeup can never be
+//! lost between the failed scan and the sleep.
+//!
+//! # Two termination disciplines
+//!
+//! * **Drain mode** ([`Worker::next`] / [`Worker::next_batch`]): for
+//!   finite self-expanding workloads (the A* search tree). The scheduler
+//!   counts *outstanding* items — queued plus claimed-but-not-retired — and
+//!   `next` returns `None` exactly when that count hits zero, which is a
+//!   stable property: items are only created by processing other items.
+//!   The claim/publish protocol of the old `SharedPlanQueue` is preserved
+//!   implicitly: a claimed batch is retired at the worker's *next* call,
+//!   after any children it spawned were already counted.
+//! * **Service mode** ([`Worker::next_step`] / [`Worker::park`]): for
+//!   long-lived pools (executor waves, serve actors) where an empty moment
+//!   does not mean "done". `next_step` returns [`Step::Idle`] with a
+//!   generation token; the caller may do idle work (flush durability,
+//!   check drain conditions) and then `park` on the token, waking on new
+//!   work or [`Scheduler::shutdown`].
+//!
+//! # Spawn/drain in five lines
+//!
+//! ```
+//! use hyppo_sched::Scheduler;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! // Count down from 10: each task spawns its predecessor, so work
+//! // migrates across workers through deque pushes, steals, and spills.
+//! let sched: Scheduler<u64> = Scheduler::new(2);
+//! sched.inject(10);
+//! let sum = AtomicU64::new(0);
+//! sched.run_scoped(|mut worker| {
+//!     while let Some(n) = worker.next() {
+//!         if n > 1 {
+//!             worker.spawn(n - 1);
+//!         }
+//!         sum.fetch_add(n, Ordering::SeqCst);
+//!     }
+//! });
+//! assert_eq!(sum.load(Ordering::SeqCst), 55);
+//! ```
+//!
+//! # Determinism
+//!
+//! The scheduler makes **no ordering promises** beyond per-deque LIFO and
+//! injector FIFO; consumers that need deterministic *results* must be
+//! correct under arbitrary interleavings. All three HYPPO consumers are —
+//! the A* search prunes by monotone bounds and reduces through a canonical
+//! `(cost, sorted-lex edge-set)` incumbent, the executor assigns each
+//! artifact a serial-order designated producer, and serve keys every
+//! tenant turn off a per-tenant epoch — see DESIGN.md §16 for the full
+//! argument.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod deque;
+
+use deque::Deque;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Environment variable overriding the per-worker deque capacity used by
+/// [`Scheduler::new`]. Tiny values (the minimum is 2) force constant
+/// spills and steals, which is how the determinism stress suite exercises
+/// steal-heavy schedules on a small machine.
+pub const SCHED_CAPACITY_ENV: &str = "HYPPO_SCHED_CAPACITY";
+
+/// Default per-worker deque capacity when [`SCHED_CAPACITY_ENV`] is unset.
+pub const DEFAULT_DEQUE_CAPACITY: usize = 256;
+
+/// What [`Worker::next_step`] observed (service mode).
+#[derive(Debug)]
+pub enum Step<T> {
+    /// A claimed work item; it is retired at the worker's next call.
+    Task(T),
+    /// A full scan (own deque, injector, every sibling) found nothing.
+    /// The token parks the worker race-free via [`Worker::park`].
+    Idle(IdleToken),
+    /// [`Scheduler::shutdown`] was called; the worker should exit.
+    Shutdown,
+}
+
+/// Proof of an empty scan, capturing the scheduler generation observed
+/// *before* the scan. [`Worker::park`] sleeps only while the generation is
+/// unchanged, so work published between the scan and the sleep — which
+/// bumps the generation — makes the park return immediately instead of
+/// losing the wakeup.
+#[derive(Debug, Clone, Copy)]
+pub struct IdleToken {
+    generation: u64,
+}
+
+/// Monotonic counters describing scheduler traffic, snapshot via
+/// [`Scheduler::stats`]. All values are lifetime totals across workers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedStats {
+    /// Items entered via [`Worker::spawn`].
+    pub spawned: u64,
+    /// Items entered via [`Scheduler::inject`]/[`Scheduler::inject_batch`].
+    pub injected: u64,
+    /// Items retired (claimed and then completed by a worker).
+    pub completed: u64,
+    /// Items claimed from a worker's own deque (the lock-free hot path).
+    pub local_pops: u64,
+    /// Items claimed from the global injector.
+    pub injector_claims: u64,
+    /// Items obtained by stealing from a sibling's deque.
+    pub steals: u64,
+    /// Successful steal operations (each moves ≥ 1 item).
+    pub steal_batches: u64,
+    /// Full scans (own deque + injector + all siblings) that found nothing.
+    pub empty_scans: u64,
+    /// Spawns that overflowed a full deque into the injector.
+    pub spills: u64,
+    /// Times a worker parked on the condvar.
+    pub parks: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    spawned: AtomicU64,
+    injected: AtomicU64,
+    completed: AtomicU64,
+    local_pops: AtomicU64,
+    injector_claims: AtomicU64,
+    steals: AtomicU64,
+    steal_batches: AtomicU64,
+    empty_scans: AtomicU64,
+    spills: AtomicU64,
+    parks: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64, n: u64) {
+        // hyppo-lint: allow(relaxed-ordering-justified) monotonic stats counter; readers only need an eventual total
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn read(counter: &AtomicU64) -> u64 {
+        // hyppo-lint: allow(relaxed-ordering-justified) advisory stats snapshot; no synchronization decisions hang off it
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Work-stealing scheduler: per-worker Chase–Lev deques plus a global
+/// injector, with drain-mode and service-mode termination (see crate
+/// docs). `Scheduler<T>` is `Sync` for `T: Send`; share it by reference
+/// ([`run_scoped`](Self::run_scoped)) or `Arc`
+/// ([`spawn_pool`](Self::spawn_pool)).
+pub struct Scheduler<T> {
+    deques: Vec<Deque<T>>,
+    /// One flag per worker slot: a [`Worker`] handle is exclusive.
+    handles: Vec<AtomicBool>,
+    injector: Mutex<VecDeque<T>>,
+    /// Queued + claimed-but-unretired items. Zero is stable (drain mode).
+    outstanding: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Bumped (SeqCst) on every publish/shutdown/zero-transition; parking
+    /// re-checks it under the sleep lock so wakeups cannot be lost.
+    generation: AtomicU64,
+    sleepers: AtomicUsize,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    stats: Counters,
+}
+
+impl<T> std::fmt::Debug for Scheduler<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("workers", &self.deques.len())
+            .field("outstanding", &self.outstanding())
+            .field("shutdown", &self.is_shutdown())
+            .finish()
+    }
+}
+
+impl<T> Scheduler<T> {
+    /// Scheduler with `workers` worker slots and the default deque
+    /// capacity, overridable via [`SCHED_CAPACITY_ENV`].
+    pub fn new(workers: usize) -> Self {
+        let capacity = std::env::var(SCHED_CAPACITY_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_DEQUE_CAPACITY);
+        Self::with_capacity(workers, capacity)
+    }
+
+    /// Scheduler with an explicit per-worker deque capacity (rounded up to
+    /// a power of two, minimum 2). The environment override is ignored.
+    pub fn with_capacity(workers: usize, capacity: usize) -> Self {
+        let workers = workers.max(1);
+        Scheduler {
+            deques: (0..workers).map(|_| Deque::new(capacity)).collect(),
+            handles: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            outstanding: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            stats: Counters::default(),
+        }
+    }
+
+    /// Number of worker slots.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Queued plus claimed-but-unretired items (racy snapshot; exact only
+    /// at quiescence). In drain mode, zero means the workload is finished.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::SeqCst)
+    }
+
+    /// Whether [`shutdown`](Self::shutdown) has been called.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            spawned: Counters::read(&self.stats.spawned),
+            injected: Counters::read(&self.stats.injected),
+            completed: Counters::read(&self.stats.completed),
+            local_pops: Counters::read(&self.stats.local_pops),
+            injector_claims: Counters::read(&self.stats.injector_claims),
+            steals: Counters::read(&self.stats.steals),
+            steal_batches: Counters::read(&self.stats.steal_batches),
+            empty_scans: Counters::read(&self.stats.empty_scans),
+            spills: Counters::read(&self.stats.spills),
+            parks: Counters::read(&self.stats.parks),
+        }
+    }
+
+    /// Push one item through the global injector (the cold path, for
+    /// threads without a [`Worker`] handle) and wake a parked worker.
+    pub fn inject(&self, item: T) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.injector.lock().unwrap().push_back(item);
+        Counters::bump(&self.stats.injected, 1);
+        self.signal();
+    }
+
+    /// Push a batch through the injector under one lock acquisition.
+    /// Returns how many items were injected.
+    pub fn inject_batch(&self, items: impl IntoIterator<Item = T>) -> usize {
+        let staged: Vec<T> = items.into_iter().collect();
+        let n = staged.len();
+        if n == 0 {
+            return 0;
+        }
+        self.outstanding.fetch_add(n, Ordering::SeqCst);
+        self.injector.lock().unwrap().extend(staged);
+        Counters::bump(&self.stats.injected, n as u64);
+        self.signal();
+        n
+    }
+
+    /// Tell every worker to exit: parked workers wake into
+    /// [`Step::Shutdown`] / `next() == None`, and no further items are
+    /// claimed (items still queued are dropped with the scheduler).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.signal();
+    }
+
+    /// Wake every parked worker for a fresh scan without publishing work —
+    /// for consumers whose idle-exit condition lives outside the scheduler
+    /// (e.g. serve's "shutdown requested and no turn in flight").
+    pub fn wake_all(&self) {
+        self.signal();
+    }
+
+    /// Claim worker slot `index` (0-based). Panics if out of range or if
+    /// the slot already has a live [`Worker`] — a slot's deque has exactly
+    /// one owner at a time. The handle is released on drop.
+    pub fn worker(&self, index: usize) -> Worker<'_, T> {
+        assert!(index < self.deques.len(), "worker index {index} out of range");
+        assert!(
+            !self.handles[index].swap(true, Ordering::SeqCst),
+            "worker slot {index} is already claimed"
+        );
+        Worker { sched: self, index, in_flight: 0, scratch: Vec::new(), _not_sync: PhantomData }
+    }
+
+    /// Run one scoped thread per worker slot in **drain mode**: each
+    /// thread gets its [`Worker`] and `worker_fn` is expected to loop on
+    /// [`Worker::next`]/[`next_batch`](Worker::next_batch) until it
+    /// returns `None`/`0` (workload drained or shutdown). Blocks until all
+    /// workers exit. Seed work with [`inject`](Self::inject) first.
+    pub fn run_scoped<F>(&self, worker_fn: F)
+    where
+        T: Send,
+        F: for<'w> Fn(Worker<'w, T>) + Sync,
+    {
+        std::thread::scope(|scope| {
+            for i in 0..self.deques.len() {
+                let f = &worker_fn;
+                scope.spawn(move || f(self.worker(i)));
+            }
+        });
+    }
+
+    /// Run worker threads in **service mode** with a driver on the calling
+    /// thread: spawns one scoped thread per slot running `worker_fn`
+    /// (expected to loop on [`Worker::next_step`] until [`Step::Shutdown`]),
+    /// runs `driver`, then calls [`shutdown`](Self::shutdown) — also on
+    /// unwind, so a panicking driver cannot deadlock the join — and waits
+    /// for the workers.
+    pub fn run_with_driver<D, R, F>(&self, driver: D, worker_fn: F) -> R
+    where
+        T: Send,
+        D: FnOnce() -> R,
+        F: for<'w> Fn(Worker<'w, T>) + Sync,
+    {
+        std::thread::scope(|scope| {
+            for i in 0..self.deques.len() {
+                let f = &worker_fn;
+                scope.spawn(move || f(self.worker(i)));
+            }
+            let _stop = ShutdownOnDrop(self);
+            driver()
+        })
+    }
+
+    fn signal(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Take the sleep lock so the notify cannot slip into the gap
+            // between a sleeper's generation re-check and its wait.
+            let _guard = self.sleep.lock().unwrap();
+            self.wake.notify_all();
+        }
+    }
+
+    /// Retire `n` claimed items; on the transition to zero outstanding,
+    /// wake everyone so drain-mode workers can observe termination.
+    fn complete(&self, n: usize) {
+        Counters::bump(&self.stats.completed, n as u64);
+        if self.outstanding.fetch_sub(n, Ordering::SeqCst) == n {
+            self.signal();
+        }
+    }
+
+    /// Sleep until the generation moves past `g0` or shutdown. `g0` must
+    /// have been read *before* the scan that came up empty: any publish
+    /// after that read bumps the generation, so the wait predicate is
+    /// already false and we return without sleeping.
+    fn park_until(&self, g0: u64) {
+        Counters::bump(&self.stats.parks, 1);
+        let mut guard = self.sleep.lock().unwrap();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        while self.generation.load(Ordering::SeqCst) == g0 && !self.shutdown.load(Ordering::SeqCst)
+        {
+            guard = self.wake.wait(guard).unwrap();
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<T: Send + 'static> Scheduler<T> {
+    /// Spawn one **owned, named OS thread** per worker slot — for
+    /// long-lived pools that outlive the caller's stack frame (serve's
+    /// actor workers). Threads are named `{name}-{index}`. This is the one
+    /// place in the workspace allowed to create detached service threads;
+    /// everything else goes through the scoped runners (enforced by the
+    /// `thread-spawn-outside-sched` lint rule).
+    pub fn spawn_pool<F>(
+        self: &Arc<Self>,
+        name: &str,
+        worker_fn: F,
+    ) -> Vec<std::thread::JoinHandle<()>>
+    where
+        F: for<'w> Fn(Worker<'w, T>) + Send + Sync + 'static,
+    {
+        let worker_fn = Arc::new(worker_fn);
+        (0..self.deques.len())
+            .map(|i| {
+                let sched = Arc::clone(self);
+                let f = Arc::clone(&worker_fn);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || f(sched.worker(i)))
+                    .expect("failed to spawn scheduler worker thread")
+            })
+            .collect()
+    }
+}
+
+/// Calls [`Scheduler::shutdown`] on drop (normal return *and* unwind).
+struct ShutdownOnDrop<'s, T>(&'s Scheduler<T>);
+
+impl<T> Drop for ShutdownOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Exclusive handle to one worker slot: the only owner of that slot's
+/// deque. Obtained from [`Scheduler::worker`] (or the scoped runners) and
+/// released on drop. Deliberately `!Send`/`!Sync` — the deque's owner
+/// operations are single-threaded by construction.
+pub struct Worker<'s, T> {
+    sched: &'s Scheduler<T>,
+    index: usize,
+    /// Items claimed by the last `next*` call, retired at the next call.
+    in_flight: usize,
+    scratch: Vec<T>,
+    _not_sync: PhantomData<*const ()>,
+}
+
+impl<T> std::fmt::Debug for Worker<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("index", &self.index)
+            .field("in_flight", &self.in_flight)
+            .finish()
+    }
+}
+
+impl<T> Worker<'_, T> {
+    /// This worker's slot index (0-based).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The scheduler this worker belongs to.
+    pub fn scheduler(&self) -> &Scheduler<T> {
+        self.sched
+    }
+
+    /// Publish a new item: pushed onto this worker's own deque (lock-free
+    /// hot path) or spilled to the injector when the ring is full. Spawn
+    /// children **before** the next `next*` call and the claim/publish
+    /// invariant holds: the parent is only retired after its children are
+    /// already counted, so the outstanding count can never dip to zero
+    /// while work remains.
+    pub fn spawn(&mut self, item: T) {
+        self.sched.outstanding.fetch_add(1, Ordering::SeqCst);
+        Counters::bump(&self.sched.stats.spawned, 1);
+        if let Err(item) = self.sched.deques[self.index].push(item) {
+            Counters::bump(&self.sched.stats.spills, 1);
+            self.sched.injector.lock().unwrap().push_back(item);
+        }
+        self.sched.signal();
+    }
+
+    /// Drain mode: claim the next item, parking while siblings still hold
+    /// work in flight. Returns `None` when the workload is finished
+    /// (outstanding hit zero) or the scheduler was shut down. Retires the
+    /// previous claim first.
+    ///
+    /// Not an [`Iterator`]: claiming blocks on in-flight siblings and
+    /// retires the previous claim, so the `&mut self` method keeps those
+    /// semantics explicit.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<T> {
+        let mut buf = std::mem::take(&mut self.scratch);
+        let n = self.next_batch(&mut buf, 1);
+        let item = if n > 0 { buf.pop() } else { None };
+        self.scratch = buf;
+        item
+    }
+
+    /// Drain mode, batched: claim up to `max` items into `out` (cleared
+    /// first), blocking like [`next`](Self::next). Returns the claim count;
+    /// `0` means finished or shut down. Retires the previous claim first.
+    pub fn next_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        out.clear();
+        let max = max.max(1);
+        self.retire();
+        loop {
+            let g0 = self.sched.generation.load(Ordering::SeqCst);
+            if self.sched.shutdown.load(Ordering::SeqCst) {
+                return 0;
+            }
+            let n = self.try_claim(out, max);
+            if n > 0 {
+                self.in_flight = n;
+                return n;
+            }
+            if self.sched.outstanding.load(Ordering::SeqCst) == 0 {
+                return 0;
+            }
+            self.sched.park_until(g0);
+        }
+    }
+
+    /// Service mode: claim one item, or report [`Step::Idle`] after a full
+    /// empty scan (the caller decides whether to [`park`](Self::park) or do
+    /// idle work), or [`Step::Shutdown`]. Never blocks. Retires the
+    /// previous claim first.
+    pub fn next_step(&mut self) -> Step<T> {
+        self.retire();
+        let g0 = self.sched.generation.load(Ordering::SeqCst);
+        if self.sched.shutdown.load(Ordering::SeqCst) {
+            return Step::Shutdown;
+        }
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        let n = self.try_claim(&mut buf, 1);
+        let item = if n > 0 { buf.pop() } else { None };
+        self.scratch = buf;
+        match item {
+            Some(t) => {
+                self.in_flight = 1;
+                Step::Task(t)
+            }
+            None => Step::Idle(IdleToken { generation: g0 }),
+        }
+    }
+
+    /// Sleep until work is published or the scheduler shuts down. The
+    /// token must come from the [`Step::Idle`] whose scan failed; work
+    /// published since then returns immediately (see [`IdleToken`]).
+    pub fn park(&mut self, token: IdleToken) {
+        self.sched.park_until(token.generation);
+    }
+
+    /// One scan: own deque first, then the injector, then steal from each
+    /// sibling round-robin. Returns how many items were claimed into `out`.
+    fn try_claim(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let sched = self.sched;
+        let own = &sched.deques[self.index];
+        while out.len() < max {
+            match own.pop() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        if !out.is_empty() {
+            Counters::bump(&sched.stats.local_pops, out.len() as u64);
+            return out.len();
+        }
+        {
+            let mut inj = sched.injector.lock().unwrap();
+            for _ in 0..max {
+                match inj.pop_front() {
+                    Some(t) => out.push(t),
+                    None => break,
+                }
+            }
+        }
+        if !out.is_empty() {
+            Counters::bump(&sched.stats.injector_claims, out.len() as u64);
+            return out.len();
+        }
+        let workers = sched.deques.len();
+        for k in 1..workers {
+            let victim = (self.index + k) % workers;
+            let n = sched.deques[victim].steal_into(out, max);
+            if n > 0 {
+                Counters::bump(&sched.stats.steals, n as u64);
+                Counters::bump(&sched.stats.steal_batches, 1);
+                return n;
+            }
+        }
+        Counters::bump(&sched.stats.empty_scans, 1);
+        0
+    }
+
+    /// Retire the previous claim; on the zero transition the scheduler
+    /// wakes everyone so termination is observed.
+    fn retire(&mut self) {
+        if self.in_flight > 0 {
+            let n = self.in_flight;
+            self.in_flight = 0;
+            self.sched.complete(n);
+        }
+    }
+}
+
+impl<T> Drop for Worker<'_, T> {
+    fn drop(&mut self) {
+        // Settle the claim even on a panicking worker so siblings don't
+        // wait forever on items that will never be retired, then release
+        // the slot.
+        self.retire();
+        self.sched.handles[self.index].store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests;

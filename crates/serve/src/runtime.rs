@@ -1,29 +1,37 @@
-//! The actor runtime: tenant mailboxes, a thread-pool scheduler, bounded
-//! admission, and group-committed durability.
+//! The actor runtime: tenant mailboxes scheduled over the shared
+//! work-stealing scheduler, bounded admission, and group-committed
+//! durability.
 //!
 //! Each tenant session is an **actor**: a FIFO mailbox of submission
 //! tickets that at most one worker drains at a time, so a tenant's
 //! submissions execute in exactly the order they were admitted no matter
-//! how many workers the pool has. Workers pull *runnable* tenants (not
-//! running, mail waiting) from a shared queue; planning happens against
-//! the backend's epoch snapshots, so tenants only serialize at the
-//! commit point — never across plan search.
+//! how many workers the pool has. *Runnable* tenants (not running, mail
+//! waiting) circulate through a [`hyppo_sched::Scheduler`] as tenant
+//! indices: submitters inject on the empty→non-empty mailbox transition,
+//! and the worker that finishes a tenant's turn re-spawns it onto its own
+//! deque — lock-free — when mail remains, which keeps a busy tenant hot on
+//! one worker until a sibling steals it. Planning happens against the
+//! backend's epoch snapshots, so tenants only serialize at the commit
+//! point — never across plan search.
 //!
 //! Admission is bounded per tenant: a full mailbox either rejects new
 //! submissions with [`ServeError::Busy`] ([`AdmissionPolicy::Reject`]) or
 //! blocks the submitter until a slot frees ([`AdmissionPolicy::Block`]).
 //!
-//! Scheduler invariant: a tenant index is in the runnable queue **iff**
-//! it is not currently running and its mailbox is non-empty. Enqueue adds
-//! the tenant when its mailbox transitions empty → non-empty while idle;
-//! a worker re-adds it after a message if mail remains. This gives each
-//! tenant at-most-one in-flight message (per-tenant FIFO) and round-robin
-//! fairness across tenants.
+//! Scheduler invariant: a tenant index is in the scheduler (some deque or
+//! the injector) **iff** it is not currently running and its mailbox is
+//! non-empty. Enqueue injects the tenant when its mailbox transitions
+//! empty → non-empty while idle; the worker that just processed its turn
+//! re-spawns it if mail remains. Exactly one of those happens per
+//! transition, so a tenant has at-most-one in-flight message and its copy
+//! appears at most once in the whole scheduler — stealing moves the copy,
+//! never duplicates it (DESIGN.md §16 restates the argument).
 
 use hyppo_core::system::SubmitError;
 use hyppo_persist::GroupCommitWal;
 use hyppo_pipeline::{ArtifactName, PipelineSpec};
 use hyppo_runtime::{SharedBatchRun, SharedHyppo, SharedRun};
+use hyppo_sched::{SchedStats, Scheduler, Step, Worker};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -258,10 +266,8 @@ struct TenantState {
 }
 
 #[derive(Debug, Default)]
-struct Sched {
+struct TenantTable {
     tenants: Vec<TenantState>,
-    /// Tenants with mail and no in-flight message, in fairness order.
-    runnable: VecDeque<usize>,
     /// Workers currently processing a message.
     active: usize,
     /// Total queued messages across all mailboxes.
@@ -325,9 +331,10 @@ pub struct ServeMetrics {
 pub(crate) struct Shared {
     pub(crate) backend: Arc<SharedHyppo>,
     pub(crate) config: ServeConfig,
-    sched: Mutex<Sched>,
-    /// Signals workers: runnable work exists, or shutdown.
-    work_cv: Condvar,
+    table: Mutex<TenantTable>,
+    /// Runnable tenant indices, scheduled work-stealing style; parking and
+    /// wakeups live inside the scheduler.
+    queue: Arc<Scheduler<usize>>,
     /// Signals blocked submitters: a mailbox slot freed, or shutdown.
     admit_cv: Condvar,
     durability: Mutex<Option<GroupCommitWal>>,
@@ -335,15 +342,15 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    fn lock_sched(&self) -> MutexGuard<'_, Sched> {
-        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock_table(&self) -> MutexGuard<'_, TenantTable> {
+        self.table.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Register a new tenant actor; returns its index.
     pub(crate) fn add_tenant(&self) -> usize {
-        let mut sched = self.lock_sched();
-        sched.tenants.push(TenantState::default());
-        sched.tenants.len() - 1
+        let mut table = self.lock_table();
+        table.tenants.push(TenantState::default());
+        table.tenants.len() - 1
     }
 
     /// Admit one request into `tenant`'s mailbox, applying the configured
@@ -353,11 +360,11 @@ impl Shared {
         tenant: usize,
         request: Request,
     ) -> Result<Arc<Ticket>, ServeError> {
-        let mut sched = self.lock_sched();
-        if sched.shutdown {
+        let mut table = self.lock_table();
+        if table.shutdown {
             return Err(ServeError::ShutDown);
         }
-        while sched.tenants[tenant].mailbox.len() >= self.config.mailbox_capacity {
+        while table.tenants[tenant].mailbox.len() >= self.config.mailbox_capacity {
             match self.config.admission {
                 AdmissionPolicy::Reject => {
                     // hyppo-lint: allow(relaxed-ordering-justified) monitoring
@@ -366,85 +373,94 @@ impl Shared {
                     return Err(ServeError::Busy);
                 }
                 AdmissionPolicy::Block => {
-                    sched = self.admit_cv.wait(sched).unwrap_or_else(|e| e.into_inner());
-                    if sched.shutdown {
+                    table = self.admit_cv.wait(table).unwrap_or_else(|e| e.into_inner());
+                    if table.shutdown {
                         return Err(ServeError::ShutDown);
                     }
                 }
             }
         }
         let ticket = Ticket::new();
-        let was_empty = sched.tenants[tenant].mailbox.is_empty();
-        sched.tenants[tenant].mailbox.push_back(Mail { ticket: Arc::clone(&ticket), request });
-        sched.queued += 1;
-        if was_empty && !sched.tenants[tenant].running {
-            sched.runnable.push_back(tenant);
-        }
-        let depth = sched.queued;
-        drop(sched);
+        let was_empty = table.tenants[tenant].mailbox.is_empty();
+        table.tenants[tenant].mailbox.push_back(Mail { ticket: Arc::clone(&ticket), request });
+        table.queued += 1;
+        // Exactly one injection per empty→non-empty transition while idle:
+        // later submitters see a non-empty mailbox, and the tenant cannot
+        // be claimed (hence re-spawned) before the injection below lands.
+        let make_runnable = was_empty && !table.tenants[tenant].running;
+        let depth = table.queued;
+        drop(table);
         // hyppo-lint: allow(relaxed-ordering-justified) monitoring gauges;
-        // `depth` was computed under the scheduler lock, the atomics only
+        // `depth` was computed under the tenant-table lock, the atomics only
         // publish it to metrics readers
         self.gauges.submitted.fetch_add(1, Ordering::Relaxed);
-        // hyppo-lint: allow(relaxed-ordering-justified) peak-depth gauge; `depth` was computed under the scheduler lock
+        // hyppo-lint: allow(relaxed-ordering-justified) peak-depth gauge; `depth` was computed under the tenant-table lock
         self.gauges.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
-        self.work_cv.notify_one();
+        if make_runnable {
+            self.queue.inject(tenant);
+        }
         Ok(ticket)
     }
 
-    /// Worker main loop: drain runnable tenants until shutdown completes.
-    fn worker_loop(&self) {
+    /// Worker main loop: service-mode turns over the scheduler until the
+    /// runtime is drained and shut down.
+    fn worker_loop(&self, mut w: Worker<'_, usize>) {
         loop {
-            let mut sched = self.lock_sched();
-            loop {
-                if let Some(tenant) = sched.runnable.pop_front() {
-                    let mail = sched.tenants[tenant]
-                        .mailbox
-                        .pop_front()
-                        .expect("runnable invariant: mailbox non-empty");
-                    sched.tenants[tenant].running = true;
-                    sched.active += 1;
-                    sched.queued -= 1;
-                    drop(sched);
+            match w.next_step() {
+                Step::Task(tenant) => {
+                    let mail = {
+                        let mut table = self.lock_table();
+                        let mail = table.tenants[tenant]
+                            .mailbox
+                            .pop_front()
+                            .expect("scheduler invariant: scheduled tenant has mail");
+                        table.tenants[tenant].running = true;
+                        table.active += 1;
+                        table.queued -= 1;
+                        mail
+                    };
                     // A slot freed: wake one blocked submitter.
                     self.admit_cv.notify_one();
 
                     self.process(mail);
 
-                    let mut sched = self.lock_sched();
-                    sched.tenants[tenant].running = false;
-                    sched.active -= 1;
-                    if !sched.tenants[tenant].mailbox.is_empty() {
-                        sched.runnable.push_back(tenant);
-                        self.work_cv.notify_one();
+                    let again = {
+                        let mut table = self.lock_table();
+                        table.tenants[tenant].running = false;
+                        table.active -= 1;
+                        !table.tenants[tenant].mailbox.is_empty()
+                    };
+                    if again {
+                        // ≤1 in-flight per tenant: only the worker that
+                        // just finished this tenant's turn may requeue it,
+                        // and it does so onto its own deque (hot path).
+                        w.spawn(tenant);
                     }
-                    if sched.shutdown && sched.runnable.is_empty() && sched.active == 0 {
-                        // Last one out wakes the others so they observe
-                        // the drained state and exit.
-                        self.work_cv.notify_all();
-                    }
-                    drop(sched);
-                    break; // re-enter the outer loop with a fresh guard
                 }
-                if sched.shutdown && sched.active == 0 {
-                    // Drained: no runnable tenant, nothing in flight (an
-                    // in-flight message could still re-enqueue its tenant).
-                    drop(sched);
-                    // Idle + shutdown: make everything pending durable.
+                Step::Idle(token) => {
+                    let (drained, idle) = {
+                        let table = self.lock_table();
+                        let quiet = table.active == 0 && table.queued == 0;
+                        (table.shutdown && quiet, quiet)
+                    };
+                    if drained {
+                        // Idle + shutdown: make everything pending durable,
+                        // then release the siblings still parked.
+                        let _ = self.flush_durability();
+                        w.scheduler().shutdown();
+                        return;
+                    }
+                    if idle {
+                        // Fully idle: opportunistically flush the commit
+                        // group so durability never waits on new traffic.
+                        let _ = self.flush_durability();
+                    }
+                    w.park(token);
+                }
+                Step::Shutdown => {
                     let _ = self.flush_durability();
                     return;
                 }
-                if sched.queued == 0 && sched.active == 0 {
-                    // Fully idle: opportunistically flush the commit group
-                    // so durability never waits on future traffic.
-                    drop(sched);
-                    let _ = self.flush_durability();
-                    sched = self.lock_sched();
-                    if sched.queued > 0 || (sched.shutdown && sched.active == 0) {
-                        continue;
-                    }
-                }
-                sched = self.work_cv.wait(sched).unwrap_or_else(|e| e.into_inner());
             }
         }
     }
@@ -558,7 +574,7 @@ impl Shared {
     }
 
     pub(crate) fn metrics(&self) -> ServeMetrics {
-        let queue_depth = self.lock_sched().queued;
+        let queue_depth = self.lock_table().queued;
         let g = &self.gauges;
         // hyppo-lint: allow(relaxed-ordering-justified) metrics snapshot read; tearing across concurrent updates is acceptable
         let completed = g.completed.load(Ordering::Relaxed);
@@ -619,22 +635,16 @@ impl ServeRuntime {
         let shared = Arc::new(Shared {
             backend,
             config,
-            sched: Mutex::new(Sched::default()),
-            work_cv: Condvar::new(),
+            table: Mutex::new(TenantTable::default()),
+            queue: Arc::new(Scheduler::new(config.workers.max(1))),
             admit_cv: Condvar::new(),
             durability: Mutex::new(None),
             gauges: Gauges::default(),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("hyppo-serve-{i}"))
-                    .spawn(move || shared.worker_loop())
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        ServeRuntime { shared, workers }
+        let queue = Arc::clone(&shared.queue);
+        let worker_shared = Arc::clone(&shared);
+        let pool = queue.spawn_pool("hyppo-serve", move |w| worker_shared.worker_loop(w));
+        ServeRuntime { shared, workers: pool }
     }
 
     /// The embedded backend.
@@ -660,6 +670,13 @@ impl ServeRuntime {
         self.shared.metrics()
     }
 
+    /// Traffic counters of the underlying work-stealing scheduler (tenant
+    /// turns claimed locally, stolen, spilled, …) — reported by the
+    /// scheduler bench; purely observational.
+    pub fn scheduler_stats(&self) -> SchedStats {
+        self.shared.queue.stats()
+    }
+
     /// Graceful shutdown: refuse new submissions, drain every mailbox,
     /// flush durability, join the workers, and return the backend (the
     /// sole `Arc` if every client/handle was dropped).
@@ -675,10 +692,12 @@ impl ServeRuntime {
     }
 
     fn begin_shutdown(&self) {
-        let mut sched = self.shared.lock_sched();
-        sched.shutdown = true;
-        drop(sched);
-        self.shared.work_cv.notify_all();
+        let mut table = self.shared.lock_table();
+        table.shutdown = true;
+        drop(table);
+        // Parked workers re-evaluate the drain condition; blocked
+        // submitters observe the shutdown flag.
+        self.shared.queue.wake_all();
         self.shared.admit_cv.notify_all();
     }
 }

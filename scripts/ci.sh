@@ -19,6 +19,21 @@ cargo test --workspace --offline -q
 echo "== parallel-planner equivalence suite (HYPPO_PLANNER_THREADS=4) =="
 HYPPO_PLANNER_THREADS=4 cargo test --offline -q --test planner_parallel_equivalence
 
+echo "== sched == steal-heavy scheduler determinism suite (HYPPO_PLANNER_THREADS=4)"
+# Scheduler gate (crates/sched, DESIGN.md §16): all three consumers —
+# parallel plan search, wavefront execution, tenant serving — must stay
+# bit-identical to serial under the nastiest steal schedule the suite can
+# force (HYPPO_SCHED_CAPACITY=2 inside the tests shrinks every deque to
+# two slots, so nearly every spawn spills to the injector and nearly every
+# claim crosses workers). The scheduler's own shutdown/empty-steal
+# regression pair runs with `cargo test -p hyppo-sched` above; the bench
+# artifact BENCH_sched.json (spawn/drain throughput + contention counters)
+# is committed at the repo root and refreshed by `cargo bench --bench
+# sched -- --bench` — contention numbers are reported, never asserted,
+# because the container pins a single core.
+HYPPO_PLANNER_THREADS=4 cargo test --offline -q --test sched_determinism
+test -f BENCH_sched.json || { echo "BENCH_sched.json missing" >&2; exit 1; }
+
 echo "== sweep == batch-planning equivalence suite (HYPPO_PLANNER_THREADS=4)"
 # Batch-vs-sequential bit-identity (tests/batch_planning_props.rs): jointly
 # planned sweeps must emit exactly the plans sequential submission would,
@@ -79,9 +94,11 @@ if cargo run -q -p hyppo-lint --offline -- \
 fi
 
 echo "== cargo doc (deny rustdoc warnings) =="
-# Missing or broken docs fail the build: crates/hypergraph and crates/core
-# carry #![deny(missing_docs)], and -D warnings promotes broken intra-doc
-# links and the rest of rustdoc's lints everywhere else.
+# Missing or broken docs fail the build: hypergraph, core, persist,
+# runtime, serve, and sched all carry #![deny(missing_docs)], and
+# -D warnings promotes broken intra-doc links and the rest of rustdoc's
+# lints everywhere else (the --workspace sweep includes the sched crate
+# and its compiling spawn/drain doctest).
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
 echo "== cargo bench --no-run (benches must compile) =="

@@ -22,6 +22,8 @@
 //!   artifact naming;
 //! - [`core`] — the HYPPO system: history, augmenter, plan search,
 //!   cost model, materializer, executor;
+//! - [`sched`] — the work-stealing scheduler every concurrent layer runs
+//!   on: per-worker deques, a global injector, batch stealing;
 //! - [`runtime`] — concurrent wavefront plan execution, the sharded
 //!   thread-safe artifact store, and the epoch-snapshot shared backend;
 //! - [`serve`] — the multi-tenant serving layer: per-tenant actor
@@ -135,6 +137,7 @@ pub use hyppo_ml as ml;
 pub use hyppo_persist as persist;
 pub use hyppo_pipeline as pipeline;
 pub use hyppo_runtime as runtime;
+pub use hyppo_sched as sched;
 pub use hyppo_serve as serve;
 pub use hyppo_tensor as tensor;
 pub use hyppo_workloads as workloads;
